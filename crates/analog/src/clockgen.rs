@@ -1,0 +1,220 @@
+//! Clock receiver and local phase generation.
+//!
+//! The paper's bench filtered the *clock* as carefully as the signal
+//! (§4), because clock purity becomes aperture jitter; and on chip each
+//! stage generates its own two-phase clocks locally (§3) so switch
+//! sequencing needs no global non-overlap margin. This module models
+//! both ends:
+//!
+//! * [`ClockReceiver`] — squares up the external sine clock; its additive
+//!   input noise converts to timing jitter by the slope of the clock at
+//!   the threshold crossing, `σ_t = σ_v / (dV/dt)` — so a *larger* clock
+//!   amplitude or a *higher* clock frequency means less jitter from the
+//!   same noise;
+//! * [`LocalPhaseGenerator`] — derives each stage's φ1/φ1B/φ2 edges from
+//!   gate delays; the sampling switch S1B opens *before* S1 (bottom-plate
+//!   sampling), and φ2 rises only after φ1 has fallen — by construction,
+//!   not by global margin.
+
+use crate::noise::ApertureJitter;
+
+/// The chip's clock input buffer.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClockReceiver {
+    /// External clock amplitude, volts peak (sine drive assumed).
+    pub amplitude_v: f64,
+    /// Clock frequency, hertz.
+    pub frequency_hz: f64,
+    /// RMS noise referred to the receiver input (source + buffer), volts.
+    pub input_noise_rms_v: f64,
+    /// Additional jitter added by the on-chip distribution, seconds RMS.
+    pub distribution_jitter_s: f64,
+}
+
+impl ClockReceiver {
+    /// A clean bench setup: 1 V peak sine, 100 µV receiver noise, 0.2 ps
+    /// distribution jitter.
+    pub fn bench_quality(frequency_hz: f64) -> Self {
+        assert!(frequency_hz > 0.0);
+        Self {
+            amplitude_v: 1.0,
+            frequency_hz,
+            input_noise_rms_v: 100e-6,
+            distribution_jitter_s: 0.2e-12,
+        }
+    }
+
+    /// Slope of the sine clock at its zero crossing, volts/second.
+    pub fn crossing_slope_v_per_s(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.frequency_hz * self.amplitude_v
+    }
+
+    /// The jitter this receiver contributes: slope-converted voltage
+    /// noise, RSS-combined with the distribution term.
+    pub fn to_jitter(&self) -> ApertureJitter {
+        let slope = self.crossing_slope_v_per_s();
+        let from_noise = if slope > 0.0 {
+            self.input_noise_rms_v / slope
+        } else {
+            f64::INFINITY
+        };
+        ApertureJitter::new(
+            (from_noise * from_noise + self.distribution_jitter_s * self.distribution_jitter_s)
+                .sqrt(),
+        )
+    }
+}
+
+/// The per-stage local clock generator (paper §3): edge times of the
+/// three stage clocks within one period, derived from gate delays.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LocalPhaseGenerator {
+    /// Conversion clock period, seconds.
+    pub period_s: f64,
+    /// One logic gate delay, seconds.
+    pub gate_delay_s: f64,
+    /// Gates between the master edge and the early sampling-switch (S1B)
+    /// falling edge.
+    pub s1b_path_gates: u32,
+    /// Additional gates to the main switch (S1) falling edge — the
+    /// bottom-plate sampling interval.
+    pub s1_extra_gates: u32,
+    /// Gates from S1 falling to φ2 (S2) rising — the locally guaranteed
+    /// sequencing that replaces the global non-overlap margin.
+    pub s2_extra_gates: u32,
+}
+
+/// Edge times of one stage's clocks within a period, seconds from the
+/// master rising edge.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseEdges {
+    /// S1B (sampling switch) opens — the actual sampling instant.
+    pub s1b_falls_s: f64,
+    /// S1 (signal switches) open.
+    pub s1_falls_s: f64,
+    /// S2 (amplification switches) close.
+    pub s2_rises_s: f64,
+    /// End of the amplification phase (the next stage samples; the
+    /// period wraps here).
+    pub phase_end_s: f64,
+}
+
+impl LocalPhaseGenerator {
+    /// A 0.18 µm implementation: ~60 ps gates, 2-gate S1B path, 2 more to
+    /// S1, 2 more to S2.
+    pub fn typical_018(period_s: f64) -> Self {
+        assert!(period_s > 0.0);
+        Self {
+            period_s,
+            gate_delay_s: 60e-12,
+            s1b_path_gates: 2,
+            s1_extra_gates: 2,
+            s2_extra_gates: 2,
+        }
+    }
+
+    /// Computes the edge times.
+    pub fn edges(&self) -> PhaseEdges {
+        let half = self.period_s / 2.0;
+        let s1b = half + f64::from(self.s1b_path_gates) * self.gate_delay_s;
+        let s1 = s1b + f64::from(self.s1_extra_gates) * self.gate_delay_s;
+        let s2 = s1 + f64::from(self.s2_extra_gates) * self.gate_delay_s;
+        PhaseEdges {
+            s1b_falls_s: s1b,
+            s1_falls_s: s1,
+            s2_rises_s: s2,
+            phase_end_s: self.period_s,
+        }
+    }
+
+    /// The amplification (settling) time this scheme yields, seconds:
+    /// from φ2 rising to the end of the phase. Compare with a
+    /// conventional scheme that inserts a global non-overlap margin
+    /// *before* φ2 as well as after φ1.
+    pub fn settle_time_s(&self) -> f64 {
+        let e = self.edges();
+        e.phase_end_s - e.s2_rises_s
+    }
+
+    /// The sequencing guarantee: S2 rises strictly after S1 falls.
+    pub fn sequencing_ok(&self) -> bool {
+        let e = self.edges();
+        e.s2_rises_s > e.s1_falls_s && e.s1_falls_s > e.s1b_falls_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_clock_amplitude_means_less_jitter() {
+        let small = ClockReceiver {
+            amplitude_v: 0.2,
+            ..ClockReceiver::bench_quality(110e6)
+        };
+        let large = ClockReceiver::bench_quality(110e6);
+        assert!(large.to_jitter().sigma_s < small.to_jitter().sigma_s);
+    }
+
+    #[test]
+    fn jitter_formula_matches_slope_conversion() {
+        let rx = ClockReceiver {
+            amplitude_v: 1.0,
+            frequency_hz: 110e6,
+            input_noise_rms_v: 100e-6,
+            distribution_jitter_s: 0.0,
+        };
+        let slope = 2.0 * std::f64::consts::PI * 110e6;
+        let expected = 100e-6 / slope;
+        assert!((rx.to_jitter().sigma_s - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn bench_quality_clock_supports_the_papers_jitter_budget() {
+        // The nominal design assumes 0.45 ps rms; a bench-quality clock
+        // receiver delivers comfortably less.
+        let rx = ClockReceiver::bench_quality(110e6);
+        assert!(rx.to_jitter().sigma_s < 0.45e-12, "{}", rx.to_jitter().sigma_s);
+    }
+
+    #[test]
+    fn distribution_jitter_adds_in_rss() {
+        let mut rx = ClockReceiver::bench_quality(110e6);
+        rx.input_noise_rms_v = 0.0;
+        assert!((rx.to_jitter().sigma_s - 0.2e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn local_phases_sequence_correctly() {
+        let gen = LocalPhaseGenerator::typical_018(1.0 / 110e6);
+        assert!(gen.sequencing_ok());
+        let e = gen.edges();
+        // Bottom-plate sampling: S1B strictly first.
+        assert!(e.s1b_falls_s < e.s1_falls_s);
+        assert!(e.s1_falls_s < e.s2_rises_s);
+    }
+
+    #[test]
+    fn settle_time_loses_only_gate_delays_not_a_margin() {
+        let period = 1.0 / 110e6;
+        let gen = LocalPhaseGenerator::typical_018(period);
+        let lost = period / 2.0 - gen.settle_time_s();
+        // 6 gates × 60 ps = 360 ps lost — versus the ≥500 ps a global
+        // non-overlap margin would cost on top.
+        assert!((lost - 360e-12).abs() < 1e-15, "lost {lost}");
+        assert!(lost < 500e-12);
+    }
+
+    #[test]
+    fn edges_scale_with_period_but_delays_do_not() {
+        let fast = LocalPhaseGenerator::typical_018(1.0 / 200e6);
+        let slow = LocalPhaseGenerator::typical_018(1.0 / 20e6);
+        let lost_fast = fast.period_s / 2.0 - fast.settle_time_s();
+        let lost_slow = slow.period_s / 2.0 - slow.settle_time_s();
+        // Fixed gate delays: same absolute loss, bigger relative cost at
+        // speed — the high-rate cliff's root cause.
+        assert!((lost_fast - lost_slow).abs() < 1e-18);
+        assert!(lost_fast / fast.settle_time_s() > lost_slow / slow.settle_time_s());
+    }
+}

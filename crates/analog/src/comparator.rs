@@ -1,0 +1,201 @@
+//! Latched comparator model for the ADSC and the flash backend.
+//!
+//! The pipeline's sub-converters are built from dynamic latched comparators.
+//! The behaviorally relevant imperfections are:
+//!
+//! * **static offset** — a per-device random threshold shift drawn at
+//!   "fabrication" time. The 1.5-bit architecture tolerates offsets up to
+//!   ±V_REF/4 thanks to the half-bit redundancy, which is why the paper can
+//!   use small, low-power comparators;
+//! * **input-referred noise** — a fresh Gaussian error per decision;
+//! * **hysteresis** — a small dependence of the threshold on the previous
+//!   decision, typical of regenerative latches without reset;
+//! * **metastability** — inputs within a vanishing window of the threshold
+//!   resolve to an arbitrary value. Modelled as a window in which the
+//!   decision is taken from the noise stream.
+
+use crate::noise::NoiseSource;
+
+/// Statistical description of a comparator design.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ComparatorSpec {
+    /// One-sigma static offset in volts.
+    pub offset_sigma_v: f64,
+    /// RMS input-referred noise per decision, volts.
+    pub noise_rms_v: f64,
+    /// Hysteresis half-width in volts (threshold moves by ±this toward the
+    /// previous decision).
+    pub hysteresis_v: f64,
+    /// Metastability window half-width in volts.
+    pub metastable_window_v: f64,
+}
+
+impl ComparatorSpec {
+    /// A perfectly ideal comparator.
+    pub fn ideal() -> Self {
+        Self {
+            offset_sigma_v: 0.0,
+            noise_rms_v: 0.0,
+            hysteresis_v: 0.0,
+            metastable_window_v: 0.0,
+        }
+    }
+
+    /// A typical small dynamic latch in 0.18 µm: ~10 mV offset sigma,
+    /// ~0.5 mV noise, negligible hysteresis and metastability window.
+    pub fn dynamic_latch() -> Self {
+        Self {
+            offset_sigma_v: 10e-3,
+            noise_rms_v: 0.5e-3,
+            hysteresis_v: 0.1e-3,
+            metastable_window_v: 1e-9,
+        }
+    }
+
+    /// Fabricates one comparator instance, drawing its static offset.
+    pub fn fabricate(&self, threshold_v: f64, noise: &mut NoiseSource) -> Comparator {
+        Comparator {
+            threshold_v,
+            offset_v: noise.gaussian(0.0, self.offset_sigma_v),
+            spec: *self,
+            last_decision: false,
+        }
+    }
+}
+
+impl Default for ComparatorSpec {
+    fn default() -> Self {
+        Self::dynamic_latch()
+    }
+}
+
+/// A fabricated comparator with a concrete offset.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Comparator {
+    threshold_v: f64,
+    offset_v: f64,
+    spec: ComparatorSpec,
+    last_decision: bool,
+}
+
+impl Comparator {
+    /// An ideal comparator at the given threshold.
+    pub fn ideal(threshold_v: f64) -> Self {
+        ComparatorSpec::ideal().fabricate(threshold_v, &mut NoiseSource::from_seed(0))
+    }
+
+    /// The design threshold (without offset), volts.
+    pub fn threshold_v(&self) -> f64 {
+        self.threshold_v
+    }
+
+    /// The fabricated static offset, volts.
+    pub fn offset_v(&self) -> f64 {
+        self.offset_v
+    }
+
+    /// Overrides the static offset (used by fault-injection tests).
+    pub fn set_offset_v(&mut self, offset_v: f64) {
+        self.offset_v = offset_v;
+    }
+
+    /// Makes one clocked decision: is `input_v` above the (noisy, offset,
+    /// hysteretic) threshold?
+    pub fn decide(&mut self, input_v: f64, noise: &mut NoiseSource) -> bool {
+        let hysteresis = if self.last_decision {
+            -self.spec.hysteresis_v
+        } else {
+            self.spec.hysteresis_v
+        };
+        let effective_threshold = self.threshold_v + self.offset_v + hysteresis;
+        let overdrive = input_v - effective_threshold + noise.gaussian(0.0, self.spec.noise_rms_v);
+        let decision = if overdrive.abs() < self.spec.metastable_window_v {
+            // Inside the metastable window the latch resolves arbitrarily.
+            noise.uniform(0.0, 1.0) > 0.5
+        } else {
+            overdrive > 0.0
+        };
+        self.last_decision = decision;
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_comparator_is_exact() {
+        let mut c = Comparator::ideal(0.25);
+        let mut n = NoiseSource::from_seed(1);
+        assert!(c.decide(0.2501, &mut n));
+        assert!(!c.decide(0.2499, &mut n));
+    }
+
+    #[test]
+    fn offset_shifts_threshold() {
+        let mut c = Comparator::ideal(0.0);
+        c.set_offset_v(0.05);
+        let mut n = NoiseSource::from_seed(2);
+        assert!(!c.decide(0.04, &mut n));
+        assert!(c.decide(0.06, &mut n));
+    }
+
+    #[test]
+    fn offset_statistics_follow_spec() {
+        let spec = ComparatorSpec {
+            offset_sigma_v: 10e-3,
+            ..ComparatorSpec::ideal()
+        };
+        let mut n = NoiseSource::from_seed(3);
+        let count = 20_000;
+        let var: f64 = (0..count)
+            .map(|_| spec.fabricate(0.0, &mut n).offset_v().powi(2))
+            .sum::<f64>()
+            / count as f64;
+        assert!((var.sqrt() - 10e-3).abs() < 0.5e-3);
+    }
+
+    #[test]
+    fn noise_makes_marginal_decisions_random() {
+        let spec = ComparatorSpec {
+            noise_rms_v: 1e-3,
+            ..ComparatorSpec::ideal()
+        };
+        let mut n = NoiseSource::from_seed(4);
+        let mut c = spec.fabricate(0.0, &mut n);
+        let highs = (0..1000).filter(|_| c.decide(0.0, &mut n)).count();
+        // Exactly at threshold with noise: roughly half the decisions high.
+        assert!((300..700).contains(&highs), "highs {highs}");
+    }
+
+    #[test]
+    fn hysteresis_favors_previous_decision() {
+        let spec = ComparatorSpec {
+            hysteresis_v: 5e-3,
+            ..ComparatorSpec::ideal()
+        };
+        let mut n = NoiseSource::from_seed(5);
+        let mut c = spec.fabricate(0.0, &mut n);
+        // Drive high first; a small negative input then still reads high
+        // because the threshold moved down.
+        assert!(c.decide(0.1, &mut n));
+        assert!(c.decide(-0.003, &mut n));
+        // Drive low firmly; the same small input now reads low.
+        assert!(!c.decide(-0.1, &mut n));
+        assert!(!c.decide(0.003, &mut n));
+    }
+
+    #[test]
+    fn decisions_are_reproducible_for_same_seed() {
+        let spec = ComparatorSpec::dynamic_latch();
+        let run = |seed| {
+            let mut n = NoiseSource::from_seed(seed);
+            let mut c = spec.fabricate(0.1, &mut n);
+            (0..64)
+                .map(|i| c.decide((i as f64 / 64.0) - 0.5, &mut n))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

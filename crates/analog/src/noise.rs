@@ -1,0 +1,253 @@
+//! Seeded Gaussian noise generation for Monte-Carlo device spread and
+//! per-sample circuit noise.
+//!
+//! Everything stochastic in the simulator flows through [`NoiseSource`], a
+//! thin Box–Muller Gaussian sampler over a seeded [`rand::rngs::StdRng`].
+//! Two properties matter for a reproduction harness:
+//!
+//! 1. **Determinism** — the same seed produces the same die, the same noise
+//!    record, and therefore the same measured SNDR, which makes regression
+//!    tests against paper numbers meaningful.
+//! 2. **Independence** — independent sub-systems are given independent
+//!    sub-sources (see [`NoiseSource::fork`]) so that adding a noise term to
+//!    one block does not silently re-phase the noise of another.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic Gaussian/uniform noise source.
+///
+/// Construct one per simulation with [`NoiseSource::from_seed`] and hand
+/// independent children to sub-blocks with [`NoiseSource::fork`].
+///
+/// ```
+/// use adc_analog::noise::NoiseSource;
+/// let mut a = NoiseSource::from_seed(42);
+/// let mut b = NoiseSource::from_seed(42);
+/// assert_eq!(a.gaussian(0.0, 1.0).to_bits(), b.gaussian(0.0, 1.0).to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoiseSource {
+    rng: StdRng,
+    /// Cached second Box–Muller deviate.
+    spare: Option<f64>,
+}
+
+impl NoiseSource {
+    /// Creates a source from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Derives an independent child source.
+    ///
+    /// The child stream is a deterministic function of the parent state, but
+    /// statistically independent of subsequent draws from the parent.
+    pub fn fork(&mut self) -> Self {
+        Self::from_seed(self.rng.next_u64())
+    }
+
+    /// Draws a standard-normal deviate via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        let u1: f64 = loop {
+            let u = self.rng.gen::<f64>();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws a normal deviate with the given mean and standard deviation.
+    ///
+    /// A zero or negative `sigma` returns `mean` exactly, which lets callers
+    /// turn a noise mechanism off by setting its sigma to zero.
+    pub fn gaussian(&mut self, mean: f64, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            mean
+        } else {
+            mean + sigma * self.standard_normal()
+        }
+    }
+
+    /// Draws a uniform deviate in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform bounds out of order: [{lo}, {hi})");
+        if lo == hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..hi)
+        }
+    }
+
+    /// Draws a relative mismatch factor `1 + N(0, sigma_rel)`.
+    ///
+    /// This is the standard way device values (capacitors, mirror ratios)
+    /// deviate from nominal across a die.
+    pub fn mismatch_factor(&mut self, sigma_rel: f64) -> f64 {
+        1.0 + self.gaussian(0.0, sigma_rel)
+    }
+
+    /// Draws a raw 64-bit value (for deriving sub-seeds).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Sampling-clock aperture jitter.
+///
+/// The paper attributes the SNR roll-off above 100 MHz input frequency to
+/// clock jitter. The model is the textbook one: the sampling instant is
+/// perturbed by a Gaussian error `δt ~ N(0, σ_t)`; for a signal with slope
+/// `dV/dt` at the nominal instant the resulting voltage error is
+/// `dV/dt · δt`, giving `SNR_jitter = −20·log10(2π·f_in·σ_t)` for a full-scale
+/// sine.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ApertureJitter {
+    /// RMS aperture uncertainty in seconds.
+    pub sigma_s: f64,
+}
+
+impl ApertureJitter {
+    /// Creates a jitter model with the given RMS value in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_s` is negative.
+    pub fn new(sigma_s: f64) -> Self {
+        assert!(sigma_s >= 0.0, "jitter must be non-negative, got {sigma_s}");
+        Self { sigma_s }
+    }
+
+    /// A jitter-free clock.
+    pub fn none() -> Self {
+        Self { sigma_s: 0.0 }
+    }
+
+    /// Draws one sampling-instant error in seconds.
+    pub fn sample(&self, noise: &mut NoiseSource) -> f64 {
+        noise.gaussian(0.0, self.sigma_s)
+    }
+
+    /// The SNR limit (dB) this jitter imposes on a full-scale sine at
+    /// `f_in_hz`, per `SNR = −20·log10(2π·f·σ_t)`.
+    ///
+    /// Returns positive infinity for zero jitter or zero frequency.
+    pub fn snr_limit_db(&self, f_in_hz: f64) -> f64 {
+        let x = 2.0 * std::f64::consts::PI * f_in_hz * self.sigma_s;
+        if x <= 0.0 {
+            f64::INFINITY
+        } else {
+            -20.0 * x.log10()
+        }
+    }
+}
+
+impl Default for ApertureJitter {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = NoiseSource::from_seed(7);
+        let mut b = NoiseSource::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.standard_normal().to_bits(),
+                b.standard_normal().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseSource::from_seed(1);
+        let mut b = NoiseSource::from_seed(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut n = NoiseSource::from_seed(123);
+        let count = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..count {
+            let x = n.gaussian(3.0, 2.0);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / count as f64;
+        let var = sum2 / count as f64 - mean * mean;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn zero_sigma_returns_mean() {
+        let mut n = NoiseSource::from_seed(9);
+        assert_eq!(n.gaussian(1.5, 0.0), 1.5);
+        assert_eq!(n.gaussian(1.5, -1.0), 1.5);
+    }
+
+    #[test]
+    fn forked_children_are_independent_streams() {
+        let mut parent = NoiseSource::from_seed(55);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        // The children start from different derived seeds.
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut n = NoiseSource::from_seed(77);
+        for _ in 0..1000 {
+            let x = n.uniform(-0.25, 0.75);
+            assert!((-0.25..0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn jitter_snr_limit_matches_textbook() {
+        // 1 ps rms at 100 MHz: SNR = -20 log10(2π·1e8·1e-12) ≈ 64.0 dB
+        let j = ApertureJitter::new(1e-12);
+        let snr = j.snr_limit_db(100e6);
+        assert!((snr - 64.03).abs() < 0.05, "snr {snr}");
+    }
+
+    #[test]
+    fn zero_jitter_is_infinite_snr() {
+        assert_eq!(ApertureJitter::none().snr_limit_db(1e9), f64::INFINITY);
+    }
+
+    #[test]
+    fn jitter_sampling_statistics() {
+        let j = ApertureJitter::new(2e-12);
+        let mut n = NoiseSource::from_seed(3);
+        let count = 100_000;
+        let var: f64 = (0..count).map(|_| j.sample(&mut n).powi(2)).sum::<f64>() / count as f64;
+        assert!((var.sqrt() - 2e-12).abs() < 0.05e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Process corners and operating conditions.
+//!
+//! A pure-digital CMOS flow gives the analog designer no tightened device
+//! spec; the converter must work across corners. The corner model applies
+//! multiplicative shifts to the handful of quantities the behavioral models
+//! consume: switch on-resistance, transconductance per ampere, and
+//! capacitance. The SC bias generator's whole point (Eq. 1) is that the
+//! bias current *tracks* the capacitance corner, so `GBW = gm/(2πC)` with
+//! `gm ∝ I ∝ C` stays put — the corner tests in the `adc-pipeline` crate
+//! verify that cancellation end to end.
+
+/// Named process corners.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum ProcessCorner {
+    /// Typical NMOS / typical PMOS, nominal capacitance.
+    #[default]
+    Typical,
+    /// Fast transistors, capacitors at the low end of their spread.
+    Fast,
+    /// Slow transistors, capacitors at the high end of their spread.
+    Slow,
+}
+
+impl ProcessCorner {
+    /// Multiplier on switch on-resistance.
+    pub fn r_on_factor(&self) -> f64 {
+        match self {
+            ProcessCorner::Typical => 1.0,
+            ProcessCorner::Fast => 0.8,
+            ProcessCorner::Slow => 1.3,
+        }
+    }
+
+    /// Multiplier on transconductance at a fixed bias current
+    /// (mobility/V_T shift folded into an effective 1/V_ov change).
+    pub fn gm_factor(&self) -> f64 {
+        match self {
+            ProcessCorner::Typical => 1.0,
+            ProcessCorner::Fast => 1.15,
+            ProcessCorner::Slow => 0.85,
+        }
+    }
+
+    /// Multiplier on absolute capacitance (metal-finger caps in a digital
+    /// process spread by ±15 % or so; the corners bound that).
+    pub fn cap_factor(&self) -> f64 {
+        match self {
+            ProcessCorner::Typical => 1.0,
+            ProcessCorner::Fast => 0.85,
+            ProcessCorner::Slow => 1.15,
+        }
+    }
+
+    /// All corners, for sweep harnesses.
+    pub fn all() -> [ProcessCorner; 3] {
+        [
+            ProcessCorner::Typical,
+            ProcessCorner::Fast,
+            ProcessCorner::Slow,
+        ]
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProcessCorner::Typical => "TT",
+            ProcessCorner::Fast => "FF",
+            ProcessCorner::Slow => "SS",
+        }
+    }
+}
+
+/// Environmental operating point: temperature and supply.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OperatingConditions {
+    /// Die temperature, °C.
+    pub temp_c: f64,
+    /// Supply voltage, volts.
+    pub vdd_v: f64,
+    /// Process corner.
+    pub corner: ProcessCorner,
+}
+
+impl OperatingConditions {
+    /// Nominal conditions for the paper's design: 27 °C, 1.8 V, typical.
+    pub fn nominal() -> Self {
+        Self {
+            temp_c: 27.0,
+            vdd_v: 1.8,
+            corner: ProcessCorner::Typical,
+        }
+    }
+
+    /// Creates conditions at a given corner, nominal temperature/supply.
+    pub fn at_corner(corner: ProcessCorner) -> Self {
+        Self {
+            corner,
+            ..Self::nominal()
+        }
+    }
+}
+
+impl Default for OperatingConditions {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_corner_is_unity() {
+        let c = ProcessCorner::Typical;
+        assert_eq!(c.r_on_factor(), 1.0);
+        assert_eq!(c.gm_factor(), 1.0);
+        assert_eq!(c.cap_factor(), 1.0);
+    }
+
+    #[test]
+    fn slow_corner_is_pessimistic_everywhere() {
+        let s = ProcessCorner::Slow;
+        assert!(s.r_on_factor() > 1.0);
+        assert!(s.gm_factor() < 1.0);
+        assert!(s.cap_factor() > 1.0);
+    }
+
+    #[test]
+    fn fast_corner_is_optimistic_everywhere() {
+        let f = ProcessCorner::Fast;
+        assert!(f.r_on_factor() < 1.0);
+        assert!(f.gm_factor() > 1.0);
+        assert!(f.cap_factor() < 1.0);
+    }
+
+    #[test]
+    fn all_lists_three_distinct_corners() {
+        let all = ProcessCorner::all();
+        assert_eq!(all.len(), 3);
+        let labels: std::collections::HashSet<_> = all.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn nominal_conditions_match_paper() {
+        let c = OperatingConditions::nominal();
+        assert_eq!(c.vdd_v, 1.8);
+        assert_eq!(c.corner, ProcessCorner::Typical);
+    }
+}

@@ -1,0 +1,311 @@
+//! Switched-capacitor circuit primitives.
+//!
+//! The paper's bias generator hinges on the classic SC identity: a
+//! capacitor `C` toggled between two nodes at frequency `f` moves charge
+//! `C·ΔV` every cycle, i.e. behaves as a resistor `R_eq = 1/(C·f)`. This
+//! module provides that identity plus a *discrete-time simulation* of the
+//! charge transfer, so the equivalence (and its settling transient) can be
+//! verified rather than assumed — the dynamic layer beneath
+//! `adc_bias::ScBiasGenerator`'s static Eq. 1.
+
+/// The equivalent resistance of a switched capacitor, ohms.
+///
+/// # Panics
+///
+/// Panics unless both arguments are positive.
+///
+/// ```
+/// use adc_analog::sc::equivalent_resistance;
+/// // 1 pF at 110 MHz looks like ~9.09 kΩ.
+/// let r = equivalent_resistance(1e-12, 110e6);
+/// assert!((r - 9090.9).abs() < 1.0);
+/// ```
+pub fn equivalent_resistance(c_f: f64, f_switch_hz: f64) -> f64 {
+    assert!(c_f > 0.0, "capacitance must be positive");
+    assert!(f_switch_hz > 0.0, "switching frequency must be positive");
+    1.0 / (c_f * f_switch_hz)
+}
+
+/// A switched-capacitor branch between a driven node and ground,
+/// simulated cycle by cycle.
+///
+/// Phase 1: the capacitor charges to the node voltage (through a switch
+/// resistance, possibly incompletely). Phase 2: it dumps its charge to
+/// ground. The average current drawn from the node over many cycles
+/// equals `V/R_eq`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SwitchedCapBranch {
+    /// The toggled capacitor, farads.
+    pub c_f: f64,
+    /// Switching frequency, hertz.
+    pub f_switch_hz: f64,
+    /// Switch on-resistance, ohms (sets per-phase settling).
+    pub switch_r_ohm: f64,
+    /// Capacitor voltage at the end of the last phase 1.
+    v_cap: f64,
+}
+
+impl SwitchedCapBranch {
+    /// Creates a branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacitance or frequency is not positive, or the switch
+    /// resistance is negative.
+    pub fn new(c_f: f64, f_switch_hz: f64, switch_r_ohm: f64) -> Self {
+        assert!(
+            c_f > 0.0 && f_switch_hz > 0.0,
+            "capacitance and frequency must be positive"
+        );
+        assert!(switch_r_ohm >= 0.0, "switch resistance must be non-negative");
+        Self {
+            c_f,
+            f_switch_hz,
+            switch_r_ohm,
+            v_cap: 0.0,
+        }
+    }
+
+    /// The ideal equivalent resistance of this branch.
+    pub fn r_eq_ohm(&self) -> f64 {
+        equivalent_resistance(self.c_f, self.f_switch_hz)
+    }
+
+    /// Simulates one full switching cycle with the driven node at
+    /// `v_node`; returns the charge drawn from the node this cycle.
+    pub fn cycle(&mut self, v_node: f64) -> f64 {
+        // Phase 1 (half period): charge toward v_node through the switch.
+        let t_phase = 0.5 / self.f_switch_hz;
+        let tau = self.switch_r_ohm * self.c_f;
+        let settle = if tau > 0.0 {
+            1.0 - (-t_phase / tau).exp()
+        } else {
+            1.0
+        };
+        let v_new = self.v_cap + (v_node - self.v_cap) * settle;
+        let dq = self.c_f * (v_new - self.v_cap);
+        // Phase 2: dump to ground (same incompleteness).
+        self.v_cap = v_new * (1.0 - settle);
+        dq
+    }
+
+    /// Average current drawn with the node held at `v_node`, measured
+    /// over `cycles` simulated cycles (after the branch reaches steady
+    /// state).
+    pub fn average_current_a(&mut self, v_node: f64, cycles: usize) -> f64 {
+        assert!(cycles > 0, "need at least one cycle");
+        // Let the branch reach steady state first.
+        for _ in 0..16 {
+            let _ = self.cycle(v_node);
+        }
+        let mut q = 0.0;
+        for _ in 0..cycles {
+            q += self.cycle(v_node);
+        }
+        q * self.f_switch_hz / cycles as f64
+    }
+}
+
+/// The paper's Fig. 3 bias loop, simulated in discrete time: an OTA in
+/// unity gain forces node `BIAS` toward `V_BIAS` while the SC branch
+/// loads it; the output device's current follows. Captures the *startup
+/// transient* the static Eq. 1 hides — relevant when an SoC gates the
+/// ADC's clock on and off to save power — and the OTA's finite-gm static
+/// error (`I_branch/gm`, the `loop_error_rel` of
+/// `adc_bias::ScBiasGenerator`).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScBiasLoop {
+    /// The SC branch (C_B and its clocking).
+    pub branch: SwitchedCapBranch,
+    /// Target voltage V_BIAS, volts.
+    pub v_bias_v: f64,
+    /// OTA transconductance, siemens (sets the loop time constant and the
+    /// static error `I_branch/gm`).
+    pub ota_gm_s: f64,
+    /// Maximum OTA output current, amperes (slew-limits startup).
+    pub ota_i_max_a: f64,
+    /// Decoupling capacitance on the BIAS node, farads.
+    pub c_node_f: f64,
+    /// Present BIAS-node voltage.
+    v_node: f64,
+}
+
+impl ScBiasLoop {
+    /// Creates the loop with the node starting at 0 V (power-up).
+    pub fn new(
+        branch: SwitchedCapBranch,
+        v_bias_v: f64,
+        ota_gm_s: f64,
+        ota_i_max_a: f64,
+        c_node_f: f64,
+    ) -> Self {
+        assert!(
+            v_bias_v > 0.0 && ota_gm_s > 0.0 && ota_i_max_a > 0.0 && c_node_f > 0.0,
+            "loop parameters must be positive"
+        );
+        Self {
+            branch,
+            v_bias_v,
+            ota_gm_s,
+            ota_i_max_a,
+            c_node_f,
+            v_node: 0.0,
+        }
+    }
+
+    /// The BIAS-node voltage now.
+    pub fn v_node(&self) -> f64 {
+        self.v_node
+    }
+
+    /// Average small-signal conductance of the SC branch, siemens.
+    fn branch_conductance_s(&self) -> f64 {
+        self.branch.c_f * self.branch.f_switch_hz
+    }
+
+    /// The output current now (what the mirrors replicate): the charge
+    /// per cycle the SC branch draws at the present node voltage, times
+    /// frequency.
+    pub fn output_current_a(&self) -> f64 {
+        self.v_node * self.branch_conductance_s()
+    }
+
+    /// Advances one switching cycle; returns the output current after
+    /// the cycle.
+    ///
+    /// Inside the OTA's linear region the node follows the exact
+    /// first-order solution (the cycle time can far exceed the loop time
+    /// constant, where naive forward Euler would explode); when the
+    /// demanded OTA current exceeds `ota_i_max_a` the node slews.
+    pub fn step(&mut self) -> f64 {
+        let dt = 1.0 / self.branch.f_switch_hz;
+        let g_branch = self.branch_conductance_s();
+        let demanded = self.ota_gm_s * (self.v_bias_v - self.v_node);
+        if demanded.abs() > self.ota_i_max_a {
+            // Slew-limited: constant OTA current against the branch load.
+            let i_net = self.ota_i_max_a * demanded.signum() - g_branch * self.v_node;
+            self.v_node += i_net * dt / self.c_node_f;
+        } else {
+            // Linear region: exact exponential step of
+            //   C dv/dt = gm(vb − v) − g_branch·v.
+            let g_total = self.ota_gm_s + g_branch;
+            let v_inf = self.ota_gm_s * self.v_bias_v / g_total;
+            let tau = self.c_node_f / g_total;
+            self.v_node = v_inf + (self.v_node - v_inf) * (-dt / tau).exp();
+        }
+        // Keep the discrete branch state consistent for callers mixing
+        // cycle() and step().
+        let _ = self.branch.cycle(self.v_node);
+        self.output_current_a()
+    }
+
+    /// Runs until the output current is within `tolerance_rel` of its
+    /// final value; returns the number of cycles taken (startup time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if convergence takes more than a million cycles (a
+    /// mis-designed loop).
+    pub fn settle(&mut self, tolerance_rel: f64) -> usize {
+        let target = self.v_bias_v * self.branch.c_f * self.branch.f_switch_hz;
+        for cycle in 0..1_000_000 {
+            let i = self.step();
+            if ((i - target) / target).abs() < tolerance_rel {
+                return cycle + 1;
+            }
+        }
+        panic!("bias loop failed to settle — check gm/C sizing");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_resistance_identity() {
+        assert!((equivalent_resistance(1e-12, 1e6) - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simulated_branch_matches_ideal_r_eq() {
+        // Fast switches: the simulated average current equals V/R_eq.
+        let mut branch = SwitchedCapBranch::new(1e-12, 110e6, 50.0);
+        let v = 0.9;
+        let i = branch.average_current_a(v, 1000);
+        let ideal = v / branch.r_eq_ohm();
+        assert!((i - ideal).abs() / ideal < 1e-3, "i {i} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn slow_switches_reduce_transferred_charge() {
+        // R·C comparable to the phase: incomplete transfer, less current.
+        let mut fast = SwitchedCapBranch::new(1e-12, 110e6, 50.0);
+        let mut slow = SwitchedCapBranch::new(1e-12, 110e6, 20e3);
+        let i_fast = fast.average_current_a(0.9, 500);
+        let i_slow = slow.average_current_a(0.9, 500);
+        assert!(i_slow < 0.9 * i_fast, "fast {i_fast}, slow {i_slow}");
+    }
+
+    fn paper_loop(c_node_f: f64, f_hz: f64) -> ScBiasLoop {
+        let branch = SwitchedCapBranch::new(1e-12, f_hz, 50.0);
+        ScBiasLoop::new(branch, 0.9, 50e-3, 300e-6, c_node_f)
+    }
+
+    #[test]
+    fn bias_loop_converges_to_eq1() {
+        let mut bias = paper_loop(20e-12, 110e6);
+        let cycles = bias.settle(5e-3);
+        // Converges, and to the Eq. 1 current: C_B·f·V_BIAS = 99 µA,
+        // within the OTA's static error I/gm.
+        let i = bias.output_current_a();
+        assert!((i - 99e-6).abs() / 99e-6 < 5e-3, "i {i}");
+        assert!(cycles > 1, "instant settling is suspicious: {cycles}");
+    }
+
+    #[test]
+    fn startup_time_scales_with_node_capacitance() {
+        let make = |c_node: f64| {
+            let mut b = paper_loop(c_node, 110e6);
+            b.settle(5e-3)
+        };
+        let quick = make(5e-12);
+        let slow = make(50e-12);
+        assert!(slow > 2 * quick, "quick {quick}, slow {slow}");
+    }
+
+    #[test]
+    fn loop_output_scales_with_clock_like_eq1() {
+        let run = |f: f64| {
+            let mut b = paper_loop(20e-12, f);
+            b.settle(5e-3);
+            // Extra cycles to converge fully before the reading.
+            for _ in 0..64 {
+                b.step();
+            }
+            b.output_current_a()
+        };
+        let i55 = run(55e6);
+        let i110 = run(110e6);
+        assert!((i110 / i55 - 2.0).abs() < 0.01, "ratio {}", i110 / i55);
+    }
+
+    #[test]
+    fn static_error_shrinks_with_ota_gm() {
+        let run = |gm: f64| {
+            let branch = SwitchedCapBranch::new(1e-12, 110e6, 50.0);
+            let mut b = ScBiasLoop::new(branch, 0.9, gm, 300e-6, 20e-12);
+            for _ in 0..2000 {
+                b.step();
+            }
+            (b.output_current_a() - 99e-6).abs() / 99e-6
+        };
+        assert!(run(0.2) < run(0.02) / 5.0, "higher gm must cut the error");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn branch_rejects_bad_capacitance() {
+        let _ = SwitchedCapBranch::new(0.0, 1e6, 10.0);
+    }
+}

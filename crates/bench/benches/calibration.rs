@@ -1,0 +1,18 @@
+//! Criterion benches for foreground calibration: the training-solve cost
+//! an on-chip engine (or production test) pays.
+
+use adc_pipeline::calibration::{calibrate_foreground, training_levels};
+use adc_pipeline::config::AdcConfig;
+use adc_pipeline::converter::PipelineAdc;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_calibration(c: &mut Criterion) {
+    c.bench_function("calibrate_256_levels", |b| {
+        let mut adc = PipelineAdc::build(AdcConfig::nominal_110ms(), 7).expect("builds");
+        let levels = training_levels(256, 1.0);
+        b.iter(|| calibrate_foreground(&mut adc, &levels, 1).expect("calibrates"));
+    });
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

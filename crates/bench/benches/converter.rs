@@ -1,0 +1,38 @@
+//! Criterion benches for the behavioral converter: conversion throughput
+//! (samples/second of simulated ADC) and die fabrication cost.
+
+use adc_pipeline::config::AdcConfig;
+use adc_pipeline::converter::PipelineAdc;
+use adc_testbench::signal::SineSource;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convert_waveform");
+    for (label, config) in [
+        ("ideal", AdcConfig::ideal(110e6)),
+        ("nominal", AdcConfig::nominal_110ms()),
+    ] {
+        let n = 4096usize;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            let mut adc = PipelineAdc::build(cfg.clone(), 7).expect("config builds");
+            let tone = SineSource::clean(0.999, 10.07e6);
+            b.iter(|| adc.convert_waveform(&tone, n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fabrication(c: &mut Criterion) {
+    c.bench_function("build_nominal_die", |b| {
+        let cfg = AdcConfig::nominal_110ms();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            PipelineAdc::build(cfg.clone(), seed).expect("config builds")
+        });
+    });
+}
+
+criterion_group!(benches, bench_conversion, bench_fabrication);
+criterion_main!(benches);

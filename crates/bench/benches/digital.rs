@@ -1,0 +1,29 @@
+//! Criterion benches for the cycle-accurate digital back-end.
+
+use adc_digital::backend::{CycleWords, DigitalBackend};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_backend_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digital_backend");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("clock_10_stage", |b| {
+        let mut backend = DigitalBackend::new(10);
+        let words = CycleWords {
+            stage_words: vec![1, 2, 0, 1, 2, 1, 0, 2, 1, 1],
+            flash_word: 2,
+        };
+        b.iter(|| backend.clock(&words));
+    });
+    group.finish();
+}
+
+fn bench_correction_sum(c: &mut Criterion) {
+    use adc_digital::adder::correction_sum;
+    c.bench_function("ripple_correction_sum", |b| {
+        let words = [1u8, 2, 0, 1, 2, 1, 0, 2, 1, 1];
+        b.iter(|| correction_sum(&words, 3));
+    });
+}
+
+criterion_group!(benches, bench_backend_clock, bench_correction_sum);
+criterion_main!(benches);

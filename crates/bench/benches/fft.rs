@@ -1,0 +1,39 @@
+//! Criterion benches for the from-scratch radix-2 FFT: throughput across
+//! the record sizes the measurement bench uses.
+
+use adc_spectral::complex::Complex64;
+use adc_spectral::fft::{fft_in_place, power_spectrum_one_sided};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_in_place");
+    for &n in &[1024usize, 8192, 65536] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let data: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), 0.0))
+                .collect();
+            b.iter(|| {
+                let mut work = data.clone();
+                fft_in_place(&mut work).expect("power-of-two length");
+                work[1]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_power_spectrum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_spectrum");
+    for &n in &[8192usize, 65536] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+            b.iter(|| power_spectrum_one_sided(&signal).expect("power-of-two length"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_power_spectrum);
+criterion_main!(benches);

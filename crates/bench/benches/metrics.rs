@@ -1,0 +1,42 @@
+//! Criterion benches for the metrology layer: single-tone analysis and
+//! the sine-histogram linearity test.
+
+use adc_spectral::linearity::sine_histogram;
+use adc_spectral::metrics::{analyze_tone, ToneAnalysisConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_analyze_tone(c: &mut Criterion) {
+    let n = 8192;
+    let signal: Vec<f64> = (0..n)
+        .map(|i| {
+            (2.0 * std::f64::consts::PI * 745.0 * i as f64 / n as f64).sin()
+                + 1e-4 * (2.0 * std::f64::consts::PI * 2235.0 * i as f64 / n as f64).sin()
+        })
+        .collect();
+    let cfg = ToneAnalysisConfig::coherent();
+    let mut group = c.benchmark_group("analyze_tone");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("8192pt", |b| {
+        b.iter(|| analyze_tone(&signal, &cfg).expect("valid record"))
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let n = 1 << 18;
+    let codes: Vec<u32> = (0..n)
+        .map(|i| {
+            let v = 1.02 * (0.317_233_091 * i as f64).sin();
+            (((v + 1.0) / 2.0 * 4096.0).floor() as i64).clamp(0, 4095) as u32
+        })
+        .collect();
+    let mut group = c.benchmark_group("sine_histogram");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("262144x12b", |b| {
+        b.iter(|| sine_histogram(&codes, 4096).expect("overdriven record"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyze_tone, bench_histogram);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benches for the bias/power subsystem: Eq. 1 evaluation and
+//! full Fig. 4 sweeps.
+
+use adc_testbench::sweep::SweepRunner;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_power_sweep(c: &mut Criterion) {
+    let rates: Vec<f64> = (1..=26).map(|i| i as f64 * 5e6).collect();
+    c.bench_function("fig4_power_sweep_26pts", |b| {
+        let runner = SweepRunner::nominal();
+        b.iter(|| runner.power_sweep(&rates).expect("all rates build"));
+    });
+}
+
+fn bench_eq1(c: &mut Criterion) {
+    use adc_analog::capacitor::Capacitor;
+    use adc_bias::generator::{BiasGenerator, ScBiasGenerator};
+    let gen = ScBiasGenerator::new(Capacitor::ideal(1e-12), 0.9);
+    c.bench_function("eq1_master_current", |b| {
+        let mut f = 1e6;
+        b.iter(|| {
+            f += 1.0;
+            gen.master_current_a(f)
+        });
+    });
+}
+
+criterion_group!(benches, bench_power_sweep, bench_eq1);
+criterion_main!(benches);

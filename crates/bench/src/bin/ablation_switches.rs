@@ -1,0 +1,59 @@
+//! Ablation D: input switch topology versus high-frequency linearity
+//! (the paper's §4 discussion of Fig. 6).
+//!
+//! The paper attributes the SFDR fall-off above ~40 MHz to the
+//! unbootstrapped input transmission gates and notes bootstrapping "can
+//! solve" it but was rejected for lifetime reasons. This experiment runs
+//! the Fig. 6 frequency sweep for each switch topology.
+
+use adc_analog::switch::SwitchTopology;
+use adc_pipeline::config::AdcConfig;
+use adc_testbench::report::{db_cell, mhz_cell, TextTable};
+use adc_testbench::sweep::SweepRunner;
+
+fn main() {
+    adc_bench::banner(
+        "Ablation D -- input switch topology vs SFDR(f_in)",
+        "paper section 4: TG distortion limits high-frequency SFDR; bootstrap would fix it",
+    );
+
+    let topologies = [
+        SwitchTopology::TransmissionGate { bulk_switched: true },
+        SwitchTopology::TransmissionGate { bulk_switched: false },
+        SwitchTopology::Bootstrapped,
+    ];
+    let fins: Vec<f64> = [5.0, 10.0, 20.0, 40.0, 60.0, 100.0, 150.0]
+        .iter()
+        .map(|m| m * 1e6)
+        .collect();
+
+    let mut sweeps = Vec::new();
+    for &topology in &topologies {
+        let runner = SweepRunner {
+            config: AdcConfig {
+                input_switch: topology,
+                ..AdcConfig::nominal_110ms()
+            },
+            ..SweepRunner::nominal()
+        };
+        sweeps.push(runner.frequency_sweep(&fins).expect("sweep runs"));
+    }
+
+    let mut table = TextTable::new([
+        "fin (MHz)",
+        "TG bulk-sw SFDR",
+        "TG conventional SFDR",
+        "bootstrapped SFDR",
+    ]);
+    for (i, &fin) in fins.iter().enumerate() {
+        table.push_row([
+            mhz_cell(fin),
+            db_cell(sweeps[0][i].sfdr_db),
+            db_cell(sweeps[1][i].sfdr_db),
+            db_cell(sweeps[2][i].sfdr_db),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!("expected ordering at high fin: bootstrapped > bulk-switched TG >");
+    println!("conventional TG — the paper's design point is the middle column.");
+}

@@ -1,0 +1,36 @@
+//! Regenerates Fig. 4: power dissipation versus conversion rate.
+//!
+//! The paper's anchors: 97 mW at 110 MS/s and 110 mW at 130 MS/s, with
+//! power linear in rate (the SC bias generator's Eq. 1 at work).
+
+use adc_testbench::report::{mhz_cell, mw_cell, TextTable};
+use adc_testbench::sweep::SweepRunner;
+
+fn main() {
+    adc_bench::banner(
+        "Fig. 4 -- power dissipation vs conversion rate",
+        "fin = 10 MHz, 2 Vp-p; paper anchors 97 mW @ 110 MS/s, 110 mW @ 130 MS/s",
+    );
+
+    let runner = SweepRunner::nominal();
+    let rates: Vec<f64> = (1..=13).map(|i| i as f64 * 10e6).collect();
+    let readings = runner.power_sweep(&rates).expect("all rates build");
+
+    let mut table = TextTable::new(["rate (MS/s)", "scaled (mW)", "fixed (mW)", "total (mW)"]);
+    for r in &readings {
+        table.push_row([
+            mhz_cell(r.f_cr_hz),
+            mw_cell(r.scaled_w),
+            mw_cell(r.fixed_w),
+            mw_cell(r.total_w),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    let p110 = readings.iter().find(|r| r.f_cr_hz == 110e6).expect("110 MS/s in sweep");
+    let p130 = readings.iter().find(|r| r.f_cr_hz == 130e6).expect("130 MS/s in sweep");
+    println!("anchor check: {:.1} mW @ 110 MS/s (paper 97), {:.1} mW @ 130 MS/s (paper 110)",
+        p110.total_w * 1e3, p130.total_w * 1e3);
+    let slope = (p130.total_w - p110.total_w) / 20e6 * 1e9;
+    println!("slope: {slope:.3} mW per MS/s (paper ~0.65)");
+}

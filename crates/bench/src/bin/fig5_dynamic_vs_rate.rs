@@ -1,0 +1,54 @@
+//! Regenerates Fig. 5: SFDR, SNR and SNDR versus conversion rate at
+//! f_in = 10 MHz, 2 V_P-P.
+//!
+//! Paper claims: SNDR > 64 dB from 20 to 120 MS/s, > 62 dB to 140 MS/s,
+//! SFDR > 69 dB from 5 to 140 MS/s, collapsing beyond — the flat band is
+//! the SC bias generator scaling the opamp operating points with rate.
+
+use adc_testbench::report::{db_cell, mhz_cell, TextTable};
+use adc_testbench::sweep::SweepRunner;
+
+fn main() {
+    adc_bench::banner(
+        "Fig. 5 -- SFDR, SNR, SNDR vs conversion rate",
+        "fin = 10 MHz, 2 Vp-p, 8192-pt coherent FFT",
+    );
+
+    let runner = SweepRunner::nominal();
+    let rates: Vec<f64> = [
+        5.0, 10.0, 20.0, 30.0, 40.0, 60.0, 80.0, 100.0, 110.0, 120.0, 130.0, 140.0, 150.0,
+        160.0, 180.0, 200.0,
+    ]
+    .iter()
+    .map(|m| m * 1e6)
+    .collect();
+    let points = runner.rate_sweep(&rates, 10e6).expect("all rates build");
+
+    let mut table = TextTable::new(["rate (MS/s)", "SFDR (dB)", "SNR (dB)", "SNDR (dB)", "ENOB"]);
+    for p in &points {
+        table.push_row([
+            mhz_cell(p.x_hz),
+            db_cell(p.sfdr_db),
+            db_cell(p.snr_db),
+            db_cell(p.sndr_db),
+            format!("{:.2}", p.enob),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    let in_band = |lo: f64, hi: f64| {
+        points
+            .iter()
+            .filter(|p| p.x_hz >= lo && p.x_hz <= hi)
+            .map(|p| p.sndr_db)
+            .fold(f64::INFINITY, f64::min)
+    };
+    println!("min SNDR 20-120 MS/s: {:.1} dB (paper: > 64)", in_band(20e6, 120e6));
+    println!("min SNDR 20-140 MS/s: {:.1} dB (paper: > 62)", in_band(20e6, 140e6));
+    let min_sfdr = points
+        .iter()
+        .filter(|p| p.x_hz >= 5e6 && p.x_hz <= 140e6)
+        .map(|p| p.sfdr_db)
+        .fold(f64::INFINITY, f64::min);
+    println!("min SFDR 5-140 MS/s:  {min_sfdr:.1} dB (paper: > 69)");
+}

@@ -1,0 +1,44 @@
+//! Regenerates Fig. 8: the Eq. 2 figure of merit versus 1/area for the
+//! fifteen-converter 12-bit survey, grouped by supply voltage.
+//!
+//! Paper claims: "this design has the highest FM and the 2nd lowest area
+//! consumption", and is the 2nd published 12b ADC at 1.8 V.
+
+use adc_testbench::report::TextTable;
+use adc_testbench::survey::fig8_survey;
+
+fn main() {
+    adc_bench::banner(
+        "Fig. 8 -- Figure of Merit (Eq. 2) vs 1/A for 12b ADCs",
+        "FM = 2^ENOB * f_CR / (A * P_SUP); f_CR in MS/s, A in mm^2, P in mW",
+    );
+
+    let mut survey = fig8_survey();
+    survey.sort_by(|a, b| b.figure_of_merit().total_cmp(&a.figure_of_merit()));
+
+    let mut table = TextTable::new([
+        "rank", "converter", "supply", "ENOB", "MS/s", "area mm^2", "mW", "1/A", "FM",
+    ]);
+    for (i, e) in survey.iter().enumerate() {
+        table.push_row([
+            format!("{}", i + 1),
+            e.name.clone(),
+            e.supply_group().to_string(),
+            format!("{:.1}", e.enob),
+            format!("{:.0}", e.f_cr_msps),
+            format!("{:.2}", e.area_mm2),
+            format!("{:.0}", e.power_mw),
+            format!("{:.2}", e.inverse_area()),
+            format!("{:.0}", e.figure_of_merit()),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    let this = survey.iter().position(|e| e.name == "This design").expect("present");
+    println!("'This design' FM rank: {} of {} (paper: highest)", this + 1, survey.len());
+    let smaller = survey
+        .iter()
+        .filter(|e| e.area_mm2 < 0.86)
+        .count();
+    println!("parts smaller than 0.86 mm^2: {smaller} (paper: 2nd lowest area)");
+}

@@ -1,0 +1,56 @@
+//! Extension experiment: Monte-Carlo yield of the design across process
+//! spread — the analysis behind shipping the paper's converter as an IP
+//! block.
+
+use adc_pipeline::config::AdcConfig;
+use adc_testbench::montecarlo::{run_monte_carlo, YieldSpec};
+use adc_testbench::report::TextTable;
+
+fn main() {
+    adc_bench::banner(
+        "Extension -- Monte-Carlo yield across 32 dies",
+        "process spread of Table I metrics; spec: SNDR>=62dB, SFDR>=65dB, P<=115mW",
+    );
+
+    let mc = run_monte_carlo(&AdcConfig::nominal_110ms(), 32, 10e6, 4096)
+        .expect("campaign runs");
+
+    let mut table = TextTable::new(["metric", "min", "mean", "max", "sigma"]);
+    let fmt = |v: f64| format!("{v:.2}");
+    for (name, s) in [
+        ("SNR (dB)", mc.snr),
+        ("SNDR (dB)", mc.sndr),
+        ("SFDR (dB)", mc.sfdr),
+        ("ENOB (bit)", mc.enob),
+    ] {
+        table.push_row([
+            name.to_string(),
+            fmt(s.min),
+            fmt(s.mean),
+            fmt(s.max),
+            fmt(s.sigma),
+        ]);
+    }
+    table.push_row([
+        "power (mW)".to_string(),
+        fmt(mc.power.min * 1e3),
+        fmt(mc.power.mean * 1e3),
+        fmt(mc.power.max * 1e3),
+        fmt(mc.power.sigma * 1e3),
+    ]);
+    println!("\n{}", table.render());
+
+    let spec = YieldSpec::paper_with_margin();
+    println!("yield vs margin spec: {:.0}%", mc.yield_against(&spec) * 100.0);
+    for die in mc.failures(&spec) {
+        println!(
+            "  fail: seed {} (SNDR {:.1}, SFDR {:.1}, {:.1} mW)",
+            die.seed,
+            die.sndr_db,
+            die.sfdr_db,
+            die.power_w * 1e3
+        );
+    }
+    println!("\nnote the power spread: it follows the absolute metal-capacitor");
+    println!("spread through Eq. 1 — the price of the corner-tracking bias.");
+}

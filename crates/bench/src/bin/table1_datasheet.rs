@@ -1,0 +1,35 @@
+//! Regenerates the paper's Table I: the full datasheet of the nominal
+//! 110 MS/s design, measured on the golden die.
+
+use adc_testbench::datasheet::Datasheet;
+use adc_testbench::session::MeasurementSession;
+
+fn main() {
+    adc_bench::banner(
+        "Table I -- key data for the 12b pipeline ADC",
+        "Andersen et al., DATE 2004, Table I",
+    );
+
+    let mut session = MeasurementSession::nominal().expect("nominal config builds");
+    let sheet =
+        Datasheet::measure(&mut session, 10e6, 1 << 20).expect("datasheet measurement runs");
+
+    println!("\n--- measured (this reproduction) ---");
+    println!("{sheet}");
+    println!("\nFigure of Merit (Eq. 2)   {:.0}", sheet.figure_of_merit());
+
+    println!("\n--- published (paper Table I) ---");
+    println!("Technology                0.18 um digital CMOS");
+    println!("Nominal supply voltage    1.8 V");
+    println!("Resolution                12 bit");
+    println!("Full Scale analog input   2 Vp-p");
+    println!("Area                      0.86 mm^2");
+    println!("Conversion rate           110 MS/s");
+    println!("Analog Power Consumption  97 mW");
+    println!("DNL                       -1.2/+1.2 LSB");
+    println!("INL                       -1.5/+1.0 LSB");
+    println!("SNR  (fin=10MHz)          67.1 dB");
+    println!("SNDR (fin=10MHz)          64.2 dB");
+    println!("SFDR (fin=10MHz)          69.4 dB");
+    println!("ENOB (fin=10MHz)          10.4 bit");
+}

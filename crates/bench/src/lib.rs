@@ -1,0 +1,31 @@
+//! # adc-bench
+//!
+//! Benchmark harness of the reproduction: one binary per table/figure of
+//! the paper plus one per ablation, and Criterion benches for the
+//! simulator itself.
+//!
+//! Regeneration targets (all print the paper's series next to the
+//! measured ones):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1_datasheet` | Table I |
+//! | `fig4_power` | Fig. 4 (power vs conversion rate) |
+//! | `fig5_dynamic_vs_rate` | Fig. 5 (SNR/SNDR/SFDR vs conversion rate) |
+//! | `fig6_dynamic_vs_fin` | Fig. 6 (SNR/SNDR/SFDR vs input frequency) |
+//! | `fig8_fom_survey` | Fig. 8 (Eq. 2 FoM vs 1/area survey) |
+//! | `ablation_bias` | §3 claim: SC bias vs conventional fixed bias |
+//! | `ablation_clocking` | §3 claim: local clocks vs non-overlap |
+//! | `ablation_scaling` | §2 claim: stage scaling vs unscaled |
+//! | `ablation_switches` | §4 discussion: switch topology vs SFDR(f_in) |
+//!
+//! Run one with `cargo run -p adc-bench --release --bin <target>`.
+
+/// Prints the standard banner for a regeneration binary.
+pub fn banner(experiment: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{experiment}");
+    println!("reproduces: {paper_ref}");
+    println!("die: golden seed {}", adc_testbench::GOLDEN_SEED);
+    println!("================================================================");
+}

@@ -1,0 +1,275 @@
+//! Bias current generators: the paper's switched-capacitor generator and
+//! the conventional fixed generator it replaces.
+//!
+//! The SC generator (paper §3, Fig. 3) is the core idea of the paper. An
+//! OTA in unity gain forces the node `BIAS` to `V_BIAS`; the load on that
+//! node is the equivalent resistance of a switched-capacitor branch,
+//! `R_eq = 1/(C_B·f_CR)`, so the current through the OTA's output device is
+//!
+//! ```text
+//! I_BIAS = C_B · f_CR · V_BIAS            (paper Eq. 1)
+//! ```
+//!
+//! Two system-level consequences follow, both reproduced by this model:
+//!
+//! 1. **Power scales with conversion rate** — `I ∝ f_CR` (the paper's
+//!    Fig. 4), and performance holds from 20 to 140 MS/s because the opamp
+//!    settling-time budget `t_s/τ` becomes rate-independent.
+//! 2. **The bias tracks the capacitor corner** — `GBW = gm/(2πC_L)` with
+//!    `gm ∝ I ∝ C_B` and `C_L` made of the *same* metal capacitance, so the
+//!    large absolute spread of a digital process cancels. A conventional
+//!    fixed bias must instead be over-designed for the worst-case load.
+
+use adc_analog::capacitor::Capacitor;
+use adc_analog::noise::NoiseSource;
+
+/// A source of the master bias current as a function of conversion rate.
+///
+/// Object-safe so converters can hold `Box<dyn BiasGenerator>` when mixing
+/// generator types in ablation sweeps.
+pub trait BiasGenerator: std::fmt::Debug {
+    /// Master bias current at conversion rate `f_cr_hz`, amperes.
+    fn master_current_a(&self, f_cr_hz: f64) -> f64;
+
+    /// Short label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// The paper's switched-capacitor bias generator (Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScBiasGenerator {
+    /// The on-chip bias capacitor `C_B` (fabricated instance: its value
+    /// carries the die's absolute spread).
+    pub c_b: Capacitor,
+    /// The band-gap-derived reference `V_BIAS`, volts.
+    pub v_bias_v: f64,
+    /// Residual relative error of the unity-gain OTA loop (finite loop
+    /// gain, charge injection); multiplies Eq. 1.
+    pub loop_error_rel: f64,
+    /// Leakage / startup floor: the generator never outputs less than
+    /// this, amperes. Matters only at very low conversion rates.
+    pub floor_current_a: f64,
+}
+
+impl ScBiasGenerator {
+    /// Creates an ideal-loop generator from a fabricated `C_B` and
+    /// `V_BIAS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_bias_v` is not positive.
+    pub fn new(c_b: Capacitor, v_bias_v: f64) -> Self {
+        assert!(v_bias_v > 0.0, "V_BIAS must be positive");
+        Self {
+            c_b,
+            v_bias_v,
+            loop_error_rel: 0.0,
+            floor_current_a: 0.0,
+        }
+    }
+
+    /// Adds a realistic OTA loop error drawn from `noise` (≈0.3 % one
+    /// sigma) and a 50 nA floor.
+    pub fn with_realistic_loop(mut self, noise: &mut NoiseSource) -> Self {
+        self.loop_error_rel = noise.gaussian(0.0, 3e-3);
+        self.floor_current_a = 50e-9;
+        self
+    }
+}
+
+impl BiasGenerator for ScBiasGenerator {
+    fn master_current_a(&self, f_cr_hz: f64) -> f64 {
+        assert!(f_cr_hz >= 0.0, "conversion rate must be non-negative");
+        let eq1 = self.c_b.value_f * f_cr_hz * self.v_bias_v * (1.0 + self.loop_error_rel);
+        eq1.max(self.floor_current_a)
+    }
+
+    fn label(&self) -> &'static str {
+        "SC bias (I = C_B·f_CR·V_BIAS)"
+    }
+}
+
+/// A conventional fixed bias generator: a band-gap-referenced current that
+/// does **not** track conversion rate or capacitor spread.
+///
+/// Because the load capacitance in a digital process spreads ±15 % and the
+/// converter must still settle at its maximum specified rate, a fixed
+/// design carries a `design_margin` (typically 1.2–1.4×) on top of the
+/// current the typical die would need — power burned at every rate, which
+/// is exactly the waste the paper's generator eliminates.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FixedBiasGenerator {
+    /// The fixed master current, amperes.
+    pub current_a: f64,
+}
+
+impl FixedBiasGenerator {
+    /// Creates a fixed generator with the given master current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current is not positive.
+    pub fn new(current_a: f64) -> Self {
+        assert!(current_a > 0.0, "bias current must be positive");
+        Self { current_a }
+    }
+
+    /// Sizes a fixed generator for a target maximum conversion rate: the
+    /// current a nominal SC generator would produce at `f_design_hz`,
+    /// multiplied by `design_margin` to cover the worst-case capacitor
+    /// corner.
+    pub fn sized_for(
+        c_b_nominal_f: f64,
+        v_bias_v: f64,
+        f_design_hz: f64,
+        design_margin: f64,
+    ) -> Self {
+        assert!(design_margin >= 1.0, "margin below 1 makes no sense");
+        Self::new(c_b_nominal_f * f_design_hz * v_bias_v * design_margin)
+    }
+}
+
+impl BiasGenerator for FixedBiasGenerator {
+    fn master_current_a(&self, _f_cr_hz: f64) -> f64 {
+        self.current_a
+    }
+
+    fn label(&self) -> &'static str {
+        "fixed bias (conventional)"
+    }
+}
+
+/// Either generator, as a value type (for configs that must be `Clone +
+/// Serialize` without trait objects).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum BiasScheme {
+    /// The paper's SC generator.
+    Switched(ScBiasGenerator),
+    /// The conventional fixed generator.
+    Fixed(FixedBiasGenerator),
+}
+
+impl BiasScheme {
+    /// Master current at a conversion rate (dispatches on the variant).
+    pub fn master_current_a(&self, f_cr_hz: f64) -> f64 {
+        match self {
+            BiasScheme::Switched(g) => g.master_current_a(f_cr_hz),
+            BiasScheme::Fixed(g) => g.master_current_a(f_cr_hz),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BiasScheme::Switched(g) => g.label(),
+            BiasScheme::Fixed(g) => g.label(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(value: f64) -> Capacitor {
+        Capacitor::ideal(value)
+    }
+
+    #[test]
+    fn eq1_is_exact_for_ideal_parts() {
+        let g = ScBiasGenerator::new(cap(1e-12), 0.9);
+        // I = 1 pF · 110 MHz · 0.9 V = 99 µA
+        let i = g.master_current_a(110e6);
+        assert!((i - 99e-6).abs() < 1e-12, "i {i}");
+    }
+
+    #[test]
+    fn current_is_linear_in_rate() {
+        let g = ScBiasGenerator::new(cap(1e-12), 0.9);
+        let i55 = g.master_current_a(55e6);
+        let i110 = g.master_current_a(110e6);
+        assert!((i110 / i55 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_tracks_capacitor_spread() {
+        // A +15 % capacitor die produces +15 % current — the tracking that
+        // makes GBW spread-free.
+        let nominal = ScBiasGenerator::new(cap(1e-12), 0.9);
+        let high = ScBiasGenerator::new(
+            Capacitor {
+                value_f: 1.15e-12,
+                nominal_f: 1e-12,
+            },
+            0.9,
+        );
+        let r = high.master_current_a(110e6) / nominal.master_current_a(110e6);
+        assert!((r - 1.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_applies_at_low_rate() {
+        let g = ScBiasGenerator {
+            floor_current_a: 1e-6,
+            ..ScBiasGenerator::new(cap(1e-12), 0.9)
+        };
+        assert_eq!(g.master_current_a(0.0), 1e-6);
+        // 1 pF·1 kHz·0.9 V = 0.9 nA < floor
+        assert_eq!(g.master_current_a(1e3), 1e-6);
+        // Well above the floor the Eq. 1 value wins.
+        assert!(g.master_current_a(110e6) > 90e-6);
+    }
+
+    #[test]
+    fn loop_error_scales_current() {
+        let g = ScBiasGenerator {
+            loop_error_rel: 0.01,
+            ..ScBiasGenerator::new(cap(1e-12), 0.9)
+        };
+        let i = g.master_current_a(110e6);
+        assert!((i / 99e-6 - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_generator_ignores_rate() {
+        let g = FixedBiasGenerator::new(100e-6);
+        assert_eq!(g.master_current_a(1e6), g.master_current_a(200e6));
+    }
+
+    #[test]
+    fn sized_for_includes_margin() {
+        let g = FixedBiasGenerator::sized_for(1e-12, 0.9, 140e6, 1.3);
+        let unmargined = 1e-12 * 140e6 * 0.9;
+        assert!((g.current_a / unmargined - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scheme_dispatch_matches_inner() {
+        let sc = ScBiasGenerator::new(cap(1e-12), 0.9);
+        let fx = FixedBiasGenerator::new(50e-6);
+        assert_eq!(
+            BiasScheme::Switched(sc).master_current_a(70e6),
+            sc.master_current_a(70e6)
+        );
+        assert_eq!(BiasScheme::Fixed(fx).master_current_a(70e6), 50e-6);
+        assert_ne!(
+            BiasScheme::Switched(sc).label(),
+            BiasScheme::Fixed(fx).label()
+        );
+    }
+
+    #[test]
+    fn generators_are_object_safe() {
+        let boxed: Vec<Box<dyn BiasGenerator>> = vec![
+            Box::new(ScBiasGenerator::new(cap(1e-12), 0.9)),
+            Box::new(FixedBiasGenerator::new(1e-6)),
+        ];
+        assert!(boxed[0].master_current_a(110e6) > boxed[1].master_current_a(110e6));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_rate() {
+        let _ = ScBiasGenerator::new(cap(1e-12), 0.9).master_current_a(-1.0);
+    }
+}

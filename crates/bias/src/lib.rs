@@ -1,0 +1,34 @@
+//! # adc-bias
+//!
+//! The conversion-rate-tracking bias subsystem of the DATE 2004 pipeline
+//! ADC reproduction — the paper's central contribution.
+//!
+//! * [`generator`] — the switched-capacitor bias generator implementing
+//!   paper Eq. 1, `I_BIAS = C_B·f_CR·V_BIAS`, plus the conventional fixed
+//!   generator used as the ablation baseline;
+//! * [`mirror`] — the current-mirror bank distributing the master current
+//!   to the ten pipeline stages with the paper's 1 / 2⁄3 / 1⁄3 scaling
+//!   profile;
+//! * [`power`] — the power model reproducing Fig. 4 (97 mW at 110 MS/s,
+//!   linear in conversion rate) and the fixed-overhead breakdown.
+//!
+//! ```
+//! use adc_analog::capacitor::Capacitor;
+//! use adc_bias::generator::{BiasGenerator, ScBiasGenerator};
+//!
+//! // Eq. 1: 1 pF · 110 MS/s · 0.9 V = 99 µA.
+//! let gen = ScBiasGenerator::new(Capacitor::ideal(1e-12), 0.9);
+//! let i = gen.master_current_a(110e6);
+//! assert!((i - 99e-6).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod generator;
+pub mod mirror;
+pub mod power;
+
+pub use generator::{BiasGenerator, BiasScheme, FixedBiasGenerator, ScBiasGenerator};
+pub use mirror::{BiasNetwork, MirrorBank, MirrorBankSpec};
+pub use power::{FixedPowerBreakdown, PowerModel, PowerReading};

@@ -1,0 +1,210 @@
+//! Current mirror distribution from the master bias to the pipeline
+//! stages.
+//!
+//! The SC generator's output device current is "mirrored to I_BIAS¹ to
+//! I_BIAS¹⁰, which are applied to stage 1 to 10" (paper §3). The mirror
+//! ratios encode the paper's stage-scaling profile: stage 1 at full ratio,
+//! stage 2 at 2/3, stages 3–10 at 1/3. Each output carries a small random
+//! ratio mismatch.
+
+use crate::generator::BiasScheme;
+use adc_analog::noise::NoiseSource;
+
+/// Design of the mirror bank (pre-fabrication).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MirrorBankSpec {
+    /// Nominal ratio of each output relative to the master current.
+    pub ratios: Vec<f64>,
+    /// One-sigma relative ratio mismatch per output.
+    pub mismatch_sigma_rel: f64,
+}
+
+impl MirrorBankSpec {
+    /// Creates a spec from nominal ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratios` is empty or contains a non-positive ratio.
+    pub fn new(ratios: Vec<f64>, mismatch_sigma_rel: f64) -> Self {
+        assert!(!ratios.is_empty(), "mirror bank needs at least one output");
+        assert!(
+            ratios.iter().all(|&r| r > 0.0),
+            "mirror ratios must be positive"
+        );
+        assert!(mismatch_sigma_rel >= 0.0);
+        Self {
+            ratios,
+            mismatch_sigma_rel,
+        }
+    }
+
+    /// The paper's scaling profile: `base_ratio` × [1, 2/3, 1/3 × 8].
+    pub fn paper_scaled(base_ratio: f64, mismatch_sigma_rel: f64) -> Self {
+        let mut ratios = Vec::with_capacity(10);
+        ratios.push(base_ratio);
+        ratios.push(base_ratio * 2.0 / 3.0);
+        ratios.extend(std::iter::repeat_n(base_ratio / 3.0, 8));
+        Self::new(ratios, mismatch_sigma_rel)
+    }
+
+    /// An unscaled profile: every stage at `base_ratio` (the ablation
+    /// baseline for the paper's scaling claim).
+    pub fn unscaled(base_ratio: f64, stages: usize, mismatch_sigma_rel: f64) -> Self {
+        Self::new(vec![base_ratio; stages], mismatch_sigma_rel)
+    }
+
+    /// Fabricates a mirror bank, drawing each output's ratio error.
+    pub fn fabricate(&self, noise: &mut NoiseSource) -> MirrorBank {
+        MirrorBank {
+            ratios: self
+                .ratios
+                .iter()
+                .map(|&r| r * noise.mismatch_factor(self.mismatch_sigma_rel))
+                .collect(),
+        }
+    }
+}
+
+/// A fabricated mirror bank.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MirrorBank {
+    /// Fabricated ratios (nominal × mismatch).
+    ratios: Vec<f64>,
+}
+
+impl MirrorBank {
+    /// An ideal bank with exact ratios.
+    pub fn ideal(ratios: Vec<f64>) -> Self {
+        assert!(!ratios.is_empty() && ratios.iter().all(|&r| r > 0.0));
+        Self { ratios }
+    }
+
+    /// Number of outputs.
+    pub fn len(&self) -> usize {
+        self.ratios.len()
+    }
+
+    /// `true` if the bank has no outputs (never constructible, but part of
+    /// the conventional `len`/`is_empty` pair).
+    pub fn is_empty(&self) -> bool {
+        self.ratios.is_empty()
+    }
+
+    /// The fabricated ratio of output `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn ratio(&self, i: usize) -> f64 {
+        self.ratios[i]
+    }
+
+    /// All output currents for a given master current.
+    pub fn output_currents_a(&self, master_a: f64) -> Vec<f64> {
+        self.ratios.iter().map(|r| r * master_a).collect()
+    }
+
+    /// Sum of all output currents for a given master current.
+    pub fn total_current_a(&self, master_a: f64) -> f64 {
+        master_a * self.ratios.iter().sum::<f64>()
+    }
+}
+
+/// Complete bias network: generator + mirror bank.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BiasNetwork {
+    /// The master current generator.
+    pub scheme: BiasScheme,
+    /// The distribution mirror bank.
+    pub mirrors: MirrorBank,
+}
+
+impl BiasNetwork {
+    /// Creates a network.
+    pub fn new(scheme: BiasScheme, mirrors: MirrorBank) -> Self {
+        Self { scheme, mirrors }
+    }
+
+    /// Per-stage bias currents at a conversion rate.
+    pub fn stage_currents_a(&self, f_cr_hz: f64) -> Vec<f64> {
+        self.mirrors
+            .output_currents_a(self.scheme.master_current_a(f_cr_hz))
+    }
+
+    /// Total distributed analog bias current at a conversion rate.
+    pub fn total_current_a(&self, f_cr_hz: f64) -> f64 {
+        self.mirrors
+            .total_current_a(self.scheme.master_current_a(f_cr_hz))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ScBiasGenerator;
+    use adc_analog::capacitor::Capacitor;
+
+    #[test]
+    fn paper_profile_has_expected_shape() {
+        let spec = MirrorBankSpec::paper_scaled(18.0, 0.0);
+        assert_eq!(spec.ratios.len(), 10);
+        assert_eq!(spec.ratios[0], 18.0);
+        assert!((spec.ratios[1] - 12.0).abs() < 1e-12);
+        for &r in &spec.ratios[2..] {
+            assert!((r - 6.0).abs() < 1e-12);
+        }
+        // Σ = 18·(1 + 2/3 + 8/3) = 18·13/3 = 78
+        let sum: f64 = spec.ratios.iter().sum();
+        assert!((sum - 78.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unscaled_profile_is_flat() {
+        let spec = MirrorBankSpec::unscaled(18.0, 10, 0.0);
+        assert!(spec.ratios.iter().all(|&r| r == 18.0));
+    }
+
+    #[test]
+    fn ideal_bank_mirrors_exactly() {
+        let bank = MirrorBank::ideal(vec![2.0, 1.0, 0.5]);
+        let outs = bank.output_currents_a(10e-6);
+        assert_eq!(outs, vec![20e-6, 10e-6, 5e-6]);
+        assert!((bank.total_current_a(10e-6) - 35e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn mismatch_statistics() {
+        let spec = MirrorBankSpec::new(vec![1.0], 0.01);
+        let mut n = NoiseSource::from_seed(8);
+        let count = 20_000;
+        let var: f64 = (0..count)
+            .map(|_| (spec.fabricate(&mut n).ratio(0) - 1.0).powi(2))
+            .sum::<f64>()
+            / count as f64;
+        assert!((var.sqrt() - 0.01).abs() < 5e-4);
+    }
+
+    #[test]
+    fn network_combines_generator_and_mirrors() {
+        let gen = ScBiasGenerator::new(Capacitor::ideal(1e-12), 0.9);
+        let net = BiasNetwork::new(
+            BiasScheme::Switched(gen),
+            MirrorBank::ideal(MirrorBankSpec::paper_scaled(18.5, 0.0).ratios),
+        );
+        let stage = net.stage_currents_a(110e6);
+        assert_eq!(stage.len(), 10);
+        // Stage 1: 99 µA × 18.5 ≈ 1.83 mA
+        assert!((stage[0] - 99e-6 * 18.5).abs() < 1e-9);
+        // Scaling: stage 3 is 1/3 of stage 1.
+        assert!((stage[2] / stage[0] - 1.0 / 3.0).abs() < 1e-12);
+        // Total follows the 13/3 sum.
+        let total = net.total_current_a(110e6);
+        assert!((total - 99e-6 * 18.5 * 13.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn rejects_empty_bank() {
+        let _ = MirrorBankSpec::new(vec![], 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Power dissipation model (paper Fig. 4 and Table I).
+//!
+//! The measured power splits into two parts:
+//!
+//! * **rate-scaled analog power** — the pipeline opamps and ADSCs, whose
+//!   bias currents come from the SC generator and therefore scale linearly
+//!   with `f_CR` (Eq. 1). Each stage's total current is a fixed multiple
+//!   (`opamp_current_factor`) of its mirrored bias current;
+//! * **fixed overhead** — band-gap, reference buffer, common-mode
+//!   generator, and clock distribution, which run at constant current.
+//!
+//! The paper reports 97 mW at 110 MS/s and 110 mW at 130 MS/s (both
+//! excluding output drivers), i.e. a slope of 0.65 mW per MS/s and a fixed
+//! intercept of ≈ 25.5 mW; [`FixedPowerBreakdown::paper_nominal`] and the
+//! nominal bias network reproduce those anchors.
+
+use crate::mirror::BiasNetwork;
+
+/// Constant-power blocks (paper Fig. 7 floorplan).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FixedPowerBreakdown {
+    /// Band-gap voltage generator, watts.
+    pub bandgap_w: f64,
+    /// Reference voltage buffer, watts.
+    pub reference_buffer_w: f64,
+    /// Common-mode voltage generator, watts.
+    pub cm_generator_w: f64,
+    /// Clock receiver/distribution, watts.
+    pub clocking_w: f64,
+    /// Dedicated front-end sample-and-hold, watts (0 for the paper's
+    /// SHA-less architecture).
+    pub front_end_sha_w: f64,
+}
+
+impl FixedPowerBreakdown {
+    /// The breakdown calibrated to the paper's Fig. 4 intercept
+    /// (≈ 25.5 mW).
+    pub fn paper_nominal() -> Self {
+        Self {
+            bandgap_w: 1.5e-3,
+            reference_buffer_w: 14.0e-3,
+            cm_generator_w: 4.0e-3,
+            clocking_w: 6.0e-3,
+            front_end_sha_w: 0.0,
+        }
+    }
+
+    /// Adds a dedicated front-end SHA's power.
+    pub fn with_front_end_sha(mut self, sha_w: f64) -> Self {
+        assert!(sha_w >= 0.0, "power must be non-negative");
+        self.front_end_sha_w = sha_w;
+        self
+    }
+
+    /// No fixed overhead (for isolating the scaled part in tests).
+    pub fn zero() -> Self {
+        Self {
+            bandgap_w: 0.0,
+            reference_buffer_w: 0.0,
+            cm_generator_w: 0.0,
+            clocking_w: 0.0,
+            front_end_sha_w: 0.0,
+        }
+    }
+
+    /// Total fixed power, watts.
+    pub fn total_w(&self) -> f64 {
+        self.bandgap_w
+            + self.reference_buffer_w
+            + self.cm_generator_w
+            + self.clocking_w
+            + self.front_end_sha_w
+    }
+}
+
+/// The complete analog power model.
+///
+/// ```
+/// use adc_analog::capacitor::Capacitor;
+/// use adc_bias::generator::{BiasScheme, ScBiasGenerator};
+/// use adc_bias::mirror::{BiasNetwork, MirrorBank, MirrorBankSpec};
+/// use adc_bias::power::{FixedPowerBreakdown, PowerModel};
+///
+/// // The paper's calibrated power model: 97 mW at 110 MS/s.
+/// let gen = ScBiasGenerator::new(Capacitor::ideal(1e-12), 0.9);
+/// let net = BiasNetwork::new(
+///     BiasScheme::Switched(gen),
+///     MirrorBank::ideal(MirrorBankSpec::paper_scaled(18.5, 0.0).ratios),
+/// );
+/// let model = PowerModel::new(1.8, net, 5.0, FixedPowerBreakdown::paper_nominal());
+/// assert!((model.total_power_w(110e6) - 97e-3).abs() < 3e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerModel {
+    /// Supply voltage, volts.
+    pub vdd_v: f64,
+    /// The bias network feeding the stages.
+    pub bias: BiasNetwork,
+    /// Ratio of a stage's *total* current draw to its mirrored bias
+    /// current (both opamp stages, ADSC, local clocking).
+    pub opamp_current_factor: f64,
+    /// Constant-power blocks.
+    pub fixed: FixedPowerBreakdown,
+}
+
+/// Power at one conversion rate, decomposed.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerReading {
+    /// Conversion rate, hertz.
+    pub f_cr_hz: f64,
+    /// Rate-scaled pipeline power, watts.
+    pub scaled_w: f64,
+    /// Fixed overhead power, watts.
+    pub fixed_w: f64,
+    /// Total, watts.
+    pub total_w: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd_v` or `opamp_current_factor` is not positive.
+    pub fn new(
+        vdd_v: f64,
+        bias: BiasNetwork,
+        opamp_current_factor: f64,
+        fixed: FixedPowerBreakdown,
+    ) -> Self {
+        assert!(vdd_v > 0.0, "supply voltage must be positive");
+        assert!(opamp_current_factor > 0.0, "current factor must be positive");
+        Self {
+            vdd_v,
+            bias,
+            opamp_current_factor,
+            fixed,
+        }
+    }
+
+    /// Rate-scaled pipeline power at `f_cr_hz`, watts.
+    pub fn scaled_power_w(&self, f_cr_hz: f64) -> f64 {
+        self.vdd_v * self.opamp_current_factor * self.bias.total_current_a(f_cr_hz)
+    }
+
+    /// Total power at `f_cr_hz`, watts.
+    pub fn total_power_w(&self, f_cr_hz: f64) -> f64 {
+        self.scaled_power_w(f_cr_hz) + self.fixed.total_w()
+    }
+
+    /// Full decomposition at one rate.
+    pub fn reading(&self, f_cr_hz: f64) -> PowerReading {
+        let scaled_w = self.scaled_power_w(f_cr_hz);
+        let fixed_w = self.fixed.total_w();
+        PowerReading {
+            f_cr_hz,
+            scaled_w,
+            fixed_w,
+            total_w: scaled_w + fixed_w,
+        }
+    }
+
+    /// Sweeps power across conversion rates (the Fig. 4 experiment).
+    pub fn sweep(&self, rates_hz: &[f64]) -> Vec<PowerReading> {
+        rates_hz.iter().map(|&f| self.reading(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{BiasScheme, FixedBiasGenerator, ScBiasGenerator};
+    use crate::mirror::{MirrorBank, MirrorBankSpec};
+    use adc_analog::capacitor::Capacitor;
+
+    /// The calibrated nominal network: C_B = 1 pF, V_BIAS = 0.9 V,
+    /// base mirror ratio 18.5, current factor 5.0.
+    fn nominal_model() -> PowerModel {
+        let gen = ScBiasGenerator::new(Capacitor::ideal(1e-12), 0.9);
+        let net = BiasNetwork::new(
+            BiasScheme::Switched(gen),
+            MirrorBank::ideal(MirrorBankSpec::paper_scaled(18.5, 0.0).ratios),
+        );
+        PowerModel::new(1.8, net, 5.0, FixedPowerBreakdown::paper_nominal())
+    }
+
+    #[test]
+    fn hits_paper_anchor_at_110ms() {
+        // Paper: 97 mW at 110 MS/s.
+        let p = nominal_model().total_power_w(110e6);
+        assert!((p - 97e-3).abs() < 3e-3, "p {} mW", p * 1e3);
+    }
+
+    #[test]
+    fn hits_paper_anchor_at_130ms() {
+        // Paper: 110 mW at 130 MS/s.
+        let p = nominal_model().total_power_w(130e6);
+        assert!((p - 110e-3).abs() < 3e-3, "p {} mW", p * 1e3);
+    }
+
+    #[test]
+    fn scaled_part_is_linear_through_origin() {
+        let m = nominal_model();
+        let s40 = m.scaled_power_w(40e6);
+        let s80 = m.scaled_power_w(80e6);
+        assert!((s80 / s40 - 2.0).abs() < 1e-9);
+        assert_eq!(m.scaled_power_w(0.0), 0.0);
+    }
+
+    #[test]
+    fn reading_decomposes_consistently() {
+        let m = nominal_model();
+        let r = m.reading(110e6);
+        assert!((r.total_w - (r.scaled_w + r.fixed_w)).abs() < 1e-15);
+        assert!((r.fixed_w - 25.5e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_bias_design_burns_full_power_at_low_rate() {
+        // The ablation the paper's generator wins: a fixed-bias design at
+        // 20 MS/s burns nearly the same scaled power as at 140 MS/s.
+        let fixed = FixedBiasGenerator::sized_for(1e-12, 0.9, 140e6, 1.3);
+        let net = BiasNetwork::new(
+            BiasScheme::Fixed(fixed),
+            MirrorBank::ideal(MirrorBankSpec::paper_scaled(18.5, 0.0).ratios),
+        );
+        let m = PowerModel::new(1.8, net, 5.0, FixedPowerBreakdown::paper_nominal());
+        let p20 = m.total_power_w(20e6);
+        let p140 = m.total_power_w(140e6);
+        assert_eq!(p20, p140);
+        // And it exceeds the SC design's 110 MS/s power even at 20 MS/s.
+        assert!(p20 > nominal_model().total_power_w(110e6));
+    }
+
+    #[test]
+    fn sweep_covers_requested_rates() {
+        let m = nominal_model();
+        let rates: Vec<f64> = (1..=13).map(|i| i as f64 * 10e6).collect();
+        let sweep = m.sweep(&rates);
+        assert_eq!(sweep.len(), 13);
+        // Monotone increasing in rate.
+        for w in sweep.windows(2) {
+            assert!(w[1].total_w > w[0].total_w);
+        }
+    }
+
+    #[test]
+    fn slope_matches_paper_between_anchors() {
+        let m = nominal_model();
+        let slope_w_per_hz =
+            (m.total_power_w(130e6) - m.total_power_w(110e6)) / 20e6;
+        // 0.65 mW per MS/s = 6.5e-10 W/Hz
+        assert!((slope_w_per_hz - 6.5e-10).abs() < 0.3e-10, "slope {slope_w_per_hz}");
+    }
+}

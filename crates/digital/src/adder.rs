@@ -1,0 +1,108 @@
+//! The correction adder — bit-level addition of the aligned stage words
+//! with one bit of overlap.
+//!
+//! Hardware adds the stage words as a shifted column sum:
+//!
+//! ```text
+//!   b1  b1                          (stage 1, weight 2^10: 2-bit word)
+//!       b2  b2                      (stage 2, weight 2^9)
+//!           ...
+//!                          b10 b10  (stage 10, weight 2^1)
+//!                              f f  (flash, weight 2^0)
+//! ```
+//!
+//! This module implements that column addition with explicit carry
+//! propagation (a ripple of full adders), as the synthesized block would,
+//! and proves it equivalent to the behavioral
+//! [`adc_pipeline::correction::assemble_code`].
+
+/// Adds two unsigned words bit-serially with explicit full-adder carries.
+/// Exists to keep the whole correction path at the bit level (a direct
+/// `+` would hide the hardware).
+fn ripple_add(a: u32, b: u32, width: u32) -> u32 {
+    let mut carry = 0u32;
+    let mut out = 0u32;
+    for bit in 0..width {
+        let x = (a >> bit) & 1;
+        let y = (b >> bit) & 1;
+        let sum = x ^ y ^ carry;
+        carry = (x & y) | (x & carry) | (y & carry);
+        out |= sum << bit;
+    }
+    out
+}
+
+/// The full correction sum: stage words (each 0..=2, stage 1 first) plus
+/// the 2-bit flash code, combined with one bit of overlap per stage.
+///
+/// # Panics
+///
+/// Panics if a stage word exceeds 2 or the flash code exceeds 3 —
+/// hardware would have no encoding for those.
+pub fn correction_sum(stage_words: &[u8], flash_code: u8) -> u16 {
+    assert!(!stage_words.is_empty(), "need at least one stage word");
+    assert!(flash_code <= 3, "flash code must be 2 bits");
+    let n = stage_words.len();
+    assert!(n <= 14, "width limit of the 16-bit output register");
+    let mut acc = u32::from(flash_code);
+    let width = (n + 3) as u32;
+    for (i, &w) in stage_words.iter().enumerate() {
+        assert!(w <= 2, "stage word must be 0..=2, got {w}");
+        acc = ripple_add(acc, u32::from(w) << (n - i), width);
+    }
+    acc as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_pipeline::correction::assemble_code;
+    use adc_pipeline::subconverter::StageDecision;
+
+    #[test]
+    fn ripple_add_matches_native_addition() {
+        for a in [0u32, 1, 2, 37, 1023, 2048, 4095] {
+            for b in [0u32, 1, 511, 4095] {
+                assert_eq!(ripple_add(a, b, 14), (a + b) & ((1 << 14) - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_behavioral_correction_exhaustively_small() {
+        // All decision combinations of a 4-stage pipeline.
+        for pattern in 0..(3u32.pow(4)) {
+            let mut p = pattern;
+            let mut words = Vec::new();
+            let mut decisions = Vec::new();
+            for _ in 0..4 {
+                let w = (p % 3) as u8;
+                p /= 3;
+                words.push(w);
+                decisions.push(StageDecision {
+                    dac_level: w as i8 - 1,
+                });
+            }
+            for flash in 0..=3u8 {
+                assert_eq!(
+                    u32::from(correction_sum(&words, flash)),
+                    assemble_code(&decisions, flash),
+                    "words {words:?} flash {flash}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_never_overflows_twelve_bits_for_ten_stages() {
+        // Max: all words 2, flash 3 -> 4095. The adder needs no clamp.
+        assert_eq!(correction_sum(&[2u8; 10], 3), 4095);
+        assert_eq!(correction_sum(&[0u8; 10], 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=2")]
+    fn rejects_illegal_stage_word() {
+        let _ = correction_sum(&[3u8], 0);
+    }
+}

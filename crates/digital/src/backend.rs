@@ -1,0 +1,317 @@
+//! The complete cycle-accurate digital back-end.
+//!
+//! Timing model: the analog chain hands stage i's word for input sample
+//! `k` to the digital domain at half-clock `2k + i + 1`. The back-end
+//! runs at the conversion clock (one [`DigitalBackend::clock`] call per
+//! cycle), re-times every stage's stream through a [`DelayLine`] so all
+//! contributions of one sample meet at the correction adder, and
+//! registers the summed code at D_OUT.
+//!
+//! [`DigitalBackend::latency_cycles`] matches the behavioral
+//! `adc_pipeline::correction::latency_samples`, and the bit-equivalence
+//! of the whole path to the behavioral model is pinned by tests.
+
+use crate::adder::correction_sum;
+use crate::delay_line::DelayLine;
+
+/// The words the analog chain produces during one conversion cycle:
+/// each stage's freshly resolved word (belonging to *different* input
+/// samples — that is the point of the delay block) plus the flash code.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CycleWords {
+    /// Stage words b ∈ {0, 1, 2}, stage 1 first.
+    pub stage_words: Vec<u8>,
+    /// The 2-bit flash word.
+    pub flash_word: u8,
+}
+
+/// The cycle-accurate Delay and Correction Logic block.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DigitalBackend {
+    lines: Vec<DelayLine>,
+    flash_line: DelayLine,
+    output_register: u16,
+    cycles_run: usize,
+    stage_count: usize,
+}
+
+impl DigitalBackend {
+    /// Builds the block for an `n`-stage pipeline.
+    ///
+    /// Stage i (1-based) resolves at half-clock `2k + i + 1` for sample
+    /// k (cycle `k + ⌊(i+1)/2⌋`); the flash resolves at `2k + n + 2`
+    /// (cycle `k + ⌊(n+2)/2⌋`). Each stage line is sized so every word
+    /// of one sample meets the flash's cycle, then one output register
+    /// follows.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero-stage pipeline.
+    pub fn new(stage_count: usize) -> Self {
+        assert!(stage_count > 0, "need at least one stage");
+        let flash_cycle = (stage_count + 2) / 2;
+        let lines = (1..=stage_count)
+            .map(|i| DelayLine::new(flash_cycle - i.div_ceil(2)))
+            .collect();
+        Self {
+            lines,
+            flash_line: DelayLine::new(0),
+            output_register: 0,
+            cycles_run: 0,
+            stage_count,
+        }
+    }
+
+    /// Cycles from a sample being taken to its code appearing at D_OUT:
+    /// the deepest delay line plus the sample-to-first-word half-cycle
+    /// plus the output register.
+    pub fn latency_cycles(&self) -> usize {
+        self.lines[0].depth() + 2
+    }
+
+    /// Runs one conversion clock: consumes this cycle's words, returns
+    /// the registered output code (garbage until [`Self::latency_cycles`]
+    /// cycles have run — track with [`Self::output_valid`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word count does not match the stage count.
+    pub fn clock(&mut self, words: &CycleWords) -> u16 {
+        assert_eq!(
+            words.stage_words.len(),
+            self.stage_count,
+            "stage word count mismatch"
+        );
+        let aligned: Vec<u8> = self
+            .lines
+            .iter_mut()
+            .zip(&words.stage_words)
+            .map(|(line, &w)| line.clock(w))
+            .collect();
+        let flash = self.flash_line.clock(words.flash_word);
+        let out = self.output_register;
+        self.output_register = correction_sum(&aligned, flash);
+        self.cycles_run += 1;
+        out
+    }
+
+    /// Whether the output register carries a real code yet.
+    pub fn output_valid(&self) -> bool {
+        self.cycles_run >= self.latency_cycles()
+    }
+
+    /// Resets all registers.
+    pub fn reset(&mut self) {
+        for l in &mut self.lines {
+            l.reset();
+        }
+        self.flash_line.reset();
+        self.output_register = 0;
+        self.cycles_run = 0;
+    }
+}
+
+/// Adapter: plays per-*sample* raw conversions (as the behavioral
+/// [`adc_pipeline::converter::PipelineAdc::convert_held_raw`] produces
+/// them) into the per-*cycle* word streams the hardware sees, with the
+/// correct per-stage skew.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SampleStream {
+    /// Per-stage FIFOs of words awaiting their production cycle.
+    skew_fifos: Vec<std::collections::VecDeque<u8>>,
+    flash_fifo: std::collections::VecDeque<u8>,
+    stage_count: usize,
+}
+
+impl SampleStream {
+    /// Creates the adapter for an `n`-stage pipeline.
+    pub fn new(stage_count: usize) -> Self {
+        assert!(stage_count > 0);
+        let mut skew_fifos = Vec::with_capacity(stage_count);
+        for i in 1..=stage_count {
+            // Stage i's word for sample k is produced at half-clock
+            // 2k + i + 1, i.e. ⌊(i+1)/2⌋ cycles after the sample:
+            // pre-fill that many placeholder words.
+            let skew = i.div_ceil(2);
+            skew_fifos.push(std::collections::VecDeque::from(vec![0u8; skew]));
+        }
+        let flash_skew = (stage_count + 2) / 2;
+        Self {
+            skew_fifos,
+            flash_fifo: std::collections::VecDeque::from(vec![0u8; flash_skew]),
+            stage_count,
+        }
+    }
+
+    /// Pushes one sample's raw words; pops the words the hardware sees
+    /// *this* cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decision count mismatches the stage count.
+    pub fn push(&mut self, dac_levels: &[i8], flash_code: u8) -> CycleWords {
+        assert_eq!(dac_levels.len(), self.stage_count);
+        let mut stage_words = Vec::with_capacity(self.stage_count);
+        for (fifo, &d) in self.skew_fifos.iter_mut().zip(dac_levels) {
+            fifo.push_back((d + 1) as u8);
+            stage_words.push(fifo.pop_front().expect("pre-filled"));
+        }
+        self.flash_fifo.push_back(flash_code);
+        let flash_word = self.flash_fifo.pop_front().expect("pre-filled");
+        CycleWords {
+            stage_words,
+            flash_word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_pipeline::correction::assemble_code;
+    use adc_pipeline::subconverter::StageDecision;
+
+    /// Drives random per-sample decisions through the skew adapter and
+    /// the RTL backend; checks codes match the behavioral correction,
+    /// sample for sample.
+    #[test]
+    fn rtl_backend_is_bit_equivalent_to_behavioral_correction() {
+        let n = 10;
+        let mut backend = DigitalBackend::new(n);
+        let mut stream = SampleStream::new(n);
+        // Deterministic pseudo-random decisions.
+        let mut state = 0xFEEDu64;
+        let mut rand3 = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 3) as i8 - 1
+        };
+        let samples = 300;
+        let mut expected = Vec::new();
+        let mut produced = Vec::new();
+        // The total delay: adapter skew + backend latency. Run extra
+        // cycles with idle input to flush.
+        let flush = 16;
+        let mut all_levels = Vec::new();
+        for _ in 0..samples {
+            let levels: Vec<i8> = (0..n).map(|_| rand3()).collect();
+            let flash = (levels.iter().map(|&d| d as i32).sum::<i32>().rem_euclid(4)) as u8;
+            let decisions: Vec<StageDecision> = levels
+                .iter()
+                .map(|&dac_level| StageDecision { dac_level })
+                .collect();
+            expected.push(assemble_code(&decisions, flash) as u16);
+            all_levels.push((levels, flash));
+        }
+        for (levels, flash) in &all_levels {
+            let words = stream.push(levels, *flash);
+            let out = backend.clock(&words);
+            if backend.output_valid() {
+                produced.push(out);
+            }
+        }
+        for _ in 0..flush {
+            let words = stream.push(&vec![0i8; n], 0);
+            let out = backend.clock(&words);
+            produced.push(out);
+        }
+        // The produced stream, offset by total latency, equals expected.
+        assert!(produced.len() >= samples);
+        let offset = produced
+            .windows(4)
+            .position(|w| w == &expected[..4])
+            .expect("expected stream must appear in the output");
+        for (i, &e) in expected.iter().enumerate().take(samples - 1) {
+            assert_eq!(produced[offset + i], e, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn latency_matches_behavioral_model() {
+        let backend = DigitalBackend::new(10);
+        assert_eq!(
+            backend.latency_cycles(),
+            adc_pipeline::correction::latency_samples(10)
+        );
+    }
+
+    #[test]
+    fn odd_stage_counts_also_align() {
+        // Same equivalence check for a 5-stage pipeline (alignment
+        // arithmetic differs between odd and even stage counts).
+        let n = 5;
+        let mut backend = DigitalBackend::new(n);
+        let mut stream = SampleStream::new(n);
+        let mut state = 0xBEEFu64;
+        let mut rand3 = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 3) as i8 - 1
+        };
+        let mut expected = Vec::new();
+        let mut produced = Vec::new();
+        for _ in 0..100 {
+            let levels: Vec<i8> = (0..n).map(|_| rand3()).collect();
+            let flash = 1u8;
+            let decisions: Vec<StageDecision> = levels
+                .iter()
+                .map(|&dac_level| StageDecision { dac_level })
+                .collect();
+            expected.push(assemble_code(&decisions, flash) as u16);
+            let words = stream.push(&levels, flash);
+            let out = backend.clock(&words);
+            if backend.output_valid() {
+                produced.push(out);
+            }
+        }
+        for _ in 0..16 {
+            let words = stream.push(&vec![0i8; n], 0);
+            produced.push(backend.clock(&words));
+        }
+        let offset = produced
+            .windows(4)
+            .position(|w| w == &expected[..4])
+            .expect("expected stream appears");
+        for (i, &e) in expected.iter().enumerate().take(90) {
+            assert_eq!(produced[offset + i], e, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn output_invalid_until_pipeline_fills() {
+        let mut backend = DigitalBackend::new(10);
+        let words = CycleWords {
+            stage_words: vec![1; 10],
+            flash_word: 2,
+        };
+        for _ in 0..backend.latency_cycles() {
+            assert!(!backend.output_valid());
+            let _ = backend.clock(&words);
+        }
+        assert!(backend.output_valid());
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let mut backend = DigitalBackend::new(4);
+        let words = CycleWords {
+            stage_words: vec![2; 4],
+            flash_word: 3,
+        };
+        for _ in 0..8 {
+            let _ = backend.clock(&words);
+        }
+        backend.reset();
+        assert!(!backend.output_valid());
+        assert_eq!(backend.clock(&words), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn rejects_wrong_word_count() {
+        let mut backend = DigitalBackend::new(10);
+        let words = CycleWords {
+            stage_words: vec![1; 4],
+            flash_word: 0,
+        };
+        let _ = backend.clock(&words);
+    }
+}

@@ -1,0 +1,84 @@
+//! Register delay lines — the "Delay" half of the paper's Delay and
+//! Correction Logic block.
+//!
+//! Stage i of the pipeline resolves its 1.5-bit word `i` half-clocks
+//! after the input was sampled; the correction logic must delay early
+//! stages' words until the flash resolves so all contributions of one
+//! sample are added together. In hardware that is a per-stage shift
+//! register; [`DelayLine`] is that register, cycle-accurate.
+
+use std::collections::VecDeque;
+
+/// A fixed-depth register delay line for small digital words.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DelayLine {
+    depth: usize,
+    regs: VecDeque<u8>,
+}
+
+impl DelayLine {
+    /// A delay line of `depth` registers (depth 0 = wire).
+    pub fn new(depth: usize) -> Self {
+        Self {
+            depth,
+            regs: VecDeque::from(vec![0u8; depth]),
+        }
+    }
+
+    /// The register depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Clocks the line: shifts `input` in, returns the word falling out
+    /// (the input itself for a zero-depth line).
+    pub fn clock(&mut self, input: u8) -> u8 {
+        if self.depth == 0 {
+            return input;
+        }
+        self.regs.push_back(input);
+        self.regs.pop_front().expect("depth > 0 keeps the queue full")
+    }
+
+    /// Resets all registers to zero.
+    pub fn reset(&mut self) {
+        for r in self.regs.iter_mut() {
+            *r = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_depth_is_a_wire() {
+        let mut d = DelayLine::new(0);
+        assert_eq!(d.clock(7), 7);
+        assert_eq!(d.clock(3), 3);
+    }
+
+    #[test]
+    fn depth_n_delays_by_n_clocks() {
+        let mut d = DelayLine::new(3);
+        let outs: Vec<u8> = (1..=6).map(|i| d.clock(i)).collect();
+        assert_eq!(outs, vec![0, 0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut d = DelayLine::new(2);
+        d.clock(9);
+        d.clock(9);
+        d.reset();
+        assert_eq!(d.clock(1), 0);
+        assert_eq!(d.clock(2), 0);
+        assert_eq!(d.clock(3), 1);
+    }
+
+    #[test]
+    fn depth_is_reported() {
+        assert_eq!(DelayLine::new(5).depth(), 5);
+    }
+}

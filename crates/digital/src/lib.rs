@@ -1,0 +1,44 @@
+//! # adc-digital
+//!
+//! Cycle-accurate model of the pipeline ADC's digital back-end — the
+//! "Delay and Correction Logic" block of the paper's Fig. 1 and Fig. 7,
+//! at the register-transfer level:
+//!
+//! * [`delay_line`] — the per-stage word re-timing shift registers;
+//! * [`adder`] — the one-bit-overlap correction adder, built from
+//!   explicit ripple full-adders;
+//! * [`backend`] — the assembled block: per-cycle word consumption,
+//!   alignment, summation, output register, plus the
+//!   [`backend::SampleStream`] adapter that converts per-sample
+//!   behavioral decisions into the skewed per-cycle streams real
+//!   hardware sees.
+//!
+//! The entire path is proven bit-equivalent to the behavioral
+//! `adc_pipeline::correction` model by test, including latency.
+//!
+//! ```
+//! use adc_digital::backend::{CycleWords, DigitalBackend};
+//!
+//! let mut backend = DigitalBackend::new(10);
+//! let words = CycleWords { stage_words: vec![1; 10], flash_word: 2 };
+//! // Clock until the pipeline fills; mid-scale words produce code 2048.
+//! let mut out = 0;
+//! for _ in 0..=backend.latency_cycles() {
+//!     out = backend.clock(&words);
+//! }
+//! assert!(backend.output_valid());
+//! assert_eq!(out, 2048);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adder;
+pub mod backend;
+pub mod decimate;
+pub mod delay_line;
+
+pub use adder::correction_sum;
+pub use decimate::{boxcar_decimate, CicDecimator};
+pub use backend::{CycleWords, DigitalBackend, SampleStream};
+pub use delay_line::DelayLine;

@@ -1,0 +1,301 @@
+//! Foreground digital weight calibration — the "future work" extension
+//! every successor to the paper's architecture shipped.
+//!
+//! The error-correction logic of [`crate::correction`] assumes ideal
+//! radix-2 stage weights; capacitor mismatch and finite opamp gain make
+//! the true weights slightly different, which is where the converter's
+//! INL (and part of its distortion) comes from. A foreground calibration
+//! measures the *actual* weight of each stage's decision:
+//!
+//! 1. drive the converter with known DC levels (on chip this is a slow
+//!    calibration DAC; here the testbench plays that role);
+//! 2. record the raw per-stage decisions for each level
+//!    ([`crate::converter::PipelineAdc::convert_held_raw`]);
+//! 3. least-squares solve for the weight vector `w` minimizing
+//!    `Σ (w·x − v_known)²` where `x` = (d₁…d₁₀, flash−1.5, 1).
+//!
+//! Reconstructing with the fitted weights removes the mismatch-induced
+//! static nonlinearity; noise and front-end dynamic distortion remain
+//! (they are not linear-in-decisions effects).
+
+use crate::converter::{PipelineAdc, RawConversion};
+
+/// Calibrated reconstruction weights.
+///
+/// ```
+/// use adc_pipeline::calibration::{calibrate_foreground, training_levels};
+/// use adc_pipeline::{AdcConfig, PipelineAdc};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut adc = PipelineAdc::build(AdcConfig::ideal(110e6), 1)?;
+/// let w = calibrate_foreground(&mut adc, &training_levels(64, 1.0), 1)?;
+/// // Stage 1 of an ideal converter weighs V_REF/2.
+/// assert!((w.stage_weights_v[0] - 0.5).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CalibrationWeights {
+    /// Per-stage weights (volts per DAC level), stage 1 first.
+    pub stage_weights_v: Vec<f64>,
+    /// Flash weight (volts per flash step).
+    pub flash_weight_v: f64,
+    /// Additive offset, volts.
+    pub offset_v: f64,
+    /// RMS residual of the fit over the training set, volts.
+    pub fit_residual_rms_v: f64,
+}
+
+impl CalibrationWeights {
+    /// The ideal (uncalibrated) weights for an `n`-stage converter with
+    /// reference `v_ref_v`: stage i weighs `V_REF·2^{−i}`, the flash step
+    /// `V_REF·2^{−(n+1)}`.
+    pub fn ideal(stage_count: usize, v_ref_v: f64) -> Self {
+        Self {
+            stage_weights_v: (1..=stage_count)
+                .map(|i| v_ref_v / 2f64.powi(i as i32))
+                .collect(),
+            flash_weight_v: v_ref_v / 2f64.powi(stage_count as i32 + 1),
+            offset_v: 0.0,
+            fit_residual_rms_v: 0.0,
+        }
+    }
+
+    /// Reconstructs the analog input from a raw conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decision vector length does not match the weights.
+    pub fn reconstruct_v(&self, raw: &RawConversion) -> f64 {
+        assert_eq!(
+            raw.dac_levels.len(),
+            self.stage_weights_v.len(),
+            "stage count mismatch"
+        );
+        let mut v = self.offset_v + self.flash_weight_v * (f64::from(raw.flash_code) - 1.5);
+        for (w, &d) in self.stage_weights_v.iter().zip(&raw.dac_levels) {
+            v += w * f64::from(d);
+        }
+        v
+    }
+}
+
+/// Errors from the calibration procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibrateError {
+    /// Fewer training points than unknowns.
+    TooFewPoints {
+        /// Points supplied.
+        points: usize,
+        /// Unknowns to fit.
+        unknowns: usize,
+    },
+    /// The normal equations were singular (training levels did not
+    /// exercise every stage decision).
+    Singular,
+}
+
+impl std::fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrateError::TooFewPoints { points, unknowns } => {
+                write!(f, "need more than {unknowns} training points, got {points}")
+            }
+            CalibrateError::Singular => {
+                write!(f, "training levels do not exercise every stage decision")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {}
+
+/// Solves `A·x = b` for a dense symmetric positive-definite system by
+/// Gaussian elimination with partial pivoting.
+fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let p = a[col][col];
+        if p.abs() < 1e-30 {
+            return None;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let f = a[row][col] / p;
+            if f == 0.0 {
+                continue;
+            }
+            let pivot_row = a[col].clone();
+            for (k, cell) in a[row].iter_mut().enumerate().skip(col) {
+                *cell -= f * pivot_row[k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    Some((0..n).map(|i| b[i] / a[i][i]).collect())
+}
+
+/// Runs foreground calibration: drives `levels` known DC inputs
+/// (averaging `repeats` conversions each to suppress noise) and fits the
+/// reconstruction weights.
+///
+/// # Errors
+///
+/// Returns [`CalibrateError`] when the training set is too small or
+/// degenerate.
+pub fn calibrate_foreground(
+    adc: &mut PipelineAdc,
+    levels: &[f64],
+    repeats: usize,
+) -> Result<CalibrationWeights, CalibrateError> {
+    let n_stages = adc.config().stage_count;
+    let unknowns = n_stages + 2;
+    if levels.len() < unknowns {
+        return Err(CalibrateError::TooFewPoints {
+            points: levels.len(),
+            unknowns,
+        });
+    }
+    let repeats = repeats.max(1);
+
+    // Accumulate normal equations A^T·A and A^T·b over all observations.
+    let mut ata = vec![vec![0.0_f64; unknowns]; unknowns];
+    let mut atb = vec![0.0_f64; unknowns];
+    let mut rows: Vec<(Vec<f64>, f64)> = Vec::with_capacity(levels.len() * repeats);
+    for &v in levels {
+        for _ in 0..repeats {
+            let raw = adc.convert_held_raw(v);
+            let mut x = Vec::with_capacity(unknowns);
+            for &d in &raw.dac_levels {
+                x.push(f64::from(d));
+            }
+            x.push(f64::from(raw.flash_code) - 1.5);
+            x.push(1.0);
+            for r in 0..unknowns {
+                for c in 0..unknowns {
+                    ata[r][c] += x[r] * x[c];
+                }
+                atb[r] += x[r] * v;
+            }
+            rows.push((x, v));
+        }
+    }
+    let w = solve_dense(ata, atb).ok_or(CalibrateError::Singular)?;
+
+    // Fit residual.
+    let mut resid2 = 0.0;
+    for (x, v) in &rows {
+        let est: f64 = x.iter().zip(&w).map(|(xi, wi)| xi * wi).sum();
+        resid2 += (est - v).powi(2);
+    }
+    let fit_residual_rms_v = (resid2 / rows.len() as f64).sqrt();
+
+    Ok(CalibrationWeights {
+        stage_weights_v: w[..n_stages].to_vec(),
+        flash_weight_v: w[n_stages],
+        offset_v: w[n_stages + 1],
+        fit_residual_rms_v,
+    })
+}
+
+/// Standard training levels: `count` points uniformly covering
+/// ±`0.98·v_ref` (staying off the rails so clipping does not bias the
+/// fit).
+pub fn training_levels(count: usize, v_ref_v: f64) -> Vec<f64> {
+    assert!(count >= 2, "need at least two levels");
+    (0..count)
+        .map(|i| -0.98 * v_ref_v + 1.96 * v_ref_v * i as f64 / (count - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdcConfig;
+
+    #[test]
+    fn ideal_weights_reproduce_ideal_reconstruction() {
+        let mut adc = PipelineAdc::build(AdcConfig::ideal(110e6), 1).unwrap();
+        let weights = CalibrationWeights::ideal(10, 1.0);
+        for i in -20..=20 {
+            let v = i as f64 / 20.0 * 0.95;
+            let raw = adc.convert_held_raw(v);
+            let est = weights.reconstruct_v(&raw);
+            // Within the flash quantization step.
+            assert!((est - v).abs() <= 1.0 / 2048.0, "v {v}: est {est}");
+        }
+    }
+
+    #[test]
+    fn calibrating_an_ideal_converter_recovers_ideal_weights() {
+        let mut adc = PipelineAdc::build(AdcConfig::ideal(110e6), 1).unwrap();
+        let w = calibrate_foreground(&mut adc, &training_levels(256, 1.0), 1).unwrap();
+        let ideal = CalibrationWeights::ideal(10, 1.0);
+        for (fitted, truth) in w.stage_weights_v.iter().zip(&ideal.stage_weights_v) {
+            assert!((fitted - truth).abs() / truth < 0.01, "{fitted} vs {truth}");
+        }
+        assert!(w.fit_residual_rms_v < 1.0 / 2048.0);
+    }
+
+    #[test]
+    fn calibration_reduces_static_error_on_a_mismatched_die() {
+        // A die with exaggerated mismatch and no noise isolates the
+        // static effect the calibration targets.
+        let mut cfg = AdcConfig::ideal(110e6);
+        cfg.c_sample_stage1 =
+            adc_analog::capacitor::CapacitorSpec::new(4e-12, 0.0, 0.005);
+        let mut adc = PipelineAdc::build(cfg, 3).unwrap();
+        let w = calibrate_foreground(&mut adc, &training_levels(512, 1.0), 1).unwrap();
+        let ideal = CalibrationWeights::ideal(10, 1.0);
+        // Evaluate both reconstructions on fresh points.
+        let (mut err_cal, mut err_ideal) = (0.0, 0.0);
+        for i in 0..401 {
+            let v = -0.95 + 1.9 * i as f64 / 400.0;
+            let raw = adc.convert_held_raw(v);
+            err_cal += (w.reconstruct_v(&raw) - v).powi(2);
+            err_ideal += (ideal.reconstruct_v(&raw) - v).powi(2);
+        }
+        assert!(
+            err_cal < err_ideal / 4.0,
+            "calibrated {err_cal} vs ideal-weight {err_ideal}"
+        );
+    }
+
+    #[test]
+    fn too_few_points_is_an_error() {
+        let mut adc = PipelineAdc::build(AdcConfig::ideal(110e6), 1).unwrap();
+        let err = calibrate_foreground(&mut adc, &[0.0, 0.5], 1).unwrap_err();
+        assert!(matches!(err, CalibrateError::TooFewPoints { .. }));
+    }
+
+    #[test]
+    fn raw_conversion_is_consistent_with_code() {
+        let mut adc = PipelineAdc::build(AdcConfig::ideal(110e6), 1).unwrap();
+        for i in -10..=10 {
+            let v = i as f64 / 10.0 * 0.9;
+            let raw = adc.convert_held_raw(v);
+            let decisions: Vec<crate::subconverter::StageDecision> = raw
+                .dac_levels
+                .iter()
+                .map(|&dac_level| crate::subconverter::StageDecision { dac_level })
+                .collect();
+            assert_eq!(
+                crate::correction::assemble_code(&decisions, raw.flash_code),
+                u32::from(raw.code)
+            );
+        }
+    }
+
+    #[test]
+    fn training_levels_cover_the_range_symmetrically() {
+        let l = training_levels(11, 1.0);
+        assert_eq!(l.len(), 11);
+        assert!((l[0] + 0.98).abs() < 1e-12);
+        assert!((l[10] - 0.98).abs() < 1e-12);
+        assert!((l[5]).abs() < 1e-12);
+    }
+}

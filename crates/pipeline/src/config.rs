@@ -1,0 +1,531 @@
+//! Converter configuration: every design knob of the paper's ADC in one
+//! serialisable tree, with calibrated presets.
+//!
+//! [`AdcConfig::nominal_110ms`] is the reproduction's "die": its constants
+//! are calibrated so the simulated converter lands on the paper's Table I
+//! (SNR 67.1 dB, SNDR 64.2 dB, SFDR 69.4 dB, ENOB 10.4 at f_in = 10 MHz,
+//! 110 MS/s, 97 mW). [`AdcConfig::ideal`] strips every non-ideality and
+//! must measure as a textbook 12-bit quantizer — the test suite pins both.
+
+use adc_analog::capacitor::CapacitorSpec;
+use adc_analog::comparator::ComparatorSpec;
+use adc_analog::noise::ApertureJitter;
+use adc_analog::opamp::OpAmpSpec;
+use adc_analog::process::OperatingConditions;
+use adc_analog::switch::SwitchTopology;
+use adc_bias::power::FixedPowerBreakdown;
+
+use crate::clocking::ClockScheme;
+
+/// Per-stage scaling of sampling capacitance and bias current.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ScalingProfile {
+    /// The paper's profile: stage 1 at 1, stage 2 at 2/3, the rest at 1/3.
+    Paper,
+    /// No scaling: every stage sized like stage 1 (ablation C baseline).
+    Uniform,
+    /// Explicit per-stage factors (must match the stage count).
+    Custom(Vec<f64>),
+}
+
+impl ScalingProfile {
+    /// The scale factor of stage `index` (0-based) in an `n`-stage chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a `Custom` profile whose length does not cover `index`,
+    /// or for non-positive custom factors.
+    pub fn factor(&self, index: usize) -> f64 {
+        match self {
+            ScalingProfile::Paper => match index {
+                0 => 1.0,
+                1 => 2.0 / 3.0,
+                _ => 1.0 / 3.0,
+            },
+            ScalingProfile::Uniform => 1.0,
+            ScalingProfile::Custom(v) => {
+                let f = v[index];
+                assert!(f > 0.0, "scale factor must be positive");
+                f
+            }
+        }
+    }
+
+    /// All factors for an `n`-stage chain.
+    pub fn factors(&self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.factor(i)).collect()
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScalingProfile::Paper => "scaled (1, 2/3, 1/3...)",
+            ScalingProfile::Uniform => "unscaled",
+            ScalingProfile::Custom(_) => "custom scaling",
+        }
+    }
+}
+
+/// Which bias generator drives the stages.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum BiasKind {
+    /// The paper's SC generator (Eq. 1): current tracks `f_CR` and `C_B`.
+    Switched,
+    /// Conventional fixed bias sized for `design_rate_hz` with
+    /// `margin` ≥ 1 covering the worst-case capacitor corner.
+    Fixed {
+        /// Rate the fixed current was sized for, hertz.
+        design_rate_hz: f64,
+        /// Over-design margin (≥ 1).
+        margin: f64,
+    },
+}
+
+/// Front-end architecture.
+///
+/// The paper applies the input *directly to stage 1*, "which also
+/// performs sample-and-hold" (§2) — a SHA-less front end. Its cost: the
+/// ADSC samples the input through its own path, skewed from the main
+/// C1/C2 sampling instant, so at high input frequency the ADSC decides on
+/// a slightly different voltage. The 1.5-bit redundancy absorbs that
+/// error as long as `skew · dV/dt` stays below the ±V_REF/4 correction
+/// budget — which is precisely why the architecture can afford to drop
+/// the dedicated SHA and its power.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FrontEndKind {
+    /// No dedicated sample-and-hold (the paper's choice). `aperture
+    /// skew` is the sampling-instant mismatch between the ADSC path and
+    /// the main path.
+    ShaLess {
+        /// ADSC-to-MDAC aperture skew, seconds.
+        adsc_aperture_skew_s: f64,
+    },
+    /// A dedicated SHA ahead of stage 1: no skew, but extra noise and
+    /// power.
+    DedicatedSha {
+        /// Input-referred noise the SHA adds, volts RMS.
+        extra_noise_rms_v: f64,
+        /// Power the SHA burns, watts (rate-independent bias assumed).
+        extra_power_w: f64,
+    },
+}
+
+impl FrontEndKind {
+    /// The paper's SHA-less front end with a realistic ~3 ps path skew.
+    pub fn paper_sha_less() -> Self {
+        FrontEndKind::ShaLess {
+            adsc_aperture_skew_s: 3e-12,
+        }
+    }
+
+    /// A representative dedicated SHA: 120 µV added noise, 18 mW.
+    pub fn conventional_sha() -> Self {
+        FrontEndKind::DedicatedSha {
+            extra_noise_rms_v: 120e-6,
+            extra_power_w: 18e-3,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FrontEndKind::ShaLess { .. } => "SHA-less (paper)",
+            FrontEndKind::DedicatedSha { .. } => "dedicated SHA",
+        }
+    }
+}
+
+/// Reference distribution quality.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum ReferenceQuality {
+    /// Mathematically exact references.
+    Ideal,
+    /// Band-gap-derived, buffered, off-chip-decoupled references with
+    /// static error, code-dependent droop, and noise.
+    #[default]
+    Decoupled,
+}
+
+/// Complete design description of the converter.
+///
+/// All fields are public so sweeps can use struct-update syntax from a
+/// preset:
+///
+/// ```
+/// use adc_pipeline::config::AdcConfig;
+/// let cfg = AdcConfig {
+///     f_cr_hz: 80e6,
+///     ..AdcConfig::nominal_110ms()
+/// };
+/// assert_eq!(cfg.f_cr_hz, 80e6);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AdcConfig {
+    /// Conversion rate, hertz.
+    pub f_cr_hz: f64,
+    /// Differential reference voltage: full-scale input is ±`v_ref_v`
+    /// (2·`v_ref_v` peak-to-peak differential; the paper's 2 V_P-P means
+    /// `v_ref_v` = 1.0).
+    pub v_ref_v: f64,
+    /// Number of 1.5-bit stages before the 2-bit flash (paper: 10).
+    pub stage_count: usize,
+    /// Stage-1 total sampling capacitance spec (C1 + C2).
+    pub c_sample_stage1: CapacitorSpec,
+    /// Per-stage capacitance/bias scaling.
+    pub scaling: ScalingProfile,
+    /// Fixed parasitic capacitance added to every stage's load, farads
+    /// (routing + opamp self-load; does *not* scale with the stage).
+    pub parasitic_load_f: f64,
+    /// Parasitic input capacitance of the opamp as a fraction of the
+    /// sampling capacitance; degrades the feedback factor β.
+    pub beta_parasitic_fraction: f64,
+    /// Input switch topology (the paper: bulk-switched transmission gate).
+    pub input_switch: SwitchTopology,
+    /// Front-end architecture (the paper: SHA-less).
+    pub front_end: FrontEndKind,
+    /// Clocking scheme (the paper: locally generated, no non-overlap).
+    pub clocking: ClockScheme,
+    /// Fixed ADSC + DSB decision delay before MDAC settling starts,
+    /// seconds.
+    pub logic_delay_s: f64,
+    /// Time constant of the DSB reference switches, seconds. Fixed with
+    /// conversion rate (switches do not scale with the bias), so it caps
+    /// the usable rate around 140–150 MS/s as in Fig. 5.
+    pub dsb_switch_tau_s: f64,
+    /// Sampling-clock aperture jitter.
+    pub jitter: ApertureJitter,
+    /// Residue amplifier design.
+    pub opamp: OpAmpSpec,
+    /// Sub-converter comparator design.
+    pub comparator: ComparatorSpec,
+    /// The SC bias generator's capacitor `C_B`.
+    pub bias_c_b: CapacitorSpec,
+    /// The band-gap-derived `V_BIAS`, volts.
+    pub v_bias_v: f64,
+    /// Which bias generator to instantiate.
+    pub bias_kind: BiasKind,
+    /// Mirror ratio from the master current to the stage-1 bias.
+    pub mirror_base_ratio: f64,
+    /// One-sigma mirror ratio mismatch.
+    pub mirror_mismatch_sigma: f64,
+    /// Ratio of a stage's total supply current to its bias current.
+    pub opamp_current_factor: f64,
+    /// Constant-power blocks.
+    pub fixed_power: FixedPowerBreakdown,
+    /// Reference distribution quality.
+    pub reference: ReferenceQuality,
+    /// Whether physical thermal (kT/C) sampling noise is applied. Only
+    /// the [`AdcConfig::ideal`] reference preset turns this off.
+    pub thermal_noise: bool,
+    /// Lumped wideband input-referred noise of everything not modelled
+    /// structurally (clock buffers, reference chain, substrate), volts RMS.
+    pub aux_noise_rms_v: f64,
+    /// Flicker-noise calibration: adds `k/√f_CR` volts RMS of
+    /// input-referred noise (longer sample periods integrate more 1/f
+    /// noise) — the gentle SNDR droop below 20 MS/s in Fig. 5.
+    pub flicker_noise_coeff: f64,
+    /// Nonlinear (cubic) hold-phase leakage coefficient, A/V³; generates
+    /// distortion that grows as the hold time lengthens (very low rates).
+    pub leak_cubic_a_per_v3: f64,
+    /// Supply ripple amplitude at the analog supply, volts peak (0 for a
+    /// clean bench supply).
+    pub supply_ripple_v: f64,
+    /// Supply ripple frequency, hertz.
+    pub supply_ripple_hz: f64,
+    /// Power-supply rejection from the supply to the converter input, dB
+    /// (positive; the injected error is `ripple·10^(−PSRR/20)`).
+    pub psrr_db: f64,
+    /// Operating conditions (temperature, supply, corner).
+    pub conditions: OperatingConditions,
+}
+
+impl AdcConfig {
+    /// The calibrated reproduction of the paper's 110 MS/s design.
+    ///
+    /// Calibration anchors (see `EXPERIMENTS.md`): Table I dynamic metrics
+    /// at f_in = 10 MHz and the Fig. 4 power points (97 mW @ 110 MS/s,
+    /// 110 mW @ 130 MS/s).
+    pub fn nominal_110ms() -> Self {
+        Self {
+            f_cr_hz: 110e6,
+            v_ref_v: 1.0,
+            stage_count: 10,
+            c_sample_stage1: CapacitorSpec::new(4e-12, 0.15, 0.001),
+            scaling: ScalingProfile::Paper,
+            parasitic_load_f: 0.3e-12,
+            beta_parasitic_fraction: 0.15,
+            input_switch: SwitchTopology::TransmissionGate {
+                bulk_switched: true,
+            },
+            front_end: FrontEndKind::paper_sha_less(),
+            clocking: ClockScheme::LocalGenerated,
+            logic_delay_s: 1.0e-9,
+            dsb_switch_tau_s: 0.32e-9,
+            jitter: ApertureJitter::new(0.45e-12),
+            opamp: OpAmpSpec {
+                dc_gain: 10_000.0,
+                v_ov_v: 0.18,
+                slew_current_fraction: 2.0,
+                output_swing_v: 1.3,
+                noise_excess_factor: 8.0,
+                gain_knee_v: 0.62,
+                offset_sigma_v: 1e-3,
+            },
+            comparator: ComparatorSpec::dynamic_latch(),
+            bias_c_b: CapacitorSpec::digital_metal(1e-12),
+            v_bias_v: 0.9,
+            bias_kind: BiasKind::Switched,
+            mirror_base_ratio: 37.0,
+            mirror_mismatch_sigma: 0.01,
+            opamp_current_factor: 2.5,
+            fixed_power: FixedPowerBreakdown::paper_nominal(),
+            reference: ReferenceQuality::Decoupled,
+            thermal_noise: true,
+            aux_noise_rms_v: 220e-6,
+            flicker_noise_coeff: 0.31,
+            leak_cubic_a_per_v3: 5e-9,
+            supply_ripple_v: 0.0,
+            supply_ripple_hz: 1e6,
+            psrr_db: 60.0,
+            conditions: OperatingConditions::nominal(),
+        }
+    }
+
+    /// A representative configuration of the paper's sibling design —
+    /// ref \[1\], the same group's "1.2V 220MS/s 10b Pipeline ADC in
+    /// 0.13µm Digital CMOS" (ISSCC 2004): eight 1.5-bit stages + 2-bit
+    /// flash, 1.2 V supply, smaller capacitors, the same SC bias concept
+    /// at double the rate.
+    ///
+    /// This preset demonstrates the library generalises across the
+    /// architecture family; it is *representative*, not a calibrated
+    /// reproduction of that paper's measurements (its tables are not in
+    /// scope here).
+    pub fn sibling_220ms_10b() -> Self {
+        let base = Self::nominal_110ms();
+        Self {
+            f_cr_hz: 220e6,
+            v_ref_v: 0.6, // 1.2 Vp-p full scale at a 1.2 V supply
+            stage_count: 8,
+            c_sample_stage1: CapacitorSpec::new(1.6e-12, 0.15, 0.001),
+            parasitic_load_f: 0.15e-12,
+            logic_delay_s: 0.55e-9, // faster 0.13 µm logic
+            dsb_switch_tau_s: 0.18e-9,
+            opamp: OpAmpSpec {
+                v_ov_v: 0.14,
+                output_swing_v: 0.85,
+                ..base.opamp
+            },
+            // Eq. 1 sized for the doubled rate in the finer process.
+            bias_c_b: CapacitorSpec::digital_metal(0.55e-12),
+            v_bias_v: 0.65,
+            mirror_base_ratio: 34.0,
+            aux_noise_rms_v: 160e-6,
+            conditions: OperatingConditions {
+                vdd_v: 1.2,
+                ..OperatingConditions::nominal()
+            },
+            ..base
+        }
+    }
+
+    /// A mathematically ideal pipeline at the given rate: no noise, no
+    /// mismatch, no settling error. Must measure as a perfect 12-bit
+    /// quantizer.
+    pub fn ideal(f_cr_hz: f64) -> Self {
+        Self {
+            f_cr_hz,
+            c_sample_stage1: CapacitorSpec::ideal(4e-12),
+            parasitic_load_f: 0.0,
+            beta_parasitic_fraction: 0.0,
+            input_switch: SwitchTopology::Bootstrapped,
+            front_end: FrontEndKind::ShaLess {
+                adsc_aperture_skew_s: 0.0,
+            },
+            logic_delay_s: 0.0,
+            dsb_switch_tau_s: 0.0,
+            jitter: ApertureJitter::none(),
+            opamp: OpAmpSpec::ideal(),
+            comparator: ComparatorSpec::ideal(),
+            bias_c_b: CapacitorSpec::ideal(1e-12),
+            mirror_mismatch_sigma: 0.0,
+            reference: ReferenceQuality::Ideal,
+            thermal_noise: false,
+            aux_noise_rms_v: 0.0,
+            flicker_noise_coeff: 0.0,
+            leak_cubic_a_per_v3: 0.0,
+            ..Self::nominal_110ms()
+        }
+    }
+
+    /// Checks the configuration for physical consistency, returning every
+    /// problem found (empty = valid). [`crate::converter::PipelineAdc::build`]
+    /// rejects the fatal subset; this lists the full diagnosis for tools.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.stage_count == 0 || self.stage_count > 14 {
+            problems.push(format!(
+                "stage_count {} outside the supported 1..=14",
+                self.stage_count
+            ));
+        }
+        if self.f_cr_hz.is_nan() || self.f_cr_hz <= 0.0 {
+            problems.push(format!("conversion rate {} Hz not positive", self.f_cr_hz));
+        }
+        if self.v_ref_v.is_nan() || self.v_ref_v <= 0.0 {
+            problems.push(format!("reference {} V not positive", self.v_ref_v));
+        }
+        if self.v_ref_v > self.conditions.vdd_v {
+            problems.push(format!(
+                "reference {} V exceeds the supply {} V",
+                self.v_ref_v, self.conditions.vdd_v
+            ));
+        }
+        if self.f_cr_hz > 0.0 {
+            let budget = crate::clocking::TimingBudget::at(
+                self.f_cr_hz,
+                self.clocking,
+                self.logic_delay_s,
+            );
+            if budget.settle_time_s <= 0.0 {
+                problems.push(format!(
+                    "no settling time at {} MS/s with this clocking",
+                    self.f_cr_hz / 1e6
+                ));
+            }
+        }
+        if self.opamp.output_swing_v < self.v_ref_v {
+            problems.push(format!(
+                "opamp swing {} V cannot carry full residues (±V_REF = {} V)",
+                self.opamp.output_swing_v, self.v_ref_v
+            ));
+        }
+        if self.comparator.offset_sigma_v * 4.0 > self.v_ref_v / 4.0 {
+            problems.push(format!(
+                "comparator offset sigma {} V risks exceeding the ±V_REF/4 redundancy budget",
+                self.comparator.offset_sigma_v
+            ));
+        }
+        problems
+    }
+
+    /// Total output code count (1.5-bit stages + 2-bit flash resolve to
+    /// `stage_count + 2` bits).
+    pub fn code_count(&self) -> u32 {
+        1u32 << (self.stage_count as u32 + 2)
+    }
+
+    /// Nominal resolution in bits.
+    pub fn resolution_bits(&self) -> u32 {
+        self.stage_count as u32 + 2
+    }
+
+    /// One LSB at the converter input, volts (full scale = 2·V_REF).
+    pub fn lsb_v(&self) -> f64 {
+        2.0 * self.v_ref_v / self.code_count() as f64
+    }
+}
+
+impl Default for AdcConfig {
+    fn default() -> Self {
+        Self::nominal_110ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scaling_matches_section2() {
+        let p = ScalingProfile::Paper;
+        assert_eq!(p.factor(0), 1.0);
+        assert!((p.factor(1) - 2.0 / 3.0).abs() < 1e-15);
+        for i in 2..10 {
+            assert!((p.factor(i) - 1.0 / 3.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn uniform_scaling_is_flat() {
+        assert!(ScalingProfile::Uniform
+            .factors(10)
+            .iter()
+            .all(|&f| f == 1.0));
+    }
+
+    #[test]
+    fn custom_scaling_is_respected() {
+        let p = ScalingProfile::Custom(vec![1.0, 0.5, 0.25]);
+        assert_eq!(p.factors(3), vec![1.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn nominal_is_a_12_bit_110ms_design() {
+        let c = AdcConfig::nominal_110ms();
+        assert_eq!(c.resolution_bits(), 12);
+        assert_eq!(c.code_count(), 4096);
+        assert_eq!(c.f_cr_hz, 110e6);
+        assert_eq!(c.stage_count, 10);
+        // 2 V_P-P full scale -> LSB = 2/4096 V.
+        assert!((c.lsb_v() - 2.0 / 4096.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ideal_preset_strips_nonidealities() {
+        let c = AdcConfig::ideal(110e6);
+        assert_eq!(c.aux_noise_rms_v, 0.0);
+        assert_eq!(c.jitter.sigma_s, 0.0);
+        assert_eq!(c.comparator.offset_sigma_v, 0.0);
+        assert_eq!(c.c_sample_stage1.matching_sigma_rel, 0.0);
+        assert_eq!(c.reference, ReferenceQuality::Ideal);
+    }
+
+    #[test]
+    fn sibling_preset_is_a_10_bit_220ms_design() {
+        let c = AdcConfig::sibling_220ms_10b();
+        assert_eq!(c.resolution_bits(), 10);
+        assert_eq!(c.code_count(), 1024);
+        assert_eq!(c.f_cr_hz, 220e6);
+        assert_eq!(c.conditions.vdd_v, 1.2);
+        assert!(c.validate().is_empty(), "{:?}", c.validate());
+    }
+
+    #[test]
+    fn nominal_validates_clean() {
+        assert!(AdcConfig::nominal_110ms().validate().is_empty());
+        assert!(AdcConfig::ideal(110e6).validate().is_empty());
+    }
+
+    #[test]
+    fn validate_reports_each_problem() {
+        let mut c = AdcConfig::nominal_110ms();
+        c.stage_count = 0;
+        c.v_ref_v = 2.5; // above the 1.8 V supply, above the swing
+        let problems = c.validate();
+        assert!(problems.iter().any(|p| p.contains("stage_count")));
+        assert!(problems.iter().any(|p| p.contains("exceeds the supply")));
+        assert!(problems.iter().any(|p| p.contains("swing")));
+    }
+
+    #[test]
+    fn validate_flags_excessive_rate() {
+        let c = AdcConfig {
+            f_cr_hz: 600e6,
+            ..AdcConfig::nominal_110ms()
+        };
+        assert!(c.validate().iter().any(|p| p.contains("settling")));
+    }
+
+    #[test]
+    fn config_is_serde_capable() {
+        // Configs are data: they must implement Serialize/Deserialize
+        // (C-SERDE). Compile-time check.
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<AdcConfig>();
+        assert_serde::<ScalingProfile>();
+        assert_serde::<BiasKind>();
+    }
+}

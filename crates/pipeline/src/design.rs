@@ -1,0 +1,195 @@
+//! The designer's sizing script: the hand calculations behind the
+//! paper's §2–3 design decisions, as checkable functions.
+//!
+//! Given a resolution, rate, and full scale, these routines derive the
+//! requirements the nominal configuration must satisfy — sampling
+//! capacitor for the kT/C budget, opamp GBW for the settling budget,
+//! slew rate for full-scale residue steps, bias current via Eq. 1 — and
+//! the test suite closes the loop by checking the calibrated
+//! [`crate::config::AdcConfig::nominal_110ms`] actually satisfies them.
+
+use adc_analog::units::{KT_NOMINAL, undb};
+
+/// The input-referred noise budget of a converter design.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NoiseBudget {
+    /// Quantization noise, volts RMS.
+    pub quantization_rms_v: f64,
+    /// Total thermal allocation (everything but quantization), volts RMS.
+    pub thermal_rms_v: f64,
+    /// The SNR this budget yields for a full-scale sine, dB.
+    pub snr_db: f64,
+}
+
+/// Builds the budget for a target SNR.
+///
+/// * `target_snr_db` — desired full-scale sine SNR;
+/// * `bits` — resolution (sets the quantization term);
+/// * `v_ref_v` — full-scale amplitude (sine peak).
+///
+/// # Panics
+///
+/// Panics if the target SNR is unachievable at this resolution (the
+/// quantization term alone already exceeds it).
+pub fn noise_budget(target_snr_db: f64, bits: u32, v_ref_v: f64) -> NoiseBudget {
+    assert!(v_ref_v > 0.0);
+    let signal_power = v_ref_v * v_ref_v / 2.0;
+    let total_noise_power = signal_power / undb(target_snr_db);
+    let lsb = 2.0 * v_ref_v / 2f64.powi(bits as i32);
+    let q_power = lsb * lsb / 12.0;
+    assert!(
+        q_power < total_noise_power,
+        "target {target_snr_db} dB SNR is unachievable at {bits} bits"
+    );
+    NoiseBudget {
+        quantization_rms_v: q_power.sqrt(),
+        thermal_rms_v: (total_noise_power - q_power).sqrt(),
+        snr_db: target_snr_db,
+    }
+}
+
+/// Minimum sampling capacitance for a kT/C allocation: if the sampling
+/// network may spend `ktc_share` (0..1) of the thermal *power* budget,
+/// `C ≥ kT / (share·σ_th²)`.
+///
+/// # Panics
+///
+/// Panics for a non-positive share or budget.
+pub fn min_sampling_cap_f(budget: &NoiseBudget, ktc_share: f64) -> f64 {
+    assert!(ktc_share > 0.0 && ktc_share <= 1.0);
+    assert!(budget.thermal_rms_v > 0.0, "no thermal budget allocated");
+    KT_NOMINAL / (ktc_share * budget.thermal_rms_v * budget.thermal_rms_v)
+}
+
+/// Required closed-loop settling time constants for `bits`-accurate
+/// settling: `N_τ = (bits + 1)·ln 2` (half-LSB criterion).
+pub fn required_settling_tau_count(bits: u32) -> f64 {
+    f64::from(bits + 1) * std::f64::consts::LN_2
+}
+
+/// Required opamp unity-gain bandwidth, hertz, for a stage with feedback
+/// factor `beta` settling within `settle_time_s` to `bits` accuracy.
+pub fn required_gbw_hz(bits: u32, settle_time_s: f64, beta: f64) -> f64 {
+    assert!(settle_time_s > 0.0 && beta > 0.0 && beta <= 1.0);
+    let n_tau = required_settling_tau_count(bits);
+    n_tau / (2.0 * std::f64::consts::PI * beta * settle_time_s)
+}
+
+/// Required slew rate, volts/second, to cover a `v_step_v` output step
+/// spending at most `slew_fraction` of the settle time slewing.
+pub fn required_slew_v_per_s(v_step_v: f64, settle_time_s: f64, slew_fraction: f64) -> f64 {
+    assert!(v_step_v > 0.0 && settle_time_s > 0.0);
+    assert!(slew_fraction > 0.0 && slew_fraction < 1.0);
+    v_step_v / (settle_time_s * slew_fraction)
+}
+
+/// Minimum DC gain for a static gain error below half an LSB at `bits`
+/// resolution with feedback `beta`: `A0 ≥ 2^{bits+1}/β`.
+pub fn required_dc_gain(bits: u32, beta: f64) -> f64 {
+    assert!(beta > 0.0 && beta <= 1.0);
+    2f64.powi(bits as i32 + 1) / beta
+}
+
+/// The bias capacitor Eq. 1 needs to produce `i_master_a` at
+/// (`f_cr_hz`, `v_bias_v`): `C_B = I/(f·V)`.
+pub fn required_bias_cap_f(i_master_a: f64, f_cr_hz: f64, v_bias_v: f64) -> f64 {
+    assert!(i_master_a > 0.0 && f_cr_hz > 0.0 && v_bias_v > 0.0);
+    i_master_a / (f_cr_hz * v_bias_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clocking::TimingBudget;
+    use crate::config::AdcConfig;
+    use crate::converter::PipelineAdc;
+    use crate::electrical;
+
+    #[test]
+    fn budget_splits_signal_power_correctly() {
+        let b = noise_budget(67.1, 12, 1.0);
+        // Total noise power = q + thermal.
+        let total = b.quantization_rms_v.powi(2) + b.thermal_rms_v.powi(2);
+        let expected = 0.5 / undb(67.1);
+        assert!((total - expected).abs() / expected < 1e-12);
+        // 12-bit quantization is 141 µV; the thermal share carries the rest.
+        assert!((b.quantization_rms_v - 141e-6).abs() < 1e-6);
+        assert!(b.thermal_rms_v > 250e-6 && b.thermal_rms_v < 300e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unachievable")]
+    fn impossible_budget_is_rejected() {
+        // 80 dB SNR at 12 bits: quantization alone is ~74 dB.
+        let _ = noise_budget(80.0, 12, 1.0);
+    }
+
+    #[test]
+    fn sampling_cap_requirement_matches_ktc() {
+        let b = noise_budget(67.1, 12, 1.0);
+        let c = min_sampling_cap_f(&b, 0.05);
+        // Check the implied noise: kT/C = share of the thermal power.
+        let sigma2 = KT_NOMINAL / c;
+        assert!((sigma2 - 0.05 * b.thermal_rms_v.powi(2)).abs() / sigma2 < 1e-12);
+        // The nominal design's 4 pF comfortably exceeds the requirement
+        // (its kT/C spend is a small share, as the paper's "large
+        // sampling capacitors" phrasing implies).
+        assert!(AdcConfig::nominal_110ms().c_sample_stage1.nominal_f > c);
+    }
+
+    #[test]
+    fn twelve_bit_settling_needs_nine_taus() {
+        let n = required_settling_tau_count(12);
+        assert!((n - 13.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(n > 8.9 && n < 9.1);
+    }
+
+    #[test]
+    fn nominal_stage1_opamp_meets_the_derived_gbw_requirement() {
+        let cfg = AdcConfig::nominal_110ms();
+        let timing = TimingBudget::at(cfg.f_cr_hz, cfg.clocking, cfg.logic_delay_s);
+        let beta = electrical::stage_beta(2e-12, 2e-12, cfg.beta_parasitic_fraction);
+        let need = required_gbw_hz(12, timing.settle_time_s, beta);
+        // Build the die and inspect the actual stage-1 opamp.
+        let adc = PipelineAdc::build(cfg, 7).expect("builds");
+        let have = adc.stages()[0].mdac.opamp.gbw_hz();
+        assert!(
+            have > 0.8 * need,
+            "stage 1 GBW {have:.3e} vs requirement {need:.3e}"
+        );
+    }
+
+    #[test]
+    fn nominal_stage1_opamp_meets_the_slew_requirement() {
+        let cfg = AdcConfig::nominal_110ms();
+        let timing = TimingBudget::at(cfg.f_cr_hz, cfg.clocking, cfg.logic_delay_s);
+        // Full-scale residue step ≈ 2·V_REF, ≤ 35 % of the phase slewing
+        // (the v_lin boundary region settles linearly, so the pure-slew
+        // segment is shorter than the naive step/SR).
+        let need = required_slew_v_per_s(2.0, timing.settle_time_s, 0.35);
+        let adc = PipelineAdc::build(cfg, 7).expect("builds");
+        let have = adc.stages()[0].mdac.opamp.slew_rate_v_per_s();
+        assert!(have > need, "slew {have:.3e} vs requirement {need:.3e}");
+    }
+
+    #[test]
+    fn nominal_dc_gain_meets_the_half_lsb_requirement() {
+        let cfg = AdcConfig::nominal_110ms();
+        let beta = electrical::stage_beta(2e-12, 2e-12, cfg.beta_parasitic_fraction);
+        // The paper's stage 1 only needs ~10-bit static accuracy after
+        // the first decision (later stages relax further); require 10b.
+        let need = required_dc_gain(10, beta);
+        assert!(
+            cfg.opamp.dc_gain > need,
+            "A0 {} vs requirement {need}",
+            cfg.opamp.dc_gain
+        );
+    }
+
+    #[test]
+    fn eq1_sizing_round_trips() {
+        // The nominal design: master = 99 µA at 110 MS/s, 0.9 V.
+        let c_b = required_bias_cap_f(99e-6, 110e6, 0.9);
+        assert!((c_b - 1e-12).abs() < 1e-18, "c_b {c_b}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Converter introspection: per-stage operating points and the
+//! input-referred noise budget.
+//!
+//! `Diagnostics` answers the two questions a designer asks a behavioral
+//! model first: *where is my noise coming from?* and *how hard is each
+//! stage working?* The noise budget is also a powerful consistency check:
+//! its predicted SNR must match what the FFT measures on the same die —
+//! the test suite holds the model to that.
+
+use std::fmt;
+
+use adc_analog::units::KT_NOMINAL;
+
+use crate::converter::PipelineAdc;
+
+/// One stage's derived operating point.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StageOperatingPoint {
+    /// Stage index, 0-based.
+    pub index: usize,
+    /// Total sampling capacitance, farads.
+    pub c_sample_f: f64,
+    /// Bias current, amperes.
+    pub bias_current_a: f64,
+    /// Opamp transconductance, siemens.
+    pub gm_s: f64,
+    /// Unity-gain bandwidth, hertz.
+    pub gbw_hz: f64,
+    /// Slew rate, volts/second.
+    pub slew_v_per_s: f64,
+    /// Feedback factor.
+    pub beta: f64,
+    /// Settling time constants available in the settle window.
+    pub settle_taus: f64,
+}
+
+/// The converter's input-referred noise budget, volts RMS per term.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NoiseBreakdown {
+    /// Quantization, volts RMS.
+    pub quantization_v: f64,
+    /// Front-end kT/C, volts RMS.
+    pub front_end_ktc_v: f64,
+    /// Later stages' kT/C, input-referred, volts RMS.
+    pub stage_ktc_v: f64,
+    /// All opamps' sampled noise, input-referred, volts RMS.
+    pub opamp_v: f64,
+    /// Auxiliary (reference/clock/flicker/SHA) noise, volts RMS.
+    pub aux_v: f64,
+}
+
+impl NoiseBreakdown {
+    /// Total input-referred noise, volts RMS.
+    pub fn total_v(&self) -> f64 {
+        (self.quantization_v.powi(2)
+            + self.front_end_ktc_v.powi(2)
+            + self.stage_ktc_v.powi(2)
+            + self.opamp_v.powi(2)
+            + self.aux_v.powi(2))
+        .sqrt()
+    }
+
+    /// The SNR this budget predicts for a sine of peak `amplitude_v`, dB.
+    pub fn predicted_snr_db(&self, amplitude_v: f64) -> f64 {
+        let signal = amplitude_v * amplitude_v / 2.0;
+        let noise = self.total_v().powi(2);
+        10.0 * (signal / noise).log10()
+    }
+}
+
+/// Full diagnostics of a fabricated die.
+///
+/// ```
+/// use adc_pipeline::diagnostics::Diagnostics;
+/// use adc_pipeline::{AdcConfig, PipelineAdc};
+/// # fn main() -> Result<(), adc_pipeline::error::BuildAdcError> {
+/// let adc = PipelineAdc::build(AdcConfig::nominal_110ms(), 7)?;
+/// let d = Diagnostics::of(&adc);
+/// // The analytic budget predicts the Table I SNR.
+/// assert!((d.noise.predicted_snr_db(0.995) - 67.1).abs() < 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Diagnostics {
+    /// Per-stage operating points.
+    pub stages: Vec<StageOperatingPoint>,
+    /// The noise budget.
+    pub noise: NoiseBreakdown,
+    /// Total power, watts.
+    pub power_w: f64,
+    /// Conversion rate, hertz.
+    pub f_cr_hz: f64,
+}
+
+impl Diagnostics {
+    /// Extracts diagnostics from a die.
+    pub fn of(adc: &PipelineAdc) -> Self {
+        let cfg = adc.config();
+        let timing = adc.timing();
+        let mut stages = Vec::with_capacity(cfg.stage_count);
+        let mut stage_ktc_pow = 0.0;
+        let mut opamp_pow = 0.0;
+        let mut cumulative_gain = 1.0;
+        for (i, s) in adc.stages().iter().enumerate() {
+            let amp = &s.mdac.opamp;
+            stages.push(StageOperatingPoint {
+                index: i,
+                c_sample_f: s.c_sample.value_f,
+                bias_current_a: amp.bias_current_a,
+                gm_s: amp.gm_s(),
+                gbw_hz: amp.gbw_hz(),
+                slew_v_per_s: amp.slew_rate_v_per_s(),
+                beta: s.mdac.beta,
+                settle_taus: timing.settle_time_s / amp.tau_s(s.mdac.beta),
+            });
+            // Noise referred to the converter input: divide by the gain
+            // ahead of the contribution point.
+            if i > 0 && cfg.thermal_noise {
+                let ktc = KT_NOMINAL / s.c_sample.value_f;
+                stage_ktc_pow += ktc / (cumulative_gain * cumulative_gain);
+            }
+            // Opamp noise appears at the stage output: refer through the
+            // gain up to *and including* this stage.
+            let out_gain = cumulative_gain * s.mdac.gain();
+            let op = amp.sampled_noise_rms_v(s.mdac.beta);
+            opamp_pow += (op * op) / (out_gain * out_gain);
+            cumulative_gain = out_gain;
+        }
+        let front_end_ktc_v = if cfg.thermal_noise {
+            (KT_NOMINAL / adc.stages()[0].c_sample.value_f).sqrt()
+        } else {
+            0.0
+        };
+        let lsb = cfg.lsb_v();
+        let noise = NoiseBreakdown {
+            quantization_v: lsb / 12f64.sqrt(),
+            front_end_ktc_v,
+            stage_ktc_v: stage_ktc_pow.sqrt(),
+            opamp_v: opamp_pow.sqrt(),
+            aux_v: adc.aux_noise_rms_v(),
+        };
+        Self {
+            stages,
+            noise,
+            power_w: adc.power_w(),
+            f_cr_hz: cfg.f_cr_hz,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "stage   C(pF)   Ibias(mA)   gm(mS)   GBW(MHz)   SR(V/us)   beta   settle(tau)"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:2}   {:5.2}   {:9.3}   {:6.1}   {:8.0}   {:8.0}   {:4.2}   {:11.1}",
+                s.index + 1,
+                s.c_sample_f * 1e12,
+                s.bias_current_a * 1e3,
+                s.gm_s * 1e3,
+                s.gbw_hz / 1e6,
+                s.slew_v_per_s / 1e6,
+                s.beta,
+                s.settle_taus,
+            )?;
+        }
+        writeln!(f, "noise budget (input-referred, uV rms):")?;
+        writeln!(f, "  quantization  {:6.1}", self.noise.quantization_v * 1e6)?;
+        writeln!(f, "  front-end kT/C{:6.1}", self.noise.front_end_ktc_v * 1e6)?;
+        writeln!(f, "  stage kT/C    {:6.1}", self.noise.stage_ktc_v * 1e6)?;
+        writeln!(f, "  opamps        {:6.1}", self.noise.opamp_v * 1e6)?;
+        writeln!(f, "  auxiliary     {:6.1}", self.noise.aux_v * 1e6)?;
+        writeln!(f, "  TOTAL         {:6.1}", self.noise.total_v() * 1e6)?;
+        write!(
+            f,
+            "power {:.1} mW at {:.0} MS/s",
+            self.power_w * 1e3,
+            self.f_cr_hz / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdcConfig;
+
+    #[test]
+    fn stage_scaling_is_visible_in_operating_points() {
+        let adc = PipelineAdc::build(AdcConfig::nominal_110ms(), 7).unwrap();
+        let d = Diagnostics::of(&adc);
+        assert_eq!(d.stages.len(), 10);
+        // Caps and currents follow the 1, 2/3, 1/3 profile.
+        let s = &d.stages;
+        assert!(s[0].c_sample_f > s[1].c_sample_f);
+        assert!(s[1].c_sample_f > s[2].c_sample_f);
+        assert!((s[2].c_sample_f - s[9].c_sample_f).abs() < 0.1e-12);
+        assert!(s[0].bias_current_a > s[1].bias_current_a);
+    }
+
+    #[test]
+    fn every_stage_has_adequate_settling() {
+        let adc = PipelineAdc::build(AdcConfig::nominal_110ms(), 7).unwrap();
+        let d = Diagnostics::of(&adc);
+        for s in &d.stages {
+            assert!(s.settle_taus > 9.0, "stage {} only {} taus", s.index, s.settle_taus);
+        }
+    }
+
+    #[test]
+    fn budget_predicts_the_measured_snr() {
+        // The headline consistency check: the analytically composed noise
+        // budget must predict the FFT-measured SNR within 1 dB.
+        use adc_spectral::metrics::{analyze_tone, ToneAnalysisConfig};
+        use adc_spectral::window::coherent_frequency;
+        let mut adc = PipelineAdc::build(AdcConfig::nominal_110ms(), 7).unwrap();
+        let d = Diagnostics::of(&adc);
+        let predicted = d.noise.predicted_snr_db(0.999);
+        let n = 8192;
+        let (f_in, _) = coherent_frequency(110e6, n, 10e6);
+        let tone =
+            move |t: f64| 0.999 * (2.0 * std::f64::consts::PI * f_in * t).sin();
+        let codes = adc.convert_waveform(&tone, n);
+        let rec: Vec<f64> = codes.iter().map(|&c| adc.reconstruct_v(c)).collect();
+        let measured = analyze_tone(&rec, &ToneAnalysisConfig::coherent())
+            .unwrap()
+            .snr_db;
+        assert!(
+            (predicted - measured).abs() < 1.0,
+            "predicted {predicted} vs measured {measured}"
+        );
+    }
+
+    #[test]
+    fn ideal_converter_budget_is_quantization_only() {
+        let adc = PipelineAdc::build(AdcConfig::ideal(110e6), 1).unwrap();
+        let d = Diagnostics::of(&adc);
+        assert_eq!(d.noise.front_end_ktc_v, 0.0);
+        assert_eq!(d.noise.aux_v, 0.0);
+        assert!(d.noise.opamp_v < 1e-12);
+        // Predicted SNR = the ideal 12-bit ~74 dB.
+        assert!((d.noise.predicted_snr_db(1.0) - 74.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let adc = PipelineAdc::build(AdcConfig::nominal_110ms(), 7).unwrap();
+        let text = Diagnostics::of(&adc).to_string();
+        for needle in ["stage", "GBW", "noise budget", "TOTAL", "power"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

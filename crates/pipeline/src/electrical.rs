@@ -1,0 +1,85 @@
+//! Electrical derivation of a stage's operating point.
+//!
+//! Pure functions mapping the fabricated component values to the small set
+//! of quantities the behavioral stage model consumes: the feedback factor
+//! β of the closed-loop MDAC and the effective load capacitance that sets
+//! the opamp's bandwidth and slew rate.
+//!
+//! The *fixed* parasitic component of the load is behaviorally important:
+//! stage capacitors scale with the paper's 1 / 2⁄3 / 1⁄3 profile and bias
+//! currents scale with conversion rate, but routing and opamp self-loading
+//! do not — they are one of the effects that eventually breaks the "full
+//! performance at any rate" property at the extremes.
+
+/// Feedback factor of the MDAC during amplification.
+///
+/// `β = C2 / (C1 + C2 + C_par)` with the opamp input parasitic expressed
+/// as `par_fraction · (C1 + C2)`.
+///
+/// # Panics
+///
+/// Panics if any capacitance is non-positive or the fraction is negative.
+pub fn stage_beta(c1_f: f64, c2_f: f64, par_fraction: f64) -> f64 {
+    assert!(c1_f > 0.0 && c2_f > 0.0, "capacitances must be positive");
+    assert!(par_fraction >= 0.0, "parasitic fraction must be non-negative");
+    c2_f / (c1_f + c2_f + par_fraction * (c1_f + c2_f))
+}
+
+/// Effective load capacitance of a stage's opamp during amplification:
+/// the next stage's sampling capacitors, the fixed routing/self-load
+/// parasitic, and the series feedback network (≈ C1·C2/(C1+C2) = C/4 for
+/// C1 = C2).
+///
+/// # Panics
+///
+/// Panics if `c_own_f` or `c_next_f` is non-positive, or the parasitic is
+/// negative.
+pub fn stage_load_f(c_own_f: f64, c_next_f: f64, parasitic_f: f64) -> f64 {
+    assert!(c_own_f > 0.0 && c_next_f > 0.0, "capacitances must be positive");
+    assert!(parasitic_f >= 0.0, "parasitic must be non-negative");
+    c_next_f + parasitic_f + 0.25 * c_own_f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_is_half_for_equal_caps_no_parasitic() {
+        assert!((stage_beta(2e-12, 2e-12, 0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parasitic_degrades_beta() {
+        let clean = stage_beta(2e-12, 2e-12, 0.0);
+        let loaded = stage_beta(2e-12, 2e-12, 0.15);
+        assert!(loaded < clean);
+        // β = 0.5/1.15 ≈ 0.4348
+        assert!((loaded - 0.5 / 1.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_includes_next_stage_and_parasitics() {
+        // Stage 1 (4 pF) driving stage 2 (8/3 pF) with 0.3 pF parasitic:
+        let l = stage_load_f(4e-12, 8e-12 / 3.0, 0.3e-12);
+        let expected = 8e-12 / 3.0 + 0.3e-12 + 1e-12;
+        assert!((l - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fixed_parasitic_matters_more_for_scaled_stages() {
+        // The relative load contribution of the fixed parasitic grows as
+        // the stage caps shrink — the scaling-profile tax.
+        let big = stage_load_f(4e-12, 4e-12, 0.3e-12);
+        let small = stage_load_f(4e-12 / 3.0, 4e-12 / 3.0, 0.3e-12);
+        let par_share_big = 0.3e-12 / big;
+        let par_share_small = 0.3e-12 / small;
+        assert!(par_share_small > 2.0 * par_share_big);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_caps() {
+        let _ = stage_beta(0.0, 1e-12, 0.0);
+    }
+}

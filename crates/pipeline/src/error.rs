@@ -1,0 +1,69 @@
+//! Error types for converter construction and operation.
+
+/// Errors from building a [`crate::converter::PipelineAdc`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildAdcError {
+    /// Fewer than one 1.5-bit stage requested.
+    NoStages,
+    /// Conversion rate must be positive. Carries the offending value.
+    InvalidRate(f64),
+    /// Reference voltage must be positive. Carries the offending value.
+    InvalidReference(f64),
+    /// The clocking scheme leaves no settling time at this conversion rate
+    /// (non-overlap margin plus logic delay exceed the half period).
+    NoSettlingTime {
+        /// Conversion rate, hertz.
+        f_cr_hz: f64,
+        /// The (negative or zero) settling time that resulted, seconds.
+        settle_time_s: f64,
+    },
+}
+
+impl std::fmt::Display for BuildAdcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildAdcError::NoStages => write!(f, "pipeline needs at least one 1.5-bit stage"),
+            BuildAdcError::InvalidRate(r) => {
+                write!(f, "conversion rate must be positive, got {r} Hz")
+            }
+            BuildAdcError::InvalidReference(v) => {
+                write!(f, "reference voltage must be positive, got {v} V")
+            }
+            BuildAdcError::NoSettlingTime {
+                f_cr_hz,
+                settle_time_s,
+            } => write!(
+                f,
+                "no settling time left at {} MS/s (t_settle = {:.3} ns)",
+                f_cr_hz / 1e6,
+                settle_time_s * 1e9
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildAdcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            BuildAdcError::NoStages.to_string(),
+            BuildAdcError::InvalidRate(-1.0).to_string(),
+            BuildAdcError::InvalidReference(0.0).to_string(),
+            BuildAdcError::NoSettlingTime {
+                f_cr_hz: 500e6,
+                settle_time_s: -1e-9,
+            }
+            .to_string(),
+        ];
+        for m in &msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase() || m.starts_with("no"));
+        }
+        assert!(msgs[3].contains("500"));
+    }
+}

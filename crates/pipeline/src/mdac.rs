@@ -1,0 +1,222 @@
+//! The multiplying DAC (MDAC): residue generation with every §3
+//! non-ideality.
+//!
+//! In the amplification phase (Fig. 2 of the paper) C1 is switched to
+//! ±V_REF or V_CM by the DSB while C2 closes the loop around the opamp.
+//! The ideal residue is
+//!
+//! ```text
+//! V_out = (C1 + C2)/C2 · V_in − d · (C1/C2) · V_REF,   d ∈ {−1, 0, +1}
+//! ```
+//!
+//! which for matched capacitors is the textbook `2·V_in − d·V_REF`. The
+//! model layers on: capacitor-mismatch gain and DAC-level errors (the INL
+//! signature), the opamp's finite-gain error, incomplete settling from the
+//! previous output (the paper's §3 timing discussion), slew limiting,
+//! output clipping, and sampled opamp noise.
+
+use adc_analog::noise::NoiseSource;
+use adc_analog::opamp::OpAmp;
+
+/// One stage's residue amplifier.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Mdac {
+    /// Fabricated C1 (the capacitor the DSB switches to the reference),
+    /// farads.
+    pub c1_f: f64,
+    /// Fabricated C2 (the feedback capacitor), farads.
+    pub c2_f: f64,
+    /// Feedback factor during amplification.
+    pub beta: f64,
+    /// The residue amplifier at its operating point.
+    pub opamp: OpAmp,
+    /// Time constant of the DSB reference switches charging C1, seconds.
+    /// Unlike the opamp's τ (whose bias scales with conversion rate), this
+    /// is *fixed* — the mechanism that ends the paper's flat-performance
+    /// range above ≈140 MS/s. Zero disables it.
+    pub dsb_tau_s: f64,
+    /// Previous held output (settling starts from here).
+    prev_output_v: f64,
+}
+
+impl Mdac {
+    /// Creates an MDAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacitances are non-positive or `beta` is outside
+    /// `(0, 1]`.
+    pub fn new(c1_f: f64, c2_f: f64, beta: f64, opamp: OpAmp) -> Self {
+        assert!(c1_f > 0.0 && c2_f > 0.0, "capacitances must be positive");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        Self {
+            c1_f,
+            c2_f,
+            beta,
+            opamp,
+            dsb_tau_s: 0.0,
+            prev_output_v: 0.0,
+        }
+    }
+
+    /// Sets the DSB reference-switch time constant.
+    pub fn with_dsb_tau(mut self, dsb_tau_s: f64) -> Self {
+        assert!(dsb_tau_s >= 0.0, "time constant must be non-negative");
+        self.dsb_tau_s = dsb_tau_s;
+        self
+    }
+
+    /// The stage's actual interstage gain `(C1 + C2)/C2` (ideally 2).
+    pub fn gain(&self) -> f64 {
+        (self.c1_f + self.c2_f) / self.c2_f
+    }
+
+    /// The DAC step `C1/C2` (ideally 1).
+    pub fn dac_gain(&self) -> f64 {
+        self.c1_f / self.c2_f
+    }
+
+    /// The residue an ideal-in-time amplifier would produce (before
+    /// settling/noise), including capacitor mismatch and finite opamp
+    /// gain.
+    pub fn target_residue_v(&self, v_in: f64, dac_level: i8, v_ref_eff: f64) -> f64 {
+        let ideal = self.gain() * (v_in + self.opamp.input_offset_v)
+            - f64::from(dac_level) * self.dac_gain() * v_ref_eff;
+        ideal * self.opamp.gain_error_factor_at(self.beta, ideal)
+    }
+
+    /// Runs one amplification phase.
+    ///
+    /// * `v_in` — the held stage input;
+    /// * `dac_level` — the ADSC decision d ∈ {−1, 0, +1};
+    /// * `v_ref_eff` — the effective reference for this event (droop and
+    ///   noise applied upstream);
+    /// * `settle_time_s` — the timing budget's settle time;
+    /// * `noise` — for the sampled opamp noise.
+    ///
+    /// Returns the residue handed to the next stage.
+    pub fn amplify(
+        &mut self,
+        v_in: f64,
+        dac_level: i8,
+        v_ref_eff: f64,
+        settle_time_s: f64,
+        noise: &mut NoiseSource,
+    ) -> f64 {
+        let target = self.target_residue_v(v_in, dac_level, v_ref_eff);
+        let settled = self
+            .opamp
+            .settle(target, self.prev_output_v, settle_time_s, self.beta);
+        // The DSB's reference switches form a second, rate-independent
+        // pole: its residual error adds to the opamp's.
+        let dsb_error = if self.dsb_tau_s > 0.0 {
+            (target - self.prev_output_v) * (-settle_time_s / self.dsb_tau_s).exp()
+        } else {
+            0.0
+        };
+        let out = settled - dsb_error + self.opamp.sample_noise(self.beta, noise);
+        self.prev_output_v = out;
+        out
+    }
+
+    /// Resets the settling memory (between measurement records).
+    pub fn reset(&mut self) {
+        self.prev_output_v = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_analog::opamp::OpAmpSpec;
+
+    fn ideal_mdac() -> Mdac {
+        let amp = OpAmp::new(OpAmpSpec::ideal(), 1e-3, 1e-12);
+        Mdac::new(2e-12, 2e-12, 0.5, amp)
+    }
+
+    fn quiet() -> NoiseSource {
+        NoiseSource::from_seed(0)
+    }
+
+    #[test]
+    fn ideal_residue_is_2vin_minus_dvref() {
+        let mut m = ideal_mdac();
+        let mut n = quiet();
+        let r = m.amplify(0.3, 1, 1.0, 1e-6, &mut n);
+        assert!((r - (0.6 - 1.0)).abs() < 1e-12);
+        let r = m.amplify(-0.2, -1, 1.0, 1e-6, &mut n);
+        assert!((r - (-0.4 + 1.0)).abs() < 1e-12);
+        let r = m.amplify(0.1, 0, 1.0, 1e-6, &mut n);
+        assert!((r - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitor_mismatch_changes_gain_and_dac_step() {
+        let amp = OpAmp::new(OpAmpSpec::ideal(), 1e-3, 1e-12);
+        // C1 0.5 % high.
+        let m = Mdac::new(2.01e-12, 2e-12, 0.5, amp);
+        assert!((m.gain() - 2.005).abs() < 1e-12);
+        assert!((m.dac_gain() - 1.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_gain_shrinks_residue() {
+        let spec = OpAmpSpec {
+            dc_gain: 1000.0,
+            ..OpAmpSpec::ideal()
+        };
+        let amp = OpAmp::new(spec, 1e-3, 1e-12);
+        let mut m = Mdac::new(2e-12, 2e-12, 0.5, amp);
+        let mut n = quiet();
+        let r = m.amplify(0.4, 0, 1.0, 1e-3, &mut n);
+        let expected = 0.8 / (1.0 + 1.0 / (1000.0 * 0.5));
+        assert!((r - expected).abs() < 1e-9, "r {r} vs {expected}");
+    }
+
+    #[test]
+    fn short_settle_time_leaves_memory_of_previous_output() {
+        let spec = OpAmpSpec::miller_two_stage();
+        let amp = OpAmp::new(spec, 1e-4, 4e-12);
+        let mut m = Mdac::new(2e-12, 2e-12, 0.45, amp);
+        let mut n = quiet();
+        // Converge to +0.8 fully...
+        let _ = m.amplify(0.4, 0, 1.0, 1e-3, &mut n);
+        // ...then give a new target almost no time: output barely moves.
+        let r = m.amplify(-0.4, 0, 1.0, 10e-12, &mut n);
+        assert!(r > 0.5, "residue should still be near +0.8, got {r}");
+        m.reset();
+        let r = m.amplify(-0.4, 0, 1.0, 10e-12, &mut n);
+        assert!(r.abs() < 0.2, "after reset settles from 0, got {r}");
+    }
+
+    #[test]
+    fn residue_clips_at_opamp_swing() {
+        let spec = OpAmpSpec {
+            output_swing_v: 1.3,
+            ..OpAmpSpec::ideal()
+        };
+        let amp = OpAmp::new(spec, 1e-3, 1e-12);
+        let mut m = Mdac::new(2e-12, 2e-12, 0.5, amp);
+        let mut n = quiet();
+        // 2·0.9 − (−1) = 2.8 V target: clips at 1.3 V.
+        let r = m.amplify(0.9, -1, 1.0, 1e-3, &mut n);
+        assert_eq!(r, 1.3);
+    }
+
+    #[test]
+    fn reference_error_scales_dac_term_only() {
+        let mut m = ideal_mdac();
+        let mut n = quiet();
+        let nominal = m.amplify(0.3, 1, 1.0, 1e-6, &mut n);
+        m.reset();
+        let drooped = m.amplify(0.3, 1, 0.999, 1e-6, &mut n);
+        assert!((drooped - nominal - 0.001).abs() < 1e-12);
+        m.reset();
+        // d = 0: reference does not enter at all.
+        let a = m.amplify(0.3, 0, 1.0, 1e-6, &mut n);
+        m.reset();
+        let b = m.amplify(0.3, 0, 0.9, 1e-6, &mut n);
+        assert_eq!(a, b);
+    }
+}

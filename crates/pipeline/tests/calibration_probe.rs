@@ -1,0 +1,58 @@
+//! Scratch calibration probe (developer tool): prints Table I metrics for
+//! the nominal die. Run with `cargo test -p adc-pipeline --test
+//! calibration_probe -- --nocapture --ignored`.
+
+use adc_pipeline::{AdcConfig, PipelineAdc};
+use adc_spectral::metrics::{analyze_tone, ToneAnalysisConfig};
+use adc_spectral::window::coherent_frequency;
+
+struct Sine {
+    a: f64,
+    f: f64,
+}
+impl adc_pipeline::Waveform for Sine {
+    fn value(&self, t: f64) -> f64 {
+        self.a * (2.0 * std::f64::consts::PI * self.f * t).sin()
+    }
+    fn slope(&self, t: f64) -> f64 {
+        2.0 * std::f64::consts::PI * self.f * self.a * (2.0 * std::f64::consts::PI * self.f * t).cos()
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_nominal_metrics() {
+    let n = 8192;
+    for seed in [1u64, 2, 3] {
+        let cfg = AdcConfig::nominal_110ms();
+        let mut adc = PipelineAdc::build(cfg, seed).unwrap();
+        let (f, _) = coherent_frequency(110e6, n, 10e6);
+        let wave = Sine { a: 0.999, f };
+        let codes = adc.convert_waveform(&wave, n);
+        let record: Vec<f64> = codes.iter().map(|&c| adc.reconstruct_v(c)).collect();
+        let a = analyze_tone(&record, &ToneAnalysisConfig::coherent()).unwrap();
+        println!(
+            "seed {seed}: SNR {:.1}  SNDR {:.1}  SFDR {:.1}  THD {:.1}  ENOB {:.2}  power {:.1} mW",
+            a.snr_db, a.sndr_db, a.sfdr_db, a.thd_db, a.enob,
+            adc.power_w() * 1e3
+        );
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_linearity() {
+    use adc_spectral::linearity::sine_histogram;
+    let n = 1 << 20;
+    for seed in [1u64, 2, 3] {
+        let mut adc = PipelineAdc::build(AdcConfig::nominal_110ms(), seed).unwrap();
+        let (f, _) = coherent_frequency(110e6, 1 << 20, 9.7e6);
+        let wave = Sine { a: 1.02, f };
+        let codes: Vec<u32> = adc.convert_waveform(&wave, n).iter().map(|&c| c as u32).collect();
+        let lin = sine_histogram(&codes, 4096).unwrap();
+        println!(
+            "seed {seed}: DNL [{:+.2}, {:+.2}]  INL [{:+.2}, {:+.2}]  missing {}",
+            lin.dnl_min, lin.dnl_max, lin.inl_min, lin.inl_max, lin.missing_codes.len()
+        );
+    }
+}

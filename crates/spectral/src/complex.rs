@@ -1,0 +1,205 @@
+//! A minimal complex number type for the FFT.
+//!
+//! The approved offline dependency set has no `num-complex`, so the crate
+//! carries its own small, allocation-free complex type with exactly the
+//! operations the spectral code needs.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Zero.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from Cartesian parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a complex number from polar form.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// `e^{iθ}` — a unit phasor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase), radians in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-0.5, 3.0);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * Complex64::ONE, a);
+        assert_eq!(a + Complex64::ZERO, a);
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn multiplication_matches_hand_calc() {
+        // (1+2i)(3+4i) = 3+4i+6i-8 = -5+10i
+        let p = Complex64::new(1.0, 2.0) * Complex64::new(3.0, 4.0);
+        assert_eq!(p, Complex64::new(-5.0, 10.0));
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let z = Complex64::new(2.0, -7.0);
+        assert_eq!(z.conj(), Complex64::new(2.0, 7.0));
+        // z * conj(z) = |z|²
+        let m = z * z.conj();
+        assert!((m.re - z.norm_sqr()).abs() < 1e-12);
+        assert!(m.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, PI / 3.0);
+        assert!((z.norm() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - PI / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let z = Complex64::cis(2.0 * PI * k as f64 / 16.0);
+            assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let a = Complex64::new(1.5, -2.5);
+        let b = Complex64::new(0.25, 4.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+        c *= b;
+        assert_eq!(c, a * b);
+    }
+}

@@ -1,0 +1,269 @@
+//! Iterative in-place radix-2 FFT.
+//!
+//! Written from scratch (no DSP crates in the offline dependency set).
+//! Decimation-in-time with a bit-reversal permutation followed by
+//! `log2(n)` butterfly passes; twiddles are generated per pass from a
+//! single `cis` evaluation and complex multiplication, which keeps the
+//! accuracy comfortably below the −120 dBc floor needed to measure a 12-bit
+//! converter.
+
+use crate::complex::Complex64;
+
+/// Errors returned by FFT planning/execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FftError {
+    /// The transform length is not a power of two (or is zero).
+    NonPowerOfTwoLength(usize),
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::NonPowerOfTwoLength(n) => {
+                write!(f, "fft length {n} is not a nonzero power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+/// Checks that `n` is a usable FFT length.
+fn check_len(n: usize) -> Result<(), FftError> {
+    if n == 0 || !n.is_power_of_two() {
+        Err(FftError::NonPowerOfTwoLength(n))
+    } else {
+        Ok(())
+    }
+}
+
+/// In-place bit-reversal permutation.
+fn bit_reverse_permute(data: &mut [Complex64]) {
+    let n = data.len();
+    let shift = n.leading_zeros() + 1;
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Core butterfly passes; `sign` is −1 for forward, +1 for inverse.
+fn transform(data: &mut [Complex64], sign: f64) {
+    let n = data.len();
+    bit_reverse_permute(data);
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT, in place.
+///
+/// # Errors
+///
+/// Returns [`FftError::NonPowerOfTwoLength`] if the slice length is not a
+/// nonzero power of two.
+///
+/// ```
+/// use adc_spectral::complex::Complex64;
+/// use adc_spectral::fft::fft_in_place;
+///
+/// # fn main() -> Result<(), adc_spectral::fft::FftError> {
+/// let mut x = vec![Complex64::ONE; 8];
+/// fft_in_place(&mut x)?;
+/// // A DC vector transforms to an impulse at bin 0 of height n.
+/// assert!((x[0].re - 8.0).abs() < 1e-12);
+/// assert!(x[1].norm() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft_in_place(data: &mut [Complex64]) -> Result<(), FftError> {
+    check_len(data.len())?;
+    transform(data, -1.0);
+    Ok(())
+}
+
+/// Inverse FFT, in place, normalised by `1/n`.
+///
+/// # Errors
+///
+/// Returns [`FftError::NonPowerOfTwoLength`] if the slice length is not a
+/// nonzero power of two.
+pub fn ifft_in_place(data: &mut [Complex64]) -> Result<(), FftError> {
+    check_len(data.len())?;
+    transform(data, 1.0);
+    let scale = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(scale);
+    }
+    Ok(())
+}
+
+/// FFT of a real signal, returning the full complex spectrum.
+///
+/// # Errors
+///
+/// Returns [`FftError::NonPowerOfTwoLength`] if the input length is not a
+/// nonzero power of two.
+pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex64>, FftError> {
+    check_len(signal.len())?;
+    let mut data: Vec<Complex64> = signal.iter().map(|&x| Complex64::from(x)).collect();
+    transform(&mut data, -1.0);
+    Ok(data)
+}
+
+/// One-sided power spectrum of a real signal, normalised so a full-scale
+/// sine of amplitude `A` lands `A²/2` in its bin (coherent sampling,
+/// rectangular window).
+///
+/// Returns `n/2 + 1` bins (DC through Nyquist).
+///
+/// # Errors
+///
+/// Returns [`FftError::NonPowerOfTwoLength`] if the input length is not a
+/// nonzero power of two.
+pub fn power_spectrum_one_sided(signal: &[f64]) -> Result<Vec<f64>, FftError> {
+    let n = signal.len();
+    let spec = fft_real(signal)?;
+    let norm = 1.0 / (n as f64 * n as f64);
+    let mut out = Vec::with_capacity(n / 2 + 1);
+    // DC and Nyquist appear once; interior bins fold with their mirror.
+    out.push(spec[0].norm_sqr() * norm);
+    for bin in spec.iter().take(n / 2).skip(1) {
+        out.push(2.0 * bin.norm_sqr() * norm);
+    }
+    out.push(spec[n / 2].norm_sqr() * norm);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Complex64::ZERO; 12];
+        assert_eq!(
+            fft_in_place(&mut x),
+            Err(FftError::NonPowerOfTwoLength(12))
+        );
+        assert!(fft_real(&[0.0; 3]).is_err());
+        assert!(power_spectrum_one_sided(&[0.0; 0]).is_err());
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        fft_in_place(&mut x).unwrap();
+        for z in &x {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        let n = 1024;
+        let k = 37; // coherent: integer cycles
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let spec = fft_real(&signal).unwrap();
+        // Bin k holds n/2 magnitude; all others are numerically zero.
+        assert!((spec[k].norm() - n as f64 / 2.0).abs() < 1e-6);
+        for (i, z) in spec.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(z.norm() < 1e-6, "leak at bin {i}: {}", z.norm());
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_fft_ifft() {
+        let n = 256;
+        let orig: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut data = orig.clone();
+        fft_in_place(&mut data).unwrap();
+        ifft_in_place(&mut data).unwrap();
+        for (a, b) in orig.iter().zip(&data) {
+            assert!((a.re - b.re).abs() < 1e-10);
+            assert!((a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 512;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.013).sin()).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = fft_real(&signal).unwrap();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn power_spectrum_full_scale_sine_is_half() {
+        let n = 4096;
+        let k = 401;
+        let a = 0.75;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| a * (2.0 * PI * k as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let ps = power_spectrum_one_sided(&signal).unwrap();
+        assert!((ps[k] - a * a / 2.0).abs() < 1e-9);
+        let rest: f64 = ps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != k)
+            .map(|(_, p)| p)
+            .sum();
+        assert!(rest < 1e-12);
+    }
+
+    #[test]
+    fn power_spectrum_total_matches_signal_power() {
+        let n = 1024;
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.917).sin() * 0.3 + 0.1).collect();
+        let ps = power_spectrum_one_sided(&signal).unwrap();
+        let total: f64 = ps.iter().sum();
+        let mean_sq: f64 = signal.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        assert!((total - mean_sq).abs() / mean_sq < 1e-10);
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let n = 64;
+        let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.5)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).cos(), -1.0))
+            .collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        fft_in_place(&mut fa).unwrap();
+        fft_in_place(&mut fb).unwrap();
+        fft_in_place(&mut fab).unwrap();
+        for i in 0..n {
+            let sum = fa[i] + fb[i];
+            assert!((sum.re - fab[i].re).abs() < 1e-9);
+            assert!((sum.im - fab[i].im).abs() < 1e-9);
+        }
+    }
+}

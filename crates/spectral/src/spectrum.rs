@@ -1,0 +1,180 @@
+//! Averaged spectra and noise-floor estimation.
+//!
+//! A single periodogram's noise bins have ~100 % variance (chi-squared
+//! with 2 degrees of freedom); the Welch method — averaging windowed,
+//! overlapping segments — trades frequency resolution for variance, which
+//! is how a bench instrument draws the smooth noise floors seen in
+//! published ADC spectra. Also computes the noise spectral density (NSD)
+//! in dBFS/Hz, the figure SoC integrators use to budget a receive chain.
+
+use crate::fft::{power_spectrum_one_sided, FftError};
+use crate::window::Window;
+
+/// An averaged one-sided power spectrum.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AveragedSpectrum {
+    /// Power per bin (input units squared), `segment_len/2 + 1` bins.
+    pub power: Vec<f64>,
+    /// Segment length used.
+    pub segment_len: usize,
+    /// Number of averaged segments.
+    pub segments: usize,
+    /// Window applied per segment.
+    pub window: Window,
+}
+
+impl AveragedSpectrum {
+    /// Welch-averaged spectrum: segments of `segment_len` with 50 %
+    /// overlap, each windowed and transformed, magnitudes averaged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] if `segment_len` is not a nonzero power of
+    /// two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is shorter than one segment.
+    pub fn welch(signal: &[f64], segment_len: usize, window: Window) -> Result<Self, FftError> {
+        assert!(
+            signal.len() >= segment_len,
+            "signal ({}) shorter than segment ({segment_len})",
+            signal.len()
+        );
+        let hop = segment_len / 2;
+        let mut power = vec![0.0; segment_len / 2 + 1];
+        let mut segments = 0usize;
+        let mut start = 0usize;
+        while start + segment_len <= signal.len() {
+            let seg = window.apply(&signal[start..start + segment_len]);
+            let ps = power_spectrum_one_sided(&seg)?;
+            for (acc, p) in power.iter_mut().zip(&ps) {
+                *acc += p;
+            }
+            segments += 1;
+            start += hop.max(1);
+        }
+        for p in power.iter_mut() {
+            *p /= segments as f64;
+        }
+        Ok(Self {
+            power,
+            segment_len,
+            segments,
+            window,
+        })
+    }
+
+    /// Bin spacing in hertz for a given sample rate.
+    pub fn bin_width_hz(&self, fs_hz: f64) -> f64 {
+        fs_hz / self.segment_len as f64
+    }
+
+    /// Median-based noise floor estimate per bin (robust to tones), in
+    /// input units squared per bin.
+    pub fn noise_floor_per_bin(&self) -> f64 {
+        let mut sorted: Vec<f64> = self.power[1..].to_vec();
+        sorted.sort_by(f64::total_cmp);
+        // Each averaged bin is Gamma(k, θ)-distributed (k = segments);
+        // its median underestimates its mean by ≈ k/(k − 1/3), the
+        // Wilson–Hilferty approximation (ratio 1.5 for k = 1, → 1 as
+        // averaging deepens).
+        let median = sorted[sorted.len() / 2];
+        let k = self.segments as f64;
+        median * k / (k - 1.0 / 3.0)
+    }
+
+    /// Noise spectral density in dBFS/Hz, given the full-scale sine
+    /// amplitude and sample rate.
+    ///
+    /// `NSD = 10·log10(noise_per_bin / (A²/2) / bin_width)`.
+    pub fn nsd_dbfs_per_hz(&self, full_scale_peak: f64, fs_hz: f64) -> f64 {
+        assert!(full_scale_peak > 0.0 && fs_hz > 0.0);
+        let fs_power = full_scale_peak * full_scale_peak / 2.0;
+        let per_hz = self.noise_floor_per_bin() / self.bin_width_hz(fs_hz)
+            / self.window.enbw_bins();
+        10.0 * (per_hz / fs_power).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn white_noise(n: usize, sigma: f64, seed: u64) -> Vec<f64> {
+        // Deterministic uniform noise scaled to the target sigma.
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                u * sigma * (12f64).sqrt()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn averaging_reduces_variance() {
+        let sig = white_noise(1 << 16, 1e-3, 42);
+        let single = AveragedSpectrum::welch(&sig[..1024], 1024, Window::Hann).unwrap();
+        let averaged = AveragedSpectrum::welch(&sig, 1024, Window::Hann).unwrap();
+        assert!(averaged.segments > 60);
+        let var = |s: &AveragedSpectrum| {
+            let bins = &s.power[1..s.power.len() - 1];
+            let mean = bins.iter().sum::<f64>() / bins.len() as f64;
+            bins.iter().map(|p| (p / mean - 1.0).powi(2)).sum::<f64>() / bins.len() as f64
+        };
+        assert!(var(&averaged) < var(&single) / 10.0);
+    }
+
+    #[test]
+    fn total_noise_power_is_preserved() {
+        let sigma = 2e-3;
+        let sig = white_noise(1 << 15, sigma, 7);
+        let sp = AveragedSpectrum::welch(&sig, 2048, Window::Rectangular).unwrap();
+        let total: f64 = sp.power.iter().sum();
+        assert!(
+            (total - sigma * sigma).abs() / (sigma * sigma) < 0.05,
+            "total {total} vs {}",
+            sigma * sigma
+        );
+    }
+
+    #[test]
+    fn median_floor_is_robust_to_a_tone() {
+        let sigma = 1e-3;
+        let mut sig = white_noise(1 << 15, sigma, 9);
+        // Add a huge tone: the median floor must barely move.
+        for (i, s) in sig.iter_mut().enumerate() {
+            *s += 0.9 * (2.0 * std::f64::consts::PI * 0.0937 * i as f64).sin();
+        }
+        let sp = AveragedSpectrum::welch(&sig, 2048, Window::Hann).unwrap();
+        let expected_per_bin = sigma * sigma / 1024.0 * sp.window.enbw_bins();
+        let floor = sp.noise_floor_per_bin();
+        assert!(
+            floor < 4.0 * expected_per_bin && floor > expected_per_bin / 4.0,
+            "floor {floor} vs expected {expected_per_bin}"
+        );
+    }
+
+    #[test]
+    fn nsd_matches_hand_calculation() {
+        // White noise sigma over fs/2 bandwidth: NSD = sigma²/(fs/2)
+        // relative to A²/2.
+        let sigma = 1e-3;
+        let fs = 110e6;
+        let sig = white_noise(1 << 16, sigma, 11);
+        let sp = AveragedSpectrum::welch(&sig, 2048, Window::Rectangular).unwrap();
+        let nsd = sp.nsd_dbfs_per_hz(1.0, fs);
+        let expected = 10.0 * ((sigma * sigma / (fs / 2.0)) / 0.5).log10();
+        assert!((nsd - expected).abs() < 1.5, "nsd {nsd} vs {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than segment")]
+    fn rejects_short_signals() {
+        let _ = AveragedSpectrum::welch(&[0.0; 100], 1024, Window::Hann);
+    }
+}

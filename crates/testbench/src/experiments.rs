@@ -1,0 +1,292 @@
+//! The paper's experiments as a library: each table/figure campaign as a
+//! function returning a structured, serializable result that *knows the
+//! paper's claims* and can check itself against them.
+//!
+//! The `adc-bench` binaries print these results; the test suite asserts
+//! [`Fig4Result::claims_hold`] &c., so "the reproduction reproduces" is
+//! itself a tested property, not a by-eye judgement.
+
+use adc_pipeline::config::AdcConfig;
+use adc_pipeline::error::BuildAdcError;
+
+use crate::datasheet::{Datasheet, DatasheetError};
+use crate::session::MeasurementSession;
+use crate::survey::{fig8_survey, SurveyEntry};
+use crate::sweep::{DynamicPoint, SweepRunner};
+
+/// Fig. 4: power vs conversion rate.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig4Result {
+    /// (rate Hz, total power W) series.
+    pub series: Vec<(f64, f64)>,
+    /// Power at 110 MS/s, watts.
+    pub p_110_w: f64,
+    /// Power at 130 MS/s, watts.
+    pub p_130_w: f64,
+    /// Fitted slope, watts per hertz.
+    pub slope_w_per_hz: f64,
+}
+
+impl Fig4Result {
+    /// The paper's Fig. 4 claims: 97 mW @110, 110 mW @130, linear.
+    pub fn claims_hold(&self) -> bool {
+        (self.p_110_w - 97e-3).abs() < 6e-3
+            && (self.p_130_w - 110e-3).abs() < 6e-3
+            && (self.slope_w_per_hz - 6.5e-10).abs() < 0.5e-10
+    }
+}
+
+/// Runs the Fig. 4 campaign on the golden die.
+///
+/// # Errors
+///
+/// Propagates build errors.
+pub fn run_fig4() -> Result<Fig4Result, BuildAdcError> {
+    let runner = SweepRunner::nominal();
+    let rates: Vec<f64> = (1..=13).map(|i| i as f64 * 10e6).collect();
+    let readings = runner.power_sweep(&rates)?;
+    let series: Vec<(f64, f64)> = readings.iter().map(|r| (r.f_cr_hz, r.total_w)).collect();
+    let p_at = |f: f64| {
+        readings
+            .iter()
+            .find(|r| (r.f_cr_hz - f).abs() < 1.0)
+            .map(|r| r.total_w)
+            .expect("rate in sweep")
+    };
+    let p_110_w = p_at(110e6);
+    let p_130_w = p_at(130e6);
+    Ok(Fig4Result {
+        series,
+        p_110_w,
+        p_130_w,
+        slope_w_per_hz: (p_130_w - p_110_w) / 20e6,
+    })
+}
+
+/// Fig. 5: dynamics vs conversion rate.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig5Result {
+    /// The measured points.
+    pub points: Vec<DynamicPoint>,
+    /// Minimum SNDR over 20–120 MS/s, dB.
+    pub min_sndr_20_120: f64,
+    /// Minimum SNDR over 20–140 MS/s, dB.
+    pub min_sndr_20_140: f64,
+    /// SNDR at the highest swept rate, dB.
+    pub sndr_at_max_rate: f64,
+}
+
+impl Fig5Result {
+    /// Paper: SNDR > 64 dB (20–120), > 62 dB (to 140), collapsing beyond.
+    /// Bands widened by 1 dB for die-to-die variation.
+    pub fn claims_hold(&self) -> bool {
+        self.min_sndr_20_120 > 63.0
+            && self.min_sndr_20_140 > 61.0
+            && self.sndr_at_max_rate < self.min_sndr_20_140 - 8.0
+    }
+}
+
+/// Runs the Fig. 5 campaign (record length configurable for test speed).
+///
+/// # Errors
+///
+/// Propagates build errors.
+pub fn run_fig5(record_len: usize) -> Result<Fig5Result, BuildAdcError> {
+    let runner = SweepRunner {
+        record_len,
+        ..SweepRunner::nominal()
+    };
+    let rates: Vec<f64> = [20.0, 40.0, 60.0, 80.0, 100.0, 110.0, 120.0, 140.0, 200.0]
+        .iter()
+        .map(|m| m * 1e6)
+        .collect();
+    let points = runner.rate_sweep(&rates, 10e6)?;
+    let min_in = |lo: f64, hi: f64| {
+        points
+            .iter()
+            .filter(|p| p.x_hz >= lo && p.x_hz <= hi)
+            .map(|p| p.sndr_db)
+            .fold(f64::INFINITY, f64::min)
+    };
+    Ok(Fig5Result {
+        min_sndr_20_120: min_in(20e6, 120e6),
+        min_sndr_20_140: min_in(20e6, 140e6),
+        sndr_at_max_rate: points.last().expect("nonempty sweep").sndr_db,
+        points,
+    })
+}
+
+/// Fig. 6: dynamics vs input frequency.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig6Result {
+    /// The measured points.
+    pub points: Vec<DynamicPoint>,
+    /// SNR at 100 MHz, dB.
+    pub snr_at_100mhz: f64,
+    /// SNDR at 40 MHz, dB.
+    pub sndr_at_40mhz: f64,
+    /// SFDR drop from 10 MHz to 150 MHz, dB.
+    pub sfdr_drop_10_to_150: f64,
+}
+
+impl Fig6Result {
+    /// Paper: SNR > 66 dB to 100 MHz; SNDR > 60 dB to 40 MHz; SFDR falls
+    /// steeply beyond ~40 MHz.
+    pub fn claims_hold(&self) -> bool {
+        self.snr_at_100mhz > 65.0 && self.sndr_at_40mhz > 60.0 && self.sfdr_drop_10_to_150 > 15.0
+    }
+}
+
+/// Runs the Fig. 6 campaign.
+///
+/// # Errors
+///
+/// Propagates build errors.
+pub fn run_fig6(record_len: usize) -> Result<Fig6Result, BuildAdcError> {
+    let runner = SweepRunner {
+        record_len,
+        ..SweepRunner::nominal()
+    };
+    let fins: Vec<f64> = [10.0, 40.0, 100.0, 150.0].iter().map(|m| m * 1e6).collect();
+    let points = runner.frequency_sweep(&fins)?;
+    let at = |f: f64| {
+        points
+            .iter()
+            .find(|p| (p.x_hz - f).abs() < 1.0)
+            .expect("fin in sweep")
+    };
+    Ok(Fig6Result {
+        snr_at_100mhz: at(100e6).snr_db,
+        sndr_at_40mhz: at(40e6).sndr_db,
+        sfdr_drop_10_to_150: at(10e6).sfdr_db - at(150e6).sfdr_db,
+        points,
+    })
+}
+
+/// Table I: the datasheet with claim checking.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table1Result {
+    /// The measured datasheet.
+    pub sheet: Datasheet,
+}
+
+impl Table1Result {
+    /// Paper Table I bands (±1.5 dB dynamics, ±6 mW power, same-order
+    /// linearity).
+    pub fn claims_hold(&self) -> bool {
+        let s = &self.sheet;
+        (s.snr_db - 67.1).abs() < 1.5
+            && (s.sndr_db - 64.2).abs() < 1.5
+            && (s.sfdr_db - 69.4).abs() < 2.0
+            && (s.enob - 10.4).abs() < 0.25
+            && (s.power_w - 97e-3).abs() < 6e-3
+            && s.dnl_lsb.1 < 1.8
+            && s.inl_lsb.0 > -2.5
+    }
+}
+
+/// Runs the Table I measurement.
+///
+/// # Errors
+///
+/// Propagates datasheet errors.
+pub fn run_table1(linearity_samples: usize) -> Result<Table1Result, DatasheetError> {
+    let mut session = MeasurementSession::nominal()?;
+    let sheet = Datasheet::measure(&mut session, 10e6, linearity_samples)?;
+    Ok(Table1Result { sheet })
+}
+
+/// Fig. 8: the FoM survey with claim checking.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig8Result {
+    /// Entries sorted by descending FoM.
+    pub ranked: Vec<SurveyEntry>,
+}
+
+impl Fig8Result {
+    /// Paper: highest FM and 2nd-lowest area of the 15-part survey.
+    pub fn claims_hold(&self) -> bool {
+        let first_is_this = self
+            .ranked
+            .first()
+            .map(|e| e.name == "This design")
+            .unwrap_or(false);
+        let smaller = self
+            .ranked
+            .iter()
+            .filter(|e| e.name != "This design" && e.area_mm2 < 0.86)
+            .count();
+        first_is_this && smaller == 1
+    }
+}
+
+/// Builds the ranked Fig. 8 survey.
+pub fn run_fig8() -> Fig8Result {
+    let mut ranked = fig8_survey();
+    ranked.sort_by(|a, b| b.figure_of_merit().total_cmp(&a.figure_of_merit()));
+    Fig8Result { ranked }
+}
+
+/// Convenience: the nominal config the campaigns run on.
+pub fn nominal_config() -> AdcConfig {
+    AdcConfig::nominal_110ms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_claims_hold() {
+        let r = run_fig4().expect("campaign runs");
+        assert!(r.claims_hold(), "{r:?}");
+        assert_eq!(r.series.len(), 13);
+    }
+
+    #[test]
+    fn fig5_claims_hold() {
+        let r = run_fig5(2048).expect("campaign runs");
+        assert!(
+            r.claims_hold(),
+            "min 20-120 {} / min 20-140 {} / max-rate {}",
+            r.min_sndr_20_120,
+            r.min_sndr_20_140,
+            r.sndr_at_max_rate
+        );
+    }
+
+    #[test]
+    fn fig6_claims_hold() {
+        let r = run_fig6(2048).expect("campaign runs");
+        assert!(
+            r.claims_hold(),
+            "snr@100 {} / sndr@40 {} / drop {}",
+            r.snr_at_100mhz,
+            r.sndr_at_40mhz,
+            r.sfdr_drop_10_to_150
+        );
+    }
+
+    #[test]
+    fn table1_claims_hold() {
+        let r = run_table1(1 << 18).expect("measurement runs");
+        assert!(r.claims_hold(), "{:?}", r.sheet);
+    }
+
+    #[test]
+    fn fig8_claims_hold() {
+        let r = run_fig8();
+        assert!(r.claims_hold());
+        assert_eq!(r.ranked.len(), 15);
+    }
+
+    #[test]
+    fn results_serialize() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<Fig4Result>();
+        assert_serde::<Fig5Result>();
+        assert_serde::<Fig6Result>();
+        assert_serde::<Table1Result>();
+        assert_serde::<Fig8Result>();
+    }
+}

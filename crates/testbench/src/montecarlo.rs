@@ -1,0 +1,210 @@
+//! Monte-Carlo yield analysis across fabricated dies.
+//!
+//! The paper reports one measured die; an IP vendor ships thousands. This
+//! module fabricates `n` dies (seeds 1..=n), measures each, and reports
+//! the distribution and the yield against a datasheet specification — the
+//! analysis behind "min/typ/max" columns.
+
+use adc_pipeline::config::AdcConfig;
+use adc_pipeline::error::BuildAdcError;
+
+use crate::session::MeasurementSession;
+
+/// One die's Monte-Carlo measurement.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DieResult {
+    /// Fabrication seed.
+    pub seed: u64,
+    /// SNR at the test tone, dB.
+    pub snr_db: f64,
+    /// SNDR at the test tone, dB.
+    pub sndr_db: f64,
+    /// SFDR at the test tone, dB.
+    pub sfdr_db: f64,
+    /// ENOB, bits.
+    pub enob: f64,
+    /// Total power, watts.
+    pub power_w: f64,
+}
+
+/// Summary statistics of one metric across the population.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricStats {
+    /// Minimum observed.
+    pub min: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Maximum observed.
+    pub max: f64,
+    /// Sample standard deviation.
+    pub sigma: f64,
+}
+
+impl MetricStats {
+    fn over<F: Fn(&DieResult) -> f64>(dies: &[DieResult], f: F) -> Self {
+        assert!(!dies.is_empty(), "no dies measured");
+        let values: Vec<f64> = dies.iter().map(f).collect();
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Self {
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            mean,
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            sigma: var.sqrt(),
+        }
+    }
+}
+
+/// A datasheet specification for yield screening.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct YieldSpec {
+    /// Minimum acceptable SNDR, dB.
+    pub min_sndr_db: f64,
+    /// Minimum acceptable SFDR, dB.
+    pub min_sfdr_db: f64,
+    /// Maximum acceptable power, watts.
+    pub max_power_w: f64,
+}
+
+impl YieldSpec {
+    /// A screen derived from the paper's Table I with production margin:
+    /// SNDR ≥ 62 dB (10 ENOB), SFDR ≥ 65 dB, power ≤ 115 mW.
+    pub fn paper_with_margin() -> Self {
+        Self {
+            min_sndr_db: 62.0,
+            min_sfdr_db: 65.0,
+            max_power_w: 115e-3,
+        }
+    }
+
+    /// Does a die pass?
+    pub fn passes(&self, die: &DieResult) -> bool {
+        die.sndr_db >= self.min_sndr_db
+            && die.sfdr_db >= self.min_sfdr_db
+            && die.power_w <= self.max_power_w
+    }
+}
+
+/// The full Monte-Carlo campaign result.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MonteCarloResult {
+    /// Per-die measurements.
+    pub dies: Vec<DieResult>,
+    /// SNR statistics.
+    pub snr: MetricStats,
+    /// SNDR statistics.
+    pub sndr: MetricStats,
+    /// SFDR statistics.
+    pub sfdr: MetricStats,
+    /// ENOB statistics.
+    pub enob: MetricStats,
+    /// Power statistics (watts).
+    pub power: MetricStats,
+}
+
+impl MonteCarloResult {
+    /// Yield against a spec, in [0, 1].
+    pub fn yield_against(&self, spec: &YieldSpec) -> f64 {
+        let passing = self.dies.iter().filter(|d| spec.passes(d)).count();
+        passing as f64 / self.dies.len() as f64
+    }
+
+    /// Dies failing a spec (for failure analysis).
+    pub fn failures<'a>(&'a self, spec: &'a YieldSpec) -> impl Iterator<Item = &'a DieResult> {
+        self.dies.iter().filter(move |d| !spec.passes(d))
+    }
+}
+
+/// Runs the campaign: fabricates dies with seeds `1..=die_count`,
+/// measures each at `f_in_target_hz` with `record_len`-point records.
+///
+/// # Errors
+///
+/// Propagates the first build error (the config itself is invalid).
+pub fn run_monte_carlo(
+    config: &AdcConfig,
+    die_count: usize,
+    f_in_target_hz: f64,
+    record_len: usize,
+) -> Result<MonteCarloResult, BuildAdcError> {
+    assert!(die_count > 0, "need at least one die");
+    let mut dies = Vec::with_capacity(die_count);
+    for seed in 1..=die_count as u64 {
+        let mut session = MeasurementSession::new(config.clone(), seed)?;
+        session.record_len = record_len;
+        let m = session.measure_tone(f_in_target_hz);
+        dies.push(DieResult {
+            seed,
+            snr_db: m.analysis.snr_db,
+            sndr_db: m.analysis.sndr_db,
+            sfdr_db: m.analysis.sfdr_db,
+            enob: m.analysis.enob,
+            power_w: session.adc().power_w(),
+        });
+    }
+    Ok(MonteCarloResult {
+        snr: MetricStats::over(&dies, |d| d.snr_db),
+        sndr: MetricStats::over(&dies, |d| d.sndr_db),
+        sfdr: MetricStats::over(&dies, |d| d.sfdr_db),
+        enob: MetricStats::over(&dies, |d| d.enob),
+        power: MetricStats::over(&dies, |d| d.power_w),
+        dies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_campaign() -> MonteCarloResult {
+        run_monte_carlo(&AdcConfig::nominal_110ms(), 8, 10e6, 2048).expect("campaign runs")
+    }
+
+    #[test]
+    fn campaign_measures_every_die() {
+        let mc = small_campaign();
+        assert_eq!(mc.dies.len(), 8);
+        let seeds: Vec<u64> = mc.dies.iter().map(|d| d.seed).collect();
+        assert_eq!(seeds, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn statistics_are_internally_consistent() {
+        let mc = small_campaign();
+        assert!(mc.sndr.min <= mc.sndr.mean && mc.sndr.mean <= mc.sndr.max);
+        assert!(mc.power.sigma > 0.0, "dies must spread in power");
+        // All dies are real converters.
+        assert!(mc.enob.min > 9.5, "worst die ENOB {}", mc.enob.min);
+    }
+
+    #[test]
+    fn paper_margin_spec_yields_most_dies() {
+        let mc = small_campaign();
+        let y = mc.yield_against(&YieldSpec::paper_with_margin());
+        assert!(y >= 0.75, "yield {y}");
+    }
+
+    #[test]
+    fn impossible_spec_yields_zero() {
+        let mc = small_campaign();
+        let spec = YieldSpec {
+            min_sndr_db: 90.0,
+            min_sfdr_db: 90.0,
+            max_power_w: 1e-3,
+        };
+        assert_eq!(mc.yield_against(&spec), 0.0);
+        assert_eq!(mc.failures(&spec).count(), mc.dies.len());
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let a = small_campaign();
+        let b = small_campaign();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,252 @@
+//! Plain-text reporting: aligned tables and CSV output for the figure
+//! regeneration binaries.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file (for plotting the figure
+    /// series with external tools).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_csv<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.render_csv())
+    }
+
+    /// Renders as CSV (no quoting — intended for numeric tables).
+    pub fn render_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a one-sided power spectrum as an ASCII plot, the way a bench
+/// spectrum analyzer displays it: x = frequency bins (binned down to
+/// `width` columns, peak-holding within each column), y = dB relative to
+/// the spectrum's peak, clipped at `floor_db` (negative).
+///
+/// # Panics
+///
+/// Panics for an empty spectrum, non-positive dimensions, or a
+/// non-negative floor.
+pub fn render_spectrum_ascii(
+    power: &[f64],
+    width: usize,
+    height: usize,
+    floor_db: f64,
+) -> String {
+    assert!(!power.is_empty(), "empty spectrum");
+    assert!(width > 0 && height > 1, "degenerate plot dimensions");
+    assert!(floor_db < 0.0, "floor must be below the 0 dB peak");
+    let peak = power.iter().copied().fold(0.0_f64, f64::max);
+    let peak = if peak > 0.0 { peak } else { 1.0 };
+    // Column levels: max power in each bin group, in dB relative to peak.
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let lo = c * power.len() / width;
+            let hi = (((c + 1) * power.len()) / width).max(lo + 1).min(power.len());
+            let p = power[lo..hi].iter().copied().fold(0.0_f64, f64::max);
+            if p > 0.0 {
+                (10.0 * (p / peak).log10()).max(floor_db)
+            } else {
+                floor_db
+            }
+        })
+        .collect();
+    let mut out = String::new();
+    for row in 0..height {
+        let level = -(row as f64) * floor_db.abs() / (height - 1) as f64;
+        let label = if row == 0 || row == height - 1 || row == (height - 1) / 2 {
+            format!("{level:6.0} |")
+        } else {
+            "       |".to_string()
+        };
+        out.push_str(&label);
+        for &c in &cols {
+            out.push(if c >= level { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str("  dB    +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str("        0");
+    let pad = width.saturating_sub(9);
+    out.push_str(&" ".repeat(pad));
+    out.push_str("fs/2\n");
+    out
+}
+
+/// Formats a decibel value for a table cell.
+pub fn db_cell(value_db: f64) -> String {
+    if value_db.is_finite() {
+        format!("{value_db:.1}")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Formats a frequency in MHz/MS/s for a table cell.
+pub fn mhz_cell(value_hz: f64) -> String {
+    format!("{:.1}", value_hz / 1e6)
+}
+
+/// Formats a power in mW for a table cell.
+pub fn mw_cell(value_w: f64) -> String {
+    format!("{:.1}", value_w * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["rate", "SNDR"]);
+        t.push_row(["110.0", "64.2"]);
+        t.push_row(["5.0", "63.1"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width (right-aligned columns).
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[2].contains("110.0"));
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        assert_eq!(t.render_csv(), "a,b\n1,2\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_saves_to_disk() {
+        let mut t = TextTable::new(["x", "y"]);
+        t.push_row(["3", "4"]);
+        let path = std::env::temp_dir().join("adc_testbench_report_test.csv");
+        t.save_csv(&path).expect("temp dir is writable");
+        let back = std::fs::read_to_string(&path).expect("file readable");
+        assert_eq!(back, "x,y\n3,4\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn spectrum_plot_marks_the_tone_column() {
+        // A spectrum with one dominant bin: the corresponding column
+        // must reach the top row; quiet columns must not.
+        let mut ps = vec![1e-10; 256];
+        ps[64] = 1.0;
+        let txt = render_spectrum_ascii(&ps, 64, 10, -100.0);
+        let top_row = txt.lines().next().unwrap();
+        // Column of bin 64 out of 256 -> column 16 of 64 (+8 for label).
+        let cells: Vec<char> = top_row.chars().collect();
+        assert_eq!(cells[8 + 16], '#', "row: {top_row}");
+        assert_eq!(cells[8 + 40], ' ');
+    }
+
+    #[test]
+    fn spectrum_plot_has_requested_dimensions() {
+        let ps = vec![1.0; 128];
+        let txt = render_spectrum_ascii(&ps, 40, 8, -80.0);
+        assert_eq!(txt.lines().count(), 8 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor")]
+    fn spectrum_plot_rejects_positive_floor() {
+        let _ = render_spectrum_ascii(&[1.0], 10, 5, 10.0);
+    }
+
+    #[test]
+    fn cells_format_units() {
+        assert_eq!(db_cell(64.23), "64.2");
+        assert_eq!(db_cell(f64::NEG_INFINITY), "-");
+        assert_eq!(mhz_cell(110e6), "110.0");
+        assert_eq!(mw_cell(0.097), "97.0");
+    }
+}

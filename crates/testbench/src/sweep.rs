@@ -1,0 +1,240 @@
+//! Sweep harnesses: the parameterised measurement campaigns behind the
+//! paper's Figs. 4, 5 and 6.
+
+use adc_bias::power::PowerReading;
+use adc_pipeline::config::AdcConfig;
+use adc_pipeline::converter::PipelineAdc;
+use adc_pipeline::error::BuildAdcError;
+
+use crate::session::MeasurementSession;
+
+/// One dynamic sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DynamicPoint {
+    /// The swept variable, hertz (conversion rate or input frequency,
+    /// depending on the sweep).
+    pub x_hz: f64,
+    /// Measured SNR, dB.
+    pub snr_db: f64,
+    /// Measured SNDR, dB.
+    pub sndr_db: f64,
+    /// Measured SFDR, dB.
+    pub sfdr_db: f64,
+    /// Effective number of bits.
+    pub enob: f64,
+}
+
+/// A configured sweep campaign over one die.
+///
+/// ```
+/// use adc_testbench::SweepRunner;
+/// # fn main() -> Result<(), adc_pipeline::error::BuildAdcError> {
+/// let runner = SweepRunner { record_len: 2048, ..SweepRunner::nominal() };
+/// let points = runner.rate_sweep(&[40e6, 110e6], 10e6)?;
+/// assert!(points[1].sndr_db > 62.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    /// Base configuration (the swept field is overridden per point).
+    pub config: AdcConfig,
+    /// Fabrication seed.
+    pub seed: u64,
+    /// FFT record length per point.
+    pub record_len: usize,
+    /// Stimulus amplitude, volts peak.
+    pub amplitude_v: f64,
+}
+
+impl SweepRunner {
+    /// A runner over the golden nominal die with the paper's record
+    /// settings.
+    pub fn nominal() -> Self {
+        Self::for_config(AdcConfig::nominal_110ms())
+    }
+
+    /// A runner over any configuration (golden seed, near-full-scale
+    /// stimulus).
+    pub fn for_config(config: AdcConfig) -> Self {
+        let amplitude_v = 0.995 * config.v_ref_v;
+        Self {
+            config,
+            seed: crate::session::GOLDEN_SEED,
+            record_len: 8192,
+            amplitude_v,
+        }
+    }
+
+    fn session_at_rate(&self, f_cr_hz: f64) -> Result<MeasurementSession, BuildAdcError> {
+        let config = AdcConfig {
+            f_cr_hz,
+            ..self.config.clone()
+        };
+        let mut s = MeasurementSession::new(config, self.seed)?;
+        s.record_len = self.record_len;
+        s.amplitude_v = self.amplitude_v;
+        Ok(s)
+    }
+
+    /// Fig. 5: dynamic metrics versus conversion rate at a fixed input
+    /// frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first build error (e.g. a rate beyond the clocking
+    /// scheme's capability).
+    pub fn rate_sweep(
+        &self,
+        rates_hz: &[f64],
+        f_in_target_hz: f64,
+    ) -> Result<Vec<DynamicPoint>, BuildAdcError> {
+        rates_hz
+            .iter()
+            .map(|&f_cr| {
+                let mut s = self.session_at_rate(f_cr)?;
+                let m = s.measure_tone(f_in_target_hz);
+                Ok(DynamicPoint {
+                    x_hz: f_cr,
+                    snr_db: m.analysis.snr_db,
+                    sndr_db: m.analysis.sndr_db,
+                    sfdr_db: m.analysis.sfdr_db,
+                    enob: m.analysis.enob,
+                })
+            })
+            .collect()
+    }
+
+    /// Fig. 6: dynamic metrics versus input frequency at a fixed
+    /// conversion rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a build error if the base configuration is unbuildable.
+    pub fn frequency_sweep(&self, fins_hz: &[f64]) -> Result<Vec<DynamicPoint>, BuildAdcError> {
+        let mut s = self.session_at_rate(self.config.f_cr_hz)?;
+        Ok(fins_hz
+            .iter()
+            .map(|&fin| {
+                let m = s.measure_tone(fin);
+                DynamicPoint {
+                    x_hz: fin,
+                    snr_db: m.analysis.snr_db,
+                    sndr_db: m.analysis.sndr_db,
+                    sfdr_db: m.analysis.sfdr_db,
+                    enob: m.analysis.enob,
+                }
+            })
+            .collect())
+    }
+
+    /// Fig. 4: power versus conversion rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first build error.
+    pub fn power_sweep(&self, rates_hz: &[f64]) -> Result<Vec<PowerReading>, BuildAdcError> {
+        rates_hz
+            .iter()
+            .map(|&f_cr| {
+                let config = AdcConfig {
+                    f_cr_hz: f_cr,
+                    ..self.config.clone()
+                };
+                let adc = PipelineAdc::build(config, self.seed)?;
+                Ok(adc.power_reading())
+            })
+            .collect()
+    }
+
+    /// Amplitude sweep at fixed rate and input frequency: SNDR versus
+    /// input level (dBFS), the classic dynamic-range characterisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a build error if the base configuration is unbuildable.
+    pub fn amplitude_sweep(
+        &self,
+        f_in_target_hz: f64,
+        levels_dbfs: &[f64],
+    ) -> Result<Vec<(f64, DynamicPoint)>, BuildAdcError> {
+        let mut out = Vec::with_capacity(levels_dbfs.len());
+        for &dbfs in levels_dbfs {
+            let mut s = self.session_at_rate(self.config.f_cr_hz)?;
+            s.amplitude_v = self.config.v_ref_v * 10f64.powf(dbfs / 20.0);
+            let m = s.measure_tone(f_in_target_hz);
+            out.push((
+                dbfs,
+                DynamicPoint {
+                    x_hz: f_in_target_hz,
+                    snr_db: m.analysis.snr_db,
+                    sndr_db: m.analysis.sndr_db,
+                    sfdr_db: m.analysis.sfdr_db,
+                    enob: m.analysis.enob,
+                },
+            ));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_runner() -> SweepRunner {
+        SweepRunner {
+            record_len: 2048,
+            ..SweepRunner::nominal()
+        }
+    }
+
+    #[test]
+    fn rate_sweep_is_flat_in_the_paper_band() {
+        let r = quick_runner();
+        let pts = r.rate_sweep(&[40e6, 80e6, 120e6], 10e6).unwrap();
+        assert_eq!(pts.len(), 3);
+        for p in &pts {
+            assert!(p.sndr_db > 62.0, "sndr {} at {} MS/s", p.sndr_db, p.x_hz / 1e6);
+        }
+    }
+
+    #[test]
+    fn rate_sweep_collapses_beyond_140ms() {
+        let r = quick_runner();
+        let pts = r.rate_sweep(&[110e6, 200e6], 10e6).unwrap();
+        assert!(pts[1].sndr_db < pts[0].sndr_db - 8.0, "{pts:?}");
+    }
+
+    #[test]
+    fn frequency_sweep_shows_sfdr_rolloff() {
+        let r = quick_runner();
+        let pts = r.frequency_sweep(&[10e6, 100e6]).unwrap();
+        assert!(pts[1].sfdr_db < pts[0].sfdr_db - 10.0, "{pts:?}");
+    }
+
+    #[test]
+    fn power_sweep_is_linear() {
+        let r = SweepRunner::nominal();
+        let pts = r.power_sweep(&[40e6, 80e6]).unwrap();
+        let slope1 = pts[0].scaled_w / 40e6;
+        let slope2 = pts[1].scaled_w / 80e6;
+        assert!((slope1 / slope2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplitude_sweep_tracks_level() {
+        let r = quick_runner();
+        let pts = r.amplitude_sweep(10e6, &[-20.0, -0.5]).unwrap();
+        // SNDR improves roughly dB-for-dB with level in the noise-limited
+        // region.
+        let delta = pts[1].1.sndr_db - pts[0].1.sndr_db;
+        assert!((delta - 19.5).abs() < 3.0, "delta {delta}");
+    }
+
+    #[test]
+    fn sweep_propagates_build_errors() {
+        let r = quick_runner();
+        assert!(r.rate_sweep(&[600e6], 10e6).is_err());
+    }
+}

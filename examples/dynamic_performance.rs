@@ -1,0 +1,57 @@
+//! Characterisation-lab scenario: reproduce the paper's two dynamic
+//! sweeps (Figs. 5 and 6) in miniature.
+//!
+//! Run with: `cargo run --release --example dynamic_performance`
+
+use pipeline_adc::testbench::report::{db_cell, mhz_cell, TextTable};
+use pipeline_adc::testbench::SweepRunner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = SweepRunner::nominal();
+
+    println!("== SNR/SNDR/SFDR vs conversion rate (fin = 10 MHz) — Fig. 5 ==");
+    let rates: Vec<f64> = [20.0, 60.0, 110.0, 140.0, 170.0, 200.0]
+        .iter()
+        .map(|m| m * 1e6)
+        .collect();
+    let mut t = TextTable::new(["rate (MS/s)", "SNR", "SNDR", "SFDR"]);
+    for p in runner.rate_sweep(&rates, 10e6)? {
+        t.push_row([
+            mhz_cell(p.x_hz),
+            db_cell(p.snr_db),
+            db_cell(p.sndr_db),
+            db_cell(p.sfdr_db),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("note the flat band through 140 MS/s (the SC bias generator at");
+    println!("work) and the collapse beyond it (fixed DSB/logic delays).\n");
+
+    println!("== SNR/SNDR/SFDR vs input frequency (110 MS/s) — Fig. 6 ==");
+    let fins: Vec<f64> = [5.0, 20.0, 40.0, 80.0, 150.0].iter().map(|m| m * 1e6).collect();
+    let mut t = TextTable::new(["fin (MHz)", "SNR", "SNDR", "SFDR"]);
+    for p in runner.frequency_sweep(&fins)? {
+        t.push_row([
+            mhz_cell(p.x_hz),
+            db_cell(p.snr_db),
+            db_cell(p.sndr_db),
+            db_cell(p.sfdr_db),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("SFDR falls with fin (unbootstrapped input switches); SNR holds");
+    println!("to ~100 MHz and then the 0.45 ps clock jitter takes over.\n");
+
+    println!("== SNDR vs input level (fin = 10 MHz, 110 MS/s) ==");
+    let levels = [-60.0, -40.0, -20.0, -6.0, -0.5];
+    let mut t = TextTable::new(["level (dBFS)", "SNDR", "ENOB"]);
+    for (dbfs, p) in runner.amplitude_sweep(10e6, &levels)? {
+        t.push_row([
+            format!("{dbfs:.1}"),
+            db_cell(p.sndr_db),
+            format!("{:.2}", p.enob),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}

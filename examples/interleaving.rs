@@ -1,0 +1,51 @@
+//! SoC scenario: interleave two of the paper's IP blocks for 220 MS/s.
+//!
+//! Shows the textbook interleaving pathology (offset tone at fs/2, gain
+//! image at fs/2 − fin) and the foreground channel alignment that cures
+//! the correctable part of it.
+//!
+//! Run with: `cargo run --release --example interleaving`
+
+use pipeline_adc::pipeline::interleave::InterleavedAdc;
+use pipeline_adc::pipeline::AdcConfig;
+use pipeline_adc::spectral::metrics::{analyze_tone, ToneAnalysisConfig};
+use pipeline_adc::spectral::window::coherent_frequency;
+
+fn measure(ilv: &mut InterleavedAdc, label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let n = 8192;
+    let fs = ilv.sample_rate_hz();
+    let (f_in, _) = coherent_frequency(fs, n, 20e6);
+    let tone = move |t: f64| 0.98 * (2.0 * std::f64::consts::PI * f_in * t).sin();
+    let record = ilv.convert_waveform(&tone, n);
+    let a = analyze_tone(&record, &ToneAnalysisConfig::coherent())?;
+    println!(
+        "{label:28} SNDR {:5.1} dB   SFDR {:5.1} dB   ENOB {:5.2}   worst spur @ bin {}",
+        a.sndr_db, a.sfdr_db, a.enob, a.worst_spur_bin
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "two nominal dies (seeds 7, 8) interleaved to 220 MS/s, fin = 20 MHz\n"
+    );
+    let mut ilv = InterleavedAdc::build(&AdcConfig::nominal_110ms(), 2, 220e6, 7)?;
+    println!(
+        "array power: {:.1} mW ({} channels)\n",
+        ilv.power_w() * 1e3,
+        ilv.channel_count()
+    );
+
+    measure(&mut ilv, "raw (unaligned channels)")?;
+    ilv.align_channels(64);
+    measure(&mut ilv, "after offset/gain alignment")?;
+
+    println!("\nfor reference, the pathology at full strength:");
+    ilv.inject_mismatch(1, 5e-3, 1.02);
+    measure(&mut ilv, "5 mV / 2% injected mismatch")?;
+
+    println!("\nresidual spurs after alignment come from mismatches the");
+    println!("foreground procedure cannot see (timing skew, nonlinearity");
+    println!("differences) — the classic interleaving literature's subject.");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! IP-selection scenario: use the paper's Eq. 2 figure of merit to rank
+//! candidate 12-bit converters for an SoC, reproducing the Fig. 8
+//! argument.
+//!
+//! Run with: `cargo run --release --example ip_block_selection`
+
+use pipeline_adc::testbench::datasheet::Datasheet;
+use pipeline_adc::testbench::survey::fig8_survey;
+use pipeline_adc::testbench::MeasurementSession;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Measure OUR die rather than trusting the published row.
+    let mut bench = MeasurementSession::nominal()?;
+    let sheet = Datasheet::measure(&mut bench, 10e6, 1 << 19)?;
+    let measured_fm = sheet.figure_of_merit();
+    println!(
+        "measured die: ENOB {:.2}, {:.0} MS/s, {:.1} mW, {:.2} mm^2  =>  FM = {measured_fm:.0}",
+        sheet.enob,
+        sheet.f_cr_hz / 1e6,
+        sheet.power_w * 1e3,
+        sheet.area_mm2
+    );
+
+    // Rank against the literature survey.
+    let mut survey = fig8_survey();
+    survey.sort_by(|a, b| b.figure_of_merit().total_cmp(&a.figure_of_merit()));
+    println!("\nsurvey ranking (Eq. 2, FM = 2^ENOB * f_CR / (A * P)):");
+    for (i, e) in survey.iter().enumerate() {
+        let marker = if e.name == "This design" { "  <== the paper" } else { "" };
+        println!(
+            "  {:2}. {:24} {:9}  FM {:6.0}  ({:.2} mm^2, {:.0} mW){marker}",
+            i + 1,
+            e.name,
+            e.supply_group(),
+            e.figure_of_merit(),
+            e.area_mm2,
+            e.power_mw,
+        );
+    }
+
+    let published = survey
+        .iter()
+        .find(|e| e.name == "This design")
+        .expect("survey contains the paper");
+    println!(
+        "\nour measured FM ({measured_fm:.0}) vs the published row ({:.0}): {}",
+        published.figure_of_merit(),
+        if (measured_fm / published.figure_of_merit() - 1.0).abs() < 0.25 {
+            "consistent"
+        } else {
+            "check calibration"
+        }
+    );
+    Ok(())
+}

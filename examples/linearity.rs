@@ -1,0 +1,42 @@
+//! Static-linearity scenario: the sine-wave histogram (code-density)
+//! test behind the paper's DNL/INL rows in Table I.
+//!
+//! Run with: `cargo run --release --example linearity`
+
+use pipeline_adc::pipeline::AdcConfig;
+use pipeline_adc::testbench::MeasurementSession;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The real die.
+    let mut bench = MeasurementSession::nominal()?;
+    println!("running 2^20-sample sine histogram on the nominal die...");
+    let lin = bench.measure_linearity(1 << 20)?;
+    println!("DNL: {:+.2} / {:+.2} LSB   (paper: -1.2/+1.2)", lin.dnl_min, lin.dnl_max);
+    println!("INL: {:+.2} / {:+.2} LSB   (paper: -1.5/+1.0)", lin.inl_min, lin.inl_max);
+    println!(
+        "missing codes: {}  (no missing codes at 12 bits)",
+        lin.missing_codes.len()
+    );
+
+    // Where do the DNL extremes sit? Major MDAC decision boundaries.
+    let mut worst: Vec<(usize, f64)> = lin
+        .dnl_lsb
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
+    worst.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+    println!("\nfive largest |DNL| codes:");
+    for (idx, dnl) in worst.iter().take(5) {
+        println!("  code {:4}: {:+.2} LSB", idx + 1, dnl);
+    }
+
+    // Sanity reference: the ideal converter measures flat.
+    let mut ideal = MeasurementSession::golden(AdcConfig::ideal(110e6))?;
+    let lin = ideal.measure_linearity(1 << 19)?;
+    println!(
+        "\nideal reference converter: DNL {:+.2}/{:+.2}, INL {:+.2}/{:+.2} LSB",
+        lin.dnl_min, lin.dnl_max, lin.inl_min, lin.inl_max
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! SoC-integrator scenario: one ADC IP block, many applications.
+//!
+//! The paper pitches the converter as an IP block whose power scales
+//! automatically with the clock you feed it (Eq. 1), holding full
+//! performance from 20 to 140 MS/s. This example plays the SoC
+//! integrator: drop the same block into an imaging, an ultrasound, and a
+//! communications product — each at its own conversion rate — and compare
+//! against a conventional fixed-bias design sized for the fastest case.
+//!
+//! Run with: `cargo run --release --example power_scaling`
+
+use pipeline_adc::pipeline::{AdcConfig, BiasKind};
+use pipeline_adc::testbench::report::TextTable;
+use pipeline_adc::testbench::{MeasurementSession, GOLDEN_SEED};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let applications = [
+        ("imaging sensor readout", 25e6, 5e6),
+        ("ultrasound front-end", 40e6, 8e6),
+        ("cable comms receiver", 110e6, 10e6),
+        ("max-rate stress", 140e6, 10e6),
+    ];
+
+    let mut table = TextTable::new([
+        "application",
+        "rate (MS/s)",
+        "SC-bias power (mW)",
+        "fixed-bias power (mW)",
+        "SNDR (dB)",
+        "ENOB",
+    ]);
+
+    for (name, f_cr, f_in) in applications {
+        // The paper's design: SC bias scales with the applied clock.
+        let sc_config = AdcConfig {
+            f_cr_hz: f_cr,
+            ..AdcConfig::nominal_110ms()
+        };
+        let mut bench = MeasurementSession::new(sc_config, GOLDEN_SEED)?;
+        let sc_power = bench.adc().power_w();
+        let m = bench.measure_tone(f_in);
+
+        // The conventional alternative: current sized once for 140 MS/s
+        // with a 1.3x corner margin, burned at every rate.
+        let fixed_config = AdcConfig {
+            f_cr_hz: f_cr,
+            bias_kind: BiasKind::Fixed {
+                design_rate_hz: 140e6,
+                margin: 1.3,
+            },
+            ..AdcConfig::nominal_110ms()
+        };
+        let fixed_bench = MeasurementSession::new(fixed_config, GOLDEN_SEED)?;
+        let fixed_power = fixed_bench.adc().power_w();
+
+        table.push_row([
+            name.to_string(),
+            format!("{:.0}", f_cr / 1e6),
+            format!("{:.1}", sc_power * 1e3),
+            format!("{:.1}", fixed_power * 1e3),
+            format!("{:.1}", m.analysis.sndr_db),
+            format!("{:.2}", m.analysis.enob),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("The SC-bias column is the paper's headline: the imaging product");
+    println!("pays ~40 mW instead of ~144 mW for the identical IP block, with");
+    println!("full 10+ ENOB performance at every rate in the band.");
+    Ok(())
+}

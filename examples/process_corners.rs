@@ -1,0 +1,55 @@
+//! Process-corner scenario: the "pure digital process" robustness story.
+//!
+//! A digital flow gives the analog designer ±15 % capacitors and shifted
+//! transistors; the paper's SC bias generator makes the converter immune
+//! to the capacitance spread because the bias current *tracks* it
+//! (`GBW = gm/2πC` with `gm ∝ I ∝ C`). This example measures the same
+//! design at all three corners, with the SC generator and with a fixed
+//! generator, and shows what the tracking buys.
+//!
+//! Run with: `cargo run --release --example process_corners`
+
+use pipeline_adc::analog::process::{OperatingConditions, ProcessCorner};
+use pipeline_adc::pipeline::{AdcConfig, BiasKind};
+use pipeline_adc::testbench::{MeasurementSession, GOLDEN_SEED};
+
+fn measure(bias_kind: BiasKind, corner: ProcessCorner) -> (f64, f64, f64) {
+    let cfg = AdcConfig {
+        bias_kind,
+        conditions: OperatingConditions::at_corner(corner),
+        ..AdcConfig::nominal_110ms()
+    };
+    let mut s = MeasurementSession::new(cfg, GOLDEN_SEED).expect("config builds");
+    s.record_len = 4096;
+    let power = s.adc().power_w();
+    let m = s.measure_tone(10e6);
+    (m.analysis.sndr_db, m.analysis.enob, power)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("corner   SC bias: SNDR / ENOB / power    fixed bias: SNDR / ENOB / power");
+    println!("--------------------------------------------------------------------------");
+    let fixed = BiasKind::Fixed {
+        design_rate_hz: 140e6,
+        margin: 1.3,
+    };
+    for corner in ProcessCorner::all() {
+        let (s_sndr, s_enob, s_p) = measure(BiasKind::Switched, corner);
+        let (f_sndr, f_enob, f_p) = measure(fixed, corner);
+        println!(
+            "  {}        {:5.1} dB / {:5.2} / {:5.1} mW       {:5.1} dB / {:5.2} / {:5.1} mW",
+            corner.label(),
+            s_sndr,
+            s_enob,
+            s_p * 1e3,
+            f_sndr,
+            f_enob,
+            f_p * 1e3
+        );
+    }
+    println!();
+    println!("the SC column's power follows the capacitor corner (Eq. 1's cost)");
+    println!("while performance stays flat; the fixed column burns its worst-case");
+    println!("margin at every corner. Both survive — the margin is what differs.");
+    Ok(())
+}

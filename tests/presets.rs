@@ -1,0 +1,100 @@
+//! The preset × corner integration matrix: every configuration preset
+//! must build and deliver sane metrics at every process corner — the
+//! end-to-end form of the paper's "pure digital process, no analog
+//! options" robustness argument.
+
+use pipeline_adc::analog::process::{OperatingConditions, ProcessCorner};
+use pipeline_adc::pipeline::AdcConfig;
+use pipeline_adc::testbench::{MeasurementSession, GOLDEN_SEED};
+
+fn measure(config: AdcConfig, fin: f64) -> (f64, f64) {
+    let mut s = MeasurementSession::new(config, GOLDEN_SEED).expect("config builds");
+    s.record_len = 2048;
+    let m = s.measure_tone(fin);
+    (m.analysis.enob, s.adc().power_w())
+}
+
+#[test]
+fn nominal_preset_works_at_every_corner() {
+    for corner in ProcessCorner::all() {
+        let cfg = AdcConfig {
+            conditions: OperatingConditions::at_corner(corner),
+            ..AdcConfig::nominal_110ms()
+        };
+        let (enob, power) = measure(cfg, 10e6);
+        assert!(enob > 10.0, "{}: ENOB {enob}", corner.label());
+        // Power tracks the capacitor corner through Eq. 1.
+        assert!(
+            (0.075..0.13).contains(&power),
+            "{}: power {power}",
+            corner.label()
+        );
+    }
+}
+
+#[test]
+fn sibling_preset_works_at_every_corner() {
+    for corner in ProcessCorner::all() {
+        let cfg = AdcConfig {
+            conditions: OperatingConditions {
+                corner,
+                vdd_v: 1.2,
+                ..OperatingConditions::nominal()
+            },
+            ..AdcConfig::sibling_220ms_10b()
+        };
+        let (enob, _) = measure(cfg, 20e6);
+        assert!(enob > 9.0, "{}: ENOB {enob}", corner.label());
+    }
+}
+
+#[test]
+fn ideal_preset_is_corner_independent() {
+    // No physical effects enabled: every corner measures identically.
+    let mut last = None;
+    for corner in ProcessCorner::all() {
+        let cfg = AdcConfig {
+            conditions: OperatingConditions::at_corner(corner),
+            ..AdcConfig::ideal(110e6)
+        };
+        let (enob, _) = measure(cfg, 10e6);
+        if let Some(prev) = last {
+            let diff: f64 = enob - prev;
+            assert!(diff.abs() < 0.05, "corner-dependent ideal: {prev} vs {enob}");
+        }
+        last = Some(enob);
+    }
+}
+
+#[test]
+fn power_tracks_capacitor_corner_direction() {
+    // SS (high caps) must burn more than FF (low caps): Eq. 1's price.
+    let power_at = |corner| {
+        let cfg = AdcConfig {
+            conditions: OperatingConditions::at_corner(corner),
+            ..AdcConfig::nominal_110ms()
+        };
+        MeasurementSession::new(cfg, GOLDEN_SEED)
+            .expect("builds")
+            .adc()
+            .power_w()
+    };
+    assert!(power_at(ProcessCorner::Slow) > power_at(ProcessCorner::Typical));
+    assert!(power_at(ProcessCorner::Typical) > power_at(ProcessCorner::Fast));
+}
+
+#[test]
+fn supply_variation_is_tolerated() {
+    // ±10 % supply: the band-gap-referred design keeps working.
+    for vdd in [1.62, 1.8, 1.98] {
+        let cfg = AdcConfig {
+            conditions: OperatingConditions {
+                vdd_v: vdd,
+                ..OperatingConditions::nominal()
+            },
+            ..AdcConfig::nominal_110ms()
+        };
+        let (enob, _) = measure(cfg, 10e6);
+        assert!(enob > 10.0, "vdd {vdd}: ENOB {enob}");
+    }
+}
