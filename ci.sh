@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI gate for the pipeline-adc workspace. Run from the repo root:
+#
+#   ./ci.sh
+#
+# Stages:
+#   1. cargo fmt    -- formatting is enforced, not advisory
+#   2. cargo clippy -- workspace-wide, all targets, warnings are errors
+#   3. release build
+#   4. full test suite (unit + integration + property tests)
+#   5. cross-profile determinism anchor: the `determinism` integration
+#      test runs in debug AND release against one shared
+#      ADC_DETERMINISM_HASH_FILE, so "debug and release produce
+#      bit-identical campaign results" is an asserted property, not an
+#      assumption. The first profile records the campaign digest; the
+#      second must reproduce it exactly.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+say() { printf '\n==> %s\n' "$*"; }
+
+say "fmt check"
+cargo fmt --all --check
+
+say "clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+say "release build"
+cargo build --release --workspace
+
+say "tests (tier 1: umbrella crate, then the full workspace)"
+cargo test -q
+cargo test -q --workspace
+
+say "cross-profile determinism (debug vs release, shared hash file)"
+hash_file=$(mktemp)
+trap 'rm -f "$hash_file"' EXIT
+ADC_DETERMINISM_HASH_FILE=$hash_file cargo test -q --test determinism
+ADC_DETERMINISM_HASH_FILE=$hash_file cargo test -q --release --test determinism
+say "determinism digest: $(cat "$hash_file")"
+
+say "CI green"

@@ -116,8 +116,7 @@ impl ReferenceBuffer {
     /// `dac_level` ∈ {−1, 0, +1} (the 1.5-bit DSB selection), for one event.
     pub fn effective_v(&self, dac_level: i8, noise: &mut NoiseSource) -> f64 {
         let droop = self.droop_rel * f64::from(dac_level.abs());
-        self.v_ref_v * (1.0 + self.static_error_rel - droop)
-            + noise.gaussian(0.0, self.noise_rms_v)
+        self.v_ref_v * (1.0 + self.static_error_rel - droop) + noise.gaussian(0.0, self.noise_rms_v)
     }
 }
 

@@ -175,7 +175,11 @@ mod tests {
         // The nominal design assumes 0.45 ps rms; a bench-quality clock
         // receiver delivers comfortably less.
         let rx = ClockReceiver::bench_quality(110e6);
-        assert!(rx.to_jitter().sigma_s < 0.45e-12, "{}", rx.to_jitter().sigma_s);
+        assert!(
+            rx.to_jitter().sigma_s < 0.45e-12,
+            "{}",
+            rx.to_jitter().sigma_s
+        );
     }
 
     #[test]

@@ -216,9 +216,7 @@ impl TransmissionGate {
     pub fn fit_r_on_polynomial(&self, swing_v: f64) -> (f64, f64, f64, f64) {
         assert!(swing_v > 0.0, "swing must be positive");
         let mid = self.vdd_v / 2.0;
-        let r_diff = |v: f64| {
-            0.5 * (self.r_on_at(mid + v / 2.0) + self.r_on_at(mid - v / 2.0))
-        };
+        let r_diff = |v: f64| 0.5 * (self.r_on_at(mid + v / 2.0) + self.r_on_at(mid - v / 2.0));
         let r0 = r_diff(0.0);
         // Least-squares on a dense grid for the three shape coefficients.
         let samples = 41;
@@ -343,8 +341,7 @@ mod tests {
         let mid = tg.vdd_v / 2.0;
         for i in 0..19 {
             let v = -0.9 + 0.1 * i as f64;
-            let device =
-                0.5 * (tg.r_on_at(mid + v / 2.0) + tg.r_on_at(mid - v / 2.0));
+            let device = 0.5 * (tg.r_on_at(mid + v / 2.0) + tg.r_on_at(mid - v / 2.0));
             let fit = r0 * (1.0 + c1 * v + c2 * v * v + c3 * v * v * v);
             assert!(
                 (device - fit).abs() / device < 0.10,
@@ -360,7 +357,10 @@ mod tests {
         let (_, _, c2_conv, _) = conventional.fit_r_on_polynomial(1.0);
         let (_, _, c2_bulk, _) = bulk.fit_r_on_polynomial(1.0);
         // The paper's claim at device level: less signal dependence.
-        assert!(c2_bulk.abs() < c2_conv.abs(), "bulk {c2_bulk} vs conv {c2_conv}");
+        assert!(
+            c2_bulk.abs() < c2_conv.abs(),
+            "bulk {c2_bulk} vs conv {c2_conv}"
+        );
     }
 
     #[test]

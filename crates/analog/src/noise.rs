@@ -173,10 +173,7 @@ mod tests {
         let mut a = NoiseSource::from_seed(7);
         let mut b = NoiseSource::from_seed(7);
         for _ in 0..100 {
-            assert_eq!(
-                a.standard_normal().to_bits(),
-                b.standard_normal().to_bits()
-            );
+            assert_eq!(a.standard_normal().to_bits(), b.standard_normal().to_bits());
         }
     }
 

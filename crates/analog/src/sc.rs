@@ -57,7 +57,10 @@ impl SwitchedCapBranch {
             c_f > 0.0 && f_switch_hz > 0.0,
             "capacitance and frequency must be positive"
         );
-        assert!(switch_r_ohm >= 0.0, "switch resistance must be non-negative");
+        assert!(
+            switch_r_ohm >= 0.0,
+            "switch resistance must be non-negative"
+        );
         Self {
             c_f,
             f_switch_hz,

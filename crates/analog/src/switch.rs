@@ -99,7 +99,9 @@ impl SwitchModel {
                 c3_per_v3: 0.0002,
                 cap_nonlin_s2: 2e-21,
             },
-            SwitchTopology::TransmissionGate { bulk_switched: true } => Self {
+            SwitchTopology::TransmissionGate {
+                bulk_switched: true,
+            } => Self {
                 topology,
                 r_on_ohm: 100.0,
                 c1_per_v: 0.004,
@@ -218,13 +220,7 @@ impl SamplingNetwork {
     ///   ideal capacitor upstream to disable).
     ///
     /// Returns the held voltage.
-    pub fn sample(
-        &mut self,
-        v: f64,
-        dvdt: f64,
-        period_s: f64,
-        noise: &mut NoiseSource,
-    ) -> f64 {
+    pub fn sample(&mut self, v: f64, dvdt: f64, period_s: f64, noise: &mut NoiseSource) -> f64 {
         // Signal-dependent aperture delay. The *constant* part of
         // τ(v)·dv/dt is a pure group delay (no effect on any single-tone
         // metric) and its first-order expansion would fake an amplitude
@@ -233,8 +229,7 @@ impl SamplingNetwork {
         // ∝f² distortion of the nonlinear parasitic capacitances.
         let tau0 = self.switch.r_on_ohm * self.c_hold_f;
         let tau_v = self.switch.r_on_at(v) * self.c_hold_f;
-        let delayed =
-            v - (tau_v - tau0) * dvdt - self.switch.cap_nonlin_s2 * v * dvdt * dvdt;
+        let delayed = v - (tau_v - tau0) * dvdt - self.switch.cap_nonlin_s2 * v * dvdt * dvdt;
 
         // Incomplete tracking: the cap charges from the previously held
         // value toward the input with time constant τ over the track phase.

@@ -93,8 +93,7 @@ impl TwoPoleAmp {
         if zeta < 1.0 {
             let wd = wn * (1.0 - zeta * zeta).sqrt();
             let phi = (zeta / (1.0 - zeta * zeta).sqrt()).atan();
-            1.0 - ((-zeta * wn * t_s).exp() / (1.0 - zeta * zeta).sqrt())
-                * (wd * t_s + phi).cos()
+            1.0 - ((-zeta * wn * t_s).exp() / (1.0 - zeta * zeta).sqrt()) * (wd * t_s + phi).cos()
         } else {
             // Overdamped: two real poles.
             let s1 = -wn * (zeta - (zeta * zeta - 1.0).max(0.0).sqrt());
@@ -149,7 +148,11 @@ mod tests {
         let a = stage1_amp();
         assert!(a.phase_margin_deg(0.45) > a.phase_margin_deg(1.0));
         // The design point has healthy margin.
-        assert!(a.phase_margin_deg(0.45) > 60.0, "{}", a.phase_margin_deg(0.45));
+        assert!(
+            a.phase_margin_deg(0.45) > 60.0,
+            "{}",
+            a.phase_margin_deg(0.45)
+        );
     }
 
     #[test]

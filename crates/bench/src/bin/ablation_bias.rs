@@ -11,8 +11,8 @@
 //!    MS/s *and* tracks the capacitor corner automatically, where a fixed
 //!    die at the slow-capacitor corner loses margin.
 
-use adc_pipeline::config::{AdcConfig, BiasKind};
 use adc_analog::process::{OperatingConditions, ProcessCorner};
+use adc_pipeline::config::{AdcConfig, BiasKind};
 use adc_testbench::report::{db_cell, mhz_cell, mw_cell, TextTable};
 use adc_testbench::sweep::SweepRunner;
 

@@ -18,7 +18,12 @@ fn measure(scaling: ScalingProfile) -> (f64, f64, f64, f64) {
     let mut s = MeasurementSession::new(config, GOLDEN_SEED).expect("config builds");
     let power_mw = s.adc().power_w() * 1e3;
     let m = s.measure_tone(10e6);
-    (m.analysis.snr_db, m.analysis.sndr_db, m.analysis.enob, power_mw)
+    (
+        m.analysis.snr_db,
+        m.analysis.sndr_db,
+        m.analysis.enob,
+        power_mw,
+    )
 }
 
 fn main() {
@@ -33,7 +38,9 @@ fn main() {
         ("unscaled", ScalingProfile::Uniform),
         (
             "aggressive (1, 1/2, 1/4)",
-            ScalingProfile::Custom(vec![1.0, 0.5, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25]),
+            ScalingProfile::Custom(vec![
+                1.0, 0.5, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25,
+            ]),
         ),
     ];
     for (label, p) in profiles {

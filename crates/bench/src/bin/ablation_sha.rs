@@ -31,7 +31,10 @@ fn main() {
 
     let fins: Vec<f64> = [10.0, 50.0, 100.0, 150.0].iter().map(|m| m * 1e6).collect();
     let variants = [
-        ("SHA-less, 3 ps skew (paper)", FrontEndKind::paper_sha_less()),
+        (
+            "SHA-less, 3 ps skew (paper)",
+            FrontEndKind::paper_sha_less(),
+        ),
         (
             "SHA-less, 30 ps skew (sloppy layout)",
             FrontEndKind::ShaLess {
@@ -46,9 +49,7 @@ fn main() {
     let mut powers = Vec::new();
     for (_, fe) in variants {
         let r = runner(fe);
-        powers.push(
-            r.power_sweep(&[110e6]).expect("nominal rate builds")[0].total_w,
-        );
+        powers.push(r.power_sweep(&[110e6]).expect("nominal rate builds")[0].total_w);
         sweeps.push(r.frequency_sweep(&fins).expect("sweep runs"));
     }
     for (i, &fin) in fins.iter().enumerate() {
@@ -67,5 +68,8 @@ fn main() {
     );
     println!("\nexpected: all three columns nearly identical at every fin (the");
     println!("redundancy absorbs even 30 ps of skew), so the SHA's extra");
-    println!("{:.0} mW buys nothing — the paper's architectural bet.", (powers[2] - powers[0]) * 1e3);
+    println!(
+        "{:.0} mW buys nothing — the paper's architectural bet.",
+        (powers[2] - powers[0]) * 1e3
+    );
 }

@@ -18,8 +18,12 @@ fn main() {
     );
 
     let topologies = [
-        SwitchTopology::TransmissionGate { bulk_switched: true },
-        SwitchTopology::TransmissionGate { bulk_switched: false },
+        SwitchTopology::TransmissionGate {
+            bulk_switched: true,
+        },
+        SwitchTopology::TransmissionGate {
+            bulk_switched: false,
+        },
         SwitchTopology::Bootstrapped,
     ];
     let fins: Vec<f64> = [5.0, 10.0, 20.0, 40.0, 60.0, 100.0, 150.0]

@@ -17,11 +17,22 @@ fn main() {
 
     let designs = [
         ("12b 110MS/s 1.8V (paper)", AdcConfig::nominal_110ms(), 10e6),
-        ("10b 220MS/s 1.2V (ref [1])", AdcConfig::sibling_220ms_10b(), 20e6),
+        (
+            "10b 220MS/s 1.2V (ref [1])",
+            AdcConfig::sibling_220ms_10b(),
+            20e6,
+        ),
     ];
 
     let mut table = TextTable::new([
-        "design", "bits", "rate (MS/s)", "supply", "SNR", "SNDR", "ENOB", "power (mW)",
+        "design",
+        "bits",
+        "rate (MS/s)",
+        "supply",
+        "SNR",
+        "SNDR",
+        "ENOB",
+        "power (mW)",
     ]);
     for (label, cfg, fin) in designs {
         let bits = cfg.resolution_bits();

@@ -12,7 +12,10 @@ fn main() {
         "fin = 10 MHz, 2 Vp-p; paper anchors 97 mW @ 110 MS/s, 110 mW @ 130 MS/s",
     );
 
-    let runner = SweepRunner::nominal();
+    let runner = SweepRunner {
+        policy: adc_bench::campaign_policy(),
+        ..SweepRunner::nominal()
+    };
     let rates: Vec<f64> = (1..=13).map(|i| i as f64 * 10e6).collect();
     let readings = runner.power_sweep(&rates).expect("all rates build");
 
@@ -27,10 +30,19 @@ fn main() {
     }
     println!("\n{}", table.render());
 
-    let p110 = readings.iter().find(|r| r.f_cr_hz == 110e6).expect("110 MS/s in sweep");
-    let p130 = readings.iter().find(|r| r.f_cr_hz == 130e6).expect("130 MS/s in sweep");
-    println!("anchor check: {:.1} mW @ 110 MS/s (paper 97), {:.1} mW @ 130 MS/s (paper 110)",
-        p110.total_w * 1e3, p130.total_w * 1e3);
+    let p110 = readings
+        .iter()
+        .find(|r| r.f_cr_hz == 110e6)
+        .expect("110 MS/s in sweep");
+    let p130 = readings
+        .iter()
+        .find(|r| r.f_cr_hz == 130e6)
+        .expect("130 MS/s in sweep");
+    println!(
+        "anchor check: {:.1} mW @ 110 MS/s (paper 97), {:.1} mW @ 130 MS/s (paper 110)",
+        p110.total_w * 1e3,
+        p130.total_w * 1e3
+    );
     let slope = (p130.total_w - p110.total_w) / 20e6 * 1e9;
     println!("slope: {slope:.3} mW per MS/s (paper ~0.65)");
 }

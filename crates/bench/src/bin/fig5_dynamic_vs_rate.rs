@@ -14,10 +14,13 @@ fn main() {
         "fin = 10 MHz, 2 Vp-p, 8192-pt coherent FFT",
     );
 
-    let runner = SweepRunner::nominal();
+    let runner = SweepRunner {
+        policy: adc_bench::campaign_policy(),
+        ..SweepRunner::nominal()
+    };
     let rates: Vec<f64> = [
-        5.0, 10.0, 20.0, 30.0, 40.0, 60.0, 80.0, 100.0, 110.0, 120.0, 130.0, 140.0, 150.0,
-        160.0, 180.0, 200.0,
+        5.0, 10.0, 20.0, 30.0, 40.0, 60.0, 80.0, 100.0, 110.0, 120.0, 130.0, 140.0, 150.0, 160.0,
+        180.0, 200.0,
     ]
     .iter()
     .map(|m| m * 1e6)
@@ -43,8 +46,14 @@ fn main() {
             .map(|p| p.sndr_db)
             .fold(f64::INFINITY, f64::min)
     };
-    println!("min SNDR 20-120 MS/s: {:.1} dB (paper: > 64)", in_band(20e6, 120e6));
-    println!("min SNDR 20-140 MS/s: {:.1} dB (paper: > 62)", in_band(20e6, 140e6));
+    println!(
+        "min SNDR 20-120 MS/s: {:.1} dB (paper: > 64)",
+        in_band(20e6, 120e6)
+    );
+    println!(
+        "min SNDR 20-140 MS/s: {:.1} dB (paper: > 62)",
+        in_band(20e6, 140e6)
+    );
     let min_sfdr = points
         .iter()
         .filter(|p| p.x_hz >= 5e6 && p.x_hz <= 140e6)

@@ -15,7 +15,10 @@ fn main() {
         "f_CR = 110 MS/s, 2 Vp-p, 8192-pt coherent FFT",
     );
 
-    let runner = SweepRunner::nominal();
+    let runner = SweepRunner {
+        policy: adc_bench::campaign_policy(),
+        ..SweepRunner::nominal()
+    };
     let fins: Vec<f64> = [
         1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 80.0, 100.0, 120.0, 140.0, 150.0,
     ]
@@ -36,8 +39,20 @@ fn main() {
     }
     println!("\n{}", table.render());
 
-    let snr_100 = points.iter().find(|p| p.x_hz == 100e6).expect("100 MHz point");
-    println!("SNR @ 100 MHz: {:.1} dB (paper: > 66, jitter-limited above)", snr_100.snr_db);
-    let sndr_40 = points.iter().find(|p| p.x_hz == 40e6).expect("40 MHz point");
-    println!("SNDR @ 40 MHz: {:.1} dB (paper: > 60, SFDR-limited above)", sndr_40.sndr_db);
+    let snr_100 = points
+        .iter()
+        .find(|p| p.x_hz == 100e6)
+        .expect("100 MHz point");
+    println!(
+        "SNR @ 100 MHz: {:.1} dB (paper: > 66, jitter-limited above)",
+        snr_100.snr_db
+    );
+    let sndr_40 = points
+        .iter()
+        .find(|p| p.x_hz == 40e6)
+        .expect("40 MHz point");
+    println!(
+        "SNDR @ 40 MHz: {:.1} dB (paper: > 60, SFDR-limited above)",
+        sndr_40.sndr_db
+    );
 }

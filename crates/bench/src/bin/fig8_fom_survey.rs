@@ -17,7 +17,15 @@ fn main() {
     survey.sort_by(|a, b| b.figure_of_merit().total_cmp(&a.figure_of_merit()));
 
     let mut table = TextTable::new([
-        "rank", "converter", "supply", "ENOB", "MS/s", "area mm^2", "mW", "1/A", "FM",
+        "rank",
+        "converter",
+        "supply",
+        "ENOB",
+        "MS/s",
+        "area mm^2",
+        "mW",
+        "1/A",
+        "FM",
     ]);
     for (i, e) in survey.iter().enumerate() {
         table.push_row([
@@ -34,11 +42,15 @@ fn main() {
     }
     println!("\n{}", table.render());
 
-    let this = survey.iter().position(|e| e.name == "This design").expect("present");
-    println!("'This design' FM rank: {} of {} (paper: highest)", this + 1, survey.len());
-    let smaller = survey
+    let this = survey
         .iter()
-        .filter(|e| e.area_mm2 < 0.86)
-        .count();
+        .position(|e| e.name == "This design")
+        .expect("present");
+    println!(
+        "'This design' FM rank: {} of {} (paper: highest)",
+        this + 1,
+        survey.len()
+    );
+    let smaller = survey.iter().filter(|e| e.area_mm2 < 0.86).count();
     println!("parts smaller than 0.86 mm^2: {smaller} (paper: 2nd lowest area)");
 }

@@ -3,7 +3,7 @@
 //! block.
 
 use adc_pipeline::config::AdcConfig;
-use adc_testbench::montecarlo::{run_monte_carlo, YieldSpec};
+use adc_testbench::montecarlo::{run_monte_carlo_with, YieldSpec};
 use adc_testbench::report::TextTable;
 
 fn main() {
@@ -12,8 +12,14 @@ fn main() {
         "process spread of Table I metrics; spec: SNDR>=62dB, SFDR>=65dB, P<=115mW",
     );
 
-    let mc = run_monte_carlo(&AdcConfig::nominal_110ms(), 32, 10e6, 4096)
-        .expect("campaign runs");
+    let mc = run_monte_carlo_with(
+        &AdcConfig::nominal_110ms(),
+        32,
+        10e6,
+        4096,
+        &adc_bench::campaign_policy(),
+    )
+    .expect("campaign runs");
 
     let mut table = TextTable::new(["metric", "min", "mean", "max", "sigma"]);
     let fmt = |v: f64| format!("{v:.2}");
@@ -41,7 +47,10 @@ fn main() {
     println!("\n{}", table.render());
 
     let spec = YieldSpec::paper_with_margin();
-    println!("yield vs margin spec: {:.0}%", mc.yield_against(&spec) * 100.0);
+    println!(
+        "yield vs margin spec: {:.0}%",
+        mc.yield_against(&spec) * 100.0
+    );
     for die in mc.failures(&spec) {
         println!(
             "  fail: seed {} (SNDR {:.1}, SFDR {:.1}, {:.1} mW)",

@@ -37,8 +37,7 @@ fn main() {
             psrr_db,
             ..AdcConfig::nominal_110ms()
         };
-        let mut adc = PipelineAdc::build(cfg, adc_testbench::GOLDEN_SEED)
-            .expect("config builds");
+        let mut adc = PipelineAdc::build(cfg, adc_testbench::GOLDEN_SEED).expect("config builds");
         let codes = adc.convert_waveform(&tone, n);
         let rec: Vec<f64> = codes.iter().map(|&c| adc.reconstruct_v(c)).collect();
         let ps = power_spectrum_one_sided(&rec).expect("power-of-two record");

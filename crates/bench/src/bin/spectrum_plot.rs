@@ -18,7 +18,10 @@ fn main() {
     let record = session.reconstruct(&codes);
     let ps = power_spectrum_one_sided(&record).expect("power-of-two record");
 
-    println!("\n8192-point coherent capture, fin = {:.4} MHz:", f_in / 1e6);
+    println!(
+        "\n8192-point coherent capture, fin = {:.4} MHz:",
+        f_in / 1e6
+    );
     println!("{}", render_spectrum_ascii(&ps, 96, 16, -110.0));
     println!("visible: the fundamental near 10/55 of Nyquist, harmonic spurs");
     println!("(worst ≈ −69 dBc, the paper's SFDR), and the ≈ −105 dBFS/bin");

@@ -20,6 +20,18 @@
 //! | `ablation_switches` | §4 discussion: switch topology vs SFDR(f_in) |
 //!
 //! Run one with `cargo run -p adc-bench --release --bin <target>`.
+//!
+//! The campaign binaries execute through the `adc-runtime` engine:
+//! `ADC_THREADS=n` pins the worker count (default: all cores, results
+//! are bit-identical either way) and `ADC_CACHE_DIR=path` persists a
+//! content-hash point cache so re-running a figure recomputes only
+//! changed points (`ADC_CACHE_DIR=` empty disables; default
+//! `target/campaign-cache`).
+
+use std::sync::Arc;
+
+use adc_runtime::ResultCache;
+use adc_testbench::{CampaignReporter, RunPolicy};
 
 /// Prints the standard banner for a regeneration binary.
 pub fn banner(experiment: &str, paper_ref: &str) {
@@ -28,4 +40,24 @@ pub fn banner(experiment: &str, paper_ref: &str) {
     println!("reproduces: {paper_ref}");
     println!("die: golden seed {}", adc_testbench::GOLDEN_SEED);
     println!("================================================================");
+}
+
+/// The campaign policy the figure binaries run under: `ADC_THREADS`
+/// worker threads (0/unset = all cores), progress narration on stderr,
+/// and a disk point-cache at `ADC_CACHE_DIR` (default
+/// `target/campaign-cache`; set empty to disable).
+pub fn campaign_policy() -> RunPolicy {
+    let threads = std::env::var("ADC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut policy = RunPolicy::parallel(threads).observe(Arc::new(CampaignReporter::stderr()));
+    let dir = std::env::var("ADC_CACHE_DIR").unwrap_or_else(|_| "target/campaign-cache".into());
+    if !dir.is_empty() {
+        match ResultCache::on_disk(&dir) {
+            Ok(cache) => policy = policy.cached(Arc::new(cache)),
+            Err(e) => eprintln!("point cache disabled ({dir}: {e})"),
+        }
+    }
+    policy
 }

@@ -129,7 +129,10 @@ impl PowerModel {
         fixed: FixedPowerBreakdown,
     ) -> Self {
         assert!(vdd_v > 0.0, "supply voltage must be positive");
-        assert!(opamp_current_factor > 0.0, "current factor must be positive");
+        assert!(
+            opamp_current_factor > 0.0,
+            "current factor must be positive"
+        );
         Self {
             vdd_v,
             bias,
@@ -247,9 +250,11 @@ mod tests {
     #[test]
     fn slope_matches_paper_between_anchors() {
         let m = nominal_model();
-        let slope_w_per_hz =
-            (m.total_power_w(130e6) - m.total_power_w(110e6)) / 20e6;
+        let slope_w_per_hz = (m.total_power_w(130e6) - m.total_power_w(110e6)) / 20e6;
         // 0.65 mW per MS/s = 6.5e-10 W/Hz
-        assert!((slope_w_per_hz - 6.5e-10).abs() < 0.3e-10, "slope {slope_w_per_hz}");
+        assert!(
+            (slope_w_per_hz - 6.5e-10).abs() < 0.3e-10,
+            "slope {slope_w_per_hz}"
+        );
     }
 }

@@ -146,9 +146,7 @@ mod tests {
                     .sin()
             })
             .collect();
-        let rms = |xs: &[f64]| {
-            (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
-        };
+        let rms = |xs: &[f64]| (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt();
         let mut cic = CicDecimator::new(3, factor);
         let low_out = cic.process_record(&low);
         cic.reset();

@@ -37,7 +37,9 @@ impl DelayLine {
             return input;
         }
         self.regs.push_back(input);
-        self.regs.pop_front().expect("depth > 0 keeps the queue full")
+        self.regs
+            .pop_front()
+            .expect("depth > 0 keeps the queue full")
     }
 
     /// Resets all registers to zero.

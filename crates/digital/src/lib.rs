@@ -39,6 +39,6 @@ pub mod decimate;
 pub mod delay_line;
 
 pub use adder::correction_sum;
-pub use decimate::{boxcar_decimate, CicDecimator};
 pub use backend::{CycleWords, DigitalBackend, SampleStream};
+pub use decimate::{boxcar_decimate, CicDecimator};
 pub use delay_line::DelayLine;

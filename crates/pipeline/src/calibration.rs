@@ -246,8 +246,7 @@ mod tests {
         // A die with exaggerated mismatch and no noise isolates the
         // static effect the calibration targets.
         let mut cfg = AdcConfig::ideal(110e6);
-        cfg.c_sample_stage1 =
-            adc_analog::capacitor::CapacitorSpec::new(4e-12, 0.0, 0.005);
+        cfg.c_sample_stage1 = adc_analog::capacitor::CapacitorSpec::new(4e-12, 0.0, 0.005);
         let mut adc = PipelineAdc::build(cfg, 3).unwrap();
         let w = calibrate_foreground(&mut adc, &training_levels(512, 1.0), 1).unwrap();
         let ideal = CalibrationWeights::ideal(10, 1.0);

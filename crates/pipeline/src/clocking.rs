@@ -10,8 +10,7 @@
 //! paper's power levers, and ablation B in `DESIGN.md`.
 
 /// How the two-phase stage clocks are produced.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize, Default)]
 pub enum ClockScheme {
     /// The paper's scheme: clocks generated locally in each stage; switch
     /// sequencing is by construction, no dead time.
@@ -47,7 +46,6 @@ impl ClockScheme {
         }
     }
 }
-
 
 /// The per-phase timing budget at a conversion rate.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]

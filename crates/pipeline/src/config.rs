@@ -384,11 +384,8 @@ impl AdcConfig {
             ));
         }
         if self.f_cr_hz > 0.0 {
-            let budget = crate::clocking::TimingBudget::at(
-                self.f_cr_hz,
-                self.clocking,
-                self.logic_delay_s,
-            );
+            let budget =
+                crate::clocking::TimingBudget::at(self.f_cr_hz, self.clocking, self.logic_delay_s);
             if budget.settle_time_s <= 0.0 {
                 problems.push(format!(
                     "no settling time at {} MS/s with this clocking",

@@ -146,8 +146,7 @@ impl PipelineAdc {
         // One die-wide absolute capacitance factor, shared by the stage
         // capacitors *and* the bias capacitor C_B — this shared fate is
         // what the SC bias generator exploits.
-        let die_cap_factor =
-            config.c_sample_stage1.draw_die_factor(&mut fab) * corner.cap_factor();
+        let die_cap_factor = config.c_sample_stage1.draw_die_factor(&mut fab) * corner.cap_factor();
 
         // Fabricate per-stage sampling capacitors (C1, C2 halves).
         let factors = config.scaling.factors(config.stage_count);
@@ -168,8 +167,7 @@ impl PipelineAdc {
             ReferenceQuality::Ideal => Bandgap::ideal(config.v_bias_v),
             ReferenceQuality::Decoupled => Bandgap::fabricate(config.v_bias_v, &mut fab),
         };
-        let v_bias_actual =
-            bandgap.output_v(config.conditions.temp_c, config.conditions.vdd_v);
+        let v_bias_actual = bandgap.output_v(config.conditions.temp_c, config.conditions.vdd_v);
         let c_b = config.bias_c_b.fabricate(die_cap_factor, &mut fab);
         let scheme = match config.bias_kind {
             BiasKind::Switched => {
@@ -254,9 +252,7 @@ impl PipelineAdc {
 
         let reference = match config.reference {
             ReferenceQuality::Ideal => ReferenceBuffer::ideal(config.v_ref_v),
-            ReferenceQuality::Decoupled => {
-                ReferenceBuffer::decoupled(config.v_ref_v, &mut fab)
-            }
+            ReferenceQuality::Decoupled => ReferenceBuffer::decoupled(config.v_ref_v, &mut fab),
         };
 
         // The front-end architecture sets extra noise/power and the
@@ -279,13 +275,10 @@ impl PipelineAdc {
         );
 
         let flicker = config.flicker_noise_coeff / config.f_cr_hz.sqrt();
-        let aux_noise_rms_v = (config.aux_noise_rms_v.powi(2)
-            + flicker.powi(2)
-            + sha_noise_v * sha_noise_v)
-            .sqrt();
+        let aux_noise_rms_v =
+            (config.aux_noise_rms_v.powi(2) + flicker.powi(2) + sha_noise_v * sha_noise_v).sqrt();
 
-        let ripple_referred_v =
-            config.supply_ripple_v * 10f64.powf(-config.psrr_db / 20.0);
+        let ripple_referred_v = config.supply_ripple_v * 10f64.powf(-config.psrr_db / 20.0);
         let correction = CorrectionPipeline::new(config.stage_count);
         Ok(Self {
             config,
@@ -367,11 +360,7 @@ impl PipelineAdc {
     pub fn convert_held_raw(&mut self, v: f64) -> RawConversion {
         let code = self.convert_one(v, 0.0);
         RawConversion {
-            dac_levels: self
-                .scratch_decisions
-                .iter()
-                .map(|d| d.dac_level)
-                .collect(),
+            dac_levels: self.scratch_decisions.iter().map(|d| d.dac_level).collect(),
             flash_code: self.last_flash_code,
             code,
         }
@@ -433,9 +422,7 @@ impl PipelineAdc {
     /// Runs the full conversion of one sampled instant.
     fn convert_one(&mut self, v: f64, dvdt: f64) -> u16 {
         let period = self.timing.period_s;
-        let mut x = self
-            .front_end
-            .sample(v, dvdt, period, &mut self.noise);
+        let mut x = self.front_end.sample(v, dvdt, period, &mut self.noise);
         x += self.noise.gaussian(0.0, self.aux_noise_rms_v);
         // Finite PSRR couples supply ripple into the signal path.
         if self.ripple_referred_v != 0.0 {
@@ -514,7 +501,10 @@ mod tests {
         let mut a = PipelineAdc::build(cfg.clone(), 42).unwrap();
         let mut b = PipelineAdc::build(cfg, 42).unwrap();
         let wave = |t: f64| 0.9 * (2.0 * std::f64::consts::PI * 10e6 * t).sin();
-        assert_eq!(a.convert_waveform(&wave, 256), b.convert_waveform(&wave, 256));
+        assert_eq!(
+            a.convert_waveform(&wave, 256),
+            b.convert_waveform(&wave, 256)
+        );
     }
 
     #[test]
@@ -523,7 +513,10 @@ mod tests {
         let mut a = PipelineAdc::build(cfg.clone(), 1).unwrap();
         let mut b = PipelineAdc::build(cfg, 2).unwrap();
         let wave = |t: f64| 0.9 * (2.0 * std::f64::consts::PI * 10e6 * t).sin();
-        assert_ne!(a.convert_waveform(&wave, 256), b.convert_waveform(&wave, 256));
+        assert_ne!(
+            a.convert_waveform(&wave, 256),
+            b.convert_waveform(&wave, 256)
+        );
     }
 
     #[test]

@@ -228,9 +228,7 @@ mod tests {
         }
         // First `latency` pushes yield nothing.
         assert!(outputs[..p.latency()].iter().all(Option::is_none));
-        assert!(outputs[p.latency()..]
-            .iter()
-            .all(|o| *o == Some(expected)));
+        assert!(outputs[p.latency()..].iter().all(|o| *o == Some(expected)));
     }
 
     #[test]

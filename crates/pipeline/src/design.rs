@@ -8,7 +8,7 @@
 //! the test suite closes the loop by checking the calibrated
 //! [`crate::config::AdcConfig::nominal_110ms`] actually satisfies them.
 
-use adc_analog::units::{KT_NOMINAL, undb};
+use adc_analog::units::{undb, KT_NOMINAL};
 
 /// The input-referred noise budget of a converter design.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]

@@ -171,7 +171,11 @@ impl fmt::Display for Diagnostics {
         }
         writeln!(f, "noise budget (input-referred, uV rms):")?;
         writeln!(f, "  quantization  {:6.1}", self.noise.quantization_v * 1e6)?;
-        writeln!(f, "  front-end kT/C{:6.1}", self.noise.front_end_ktc_v * 1e6)?;
+        writeln!(
+            f,
+            "  front-end kT/C{:6.1}",
+            self.noise.front_end_ktc_v * 1e6
+        )?;
         writeln!(f, "  stage kT/C    {:6.1}", self.noise.stage_ktc_v * 1e6)?;
         writeln!(f, "  opamps        {:6.1}", self.noise.opamp_v * 1e6)?;
         writeln!(f, "  auxiliary     {:6.1}", self.noise.aux_v * 1e6)?;
@@ -208,7 +212,12 @@ mod tests {
         let adc = PipelineAdc::build(AdcConfig::nominal_110ms(), 7).unwrap();
         let d = Diagnostics::of(&adc);
         for s in &d.stages {
-            assert!(s.settle_taus > 9.0, "stage {} only {} taus", s.index, s.settle_taus);
+            assert!(
+                s.settle_taus > 9.0,
+                "stage {} only {} taus",
+                s.index,
+                s.settle_taus
+            );
         }
     }
 
@@ -223,8 +232,7 @@ mod tests {
         let predicted = d.noise.predicted_snr_db(0.999);
         let n = 8192;
         let (f_in, _) = coherent_frequency(110e6, n, 10e6);
-        let tone =
-            move |t: f64| 0.999 * (2.0 * std::f64::consts::PI * f_in * t).sin();
+        let tone = move |t: f64| 0.999 * (2.0 * std::f64::consts::PI * f_in * t).sin();
         let codes = adc.convert_waveform(&tone, n);
         let rec: Vec<f64> = codes.iter().map(|&c| adc.reconstruct_v(c)).collect();
         let measured = analyze_tone(&rec, &ToneAnalysisConfig::coherent())

@@ -21,7 +21,10 @@
 /// Panics if any capacitance is non-positive or the fraction is negative.
 pub fn stage_beta(c1_f: f64, c2_f: f64, par_fraction: f64) -> f64 {
     assert!(c1_f > 0.0 && c2_f > 0.0, "capacitances must be positive");
-    assert!(par_fraction >= 0.0, "parasitic fraction must be non-negative");
+    assert!(
+        par_fraction >= 0.0,
+        "parasitic fraction must be non-negative"
+    );
     c2_f / (c1_f + c2_f + par_fraction * (c1_f + c2_f))
 }
 
@@ -35,7 +38,10 @@ pub fn stage_beta(c1_f: f64, c2_f: f64, par_fraction: f64) -> f64 {
 /// Panics if `c_own_f` or `c_next_f` is non-positive, or the parasitic is
 /// negative.
 pub fn stage_load_f(c_own_f: f64, c_next_f: f64, parasitic_f: f64) -> f64 {
-    assert!(c_own_f > 0.0 && c_next_f > 0.0, "capacitances must be positive");
+    assert!(
+        c_own_f > 0.0 && c_next_f > 0.0,
+        "capacitances must be positive"
+    );
     assert!(parasitic_f >= 0.0, "parasitic must be non-negative");
     c_next_f + parasitic_f + 0.25 * c_own_f
 }

@@ -64,7 +64,10 @@ impl InterleavedAdc {
         };
         let mut channels = Vec::with_capacity(m);
         for k in 0..m {
-            channels.push(PipelineAdc::build(per_channel.clone(), base_seed + k as u64)?);
+            channels.push(PipelineAdc::build(
+                per_channel.clone(),
+                base_seed + k as u64,
+            )?);
         }
         Ok(Self {
             channels,
@@ -208,7 +211,11 @@ mod tests {
         // Each channel runs at the nominal 110 MS/s.
         assert_eq!(ilv.channels()[0].config().f_cr_hz, 110e6);
         // And burns roughly 2x the power of one die.
-        assert!(ilv.power_w() > 0.15 && ilv.power_w() < 0.25, "{}", ilv.power_w());
+        assert!(
+            ilv.power_w() > 0.15 && ilv.power_w() < 0.25,
+            "{}",
+            ilv.power_w()
+        );
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub use calibration::{calibrate_foreground, CalibrateError, CalibrationWeights};
 pub use clocking::{ClockScheme, TimingBudget};
 pub use config::{AdcConfig, BiasKind, FrontEndKind, ReferenceQuality, ScalingProfile};
 pub use converter::{PipelineAdc, RawConversion, Waveform};
-pub use diagnostics::Diagnostics;
 pub use correction::{assemble_code, latency_samples, CorrectionPipeline};
+pub use diagnostics::Diagnostics;
 pub use error::BuildAdcError;
 pub use interleave::InterleavedAdc;
 pub use mdac::Mdac;

@@ -193,7 +193,10 @@ mod tests {
         // droop = k·v³·t/C: relative droop at 0.2 is 4× that at 0.1.
         let droop_small = 0.2 - res_small;
         let droop_big = 0.4 - res_big - 0.0;
-        assert!(droop_big > 3.9 * droop_small, "{droop_big} vs {droop_small}");
+        assert!(
+            droop_big > 3.9 * droop_small,
+            "{droop_big} vs {droop_small}"
+        );
     }
 
     #[test]

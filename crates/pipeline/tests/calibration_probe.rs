@@ -15,7 +15,10 @@ impl adc_pipeline::Waveform for Sine {
         self.a * (2.0 * std::f64::consts::PI * self.f * t).sin()
     }
     fn slope(&self, t: f64) -> f64 {
-        2.0 * std::f64::consts::PI * self.f * self.a * (2.0 * std::f64::consts::PI * self.f * t).cos()
+        2.0 * std::f64::consts::PI
+            * self.f
+            * self.a
+            * (2.0 * std::f64::consts::PI * self.f * t).cos()
     }
 }
 
@@ -33,7 +36,11 @@ fn probe_nominal_metrics() {
         let a = analyze_tone(&record, &ToneAnalysisConfig::coherent()).unwrap();
         println!(
             "seed {seed}: SNR {:.1}  SNDR {:.1}  SFDR {:.1}  THD {:.1}  ENOB {:.2}  power {:.1} mW",
-            a.snr_db, a.sndr_db, a.sfdr_db, a.thd_db, a.enob,
+            a.snr_db,
+            a.sndr_db,
+            a.sfdr_db,
+            a.thd_db,
+            a.enob,
             adc.power_w() * 1e3
         );
     }
@@ -48,11 +55,19 @@ fn probe_linearity() {
         let mut adc = PipelineAdc::build(AdcConfig::nominal_110ms(), seed).unwrap();
         let (f, _) = coherent_frequency(110e6, 1 << 20, 9.7e6);
         let wave = Sine { a: 1.02, f };
-        let codes: Vec<u32> = adc.convert_waveform(&wave, n).iter().map(|&c| c as u32).collect();
+        let codes: Vec<u32> = adc
+            .convert_waveform(&wave, n)
+            .iter()
+            .map(|&c| c as u32)
+            .collect();
         let lin = sine_histogram(&codes, 4096).unwrap();
         println!(
             "seed {seed}: DNL [{:+.2}, {:+.2}]  INL [{:+.2}, {:+.2}]  missing {}",
-            lin.dnl_min, lin.dnl_max, lin.inl_min, lin.inl_max, lin.missing_codes.len()
+            lin.dnl_min,
+            lin.dnl_max,
+            lin.inl_min,
+            lin.inl_max,
+            lin.missing_codes.len()
         );
     }
 }

@@ -5,11 +5,19 @@ use adc_pipeline::{AdcConfig, PipelineAdc, Waveform};
 use adc_spectral::metrics::{analyze_tone, ToneAnalysisConfig};
 use adc_spectral::window::coherent_frequency;
 
-struct Sine { a: f64, f: f64 }
+struct Sine {
+    a: f64,
+    f: f64,
+}
 impl Waveform for Sine {
-    fn value(&self, t: f64) -> f64 { self.a * (2.0 * std::f64::consts::PI * self.f * t).sin() }
+    fn value(&self, t: f64) -> f64 {
+        self.a * (2.0 * std::f64::consts::PI * self.f * t).sin()
+    }
     fn slope(&self, t: f64) -> f64 {
-        2.0 * std::f64::consts::PI * self.f * self.a * (2.0 * std::f64::consts::PI * self.f * t).cos()
+        2.0 * std::f64::consts::PI
+            * self.f
+            * self.a
+            * (2.0 * std::f64::consts::PI * self.f * t).cos()
     }
 }
 
@@ -26,11 +34,17 @@ fn scan_seeds() {
         let rec: Vec<f64> = codes.iter().map(|&c| adc.reconstruct_v(c)).collect();
         let a = analyze_tone(&rec, &ToneAnalysisConfig::coherent()).unwrap();
         // Distance to Table I targets.
-        let d = (a.snr_db - 67.1).powi(2) + (a.sndr_db - 64.2).powi(2)
-            + (a.sfdr_db - 69.4).powi(2) + ((p_mw - 97.0) / 2.0).powi(2);
-        println!("seed {seed:2}: SNR {:5.1} SNDR {:5.1} SFDR {:5.1} ENOB {:5.2} P {:6.1} mW  d={d:.1}",
-            a.snr_db, a.sndr_db, a.sfdr_db, a.enob, p_mw);
-        if d < best.1 { best = (seed, d); }
+        let d = (a.snr_db - 67.1).powi(2)
+            + (a.sndr_db - 64.2).powi(2)
+            + (a.sfdr_db - 69.4).powi(2)
+            + ((p_mw - 97.0) / 2.0).powi(2);
+        println!(
+            "seed {seed:2}: SNR {:5.1} SNDR {:5.1} SFDR {:5.1} ENOB {:5.2} P {:6.1} mW  d={d:.1}",
+            a.snr_db, a.sndr_db, a.sfdr_db, a.enob, p_mw
+        );
+        if d < best.1 {
+            best = (seed, d);
+        }
     }
     println!("BEST seed {} (d={:.2})", best.0, best.1);
 }

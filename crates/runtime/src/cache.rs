@@ -1,0 +1,284 @@
+//! Content-hash result caching.
+//!
+//! A campaign job is a pure function of its canonical configuration, so
+//! its result can be keyed by a hash of that configuration and reused
+//! across runs: re-running a figure binary after editing one sweep point
+//! recomputes only that point. Keys are FNV-1a hashes of a canonical
+//! serialization ([`canonical_key`] uses the `Debug` rendering, which
+//! for the workspace's plain-data config types lists every field in
+//! declaration order); values round-trip through the line-oriented
+//! [`CacheCodec`], which encodes floats as IEEE-754 bit patterns so a
+//! cache hit is *bit-identical* to the computation it replaced.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// FNV-1a over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Hashes a job configuration's canonical serialization.
+///
+/// The canonical form is the `Debug` rendering: for the plain-data
+/// configs used in campaigns it is a total, deterministic, field-order
+/// serialization, and any change to any field changes the key. Pair it
+/// with a campaign-name salt so identical configs in different
+/// campaigns do not collide.
+pub fn canonical_key<C: Debug>(campaign: &str, config: &C) -> u64 {
+    let canon = format!("{campaign}\u{1f}{config:?}");
+    fnv1a(canon.as_bytes())
+}
+
+/// Bit-exact, line-oriented value encoding for cache persistence.
+pub trait CacheCodec: Sized {
+    /// Encodes the value on one line (no `\n`).
+    fn encode(&self) -> String;
+    /// Decodes a line produced by [`CacheCodec::encode`].
+    fn decode(line: &str) -> Option<Self>;
+}
+
+impl CacheCodec for f64 {
+    fn encode(&self) -> String {
+        format!("{:016x}", self.to_bits())
+    }
+    fn decode(line: &str) -> Option<Self> {
+        u64::from_str_radix(line.trim(), 16)
+            .ok()
+            .map(f64::from_bits)
+    }
+}
+
+impl CacheCodec for u64 {
+    fn encode(&self) -> String {
+        self.to_string()
+    }
+    fn decode(line: &str) -> Option<Self> {
+        line.trim().parse().ok()
+    }
+}
+
+macro_rules! codec_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: CacheCodec),+> CacheCodec for ($($name,)+) {
+            fn encode(&self) -> String {
+                let parts = [$(self.$idx.encode()),+];
+                parts.join(",")
+            }
+            fn decode(line: &str) -> Option<Self> {
+                let mut parts = line.split(',');
+                let value = ($($name::decode(parts.next()?)?,)+);
+                if parts.next().is_some() {
+                    return None;
+                }
+                Some(value)
+            }
+        }
+    };
+}
+
+codec_tuple!(A: 0, B: 1);
+codec_tuple!(A: 0, B: 1, C: 2);
+codec_tuple!(A: 0, B: 1, C: 2, D: 3);
+codec_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+codec_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl<T: CacheCodec> CacheCodec for Vec<T> {
+    fn encode(&self) -> String {
+        self.iter().map(T::encode).collect::<Vec<_>>().join(";")
+    }
+    fn decode(line: &str) -> Option<Self> {
+        if line.is_empty() {
+            return Some(Vec::new());
+        }
+        line.split(';').map(T::decode).collect()
+    }
+}
+
+/// A content-addressed result store: in-memory, optionally mirrored to
+/// a directory of `<campaign>.cache` files (`key<TAB>value` lines).
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<u64, String>>,
+}
+
+impl ResultCache {
+    /// A process-local cache with no persistence.
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// A cache mirrored to `dir` (created if absent). Each campaign
+    /// persists to its own file, loaded lazily on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn on_disk<P: AsRef<Path>>(dir: P) -> io::Result<Self> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir: Some(dir.as_ref().to_path_buf()),
+            mem: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn campaign_file(&self, campaign: &str) -> Option<PathBuf> {
+        let safe: String = campaign
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.as_ref().map(|d| d.join(format!("{safe}.cache")))
+    }
+
+    /// Loads a campaign's persisted entries into memory (idempotent).
+    pub fn preload(&self, campaign: &str) {
+        let Some(path) = self.campaign_file(campaign) else {
+            return;
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return;
+        };
+        let mut mem = self.mem.lock().expect("cache lock");
+        for line in text.lines() {
+            if let Some((key, value)) = line.split_once('\t') {
+                if let Ok(key) = key.parse::<u64>() {
+                    mem.entry(key).or_insert_with(|| value.to_string());
+                }
+            }
+        }
+    }
+
+    /// Looks up a previously stored value.
+    pub fn get<T: CacheCodec>(&self, key: u64) -> Option<T> {
+        let mem = self.mem.lock().expect("cache lock");
+        mem.get(&key).and_then(|line| T::decode(line))
+    }
+
+    /// Stores a value under `key`.
+    pub fn put<T: CacheCodec>(&self, key: u64, value: &T) {
+        let mut mem = self.mem.lock().expect("cache lock");
+        mem.insert(key, value.encode());
+    }
+
+    /// Number of entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("cache lock").len()
+    }
+
+    /// `true` when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes a campaign's in-memory entries back to its file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a no-op for in-memory caches.
+    pub fn persist(&self, campaign: &str) -> io::Result<()> {
+        let Some(path) = self.campaign_file(campaign) else {
+            return Ok(());
+        };
+        let mem = self.mem.lock().expect("cache lock");
+        let mut entries: Vec<_> = mem.iter().collect();
+        entries.sort_by_key(|(k, _)| **k);
+        let mut out = String::new();
+        for (key, value) in entries {
+            out.push_str(&format!("{key}\t{value}\n"));
+        }
+        std::fs::write(path, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_key_changes_with_any_field() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        struct Cfg {
+            a: f64,
+            b: u64,
+        }
+        let base = canonical_key("camp", &Cfg { a: 1.0, b: 2 });
+        assert_eq!(base, canonical_key("camp", &Cfg { a: 1.0, b: 2 }));
+        assert_ne!(base, canonical_key("camp", &Cfg { a: 1.5, b: 2 }));
+        assert_ne!(base, canonical_key("camp", &Cfg { a: 1.0, b: 3 }));
+        assert_ne!(base, canonical_key("other", &Cfg { a: 1.0, b: 2 }));
+    }
+
+    #[test]
+    fn f64_codec_is_bit_exact() {
+        for value in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            64.23456789012345,
+        ] {
+            let back = f64::decode(&value.encode()).unwrap();
+            assert_eq!(back.to_bits(), value.to_bits());
+        }
+        let nan = f64::decode(&f64::NAN.encode()).unwrap();
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn tuple_and_vec_codecs_round_trip() {
+        let point = (1.0f64, 2.5f64, -3.25f64);
+        assert_eq!(<(f64, f64, f64)>::decode(&point.encode()), Some(point));
+        let series: Vec<(f64, f64)> = vec![(1.0, 2.0), (3.0, 4.0)];
+        assert_eq!(
+            Vec::<(f64, f64)>::decode(&series.encode()),
+            Some(series.clone())
+        );
+        assert_eq!(Vec::<f64>::decode(""), Some(vec![]));
+        assert_eq!(<(f64, f64)>::decode("deadbeef"), None);
+    }
+
+    #[test]
+    fn memory_cache_stores_and_misses() {
+        let cache = ResultCache::in_memory();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get::<f64>(1), None);
+        cache.put(1, &64.25f64);
+        assert_eq!(cache.get::<f64>(1), Some(64.25));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_across_instances() {
+        let dir = std::env::temp_dir().join("adc_runtime_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ResultCache::on_disk(&dir).unwrap();
+            cache.put(42, &(1.5f64, 2.5f64));
+            cache.persist("fig_test").unwrap();
+        }
+        {
+            let cache = ResultCache::on_disk(&dir).unwrap();
+            assert_eq!(cache.get::<(f64, f64)>(42), None, "not loaded yet");
+            cache.preload("fig_test");
+            assert_eq!(cache.get::<(f64, f64)>(42), Some((1.5, 2.5)));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

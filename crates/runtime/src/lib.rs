@@ -1,0 +1,61 @@
+//! # adc-runtime — deterministic parallel campaign execution
+//!
+//! The simulation workloads in this workspace — frequency/rate/power
+//! sweeps, Monte-Carlo yield runs, figure regeneration — are
+//! embarrassingly parallel: many independent jobs, each a pure function
+//! of its configuration and a seed. This crate executes such *campaigns*
+//! on a work-stealing thread pool while guaranteeing results that are
+//! **bit-identical to serial execution**, whatever the thread count or
+//! scheduling order.
+//!
+//! The determinism contract rests on three rules:
+//!
+//! 1. every job gets a stable [`JobId`] (its submission index);
+//! 2. per-job randomness is seeded by [`derive_seed`]`(campaign_seed,
+//!    job_id)` — SplitMix64-style mixing, never a shared RNG stream;
+//! 3. results land in a slot indexed by id, so completion order is
+//!    invisible.
+//!
+//! Built entirely on `std` (`std::thread` + locks): no new external
+//! dependencies.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use adc_runtime::{Campaign, JobError};
+//!
+//! let run = Campaign::new("demo-sweep", 7)
+//!     .jobs(vec![10.0_f64, 20.0, 30.0])
+//!     .threads(2)
+//!     .run(|ctx, &fin| {
+//!         ctx.record_samples(1);
+//!         Ok::<_, JobError>(fin * 2.0)
+//!     });
+//! assert_eq!(run.into_result().unwrap(), vec![20.0, 40.0, 60.0]);
+//! ```
+//!
+//! ## Modules
+//!
+//! - [`campaign`] — the [`Campaign`] builder and [`CampaignRun`] result.
+//! - [`pool`] — the work-stealing execution core.
+//! - [`job`] — [`JobId`], [`JobCtx`], [`JobError`], [`JobReport`].
+//! - [`seed`] — SplitMix64 mixing and seed derivation.
+//! - [`cache`] — content-hash result cache ([`ResultCache`]).
+//! - [`observer`] — [`RunObserver`] lifecycle hooks and
+//!   [`CampaignSummary`] statistics.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod campaign;
+pub mod job;
+pub mod observer;
+pub mod pool;
+pub mod seed;
+
+pub use cache::{canonical_key, CacheCodec, ResultCache};
+pub use campaign::{Campaign, CampaignRun};
+pub use job::{JobCtx, JobError, JobId, JobReport};
+pub use observer::{CampaignSummary, CollectingObserver, RunObserver};
+pub use pool::default_threads;
+pub use seed::{derive_seed, split_mix64};

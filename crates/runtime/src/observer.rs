@@ -1,0 +1,115 @@
+//! Run observability: hooks for job lifecycle, progress, and campaign
+//! summaries.
+//!
+//! The engine calls observers from worker threads; implementations must
+//! be `Send + Sync` and should stay cheap — a slow observer serializes
+//! the pool. `adc-testbench::report` provides a text reporter built on
+//! this trait; [`CollectingObserver`] here supports tests.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::job::{JobId, JobReport};
+
+/// Summary statistics of one finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// Campaign name (for labelling output).
+    pub name: String,
+    /// Total jobs submitted.
+    pub jobs: usize,
+    /// Jobs that produced a value.
+    pub succeeded: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time.
+    pub wall: Duration,
+    /// Sum of per-job wall times (serial-equivalent compute time).
+    pub busy: Duration,
+    /// Total samples recorded by workers.
+    pub samples: u64,
+}
+
+impl CampaignSummary {
+    /// Jobs completed per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Samples converted per wall-clock second (0 when workers did not
+    /// record samples).
+    pub fn samples_per_sec(&self) -> f64 {
+        self.samples as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Ratio of serial-equivalent compute time to wall time — the
+    /// effective parallel speedup achieved.
+    pub fn speedup(&self) -> f64 {
+        self.busy.as_secs_f64() / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Lifecycle hooks for a campaign run. All methods default to no-ops so
+/// implementations override only what they need.
+pub trait RunObserver: Send + Sync {
+    /// The campaign is about to dispatch `jobs` jobs on `threads`
+    /// workers.
+    fn on_campaign_start(&self, name: &str, jobs: usize, threads: usize) {
+        let _ = (name, jobs, threads);
+    }
+
+    /// Attempt `attempt` of job `id` is starting.
+    fn on_job_start(&self, id: JobId, attempt: u32) {
+        let _ = (id, attempt);
+    }
+
+    /// Job `id` finished (successfully or not); `report` has the
+    /// attempt count, wall time, and sample credit.
+    fn on_job_finish(&self, id: JobId, report: &JobReport) {
+        let _ = (id, report);
+    }
+
+    /// `done` of `total` jobs have completed.
+    fn on_progress(&self, done: usize, total: usize) {
+        let _ = (done, total);
+    }
+
+    /// The campaign finished.
+    fn on_campaign_finish(&self, summary: &CampaignSummary) {
+        let _ = summary;
+    }
+}
+
+/// An observer that records events for inspection (test support).
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    /// Finished-job reports in completion order.
+    pub reports: Mutex<Vec<JobReport>>,
+    /// Progress ticks `(done, total)` in emission order.
+    pub ticks: Mutex<Vec<(usize, usize)>>,
+    /// Campaign summaries (one per observed run).
+    pub summaries: Mutex<Vec<CampaignSummary>>,
+}
+
+impl RunObserver for CollectingObserver {
+    fn on_job_finish(&self, _id: JobId, report: &JobReport) {
+        self.reports
+            .lock()
+            .expect("observer lock")
+            .push(report.clone());
+    }
+
+    fn on_progress(&self, done: usize, total: usize) {
+        self.ticks
+            .lock()
+            .expect("observer lock")
+            .push((done, total));
+    }
+
+    fn on_campaign_finish(&self, summary: &CampaignSummary) {
+        self.summaries
+            .lock()
+            .expect("observer lock")
+            .push(summary.clone());
+    }
+}

@@ -1,0 +1,14 @@
+//! Stable per-job seed derivation.
+
+/// One step of the SplitMix64 output function.
+pub fn split_mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a job's seed from the campaign seed and its stable job id.
+pub fn derive_seed(campaign_seed: u64, job_id: u64) -> u64 {
+    split_mix64(campaign_seed ^ split_mix64(job_id))
+}

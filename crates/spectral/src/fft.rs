@@ -158,10 +158,7 @@ mod tests {
     #[test]
     fn rejects_non_power_of_two() {
         let mut x = vec![Complex64::ZERO; 12];
-        assert_eq!(
-            fft_in_place(&mut x),
-            Err(FftError::NonPowerOfTwoLength(12))
-        );
+        assert_eq!(fft_in_place(&mut x), Err(FftError::NonPowerOfTwoLength(12)));
         assert!(fft_real(&[0.0; 3]).is_err());
         assert!(power_spectrum_one_sided(&[0.0; 0]).is_err());
     }
@@ -240,7 +237,9 @@ mod tests {
     #[test]
     fn power_spectrum_total_matches_signal_power() {
         let n = 1024;
-        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.917).sin() * 0.3 + 0.1).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.917).sin() * 0.3 + 0.1)
+            .collect();
         let ps = power_spectrum_one_sided(&signal).unwrap();
         let total: f64 = ps.iter().sum();
         let mean_sq: f64 = signal.iter().map(|x| x * x).sum::<f64>() / n as f64;

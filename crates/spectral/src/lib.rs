@@ -46,7 +46,9 @@ pub mod window;
 pub use complex::Complex64;
 pub use fft::{fft_in_place, fft_real, ifft_in_place, power_spectrum_one_sided, FftError};
 pub use goertzel::{goertzel_bin, goertzel_power, tone_screen};
-pub use linearity::{predict_tone_from_inl, ramp_histogram, sine_histogram, LinearityError, LinearityResult};
+pub use linearity::{
+    predict_tone_from_inl, ramp_histogram, sine_histogram, LinearityError, LinearityResult,
+};
 pub use metrics::{analyze_tone, HarmonicReading, SingleToneAnalysis, ToneAnalysisConfig};
 pub use sinefit::{fit_known_frequency, fit_refine_frequency, SineFit, SineFitError};
 pub use spectrum::AveragedSpectrum;

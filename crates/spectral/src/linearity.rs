@@ -281,7 +281,11 @@ mod tests {
         let codes = run_through(&t, 400_000, 1.05);
         let lin = sine_histogram(&codes, nc as u32).unwrap();
         // DNL vector index: code c at index c-1.
-        assert!((lin.dnl_lsb[19] - 0.5).abs() < 0.1, "dnl {}", lin.dnl_lsb[19]);
+        assert!(
+            (lin.dnl_lsb[19] - 0.5).abs() < 0.1,
+            "dnl {}",
+            lin.dnl_lsb[19]
+        );
         assert!((lin.dnl_lsb[20] + 0.5).abs() < 0.1);
     }
 
@@ -430,7 +434,7 @@ pub fn predict_tone_from_inl(
     );
     let nc = code_count as f64;
     let lsb = 2.0 / nc; // full scale normalised to ±1
-    // Coherent odd bin near n/23 for a generic low-frequency tone.
+                        // Coherent odd bin near n/23 for a generic low-frequency tone.
     let cycles = {
         let mut m = (n / 23) | 1;
         if m == 0 {
@@ -504,6 +508,11 @@ mod predict_tests {
         let a = predict_tone_from_inl(&inl, 4096, 0.999, 8192).unwrap();
         let hd2 = a.harmonics.iter().find(|h| h.order == 2).expect("hd2");
         let hd3 = a.harmonics.iter().find(|h| h.order == 3).expect("hd3");
-        assert!(hd2.dbc > hd3.dbc + 10.0, "hd2 {} vs hd3 {}", hd2.dbc, hd3.dbc);
+        assert!(
+            hd2.dbc > hd3.dbc + 10.0,
+            "hd2 {} vs hd3 {}",
+            hd2.dbc,
+            hd3.dbc
+        );
     }
 }

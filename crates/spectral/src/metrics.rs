@@ -261,7 +261,9 @@ pub fn analyze_tone(
             worst_power = window_sum;
             // Report the strongest bin inside the worst window, not the
             // window centre, so single-bin spurs are located exactly.
-            worst_bin = (lo..=hi).max_by(|&a, &b| ps[a].total_cmp(&ps[b])).unwrap_or(center);
+            worst_bin = (lo..=hi)
+                .max_by(|&a, &b| ps[a].total_cmp(&ps[b]))
+                .unwrap_or(center);
         }
     }
 
@@ -333,7 +335,9 @@ mod tests {
         let mut state = 0x12345678u64;
         let mut noise_power = 0.0;
         for s in sig.iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
             let nval = u * 0.02; // uniform, sigma = 0.02/sqrt(12)
             noise_power += nval * nval;
@@ -426,7 +430,11 @@ mod tests {
         let sig = sine(n, 401, 0.5); // −6 dBFS for FS peak = 1.0
         let cfg = ToneAnalysisConfig::coherent().with_full_scale(1.0);
         let a = analyze_tone(&sig, &cfg).unwrap();
-        assert!((a.signal_dbfs + 6.02).abs() < 0.05, "dbfs {}", a.signal_dbfs);
+        assert!(
+            (a.signal_dbfs + 6.02).abs() < 0.05,
+            "dbfs {}",
+            a.signal_dbfs
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub enum SineFitError {
 impl std::fmt::Display for SineFitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SineFitError::TooFewSamples(n) => write!(f, "need more samples than parameters, got {n}"),
+            SineFitError::TooFewSamples(n) => {
+                write!(f, "need more samples than parameters, got {n}")
+            }
             SineFitError::Singular => write!(f, "sine-fit normal equations are singular"),
         }
     }
@@ -95,11 +97,7 @@ pub fn fit_known_frequency(
         sys += y * s;
         sy += y;
     }
-    let m = [
-        [scc, ssc, sc],
-        [ssc, sss, ss],
-        [sc, ss, n as f64],
-    ];
+    let m = [[scc, ssc, sc], [ssc, sss, ss], [sc, ss, n as f64]];
     let [a, b, c] = solve3(m, [syc, sys, sy]).ok_or(SineFitError::Singular)?;
 
     let mut resid2 = 0.0;

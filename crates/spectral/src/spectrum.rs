@@ -91,8 +91,8 @@ impl AveragedSpectrum {
     pub fn nsd_dbfs_per_hz(&self, full_scale_peak: f64, fs_hz: f64) -> f64 {
         assert!(full_scale_peak > 0.0 && fs_hz > 0.0);
         let fs_power = full_scale_peak * full_scale_peak / 2.0;
-        let per_hz = self.noise_floor_per_bin() / self.bin_width_hz(fs_hz)
-            / self.window.enbw_bins();
+        let per_hz =
+            self.noise_floor_per_bin() / self.bin_width_hz(fs_hz) / self.window.enbw_bins();
         10.0 * (per_hz / fs_power).log10()
     }
 }

@@ -154,9 +154,17 @@ impl fmt::Display for Datasheet {
         writeln!(f, "Technology                {}", self.technology)?;
         writeln!(f, "Nominal supply voltage    {:.1} V", self.supply_v)?;
         writeln!(f, "Resolution                {} bit", self.resolution_bits)?;
-        writeln!(f, "Full Scale analog input   {:.0} Vp-p", self.full_scale_vpp)?;
+        writeln!(
+            f,
+            "Full Scale analog input   {:.0} Vp-p",
+            self.full_scale_vpp
+        )?;
         writeln!(f, "Area                      {:.2} mm^2", self.area_mm2)?;
-        writeln!(f, "Conversion rate           {:.0} MS/s", self.f_cr_hz / 1e6)?;
+        writeln!(
+            f,
+            "Conversion rate           {:.0} MS/s",
+            self.f_cr_hz / 1e6
+        )?;
         writeln!(f, "Analog Power Consumption  {:.0} mW", self.power_w * 1e3)?;
         writeln!(
             f,
@@ -180,8 +188,16 @@ impl fmt::Display for Datasheet {
         )?;
         let fin_mhz = self.f_in_hz / 1e6;
         writeln!(f, "SNR  (fin={fin_mhz:.0}MHz)        {:.1} dB", self.snr_db)?;
-        writeln!(f, "SNDR (fin={fin_mhz:.0}MHz)        {:.1} dB", self.sndr_db)?;
-        writeln!(f, "SFDR (fin={fin_mhz:.0}MHz)        {:.1} dB", self.sfdr_db)?;
+        writeln!(
+            f,
+            "SNDR (fin={fin_mhz:.0}MHz)        {:.1} dB",
+            self.sndr_db
+        )?;
+        writeln!(
+            f,
+            "SFDR (fin={fin_mhz:.0}MHz)        {:.1} dB",
+            self.sfdr_db
+        )?;
         write!(f, "ENOB (fin={fin_mhz:.0}MHz)        {:.1} bit", self.enob)
     }
 }
@@ -202,8 +218,16 @@ mod tests {
         assert!((d.sndr_db - 64.2).abs() < 1.5);
         assert!((d.enob - 10.4).abs() < 0.25);
         // Paper: DNL ±1.2, INL −1.5/+1. Shapes: sub-LSB to ~1.5 LSB.
-        assert!(d.dnl_lsb.1 > 0.1 && d.dnl_lsb.1 < 1.6, "dnl {:?}", d.dnl_lsb);
-        assert!(d.inl_lsb.0 < -0.3 && d.inl_lsb.0 > -2.0, "inl {:?}", d.inl_lsb);
+        assert!(
+            d.dnl_lsb.1 > 0.1 && d.dnl_lsb.1 < 1.6,
+            "dnl {:?}",
+            d.dnl_lsb
+        );
+        assert!(
+            d.inl_lsb.0 < -0.3 && d.inl_lsb.0 > -2.0,
+            "inl {:?}",
+            d.inl_lsb
+        );
     }
 
     #[test]
@@ -227,7 +251,11 @@ mod tests {
             enob: 10.4,
         };
         // 2^10.4·110/(0.86·97) ≈ 1782
-        assert!((d.figure_of_merit() - 1782.0).abs() < 15.0, "fm {}", d.figure_of_merit());
+        assert!(
+            (d.figure_of_merit() - 1782.0).abs() < 15.0,
+            "fm {}",
+            d.figure_of_merit()
+        );
     }
 
     #[test]
@@ -251,7 +279,16 @@ mod tests {
             enob: 10.4,
         };
         let text = d.to_string();
-        for needle in ["Technology", "SNR", "SNDR", "SFDR", "ENOB", "DNL", "INL", "Power"] {
+        for needle in [
+            "Technology",
+            "SNR",
+            "SNDR",
+            "SFDR",
+            "ENOB",
+            "DNL",
+            "INL",
+            "Power",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

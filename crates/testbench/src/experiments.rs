@@ -10,6 +10,7 @@ use adc_pipeline::config::AdcConfig;
 use adc_pipeline::error::BuildAdcError;
 
 use crate::datasheet::{Datasheet, DatasheetError};
+use crate::policy::RunPolicy;
 use crate::session::MeasurementSession;
 use crate::survey::{fig8_survey, SurveyEntry};
 use crate::sweep::{DynamicPoint, SweepRunner};
@@ -36,13 +37,26 @@ impl Fig4Result {
     }
 }
 
-/// Runs the Fig. 4 campaign on the golden die.
+/// Runs the Fig. 4 campaign on the golden die with the default
+/// execution policy.
 ///
 /// # Errors
 ///
 /// Propagates build errors.
 pub fn run_fig4() -> Result<Fig4Result, BuildAdcError> {
-    let runner = SweepRunner::nominal();
+    run_fig4_with(&RunPolicy::default())
+}
+
+/// [`run_fig4`] under an explicit campaign execution policy.
+///
+/// # Errors
+///
+/// Propagates build errors.
+pub fn run_fig4_with(policy: &RunPolicy) -> Result<Fig4Result, BuildAdcError> {
+    let runner = SweepRunner {
+        policy: policy.clone(),
+        ..SweepRunner::nominal()
+    };
     let rates: Vec<f64> = (1..=13).map(|i| i as f64 * 10e6).collect();
     let readings = runner.power_sweep(&rates)?;
     let series: Vec<(f64, f64)> = readings.iter().map(|r| (r.f_cr_hz, r.total_w)).collect();
@@ -86,14 +100,25 @@ impl Fig5Result {
     }
 }
 
-/// Runs the Fig. 5 campaign (record length configurable for test speed).
+/// Runs the Fig. 5 campaign (record length configurable for test speed)
+/// with the default execution policy.
 ///
 /// # Errors
 ///
 /// Propagates build errors.
 pub fn run_fig5(record_len: usize) -> Result<Fig5Result, BuildAdcError> {
+    run_fig5_with(record_len, &RunPolicy::default())
+}
+
+/// [`run_fig5`] under an explicit campaign execution policy.
+///
+/// # Errors
+///
+/// Propagates build errors.
+pub fn run_fig5_with(record_len: usize, policy: &RunPolicy) -> Result<Fig5Result, BuildAdcError> {
     let runner = SweepRunner {
         record_len,
+        policy: policy.clone(),
         ..SweepRunner::nominal()
     };
     let rates: Vec<f64> = [20.0, 40.0, 60.0, 80.0, 100.0, 110.0, 120.0, 140.0, 200.0]
@@ -137,14 +162,24 @@ impl Fig6Result {
     }
 }
 
-/// Runs the Fig. 6 campaign.
+/// Runs the Fig. 6 campaign with the default execution policy.
 ///
 /// # Errors
 ///
 /// Propagates build errors.
 pub fn run_fig6(record_len: usize) -> Result<Fig6Result, BuildAdcError> {
+    run_fig6_with(record_len, &RunPolicy::default())
+}
+
+/// [`run_fig6`] under an explicit campaign execution policy.
+///
+/// # Errors
+///
+/// Propagates build errors.
+pub fn run_fig6_with(record_len: usize, policy: &RunPolicy) -> Result<Fig6Result, BuildAdcError> {
     let runner = SweepRunner {
         record_len,
+        policy: policy.clone(),
         ..SweepRunner::nominal()
     };
     let fins: Vec<f64> = [10.0, 40.0, 100.0, 150.0].iter().map(|m| m * 1e6).collect();

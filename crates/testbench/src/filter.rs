@@ -94,7 +94,10 @@ impl Biquad {
     ///
     /// Panics unless `0 < center_hz < fs_hz/2` and `q > 0`.
     pub fn bandpass(fs_hz: f64, center_hz: f64, q: f64) -> Self {
-        assert!(center_hz > 0.0 && center_hz < fs_hz / 2.0, "centre must be in (0, Nyquist)");
+        assert!(
+            center_hz > 0.0 && center_hz < fs_hz / 2.0,
+            "centre must be in (0, Nyquist)"
+        );
         assert!(q > 0.0, "Q must be positive");
         let w0 = 2.0 * std::f64::consts::PI * center_hz / fs_hz;
         let alpha = w0.sin() / (2.0 * q);

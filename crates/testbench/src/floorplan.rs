@@ -113,7 +113,11 @@ mod tests {
     #[test]
     fn budget_sums_to_published_area() {
         let fp = Floorplan::paper(&ScalingProfile::Paper);
-        assert!((fp.total_mm2() - PAPER_AREA_MM2).abs() < 1e-9, "total {}", fp.total_mm2());
+        assert!(
+            (fp.total_mm2() - PAPER_AREA_MM2).abs() < 1e-9,
+            "total {}",
+            fp.total_mm2()
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   dynamic metrics, histogram linearity ([`session::GOLDEN_SEED`] is
 //!   the reproduction's "measured die");
 //! * [`sweep`] — the campaigns behind Figs. 4, 5 and 6;
+//! * [`policy`] — execution policy (thread count, observers) routing
+//!   every campaign through the `adc-runtime` engine;
 //! * [`datasheet`] — Table I as a measurement procedure;
 //! * [`survey`] — Eq. 2 and the fifteen-converter Fig. 8 FoM survey;
 //! * [`report`] — text tables / CSV for the regeneration binaries.
@@ -35,6 +37,7 @@ pub mod experiments;
 pub mod filter;
 pub mod floorplan;
 pub mod montecarlo;
+pub mod policy;
 pub mod report;
 pub mod session;
 pub mod signal;
@@ -42,10 +45,16 @@ pub mod survey;
 pub mod sweep;
 
 pub use datasheet::{Datasheet, DatasheetError, PAPER_AREA_MM2};
-pub use floorplan::{Floorplan, FloorplanBlock};
-pub use montecarlo::{run_monte_carlo, DieResult, MetricStats, MonteCarloResult, YieldSpec};
 pub use filter::{BandpassFilter, Biquad};
+pub use floorplan::{Floorplan, FloorplanBlock};
+pub use montecarlo::{
+    run_monte_carlo, run_monte_carlo_with, DieResult, MetricStats, MonteCarloResult, YieldSpec,
+};
+pub use policy::RunPolicy;
+pub use report::CampaignReporter;
 pub use session::{MeasurementSession, ToneMeasurement, GOLDEN_SEED};
 pub use signal::{DcSource, Harmonic, MultiTone, RampSource, SineSource};
-pub use survey::{fig8_survey, schreier_fom_db, walden_adjusted_fm, walden_pj_per_step, SurveyEntry};
+pub use survey::{
+    fig8_survey, schreier_fom_db, walden_adjusted_fm, walden_pj_per_step, SurveyEntry,
+};
 pub use sweep::{DynamicPoint, SweepRunner};

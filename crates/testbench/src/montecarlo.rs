@@ -7,7 +7,9 @@
 
 use adc_pipeline::config::AdcConfig;
 use adc_pipeline::error::BuildAdcError;
+use adc_runtime::CacheCodec;
 
+use crate::policy::{campaign_id, ErrorFunnel, RunPolicy};
 use crate::session::MeasurementSession;
 
 /// One die's Monte-Carlo measurement.
@@ -25,6 +27,31 @@ pub struct DieResult {
     pub enob: f64,
     /// Total power, watts.
     pub power_w: f64,
+}
+
+impl CacheCodec for DieResult {
+    fn encode(&self) -> String {
+        (
+            self.seed,
+            self.snr_db,
+            self.sndr_db,
+            self.sfdr_db,
+            self.enob,
+            self.power_w,
+        )
+            .encode()
+    }
+    fn decode(line: &str) -> Option<Self> {
+        let (seed, snr_db, sndr_db, sfdr_db, enob, power_w) = CacheCodec::decode(line)?;
+        Some(Self {
+            seed,
+            snr_db,
+            sndr_db,
+            sfdr_db,
+            enob,
+            power_w,
+        })
+    }
 }
 
 /// Summary statistics of one metric across the population.
@@ -120,8 +147,9 @@ impl MonteCarloResult {
     }
 }
 
-/// Runs the campaign: fabricates dies with seeds `1..=die_count`,
-/// measures each at `f_in_target_hz` with `record_len`-point records.
+/// Runs the campaign with the default [`RunPolicy`] (all hardware
+/// threads): fabricates dies with seeds `1..=die_count`, measures each
+/// at `f_in_target_hz` with `record_len`-point records.
 ///
 /// # Errors
 ///
@@ -132,21 +160,59 @@ pub fn run_monte_carlo(
     f_in_target_hz: f64,
     record_len: usize,
 ) -> Result<MonteCarloResult, BuildAdcError> {
+    run_monte_carlo_with(
+        config,
+        die_count,
+        f_in_target_hz,
+        record_len,
+        &RunPolicy::default(),
+    )
+}
+
+/// [`run_monte_carlo`] with an explicit execution policy.
+///
+/// Dies are independent jobs — die `k` is fabricated from seed `k` and
+/// measured on its own session — so the result is bit-identical whatever
+/// `policy.threads` is; one diverging die fails its own job without
+/// killing the yield run (its absence surfaces as the build error).
+///
+/// # Errors
+///
+/// Propagates the lowest-seed build error.
+pub fn run_monte_carlo_with(
+    config: &AdcConfig,
+    die_count: usize,
+    f_in_target_hz: f64,
+    record_len: usize,
+    policy: &RunPolicy,
+) -> Result<MonteCarloResult, BuildAdcError> {
     assert!(die_count > 0, "need at least one die");
-    let mut dies = Vec::with_capacity(die_count);
-    for seed in 1..=die_count as u64 {
-        let mut session = MeasurementSession::new(config.clone(), seed)?;
-        session.record_len = record_len;
-        let m = session.measure_tone(f_in_target_hz);
-        dies.push(DieResult {
-            seed,
-            snr_db: m.analysis.snr_db,
-            sndr_db: m.analysis.sndr_db,
-            sfdr_db: m.analysis.sfdr_db,
-            enob: m.analysis.enob,
-            power_w: session.adc().power_w(),
-        });
-    }
+    let funnel = ErrorFunnel::new();
+    let name = campaign_id(
+        "monte_carlo",
+        &(config, record_len, f_in_target_hz.to_bits()),
+    );
+    let run = policy.run_campaign(
+        &name,
+        crate::session::GOLDEN_SEED,
+        (1..=die_count as u64).collect(),
+        |ctx, &seed| {
+            let mut session = MeasurementSession::new(config.clone(), seed)
+                .map_err(|e| funnel.capture(ctx.id, e))?;
+            session.record_len = record_len;
+            ctx.record_samples(record_len as u64);
+            let m = session.measure_tone(f_in_target_hz);
+            Ok(DieResult {
+                seed,
+                snr_db: m.analysis.snr_db,
+                sndr_db: m.analysis.sndr_db,
+                sfdr_db: m.analysis.sfdr_db,
+                enob: m.analysis.enob,
+                power_w: session.adc().power_w(),
+            })
+        },
+    );
+    let dies = funnel.resolve(run)?;
     Ok(MonteCarloResult {
         snr: MetricStats::over(&dies, |d| d.snr_db),
         sndr: MetricStats::over(&dies, |d| d.sndr_db),
@@ -206,5 +272,15 @@ mod tests {
         let a = small_campaign();
         let b = small_campaign();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_campaign_is_bit_identical_to_serial() {
+        let config = AdcConfig::nominal_110ms();
+        let serial =
+            run_monte_carlo_with(&config, 6, 10e6, 1024, &RunPolicy::serial()).expect("runs");
+        let parallel =
+            run_monte_carlo_with(&config, 6, 10e6, 1024, &RunPolicy::parallel(4)).expect("runs");
+        assert_eq!(serial, parallel);
     }
 }

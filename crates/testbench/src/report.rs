@@ -1,7 +1,86 @@
 //! Plain-text reporting: aligned tables and CSV output for the figure
-//! regeneration binaries.
+//! regeneration binaries, plus the [`CampaignReporter`] progress
+//! observer for `adc-runtime` campaigns.
 
 use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use adc_runtime::{CampaignSummary, JobId, JobReport, RunObserver};
+
+/// A [`RunObserver`] that narrates campaign progress as text lines.
+///
+/// Writes a header when the campaign starts, a progress line at each
+/// completed-job milestone (every `stride` jobs, and always the last),
+/// and a summary line — jobs/s, samples/s, effective speedup — when it
+/// finishes. Output goes to any `Write + Send` sink behind a mutex, so
+/// worker threads can report concurrently.
+pub struct CampaignReporter<W: std::io::Write + Send> {
+    out: Mutex<W>,
+    stride: usize,
+}
+
+impl<W: std::io::Write + Send> std::fmt::Debug for CampaignReporter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignReporter")
+            .field("stride", &self.stride)
+            .finish()
+    }
+}
+
+impl CampaignReporter<std::io::Stderr> {
+    /// A reporter on standard error (progress must not pollute the
+    /// figure tables on standard out), announcing every 4th job.
+    pub fn stderr() -> Self {
+        Self::to(std::io::stderr(), 4)
+    }
+}
+
+impl<W: std::io::Write + Send> CampaignReporter<W> {
+    /// A reporter on an arbitrary sink, announcing every `stride`-th
+    /// completed job (`stride` is clamped to at least 1).
+    pub fn to(out: W, stride: usize) -> Self {
+        Self {
+            out: Mutex::new(out),
+            stride: stride.max(1),
+        }
+    }
+
+    fn line(&self, text: &str) {
+        let mut out = self.out.lock().expect("reporter lock");
+        let _ = writeln!(out, "{text}");
+    }
+}
+
+impl<W: std::io::Write + Send> RunObserver for CampaignReporter<W> {
+    fn on_campaign_start(&self, name: &str, jobs: usize, threads: usize) {
+        self.line(&format!("[{name}] {jobs} jobs on {threads} threads"));
+    }
+
+    fn on_job_finish(&self, id: JobId, report: &JobReport) {
+        if let Some(err) = &report.error {
+            self.line(&format!("[job {id}] {err}"));
+        }
+    }
+
+    fn on_progress(&self, done: usize, total: usize) {
+        if done.is_multiple_of(self.stride) || done == total {
+            self.line(&format!("  {done}/{total} jobs done"));
+        }
+    }
+
+    fn on_campaign_finish(&self, summary: &CampaignSummary) {
+        self.line(&format!(
+            "[{}] {}/{} ok in {:.2?} ({:.1} jobs/s, {:.2e} samples/s, {:.1}x speedup)",
+            summary.name,
+            summary.succeeded,
+            summary.jobs,
+            summary.wall,
+            summary.jobs_per_sec(),
+            summary.samples_per_sec(),
+            summary.speedup(),
+        ));
+    }
+}
 
 /// A simple aligned text table.
 #[derive(Debug, Clone, Default)]
@@ -104,12 +183,7 @@ impl TextTable {
 ///
 /// Panics for an empty spectrum, non-positive dimensions, or a
 /// non-negative floor.
-pub fn render_spectrum_ascii(
-    power: &[f64],
-    width: usize,
-    height: usize,
-    floor_db: f64,
-) -> String {
+pub fn render_spectrum_ascii(power: &[f64], width: usize, height: usize, floor_db: f64) -> String {
     assert!(!power.is_empty(), "empty spectrum");
     assert!(width > 0 && height > 1, "degenerate plot dimensions");
     assert!(floor_db < 0.0, "floor must be below the 0 dB peak");
@@ -119,7 +193,9 @@ pub fn render_spectrum_ascii(
     let cols: Vec<f64> = (0..width)
         .map(|c| {
             let lo = c * power.len() / width;
-            let hi = (((c + 1) * power.len()) / width).max(lo + 1).min(power.len());
+            let hi = (((c + 1) * power.len()) / width)
+                .max(lo + 1)
+                .min(power.len());
             let p = power[lo..hi].iter().copied().fold(0.0_f64, f64::max);
             if p > 0.0 {
                 (10.0 * (p / peak).log10()).max(floor_db)
@@ -174,6 +250,44 @@ pub fn mw_cell(value_w: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn campaign_reporter_narrates_runs() {
+        use adc_runtime::{Campaign, JobError};
+        use std::sync::Arc;
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let reporter = Arc::new(CampaignReporter::to(buf.clone(), 2));
+        let run = Campaign::new("narrate", 3)
+            .jobs(0u64..4)
+            .threads(2)
+            .observe(reporter)
+            .run(|_, &x| {
+                if x == 2 {
+                    Err(JobError::Failed("bad point".into()))
+                } else {
+                    Ok(x)
+                }
+            });
+        assert_eq!(run.values().count(), 3);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("[narrate] 4 jobs on 2 threads"), "{text}");
+        assert!(text.contains("bad point"), "{text}");
+        assert!(text.contains("4/4 jobs done"), "{text}");
+        assert!(text.contains("3/4 ok"), "{text}");
+    }
 
     #[test]
     fn renders_aligned_columns() {

@@ -112,8 +112,8 @@ impl MeasurementSession {
         let (codes, f_in) = self.capture_tone(f_target_hz);
         let record = self.reconstruct(&codes);
         let cfg = ToneAnalysisConfig::coherent().with_full_scale(self.adc.config().v_ref_v);
-        let analysis = analyze_tone(&record, &cfg)
-            .expect("record length is a power of two by construction");
+        let analysis =
+            analyze_tone(&record, &cfg).expect("record length is a power of two by construction");
         ToneMeasurement {
             f_in_hz: f_in,
             amplitude_v: self.amplitude_v,
@@ -151,10 +151,26 @@ mod tests {
         let m = s.measure_tone(10e6);
         // Paper Table I: SNR 67.1, SNDR 64.2, SFDR 69.4, ENOB 10.4.
         // The golden die must land within a tight band.
-        assert!((m.analysis.snr_db - 67.1).abs() < 1.5, "snr {}", m.analysis.snr_db);
-        assert!((m.analysis.sndr_db - 64.2).abs() < 1.5, "sndr {}", m.analysis.sndr_db);
-        assert!((m.analysis.sfdr_db - 69.4).abs() < 2.0, "sfdr {}", m.analysis.sfdr_db);
-        assert!((m.analysis.enob - 10.4).abs() < 0.25, "enob {}", m.analysis.enob);
+        assert!(
+            (m.analysis.snr_db - 67.1).abs() < 1.5,
+            "snr {}",
+            m.analysis.snr_db
+        );
+        assert!(
+            (m.analysis.sndr_db - 64.2).abs() < 1.5,
+            "sndr {}",
+            m.analysis.sndr_db
+        );
+        assert!(
+            (m.analysis.sfdr_db - 69.4).abs() < 2.0,
+            "sfdr {}",
+            m.analysis.sfdr_db
+        );
+        assert!(
+            (m.analysis.enob - 10.4).abs() < 0.25,
+            "enob {}",
+            m.analysis.enob
+        );
     }
 
     #[test]

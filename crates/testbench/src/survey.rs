@@ -78,7 +78,10 @@ impl SurveyEntry {
 ///
 /// Panics if area or power is not positive.
 pub fn walden_adjusted_fm(enob: f64, f_cr_msps: f64, area_mm2: f64, power_mw: f64) -> f64 {
-    assert!(area_mm2 > 0.0 && power_mw > 0.0, "area and power must be positive");
+    assert!(
+        area_mm2 > 0.0 && power_mw > 0.0,
+        "area and power must be positive"
+    );
     2f64.powf(enob) * f_cr_msps / (area_mm2 * power_mw)
 }
 
@@ -90,7 +93,10 @@ pub fn walden_adjusted_fm(enob: f64, f_cr_msps: f64, area_mm2: f64, power_mw: f6
 ///
 /// Panics for non-positive rate or power.
 pub fn walden_pj_per_step(enob: f64, f_cr_msps: f64, power_mw: f64) -> f64 {
-    assert!(f_cr_msps > 0.0 && power_mw > 0.0, "rate and power must be positive");
+    assert!(
+        f_cr_msps > 0.0 && power_mw > 0.0,
+        "rate and power must be positive"
+    );
     // mW / (MS/s) = nJ per sample; ×1000 → pJ.
     power_mw / (2f64.powf(enob) * f_cr_msps) * 1000.0
 }
@@ -102,7 +108,10 @@ pub fn walden_pj_per_step(enob: f64, f_cr_msps: f64, power_mw: f64) -> f64 {
 ///
 /// Panics for non-positive rate or power.
 pub fn schreier_fom_db(sndr_db: f64, f_cr_hz: f64, power_w: f64) -> f64 {
-    assert!(f_cr_hz > 0.0 && power_w > 0.0, "rate and power must be positive");
+    assert!(
+        f_cr_hz > 0.0 && power_w > 0.0,
+        "rate and power must be positive"
+    );
     sndr_db + 10.0 * ((f_cr_hz / 2.0) / power_w).log10()
 }
 

@@ -1,11 +1,20 @@
 //! Sweep harnesses: the parameterised measurement campaigns behind the
 //! paper's Figs. 4, 5 and 6.
+//!
+//! Every sweep fans its points out through the `adc-runtime` campaign
+//! engine: each point is an independent job (its own fabricated die /
+//! measurement session), so results are bit-identical whatever the
+//! [`RunPolicy`] thread count, and a slow point cannot serialise the
+//! rest of the figure.
 
 use adc_bias::power::PowerReading;
 use adc_pipeline::config::AdcConfig;
 use adc_pipeline::converter::PipelineAdc;
 use adc_pipeline::error::BuildAdcError;
 
+use adc_runtime::CacheCodec;
+
+use crate::policy::{campaign_id, ErrorFunnel, RunPolicy};
 use crate::session::MeasurementSession;
 
 /// One dynamic sweep point.
@@ -22,6 +31,29 @@ pub struct DynamicPoint {
     pub sfdr_db: f64,
     /// Effective number of bits.
     pub enob: f64,
+}
+
+impl CacheCodec for DynamicPoint {
+    fn encode(&self) -> String {
+        (
+            self.x_hz,
+            self.snr_db,
+            self.sndr_db,
+            self.sfdr_db,
+            self.enob,
+        )
+            .encode()
+    }
+    fn decode(line: &str) -> Option<Self> {
+        let (x_hz, snr_db, sndr_db, sfdr_db, enob) = CacheCodec::decode(line)?;
+        Some(Self {
+            x_hz,
+            snr_db,
+            sndr_db,
+            sfdr_db,
+            enob,
+        })
+    }
 }
 
 /// A configured sweep campaign over one die.
@@ -45,6 +77,8 @@ pub struct SweepRunner {
     pub record_len: usize,
     /// Stimulus amplitude, volts peak.
     pub amplitude_v: f64,
+    /// Execution policy (threads, observers) for the campaigns.
+    pub policy: RunPolicy,
 }
 
 impl SweepRunner {
@@ -63,6 +97,7 @@ impl SweepRunner {
             seed: crate::session::GOLDEN_SEED,
             record_len: 8192,
             amplitude_v,
+            policy: RunPolicy::default(),
         }
     }
 
@@ -77,6 +112,38 @@ impl SweepRunner {
         Ok(s)
     }
 
+    /// Everything besides the swept variable that shapes a result point
+    /// — hashed into the campaign name so cache entries from different
+    /// setups can never alias.
+    fn fingerprint(&self) -> (&AdcConfig, u64, usize, u64) {
+        (
+            &self.config,
+            self.seed,
+            self.record_len,
+            self.amplitude_v.to_bits(),
+        )
+    }
+
+    /// Measures one dynamic point on a fresh session (its own noise
+    /// realisation — the per-point independence the campaign engine's
+    /// determinism contract requires).
+    fn measure_point(
+        &self,
+        f_cr_hz: f64,
+        f_in_target_hz: f64,
+        x_hz: f64,
+    ) -> Result<DynamicPoint, BuildAdcError> {
+        let mut s = self.session_at_rate(f_cr_hz)?;
+        let m = s.measure_tone(f_in_target_hz);
+        Ok(DynamicPoint {
+            x_hz,
+            snr_db: m.analysis.snr_db,
+            sndr_db: m.analysis.sndr_db,
+            sfdr_db: m.analysis.sfdr_db,
+            enob: m.analysis.enob,
+        })
+    }
+
     /// Fig. 5: dynamic metrics versus conversion rate at a fixed input
     /// frequency.
     ///
@@ -89,43 +156,42 @@ impl SweepRunner {
         rates_hz: &[f64],
         f_in_target_hz: f64,
     ) -> Result<Vec<DynamicPoint>, BuildAdcError> {
-        rates_hz
-            .iter()
-            .map(|&f_cr| {
-                let mut s = self.session_at_rate(f_cr)?;
-                let m = s.measure_tone(f_in_target_hz);
-                Ok(DynamicPoint {
-                    x_hz: f_cr,
-                    snr_db: m.analysis.snr_db,
-                    sndr_db: m.analysis.sndr_db,
-                    sfdr_db: m.analysis.sfdr_db,
-                    enob: m.analysis.enob,
-                })
-            })
-            .collect()
+        let funnel = ErrorFunnel::new();
+        let name = campaign_id("rate_sweep", &(self.fingerprint(), f_in_target_hz));
+        let run = self
+            .policy
+            .run_campaign(&name, self.seed, rates_hz.to_vec(), |ctx, &f_cr| {
+                ctx.record_samples(self.record_len as u64);
+                self.measure_point(f_cr, f_in_target_hz, f_cr)
+                    .map_err(|e| funnel.capture(ctx.id, e))
+            });
+        funnel.resolve(run)
     }
 
     /// Fig. 6: dynamic metrics versus input frequency at a fixed
     /// conversion rate.
     ///
+    /// Each point runs on a fresh session (independent noise
+    /// realisation), so points parallelise and the sweep is
+    /// bit-identical at any thread count. (The pre-runtime harness
+    /// reused one session serially, threading the noise RNG through the
+    /// sweep; per-point metrics differ within the noise floor, and the
+    /// figure's bands are unchanged.)
+    ///
     /// # Errors
     ///
     /// Returns a build error if the base configuration is unbuildable.
     pub fn frequency_sweep(&self, fins_hz: &[f64]) -> Result<Vec<DynamicPoint>, BuildAdcError> {
-        let mut s = self.session_at_rate(self.config.f_cr_hz)?;
-        Ok(fins_hz
-            .iter()
-            .map(|&fin| {
-                let m = s.measure_tone(fin);
-                DynamicPoint {
-                    x_hz: fin,
-                    snr_db: m.analysis.snr_db,
-                    sndr_db: m.analysis.sndr_db,
-                    sfdr_db: m.analysis.sfdr_db,
-                    enob: m.analysis.enob,
-                }
-            })
-            .collect())
+        let funnel = ErrorFunnel::new();
+        let name = campaign_id("frequency_sweep", &self.fingerprint());
+        let run = self
+            .policy
+            .run_campaign(&name, self.seed, fins_hz.to_vec(), |ctx, &fin| {
+                ctx.record_samples(self.record_len as u64);
+                self.measure_point(self.config.f_cr_hz, fin, fin)
+                    .map_err(|e| funnel.capture(ctx.id, e))
+            });
+        funnel.resolve(run)
     }
 
     /// Fig. 4: power versus conversion rate.
@@ -134,17 +200,34 @@ impl SweepRunner {
     ///
     /// Returns the first build error.
     pub fn power_sweep(&self, rates_hz: &[f64]) -> Result<Vec<PowerReading>, BuildAdcError> {
-        rates_hz
-            .iter()
-            .map(|&f_cr| {
+        let funnel = ErrorFunnel::new();
+        let name = campaign_id("power_sweep", &self.fingerprint());
+        // PowerReading is a foreign type, so it rides the cache as its
+        // (f_cr, scaled, fixed, total) tuple.
+        let run = self
+            .policy
+            .run_campaign(&name, self.seed, rates_hz.to_vec(), |ctx, &f_cr| {
                 let config = AdcConfig {
                     f_cr_hz: f_cr,
                     ..self.config.clone()
                 };
-                let adc = PipelineAdc::build(config, self.seed)?;
-                Ok(adc.power_reading())
+                PipelineAdc::build(config, self.seed)
+                    .map(|adc| {
+                        let r = adc.power_reading();
+                        (r.f_cr_hz, r.scaled_w, r.fixed_w, r.total_w)
+                    })
+                    .map_err(|e| funnel.capture(ctx.id, e))
+            });
+        Ok(funnel
+            .resolve(run)?
+            .into_iter()
+            .map(|(f_cr_hz, scaled_w, fixed_w, total_w)| PowerReading {
+                f_cr_hz,
+                scaled_w,
+                fixed_w,
+                total_w,
             })
-            .collect()
+            .collect())
     }
 
     /// Amplitude sweep at fixed rate and input frequency: SNDR versus
@@ -158,23 +241,29 @@ impl SweepRunner {
         f_in_target_hz: f64,
         levels_dbfs: &[f64],
     ) -> Result<Vec<(f64, DynamicPoint)>, BuildAdcError> {
-        let mut out = Vec::with_capacity(levels_dbfs.len());
-        for &dbfs in levels_dbfs {
-            let mut s = self.session_at_rate(self.config.f_cr_hz)?;
-            s.amplitude_v = self.config.v_ref_v * 10f64.powf(dbfs / 20.0);
-            let m = s.measure_tone(f_in_target_hz);
-            out.push((
-                dbfs,
-                DynamicPoint {
-                    x_hz: f_in_target_hz,
-                    snr_db: m.analysis.snr_db,
-                    sndr_db: m.analysis.sndr_db,
-                    sfdr_db: m.analysis.sfdr_db,
-                    enob: m.analysis.enob,
-                },
-            ));
-        }
-        Ok(out)
+        let funnel = ErrorFunnel::new();
+        let name = campaign_id("amplitude_sweep", &(self.fingerprint(), f_in_target_hz));
+        let run = self
+            .policy
+            .run_campaign(&name, self.seed, levels_dbfs.to_vec(), |ctx, &dbfs| {
+                ctx.record_samples(self.record_len as u64);
+                let mut s = self
+                    .session_at_rate(self.config.f_cr_hz)
+                    .map_err(|e| funnel.capture(ctx.id, e))?;
+                s.amplitude_v = self.config.v_ref_v * 10f64.powf(dbfs / 20.0);
+                let m = s.measure_tone(f_in_target_hz);
+                Ok((
+                    dbfs,
+                    DynamicPoint {
+                        x_hz: f_in_target_hz,
+                        snr_db: m.analysis.snr_db,
+                        sndr_db: m.analysis.sndr_db,
+                        sfdr_db: m.analysis.sfdr_db,
+                        enob: m.analysis.enob,
+                    },
+                ))
+            });
+        funnel.resolve(run)
     }
 }
 
@@ -195,7 +284,12 @@ mod tests {
         let pts = r.rate_sweep(&[40e6, 80e6, 120e6], 10e6).unwrap();
         assert_eq!(pts.len(), 3);
         for p in &pts {
-            assert!(p.sndr_db > 62.0, "sndr {} at {} MS/s", p.sndr_db, p.x_hz / 1e6);
+            assert!(
+                p.sndr_db > 62.0,
+                "sndr {} at {} MS/s",
+                p.sndr_db,
+                p.x_hz / 1e6
+            );
         }
     }
 
@@ -236,5 +330,42 @@ mod tests {
     fn sweep_propagates_build_errors() {
         let r = quick_runner();
         assert!(r.rate_sweep(&[600e6], 10e6).is_err());
+    }
+
+    #[test]
+    fn cached_policy_reuses_points_bit_exactly() {
+        use std::sync::Arc;
+        let cache = Arc::new(adc_runtime::ResultCache::in_memory());
+        let mut r = quick_runner();
+        r.policy = RunPolicy::parallel(2).cached(Arc::clone(&cache));
+        let first = r.rate_sweep(&[40e6, 80e6], 10e6).unwrap();
+        assert_eq!(cache.len(), 2);
+        // Growing the sweep recomputes only the new point; old points
+        // come back from the cache bit-identical.
+        let grown = r.rate_sweep(&[40e6, 80e6, 120e6], 10e6).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(&grown[..2], &first[..]);
+        let uncached = quick_runner()
+            .rate_sweep(&[40e6, 80e6, 120e6], 10e6)
+            .unwrap();
+        assert_eq!(grown, uncached, "cache must be invisible in results");
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_sweep_results() {
+        let mut serial = quick_runner();
+        serial.policy = RunPolicy::serial();
+        let mut parallel = quick_runner();
+        parallel.policy = RunPolicy::parallel(8);
+        let rates = [40e6, 80e6, 110e6];
+        assert_eq!(
+            serial.rate_sweep(&rates, 10e6).unwrap(),
+            parallel.rate_sweep(&rates, 10e6).unwrap()
+        );
+        let fins = [10e6, 40e6, 100e6];
+        assert_eq!(
+            serial.frequency_sweep(&fins).unwrap(),
+            parallel.frequency_sweep(&fins).unwrap()
+        );
     }
 }

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ideal_weights = CalibrationWeights::ideal(10, 1.0);
     println!("calibrating: 512 training levels across +/-0.98 V_REF...");
     let fitted = calibrate_foreground(&mut adc, &training_levels(512, 1.0), 1)?;
-    println!("fit residual: {:.1} uV rms\n", fitted.fit_residual_rms_v * 1e6);
+    println!(
+        "fit residual: {:.1} uV rms\n",
+        fitted.fit_residual_rms_v * 1e6
+    );
 
     println!("stage   ideal weight   fitted weight   deviation");
     for (i, (ideal, fit)) in ideal_weights
@@ -56,8 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let err_ideal = rms(&ideal_weights, &mut adc);
     let err_fitted = rms(&fitted, &mut adc);
     let lsb = 2.0 / 4096.0;
-    println!("\nstatic RMS error with ideal weights:  {:.2} LSB", err_ideal / lsb);
-    println!("static RMS error after calibration:   {:.2} LSB", err_fitted / lsb);
+    println!(
+        "\nstatic RMS error with ideal weights:  {:.2} LSB",
+        err_ideal / lsb
+    );
+    println!(
+        "static RMS error after calibration:   {:.2} LSB",
+        err_fitted / lsb
+    );
     println!(
         "improvement: {:.1}x — mismatch-induced INL removed digitally.",
         err_ideal / err_fitted

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("work) and the collapse beyond it (fixed DSB/logic delays).\n");
 
     println!("== SNR/SNDR/SFDR vs input frequency (110 MS/s) — Fig. 6 ==");
-    let fins: Vec<f64> = [5.0, 20.0, 40.0, 80.0, 150.0].iter().map(|m| m * 1e6).collect();
+    let fins: Vec<f64> = [5.0, 20.0, 40.0, 80.0, 150.0]
+        .iter()
+        .map(|m| m * 1e6)
+        .collect();
     let mut t = TextTable::new(["fin (MHz)", "SNR", "SNDR", "SFDR"]);
     for p in runner.frequency_sweep(&fins)? {
         t.push_row([

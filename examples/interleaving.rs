@@ -26,9 +26,7 @@ fn measure(ilv: &mut InterleavedAdc, label: &str) -> Result<(), Box<dyn std::err
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!(
-        "two nominal dies (seeds 7, 8) interleaved to 220 MS/s, fin = 20 MHz\n"
-    );
+    println!("two nominal dies (seeds 7, 8) interleaved to 220 MS/s, fin = 20 MHz\n");
     let mut ilv = InterleavedAdc::build(&AdcConfig::nominal_110ms(), 2, 220e6, 7)?;
     println!(
         "array power: {:.1} mW ({} channels)\n",

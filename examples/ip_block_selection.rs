@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     survey.sort_by(|a, b| b.figure_of_merit().total_cmp(&a.figure_of_merit()));
     println!("\nsurvey ranking (Eq. 2, FM = 2^ENOB * f_CR / (A * P)):");
     for (i, e) in survey.iter().enumerate() {
-        let marker = if e.name == "This design" { "  <== the paper" } else { "" };
+        let marker = if e.name == "This design" {
+            "  <== the paper"
+        } else {
+            ""
+        };
         println!(
             "  {:2}. {:24} {:9}  FM {:6.0}  ({:.2} mm^2, {:.0} mW){marker}",
             i + 1,

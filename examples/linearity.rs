@@ -11,20 +11,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bench = MeasurementSession::nominal()?;
     println!("running 2^20-sample sine histogram on the nominal die...");
     let lin = bench.measure_linearity(1 << 20)?;
-    println!("DNL: {:+.2} / {:+.2} LSB   (paper: -1.2/+1.2)", lin.dnl_min, lin.dnl_max);
-    println!("INL: {:+.2} / {:+.2} LSB   (paper: -1.5/+1.0)", lin.inl_min, lin.inl_max);
+    println!(
+        "DNL: {:+.2} / {:+.2} LSB   (paper: -1.2/+1.2)",
+        lin.dnl_min, lin.dnl_max
+    );
+    println!(
+        "INL: {:+.2} / {:+.2} LSB   (paper: -1.5/+1.0)",
+        lin.inl_min, lin.inl_max
+    );
     println!(
         "missing codes: {}  (no missing codes at 12 bits)",
         lin.missing_codes.len()
     );
 
     // Where do the DNL extremes sit? Major MDAC decision boundaries.
-    let mut worst: Vec<(usize, f64)> = lin
-        .dnl_lsb
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut worst: Vec<(usize, f64)> = lin.dnl_lsb.iter().copied().enumerate().collect();
     worst.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
     println!("\nfive largest |DNL| codes:");
     for (idx, dnl) in worst.iter().take(5) {

@@ -27,11 +27,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (f_in, bin) = coherent_frequency(adc.config().f_cr_hz, n, 10e6);
     let tone = SineSource::clean(0.999, f_in);
     let codes = adc.convert_waveform(&tone, n);
-    println!("captured {} codes at fin = {:.4} MHz (bin {bin})", codes.len(), f_in / 1e6);
+    println!(
+        "captured {} codes at fin = {:.4} MHz (bin {bin})",
+        codes.len(),
+        f_in / 1e6
+    );
 
     // 3. Post-process the record into the paper's Table I metrics.
     let record: Vec<f64> = codes.iter().map(|&c| adc.reconstruct_v(c)).collect();
-    let analysis = analyze_tone(&record, &ToneAnalysisConfig::coherent().with_full_scale(1.0))?;
+    let analysis = analyze_tone(
+        &record,
+        &ToneAnalysisConfig::coherent().with_full_scale(1.0),
+    )?;
     println!();
     println!("SNR  = {:.1} dB   (paper: 67.1)", analysis.snr_db);
     println!("SNDR = {:.1} dB   (paper: 64.2)", analysis.sndr_db);
@@ -39,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ENOB = {:.2} bit  (paper: 10.4)", analysis.enob);
     println!("signal level: {:.2} dBFS", analysis.signal_dbfs);
     println!();
-    println!("worst spur at bin {}; first harmonics:", analysis.worst_spur_bin);
+    println!(
+        "worst spur at bin {}; first harmonics:",
+        analysis.worst_spur_bin
+    );
     for h in analysis.harmonics.iter().take(4) {
         println!("  HD{}: {:.1} dBc (bin {})", h.order, h.dbc, h.bin);
     }

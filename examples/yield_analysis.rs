@@ -13,10 +13,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mc = run_monte_carlo(&AdcConfig::nominal_110ms(), 24, 10e6, 4096)?;
 
     println!("          min     mean    max     sigma");
-    println!("SNR    {:7.1} {:7.1} {:7.1} {:7.2}  dB", mc.snr.min, mc.snr.mean, mc.snr.max, mc.snr.sigma);
-    println!("SNDR   {:7.1} {:7.1} {:7.1} {:7.2}  dB", mc.sndr.min, mc.sndr.mean, mc.sndr.max, mc.sndr.sigma);
-    println!("SFDR   {:7.1} {:7.1} {:7.1} {:7.2}  dB", mc.sfdr.min, mc.sfdr.mean, mc.sfdr.max, mc.sfdr.sigma);
-    println!("ENOB   {:7.2} {:7.2} {:7.2} {:7.2}  bit", mc.enob.min, mc.enob.mean, mc.enob.max, mc.enob.sigma);
+    println!(
+        "SNR    {:7.1} {:7.1} {:7.1} {:7.2}  dB",
+        mc.snr.min, mc.snr.mean, mc.snr.max, mc.snr.sigma
+    );
+    println!(
+        "SNDR   {:7.1} {:7.1} {:7.1} {:7.2}  dB",
+        mc.sndr.min, mc.sndr.mean, mc.sndr.max, mc.sndr.sigma
+    );
+    println!(
+        "SFDR   {:7.1} {:7.1} {:7.1} {:7.2}  dB",
+        mc.sfdr.min, mc.sfdr.mean, mc.sfdr.max, mc.sfdr.sigma
+    );
+    println!(
+        "ENOB   {:7.2} {:7.2} {:7.2} {:7.2}  bit",
+        mc.enob.min, mc.enob.mean, mc.enob.max, mc.enob.sigma
+    );
     println!(
         "power  {:7.1} {:7.1} {:7.1} {:7.2}  mW",
         mc.power.min * 1e3,

@@ -13,7 +13,9 @@
 //!   current mirrors, and the power model (Fig. 4);
 //! * [`pipeline`] — the 10×1.5-bit + 2-bit-flash converter itself;
 //! * [`testbench`] — signal sources, band-pass filters, measurement
-//!   sessions, sweeps, the Table I datasheet, and the Fig. 8 FoM survey.
+//!   sessions, sweeps, the Table I datasheet, and the Fig. 8 FoM survey;
+//! * [`runtime`] — the deterministic parallel campaign engine the
+//!   sweeps and Monte-Carlo runs execute on.
 //!
 //! ```
 //! use pipeline_adc::pipeline::{AdcConfig, PipelineAdc};
@@ -34,7 +36,8 @@
 
 pub use adc_analog as analog;
 pub use adc_bias as bias;
-pub use adc_pipeline as pipeline;
-pub use adc_spectral as spectral;
 pub use adc_digital as digital;
+pub use adc_pipeline as pipeline;
+pub use adc_runtime as runtime;
+pub use adc_spectral as spectral;
 pub use adc_testbench as testbench;

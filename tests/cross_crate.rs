@@ -28,7 +28,9 @@ fn eq1_flows_through_to_converter_power() {
             f_cr_hz: f,
             ..AdcConfig::nominal_110ms()
         };
-        PipelineAdc::build(cfg, GOLDEN_SEED).expect("builds").power_reading()
+        PipelineAdc::build(cfg, GOLDEN_SEED)
+            .expect("builds")
+            .power_reading()
     };
     let p55 = at(55e6);
     let p110 = at(110e6);
@@ -74,7 +76,10 @@ fn sc_bias_tracks_the_same_die_capacitance_the_stages_use() {
     assert!((ratio - 0.85).abs() < 1e-12);
     // And the scheme dispatch agrees with the trait object.
     let scheme = BiasScheme::Switched(nominal);
-    assert_eq!(scheme.master_current_a(110e6), nominal.master_current_a(110e6));
+    assert_eq!(
+        scheme.master_current_a(110e6),
+        nominal.master_current_a(110e6)
+    );
 }
 
 #[test]
@@ -137,7 +142,10 @@ fn bias_trait_objects_interoperate_with_config_enum() {
     let fx = generators[1].master_current_a(110e6);
     assert!((sc - fx).abs() < 1e-12);
     // At 55 MS/s they diverge by exactly 2x.
-    assert!((generators[1].master_current_a(55e6) / generators[0].master_current_a(55e6) - 2.0).abs() < 1e-9);
+    assert!(
+        (generators[1].master_current_a(55e6) / generators[0].master_current_a(55e6) - 2.0).abs()
+            < 1e-9
+    );
 }
 
 #[test]
@@ -149,8 +157,8 @@ fn static_inl_predicts_the_dynamic_distortion_floor() {
     use pipeline_adc::spectral::linearity::predict_tone_from_inl;
     let mut bench = MeasurementSession::nominal().expect("builds");
     let lin = bench.measure_linearity(1 << 19).expect("histogram runs");
-    let predicted = predict_tone_from_inl(&lin.inl_lsb, 4096, 0.999, 8192)
-        .expect("power-of-two record");
+    let predicted =
+        predict_tone_from_inl(&lin.inl_lsb, 4096, 0.999, 8192).expect("power-of-two record");
     let measured = bench.measure_tone(2e6); // low fin: static floor
     assert!(
         (predicted.thd_db - measured.analysis.thd_db).abs() < 6.0,

@@ -10,10 +10,26 @@ fn table1_dynamic_metrics_regress() {
     let m = bench.measure_tone(10e6);
     // Paper Table I @ fin = 10 MHz: SNR 67.1, SNDR 64.2, SFDR 69.4,
     // ENOB 10.4 — the golden die must stay inside these bands.
-    assert!((m.analysis.snr_db - 67.1).abs() < 1.5, "SNR {}", m.analysis.snr_db);
-    assert!((m.analysis.sndr_db - 64.2).abs() < 1.5, "SNDR {}", m.analysis.sndr_db);
-    assert!((m.analysis.sfdr_db - 69.4).abs() < 2.0, "SFDR {}", m.analysis.sfdr_db);
-    assert!((m.analysis.enob - 10.4).abs() < 0.25, "ENOB {}", m.analysis.enob);
+    assert!(
+        (m.analysis.snr_db - 67.1).abs() < 1.5,
+        "SNR {}",
+        m.analysis.snr_db
+    );
+    assert!(
+        (m.analysis.sndr_db - 64.2).abs() < 1.5,
+        "SNDR {}",
+        m.analysis.sndr_db
+    );
+    assert!(
+        (m.analysis.sfdr_db - 69.4).abs() < 2.0,
+        "SFDR {}",
+        m.analysis.sfdr_db
+    );
+    assert!(
+        (m.analysis.enob - 10.4).abs() < 0.25,
+        "ENOB {}",
+        m.analysis.enob
+    );
 }
 
 #[test]
@@ -77,11 +93,31 @@ fn linearity_regresses_to_table1_band() {
     let mut bench = MeasurementSession::nominal().expect("nominal builds");
     let lin = bench.measure_linearity(1 << 19).expect("histogram runs");
     // Paper: DNL ±1.2 LSB, INL −1.5/+1.0 LSB. Bands: same order.
-    assert!(lin.dnl_max < 1.6 && lin.dnl_max > 0.05, "DNL max {}", lin.dnl_max);
-    assert!(lin.dnl_min > -1.6 && lin.dnl_min < -0.05, "DNL min {}", lin.dnl_min);
-    assert!(lin.inl_max < 2.5 && lin.inl_max > 0.2, "INL max {}", lin.inl_max);
-    assert!(lin.inl_min > -2.5 && lin.inl_min < -0.2, "INL min {}", lin.inl_min);
-    assert!(lin.no_missing_codes(), "missing codes {:?}", lin.missing_codes);
+    assert!(
+        lin.dnl_max < 1.6 && lin.dnl_max > 0.05,
+        "DNL max {}",
+        lin.dnl_max
+    );
+    assert!(
+        lin.dnl_min > -1.6 && lin.dnl_min < -0.05,
+        "DNL min {}",
+        lin.dnl_min
+    );
+    assert!(
+        lin.inl_max < 2.5 && lin.inl_max > 0.2,
+        "INL max {}",
+        lin.inl_max
+    );
+    assert!(
+        lin.inl_min > -2.5 && lin.inl_min < -0.2,
+        "INL min {}",
+        lin.inl_min
+    );
+    assert!(
+        lin.no_missing_codes(),
+        "missing codes {:?}",
+        lin.missing_codes
+    );
 }
 
 #[test]
@@ -101,11 +137,14 @@ fn dies_differ_but_stay_in_family() {
     // 90-110 mW converter — process spread moves the numbers, not the
     // story.
     for seed in [1u64, 2, 3, 11, 23, GOLDEN_SEED] {
-        let mut bench =
-            MeasurementSession::new(AdcConfig::nominal_110ms(), seed).expect("builds");
+        let mut bench = MeasurementSession::new(AdcConfig::nominal_110ms(), seed).expect("builds");
         bench.record_len = 4096;
         let m = bench.measure_tone(10e6);
-        assert!(m.analysis.enob > 10.0, "seed {seed}: ENOB {}", m.analysis.enob);
+        assert!(
+            m.analysis.enob > 10.0,
+            "seed {seed}: ENOB {}",
+            m.analysis.enob
+        );
         let p = bench.adc().power_w() * 1e3;
         assert!((75.0..125.0).contains(&p), "seed {seed}: power {p}");
     }
@@ -127,7 +166,10 @@ fn conventional_clocking_at_same_bias_is_no_better() {
     };
     let local = measure(ClockScheme::LocalGenerated);
     let conventional = measure(ClockScheme::conventional());
-    assert!(local >= conventional - 0.3, "local {local} vs conventional {conventional}");
+    assert!(
+        local >= conventional - 0.3,
+        "local {local} vs conventional {conventional}"
+    );
 }
 
 #[test]
@@ -136,8 +178,8 @@ fn sibling_design_family_works_end_to_end() {
     // same library, different design point — must deliver ~9.5+ ENOB at
     // near-full-scale, at lower power than the 12-bit part.
     use pipeline_adc::testbench::MeasurementSession;
-    let mut sibling = MeasurementSession::golden(AdcConfig::sibling_220ms_10b())
-        .expect("sibling builds");
+    let mut sibling =
+        MeasurementSession::golden(AdcConfig::sibling_220ms_10b()).expect("sibling builds");
     sibling.record_len = 4096;
     let m = sibling.measure_tone(20e6);
     assert!(m.analysis.enob > 9.3, "ENOB {}", m.analysis.enob);

@@ -60,7 +60,10 @@ fn ideal_preset_is_corner_independent() {
         let (enob, _) = measure(cfg, 10e6);
         if let Some(prev) = last {
             let diff: f64 = enob - prev;
-            assert!(diff.abs() < 0.05, "corner-dependent ideal: {prev} vs {enob}");
+            assert!(
+                diff.abs() < 0.05,
+                "corner-dependent ideal: {prev} vs {enob}"
+            );
         }
         last = Some(enob);
     }

@@ -1,0 +1,239 @@
+//! Offline stand-in for `criterion` — the API subset this workspace's
+//! benches use (`bench_function`, `benchmark_group`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, the `criterion_group!`/`criterion_main!`
+//! macros and `black_box`).
+//!
+//! Measurement is deliberately simple: warm up briefly, then time enough
+//! iterations to cover a minimum window and report the mean per
+//! iteration plus derived throughput. When the binary is invoked with
+//! `--test` (as `cargo test --benches` does), every benchmark runs a
+//! single iteration so the suite stays fast and merely checks the code
+//! paths.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Returns its argument, preventing the optimizer from deleting the
+/// computation that produced it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (parameter-labelled).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id labelled by the benchmark parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Something usable as a benchmark name.
+pub trait IntoBenchmarkName {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.0
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean wall time per iteration from the measured window.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `body`, storing the mean per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.test_mode {
+            black_box(body());
+            self.mean = Duration::ZERO;
+            return;
+        }
+        // Warm-up: at least one call, at most ~100 ms.
+        let warmup_start = Instant::now();
+        let mut single = Duration::ZERO;
+        for _ in 0..3 {
+            let t = Instant::now();
+            black_box(body());
+            single = t.elapsed();
+            if warmup_start.elapsed() > Duration::from_millis(100) {
+                break;
+            }
+        }
+        // Measure: enough iterations for a ~300 ms window (≥ 5 iters).
+        let window = Duration::from_millis(300);
+        let iters = if single.is_zero() {
+            1000
+        } else {
+            (window.as_nanos() / single.as_nanos().max(1)).clamp(5, 1_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(body());
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+}
+
+fn in_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var_os("CRITERION_TEST_MODE").is_some()
+}
+
+fn report(name: &str, bench: &Bencher, throughput: Option<Throughput>) {
+    if bench.test_mode {
+        println!("test-mode {name}: ok");
+        return;
+    }
+    let per_iter = bench.mean;
+    let rate = |count: u64| {
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            count as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => println!(
+            "{name:<40} {per_iter:>12.3?}/iter  {:>14.3e} elem/s",
+            rate(n)
+        ),
+        Some(Throughput::Bytes(n)) => {
+            println!("{name:<40} {per_iter:>12.3?}/iter  {:>14.3e} B/s", rate(n))
+        }
+        None => println!("{name:<40} {per_iter:>12.3?}/iter"),
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<N: IntoBenchmarkName, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut body: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            mean: Duration::ZERO,
+        };
+        body(&mut bencher);
+        let label = format!("{}/{}", self.name, id.into_name());
+        report(&label, &bencher, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<N: IntoBenchmarkName, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| body(b, input))
+    }
+
+    /// Ends the group (layout compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry object.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut bencher = Bencher {
+            test_mode: in_test_mode(),
+            mean: Duration::ZERO,
+        };
+        body(&mut bencher);
+        report(name, &bencher, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: IntoBenchmarkName>(&mut self, name: N) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into_name(),
+            throughput: None,
+            test_mode: in_test_mode(),
+        }
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

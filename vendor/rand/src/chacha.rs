@@ -1,0 +1,190 @@
+//! ChaCha12 keystream generator, laid out exactly as
+//! `rand_chacha::ChaCha12Rng` (rand 0.8) emits it:
+//!
+//! * state = constants ‖ 8×u32 key ‖ 64-bit block counter ‖ 64-bit zero
+//!   stream id, words little-endian;
+//! * blocks are produced four at a time into a 64-word buffer (the
+//!   SIMD-friendly layout `c2-chacha` uses), counter advancing by one per
+//!   16-word block;
+//! * `next_u64` pairs buffer words low-then-high with
+//!   `rand_core::block::BlockRng`'s exact end-of-buffer straddle rule.
+
+use crate::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const BUF_WORDS: usize = 64; // four 16-word blocks per refill
+const DOUBLE_ROUNDS: usize = 6; // ChaCha12
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The `rand 0.8` standard generator: ChaCha with 12 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng {
+    key: [u32; 8],
+    /// Block counter of the *next* refill's first block.
+    counter: u64,
+    buf: [u32; BUF_WORDS],
+    /// Next unread word in `buf`; `BUF_WORDS` means "exhausted".
+    index: usize,
+}
+
+impl ChaCha12Rng {
+    fn block(&self, counter: u64) -> [u32; 16] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        // state[14], state[15]: stream id, zero for StdRng.
+        let initial = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        state
+    }
+
+    /// Refills the four-block buffer and positions the cursor at
+    /// `start_index` (mirrors `BlockRng::generate_and_set`).
+    fn refill(&mut self, start_index: usize) {
+        for blk in 0..BUF_WORDS / 16 {
+            let words = self.block(self.counter.wrapping_add(blk as u64));
+            self.buf[blk * 16..(blk + 1) * 16].copy_from_slice(&words);
+        }
+        self.counter = self.counter.wrapping_add((BUF_WORDS / 16) as u64);
+        self.index = start_index;
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            counter: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill(0);
+        }
+        let value = self.buf[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // `rand_core::block::BlockRng::next_u64`, including the straddle
+        // case where the low half is the buffer's last word and the high
+        // half is the next buffer's first.
+        let read =
+            |buf: &[u32; BUF_WORDS], i: usize| (u64::from(buf[i + 1]) << 32) | u64::from(buf[i]);
+        if self.index < BUF_WORDS - 1 {
+            let value = read(&self.buf, self.index);
+            self.index += 2;
+            value
+        } else if self.index >= BUF_WORDS {
+            self.refill(2);
+            read(&self.buf, 0)
+        } else {
+            let lo = u64::from(self.buf[BUF_WORDS - 1]);
+            self.refill(1);
+            let hi = u64::from(self.buf[0]);
+            (hi << 32) | lo
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    /// RFC 8439-style layout check, adapted to 12 rounds: the generator
+    /// must be a pure function of the seed.
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        let mut c = ChaCha12Rng::seed_from_u64(43);
+        let draws_a: Vec<u64> = (0..200).map(|_| a.next_u64()).collect();
+        let draws_b: Vec<u64> = (0..200).map(|_| b.next_u64()).collect();
+        let draws_c: Vec<u64> = (0..200).map(|_| c.next_u64()).collect();
+        assert_eq!(draws_a, draws_b);
+        assert_ne!(draws_a, draws_c);
+    }
+
+    /// The buffer boundary (word 64) must not disturb the word sequence:
+    /// interleaving u32 and u64 reads equals one flat u32 stream.
+    #[test]
+    fn word_pairing_is_low_then_high() {
+        let mut flat = ChaCha12Rng::seed_from_u64(7);
+        let words: Vec<u32> = (0..130).map(|_| flat.next_u32()).collect();
+        let mut paired = ChaCha12Rng::seed_from_u64(7);
+        for i in (0..128).step_by(2) {
+            let v = paired.next_u64();
+            assert_eq!(v as u32, words[i], "low word at {i}");
+            assert_eq!((v >> 32) as u32, words[i + 1], "high word at {i}");
+        }
+    }
+
+    /// The straddle case: 63 u32 draws leave one word; the next u64 must
+    /// span the refill with low = old last word.
+    #[test]
+    fn straddles_buffer_boundary_like_block_rng() {
+        let mut flat = ChaCha12Rng::seed_from_u64(9);
+        let words: Vec<u32> = (0..66).map(|_| flat.next_u32()).collect();
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        for _ in 0..63 {
+            rng.next_u32();
+        }
+        let v = rng.next_u64();
+        assert_eq!(v as u32, words[63]);
+        assert_eq!((v >> 32) as u32, words[64]);
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

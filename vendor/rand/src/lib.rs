@@ -1,0 +1,164 @@
+//! Offline stand-in for the `rand` crate (the subset this workspace uses).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, std-only reimplementation of the `rand 0.8` API
+//! surface it consumes: `rngs::StdRng`, the `RngCore`/`SeedableRng`/`Rng`
+//! traits, `gen::<f64>()`, and `gen_range` over `f64` ranges.
+//!
+//! **Stream compatibility.** `StdRng` here is a ChaCha12 generator with
+//! the same construction as `rand 0.8`'s (`rand_chacha::ChaCha12Rng`):
+//! a PCG32-expanded `seed_from_u64`, a four-block (256-byte) output
+//! buffer, and `rand_core::block::BlockRng`'s `next_u64` word pairing.
+//! The float paths reproduce `rand 0.8`'s `Standard` (53-bit multiply)
+//! and `UniformFloat::sample_single` ([1, 2) mantissa trick). Keeping the
+//! streams identical preserves the repository's golden-die calibration
+//! (`adc-testbench::GOLDEN_SEED`); `tests/` asserts known draws so any
+//! drift is caught loudly.
+
+mod chacha;
+
+pub use chacha::ChaCha12Rng;
+
+/// Random number generators (`rand` module-layout compatibility).
+pub mod rngs {
+    /// The standard RNG: ChaCha with 12 rounds, as in `rand 0.8`.
+    pub type StdRng = super::ChaCha12Rng;
+}
+
+/// The core RNG trait: raw 32/64-bit output.
+pub trait RngCore {
+    /// Returns the next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Seedable construction, with `rand_core 0.6`'s PCG32-based
+/// `seed_from_u64` expansion.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it to a full seed with
+    /// the same PCG32 key-derivation `rand_core 0.6` uses.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // Constants from the PCG32 reference implementation, as used by
+        // `rand_core::SeedableRng::seed_from_u64`.
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A distribution that maps raw RNG output to values of `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: `rand 0.8`'s `Standard`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    /// Uniform in `[0, 1)` with 53 random bits: `(u >> 11) · 2⁻⁵³`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// A range that can be sampled from directly (`gen_range` support).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    /// `rand 0.8`'s `UniformFloat::<f64>::sample_single`: draw a mantissa
+    /// in `[1, 2)`, shift to `[0, 1)`, scale, and reject the rare
+    /// rounding overshoot onto `hi`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range: {self:?}");
+        let scale = self.end - self.start;
+        loop {
+            // 52 random mantissa bits with the [1, 2) exponent.
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "empty gen_range: {self:?}");
+        let span = self.end - self.start;
+        // Unbiased rejection sampling over the widest multiple of `span`.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return self.start + v % span;
+            }
+        }
+    }
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        (self.start as u64..self.end as u64).sample_single(rng) as usize
+    }
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Prelude-style re-exports matching `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Distribution, Rng, RngCore, SeedableRng, Standard};
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde only as a *capability marker*: config and
+//! result types `#[derive(serde::Serialize, serde::Deserialize)]` and
+//! tests assert the bounds hold, but nothing is ever serialized through
+//! serde's data model (reports are rendered via `adc-testbench::report`,
+//! and the campaign cache in `adc-runtime` has its own line codec).
+//! Since crates.io is unreachable in this environment, this crate
+//! provides the marker traits and a derive that implements them, keeping
+//! every `#[derive]` site and trait bound source-compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type can be serialized.
+///
+/// The real trait's methods are intentionally absent — no code path in
+/// this workspace drives serde serialization.
+pub trait Serialize {}
+
+/// Marker: the type can be deserialized from borrowed data.
+pub trait Deserialize<'de>: Sized {}
+
+/// Deserialization helpers (`serde::de` module-layout compatibility).
+pub mod de {
+    /// Marker: the type can be deserialized without borrowing.
+    pub trait DeserializeOwned: Sized {}
+
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+// Implementations for the std types that appear inside derived types,
+// mirroring the real crate's blanket coverage closely enough for the
+// workspace's bounds.
+macro_rules! mark_primitive {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Serialize for $ty {}
+        impl<'de> Deserialize<'de> for $ty {}
+    )*};
+}
+
+mark_primitive!(
+    bool,
+    char,
+    f32,
+    f64,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    String,
+    &'static str,
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+macro_rules! mark_tuple {
+    ($($name:ident)+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {}
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {}
+    };
+}
+
+mark_tuple!(A);
+mark_tuple!(A B);
+mark_tuple!(A B C);
+mark_tuple!(A B C D);
+mark_tuple!(A B C D E);
+mark_tuple!(A B C D E F);

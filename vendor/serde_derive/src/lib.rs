@@ -1,0 +1,66 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The stand-in's `Serialize`/`Deserialize` are marker traits, so the
+//! derive only needs the item's name: it emits
+//! `impl serde::Serialize for Name {}` (and the `'de` variant). Written
+//! against `proc_macro` directly — `syn`/`quote` are not available
+//! offline. Non-generic structs and enums are supported, which covers
+//! every derive site in this workspace; a generic item produces a
+//! compile error naming this limitation.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum` item, rejecting
+/// generics (unneeded in this workspace).
+fn item_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter();
+    while let Some(tree) = tokens.next() {
+        match tree {
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => return Err(format!("expected item name, found {other:?}")),
+                    };
+                    if let Some(TokenTree::Punct(p)) = tokens.next() {
+                        if p.as_char() == '<' {
+                            return Err(format!(
+                                "offline serde derive does not support generics (on `{name}`)"
+                            ));
+                        }
+                    }
+                    return Ok(name);
+                }
+                // `pub`, `pub(crate)` paths &c. — keep scanning.
+            }
+            // Attributes (`#[...]`) arrive as Punct + Group; skip both.
+            TokenTree::Punct(_) | TokenTree::Group(_) | TokenTree::Literal(_) => {}
+        }
+    }
+    Err("no struct/enum found in derive input".to_string())
+}
+
+fn marker_impl(input: TokenStream, template: &str) -> TokenStream {
+    match item_name(input) {
+        Ok(name) => template
+            .replace("__NAME__", &name)
+            .parse()
+            .expect("valid impl tokens"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("valid error tokens"),
+    }
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl serde::Serialize for __NAME__ {}")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl<'de> serde::Deserialize<'de> for __NAME__ {}")
+}
