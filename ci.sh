@@ -14,6 +14,10 @@
 #      bit-identical campaign results" is an asserted property, not an
 #      assumption. The first profile records the campaign digest; the
 #      second must reproduce it exactly.
+#   6. service loopback gate: the `service` integration suite (real TCP
+#      server, concurrent clients, bit-identity vs in-process records)
+#      re-runs in release under a hard wall-clock guard — a hung drain
+#      or deadlocked backpressure queue fails CI instead of wedging it.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -38,5 +42,8 @@ trap 'rm -f "$hash_file"' EXIT
 ADC_DETERMINISM_HASH_FILE=$hash_file cargo test -q --test determinism
 ADC_DETERMINISM_HASH_FILE=$hash_file cargo test -q --release --test determinism
 say "determinism digest: $(cat "$hash_file")"
+
+say "service loopback gate (release, 300 s wall-clock guard)"
+timeout 300 cargo test -q --release --test service
 
 say "CI green"

@@ -163,11 +163,12 @@ fn bench_fig5_sweep(threads: usize) -> CampaignBench {
 }
 
 fn main() {
-    let threads = std::env::var("ADC_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(default_threads);
+    let args = adc_bench::CampaignArgs::parse();
+    let threads = if args.threads == 0 {
+        default_threads()
+    } else {
+        args.threads
+    };
     adc_bench::banner(
         "Runtime -- serial vs parallel vs warm-cache campaign execution",
         "adc-runtime engine benchmark (results asserted bit-identical)",

@@ -1,0 +1,193 @@
+//! Load generator for `adc-server`: spins up a loopback service, drives
+//! it with concurrent clients, and writes throughput and latency
+//! figures to `BENCH_service.json`.
+//!
+//! The workload is CI-sized by default — `ADC_SERVICE_CLIENTS` (4)
+//! concurrent connections each issuing `ADC_SERVICE_REQUESTS` (6)
+//! digitize requests of `ADC_SERVICE_SAMPLES` (2048) samples at
+//! distinct seeds and tone frequencies. Every response is verified:
+//! batch ordering, sample count, and the server's stream CRC (the
+//! client library checks all three), plus a spot check that one
+//! request's samples are bit-identical to a direct in-process
+//! `MeasurementSession` run at the same seed.
+//!
+//! Reported figures: end-to-end requests/s and samples/s, client-side
+//! p50/p90/p99 request latency, and the server's own metrics snapshot
+//! (in-flight gauge drained to zero, error count, server-side latency
+//! histogram quantiles).
+
+use std::time::Instant;
+
+use adc_pipeline::config::AdcConfig;
+use adc_server::{Client, DigitizeRequest, Server, ServerConfig};
+use adc_testbench::MeasurementSession;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Latency at quantile `q` from a sorted sample set, microseconds.
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let args = adc_bench::CampaignArgs::parse();
+    let clients = env_usize("ADC_SERVICE_CLIENTS", 4);
+    let requests = env_usize("ADC_SERVICE_REQUESTS", 6);
+    let n_samples = env_usize("ADC_SERVICE_SAMPLES", 2048).next_power_of_two() as u32;
+
+    adc_bench::banner(
+        "Service -- concurrent digitize load over the TCP server",
+        "adc-server loopback benchmark (streams verified sample-exact)",
+    );
+    println!("{clients} clients x {requests} requests x {n_samples} samples\n");
+
+    let (handle, join) = Server::spawn(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: args.threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = handle.addr();
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || -> (Vec<u64>, u64, u64) {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latencies_us = Vec::with_capacity(requests);
+                let mut samples = 0u64;
+                let mut errors = 0u64;
+                for r in 0..requests {
+                    let seed = 1000 + (c * requests + r) as u64;
+                    let f_target = 5e6 + c as f64 * 1e6;
+                    let req = DigitizeRequest::tone(seed, f_target, n_samples);
+                    let sent = Instant::now();
+                    match client.digitize(&req) {
+                        Ok(result) => {
+                            latencies_us.push(sent.elapsed().as_micros() as u64);
+                            assert_eq!(result.samples.len(), n_samples as usize);
+                            samples += result.samples.len() as u64;
+                        }
+                        Err(e) => {
+                            eprintln!("client {c} request {r}: {e}");
+                            errors += 1;
+                        }
+                    }
+                }
+                (latencies_us, samples, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies_us = Vec::new();
+    let mut total_samples = 0u64;
+    let mut client_errors = 0u64;
+    for w in workers {
+        let (lat, samples, errors) = w.join().expect("client thread");
+        latencies_us.extend(lat);
+        total_samples += samples;
+        client_errors += errors;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    // Spot-check determinism across the service boundary: one request
+    // replayed in-process must agree bit for bit.
+    let check_seed = 1000u64;
+    let mut client = Client::connect(addr).expect("connect for check");
+    let served = client
+        .digitize(&DigitizeRequest::tone(check_seed, 5e6, n_samples))
+        .expect("check digitize");
+    let mut direct =
+        MeasurementSession::new(AdcConfig::nominal_110ms(), check_seed).expect("nominal builds");
+    direct.record_len = n_samples as usize;
+    let (expected, _) = direct.capture_tone(5e6);
+    assert_eq!(served.samples, expected, "service must be bit-identical");
+    println!("determinism spot check: served record == in-process record");
+
+    let snapshot = client.metrics().expect("metrics");
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread").expect("server exits");
+
+    latencies_us.sort_unstable();
+    let ok_requests = latencies_us.len() as u64;
+    let p50 = quantile_us(&latencies_us, 0.50);
+    let p90 = quantile_us(&latencies_us, 0.90);
+    let p99 = quantile_us(&latencies_us, 0.99);
+    let req_per_s = ok_requests as f64 / wall_s.max(1e-12);
+    let samples_per_s = total_samples as f64 / wall_s.max(1e-12);
+
+    println!(
+        "\n{ok_requests} requests in {wall_s:.2}s: {req_per_s:.1} req/s, {samples_per_s:.0} samples/s"
+    );
+    println!("client latency: p50 {p50} us | p90 {p90} us | p99 {p99} us");
+    println!(
+        "server: {} digitizes, {} completed, {} errors, in-flight {}, server p50/p99 {}/{} us",
+        snapshot.digitizes,
+        snapshot.completed,
+        snapshot.errors,
+        snapshot.in_flight,
+        snapshot.p50_us,
+        snapshot.p99_us,
+    );
+    assert_eq!(snapshot.in_flight, 0, "pool drained");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"adc-server loopback service\",\n",
+            "  \"clients\": {},\n",
+            "  \"requests_per_client\": {},\n",
+            "  \"samples_per_request\": {},\n",
+            "  \"server_threads\": {},\n",
+            "  \"wall_s\": {:.4},\n",
+            "  \"requests_ok\": {},\n",
+            "  \"client_errors\": {},\n",
+            "  \"requests_per_sec\": {:.2},\n",
+            "  \"samples_per_sec\": {:.0},\n",
+            "  \"client_latency_us\": {{ \"p50\": {}, \"p90\": {}, \"p99\": {} }},\n",
+            "  \"server_metrics\": {{\n",
+            "    \"connections\": {},\n",
+            "    \"digitizes\": {},\n",
+            "    \"completed\": {},\n",
+            "    \"errors\": {},\n",
+            "    \"samples_streamed\": {},\n",
+            "    \"latency_us\": {{ \"p50\": {}, \"p90\": {}, \"p99\": {} }}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        clients,
+        requests,
+        n_samples,
+        args.threads,
+        wall_s,
+        ok_requests,
+        client_errors,
+        req_per_s,
+        samples_per_s,
+        p50,
+        p90,
+        p99,
+        snapshot.connections,
+        snapshot.digitizes,
+        snapshot.completed,
+        snapshot.errors,
+        snapshot.samples_streamed,
+        snapshot.p50_us,
+        snapshot.p90_us,
+        snapshot.p99_us,
+    );
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("\nwrote BENCH_service.json");
+}

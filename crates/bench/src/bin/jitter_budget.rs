@@ -21,6 +21,9 @@ fn main() {
     let sigmas = [0.0, 0.45e-12, 1e-12, 2e-12];
     let fins: Vec<f64> = [10.0, 50.0, 100.0, 150.0].iter().map(|m| m * 1e6).collect();
 
+    // All four budget sweeps share one campaign policy: points fan out
+    // across ADC_THREADS workers and persist in the ADC_CACHE_DIR cache.
+    let policy = adc_bench::campaign_policy();
     let mut sweeps = Vec::new();
     for &sigma in &sigmas {
         let runner = SweepRunner {
@@ -28,6 +31,7 @@ fn main() {
                 jitter: ApertureJitter::new(sigma),
                 ..AdcConfig::nominal_110ms()
             },
+            policy: policy.clone(),
             ..SweepRunner::nominal()
         };
         sweeps.push(runner.frequency_sweep(&fins).expect("sweep runs"));

@@ -5,6 +5,10 @@
 //! parameters, temperature and supply voltage". Mobility still degrades
 //! ~T^1.5 (slower switches, lower gm at fixed current), so some SNDR
 //! droop at hot is physical — but the bias point itself barely moves.
+//!
+//! The temperature points run as one campaign under
+//! [`adc_bench::campaign_policy`] (`ADC_THREADS` workers,
+//! `ADC_CACHE_DIR` point cache).
 
 use adc_analog::process::OperatingConditions;
 use adc_pipeline::config::AdcConfig;
@@ -17,6 +21,37 @@ fn main() {
         "band-gap-referred SC bias holds the operating point over temperature",
     );
 
+    let temps = [-40.0, 0.0, 27.0, 85.0, 125.0];
+    let base = AdcConfig::nominal_110ms();
+
+    let points = adc_bench::campaign_policy()
+        .measure_campaign(
+            "sweep-temperature",
+            &(GOLDEN_SEED, &base),
+            GOLDEN_SEED,
+            temps.to_vec(),
+            |_ctx, &temp_c| {
+                let config = AdcConfig {
+                    conditions: OperatingConditions {
+                        temp_c,
+                        ..OperatingConditions::nominal()
+                    },
+                    ..base.clone()
+                };
+                let mut s = MeasurementSession::new(config, GOLDEN_SEED)?;
+                let power_mw = s.adc().power_w() * 1e3;
+                let m = s.measure_tone(10e6);
+                Ok((
+                    m.analysis.snr_db,
+                    m.analysis.sndr_db,
+                    m.analysis.sfdr_db,
+                    m.analysis.enob,
+                    power_mw,
+                ))
+            },
+        )
+        .expect("all temperatures build");
+
     let mut table = TextTable::new([
         "temp (degC)",
         "SNR (dB)",
@@ -25,23 +60,13 @@ fn main() {
         "ENOB",
         "power (mW)",
     ]);
-    for temp_c in [-40.0, 0.0, 27.0, 85.0, 125.0] {
-        let config = AdcConfig {
-            conditions: OperatingConditions {
-                temp_c,
-                ..OperatingConditions::nominal()
-            },
-            ..AdcConfig::nominal_110ms()
-        };
-        let mut s = MeasurementSession::new(config, GOLDEN_SEED).expect("config builds");
-        let power_mw = s.adc().power_w() * 1e3;
-        let m = s.measure_tone(10e6);
+    for (&temp_c, &(snr, sndr, sfdr, enob, power_mw)) in temps.iter().zip(&points) {
         table.push_row([
             format!("{temp_c:.0}"),
-            db_cell(m.analysis.snr_db),
-            db_cell(m.analysis.sndr_db),
-            db_cell(m.analysis.sfdr_db),
-            format!("{:.2}", m.analysis.enob),
+            db_cell(snr),
+            db_cell(sndr),
+            db_cell(sfdr),
+            format!("{enob:.2}"),
             format!("{power_mw:.1}"),
         ]);
     }

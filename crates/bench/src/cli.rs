@@ -1,0 +1,235 @@
+//! The shared command line of the campaign binaries.
+//!
+//! Every campaign binary accepts the same two knobs, as flags or
+//! environment variables (flags win):
+//!
+//! | flag | env | default | meaning |
+//! |---|---|---|---|
+//! | `--threads N` | `ADC_THREADS` | `0` (all cores) | campaign worker threads |
+//! | `--cache-dir PATH` | `ADC_CACHE_DIR` | `target/campaign-cache` | point-cache directory (empty disables) |
+//!
+//! Parsing is a total function over the argument list
+//! ([`CampaignArgs::parse_from`]) so the precedence rules are unit
+//! tested; the binaries call [`CampaignArgs::parse`], which applies the
+//! process environment and turns errors and `--help` into the usual
+//! exit codes.
+
+use std::sync::Arc;
+
+use adc_runtime::ResultCache;
+use adc_testbench::{CampaignReporter, RunPolicy};
+
+/// Usage text printed for `--help` (binary name substituted in).
+const USAGE: &str = "\
+usage: {bin} [--threads N] [--cache-dir PATH]
+
+  --threads N      campaign worker threads (0 = all cores)
+                   [env: ADC_THREADS]
+  --cache-dir PATH persistent point-cache directory; pass an empty
+                   string to disable caching
+                   [env: ADC_CACHE_DIR] [default: target/campaign-cache]
+  -h, --help       print this help
+";
+
+/// The parsed campaign knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignArgs {
+    /// Worker threads; `0` means all hardware parallelism.
+    pub threads: usize,
+    /// Point-cache directory; empty disables caching.
+    pub cache_dir: String,
+}
+
+impl Default for CampaignArgs {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            cache_dir: "target/campaign-cache".to_string(),
+        }
+    }
+}
+
+/// What an argument list parsed to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// Knobs resolved (flags over env over defaults).
+    Args(CampaignArgs),
+    /// `--help` / `-h` was requested.
+    Help,
+}
+
+impl CampaignArgs {
+    /// Parses the process arguments and environment; prints usage and
+    /// exits for `--help`, prints the error and exits non-zero for a
+    /// malformed command line.
+    pub fn parse() -> Self {
+        let bin = std::env::args().next().unwrap_or_else(|| "bench".into());
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse_from(&args, |name| std::env::var(name).ok()) {
+            Ok(ParseOutcome::Args(parsed)) => parsed,
+            Ok(ParseOutcome::Help) => {
+                print!("{}", USAGE.replace("{bin}", &bin));
+                std::process::exit(0);
+            }
+            Err(msg) => {
+                eprintln!("{bin}: {msg}");
+                eprint!("{}", USAGE.replace("{bin}", &bin));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The pure parser: `args` are the arguments after the binary name,
+    /// `env` resolves environment variables. Flags override env values,
+    /// which override defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags, missing flag
+    /// values, or unparsable numbers.
+    pub fn parse_from<E>(args: &[String], env: E) -> Result<ParseOutcome, String>
+    where
+        E: Fn(&str) -> Option<String>,
+    {
+        let mut parsed = Self {
+            threads: match env("ADC_THREADS") {
+                Some(v) => parse_threads(&v)
+                    .map_err(|e| format!("invalid ADC_THREADS value {v:?}: {e}"))?,
+                None => 0,
+            },
+            cache_dir: env("ADC_CACHE_DIR").unwrap_or_else(|| CampaignArgs::default().cache_dir),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f, Some(v.to_string())),
+                None => (arg.as_str(), None),
+            };
+            let value = |it: &mut std::slice::Iter<String>| -> Result<String, String> {
+                match inline.clone() {
+                    Some(v) => Ok(v),
+                    None => it
+                        .next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value")),
+                }
+            };
+            match flag {
+                "--threads" => {
+                    let v = value(&mut it)?;
+                    parsed.threads =
+                        parse_threads(&v).map_err(|e| format!("invalid --threads {v:?}: {e}"))?;
+                }
+                "--cache-dir" => parsed.cache_dir = value(&mut it)?,
+                "--help" | "-h" => return Ok(ParseOutcome::Help),
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(ParseOutcome::Args(parsed))
+    }
+
+    /// Builds the execution policy these knobs describe: the worker
+    /// count, progress narration on stderr, and (unless disabled) the
+    /// on-disk point cache.
+    pub fn policy(&self) -> RunPolicy {
+        let mut policy =
+            RunPolicy::parallel(self.threads).observe(Arc::new(CampaignReporter::stderr()));
+        if !self.cache_dir.is_empty() {
+            match ResultCache::on_disk(&self.cache_dir) {
+                Ok(cache) => policy = policy.cached(Arc::new(cache)),
+                Err(e) => eprintln!("point cache disabled ({}: {e})", self.cache_dir),
+            }
+        }
+        policy
+    }
+}
+
+fn parse_threads(v: &str) -> Result<usize, String> {
+    v.trim()
+        .parse()
+        .map_err(|_| "expected a number".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_env(_: &str) -> Option<String> {
+        None
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_without_flags_or_env() {
+        let out = CampaignArgs::parse_from(&[], no_env).unwrap();
+        assert_eq!(out, ParseOutcome::Args(CampaignArgs::default()));
+    }
+
+    #[test]
+    fn env_overrides_defaults_and_flags_override_env() {
+        let env = |name: &str| match name {
+            "ADC_THREADS" => Some("3".to_string()),
+            "ADC_CACHE_DIR" => Some("/tmp/env-cache".to_string()),
+            _ => None,
+        };
+        let ParseOutcome::Args(from_env) = CampaignArgs::parse_from(&[], env).unwrap() else {
+            panic!("expected args");
+        };
+        assert_eq!(from_env.threads, 3);
+        assert_eq!(from_env.cache_dir, "/tmp/env-cache");
+
+        let args = strings(&["--threads", "8", "--cache-dir=/tmp/flag-cache"]);
+        let ParseOutcome::Args(from_flags) = CampaignArgs::parse_from(&args, env).unwrap() else {
+            panic!("expected args");
+        };
+        assert_eq!(from_flags.threads, 8);
+        assert_eq!(from_flags.cache_dir, "/tmp/flag-cache");
+    }
+
+    #[test]
+    fn empty_cache_dir_disables_the_cache() {
+        let args = strings(&["--cache-dir", ""]);
+        let ParseOutcome::Args(parsed) = CampaignArgs::parse_from(&args, no_env).unwrap() else {
+            panic!("expected args");
+        };
+        assert!(parsed.cache_dir.is_empty());
+        assert!(parsed.policy().cache.is_none());
+    }
+
+    #[test]
+    fn help_and_errors_are_reported() {
+        assert_eq!(
+            CampaignArgs::parse_from(&strings(&["-h"]), no_env),
+            Ok(ParseOutcome::Help)
+        );
+        assert!(CampaignArgs::parse_from(&strings(&["--threads"]), no_env)
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(
+            CampaignArgs::parse_from(&strings(&["--threads", "many"]), no_env)
+                .unwrap_err()
+                .contains("invalid --threads")
+        );
+        assert!(
+            CampaignArgs::parse_from(&strings(&["--frobnicate"]), no_env)
+                .unwrap_err()
+                .contains("unknown argument")
+        );
+        let bad_env = |name: &str| (name == "ADC_THREADS").then(|| "NaN".to_string());
+        assert!(CampaignArgs::parse_from(&[], bad_env)
+            .unwrap_err()
+            .contains("ADC_THREADS"));
+    }
+
+    #[test]
+    fn policy_reflects_thread_knob() {
+        let args = CampaignArgs {
+            threads: 5,
+            cache_dir: String::new(),
+        };
+        assert_eq!(args.policy().threads, 5);
+    }
+}

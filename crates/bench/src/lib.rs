@@ -21,17 +21,19 @@
 //!
 //! Run one with `cargo run -p adc-bench --release --bin <target>`.
 //!
-//! The campaign binaries execute through the `adc-runtime` engine:
+//! The campaign binaries execute through the `adc-runtime` engine and
+//! share one command line (see [`cli::CampaignArgs`]): `--threads N` /
 //! `ADC_THREADS=n` pins the worker count (default: all cores, results
-//! are bit-identical either way) and `ADC_CACHE_DIR=path` persists a
-//! content-hash point cache so re-running a figure recomputes only
-//! changed points (`ADC_CACHE_DIR=` empty disables; default
-//! `target/campaign-cache`).
+//! are bit-identical either way) and `--cache-dir PATH` /
+//! `ADC_CACHE_DIR=path` persists a content-hash point cache so
+//! re-running a figure recomputes only changed points (empty disables;
+//! default `target/campaign-cache`).
 
-use std::sync::Arc;
+pub mod cli;
 
-use adc_runtime::ResultCache;
-use adc_testbench::{CampaignReporter, RunPolicy};
+use adc_testbench::RunPolicy;
+
+pub use cli::CampaignArgs;
 
 /// Prints the standard banner for a regeneration binary.
 pub fn banner(experiment: &str, paper_ref: &str) {
@@ -42,22 +44,10 @@ pub fn banner(experiment: &str, paper_ref: &str) {
     println!("================================================================");
 }
 
-/// The campaign policy the figure binaries run under: `ADC_THREADS`
-/// worker threads (0/unset = all cores), progress narration on stderr,
-/// and a disk point-cache at `ADC_CACHE_DIR` (default
-/// `target/campaign-cache`; set empty to disable).
+/// The campaign policy the figure binaries run under: parses the shared
+/// command line and environment ([`CampaignArgs::parse`]) and builds
+/// worker threads, progress narration on stderr, and the disk point
+/// cache from it.
 pub fn campaign_policy() -> RunPolicy {
-    let threads = std::env::var("ADC_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let mut policy = RunPolicy::parallel(threads).observe(Arc::new(CampaignReporter::stderr()));
-    let dir = std::env::var("ADC_CACHE_DIR").unwrap_or_else(|_| "target/campaign-cache".into());
-    if !dir.is_empty() {
-        match ResultCache::on_disk(&dir) {
-            Ok(cache) => policy = policy.cached(Arc::new(cache)),
-            Err(e) => eprintln!("point cache disabled ({dir}: {e})"),
-        }
-    }
-    policy
+    CampaignArgs::parse().policy()
 }

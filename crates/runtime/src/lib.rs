@@ -43,6 +43,8 @@
 //! - [`cache`] — content-hash result cache ([`ResultCache`]).
 //! - [`observer`] — [`RunObserver`] lifecycle hooks and
 //!   [`CampaignSummary`] statistics.
+//! - [`submit`] — [`JobPool`], the long-lived submission pool behind
+//!   serving workloads (`adc-server`).
 
 #![warn(missing_docs)]
 
@@ -52,6 +54,7 @@ pub mod job;
 pub mod observer;
 pub mod pool;
 pub mod seed;
+pub mod submit;
 
 pub use cache::{canonical_key, CacheCodec, ResultCache};
 pub use campaign::{Campaign, CampaignRun};
@@ -59,3 +62,4 @@ pub use job::{JobCtx, JobError, JobId, JobReport};
 pub use observer::{CampaignSummary, CollectingObserver, RunObserver};
 pub use pool::default_threads;
 pub use seed::{derive_seed, split_mix64};
+pub use submit::{JobHandle, JobPool};

@@ -1,0 +1,403 @@
+//! Long-lived job-submission pools for serving workloads.
+//!
+//! [`Campaign`](crate::Campaign) executes a *closed* job set and tears
+//! its workers down when the set completes — the right shape for figure
+//! regeneration, but not for a server that receives requests one at a
+//! time over an open-ended lifetime. [`JobPool`] keeps the same
+//! determinism machinery ([`JobCtx`] with a stable per-job seed,
+//! cooperative deadlines, panic confinement, [`RunObserver`] hooks)
+//! behind a submission handle: callers [`JobPool::submit`] individual
+//! closures and receive a [`JobHandle`] to wait on.
+//!
+//! Two differences from the campaign engine follow from the open-ended
+//! lifetime:
+//!
+//! * **Ids number submissions, not a fixed set.** Each submission gets
+//!   the next [`JobId`] in order, so a job's derived seed is still a
+//!   pure function of `(pool_seed, submission index)` — but note that
+//!   serving workloads usually pass their *own* seed in the request and
+//!   ignore the derived one, because request arrival order is not
+//!   deterministic across server runs.
+//! * **Shutdown is a drain.** [`JobPool::shutdown`] stops accepting new
+//!   work, lets queued and in-flight jobs finish, and joins the workers
+//!   — the graceful-drain building block `adc-server` uses.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::job::{JobCtx, JobError, JobId, JobReport};
+use crate::observer::RunObserver;
+use crate::pool::default_threads;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: Mutex<VecDeque<Task>>,
+    task_ready: Condvar,
+    draining: AtomicBool,
+    pending: AtomicUsize,
+}
+
+/// A persistent worker pool accepting individual jobs over its
+/// lifetime.
+///
+/// ```
+/// use adc_runtime::{JobError, JobPool};
+///
+/// let pool = JobPool::new("doc", 42, 2);
+/// let handle = pool.submit(None, |ctx| Ok::<_, JobError>(ctx.seed));
+/// let (value, report) = handle.wait();
+/// assert!(value.is_some() && report.error.is_none());
+/// pool.shutdown();
+/// ```
+pub struct JobPool {
+    name: String,
+    seed: u64,
+    next_id: AtomicU64,
+    state: Arc<PoolState>,
+    cancelled: Arc<AtomicBool>,
+    observers: Arc<Vec<Arc<dyn RunObserver>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for JobPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobPool")
+            .field("name", &self.name)
+            .field("seed", &self.seed)
+            .field("submitted", &self.next_id.load(Ordering::Relaxed))
+            .field("pending", &self.state.pending.load(Ordering::Relaxed))
+            .field("draining", &self.state.draining.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl JobPool {
+    /// Spawns a pool of `threads` workers (`0` = all hardware
+    /// parallelism). `seed` anchors the per-submission derived seeds.
+    pub fn new<S: Into<String>>(name: S, seed: u64, threads: usize) -> Self {
+        Self::with_observers(name, seed, threads, Vec::new())
+    }
+
+    /// [`JobPool::new`] with [`RunObserver`]s attached: each submission
+    /// reports `on_job_start` / `on_job_finish` exactly as campaign jobs
+    /// do (there is no campaign summary — the pool never "finishes"
+    /// until shutdown).
+    pub fn with_observers<S: Into<String>>(
+        name: S,
+        seed: u64,
+        threads: usize,
+        observers: Vec<Arc<dyn RunObserver>>,
+    ) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            task_ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || loop {
+                    let task = {
+                        let mut queue = state.queue.lock().expect("pool queue lock");
+                        loop {
+                            if let Some(task) = queue.pop_front() {
+                                break Some(task);
+                            }
+                            if state.draining.load(Ordering::SeqCst) {
+                                break None;
+                            }
+                            queue = state
+                                .task_ready
+                                .wait(queue)
+                                .expect("pool queue lock poisoned");
+                        }
+                    };
+                    let Some(task) = task else { break };
+                    task();
+                    state.pending.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        Self {
+            name: name.into(),
+            seed,
+            next_id: AtomicU64::new(0),
+            state,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            observers: Arc::new(observers),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The pool's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Jobs submitted over the pool's lifetime.
+    pub fn submitted(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Jobs queued or running right now.
+    pub fn pending(&self) -> usize {
+        self.state.pending.load(Ordering::SeqCst)
+    }
+
+    /// `true` once [`JobPool::shutdown`] has begun.
+    pub fn is_draining(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst)
+    }
+
+    /// Submits one job; the worker closure runs on a pool thread with a
+    /// [`JobCtx`] whose seed derives from `(pool_seed, submission id)`
+    /// and whose cooperative deadline is `timeout`. Panics are confined
+    /// to the job ([`JobError::Panicked`]).
+    ///
+    /// After [`JobPool::shutdown`] begins, submissions are rejected: the
+    /// returned handle resolves immediately to
+    /// [`JobError::Failed`]`("pool is draining")` without executing.
+    pub fn submit<T, F>(&self, timeout: Option<Duration>, work: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&JobCtx) -> Result<T, JobError> + Send + 'static,
+    {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::SeqCst));
+        let (tx, rx) = mpsc::channel();
+        let reject_tx = tx.clone();
+        let rejected = move |err: JobError| {
+            let report = JobReport {
+                id,
+                attempts: 0,
+                wall: Duration::ZERO,
+                samples: 0,
+                error: Some(err),
+            };
+            let _ = reject_tx.send((None, report));
+        };
+        if self.state.draining.load(Ordering::SeqCst) {
+            rejected(JobError::Failed("pool is draining".to_string()));
+            return JobHandle { id, rx };
+        }
+        let ctx = JobCtx::new(self.seed, id, 1, timeout, Arc::clone(&self.cancelled));
+        let observers = Arc::clone(&self.observers);
+        let task: Task = Box::new(move || {
+            for obs in observers.iter() {
+                obs.on_job_start(id, 1);
+            }
+            let start = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| work(&ctx)));
+            let wall = start.elapsed();
+            let (value, error) = match outcome {
+                Ok(Ok(value)) => (Some(value), None),
+                Ok(Err(err)) => (None, Some(err)),
+                Err(payload) => {
+                    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_string()
+                    };
+                    (None, Some(JobError::Panicked(msg)))
+                }
+            };
+            let report = JobReport {
+                id,
+                attempts: 1,
+                wall,
+                samples: ctx.samples(),
+                error,
+            };
+            for obs in observers.iter() {
+                obs.on_job_finish(id, &report);
+            }
+            let _ = tx.send((value, report));
+        });
+        {
+            let mut queue = self.state.queue.lock().expect("pool queue lock");
+            // Re-check under the lock so a concurrent shutdown cannot
+            // strand a task behind departing workers.
+            if self.state.draining.load(Ordering::SeqCst) {
+                drop(queue);
+                rejected(JobError::Failed("pool is draining".to_string()));
+                return JobHandle { id, rx };
+            }
+            self.state.pending.fetch_add(1, Ordering::SeqCst);
+            queue.push_back(task);
+        }
+        self.state.task_ready.notify_one();
+        JobHandle { id, rx }
+    }
+
+    /// Graceful drain: stops accepting submissions, runs every already
+    /// queued job to completion, and joins the workers. Idempotent —
+    /// later calls return immediately.
+    pub fn shutdown(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.task_ready.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("pool worker lock"));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for JobPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The caller's side of one submitted job.
+#[derive(Debug)]
+pub struct JobHandle<T> {
+    id: JobId,
+    rx: mpsc::Receiver<(Option<T>, JobReport)>,
+}
+
+impl<T> JobHandle<T> {
+    /// The job's stable id (submission index).
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Blocks until the job finishes, returning its value (`None` on
+    /// failure) and report.
+    pub fn wait(self) -> (Option<T>, JobReport) {
+        self.rx
+            .recv()
+            .expect("pool worker dropped the result channel")
+    }
+
+    /// Blocks until the job finishes, returning `Ok(value)` or the
+    /// job's terminal error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's [`JobError`] when it failed, panicked, timed
+    /// out, or was rejected by a draining pool.
+    pub fn into_result(self) -> Result<T, JobError> {
+        let (value, report) = self.wait();
+        match value {
+            Some(v) => Ok(v),
+            None => Err(report
+                .error
+                .unwrap_or_else(|| JobError::Failed("unknown".to_string()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::CollectingObserver;
+
+    #[test]
+    fn submitted_jobs_run_and_return() {
+        let pool = JobPool::new("t", 1, 2);
+        let handles: Vec<_> = (0..16u64)
+            .map(|x| pool.submit(None, move |_| Ok::<_, JobError>(x * 3)))
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.into_result().unwrap(), i as u64 * 3);
+        }
+        assert_eq!(pool.submitted(), 16);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn derived_seeds_match_campaign_derivation() {
+        let pool = JobPool::new("seeds", 77, 3);
+        let seeds: Vec<u64> = (0..8)
+            .map(|_| pool.submit(None, |ctx| Ok::<_, JobError>(ctx.seed)))
+            .map(|h| h.into_result().unwrap())
+            .collect();
+        for (i, &seed) in seeds.iter().enumerate() {
+            assert_eq!(seed, crate::derive_seed(77, i as u64));
+        }
+    }
+
+    #[test]
+    fn panics_are_confined_to_their_job() {
+        let pool = JobPool::new("p", 0, 2);
+        let bad = pool.submit(None, |_| -> Result<u64, JobError> {
+            panic!("die 3 diverged")
+        });
+        let good = pool.submit(None, |_| Ok::<_, JobError>(5u64));
+        match bad.into_result() {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("die 3 diverged")),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+        assert_eq!(good.into_result().unwrap(), 5);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn cooperative_deadline_is_observable() {
+        let pool = JobPool::new("d", 0, 1);
+        let handle = pool.submit(Some(Duration::ZERO), |ctx| {
+            std::thread::sleep(Duration::from_millis(2));
+            if ctx.timed_out() {
+                Err::<u64, _>(JobError::TimedOut)
+            } else {
+                Ok(1)
+            }
+        });
+        assert_eq!(handle.into_result(), Err(JobError::TimedOut));
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_then_rejects() {
+        let pool = JobPool::new("s", 0, 1);
+        let handles: Vec<_> = (0..8u64)
+            .map(|x| {
+                pool.submit(None, move |_| {
+                    std::thread::sleep(Duration::from_millis(1));
+                    Ok::<_, JobError>(x)
+                })
+            })
+            .collect();
+        pool.shutdown();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.into_result().unwrap(), i as u64, "queued job drained");
+        }
+        let late = pool.submit(None, |_| Ok::<_, JobError>(0u64));
+        assert_eq!(
+            late.into_result(),
+            Err(JobError::Failed("pool is draining".to_string()))
+        );
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn observers_see_pool_jobs() {
+        let obs = Arc::new(CollectingObserver::default());
+        let pool = JobPool::with_observers("o", 0, 2, vec![obs.clone()]);
+        let handles: Vec<_> = (0..6u64)
+            .map(|x| {
+                pool.submit(None, move |ctx| {
+                    ctx.record_samples(10);
+                    Ok::<_, JobError>(x)
+                })
+            })
+            .collect();
+        for h in handles {
+            h.wait();
+        }
+        pool.shutdown();
+        let reports = obs.reports.lock().unwrap();
+        assert_eq!(reports.len(), 6);
+        assert!(reports.iter().all(|r| r.samples == 10 && r.error.is_none()));
+    }
+}

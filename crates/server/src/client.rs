@@ -1,0 +1,225 @@
+//! A blocking client for the digitization service.
+//!
+//! [`Client`] owns one connection and exposes the protocol as plain
+//! calls: [`Client::ping`], [`Client::digitize`] (reassembles the
+//! streamed batches and verifies the stream CRC), [`Client::metrics`],
+//! and [`Client::shutdown`]. Requests on one client are sequential —
+//! for concurrent load, open one client per thread, which is also how
+//! the server parallelizes work across its pool.
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    self, encode_request, DigitizeDone, DigitizeRequest, ErrorCode, FrameReadError,
+    MetricsSnapshot, Request, Response, WireError,
+};
+use crate::server::stream_crc;
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server sent a frame this client could not decode.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The server answered with a well-formed frame of the wrong kind
+    /// for the request in flight.
+    UnexpectedResponse(&'static str),
+    /// The reassembled stream failed a local consistency check.
+    StreamCorrupt(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Wire(e) => write!(f, "wire error: {e}"),
+            Self::Server { code, detail } => write!(f, "server error ({code:?}): {detail}"),
+            Self::UnexpectedResponse(what) => write!(f, "unexpected response: {what}"),
+            Self::StreamCorrupt(detail) => write!(f, "stream corrupt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<FrameReadError> for ClientError {
+    fn from(e: FrameReadError) -> Self {
+        match e {
+            FrameReadError::Io(io) => Self::Io(io),
+            FrameReadError::Wire(w) => Self::Wire(w),
+        }
+    }
+}
+
+/// A completed digitization: the full reassembled record plus the
+/// server's completion summary.
+#[derive(Debug, Clone)]
+pub struct DigitizeResult {
+    /// The converted codes, in order.
+    pub samples: Vec<u16>,
+    /// The server's end-of-stream summary (exact stimulus frequency,
+    /// batch count, stream CRC).
+    pub done: DigitizeDone,
+}
+
+/// One blocking connection to an `adc-server`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_payload: u32,
+}
+
+impl Client {
+    /// Connects with the protocol's default payload ceiling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            max_payload: protocol::MAX_PAYLOAD,
+        })
+    }
+
+    /// Sets a read timeout on the underlying socket (`None` blocks
+    /// forever). Useful around [`Client::digitize`] with server-side
+    /// deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let frame = encode_request(request);
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        Ok(protocol::read_response(&mut self.stream, self.max_payload)?)
+    }
+
+    /// Round-trips a liveness probe, returning the echoed token.
+    ///
+    /// # Errors
+    ///
+    /// Transport, wire, or server errors; see [`ClientError`].
+    pub fn ping(&mut self, token: u64) -> Result<u64, ClientError> {
+        self.send(&Request::Ping { token })?;
+        match self.recv()? {
+            Response::Pong { token } => Ok(token),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::UnexpectedResponse("expected pong")),
+        }
+    }
+
+    /// Runs one digitization, blocking until the full record has
+    /// streamed back. Verifies batch ordering, the sample count, and
+    /// the server's stream CRC before returning.
+    ///
+    /// # Errors
+    ///
+    /// Transport, wire, or server errors (including mid-stream typed
+    /// errors like `TimedOut`), and [`ClientError::StreamCorrupt`] if
+    /// reassembly fails a consistency check.
+    pub fn digitize(&mut self, request: &DigitizeRequest) -> Result<DigitizeResult, ClientError> {
+        self.send(&Request::Digitize(request.clone()))?;
+        let mut samples: Vec<u16> = Vec::new();
+        let mut next_seq = 0u32;
+        loop {
+            match self.recv()? {
+                Response::Batch {
+                    seq,
+                    samples: chunk,
+                } => {
+                    if seq != next_seq {
+                        return Err(ClientError::StreamCorrupt(format!(
+                            "batch {seq} arrived, expected {next_seq}"
+                        )));
+                    }
+                    next_seq += 1;
+                    samples.extend_from_slice(&chunk);
+                }
+                Response::Done(done) => {
+                    if done.total_samples as usize != samples.len() {
+                        return Err(ClientError::StreamCorrupt(format!(
+                            "done claims {} samples, reassembled {}",
+                            done.total_samples,
+                            samples.len()
+                        )));
+                    }
+                    if done.batches != next_seq {
+                        return Err(ClientError::StreamCorrupt(format!(
+                            "done claims {} batches, received {}",
+                            done.batches, next_seq
+                        )));
+                    }
+                    let crc = stream_crc(&samples);
+                    if crc != done.stream_crc32 {
+                        return Err(ClientError::StreamCorrupt(format!(
+                            "stream CRC {:08x} != server's {:08x}",
+                            crc, done.stream_crc32
+                        )));
+                    }
+                    return Ok(DigitizeResult { samples, done });
+                }
+                Response::Error { code, detail } => {
+                    return Err(ClientError::Server { code, detail })
+                }
+                _ => return Err(ClientError::UnexpectedResponse("expected batch or done")),
+            }
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport, wire, or server errors; see [`ClientError`].
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        self.send(&Request::Metrics)?;
+        match self.recv()? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::UnexpectedResponse("expected metrics")),
+        }
+    }
+
+    /// Asks the server to begin a graceful drain. Returns once the
+    /// server acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// Transport, wire, or server errors; see [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Response::ShutdownAck => Ok(()),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::UnexpectedResponse("expected shutdown ack")),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # adc-server
+//!
+//! A streaming digitization service over the behavioral pipeline ADC:
+//! the simulator from `adc-pipeline`/`adc-testbench`, served over TCP
+//! behind a length-prefixed, CRC-checked binary protocol.
+//!
+//! The paper's part is a *component* — other systems hand it a waveform
+//! and clock and read back codes. This crate gives the behavioral model
+//! the same shape: a client names a config preset, a fabrication seed,
+//! and a stimulus; the server fabricates the die, converts the record,
+//! and streams the codes back in batches. Because the server runs the
+//! exact in-process code path (`MeasurementSession` on an
+//! `adc-runtime` pool), the streamed samples are **bit-identical** to a
+//! direct library call with the same config and seed — the service
+//! boundary adds transport, not nondeterminism.
+//!
+//! ## Layers
+//!
+//! * [`protocol`] — the wire format: framing (magic, version, kind,
+//!   length, CRC-32 trailer), request/response payload codecs, and
+//!   total, panic-free decoding with typed [`protocol::WireError`]s.
+//! * [`server`] — the service: accept loop, per-connection reader and
+//!   bounded-queue writer (backpressure), job dispatch onto a
+//!   [`adc_runtime::JobPool`], cooperative per-request deadlines, and
+//!   graceful drain-then-shutdown.
+//! * [`metrics`] — lock-free request counters, an in-flight gauge, and
+//!   a log-bucketed latency histogram fed from the pool's
+//!   [`adc_runtime::RunObserver`] hooks; snapshots answer `Metrics`
+//!   requests.
+//! * [`client`] — a blocking client that reassembles streamed records
+//!   and verifies the stream CRC.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use adc_server::{Client, DigitizeRequest, Server, ServerConfig};
+//!
+//! let (handle, join) = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let result = client.digitize(&DigitizeRequest::tone(7, 10e6, 1024)).unwrap();
+//! assert_eq!(result.samples.len(), 1024);
+//! client.shutdown().unwrap();
+//! join.join().unwrap().unwrap();
+//! ```
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, DigitizeResult};
+pub use metrics::{LatencyHistogram, MetricsRegistry};
+pub use protocol::{
+    ConfigOverrides, DigitizeDone, DigitizeRequest, ErrorCode, MetricsSnapshot, Preset, Request,
+    Response, WaveformSpec, WireError,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

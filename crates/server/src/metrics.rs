@@ -1,0 +1,254 @@
+//! The server's metrics registry: lock-free counters, an in-flight
+//! gauge, and a log-bucketed latency histogram.
+//!
+//! The registry is fed from two directions:
+//!
+//! * the connection loop counts requests, connections, and error
+//!   frames directly;
+//! * the digitize job pool reports through the registry's
+//!   [`RunObserver`] implementation — `on_job_start` raises the
+//!   in-flight gauge, `on_job_finish` lowers it, records the job's wall
+//!   time into the histogram, and accumulates its streamed-sample
+//!   credit.
+//!
+//! [`MetricsRegistry::snapshot`] freezes everything into the wire-level
+//! [`MetricsSnapshot`] answered to a `Metrics` request, including
+//! p50/p90/p99 latency estimated from the histogram (upper bucket
+//! bounds, so estimates are conservative).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use adc_runtime::{JobId, JobReport, RunObserver};
+
+use crate::protocol::MetricsSnapshot;
+
+/// Histogram bucket count: bucket `i` covers latencies in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended.
+const BUCKETS: usize = 40;
+
+/// A fixed-layout latency histogram with power-of-two microsecond
+/// buckets (sub-microsecond lands in bucket 0, ~18-minute-plus tails in
+/// the final open bucket).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_for(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            (63 - u64::leading_zeros(us) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The latency (microseconds, upper bucket bound) at or below which
+    /// `quantile` of observations fall; `0` with no observations.
+    pub fn quantile_us(&self, quantile: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((quantile.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.counts.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket i: 2^(i+1) - 1 µs.
+                return (1u64 << (i + 1)) - 1;
+            }
+        }
+        (1u64 << BUCKETS) - 1
+    }
+}
+
+/// Counters and gauges for one server instance. All methods are cheap
+/// and callable from any thread.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    connections: AtomicU64,
+    pings: AtomicU64,
+    digitizes: AtomicU64,
+    metrics_requests: AtomicU64,
+    errors: AtomicU64,
+    in_flight: AtomicU64,
+    completed: AtomicU64,
+    samples_streamed: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with every counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts an accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a served ping.
+    pub fn ping(&self) {
+        self.pings.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an accepted digitize request.
+    pub fn digitize(&self) {
+        self.digitizes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a served metrics request.
+    pub fn metrics_request(&self) {
+        self.metrics_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an error frame sent to a client.
+    pub fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Credits samples streamed to a client.
+    pub fn samples(&self, n: u64) {
+        self.samples_streamed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Freezes the registry into a wire snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            pings: self.pings.load(Ordering::Relaxed),
+            digitizes: self.digitizes.load(Ordering::Relaxed),
+            metrics_requests: self.metrics_requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            samples_streamed: self.samples_streamed.load(Ordering::Relaxed),
+            p50_us: self.latency.quantile_us(0.50),
+            p90_us: self.latency.quantile_us(0.90),
+            p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+impl RunObserver for MetricsRegistry {
+    fn on_job_start(&self, _id: JobId, _attempt: u32) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_job_finish(&self, _id: JobId, report: &JobReport) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.latency.record(report.wall);
+        self.samples_streamed
+            .fetch_add(report.samples, Ordering::Relaxed);
+        if report.error.is_none() {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        assert_eq!(LatencyHistogram::bucket_for(0), 0);
+        assert_eq!(LatencyHistogram::bucket_for(1), 0);
+        assert_eq!(LatencyHistogram::bucket_for(2), 1);
+        assert_eq!(LatencyHistogram::bucket_for(3), 1);
+        assert_eq!(LatencyHistogram::bucket_for(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_for(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+        for us in [100u64, 200, 400, 800, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_us(0.5);
+        assert!((200..=511).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 100_000, "p99 {p99}");
+        assert!(h.quantile_us(1.0) >= h.quantile_us(0.5));
+    }
+
+    #[test]
+    fn observer_hooks_drive_gauge_histogram_and_counters() {
+        use adc_runtime::JobError;
+        let reg = MetricsRegistry::new();
+        reg.on_job_start(JobId(0), 1);
+        assert_eq!(reg.snapshot().in_flight, 1);
+        reg.on_job_finish(
+            JobId(0),
+            &JobReport {
+                id: JobId(0),
+                attempts: 1,
+                wall: Duration::from_micros(300),
+                samples: 4096,
+                error: None,
+            },
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.samples_streamed, 4096);
+        assert!(snap.p50_us >= 300);
+
+        reg.on_job_start(JobId(1), 1);
+        reg.on_job_finish(
+            JobId(1),
+            &JobReport {
+                id: JobId(1),
+                attempts: 1,
+                wall: Duration::from_micros(10),
+                samples: 0,
+                error: Some(JobError::TimedOut),
+            },
+        );
+        assert_eq!(reg.snapshot().completed, 1, "failed job not completed");
+    }
+
+    #[test]
+    fn request_counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.connection_opened();
+        reg.ping();
+        reg.ping();
+        reg.digitize();
+        reg.metrics_request();
+        reg.error();
+        let snap = reg.snapshot();
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.pings, 2);
+        assert_eq!(snap.digitizes, 1);
+        assert_eq!(snap.metrics_requests, 1);
+        assert_eq!(snap.errors, 1);
+    }
+}

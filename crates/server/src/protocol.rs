@@ -1,0 +1,1080 @@
+//! The wire protocol: length-prefixed binary frames with CRC integrity.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic       0x41444353 ("ADCS"), little endian
+//!      4     2  version     protocol version, currently 1
+//!      6     1  kind        frame type (request 0x01..=0x0F, response 0x81..=0x8F)
+//!      7     4  payload_len bytes of payload that follow (bounded)
+//!     11     n  payload     kind-specific body, little-endian scalars
+//!   11+n     4  crc32       CRC-32/IEEE over bytes 0..11+n
+//! ```
+//!
+//! Scalars are little-endian; `f64`s travel as their IEEE-754 bit
+//! patterns, so a decoded value is **bit-identical** to the encoded one
+//! — the property the serving-determinism guarantee rests on. Strings
+//! are `u32` length + UTF-8 bytes; sample batches are `u32` count +
+//! packed `u16` codes.
+//!
+//! Decoding is total: any byte sequence either parses or yields a typed
+//! [`WireError`] — never a panic, never a partial value. Frames that
+//! fail the magic, version, size, or CRC checks are rejected before
+//! their payload is interpreted.
+
+use std::io::{Read, Write};
+
+/// Frame magic: `"ADCS"` as a little-endian `u32`.
+pub const MAGIC: u32 = 0x5343_4441;
+/// Protocol version this build speaks.
+pub const VERSION: u16 = 1;
+/// Fixed frame-header size (magic + version + kind + payload_len).
+pub const HEADER_LEN: usize = 11;
+/// Hard ceiling on payload size a peer may declare (16 MiB) — guards
+/// the length-prefixed read against garbage lengths. Servers usually
+/// configure a lower limit.
+pub const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// CRC-32/IEEE (reflected, polynomial 0xEDB88320), the zlib/PNG CRC.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Why a frame or payload failed to decode. Typed, total, and panic-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic(u32),
+    /// The peer speaks a different protocol version.
+    BadVersion(u16),
+    /// The declared payload length exceeds the configured bound.
+    Oversize {
+        /// Declared payload length.
+        declared: u32,
+        /// The enforced maximum.
+        max: u32,
+    },
+    /// The CRC trailer did not match the frame bytes.
+    BadCrc {
+        /// CRC computed over the received bytes.
+        computed: u32,
+        /// CRC carried by the frame.
+        received: u32,
+    },
+    /// The frame kind byte is not a known request or response.
+    UnknownKind(u8),
+    /// The payload ended before the field being read.
+    Truncated,
+    /// A field held an invalid value (enum discriminant, UTF-8, ...).
+    Malformed(&'static str),
+    /// Payload bytes were left over after the last field.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            Self::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::Oversize { declared, max } => {
+                write!(f, "payload of {declared} bytes exceeds limit {max}")
+            }
+            Self::BadCrc { computed, received } => {
+                write!(
+                    f,
+                    "crc mismatch: computed {computed:#010x}, frame carries {received:#010x}"
+                )
+            }
+            Self::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            Self::Truncated => write!(f, "payload truncated"),
+            Self::Malformed(what) => write!(f, "malformed field: {what}"),
+            Self::TrailingBytes(n) => write!(f, "{n} trailing payload bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Payload reader/writer
+// ---------------------------------------------------------------------------
+
+/// Little-endian payload writer.
+#[derive(Debug, Default)]
+pub(crate) struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn samples(&mut self, codes: &[u16]) {
+        self.u32(codes.len() as u32);
+        for &c in codes {
+            self.u16(c);
+        }
+    }
+}
+
+/// Little-endian payload reader over a received slice.
+#[derive(Debug)]
+pub(crate) struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("utf-8 string"))
+    }
+
+    pub fn samples(&mut self) -> Result<Vec<u16>, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len.checked_mul(2).ok_or(WireError::Truncated)?)?;
+        Ok(bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect())
+    }
+
+    pub fn finish(self) -> Result<(), WireError> {
+        let left = self.buf.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(left))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Message types
+// ---------------------------------------------------------------------------
+
+/// The converter preset a digitize request starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// `AdcConfig::nominal_110ms()` — the paper's calibrated design.
+    Nominal110,
+    /// `AdcConfig::ideal(f_cr)` — a noiseless ideal quantizer.
+    Ideal,
+    /// `AdcConfig::sibling_220ms_10b()` — the ref. [1] sibling part.
+    Sibling220,
+}
+
+impl Preset {
+    fn to_u8(self) -> u8 {
+        match self {
+            Self::Nominal110 => 0,
+            Self::Ideal => 1,
+            Self::Sibling220 => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(Self::Nominal110),
+            1 => Ok(Self::Ideal),
+            2 => Ok(Self::Sibling220),
+            _ => Err(WireError::Malformed("preset discriminant")),
+        }
+    }
+}
+
+/// Sparse overrides applied on top of the preset configuration.
+///
+/// Encoded as a presence bitmask followed by the set fields in order,
+/// so adding fields later stays wire-compatible within a version.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ConfigOverrides {
+    /// Conversion rate, hertz.
+    pub f_cr_hz: Option<f64>,
+    /// Stimulus amplitude, volts peak (defaults to the session's
+    /// near-full-scale level).
+    pub amplitude_v: Option<f64>,
+    /// Enable/disable thermal noise injection.
+    pub thermal_noise: Option<bool>,
+}
+
+impl ConfigOverrides {
+    fn encode(&self, w: &mut PayloadWriter) {
+        let mut mask = 0u8;
+        if self.f_cr_hz.is_some() {
+            mask |= 1;
+        }
+        if self.amplitude_v.is_some() {
+            mask |= 2;
+        }
+        if self.thermal_noise.is_some() {
+            mask |= 4;
+        }
+        w.u8(mask);
+        if let Some(v) = self.f_cr_hz {
+            w.f64(v);
+        }
+        if let Some(v) = self.amplitude_v {
+            w.f64(v);
+        }
+        if let Some(v) = self.thermal_noise {
+            w.u8(u8::from(v));
+        }
+    }
+
+    fn decode(r: &mut PayloadReader<'_>) -> Result<Self, WireError> {
+        let mask = r.u8()?;
+        if mask & !0b111 != 0 {
+            return Err(WireError::Malformed("override mask"));
+        }
+        Ok(Self {
+            f_cr_hz: if mask & 1 != 0 { Some(r.f64()?) } else { None },
+            amplitude_v: if mask & 2 != 0 { Some(r.f64()?) } else { None },
+            thermal_noise: if mask & 4 != 0 {
+                Some(match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("thermal_noise flag")),
+                })
+            } else {
+                None
+            },
+        })
+    }
+}
+
+/// The stimulus a digitize request drives into the converter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WaveformSpec {
+    /// A coherent single tone near `f_target_hz` (the frequency is
+    /// snapped to the coherent FFT grid exactly as the bench does;
+    /// the response's `f_in_hz` reports the frequency used).
+    Tone {
+        /// Requested stimulus frequency, hertz.
+        f_target_hz: f64,
+    },
+    /// A constant level (offset / static testing).
+    Dc {
+        /// The level, volts.
+        level_v: f64,
+    },
+    /// A linear ramp spanning the record (histogram linearity).
+    Ramp {
+        /// Start voltage.
+        from_v: f64,
+        /// End voltage.
+        to_v: f64,
+    },
+}
+
+impl WaveformSpec {
+    fn encode(&self, w: &mut PayloadWriter) {
+        match *self {
+            Self::Tone { f_target_hz } => {
+                w.u8(0);
+                w.f64(f_target_hz);
+            }
+            Self::Dc { level_v } => {
+                w.u8(1);
+                w.f64(level_v);
+            }
+            Self::Ramp { from_v, to_v } => {
+                w.u8(2);
+                w.f64(from_v);
+                w.f64(to_v);
+            }
+        }
+    }
+
+    fn decode(r: &mut PayloadReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Self::Tone {
+                f_target_hz: r.f64()?,
+            }),
+            1 => Ok(Self::Dc { level_v: r.f64()? }),
+            2 => Ok(Self::Ramp {
+                from_v: r.f64()?,
+                to_v: r.f64()?,
+            }),
+            _ => Err(WireError::Malformed("waveform discriminant")),
+        }
+    }
+}
+
+/// One digitization request: fabricate the configured die at `seed`,
+/// drive the stimulus, stream `n_samples` codes back in batches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigitizeRequest {
+    /// Base configuration preset.
+    pub preset: Preset,
+    /// Fabrication seed — the same seed given to a direct in-process
+    /// `MeasurementSession::new(config, seed)` yields bit-identical
+    /// samples.
+    pub seed: u64,
+    /// Sparse config overrides on top of the preset.
+    pub overrides: ConfigOverrides,
+    /// The stimulus.
+    pub waveform: WaveformSpec,
+    /// Samples to convert. Tone requests require a power of two (the
+    /// coherent-capture grid); all requests are bounded by the server's
+    /// configured maximum.
+    pub n_samples: u32,
+    /// Samples per streamed batch frame; `0` selects the server default.
+    pub batch_size: u32,
+    /// Per-request deadline in milliseconds; `0` means no deadline. The
+    /// server enforces it cooperatively between batches.
+    pub deadline_ms: u32,
+}
+
+impl DigitizeRequest {
+    /// A tone capture with bench defaults: golden-style explicit seed,
+    /// no overrides, server-default batching, no deadline.
+    pub fn tone(seed: u64, f_target_hz: f64, n_samples: u32) -> Self {
+        Self {
+            preset: Preset::Nominal110,
+            seed,
+            overrides: ConfigOverrides::default(),
+            waveform: WaveformSpec::Tone { f_target_hz },
+            n_samples,
+            batch_size: 0,
+            deadline_ms: 0,
+        }
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; the token is echoed back.
+    Ping {
+        /// Opaque token echoed in the pong.
+        token: u64,
+    },
+    /// Digitize a waveform and stream the codes back.
+    Digitize(DigitizeRequest),
+    /// Snapshot the server's metrics registry.
+    Metrics,
+    /// Begin graceful drain-then-shutdown.
+    Shutdown,
+}
+
+const KIND_PING: u8 = 0x01;
+const KIND_DIGITIZE: u8 = 0x02;
+const KIND_METRICS: u8 = 0x03;
+const KIND_SHUTDOWN: u8 = 0x04;
+const KIND_PONG: u8 = 0x81;
+const KIND_BATCH: u8 = 0x82;
+const KIND_DONE: u8 = 0x83;
+const KIND_METRICS_SNAPSHOT: u8 = 0x84;
+const KIND_ERROR: u8 = 0x85;
+const KIND_SHUTDOWN_ACK: u8 = 0x86;
+
+impl Request {
+    fn kind(&self) -> u8 {
+        match self {
+            Self::Ping { .. } => KIND_PING,
+            Self::Digitize(_) => KIND_DIGITIZE,
+            Self::Metrics => KIND_METRICS,
+            Self::Shutdown => KIND_SHUTDOWN,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        match self {
+            Self::Ping { token } => w.u64(*token),
+            Self::Digitize(d) => {
+                w.u8(d.preset.to_u8());
+                w.u64(d.seed);
+                d.overrides.encode(&mut w);
+                d.waveform.encode(&mut w);
+                w.u32(d.n_samples);
+                w.u32(d.batch_size);
+                w.u32(d.deadline_ms);
+            }
+            Self::Metrics | Self::Shutdown => {}
+        }
+        w.into_bytes()
+    }
+
+    fn decode(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let request = match kind {
+            KIND_PING => Self::Ping { token: r.u64()? },
+            KIND_DIGITIZE => {
+                let preset = Preset::from_u8(r.u8()?)?;
+                let seed = r.u64()?;
+                let overrides = ConfigOverrides::decode(&mut r)?;
+                let waveform = WaveformSpec::decode(&mut r)?;
+                Self::Digitize(DigitizeRequest {
+                    preset,
+                    seed,
+                    overrides,
+                    waveform,
+                    n_samples: r.u32()?,
+                    batch_size: r.u32()?,
+                    deadline_ms: r.u32()?,
+                })
+            }
+            KIND_METRICS => Self::Metrics,
+            KIND_SHUTDOWN => Self::Shutdown,
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+/// Typed error classes a server can return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame failed protocol validation.
+    Protocol,
+    /// Request fields were out of the server's accepted bounds.
+    InvalidRequest,
+    /// Converter build failed: no stages configured.
+    NoStages,
+    /// Converter build failed: non-positive conversion rate.
+    InvalidRate,
+    /// Converter build failed: non-positive reference voltage.
+    InvalidReference,
+    /// Converter build failed: clocking leaves no settling time.
+    NoSettlingTime,
+    /// The request exceeded its deadline.
+    TimedOut,
+    /// The server is draining and no longer accepts work.
+    Draining,
+    /// An unexpected server-side failure (worker panic, ...).
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            Self::Protocol => 0,
+            Self::InvalidRequest => 1,
+            Self::NoStages => 2,
+            Self::InvalidRate => 3,
+            Self::InvalidReference => 4,
+            Self::NoSettlingTime => 5,
+            Self::TimedOut => 6,
+            Self::Draining => 7,
+            Self::Internal => 8,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => Self::Protocol,
+            1 => Self::InvalidRequest,
+            2 => Self::NoStages,
+            3 => Self::InvalidRate,
+            4 => Self::InvalidReference,
+            5 => Self::NoSettlingTime,
+            6 => Self::TimedOut,
+            7 => Self::Draining,
+            8 => Self::Internal,
+            _ => return Err(WireError::Malformed("error code")),
+        })
+    }
+}
+
+/// Maps a converter build failure onto its wire error class.
+pub fn error_code_for_build(err: &adc_pipeline::error::BuildAdcError) -> ErrorCode {
+    use adc_pipeline::error::BuildAdcError as E;
+    match err {
+        E::NoStages => ErrorCode::NoStages,
+        E::InvalidRate(_) => ErrorCode::InvalidRate,
+        E::InvalidReference(_) => ErrorCode::InvalidReference,
+        E::NoSettlingTime { .. } => ErrorCode::NoSettlingTime,
+    }
+}
+
+/// Completion summary of a digitize stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigitizeDone {
+    /// Total samples streamed across all batches.
+    pub total_samples: u32,
+    /// Number of batch frames that preceded this frame.
+    pub batches: u32,
+    /// The exact stimulus frequency used (coherent snap), hertz; `0.0`
+    /// for non-tone waveforms.
+    pub f_in_hz: f64,
+    /// CRC-32 over the little-endian byte stream of all samples, in
+    /// order — lets a client verify reassembly without re-requesting.
+    pub stream_crc32: u32,
+}
+
+/// Point-in-time metrics snapshot (see `metrics` module for semantics).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Ping requests served.
+    pub pings: u64,
+    /// Digitize requests accepted (including ones that later failed).
+    pub digitizes: u64,
+    /// Metrics requests served.
+    pub metrics_requests: u64,
+    /// Error frames sent, any class.
+    pub errors: u64,
+    /// Digitize jobs currently queued or running.
+    pub in_flight: u64,
+    /// Digitize jobs completed successfully.
+    pub completed: u64,
+    /// Samples streamed to clients.
+    pub samples_streamed: u64,
+    /// Median digitize latency, microseconds (0 with no completed jobs).
+    pub p50_us: u64,
+    /// 90th-percentile digitize latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile digitize latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl MetricsSnapshot {
+    fn encode(&self, w: &mut PayloadWriter) {
+        for v in [
+            self.connections,
+            self.pings,
+            self.digitizes,
+            self.metrics_requests,
+            self.errors,
+            self.in_flight,
+            self.completed,
+            self.samples_streamed,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    fn decode(r: &mut PayloadReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            connections: r.u64()?,
+            pings: r.u64()?,
+            digitizes: r.u64()?,
+            metrics_requests: r.u64()?,
+            errors: r.u64()?,
+            in_flight: r.u64()?,
+            completed: r.u64()?,
+            samples_streamed: r.u64()?,
+            p50_us: r.u64()?,
+            p90_us: r.u64()?,
+            p99_us: r.u64()?,
+        })
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Echo of a [`Request::Ping`].
+    Pong {
+        /// The echoed token.
+        token: u64,
+    },
+    /// One streamed batch of converted codes.
+    Batch {
+        /// Zero-based batch index within the stream.
+        seq: u32,
+        /// The codes, in conversion order.
+        samples: Vec<u16>,
+    },
+    /// End of a digitize stream.
+    Done(DigitizeDone),
+    /// Snapshot answering a [`Request::Metrics`].
+    Metrics(MetricsSnapshot),
+    /// A typed failure; terminates the active request.
+    Error {
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Acknowledges a [`Request::Shutdown`]; the server drains and
+    /// closes.
+    ShutdownAck,
+}
+
+impl Response {
+    fn kind(&self) -> u8 {
+        match self {
+            Self::Pong { .. } => KIND_PONG,
+            Self::Batch { .. } => KIND_BATCH,
+            Self::Done(_) => KIND_DONE,
+            Self::Metrics(_) => KIND_METRICS_SNAPSHOT,
+            Self::Error { .. } => KIND_ERROR,
+            Self::ShutdownAck => KIND_SHUTDOWN_ACK,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        match self {
+            Self::Pong { token } => w.u64(*token),
+            Self::Batch { seq, samples } => {
+                w.u32(*seq);
+                w.samples(samples);
+            }
+            Self::Done(d) => {
+                w.u32(d.total_samples);
+                w.u32(d.batches);
+                w.f64(d.f_in_hz);
+                w.u32(d.stream_crc32);
+            }
+            Self::Metrics(m) => m.encode(&mut w),
+            Self::Error { code, detail } => {
+                w.u8(code.to_u8());
+                w.str(detail);
+            }
+            Self::ShutdownAck => {}
+        }
+        w.into_bytes()
+    }
+
+    fn decode(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let response = match kind {
+            KIND_PONG => Self::Pong { token: r.u64()? },
+            KIND_BATCH => Self::Batch {
+                seq: r.u32()?,
+                samples: r.samples()?,
+            },
+            KIND_DONE => Self::Done(DigitizeDone {
+                total_samples: r.u32()?,
+                batches: r.u32()?,
+                f_in_hz: r.f64()?,
+                stream_crc32: r.u32()?,
+            }),
+            KIND_METRICS_SNAPSHOT => Self::Metrics(MetricsSnapshot::decode(&mut r)?),
+            KIND_ERROR => Self::Error {
+                code: ErrorCode::from_u8(r.u8()?)?,
+                detail: r.str()?,
+            },
+            KIND_SHUTDOWN_ACK => Self::ShutdownAck,
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    frame.extend_from_slice(&MAGIC.to_le_bytes());
+    frame.extend_from_slice(&VERSION.to_le_bytes());
+    frame.push(kind);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let crc = crc32(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Encodes a request into one wire frame.
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    encode_frame(request.kind(), &request.payload())
+}
+
+/// Encodes a response into one wire frame.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    encode_frame(response.kind(), &response.payload())
+}
+
+/// Validates framing (magic, version, size bound, CRC) and returns the
+/// frame kind and payload slice.
+fn check_frame(bytes: &[u8], max_payload: u32) -> Result<(u8, &[u8]), WireError> {
+    if bytes.len() < HEADER_LEN + 4 {
+        return Err(WireError::Truncated);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("len 4"));
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("len 2"));
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = bytes[6];
+    let declared = u32::from_le_bytes(bytes[7..11].try_into().expect("len 4"));
+    if declared > max_payload {
+        return Err(WireError::Oversize {
+            declared,
+            max: max_payload,
+        });
+    }
+    let total = HEADER_LEN + declared as usize + 4;
+    if bytes.len() < total {
+        return Err(WireError::Truncated);
+    }
+    if bytes.len() > total {
+        return Err(WireError::TrailingBytes(bytes.len() - total));
+    }
+    let body = &bytes[..HEADER_LEN + declared as usize];
+    let received = u32::from_le_bytes(bytes[total - 4..total].try_into().expect("len 4"));
+    let computed = crc32(body);
+    if computed != received {
+        return Err(WireError::BadCrc { computed, received });
+    }
+    Ok((kind, &bytes[HEADER_LEN..HEADER_LEN + declared as usize]))
+}
+
+/// Decodes one complete request frame from a byte slice.
+pub fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
+    let (kind, payload) = check_frame(bytes, MAX_PAYLOAD)?;
+    Request::decode(kind, payload)
+}
+
+/// Decodes one complete response frame from a byte slice.
+pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
+    let (kind, payload) = check_frame(bytes, MAX_PAYLOAD)?;
+    Response::decode(kind, payload)
+}
+
+/// What [`read_frame`] can fail with: transport I/O or protocol.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The underlying transport failed (includes clean EOF between
+    /// frames, surfaced as `UnexpectedEof`).
+    Io(std::io::Error),
+    /// The bytes were read but violated the protocol.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport: {e}"),
+            Self::Wire(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+impl From<std::io::Error> for FrameReadError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WireError> for FrameReadError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+/// Reads one full frame (header, payload, CRC) from `reader`, enforcing
+/// `max_payload`, and returns its raw kind and payload after CRC
+/// verification.
+///
+/// # Errors
+///
+/// [`FrameReadError::Io`] on transport failure (including EOF) and
+/// [`FrameReadError::Wire`] on any protocol violation.
+pub fn read_frame<R: Read>(
+    reader: &mut R,
+    max_payload: u32,
+) -> Result<(u8, Vec<u8>), FrameReadError> {
+    let mut header = [0u8; HEADER_LEN];
+    reader.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("len 4"));
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic).into());
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("len 2"));
+    if version != VERSION {
+        return Err(WireError::BadVersion(version).into());
+    }
+    let kind = header[6];
+    let declared = u32::from_le_bytes(header[7..11].try_into().expect("len 4"));
+    if declared > max_payload {
+        return Err(WireError::Oversize {
+            declared,
+            max: max_payload,
+        }
+        .into());
+    }
+    let mut rest = vec![0u8; declared as usize + 4];
+    reader.read_exact(&mut rest)?;
+    let payload_end = declared as usize;
+    let received = u32::from_le_bytes(rest[payload_end..].try_into().expect("len 4"));
+    let mut crc_input = Vec::with_capacity(HEADER_LEN + payload_end);
+    crc_input.extend_from_slice(&header);
+    crc_input.extend_from_slice(&rest[..payload_end]);
+    let computed = crc32(&crc_input);
+    if computed != received {
+        return Err(WireError::BadCrc { computed, received }.into());
+    }
+    rest.truncate(payload_end);
+    Ok((kind, rest))
+}
+
+/// Reads and decodes one request frame from `reader`.
+///
+/// # Errors
+///
+/// See [`read_frame`].
+pub fn read_request<R: Read>(reader: &mut R, max_payload: u32) -> Result<Request, FrameReadError> {
+    let (kind, payload) = read_frame(reader, max_payload)?;
+    Ok(Request::decode(kind, &payload)?)
+}
+
+/// Reads and decodes one response frame from `reader`.
+///
+/// # Errors
+///
+/// See [`read_frame`].
+pub fn read_response<R: Read>(
+    reader: &mut R,
+    max_payload: u32,
+) -> Result<Response, FrameReadError> {
+    let (kind, payload) = read_frame(reader, max_payload)?;
+    Ok(Response::decode(kind, &payload)?)
+}
+
+/// Writes one encoded frame to `writer`.
+///
+/// # Errors
+///
+/// Propagates transport I/O errors.
+pub fn write_frame<W: Write>(writer: &mut W, frame: &[u8]) -> std::io::Result<()> {
+    writer.write_all(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping { token: 0xDEAD_BEEF },
+            Request::Metrics,
+            Request::Shutdown,
+            Request::Digitize(DigitizeRequest::tone(7, 10e6, 4096)),
+            Request::Digitize(DigitizeRequest {
+                preset: Preset::Ideal,
+                seed: 42,
+                overrides: ConfigOverrides {
+                    f_cr_hz: Some(55e6),
+                    amplitude_v: Some(0.75),
+                    thermal_noise: Some(false),
+                },
+                waveform: WaveformSpec::Ramp {
+                    from_v: -1.0,
+                    to_v: 1.0,
+                },
+                n_samples: 1000,
+                batch_size: 128,
+                deadline_ms: 2500,
+            }),
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong { token: 1 },
+            Response::Batch {
+                seq: 3,
+                samples: vec![0, 1, 4095, 2048],
+            },
+            Response::Done(DigitizeDone {
+                total_samples: 8192,
+                batches: 8,
+                f_in_hz: 10_009_765.625,
+                stream_crc32: 0x1234_5678,
+            }),
+            Response::Metrics(MetricsSnapshot {
+                connections: 4,
+                digitizes: 10,
+                p99_us: 1500,
+                ..MetricsSnapshot::default()
+            }),
+            Response::Error {
+                code: ErrorCode::NoSettlingTime,
+                detail: "no settling time left at 600 MS/s".to_string(),
+            },
+            Response::ShutdownAck,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let frame = encode_request(&req);
+            assert_eq!(decode_request(&frame).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in sample_responses() {
+            let frame = encode_response(&resp);
+            assert_eq!(decode_response(&frame).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn streamed_round_trip_through_io() {
+        let mut buf = Vec::new();
+        for req in sample_requests() {
+            write_frame(&mut buf, &encode_request(&req)).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for req in sample_requests() {
+            assert_eq!(read_request(&mut cursor, MAX_PAYLOAD).unwrap(), req);
+        }
+        match read_request(&mut cursor, MAX_PAYLOAD) {
+            Err(FrameReadError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => panic!("expected EOF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_magic_version_crc_are_typed_errors() {
+        let frame = encode_request(&Request::Ping { token: 9 });
+        let mut bad_magic = frame.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            decode_request(&bad_magic),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut bad_version = frame.clone();
+        bad_version[4] = 0xFE;
+        assert!(matches!(
+            decode_request(&bad_version),
+            Err(WireError::BadVersion(_))
+        ));
+        let mut bad_payload = frame.clone();
+        let n = bad_payload.len();
+        bad_payload[n - 6] ^= 0x01; // payload byte: CRC must catch it
+        assert!(matches!(
+            decode_request(&bad_payload),
+            Err(WireError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_rejected_not_panicking() {
+        let frame = encode_request(&Request::Digitize(DigitizeRequest::tone(1, 10e6, 512)));
+        for len in 0..frame.len() {
+            assert!(
+                decode_request(&frame[..len]).is_err(),
+                "truncated to {len} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_declaration_is_rejected_before_reading() {
+        let mut frame = encode_request(&Request::Metrics);
+        frame[7..11].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            decode_request(&frame),
+            Err(WireError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn f64_fields_are_bit_exact_on_the_wire() {
+        for value in [0.0, -0.0, f64::MIN_POSITIVE, 10e6 + 1e-7, f64::INFINITY] {
+            let req = Request::Digitize(DigitizeRequest {
+                waveform: WaveformSpec::Dc { level_v: value },
+                ..DigitizeRequest::tone(0, 0.0, 16)
+            });
+            let back = decode_request(&encode_request(&req)).unwrap();
+            let Request::Digitize(d) = back else {
+                panic!("wrong kind");
+            };
+            let WaveformSpec::Dc { level_v } = d.waveform else {
+                panic!("wrong waveform");
+            };
+            assert_eq!(level_v.to_bits(), value.to_bits());
+        }
+    }
+}

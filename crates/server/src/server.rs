@@ -1,0 +1,630 @@
+//! The TCP service: accept loop, per-connection framing, job dispatch,
+//! backpressure, deadlines, and graceful drain.
+//!
+//! ## Threading model
+//!
+//! * One **accept loop** ([`Server::serve`]) owns the listener.
+//! * Each connection gets a **reader thread** (decodes frames, serves
+//!   `Ping`/`Metrics` inline, dispatches `Digitize` onto the shared
+//!   [`JobPool`]) and a **writer thread** draining a *bounded* frame
+//!   queue to the socket. The queue bound is the backpressure
+//!   mechanism: a digitize worker streaming batches to a slow client
+//!   blocks on the full queue (while still polling its deadline)
+//!   instead of buffering unboundedly.
+//! * `Digitize` simulation runs on the [`JobPool`] — the runtime's
+//!   long-lived work pool — so server-side conversions use exactly the
+//!   same session code path as an in-process `adc-testbench` run, and
+//!   results are bit-identical for the same config and seed.
+//!
+//! ## Deadlines
+//!
+//! A request's `deadline_ms` becomes the job's cooperative timeout
+//! ([`JobCtx::timed_out`]). The worker polls it before fabricating the
+//! die, before converting, and between streamed batches — including
+//! while blocked on a full write queue — and reports
+//! [`ErrorCode::TimedOut`] when it fires. The conversion of one record
+//! is the indivisible unit (the converter's warmup semantics make a
+//! record a single pure computation), so deadlines resolve to batch
+//! granularity, exactly like the campaign engine's per-die polling.
+//!
+//! ## Shutdown
+//!
+//! A `Shutdown` frame (or [`ServerHandle::shutdown`]) begins a drain:
+//! the acceptor stops taking connections, connection readers finish
+//! their in-flight request and close, the pool runs queued jobs to
+//! completion, and [`Server::serve`] returns. A deadlocked drain is
+//! impossible through the protocol: readers poll the draining flag on
+//! a read-timeout tick.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use adc_pipeline::config::AdcConfig;
+use adc_pipeline::error::BuildAdcError;
+use adc_runtime::{JobCtx, JobError, JobPool, RunObserver};
+use adc_testbench::{MeasurementSession, RampSource};
+
+use crate::metrics::MetricsRegistry;
+use crate::protocol::{
+    self, encode_response, error_code_for_build, DigitizeDone, DigitizeRequest, ErrorCode,
+    FrameReadError, Preset, Request, Response, WaveformSpec,
+};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Digitize worker threads (`0` = all hardware parallelism).
+    pub threads: usize,
+    /// Seed anchoring the pool's derived per-job seeds (requests carry
+    /// their own fabrication seeds; this only names the pool stream).
+    pub seed: u64,
+    /// Bounded frames per connection write queue (the backpressure
+    /// window).
+    pub write_queue_frames: usize,
+    /// Maximum accepted request payload, bytes.
+    pub max_payload: u32,
+    /// Maximum samples per digitize request.
+    pub max_samples: u32,
+    /// Batch size used when a request passes `batch_size == 0`.
+    pub default_batch: u32,
+    /// Reader poll tick — how often an idle connection re-checks the
+    /// draining flag.
+    pub read_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            seed: 0x5EC7_0A0D,
+            write_queue_frames: 8,
+            max_payload: 1 << 20,
+            max_samples: 1 << 20,
+            default_batch: 1024,
+            read_poll: Duration::from_millis(50),
+        }
+    }
+}
+
+struct Shared {
+    pool: JobPool,
+    metrics: Arc<MetricsRegistry>,
+    draining: AtomicBool,
+    cfg: ServerConfig,
+}
+
+/// A bound, not-yet-serving server. [`Server::serve`] runs it to
+/// completion (drain).
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("draining", &self.shared.draining.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+/// A cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// `true` once a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins graceful drain-then-shutdown: stops accepting, lets
+    /// in-flight work finish, and makes [`Server::serve`] return.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) with the
+    /// given tunables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let observers: Vec<Arc<dyn RunObserver>> = vec![Arc::clone(&metrics) as _];
+        let pool = JobPool::with_observers("adc-server", cfg.seed, cfg.threads, observers);
+        Ok(Self {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                pool,
+                metrics,
+                draining: AtomicBool::new(false),
+                cfg,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for shutdown and metrics access.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until drained. Returns after every
+    /// connection has closed and every accepted job has completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures (per-connection errors are
+    /// contained in their connection threads).
+    pub fn serve(self) -> std::io::Result<()> {
+        let mut connections = Vec::new();
+        loop {
+            if self.shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if self.shared.draining.load(Ordering::SeqCst) {
+                break; // the shutdown wake-up connection
+            }
+            self.shared.metrics.connection_opened();
+            let shared = Arc::clone(&self.shared);
+            connections.push(std::thread::spawn(move || {
+                let _ = serve_connection(stream, &shared);
+            }));
+        }
+        for conn in connections {
+            let _ = conn.join();
+        }
+        self.shared.pool.shutdown();
+        Ok(())
+    }
+
+    /// Convenience for tests and embedding: binds, then serves on a
+    /// background thread. Returns the handle and the serving thread's
+    /// join handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn<A: ToSocketAddrs>(
+        addr: A,
+        cfg: ServerConfig,
+    ) -> std::io::Result<(ServerHandle, std::thread::JoinHandle<std::io::Result<()>>)> {
+        let server = Self::bind(addr, cfg)?;
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve());
+        Ok((handle, join))
+    }
+}
+
+/// The writer side of one connection: a bounded queue of encoded frames
+/// drained by a dedicated thread. Dropping all senders closes the
+/// socket writer.
+fn spawn_writer(
+    mut stream: TcpStream,
+    queue_frames: usize,
+) -> (mpsc::SyncSender<Vec<u8>>, std::thread::JoinHandle<()>) {
+    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(queue_frames.max(1));
+    let join = std::thread::spawn(move || {
+        while let Ok(frame) = rx.recv() {
+            if stream.write_all(&frame).is_err() {
+                break;
+            }
+        }
+        let _ = stream.flush();
+    });
+    (tx, join)
+}
+
+/// Sends a frame through the bounded queue, polling the job deadline
+/// while the queue is full so backpressure cannot outlive a deadline.
+/// Returns `false` if the deadline fired or the writer is gone.
+fn send_with_deadline(tx: &mpsc::SyncSender<Vec<u8>>, ctx: &JobCtx, frame: Vec<u8>) -> bool {
+    let mut frame = frame;
+    loop {
+        match tx.try_send(frame) {
+            Ok(()) => return true,
+            Err(mpsc::TrySendError::Full(f)) => {
+                if ctx.timed_out() || ctx.cancelled() {
+                    return false;
+                }
+                frame = f;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => return false,
+        }
+    }
+}
+
+fn base_config(preset: Preset) -> AdcConfig {
+    match preset {
+        Preset::Nominal110 => AdcConfig::nominal_110ms(),
+        Preset::Ideal => AdcConfig::ideal(110e6),
+        Preset::Sibling220 => AdcConfig::sibling_220ms_10b(),
+    }
+}
+
+/// Builds the requested session and converts the record — the exact
+/// code path (and therefore the exact bits) of a direct
+/// `adc-testbench` run with the same config and seed.
+fn run_digitize(req: &DigitizeRequest) -> Result<(Vec<u16>, f64), BuildAdcError> {
+    let mut config = base_config(req.preset);
+    if let Some(f_cr) = req.overrides.f_cr_hz {
+        config.f_cr_hz = f_cr;
+    }
+    if let Some(noise) = req.overrides.thermal_noise {
+        config.thermal_noise = noise;
+    }
+    let mut session = MeasurementSession::new(config, req.seed)?;
+    if let Some(a) = req.overrides.amplitude_v {
+        session.amplitude_v = a;
+    }
+    let n = req.n_samples as usize;
+    match req.waveform {
+        WaveformSpec::Tone { f_target_hz } => {
+            session.record_len = n;
+            let (codes, f_in) = session.capture_tone(f_target_hz);
+            Ok((codes, f_in))
+        }
+        WaveformSpec::Dc { level_v } => {
+            let source = adc_testbench::DcSource { level_v };
+            session.adc_mut().reset();
+            let codes = session.adc_mut().convert_waveform(&source, n);
+            Ok((codes, 0.0))
+        }
+        WaveformSpec::Ramp { from_v, to_v } => {
+            let f_cr = session.adc().config().f_cr_hz;
+            let duration_s = n as f64 / f_cr;
+            let source = RampSource::new(from_v, to_v, duration_s);
+            session.adc_mut().reset();
+            let codes = session.adc_mut().convert_waveform(&source, n);
+            Ok((codes, 0.0))
+        }
+    }
+}
+
+/// Request-level validation, before any simulation work is queued.
+fn validate(req: &DigitizeRequest, cfg: &ServerConfig) -> Result<(), String> {
+    if req.n_samples == 0 {
+        return Err("n_samples must be positive".to_string());
+    }
+    if req.n_samples > cfg.max_samples {
+        return Err(format!(
+            "n_samples {} exceeds server limit {}",
+            req.n_samples, cfg.max_samples
+        ));
+    }
+    if matches!(req.waveform, WaveformSpec::Tone { .. }) && !req.n_samples.is_power_of_two() {
+        return Err(format!(
+            "tone captures need a power-of-two record, got {}",
+            req.n_samples
+        ));
+    }
+    if let WaveformSpec::Tone { f_target_hz } = req.waveform {
+        if !f_target_hz.is_finite() || f_target_hz <= 0.0 {
+            return Err(format!(
+                "tone frequency must be positive, got {f_target_hz}"
+            ));
+        }
+    }
+    for (name, v) in [
+        ("f_cr_hz override", req.overrides.f_cr_hz),
+        ("amplitude_v override", req.overrides.amplitude_v),
+    ] {
+        if let Some(v) = v {
+            if !v.is_finite() {
+                return Err(format!("{name} must be finite, got {v}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// CRC-32 over the little-endian byte stream of a code record.
+pub(crate) fn stream_crc(codes: &[u16]) -> u32 {
+    let mut bytes = Vec::with_capacity(codes.len() * 2);
+    for &c in codes {
+        bytes.extend_from_slice(&c.to_le_bytes());
+    }
+    protocol::crc32(&bytes)
+}
+
+/// Streams one digitize request's response frames into `tx`. Runs on a
+/// pool worker.
+fn digitize_job(
+    req: &DigitizeRequest,
+    cfg: &ServerConfig,
+    ctx: &JobCtx,
+    tx: &mpsc::SyncSender<Vec<u8>>,
+) -> Result<u64, JobError> {
+    let fail = |code: ErrorCode, detail: String| {
+        let frame = encode_response(&Response::Error {
+            code,
+            detail: detail.clone(),
+        });
+        let _ = send_with_deadline(tx, ctx, frame);
+        Err(JobError::Failed(detail))
+    };
+    if ctx.timed_out() {
+        let frame = encode_response(&Response::Error {
+            code: ErrorCode::TimedOut,
+            detail: "deadline expired before simulation started".to_string(),
+        });
+        let _ = send_with_deadline(tx, ctx, frame);
+        return Err(JobError::TimedOut);
+    }
+    let (codes, f_in_hz) = match run_digitize(req) {
+        Ok(result) => result,
+        Err(build) => return fail(error_code_for_build(&build), build.to_string()),
+    };
+    if ctx.timed_out() {
+        let frame = encode_response(&Response::Error {
+            code: ErrorCode::TimedOut,
+            detail: "deadline expired during conversion".to_string(),
+        });
+        let _ = send_with_deadline(tx, ctx, frame);
+        return Err(JobError::TimedOut);
+    }
+    let batch = if req.batch_size == 0 {
+        cfg.default_batch.max(1) as usize
+    } else {
+        req.batch_size as usize
+    };
+    let mut batches = 0u32;
+    for (seq, chunk) in codes.chunks(batch).enumerate() {
+        let frame = encode_response(&Response::Batch {
+            seq: seq as u32,
+            samples: chunk.to_vec(),
+        });
+        if !send_with_deadline(tx, ctx, frame) {
+            let timed_out = ctx.timed_out();
+            let frame = encode_response(&Response::Error {
+                code: ErrorCode::TimedOut,
+                detail: format!("deadline expired after {batches} batches"),
+            });
+            let _ = tx.try_send(frame);
+            return if timed_out {
+                Err(JobError::TimedOut)
+            } else {
+                Err(JobError::Failed("client went away mid-stream".to_string()))
+            };
+        }
+        batches += 1;
+        ctx.record_samples(chunk.len() as u64);
+    }
+    let done = encode_response(&Response::Done(DigitizeDone {
+        total_samples: codes.len() as u32,
+        batches,
+        f_in_hz,
+        stream_crc32: stream_crc(&codes),
+    }));
+    if !send_with_deadline(tx, ctx, done) {
+        return Err(JobError::Failed("client went away at done".to_string()));
+    }
+    Ok(codes.len() as u64)
+}
+
+/// Reads requests off one connection until the peer leaves, framing
+/// breaks, or the server drains.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let cfg = &shared.cfg;
+    stream.set_read_timeout(Some(cfg.read_poll))?;
+    let writer_stream = stream.try_clone()?;
+    let (tx, writer) = spawn_writer(writer_stream, cfg.write_queue_frames);
+    let mut reader = stream;
+    let send = |frame: Vec<u8>| tx.send(frame).is_ok();
+
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let request = match protocol::read_request(&mut reader, cfg.max_payload) {
+            Ok(req) => req,
+            Err(FrameReadError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // poll tick: re-check the draining flag
+            }
+            Err(FrameReadError::Io(_)) => break, // peer closed / transport died
+            Err(FrameReadError::Wire(w)) => {
+                // Framing is lost: report and close (resync is impossible
+                // on a corrupt length-prefixed stream).
+                shared.metrics.error();
+                let _ = send(encode_response(&Response::Error {
+                    code: ErrorCode::Protocol,
+                    detail: w.to_string(),
+                }));
+                break;
+            }
+        };
+        match request {
+            Request::Ping { token } => {
+                shared.metrics.ping();
+                if !send(encode_response(&Response::Pong { token })) {
+                    break;
+                }
+            }
+            Request::Metrics => {
+                shared.metrics.metrics_request();
+                let snapshot = shared.metrics.snapshot();
+                if !send(encode_response(&Response::Metrics(snapshot))) {
+                    break;
+                }
+            }
+            Request::Shutdown => {
+                let _ = send(encode_response(&Response::ShutdownAck));
+                ServerHandle {
+                    addr: reader.local_addr()?,
+                    shared: Arc::clone(shared),
+                }
+                .shutdown();
+                break;
+            }
+            Request::Digitize(req) => {
+                shared.metrics.digitize();
+                if let Err(detail) = validate(&req, cfg) {
+                    shared.metrics.error();
+                    if !send(encode_response(&Response::Error {
+                        code: ErrorCode::InvalidRequest,
+                        detail,
+                    })) {
+                        break;
+                    }
+                    continue;
+                }
+                let deadline = (req.deadline_ms > 0)
+                    .then(|| Duration::from_millis(u64::from(req.deadline_ms)));
+                let job_tx = tx.clone();
+                let job_cfg = cfg.clone();
+                let handle = shared.pool.submit(deadline, move |ctx| {
+                    digitize_job(&req, &job_cfg, ctx, &job_tx)
+                });
+                // One request at a time per connection: responses stay
+                // ordered, concurrency comes from concurrent clients.
+                let (value, report) = handle.wait();
+                if value.is_none() {
+                    shared.metrics.error();
+                    if let Some(JobError::Failed(detail)) = &report.error {
+                        if detail == "pool is draining" {
+                            let _ = send(encode_response(&Response::Error {
+                                code: ErrorCode::Draining,
+                                detail: detail.clone(),
+                            }));
+                            break;
+                        }
+                    }
+                    if let Some(JobError::Panicked(msg)) = &report.error {
+                        let _ = send(encode_response(&Response::Error {
+                            code: ErrorCode::Internal,
+                            detail: format!("worker panicked: {msg}"),
+                        }));
+                    }
+                    // Failed/TimedOut jobs already streamed their own
+                    // typed error frame.
+                }
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ConfigOverrides;
+
+    #[test]
+    fn validation_rejects_out_of_bounds_requests() {
+        let cfg = ServerConfig::default();
+        let mut req = DigitizeRequest::tone(7, 10e6, 0);
+        assert!(validate(&req, &cfg).is_err(), "zero samples");
+        req.n_samples = cfg.max_samples + 1;
+        assert!(validate(&req, &cfg).is_err(), "too many samples");
+        req.n_samples = 1000;
+        assert!(validate(&req, &cfg).is_err(), "tone needs power of two");
+        req.n_samples = 1024;
+        assert!(validate(&req, &cfg).is_ok());
+        req.overrides = ConfigOverrides {
+            f_cr_hz: Some(f64::NAN),
+            ..ConfigOverrides::default()
+        };
+        assert!(validate(&req, &cfg).is_err(), "NaN override");
+        let dc = DigitizeRequest {
+            waveform: WaveformSpec::Dc { level_v: 0.25 },
+            n_samples: 1000,
+            ..DigitizeRequest::tone(7, 10e6, 1000)
+        };
+        assert!(
+            validate(&dc, &cfg).is_ok(),
+            "dc records need no power of two"
+        );
+    }
+
+    #[test]
+    fn run_digitize_matches_direct_session_bit_for_bit() {
+        let req = DigitizeRequest::tone(7, 10e6, 2048);
+        let (served, f_in_served) = run_digitize(&req).unwrap();
+
+        let mut direct = MeasurementSession::new(AdcConfig::nominal_110ms(), 7).unwrap();
+        direct.record_len = 2048;
+        let (expected, f_in_direct) = direct.capture_tone(10e6);
+
+        assert_eq!(served, expected);
+        assert_eq!(f_in_served.to_bits(), f_in_direct.to_bits());
+    }
+
+    #[test]
+    fn run_digitize_propagates_build_errors() {
+        let req = DigitizeRequest {
+            overrides: ConfigOverrides {
+                f_cr_hz: Some(-1.0),
+                ..ConfigOverrides::default()
+            },
+            ..DigitizeRequest::tone(7, 10e6, 1024)
+        };
+        let err = run_digitize(&req).unwrap_err();
+        assert_eq!(error_code_for_build(&err), ErrorCode::InvalidRate);
+    }
+
+    #[test]
+    fn stream_crc_is_stable_and_order_sensitive() {
+        let a = stream_crc(&[1, 2, 3]);
+        assert_eq!(a, stream_crc(&[1, 2, 3]));
+        assert_ne!(a, stream_crc(&[3, 2, 1]));
+        assert_ne!(a, stream_crc(&[1, 2]));
+    }
+}

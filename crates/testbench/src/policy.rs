@@ -77,6 +77,56 @@ impl RunPolicy {
         campaign
     }
 
+    /// Runs `worker` over `inputs` as a named measurement campaign: the
+    /// points fan out across the engine's worker pool, results return in
+    /// input order, and an attached cache skips already-computed points.
+    ///
+    /// This is the public face of the machinery the built-in sweeps use:
+    /// `kind` plus the `fingerprint` (everything that shapes results
+    /// besides the per-point input — config, seed, record length)
+    /// becomes a collision-safe campaign name, and typed build errors
+    /// from any point resolve to the error of the lowest-index failed
+    /// point, exactly as a serial loop would have returned first.
+    ///
+    /// ```
+    /// use adc_testbench::RunPolicy;
+    ///
+    /// let doubled = RunPolicy::serial()
+    ///     .measure_campaign("doc", &"fingerprint", 7, vec![1.0, 2.0], |_ctx, &x| Ok(x * 2.0))
+    ///     .unwrap();
+    /// assert_eq!(doubled, vec![2.0, 4.0]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index point's [`BuildAdcError`] if any point
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises worker panics, mirroring a serial loop.
+    pub fn measure_campaign<I, T, P, F>(
+        &self,
+        kind: &str,
+        fingerprint: &P,
+        seed: u64,
+        inputs: Vec<I>,
+        worker: F,
+    ) -> Result<Vec<T>, BuildAdcError>
+    where
+        I: Sync + std::fmt::Debug,
+        T: Send + CacheCodec,
+        P: std::fmt::Debug,
+        F: Fn(&adc_runtime::JobCtx, &I) -> Result<T, BuildAdcError> + Sync,
+    {
+        let name = campaign_id(kind, fingerprint);
+        let funnel = ErrorFunnel::new();
+        let run = self.run_campaign(&name, seed, inputs, |ctx, input| {
+            worker(ctx, input).map_err(|e| funnel.capture(ctx.id, e))
+        });
+        funnel.resolve(run)
+    }
+
     /// Runs a campaign, through the cache when one is attached.
     pub(crate) fn run_campaign<I, T, F>(
         &self,
@@ -162,6 +212,48 @@ mod tests {
         assert!(p.observers.is_empty());
         assert_eq!(RunPolicy::serial().threads, 1);
         assert_eq!(RunPolicy::parallel(4).threads, 4);
+    }
+
+    #[test]
+    fn measure_campaign_orders_results_and_types_errors() {
+        let policy = RunPolicy::parallel(4);
+        let squares = policy
+            .measure_campaign("sq", &"fp", 0, (0u64..16).collect(), |_, &x| Ok(x * x))
+            .unwrap();
+        assert_eq!(squares, (0u64..16).map(|x| x * x).collect::<Vec<_>>());
+
+        let err = policy
+            .measure_campaign("sq", &"fp", 0, (0u64..16).collect(), |_, &x| {
+                if x >= 5 {
+                    Err(BuildAdcError::InvalidRate(-(x as f64)))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, BuildAdcError::InvalidRate(-5.0), "lowest index wins");
+    }
+
+    #[test]
+    fn measure_campaign_is_cacheable() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = Arc::new(ResultCache::in_memory());
+        let policy = RunPolicy::serial().cached(Arc::clone(&cache));
+        let computed = AtomicUsize::new(0);
+        for _ in 0..2 {
+            let out = policy
+                .measure_campaign("cached", &"fp", 0, vec![1.0f64, 2.0], |_, &x| {
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    Ok(x + 0.5)
+                })
+                .unwrap();
+            assert_eq!(out, vec![1.5, 2.5]);
+        }
+        assert_eq!(
+            computed.load(Ordering::SeqCst),
+            2,
+            "second pass is all hits"
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`testbench`] — signal sources, band-pass filters, measurement
 //!   sessions, sweeps, the Table I datasheet, and the Fig. 8 FoM survey;
 //! * [`runtime`] — the deterministic parallel campaign engine the
-//!   sweeps and Monte-Carlo runs execute on.
+//!   sweeps and Monte-Carlo runs execute on;
+//! * [`server`] — the streaming digitization service: the converter
+//!   behind a length-prefixed TCP protocol, bit-identical to direct
+//!   library calls at the same seed.
 //!
 //! ```
 //! use pipeline_adc::pipeline::{AdcConfig, PipelineAdc};
@@ -39,5 +42,6 @@ pub use adc_bias as bias;
 pub use adc_digital as digital;
 pub use adc_pipeline as pipeline;
 pub use adc_runtime as runtime;
+pub use adc_server as server;
 pub use adc_spectral as spectral;
 pub use adc_testbench as testbench;

@@ -1,0 +1,214 @@
+//! End-to-end tests of the streaming digitization service: the TCP
+//! boundary must add transport, not nondeterminism — records streamed
+//! to concurrent clients are bit-identical to direct in-process
+//! measurement at the same seed — and the failure paths (invalid
+//! requests, corrupt frames, deadlines, drain) must all surface as
+//! typed protocol errors, never hangs or panics.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use pipeline_adc::pipeline::AdcConfig;
+use pipeline_adc::server::protocol::{self, encode_request, Request};
+use pipeline_adc::server::{
+    Client, ClientError, ConfigOverrides, DigitizeRequest, ErrorCode, Server, ServerConfig,
+    WaveformSpec,
+};
+use pipeline_adc::testbench::MeasurementSession;
+
+const RECORD: u32 = 2048;
+const F_TARGET: f64 = 10e6;
+
+/// The in-process reference: what a direct library user gets for this
+/// seed, bit for bit.
+fn direct_record(seed: u64) -> (Vec<u16>, f64) {
+    let mut session =
+        MeasurementSession::new(AdcConfig::nominal_110ms(), seed).expect("nominal builds");
+    session.record_len = RECORD as usize;
+    session.capture_tone(F_TARGET)
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_records() {
+    let (handle, join) = Server::spawn("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    // Six concurrent clients, distinct seeds, all in flight at once.
+    let seeds: Vec<u64> = (40..46).collect();
+    let workers: Vec<_> = seeds
+        .iter()
+        .map(|&seed| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let result = client
+                    .digitize(&DigitizeRequest::tone(seed, F_TARGET, RECORD))
+                    .expect("digitize");
+                (seed, result)
+            })
+        })
+        .collect();
+
+    for worker in workers {
+        let (seed, served) = worker.join().expect("client thread");
+        let (expected, f_in) = direct_record(seed);
+        assert_eq!(
+            served.samples, expected,
+            "seed {seed}: streamed record differs from in-process record"
+        );
+        assert_eq!(
+            served.done.f_in_hz.to_bits(),
+            f_in.to_bits(),
+            "seed {seed}: snapped stimulus frequency differs"
+        );
+    }
+
+    // Distinct seeds are distinct dies: the records must not all match.
+    let (a, _) = direct_record(seeds[0]);
+    let (b, _) = direct_record(seeds[1]);
+    assert_ne!(a, b, "different seeds should fabricate different dies");
+
+    let metrics = handle.metrics().snapshot();
+    assert_eq!(metrics.digitizes, seeds.len() as u64);
+    assert_eq!(metrics.completed, seeds.len() as u64);
+    assert_eq!(metrics.errors, 0);
+    assert_eq!(metrics.in_flight, 0);
+    assert_eq!(
+        metrics.samples_streamed,
+        u64::from(RECORD) * seeds.len() as u64
+    );
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("serve returns");
+}
+
+#[test]
+fn invalid_requests_come_back_as_typed_errors() {
+    let (handle, join) = Server::spawn("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Out-of-bounds request fields → InvalidRequest, connection stays up.
+    let cases = [
+        DigitizeRequest::tone(1, F_TARGET, 0),
+        DigitizeRequest::tone(1, F_TARGET, 1000), // not a power of two
+        DigitizeRequest::tone(1, -5e6, RECORD),
+        DigitizeRequest {
+            overrides: ConfigOverrides {
+                amplitude_v: Some(f64::NAN),
+                ..ConfigOverrides::default()
+            },
+            ..DigitizeRequest::tone(1, F_TARGET, RECORD)
+        },
+    ];
+    for request in &cases {
+        match client.digitize(request) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::InvalidRequest, "request {request:?}")
+            }
+            other => panic!("expected typed InvalidRequest, got {other:?}"),
+        }
+    }
+
+    // A request that builds-then-fails in the converter maps the typed
+    // BuildAdcError onto the wire.
+    let bad_rate = DigitizeRequest {
+        overrides: ConfigOverrides {
+            f_cr_hz: Some(-1.0),
+            ..ConfigOverrides::default()
+        },
+        ..DigitizeRequest::tone(1, F_TARGET, RECORD)
+    };
+    match client.digitize(&bad_rate) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::InvalidRate),
+        other => panic!("expected typed InvalidRate, got {other:?}"),
+    }
+
+    // The connection survives all of the above.
+    assert_eq!(client.ping(99).expect("ping after errors"), 99);
+
+    // A corrupt frame gets a Protocol error and a close — not a hang.
+    let mut raw = TcpStream::connect(handle.addr()).expect("raw connect");
+    let mut frame = encode_request(&Request::Ping { token: 1 });
+    frame[0] ^= 0xFF; // destroy the magic
+    raw.write_all(&frame).expect("write corrupt frame");
+    match protocol::read_response(&mut raw, protocol::MAX_PAYLOAD) {
+        Ok(pipeline_adc::server::Response::Error { code, .. }) => {
+            assert_eq!(code, ErrorCode::Protocol)
+        }
+        other => panic!("expected protocol error frame, got {other:?}"),
+    }
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("serve returns");
+}
+
+#[test]
+fn deadlines_surface_as_timed_out() {
+    let (handle, join) = Server::spawn("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // A 1 ms budget cannot cover a 64k-sample conversion; the worker
+    // must notice at a poll point and answer with TimedOut.
+    let request = DigitizeRequest {
+        deadline_ms: 1,
+        ..DigitizeRequest::tone(7, F_TARGET, 1 << 16)
+    };
+    match client.digitize(&request) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::TimedOut),
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+
+    // An ample budget on the same connection still succeeds.
+    let relaxed = DigitizeRequest {
+        deadline_ms: 120_000,
+        ..DigitizeRequest::tone(7, F_TARGET, RECORD)
+    };
+    let served = client.digitize(&relaxed).expect("relaxed deadline");
+    assert_eq!(served.samples, direct_record(7).0);
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("serve returns");
+}
+
+#[test]
+fn shutdown_request_drains_and_stops_the_server() {
+    let (handle, join) = Server::spawn("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Do real work first so the drain has something behind it.
+    let served = client
+        .digitize(&DigitizeRequest::tone(11, F_TARGET, RECORD))
+        .expect("digitize before shutdown");
+    assert_eq!(served.samples, direct_record(11).0);
+
+    client.shutdown().expect("shutdown acknowledged");
+    assert!(
+        handle.is_draining(),
+        "drain flag set after shutdown request"
+    );
+
+    // serve() must return on its own — bounded wait, no external kick.
+    join.join().expect("server thread").expect("serve returns");
+
+    // Dc and Ramp waveforms also decode/validate (exercise the
+    // non-tone arms end-to-end on a fresh server).
+    let (handle2, join2) = Server::spawn("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client2 = Client::connect(handle2.addr()).expect("connect");
+    for waveform in [
+        WaveformSpec::Dc { level_v: 0.25 },
+        WaveformSpec::Ramp {
+            from_v: -0.9,
+            to_v: 0.9,
+        },
+    ] {
+        let request = DigitizeRequest {
+            waveform,
+            n_samples: 1000, // non-tone records need no power of two
+            ..DigitizeRequest::tone(3, F_TARGET, RECORD)
+        };
+        let result = client2.digitize(&request).expect("non-tone digitize");
+        assert_eq!(result.samples.len(), 1000);
+        assert_eq!(result.done.f_in_hz, 0.0);
+    }
+    client2.shutdown().expect("second shutdown");
+    join2.join().expect("server thread").expect("serve returns");
+}
