@@ -6,15 +6,19 @@
 # Stages:
 #   1. cargo fmt    -- formatting is enforced, not advisory
 #   2. cargo clippy -- workspace-wide, all targets, warnings are errors
-#   3. release build
-#   4. full test suite (unit + integration + property tests)
-#   5. cross-profile determinism anchor: the `determinism` integration
+#   3. adc-lint     -- workspace-native static analysis (DESIGN.md §10):
+#      the determinism / panic-freedom / float-discipline invariants are
+#      checked at the source level; any diagnostic, stale allow pragma,
+#      or malformed pragma fails the build under --deny
+#   4. release build
+#   5. full test suite (unit + integration + property tests)
+#   6. cross-profile determinism anchor: the `determinism` integration
 #      test runs in debug AND release against one shared
 #      ADC_DETERMINISM_HASH_FILE, so "debug and release produce
 #      bit-identical campaign results" is an asserted property, not an
 #      assumption. The first profile records the campaign digest; the
 #      second must reproduce it exactly.
-#   6. service loopback gate: the `service` integration suite (real TCP
+#   7. service loopback gate: the `service` integration suite (real TCP
 #      server, concurrent clients, bit-identity vs in-process records)
 #      re-runs in release under a hard wall-clock guard — a hung drain
 #      or deadlocked backpressure queue fails CI instead of wedging it.
@@ -28,6 +32,9 @@ cargo fmt --all --check
 
 say "clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+say "adc-lint (project invariants: determinism, panic-freedom, float discipline)"
+cargo run -q -p adc-lint -- --deny
 
 say "release build"
 cargo build --release --workspace

@@ -41,9 +41,6 @@
 //! assert_eq!(a, m.gaussian(0.0, 1e-3));
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod bandgap;
 pub mod capacitor;
 pub mod clockgen;

@@ -120,6 +120,7 @@ impl MosDevice {
     /// closed form quadratic-in-quadratic).
     pub fn v_ov_for(&self, id_a: f64) -> f64 {
         assert!(id_a >= 0.0, "current must be non-negative");
+        // adc-lint: allow(float-eq) reason="exact-zero guard before division; any nonzero current takes the numeric path"
         if id_a == 0.0 {
             return 0.0;
         }

@@ -18,17 +18,10 @@
 
 use std::time::Instant;
 
+use adc_bench::cli::env_usize;
 use adc_pipeline::config::AdcConfig;
 use adc_server::{Client, DigitizeRequest, Server, ServerConfig};
 use adc_testbench::MeasurementSession;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(default)
-}
 
 /// Latency at quantile `q` from a sorted sample set, microseconds.
 fn quantile_us(sorted: &[u64], q: f64) -> u64 {

@@ -32,10 +32,12 @@ fn main() {
 
     let p110 = readings
         .iter()
+        // adc-lint: allow(float-eq) reason="sweep axis holds the exact literal 110e6 it was built from"
         .find(|r| r.f_cr_hz == 110e6)
         .expect("110 MS/s in sweep");
     let p130 = readings
         .iter()
+        // adc-lint: allow(float-eq) reason="sweep axis holds the exact literal 130e6 it was built from"
         .find(|r| r.f_cr_hz == 130e6)
         .expect("130 MS/s in sweep");
     println!(

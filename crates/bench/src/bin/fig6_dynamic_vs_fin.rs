@@ -41,6 +41,7 @@ fn main() {
 
     let snr_100 = points
         .iter()
+        // adc-lint: allow(float-eq) reason="sweep axis holds the exact literal 100e6 it was built from"
         .find(|p| p.x_hz == 100e6)
         .expect("100 MHz point");
     println!(
@@ -49,6 +50,7 @@ fn main() {
     );
     let sndr_40 = points
         .iter()
+        // adc-lint: allow(float-eq) reason="sweep axis holds the exact literal 40e6 it was built from"
         .find(|p| p.x_hz == 40e6)
         .expect("40 MHz point");
     println!(

@@ -150,6 +150,20 @@ fn parse_threads(v: &str) -> Result<usize, String> {
         .map_err(|_| "expected a number".to_string())
 }
 
+/// Reads a positive sizing knob from the environment, falling back to
+/// `default` when the variable is unset, unparsable, or zero.
+///
+/// Benchmarks and load generators take their workload dimensions
+/// through this helper so every environment read in the workspace
+/// lives in this one module (the `no-env-read` lint rule points here).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

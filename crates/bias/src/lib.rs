@@ -22,9 +22,6 @@
 //! assert!((i - 99e-6).abs() < 1e-12);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod generator;
 pub mod mirror;
 pub mod power;

@@ -30,9 +30,6 @@
 //! assert_eq!(out, 2048);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod adder;
 pub mod backend;
 pub mod decimate;

@@ -1,0 +1,71 @@
+//! Rule scoping: which workspace paths each invariant binds.
+//!
+//! Paths are workspace-relative with `/` separators. The scopes mirror
+//! the claims the repo actually makes: determinism is a property of
+//! the simulation and campaign crates (the server and bench layers may
+//! time things — latency histograms *are* wall-clock), while
+//! panic-freedom binds exactly the files whose docs promise totality.
+
+/// Crates whose results must be a pure function of config and seed —
+/// any `src/` file under these roots is in determinism scope.
+pub const DETERMINISM_ROOTS: &[&str] = &[
+    "crates/runtime/src",
+    "crates/pipeline/src",
+    "crates/spectral/src",
+    "crates/testbench/src",
+    "crates/bias/src",
+    "crates/analog/src",
+    "crates/digital/src",
+];
+
+/// Files whose documented contract is "total, never panics".
+pub const PANIC_FREE_FILES: &[&str] = &[
+    "crates/server/src/protocol.rs",
+    "crates/runtime/src/cache.rs",
+];
+
+/// The one place allowed to read process environment variables.
+pub const ENV_EXEMPT_FILES: &[&str] = &["crates/bench/src/cli.rs"];
+
+/// `true` when `rel_path` falls under a determinism-scoped crate.
+pub fn in_determinism_scope(rel_path: &str) -> bool {
+    DETERMINISM_ROOTS.iter().any(|root| {
+        rel_path
+            .strip_prefix(root)
+            .is_some_and(|r| r.starts_with('/'))
+    })
+}
+
+/// `true` when `rel_path` must be panic-free.
+pub fn in_panic_free_scope(rel_path: &str) -> bool {
+    PANIC_FREE_FILES.contains(&rel_path)
+}
+
+/// `true` when `rel_path` may read environment variables.
+pub fn is_env_exempt(rel_path: &str) -> bool {
+    ENV_EXEMPT_FILES.contains(&rel_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_scope_is_prefix_per_directory() {
+        assert!(in_determinism_scope("crates/runtime/src/pool.rs"));
+        assert!(in_determinism_scope("crates/spectral/src/fft.rs"));
+        assert!(!in_determinism_scope("crates/server/src/server.rs"));
+        assert!(!in_determinism_scope("crates/bench/src/cli.rs"));
+        // No false prefix matches on sibling names.
+        assert!(!in_determinism_scope("crates/runtime/src2/x.rs"));
+    }
+
+    #[test]
+    fn panic_free_and_env_scopes_are_exact_files() {
+        assert!(in_panic_free_scope("crates/server/src/protocol.rs"));
+        assert!(in_panic_free_scope("crates/runtime/src/cache.rs"));
+        assert!(!in_panic_free_scope("crates/server/src/server.rs"));
+        assert!(is_env_exempt("crates/bench/src/cli.rs"));
+        assert!(!is_env_exempt("crates/bench/src/lib.rs"));
+    }
+}

@@ -1,0 +1,189 @@
+//! The scan driver: file discovery, per-file analysis, suppression.
+//!
+//! [`scan_workspace`] walks the workspace's first-party source roots
+//! (`src/` and `crates/*/src/`, recursively — integration tests,
+//! benches, `vendor/` stand-ins, and `target/` are out of scope),
+//! analyzes each file, and folds the results into one [`Report`].
+//! Discovery sorts paths, so a report is byte-stable across runs and
+//! machines — the engine holds itself to the determinism bar it
+//! enforces.
+//!
+//! [`analyze_source`] is the per-file core, taking a *virtual*
+//! workspace-relative path plus source text. The fixture tests use it
+//! to exercise scoped rules without materializing files at the scoped
+//! locations.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::lex;
+use crate::pragma::parse_allows;
+use crate::report::{Diagnostic, Report};
+use crate::rules::{check_file, test_spans, FileCtx};
+
+/// Analyzes one file's source text as if it lived at `rel_path`
+/// (workspace-relative, `/`-separated). Returns the surviving
+/// diagnostics: rule hits not covered by an allow pragma, plus
+/// `bad-pragma` and `unused-allow` meta-diagnostics.
+pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let spans = test_spans(&lexed.tokens);
+    let ctx = FileCtx {
+        rel_path,
+        tokens: &lexed.tokens,
+        comments: &lexed.comments,
+        test_spans: &spans,
+    };
+    let raw = check_file(&ctx);
+    let (allows, mut out) = parse_allows(rel_path, &lexed.comments);
+
+    // Lines that carry code tokens, sorted, for standalone-pragma
+    // target resolution.
+    let mut code_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    code_lines.dedup();
+
+    // Resolve each pragma to its target line, then keep the
+    // diagnostics no pragma covers. A pragma is "used" when it
+    // suppressed at least one diagnostic of its rule on its target.
+    let targets: Vec<Option<u32>> = allows.iter().map(|a| a.target_line(&code_lines)).collect();
+    let mut used = vec![false; allows.len()];
+    for diag in raw {
+        let mut suppressed = false;
+        for (k, allow) in allows.iter().enumerate() {
+            if allow.rule == diag.rule && targets[k] == Some(diag.line) {
+                used[k] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(diag);
+        }
+    }
+    for (k, allow) in allows.iter().enumerate() {
+        if !used[k] {
+            out.push(Diagnostic {
+                rule: "unused-allow".to_string(),
+                file: rel_path.to_string(),
+                line: allow.line,
+                message: format!(
+                    "allow({}) suppresses nothing; delete the stale pragma (reason was: \
+                     \"{}\")",
+                    allow.rule, allow.reason
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+    out
+}
+
+/// Discovers the `.rs` files in scope under `root`, sorted for
+/// deterministic reports: `src/` and every `crates/<name>/src/` tree.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|x| x == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated rendering of `path` under `root`.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scans the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from discovery or reading; an unreadable
+/// tree is a scan failure, never a silently shorter report.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        diagnostics: Vec::new(),
+    };
+    for file in &files {
+        let source = std::fs::read_to_string(file)?;
+        let rel = rel_path(root, file);
+        report.diagnostics.extend(analyze_source(&rel, &source));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_pragma_suppresses_and_is_marked_used() {
+        let src = "\
+// adc-lint: allow(no-hash-collections) reason=\"keys sorted before iteration\"
+use std::collections::HashMap;
+fn f() {}
+";
+        let diags = analyze_source("crates/runtime/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_diagnosed() {
+        let src = "// adc-lint: allow(no-panic) reason=\"placeholder\"\nfn f() {}\n";
+        let diags = analyze_source("crates/server/src/protocol.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unused-allow");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn pragma_for_the_wrong_rule_does_not_suppress() {
+        let src = "\
+// adc-lint: allow(no-wallclock) reason=\"wrong rule\"
+use std::collections::HashMap;
+";
+        let diags = analyze_source("crates/runtime/src/x.rs", src);
+        // The real violation survives AND the pragma is unused.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.rule == "no-hash-collections"));
+        assert!(diags.iter().any(|d| d.rule == "unused-allow"));
+    }
+
+    #[test]
+    fn diagnostics_are_line_sorted() {
+        let src = "fn f() { let a = Instant::now(); }\nfn g() { let b = Instant::now(); }\n";
+        let diags = analyze_source("crates/bias/src/x.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].line < diags[1].line);
+    }
+}

@@ -1,0 +1,467 @@
+//! A small hand-written Rust lexer — just enough structure for lint
+//! rules to match on.
+//!
+//! The lexer splits source text into identifiers, number literals
+//! (distinguishing floats from integers), string/char literals,
+//! lifetimes, and punctuation, while collecting comments into a
+//! separate side channel (rules read comments for `// SAFETY:`
+//! annotations and `// adc-lint: allow(...)` pragmas). It understands
+//! the token-level subtleties that would otherwise produce false
+//! matches — nested block comments, raw strings (`r#"..."#`), byte and
+//! raw-byte strings, char literals vs. lifetimes, `0..8` ranges vs.
+//! float literals, and multi-character operators (`==` is one token,
+//! never `=` `=`).
+//!
+//! It deliberately does **not** parse: no syntax tree, no expressions.
+//! Rules match token subsequences, which keeps the engine ~free of
+//! grammar churn and fast enough to scan the workspace in milliseconds.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `let`, `unsafe`).
+    Ident,
+    /// Integer literal, any base (`42`, `0xEDB8_8320`, `1u64`).
+    Int,
+    /// Float literal (`1.0`, `1e6`, `2.5f64`, `1.`).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Punctuation / operator, multi-character ops pre-joined (`::`,
+    /// `==`, `..=`, `->`, single chars otherwise).
+    Punct,
+}
+
+/// One lexed token: kind, source text, and 1-based line number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Lexeme classification.
+    pub kind: TokenKind,
+    /// The exact source slice.
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), captured for SAFETY/pragma scanning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comment<'a> {
+    /// Comment body **without** the `//` / `/*` framing.
+    pub text: &'a str,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// `true` when code tokens precede the comment on its line (a
+    /// trailing comment annotates its own line; a standalone comment
+    /// annotates the next code line).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file: code tokens plus the comment side
+/// channel.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token<'a>>,
+    /// Comments in source order.
+    pub comments: Vec<Comment<'a>>,
+}
+
+/// Multi-character operators, longest first so maximal munch wins.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "=>",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src` into tokens and comments. Total over arbitrary input:
+/// malformed source never panics, it just tokenizes approximately
+/// (good enough — the workspace it scans does compile).
+pub fn lex(src: &str) -> Lexed<'_> {
+    Lexer {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+        line: 1,
+        last_token_line: 0,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    line: u32,
+    /// Line of the most recent code token (0 = none yet) — decides
+    /// whether a comment is trailing.
+    last_token_line: u32,
+    out: Lexed<'a>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        if c == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        c
+    }
+
+    fn push_token(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = self.text.get(start..self.pos).unwrap_or("");
+        self.out.tokens.push(Token { kind, text, line });
+        self.last_token_line = self.line;
+    }
+
+    fn run(mut self) -> Lexed<'a> {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' if self.peek(1) == b'"' || self.peek(1) == b'#' => self.raw_string(1),
+                b'b' if self.peek(1) == b'"' => self.string_from(1),
+                b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') => {
+                    self.raw_string(2)
+                }
+                b'"' => self.string_from(0),
+                b'\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if is_ident_start(c) => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_token_line == line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = self.text.get(start..self.pos).unwrap_or("");
+        self.out.comments.push(Comment {
+            text,
+            line,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_token_line == line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                end = self.pos;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        if depth > 0 {
+            end = self.pos; // unterminated: treat rest of file as comment
+        }
+        let text = self.text.get(start..end).unwrap_or("");
+        self.out.comments.push(Comment {
+            text,
+            line,
+            trailing,
+        });
+    }
+
+    /// Raw (optionally byte) string: `prefix_len` bytes of `r` / `br`
+    /// already identified.
+    fn raw_string(&mut self, prefix_len: usize) {
+        let start = self.pos;
+        let line = self.line;
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != b'"' {
+            // `r#foo` raw identifier, or stray `r#` — re-lex as ident.
+            self.pos = start;
+            self.ident();
+            return;
+        }
+        self.bump(); // opening quote
+        'scan: while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                let mut seen = 0usize;
+                while seen < hashes {
+                    if self.peek(0) == b'#' {
+                        self.bump();
+                        seen += 1;
+                    } else {
+                        continue 'scan;
+                    }
+                }
+                break;
+            }
+        }
+        self.push_token(TokenKind::Str, start, line);
+    }
+
+    /// Ordinary (optionally byte) string; `prefix_len` bytes of `b`
+    /// prefix already identified.
+    fn string_from(&mut self, prefix_len: usize) {
+        let start = self.pos;
+        let line = self.line;
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokenKind::Str, start, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // the quote
+                     // `'a` (no closing quote) is a lifetime; `'a'` is a char.
+        if is_ident_start(self.peek(0)) && self.peek(1) != b'\'' {
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.push_token(TokenKind::Lifetime, start, line);
+            return;
+        }
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokenKind::Char, start, line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut is_float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'b' | b'o') {
+            self.bump();
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            self.push_token(TokenKind::Int, start, line);
+            return;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // A dot makes it a float unless it starts `..` (range) or a
+        // method/field access (`1.to_string()`).
+        if self.peek(0) == b'.' && self.peek(1) != b'.' && !is_ident_start(self.peek(1)) {
+            is_float = true;
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(0), b'e' | b'E') {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            if sign.is_ascii_digit() || ((sign == b'+' || sign == b'-') && digit.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+                self.bump();
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`1.5f64`, `7u32`).
+        if is_ident_start(self.peek(0)) {
+            let suffix_start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let suffix = self.text.get(suffix_start..self.pos).unwrap_or("");
+            if suffix == "f32" || suffix == "f64" {
+                is_float = true;
+            }
+        }
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push_token(kind, start, line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        // Raw identifier prefix `r#`.
+        if self.peek(0) == b'r' && self.peek(1) == b'#' && is_ident_start(self.peek(2)) {
+            self.bump();
+            self.bump();
+        }
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        self.push_token(TokenKind::Ident, start, line);
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let rest = self.text.get(self.pos..).unwrap_or("");
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push_token(TokenKind::Punct, start, line);
+                return;
+            }
+        }
+        self.bump();
+        self.push_token(TokenKind::Punct, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).tokens.iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = kinds("a == b != c .. d ..= e :: f");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "..", "..=", "::"]);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("for i in 0..8 { x[1..3]; }");
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Float));
+    }
+
+    #[test]
+    fn float_forms_are_recognized() {
+        for src in ["1.0", "1.", "1e6", "10e6", "1.5e-3", "2f64", "1_000.5"] {
+            let toks = kinds(src);
+            assert_eq!(
+                toks,
+                vec![(TokenKind::Float, src)],
+                "{src} should lex as one float"
+            );
+        }
+        assert_eq!(kinds("0xEDB8_8320"), vec![(TokenKind::Int, "0xEDB8_8320")]);
+        assert_eq!(kinds("42u64"), vec![(TokenKind::Int, "42u64")]);
+    }
+
+    #[test]
+    fn method_call_on_int_literal_is_not_a_float() {
+        let toks = kinds("1.to_string()");
+        assert_eq!(toks[0], (TokenKind::Int, "1"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str; 'x'; '\\n'");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a"));
+        assert!(toks
+            .iter()
+            .any(|&(k, t)| k == TokenKind::Char && t == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|&(k, t)| k == TokenKind::Char && t == "'\\n'"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_rules() {
+        // An `unwrap()` inside a string must not produce an Ident token.
+        let toks = kinds(r#"let s = "x.unwrap()";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| { *k != TokenKind::Ident || (*t != "unwrap" && !t.contains("unwrap")) }));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex(r###"let s = r#"quote " inside"#; next"###);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "next"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_trailing_detection() {
+        let lexed = lex("let x = 1; /* outer /* inner */ still */\n// standalone\nlet y = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].text, " standalone");
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

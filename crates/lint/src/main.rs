@@ -1,0 +1,114 @@
+//! The `adc-lint` command line.
+//!
+//! ```text
+//! cargo run -p adc-lint --                 # report, exit 0 regardless
+//! cargo run -p adc-lint -- --deny         # exit 1 on any diagnostic (CI mode)
+//! cargo run -p adc-lint -- --json out.json
+//! cargo run -p adc-lint -- --list-rules
+//! ```
+//!
+//! The default root is the workspace containing this crate (resolved
+//! at compile time from `CARGO_MANIFEST_DIR`), so `cargo run -p
+//! adc-lint` does the right thing from any working directory;
+//! `--root DIR` overrides it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use adc_lint::{scan_workspace, RULES};
+
+const USAGE: &str = "\
+usage: adc-lint [--root DIR] [--json FILE] [--deny] [--list-rules]
+
+  --root DIR    workspace root to scan [default: this workspace]
+  --json FILE   also write the machine-readable report to FILE
+  --deny        exit non-zero when any diagnostic (including
+                unused-allow / bad-pragma) is produced
+  --list-rules  print the rule catalogue and exit
+  -h, --help    print this help
+";
+
+struct Cli {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    deny: bool,
+    list_rules: bool,
+}
+
+fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        root: default_root(),
+        json: None,
+        deny: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                cli.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--json" => {
+                cli.json = Some(PathBuf::from(it.next().ok_or("--json needs a value")?));
+            }
+            "--deny" => cli.deny = true,
+            "--list-rules" => cli.list_rules = true,
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(cli))
+}
+
+/// The workspace this binary was built in: `crates/lint/../..`.
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("adc-lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.list_rules {
+        for rule in RULES {
+            println!("{:<22} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match scan_workspace(&cli.root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("adc-lint: scan failed under {}: {err}", cli.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render_human());
+    if let Some(path) = &cli.json {
+        if let Err(err) = std::fs::write(path, report.to_json()) {
+            eprintln!("adc-lint: writing {} failed: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if cli.deny && !report.is_clean() {
+        eprintln!("adc-lint: failing under --deny");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

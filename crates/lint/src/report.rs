@@ -1,0 +1,415 @@
+//! Diagnostics and the machine-readable report.
+//!
+//! A [`Diagnostic`] is one rule violation at one `file:line`. A
+//! [`Report`] aggregates a whole scan and renders two ways: the
+//! compiler-style human listing (`file:line: [rule] message`) and a
+//! JSON document for tooling. The JSON codec is symmetric —
+//! [`Report::to_json`] / [`Report::from_json`] round-trip exactly,
+//! which the fixture tests assert — so CI artifacts can be parsed back
+//! without an external JSON dependency.
+
+use std::fmt::Write as _;
+
+/// One rule violation (or pragma problem) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`no-panic`, `float-eq`, ... or the meta rules
+    /// `unused-allow` / `bad-pragma`).
+    pub rule: String,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Compiler-style one-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of scanning a workspace (or a single virtual file).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// All diagnostics, ordered by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// `true` when the scan produced no diagnostics of any kind.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Human listing: one line per diagnostic plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}", d.render());
+        }
+        let _ = writeln!(
+            out,
+            "adc-lint: {} file(s) scanned, {} diagnostic(s)",
+            self.files_scanned,
+            self.diagnostics.len()
+        );
+        out
+    }
+
+    /// Serializes the report as a stable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_string(&d.rule),
+                json_string(&d.file),
+                d.line,
+                json_string(&d.message)
+            );
+        }
+        if self.diagnostics.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a document produced by [`Report::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem. The
+    /// parser accepts the subset of JSON the emitter produces (objects,
+    /// arrays, strings, integers, booleans) in any key order.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+        .parse_document()?;
+        let JsonValue::Object(fields) = value else {
+            return Err("top level is not an object".into());
+        };
+        let mut report = Report::default();
+        let mut clean: Option<bool> = None;
+        for (key, value) in fields {
+            match (key.as_str(), value) {
+                ("version", JsonValue::Number(1)) => {}
+                ("version", JsonValue::Number(v)) => {
+                    return Err(format!("unsupported report version {v}"));
+                }
+                ("files_scanned", JsonValue::Number(n)) => report.files_scanned = n as usize,
+                ("clean", JsonValue::Bool(b)) => clean = Some(b),
+                ("diagnostics", JsonValue::Array(items)) => {
+                    for item in items {
+                        report.diagnostics.push(diagnostic_from(item)?);
+                    }
+                }
+                (other, _) => return Err(format!("unexpected key {other:?}")),
+            }
+        }
+        if clean.is_some_and(|c| c != report.is_clean()) {
+            return Err("`clean` flag contradicts the diagnostics list".into());
+        }
+        Ok(report)
+    }
+}
+
+fn diagnostic_from(value: JsonValue) -> Result<Diagnostic, String> {
+    let JsonValue::Object(fields) = value else {
+        return Err("diagnostic is not an object".into());
+    };
+    let mut d = Diagnostic {
+        rule: String::new(),
+        file: String::new(),
+        line: 0,
+        message: String::new(),
+    };
+    for (key, value) in fields {
+        match (key.as_str(), value) {
+            ("rule", JsonValue::Str(s)) => d.rule = s,
+            ("file", JsonValue::Str(s)) => d.file = s,
+            ("line", JsonValue::Number(n)) => d.line = n as u32,
+            ("message", JsonValue::Str(s)) => d.message = s,
+            (other, _) => return Err(format!("unexpected diagnostic key {other:?}")),
+        }
+    }
+    if d.rule.is_empty() || d.file.is_empty() {
+        return Err("diagnostic missing rule or file".into());
+    }
+    Ok(d)
+}
+
+/// Escapes and quotes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (the emitter's subset: no floats, no null)
+// ---------------------------------------------------------------------------
+
+enum JsonValue {
+    Object(Vec<(String, JsonValue)>),
+    Array(Vec<JsonValue>),
+    Str(String),
+    Number(u64),
+    Bool(bool),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn parse_document(mut self) -> Result<JsonValue, String> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(value)
+    }
+
+    fn peek(&self) -> u8 {
+        self.bytes.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), b' ' | b'\t' | b'\r' | b'\n') {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", c as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(JsonValue::Str(self.parse_string()?)),
+            b't' | b'f' => self.parse_bool(),
+            c if c.is_ascii_digit() => self.parse_number(),
+            c => Err(format!("unexpected byte {c:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                c => return Err(format!("unexpected byte {c:?} in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                c => return Err(format!("unexpected byte {c:?} in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                0 => return Err("unterminated string".into()),
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek();
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or("bad \\u escape")?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self.peek().is_ascii_digit() {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| "bad number".into())
+    }
+
+    fn parse_bool(&mut self) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(JsonValue::Bool(true))
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(JsonValue::Bool(false))
+        } else {
+            Err("bad literal".into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            files_scanned: 3,
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "no-panic".into(),
+                    file: "crates/server/src/protocol.rs".into(),
+                    line: 42,
+                    message: "`.unwrap()` in a panic-free file".into(),
+                },
+                Diagnostic {
+                    rule: "float-eq".into(),
+                    file: "crates/analog/src/mos.rs".into(),
+                    line: 7,
+                    message: "float compared with `==` — quote \"and\\backslash\"".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = sample();
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = Report::default();
+        assert!(report.is_clean());
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        for bad in ["", "{", "[1,2", "{\"version\": 2}", "{\"x\": nope}"] {
+            assert!(Report::from_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn human_rendering_is_compiler_style() {
+        let text = sample().render_human();
+        assert!(text.contains("crates/server/src/protocol.rs:42: [no-panic]"));
+        assert!(text.contains("3 file(s) scanned, 2 diagnostic(s)"));
+    }
+}

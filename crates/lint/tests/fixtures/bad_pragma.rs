@@ -1,0 +1,5 @@
+//! Fixture: malformed pragmas are diagnosed, not ignored.
+pub fn f() -> u32 {
+    // adc-lint: allow(no-panic)
+    1
+}

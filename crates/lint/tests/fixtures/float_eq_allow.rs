@@ -1,0 +1,5 @@
+//! Fixture: an intentional exact comparison under an audited pragma.
+pub fn is_disabled(gain: f64) -> bool {
+    // adc-lint: allow(float-eq) reason="feature gate: gain is set to the exact literal 0.0 when disabled"
+    gain == 0.0
+}

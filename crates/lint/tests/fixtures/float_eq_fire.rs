@@ -1,0 +1,8 @@
+//! Fixture: exact float equality fires.
+pub fn is_disabled(gain: f64) -> bool {
+    gain == 0.0
+}
+
+pub fn never_true(x: f64) -> bool {
+    x == f64::NAN
+}

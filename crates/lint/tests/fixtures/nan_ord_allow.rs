@@ -1,0 +1,6 @@
+//! Fixture: a NaN-unsafe ordering under an audited pragma (the right
+//! fix is `f64::total_cmp`; the pragma records why this site cannot).
+pub fn sort(values: &mut Vec<f64>) {
+    // adc-lint: allow(nan-ord) reason="inputs proven finite by the caller's validation pass"
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,4 @@
+//! Fixture: NaN-unsafe ordering fires.
+pub fn sort(values: &mut Vec<f64>) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

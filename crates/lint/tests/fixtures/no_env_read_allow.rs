@@ -1,0 +1,5 @@
+//! Fixture: an env read under an audited pragma is suppressed.
+pub fn legacy_knob() -> Option<String> {
+    // adc-lint: allow(no-env-read) reason="migration shim until the knob moves to CampaignArgs"
+    std::env::var("ADC_LEGACY").ok()
+}

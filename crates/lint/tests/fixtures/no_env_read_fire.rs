@@ -1,0 +1,7 @@
+//! Fixture: an env read outside crates/bench/src/cli.rs fires.
+pub fn threads() -> usize {
+    std::env::var("ADC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,7 @@
+//! Fixture: a hash set whose contents never drive iteration order,
+//! under an audited pragma.
+pub fn distinct(keys: &[u64]) -> usize {
+    // adc-lint: allow(no-hash-collections) reason="cardinality check only; never iterated"
+    let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+    set.len()
+}

@@ -1,0 +1,10 @@
+//! Fixture: hash collections in a determinism-scoped crate fire.
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u64]) -> usize {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m.len()
+}

@@ -1,0 +1,9 @@
+//! Fixture: panics and indexing in a panic-free file fire.
+pub fn decode(bytes: &[u8]) -> u16 {
+    let first = bytes[0];
+    let second = bytes.get(1).copied().unwrap();
+    if first > 0x7F {
+        panic!("bad tag");
+    }
+    u16::from_le_bytes([first, second])
+}

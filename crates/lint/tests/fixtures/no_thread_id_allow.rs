@@ -1,0 +1,7 @@
+//! Fixture: thread identity under an audited pragma is suppressed.
+use std::thread;
+
+pub fn debug_label() -> String {
+    // adc-lint: allow(no-thread-id) reason="log label only; results are keyed by job id"
+    format!("{:?}", thread::current().id())
+}

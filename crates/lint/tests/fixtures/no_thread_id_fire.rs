@@ -1,0 +1,7 @@
+//! Fixture: branching on thread identity fires.
+use std::thread;
+
+pub fn worker_salt() -> u64 {
+    let id = thread::current().id();
+    format!("{id:?}").len() as u64
+}

@@ -1,0 +1,8 @@
+//! Fixture: the same read under an audited pragma is suppressed.
+use std::time::Instant;
+
+pub fn job_wall_time() -> std::time::Duration {
+    // adc-lint: allow(no-wallclock) reason="wall-time metric only; never feeds results"
+    let start = Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,7 @@
+//! Fixture: `Instant::now()` in a determinism-scoped crate fires.
+use std::time::Instant;
+
+pub fn seed_from_clock() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,5 @@
+//! Fixture: an `unsafe` excused by pragma instead of annotation.
+pub fn transmute_bits(x: u64) -> f64 {
+    // adc-lint: allow(safety-comment) reason="bit-pattern transmute u64->f64 is always valid"
+    unsafe { std::mem::transmute(x) }
+}

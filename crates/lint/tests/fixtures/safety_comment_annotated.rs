@@ -1,0 +1,6 @@
+//! Fixture: the idiomatic fix — a `// SAFETY:` comment satisfies the
+//! rule with no pragma.
+pub fn transmute_bits(x: u64) -> f64 {
+    // SAFETY: every u64 bit pattern is a valid f64 (possibly NaN).
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,4 @@
+//! Fixture: an unannotated `unsafe` block fires.
+pub fn transmute_bits(x: u64) -> f64 {
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,22 @@
+//! Fixture: `#[cfg(test)]` items may panic, hash, and read the
+//! environment freely — the invariants bind shipped code only.
+pub fn shipped() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let t = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1u64, std::env::var("HOME").unwrap());
+        assert!(t.elapsed().as_secs() < 1.0 as u64 && 0.0 == 0.0);
+        let x: Vec<f64> = vec![2.0, 1.0];
+        let mut y = x.clone();
+        y.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}

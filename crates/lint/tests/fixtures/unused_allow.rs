@@ -1,0 +1,5 @@
+//! Fixture: a pragma that suppresses nothing is itself diagnosed.
+pub fn clean() -> u32 {
+    // adc-lint: allow(no-panic) reason="stale: the unwrap below was removed"
+    42
+}

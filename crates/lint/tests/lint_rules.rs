@@ -1,0 +1,204 @@
+//! Fixture tests: every rule has a firing fixture and a
+//! pragma-suppressed fixture, misuse of the pragma machinery is
+//! itself diagnosed, and the JSON report round-trips.
+//!
+//! Fixtures live in `tests/fixtures/` and are analyzed under *virtual*
+//! workspace paths, so scoped rules (determinism crates, panic-free
+//! files) can be exercised without materializing files at the scoped
+//! locations. The `fail_on_regression` tests are the acceptance demo:
+//! the real `protocol.rs`, as committed, is clean — and injecting one
+//! `unwrap()` (or deleting one `// SAFETY:` comment from the annotated
+//! fixture) flips the verdict.
+
+use std::path::PathBuf;
+
+use adc_lint::{analyze_source, Diagnostic, Report, RULES};
+
+/// A virtual path inside a determinism-scoped crate.
+const DET: &str = "crates/runtime/src/fixture.rs";
+/// A virtual path with panic-freedom enforced.
+const PANIC_FREE: &str = "crates/server/src/protocol.rs";
+/// A virtual path with no special scope (float/nan/safety rules only).
+const PLAIN: &str = "crates/server/src/fixture.rs";
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+}
+
+fn rules_hit(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule.as_str()).collect()
+}
+
+/// (rule, firing fixture, allowed fixture, virtual path) — one row per
+/// rule, so adding a rule without fixtures fails the coverage test.
+const MATRIX: &[(&str, &str, &str, &str)] = &[
+    (
+        "no-wallclock",
+        "no_wallclock_fire.rs",
+        "no_wallclock_allow.rs",
+        DET,
+    ),
+    (
+        "no-thread-id",
+        "no_thread_id_fire.rs",
+        "no_thread_id_allow.rs",
+        DET,
+    ),
+    (
+        "no-hash-collections",
+        "no_hash_collections_fire.rs",
+        "no_hash_collections_allow.rs",
+        DET,
+    ),
+    (
+        "no-env-read",
+        "no_env_read_fire.rs",
+        "no_env_read_allow.rs",
+        PLAIN,
+    ),
+    (
+        "no-panic",
+        "no_panic_fire.rs",
+        "no_panic_allow.rs",
+        PANIC_FREE,
+    ),
+    ("float-eq", "float_eq_fire.rs", "float_eq_allow.rs", PLAIN),
+    ("nan-ord", "nan_ord_fire.rs", "nan_ord_allow.rs", PLAIN),
+    (
+        "safety-comment",
+        "safety_comment_fire.rs",
+        "safety_comment_allow.rs",
+        PLAIN,
+    ),
+];
+
+#[test]
+fn every_rule_fires_on_its_fixture() {
+    for (rule, fire, _, path) in MATRIX {
+        let diags = analyze_source(path, &fixture(fire));
+        assert!(
+            diags.iter().any(|d| d.rule == *rule),
+            "{fire} under {path} should fire {rule}; got {:?}",
+            rules_hit(&diags)
+        );
+        // A firing fixture must not trip the meta rules: its pragmaless
+        // diagnostics are genuine.
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.rule != "unused-allow" && d.rule != "bad-pragma"),
+            "{fire}: {:?}",
+            rules_hit(&diags)
+        );
+    }
+}
+
+#[test]
+fn every_rule_is_suppressed_by_its_allow_fixture() {
+    for (rule, _, allow, path) in MATRIX {
+        let diags = analyze_source(path, &fixture(allow));
+        assert!(
+            diags.is_empty(),
+            "{allow} under {path} should be clean (pragma suppresses {rule}); got {:?}",
+            rules_hit(&diags)
+        );
+    }
+}
+
+#[test]
+fn matrix_covers_the_whole_catalogue() {
+    let covered: Vec<&str> = MATRIX.iter().map(|(rule, ..)| *rule).collect();
+    for rule in RULES {
+        assert!(
+            covered.contains(&rule.id),
+            "rule {} has no fixture row — add firing and allowed fixtures",
+            rule.id
+        );
+    }
+    assert_eq!(covered.len(), RULES.len(), "stale fixture rows");
+}
+
+#[test]
+fn scope_exemptions_hold() {
+    // The env-read fixture is clean when it *is* the CLI module…
+    let env_src = fixture("no_env_read_fire.rs");
+    assert!(analyze_source("crates/bench/src/cli.rs", &env_src).is_empty());
+    // …and determinism fixtures are clean outside determinism scope.
+    let clock_src = fixture("no_wallclock_fire.rs");
+    assert!(analyze_source("crates/server/src/metrics.rs", &clock_src).is_empty());
+}
+
+#[test]
+fn safety_comment_annotation_is_the_pragmaless_fix() {
+    let diags = analyze_source(PLAIN, &fixture("safety_comment_annotated.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_hit(&diags));
+}
+
+#[test]
+fn deleting_the_safety_comment_flips_the_verdict() {
+    let annotated = fixture("safety_comment_annotated.rs");
+    let stripped: String = annotated
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("// SAFETY:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let diags = analyze_source(PLAIN, &stripped);
+    assert_eq!(rules_hit(&diags), vec!["safety-comment"]);
+}
+
+#[test]
+fn unused_allow_is_reported() {
+    let diags = analyze_source(PANIC_FREE, &fixture("unused_allow.rs"));
+    assert_eq!(rules_hit(&diags), vec!["unused-allow"]);
+}
+
+#[test]
+fn bad_pragma_is_reported() {
+    let diags = analyze_source(PANIC_FREE, &fixture("bad_pragma.rs"));
+    assert_eq!(rules_hit(&diags), vec!["bad-pragma"]);
+}
+
+#[test]
+fn cfg_test_items_are_fully_exempt() {
+    let diags = analyze_source(DET, &fixture("test_mod_skipped.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_hit(&diags));
+}
+
+#[test]
+fn the_committed_protocol_file_is_clean_and_one_unwrap_breaks_it() {
+    let real = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../server/src/protocol.rs");
+    let source = std::fs::read_to_string(&real).unwrap();
+    let clean = analyze_source(PANIC_FREE, &source);
+    assert!(
+        clean.is_empty(),
+        "committed protocol.rs must be lint-clean: {:?}",
+        rules_hit(&clean)
+    );
+    // Inject a single unwrap into non-test code (appended after the
+    // test module, which ends the file): the file must now fail.
+    let broken = format!("{source}\nfn injected(x: Option<u8>) -> u8 {{ x.unwrap() }}\n");
+    let diags = analyze_source(PANIC_FREE, &broken);
+    assert_eq!(
+        rules_hit(&diags),
+        vec!["no-panic"],
+        "one unwrap() must produce exactly one no-panic diagnostic"
+    );
+}
+
+#[test]
+fn fixture_reports_round_trip_through_json() {
+    let mut diagnostics = Vec::new();
+    for (_, fire, _, path) in MATRIX {
+        diagnostics.extend(analyze_source(path, &fixture(fire)));
+    }
+    let report = Report {
+        files_scanned: MATRIX.len(),
+        diagnostics,
+    };
+    assert!(!report.is_clean());
+    let parsed = Report::from_json(&report.to_json()).expect("emitted JSON must parse");
+    assert_eq!(parsed, report, "JSON round-trip must be lossless");
+}

@@ -1,0 +1,49 @@
+//! The meta-test: the live workspace is lint-clean.
+//!
+//! This is the same assertion `ci.sh` makes via `adc-lint --deny`,
+//! but wired into `cargo test` so a violation fails the ordinary test
+//! suite too — nobody has to remember to run the binary.
+
+use std::path::PathBuf;
+
+use adc_lint::scan_workspace;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn live_workspace_has_no_diagnostics() {
+    let report = scan_workspace(&workspace_root()).expect("scan must succeed");
+    assert!(
+        report.is_clean(),
+        "the workspace must be lint-clean:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn scan_covers_the_whole_first_party_tree() {
+    let report = scan_workspace(&workspace_root()).expect("scan must succeed");
+    // 100+ first-party sources today; a collapse of the discovery walk
+    // (wrong root, missed crates/) would show up as a tiny count long
+    // before it shows up as missed violations.
+    assert!(
+        report.files_scanned >= 80,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn scan_is_deterministic() {
+    let root = workspace_root();
+    let a = scan_workspace(&root).expect("scan must succeed");
+    let b = scan_workspace(&root).expect("scan must succeed");
+    assert_eq!(a, b, "two scans of the same tree must be identical");
+    assert_eq!(a.to_json(), b.to_json());
+}

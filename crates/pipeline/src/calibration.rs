@@ -126,6 +126,7 @@ fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
                 continue;
             }
             let f = a[row][col] / p;
+            // adc-lint: allow(float-eq) reason="exact-zero elimination skip; a zero factor contributes nothing to the row update"
             if f == 0.0 {
                 continue;
             }

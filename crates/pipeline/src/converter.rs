@@ -425,6 +425,7 @@ impl PipelineAdc {
         let mut x = self.front_end.sample(v, dvdt, period, &mut self.noise);
         x += self.noise.gaussian(0.0, self.aux_noise_rms_v);
         // Finite PSRR couples supply ripple into the signal path.
+        // adc-lint: allow(float-eq) reason="feature gate: ripple injection is configured exactly 0.0 when disabled"
         if self.ripple_referred_v != 0.0 {
             let t = self.sample_count as f64 * period;
             x += self.ripple_referred_v

@@ -38,9 +38,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod calibration;
 pub mod clocking;
 pub mod config;

@@ -10,7 +10,7 @@
 //! [`CacheCodec`], which encodes floats as IEEE-754 bit patterns so a
 //! cache hit is *bit-identical* to the computation it replaced.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -105,13 +105,27 @@ impl<T: CacheCodec> CacheCodec for Vec<T> {
 
 /// A content-addressed result store: in-memory, optionally mirrored to
 /// a directory of `<campaign>.cache` files (`key<TAB>value` lines).
+/// Backed by a `BTreeMap`, so persistence iterates in key order with
+/// no hash-seed dependence — a written cache file is byte-stable.
 #[derive(Debug, Default)]
 pub struct ResultCache {
     dir: Option<PathBuf>,
-    mem: Mutex<HashMap<u64, String>>,
+    mem: Mutex<BTreeMap<u64, String>>,
 }
 
 impl ResultCache {
+    /// Acquires the store, recovering from poisoning: a poisoned lock
+    /// only means another thread panicked mid-operation, and every
+    /// operation here leaves the map itself valid (single `insert` /
+    /// `get` calls), so the data is safe to keep using. This keeps the
+    /// cache panic-free by construction — a worker panic can never
+    /// cascade into a cache panic.
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, String>> {
+        self.mem
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// A process-local cache with no persistence.
     pub fn in_memory() -> Self {
         Self::default()
@@ -127,7 +141,7 @@ impl ResultCache {
         std::fs::create_dir_all(&dir)?;
         Ok(Self {
             dir: Some(dir.as_ref().to_path_buf()),
-            mem: Mutex::new(HashMap::new()),
+            mem: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -153,7 +167,7 @@ impl ResultCache {
         let Ok(text) = std::fs::read_to_string(path) else {
             return;
         };
-        let mut mem = self.mem.lock().expect("cache lock");
+        let mut mem = self.lock();
         for line in text.lines() {
             if let Some((key, value)) = line.split_once('\t') {
                 if let Ok(key) = key.parse::<u64>() {
@@ -165,19 +179,19 @@ impl ResultCache {
 
     /// Looks up a previously stored value.
     pub fn get<T: CacheCodec>(&self, key: u64) -> Option<T> {
-        let mem = self.mem.lock().expect("cache lock");
+        let mem = self.lock();
         mem.get(&key).and_then(|line| T::decode(line))
     }
 
     /// Stores a value under `key`.
     pub fn put<T: CacheCodec>(&self, key: u64, value: &T) {
-        let mut mem = self.mem.lock().expect("cache lock");
+        let mut mem = self.lock();
         mem.insert(key, value.encode());
     }
 
     /// Number of entries currently held in memory.
     pub fn len(&self) -> usize {
-        self.mem.lock().expect("cache lock").len()
+        self.lock().len()
     }
 
     /// `true` when no entries are held.
@@ -194,11 +208,9 @@ impl ResultCache {
         let Some(path) = self.campaign_file(campaign) else {
             return Ok(());
         };
-        let mem = self.mem.lock().expect("cache lock");
-        let mut entries: Vec<_> = mem.iter().collect();
-        entries.sort_by_key(|(k, _)| **k);
+        let mem = self.lock();
         let mut out = String::new();
-        for (key, value) in entries {
+        for (key, value) in mem.iter() {
             out.push_str(&format!("{key}\t{value}\n"));
         }
         std::fs::write(path, out)

@@ -141,7 +141,7 @@ impl<I> Campaign<I> {
             retries: self.retries,
             observers: &self.observers,
         };
-        let start = Instant::now();
+        let start = Instant::now(); // adc-lint: allow(no-wallclock) reason="campaign wall-time for the summary line; never feeds results"
         let (values, reports) = pool::execute(&cfg, &self.inputs, &worker);
         let wall = start.elapsed();
         let summary = CampaignSummary {

@@ -88,6 +88,7 @@ impl JobCtx {
             id,
             seed: derive_seed(campaign_seed, id.0),
             attempt,
+            // adc-lint: allow(no-wallclock) reason="deadline arming; a timeout aborts a job, it never alters a completed result"
             deadline: timeout.map(|t| Instant::now() + t),
             cancelled,
             samples: Arc::new(AtomicU64::new(0)),
@@ -119,6 +120,7 @@ impl JobCtx {
     /// point) and return [`JobError::TimedOut`]; the runtime cannot
     /// preempt a compute-bound thread without forfeiting determinism.
     pub fn timed_out(&self) -> bool {
+        // adc-lint: allow(no-wallclock) reason="deadline polling; a timeout aborts a job, it never alters a completed result"
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 

@@ -46,8 +46,6 @@
 //! - [`submit`] — [`JobPool`], the long-lived submission pool behind
 //!   serving workloads (`adc-server`).
 
-#![warn(missing_docs)]
-
 pub mod cache;
 pub mod campaign;
 pub mod job;

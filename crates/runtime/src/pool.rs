@@ -82,7 +82,7 @@ fn run_job<I, T>(
         for obs in cfg.observers {
             obs.on_job_start(id, attempt);
         }
-        let start = Instant::now();
+        let start = Instant::now(); // adc-lint: allow(no-wallclock) reason="wall-time metric for observer reports; never feeds job results"
         let (result, samples) = run_attempt(worker, &ctx, input);
         let wall = start.elapsed();
         total_samples += samples;

@@ -195,7 +195,7 @@ impl JobPool {
             for obs in observers.iter() {
                 obs.on_job_start(id, 1);
             }
-            let start = Instant::now();
+            let start = Instant::now(); // adc-lint: allow(no-wallclock) reason="wall-time metric for observer reports; never feeds job results"
             let outcome = catch_unwind(AssertUnwindSafe(|| work(&ctx)));
             let wall = start.elapsed();
             let (value, error) = match outcome {

@@ -104,6 +104,19 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Reads the `N`-byte little-endian field at `offset`, or `Truncated`.
+///
+/// This is the panic-free backbone of frame parsing: every fixed-width
+/// header access goes through a bounds-checked `get` and an infallible
+/// array conversion, so no byte layout can reach a slice-index panic.
+fn field<const N: usize>(bytes: &[u8], offset: usize) -> Result<[u8; N], WireError> {
+    offset
+        .checked_add(N)
+        .and_then(|end| bytes.get(offset..end))
+        .and_then(|slice| <[u8; N]>::try_from(slice).ok())
+        .ok_or(WireError::Truncated)
+}
+
 // ---------------------------------------------------------------------------
 // Payload reader/writer
 // ---------------------------------------------------------------------------
@@ -170,24 +183,28 @@ impl<'a> PayloadReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(WireError::Truncated);
-        }
-        let slice = &self.buf[self.pos..end];
+        let slice = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
         Ok(slice)
     }
 
+    /// Takes `N` bytes as a fixed array (total: short input is
+    /// `Truncated`, never a panic).
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        <[u8; N]>::try_from(self.take(N)?).map_err(|_| WireError::Truncated)
+    }
+
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [byte] = self.array()?;
+        Ok(byte)
     }
 
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     pub fn f64(&mut self) -> Result<f64, WireError> {
@@ -203,14 +220,16 @@ impl<'a> PayloadReader<'a> {
     pub fn samples(&mut self) -> Result<Vec<u16>, WireError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len.checked_mul(2).ok_or(WireError::Truncated)?)?;
-        Ok(bytes
-            .chunks_exact(2)
-            .map(|c| u16::from_le_bytes([c[0], c[1]]))
-            .collect())
+        let mut codes = Vec::with_capacity(len);
+        for pair in bytes.chunks_exact(2) {
+            let code = <[u8; 2]>::try_from(pair).map_err(|_| WireError::Truncated)?;
+            codes.push(u16::from_le_bytes(code));
+        }
+        Ok(codes)
     }
 
     pub fn finish(self) -> Result<(), WireError> {
-        let left = self.buf.len() - self.pos;
+        let left = self.buf.len().saturating_sub(self.pos);
         if left == 0 {
             Ok(())
         } else {
@@ -761,39 +780,40 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
 /// Validates framing (magic, version, size bound, CRC) and returns the
 /// frame kind and payload slice.
 fn check_frame(bytes: &[u8], max_payload: u32) -> Result<(u8, &[u8]), WireError> {
-    if bytes.len() < HEADER_LEN + 4 {
-        return Err(WireError::Truncated);
-    }
-    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("len 4"));
+    let magic = u32::from_le_bytes(field(bytes, 0)?);
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("len 2"));
+    let version = u16::from_le_bytes(field(bytes, 4)?);
     if version != VERSION {
         return Err(WireError::BadVersion(version));
     }
-    let kind = bytes[6];
-    let declared = u32::from_le_bytes(bytes[7..11].try_into().expect("len 4"));
+    let [kind] = field(bytes, 6)?;
+    let declared = u32::from_le_bytes(field(bytes, 7)?);
     if declared > max_payload {
         return Err(WireError::Oversize {
             declared,
             max: max_payload,
         });
     }
-    let total = HEADER_LEN + declared as usize + 4;
+    let body_len = HEADER_LEN + declared as usize;
+    let total = body_len + 4;
     if bytes.len() < total {
         return Err(WireError::Truncated);
     }
     if bytes.len() > total {
         return Err(WireError::TrailingBytes(bytes.len() - total));
     }
-    let body = &bytes[..HEADER_LEN + declared as usize];
-    let received = u32::from_le_bytes(bytes[total - 4..total].try_into().expect("len 4"));
+    let body = bytes.get(..body_len).ok_or(WireError::Truncated)?;
+    let received = u32::from_le_bytes(field(bytes, body_len)?);
     let computed = crc32(body);
     if computed != received {
         return Err(WireError::BadCrc { computed, received });
     }
-    Ok((kind, &bytes[HEADER_LEN..HEADER_LEN + declared as usize]))
+    let payload = bytes
+        .get(HEADER_LEN..body_len)
+        .ok_or(WireError::Truncated)?;
+    Ok((kind, payload))
 }
 
 /// Decodes one complete request frame from a byte slice.
@@ -855,16 +875,16 @@ pub fn read_frame<R: Read>(
 ) -> Result<(u8, Vec<u8>), FrameReadError> {
     let mut header = [0u8; HEADER_LEN];
     reader.read_exact(&mut header)?;
-    let magic = u32::from_le_bytes(header[0..4].try_into().expect("len 4"));
+    let magic = u32::from_le_bytes(field(&header, 0)?);
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic).into());
     }
-    let version = u16::from_le_bytes(header[4..6].try_into().expect("len 2"));
+    let version = u16::from_le_bytes(field(&header, 4)?);
     if version != VERSION {
         return Err(WireError::BadVersion(version).into());
     }
-    let kind = header[6];
-    let declared = u32::from_le_bytes(header[7..11].try_into().expect("len 4"));
+    let [kind] = field(&header, 6)?;
+    let declared = u32::from_le_bytes(field(&header, 7)?);
     if declared > max_payload {
         return Err(WireError::Oversize {
             declared,
@@ -875,10 +895,10 @@ pub fn read_frame<R: Read>(
     let mut rest = vec![0u8; declared as usize + 4];
     reader.read_exact(&mut rest)?;
     let payload_end = declared as usize;
-    let received = u32::from_le_bytes(rest[payload_end..].try_into().expect("len 4"));
+    let received = u32::from_le_bytes(field(&rest, payload_end)?);
     let mut crc_input = Vec::with_capacity(HEADER_LEN + payload_end);
     crc_input.extend_from_slice(&header);
-    crc_input.extend_from_slice(&rest[..payload_end]);
+    crc_input.extend_from_slice(rest.get(..payload_end).ok_or(WireError::Truncated)?);
     let computed = crc32(&crc_input);
     if computed != received {
         return Err(WireError::BadCrc { computed, received }.into());

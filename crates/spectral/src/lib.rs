@@ -30,9 +30,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod complex;
 pub mod fft;
 pub mod goertzel;

@@ -29,9 +29,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod datasheet;
 pub mod experiments;
 pub mod filter;
