@@ -1,56 +1,140 @@
 #!/usr/bin/env bash
 # CI gate for the pipeline-adc workspace. Run from the repo root:
 #
-#   ./ci.sh
+#   ./ci.sh                    # every stage, in order
+#   ./ci.sh fmt clippy lint    # just the named stages
+#   ./ci.sh --deny-perf        # perf regressions fail the build
 #
-# Stages:
-#   1. cargo fmt    -- formatting is enforced, not advisory
-#   2. cargo clippy -- workspace-wide, all targets, warnings are errors
-#   3. adc-lint     -- workspace-native static analysis (DESIGN.md §10):
-#      the determinism / panic-freedom / float-discipline invariants are
-#      checked at the source level; any diagnostic, stale allow pragma,
-#      or malformed pragma fails the build under --deny
-#   4. release build
-#   5. full test suite (unit + integration + property tests)
-#   6. cross-profile determinism anchor: the `determinism` integration
-#      test runs in debug AND release against one shared
-#      ADC_DETERMINISM_HASH_FILE, so "debug and release produce
-#      bit-identical campaign results" is an asserted property, not an
-#      assumption. The first profile records the campaign digest; the
-#      second must reproduce it exactly.
-#   7. service loopback gate: the `service` integration suite (real TCP
-#      server, concurrent clients, bit-identity vs in-process records)
-#      re-runs in release under a hard wall-clock guard — a hung drain
-#      or deadlocked backpressure queue fails CI instead of wedging it.
+# Stages (each is timed; a wall-clock summary table prints on exit):
+#   fmt         -- formatting is enforced, not advisory
+#   clippy      -- workspace-wide, all targets, warnings are errors
+#   lint        -- adc-lint workspace-native static analysis (DESIGN.md
+#                  §10): determinism / panic-freedom / float-discipline
+#                  invariants at source level; any diagnostic, stale
+#                  allow pragma, or malformed pragma fails under --deny
+#   build       -- release build of the whole workspace
+#   test        -- full test suite (unit + integration + property)
+#   determinism -- cross-profile anchor: the `determinism` integration
+#                  test runs in debug AND release against one shared
+#                  ADC_DETERMINISM_HASH_FILE, so "debug and release
+#                  produce bit-identical campaign results" is asserted,
+#                  not assumed
+#   service     -- loopback gate: the `service` suite (real TCP server,
+#                  concurrent clients, bit-identity vs in-process
+#                  records) re-runs in release under a hard wall-clock
+#                  guard — a hung drain fails CI instead of wedging it
+#   perf        -- regression gate: regenerates BENCH_runtime.json and
+#                  BENCH_service.json in a scratch dir and diffs them
+#                  against the baselines committed at HEAD with
+#                  `bench_compare` (±30% on samples/sec and p99
+#                  latency, exempt across differing host_cpus).
+#                  Advisory by default; fatal under --deny-perf.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+ALL_STAGES=(fmt clippy lint build test determinism service perf)
+DENY_PERF=0
+SELECTED=()
+for arg in "$@"; do
+  case "$arg" in
+    --deny-perf) DENY_PERF=1 ;;
+    -h|--help)
+      echo "usage: ./ci.sh [--deny-perf] [stage ...]"
+      echo "stages: ${ALL_STAGES[*]}"
+      exit 0
+      ;;
+    -*) echo "unknown flag: $arg (try --help)" >&2; exit 2 ;;
+    *)
+      case " ${ALL_STAGES[*]} " in
+        *" $arg "*) SELECTED+=("$arg") ;;
+        *) echo "unknown stage: $arg (stages: ${ALL_STAGES[*]})" >&2; exit 2 ;;
+      esac
+      ;;
+  esac
+done
+[ ${#SELECTED[@]} -eq 0 ] && SELECTED=("${ALL_STAGES[@]}")
+
 say() { printf '\n==> %s\n' "$*"; }
 
-say "fmt check"
-cargo fmt --all --check
+SCRATCH=$(mktemp -d)
+TIMINGS=()
+CURRENT_STAGE=""
+CURRENT_START=0
 
-say "clippy (workspace, all targets, -D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+summary() {
+  status=$?
+  if [ -n "$CURRENT_STAGE" ]; then
+    TIMINGS+=("$CURRENT_STAGE $(( $(date +%s) - CURRENT_START )) FAILED")
+  fi
+  if [ ${#TIMINGS[@]} -gt 0 ]; then
+    printf '\n%-14s %8s  %s\n' "stage" "wall (s)" "status"
+    for row in "${TIMINGS[@]}"; do
+      # shellcheck disable=SC2086
+      printf '%-14s %8s  %s\n' $row
+    done
+  fi
+  rm -rf "$SCRATCH"
+  exit $status
+}
+trap summary EXIT
 
-say "adc-lint (project invariants: determinism, panic-freedom, float discipline)"
-cargo run -q -p adc-lint -- --deny
+stage_fmt() {
+  cargo fmt --all --check
+}
 
-say "release build"
-cargo build --release --workspace
+stage_clippy() {
+  cargo clippy --workspace --all-targets -- -D warnings
+}
 
-say "tests (tier 1: umbrella crate, then the full workspace)"
-cargo test -q
-cargo test -q --workspace
+stage_lint() {
+  cargo run -q -p adc-lint -- --deny
+}
 
-say "cross-profile determinism (debug vs release, shared hash file)"
-hash_file=$(mktemp)
-trap 'rm -f "$hash_file"' EXIT
-ADC_DETERMINISM_HASH_FILE=$hash_file cargo test -q --test determinism
-ADC_DETERMINISM_HASH_FILE=$hash_file cargo test -q --release --test determinism
-say "determinism digest: $(cat "$hash_file")"
+stage_build() {
+  cargo build --release --workspace
+}
 
-say "service loopback gate (release, 300 s wall-clock guard)"
-timeout 300 cargo test -q --release --test service
+stage_test() {
+  cargo test -q
+  cargo test -q --workspace
+}
+
+stage_determinism() {
+  hash_file="$SCRATCH/determinism.hash"
+  rm -f "$hash_file"
+  ADC_DETERMINISM_HASH_FILE=$hash_file cargo test -q --test determinism
+  ADC_DETERMINISM_HASH_FILE=$hash_file cargo test -q --release --test determinism
+  echo "determinism digest: $(cat "$hash_file")"
+}
+
+stage_service() {
+  timeout 300 cargo test -q --release --test service
+}
+
+stage_perf() {
+  baseline="$SCRATCH/baseline"
+  fresh="$SCRATCH/fresh"
+  mkdir -p "$baseline" "$fresh"
+  if ! git show HEAD:BENCH_runtime.json > "$baseline/BENCH_runtime.json" 2>/dev/null ||
+     ! git show HEAD:BENCH_service.json > "$baseline/BENCH_service.json" 2>/dev/null; then
+    echo "no committed BENCH baselines at HEAD; skipping perf gate"
+    return 0
+  fi
+  cargo build --release -q -p adc-bench --bins
+  bin_dir="$PWD/target/release"
+  (cd "$fresh" && "$bin_dir/bench_runtime" && "$bin_dir/bench_service")
+  deny_flag=()
+  [ "$DENY_PERF" = 1 ] && deny_flag=(--deny-perf)
+  "$bin_dir/bench_compare" --baseline-dir "$baseline" --fresh-dir "$fresh" "${deny_flag[@]}"
+}
+
+for stage in "${SELECTED[@]}"; do
+  say "$stage"
+  CURRENT_STAGE="$stage"
+  CURRENT_START=$(date +%s)
+  "stage_$stage"
+  TIMINGS+=("$stage $(( $(date +%s) - CURRENT_START )) ok")
+  CURRENT_STAGE=""
+done
 
 say "CI green"

@@ -9,7 +9,7 @@
 //! down the bias axis.
 //!
 //! The (scheme, derating) grid runs as one campaign under
-//! [`adc_bench::campaign_policy`]: points fan out across `ADC_THREADS`
+//! [`adc_bench::campaign_setup`]: points fan out across `ADC_THREADS`
 //! workers and land in the `ADC_CACHE_DIR` point cache, so re-running
 //! after touching one derating recomputes only that point.
 
@@ -37,7 +37,8 @@ fn main() {
         })
         .collect();
 
-    let points = adc_bench::campaign_policy()
+    let (policy, _trace) = adc_bench::campaign_setup();
+    let points = policy
         .measure_campaign(
             "ablation-clocking",
             &(GOLDEN_SEED, &base),

@@ -1,0 +1,369 @@
+//! Perf-regression gate: diffs freshly generated `BENCH_runtime.json`
+//! and `BENCH_service.json` against committed baselines.
+//!
+//! ```text
+//! bench_compare [--baseline-dir DIR] [--fresh-dir DIR]
+//!               [--tolerance PCT] [--deny-perf]
+//! ```
+//!
+//! For every campaign in the runtime report the parallel `samples_per_sec`
+//! is compared, and for the service report `samples_per_sec` plus the
+//! client p99 latency. A figure regresses when it is worse than the
+//! baseline by more than the tolerance (default 30%): throughput lower,
+//! latency higher. Improvements always pass.
+//!
+//! Benchmarks are only comparable between like machines, so when the
+//! `provenance.host_cpus` stamps differ the comparison is *exempt*: the
+//! diff is still printed but regressions cannot fail the gate. Baselines
+//! predating the provenance stamp fall back to the top-level
+//! `host_cpus` field, else count as unknown (treated as a host mismatch).
+//!
+//! Exit status: `0` when clean, exempt, or regressions found without
+//! `--deny-perf`; `1` on regressions under `--deny-perf`; `2` on
+//! usage/parse errors. CI runs the gate non-fatally by default
+//! (`./ci.sh perf`) and hardens it with `./ci.sh --deny-perf perf`.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use adc_trace::json::{self, Json};
+
+/// Default regression tolerance, percent.
+const DEFAULT_TOLERANCE_PCT: f64 = 30.0;
+
+struct Options {
+    baseline_dir: String,
+    fresh_dir: String,
+    tolerance_pct: f64,
+    deny_perf: bool,
+}
+
+fn usage() -> String {
+    "usage: bench_compare [--baseline-dir DIR] [--fresh-dir DIR] \
+     [--tolerance PCT] [--deny-perf]"
+        .to_string()
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        baseline_dir: "baseline".to_string(),
+        fresh_dir: ".".to_string(),
+        tolerance_pct: DEFAULT_TOLERANCE_PCT,
+        deny_perf: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--baseline-dir" => opts.baseline_dir = value("--baseline-dir")?,
+            "--fresh-dir" => opts.fresh_dir = value("--fresh-dir")?,
+            "--tolerance" => {
+                let raw = value("--tolerance")?;
+                opts.tolerance_pct = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| {
+                        format!("--tolerance wants a non-negative percent, got {raw}")
+                    })?;
+            }
+            "--deny-perf" => opts.deny_perf = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walks `doc` down a `.`-separated path of object keys.
+fn lookup<'a>(doc: &'a Json, path: &str) -> Option<&'a Json> {
+    path.split('.').try_fold(doc, |node, key| node.get(key))
+}
+
+fn lookup_f64(doc: &Json, path: &str) -> Option<f64> {
+    lookup(doc, path).and_then(Json::as_f64)
+}
+
+/// The `host_cpus` stamp of a report: the provenance object when
+/// present, else the legacy top-level field of pre-provenance baselines.
+fn host_cpus(doc: &Json) -> Option<f64> {
+    lookup_f64(doc, "provenance.host_cpus").or_else(|| lookup_f64(doc, "host_cpus"))
+}
+
+/// Which way "worse" points for a figure.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Bigger is better (throughput): a drop is a regression.
+    HigherIsBetter,
+    /// Smaller is better (latency): a rise is a regression.
+    LowerIsBetter,
+}
+
+struct Comparison {
+    label: String,
+    baseline: f64,
+    fresh: f64,
+    delta_pct: f64,
+    regressed: bool,
+}
+
+/// Compares one figure; `None` when either side lacks it (e.g. a
+/// campaign renamed between baseline and fresh runs).
+fn compare(
+    label: &str,
+    baseline: Option<f64>,
+    fresh: Option<f64>,
+    dir: Direction,
+    tolerance_pct: f64,
+) -> Option<Comparison> {
+    let (baseline, fresh) = (baseline?, fresh?);
+    if baseline <= 0.0 {
+        return None;
+    }
+    let delta_pct = (fresh - baseline) / baseline * 100.0;
+    let worse_pct = match dir {
+        Direction::HigherIsBetter => -delta_pct,
+        Direction::LowerIsBetter => delta_pct,
+    };
+    Some(Comparison {
+        label: label.to_string(),
+        baseline,
+        fresh,
+        delta_pct,
+        regressed: worse_pct > tolerance_pct,
+    })
+}
+
+/// Collects the runtime-report comparisons: parallel samples/sec per
+/// campaign, matched by campaign name.
+fn compare_runtime(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Comparison> {
+    let campaigns = |doc: &Json| -> Vec<(String, f64)> {
+        lookup(doc, "campaigns")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|c| {
+                        let name = c.get("name")?.as_str()?.to_string();
+                        let sps = lookup_f64(c, "parallel.samples_per_sec")?;
+                        Some((name, sps))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base = campaigns(baseline);
+    let new = campaigns(fresh);
+    base.iter()
+        .filter_map(|(name, b)| {
+            let f = new.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+            compare(
+                &format!("runtime {name} samples/sec"),
+                Some(*b),
+                f,
+                Direction::HigherIsBetter,
+                tolerance_pct,
+            )
+        })
+        .collect()
+}
+
+/// Collects the service-report comparisons: end-to-end samples/sec and
+/// client p99 latency.
+fn compare_service(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Comparison> {
+    [
+        (
+            "service samples/sec",
+            "samples_per_sec",
+            Direction::HigherIsBetter,
+        ),
+        (
+            "service client p99 latency (us)",
+            "client_latency_us.p99",
+            Direction::LowerIsBetter,
+        ),
+    ]
+    .iter()
+    .filter_map(|(label, path, dir)| {
+        compare(
+            label,
+            lookup_f64(baseline, path),
+            lookup_f64(fresh, path),
+            *dir,
+            tolerance_pct,
+        )
+    })
+    .collect()
+}
+
+fn load(dir: &str, file: &str) -> Result<Json, String> {
+    let path = format!("{}/{file}", dir.trim_end_matches('/'));
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn render(rows: &[Comparison]) -> String {
+    let mut out = String::new();
+    let width = rows.iter().map(|r| r.label.len()).max().unwrap_or(0);
+    for r in rows {
+        let verdict = if r.regressed { "REGRESSED" } else { "ok" };
+        let _ = writeln!(
+            out,
+            "  {:<width$}  baseline {:>12.1}  fresh {:>12.1}  {:>+7.1}%  {verdict}",
+            r.label, r.baseline, r.fresh, r.delta_pct,
+        );
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_options(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let pairs = [
+        (
+            "BENCH_runtime.json",
+            compare_runtime as fn(&Json, &Json, f64) -> Vec<Comparison>,
+        ),
+        ("BENCH_service.json", compare_service),
+    ];
+    let mut rows = Vec::new();
+    let mut host_mismatch = false;
+    for (file, diff) in pairs {
+        let (baseline, fresh) = match (load(&opts.baseline_dir, file), load(&opts.fresh_dir, file))
+        {
+            (Ok(b), Ok(f)) => (b, f),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench_compare: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (b_cpus, f_cpus) = (host_cpus(&baseline), host_cpus(&fresh));
+        if b_cpus.is_none() || b_cpus != f_cpus {
+            println!(
+                "{file}: host_cpus differ (baseline {:?}, fresh {:?}) -- figures \
+                 are not comparable, regressions exempt",
+                b_cpus, f_cpus
+            );
+            host_mismatch = true;
+        }
+        rows.extend(diff(&baseline, &fresh, opts.tolerance_pct));
+    }
+
+    println!(
+        "perf diff vs baseline ({}% tolerance):\n{}",
+        opts.tolerance_pct,
+        render(&rows)
+    );
+    let regressions = rows.iter().filter(|r| r.regressed).count();
+    if regressions == 0 {
+        println!("no perf regressions");
+        return ExitCode::SUCCESS;
+    }
+    if host_mismatch {
+        println!("{regressions} regression(s) IGNORED: baseline from a different host");
+        return ExitCode::SUCCESS;
+    }
+    if opts.deny_perf {
+        println!("{regressions} perf regression(s) beyond tolerance (--deny-perf)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{regressions} perf regression(s) beyond tolerance (advisory; pass --deny-perf to fail)"
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        json::parse(text).expect("test json parses")
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_regresses() {
+        let c = compare(
+            "t",
+            Some(1000.0),
+            Some(600.0),
+            Direction::HigherIsBetter,
+            30.0,
+        )
+        .expect("comparable");
+        assert!(c.regressed);
+        let c = compare(
+            "t",
+            Some(1000.0),
+            Some(800.0),
+            Direction::HigherIsBetter,
+            30.0,
+        )
+        .expect("comparable");
+        assert!(!c.regressed);
+    }
+
+    #[test]
+    fn latency_rise_beyond_tolerance_regresses() {
+        let c = compare(
+            "l",
+            Some(100.0),
+            Some(150.0),
+            Direction::LowerIsBetter,
+            30.0,
+        )
+        .expect("comparable");
+        assert!(c.regressed);
+        // A latency *improvement* of any size passes.
+        let c = compare("l", Some(100.0), Some(20.0), Direction::LowerIsBetter, 30.0)
+            .expect("comparable");
+        assert!(!c.regressed);
+    }
+
+    #[test]
+    fn runtime_campaigns_match_by_name() {
+        let baseline = doc(r#"{"campaigns":[
+                {"name":"a","parallel":{"samples_per_sec":1000}},
+                {"name":"gone","parallel":{"samples_per_sec":1}}]}"#);
+        let fresh = doc(r#"{"campaigns":[{"name":"a","parallel":{"samples_per_sec":500}}]}"#);
+        let rows = compare_runtime(&baseline, &fresh, 30.0);
+        assert_eq!(rows.len(), 1, "unmatched campaign is skipped");
+        assert!(rows[0].regressed);
+    }
+
+    #[test]
+    fn host_cpus_prefers_provenance_and_falls_back() {
+        let stamped = doc(r#"{"provenance":{"host_cpus":8},"host_cpus":2}"#);
+        assert_eq!(host_cpus(&stamped), Some(8.0));
+        let legacy = doc(r#"{"host_cpus":2}"#);
+        assert_eq!(host_cpus(&legacy), Some(2.0));
+        assert_eq!(host_cpus(&doc("{}")), None);
+    }
+
+    #[test]
+    fn options_parse_and_reject_bad_tolerance() {
+        let opts = parse_options(&[
+            "--baseline-dir".into(),
+            "b".into(),
+            "--tolerance".into(),
+            "12.5".into(),
+            "--deny-perf".into(),
+        ])
+        .expect("parses");
+        assert_eq!(opts.baseline_dir, "b");
+        assert_eq!(opts.tolerance_pct, 12.5);
+        assert!(opts.deny_perf);
+        assert!(parse_options(&["--tolerance".into(), "-3".into()]).is_err());
+        assert!(parse_options(&["--bogus".into()]).is_err());
+    }
+}

@@ -140,6 +140,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"benchmark\": \"adc-server loopback service\",\n",
+            "  {},\n",
             "  \"clients\": {},\n",
             "  \"requests_per_client\": {},\n",
             "  \"samples_per_request\": {},\n",
@@ -160,6 +161,7 @@ fn main() {
             "  }}\n",
             "}}\n",
         ),
+        adc_bench::Provenance::capture().json_entry(),
         clients,
         requests,
         n_samples,

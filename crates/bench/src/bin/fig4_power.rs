@@ -12,8 +12,9 @@ fn main() {
         "fin = 10 MHz, 2 Vp-p; paper anchors 97 mW @ 110 MS/s, 110 mW @ 130 MS/s",
     );
 
+    let (policy, _trace) = adc_bench::campaign_setup();
     let runner = SweepRunner {
-        policy: adc_bench::campaign_policy(),
+        policy,
         ..SweepRunner::nominal()
     };
     let rates: Vec<f64> = (1..=13).map(|i| i as f64 * 10e6).collect();

@@ -14,8 +14,9 @@ fn main() {
         "fin = 10 MHz, 2 Vp-p, 8192-pt coherent FFT",
     );
 
+    let (policy, _trace) = adc_bench::campaign_setup();
     let runner = SweepRunner {
-        policy: adc_bench::campaign_policy(),
+        policy,
         ..SweepRunner::nominal()
     };
     let rates: Vec<f64> = [

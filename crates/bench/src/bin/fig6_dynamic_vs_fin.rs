@@ -15,8 +15,9 @@ fn main() {
         "f_CR = 110 MS/s, 2 Vp-p, 8192-pt coherent FFT",
     );
 
+    let (policy, _trace) = adc_bench::campaign_setup();
     let runner = SweepRunner {
-        policy: adc_bench::campaign_policy(),
+        policy,
         ..SweepRunner::nominal()
     };
     let fins: Vec<f64> = [

@@ -23,7 +23,7 @@ fn main() {
 
     // All four budget sweeps share one campaign policy: points fan out
     // across ADC_THREADS workers and persist in the ADC_CACHE_DIR cache.
-    let policy = adc_bench::campaign_policy();
+    let (policy, _trace) = adc_bench::campaign_setup();
     let mut sweeps = Vec::new();
     for &sigma in &sigmas {
         let runner = SweepRunner {

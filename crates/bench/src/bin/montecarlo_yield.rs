@@ -12,14 +12,9 @@ fn main() {
         "process spread of Table I metrics; spec: SNDR>=62dB, SFDR>=65dB, P<=115mW",
     );
 
-    let mc = run_monte_carlo_with(
-        &AdcConfig::nominal_110ms(),
-        32,
-        10e6,
-        4096,
-        &adc_bench::campaign_policy(),
-    )
-    .expect("campaign runs");
+    let (policy, _trace) = adc_bench::campaign_setup();
+    let mc = run_monte_carlo_with(&AdcConfig::nominal_110ms(), 32, 10e6, 4096, &policy)
+        .expect("campaign runs");
 
     let mut table = TextTable::new(["metric", "min", "mean", "max", "sigma"]);
     let fmt = |v: f64| format!("{v:.2}");

@@ -7,7 +7,7 @@
 //! droop at hot is physical — but the bias point itself barely moves.
 //!
 //! The temperature points run as one campaign under
-//! [`adc_bench::campaign_policy`] (`ADC_THREADS` workers,
+//! [`adc_bench::campaign_setup`] (`ADC_THREADS` workers,
 //! `ADC_CACHE_DIR` point cache).
 
 use adc_analog::process::OperatingConditions;
@@ -24,7 +24,8 @@ fn main() {
     let temps = [-40.0, 0.0, 27.0, 85.0, 125.0];
     let base = AdcConfig::nominal_110ms();
 
-    let points = adc_bench::campaign_policy()
+    let (policy, _trace) = adc_bench::campaign_setup();
+    let points = policy
         .measure_campaign(
             "sweep-temperature",
             &(GOLDEN_SEED, &base),

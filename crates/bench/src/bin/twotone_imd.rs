@@ -5,7 +5,7 @@
 //! high frequency appears here as IMD3 growing with tone frequency.
 //!
 //! The centre frequencies run as one campaign under
-//! [`adc_bench::campaign_policy`]. Each point fabricates its own
+//! [`adc_bench::campaign_setup`]. Each point fabricates its own
 //! golden-seed session (points must be independent to parallelize), so
 //! every capture sees the noise stream from a fresh die rather than the
 //! continuation of the previous capture's — same die, same statistics,
@@ -30,7 +30,8 @@ fn main() {
 
     let centres_mhz = [10.0, 30.0, 50.0, 80.0];
 
-    let points = adc_bench::campaign_policy()
+    let (policy, _trace) = adc_bench::campaign_setup();
+    let points = policy
         .measure_campaign(
             "twotone-imd",
             &(GOLDEN_SEED, &base, n),

@@ -1,12 +1,13 @@
 //! The shared command line of the campaign binaries.
 //!
-//! Every campaign binary accepts the same two knobs, as flags or
+//! Every campaign binary accepts the same knobs, as flags or
 //! environment variables (flags win):
 //!
 //! | flag | env | default | meaning |
 //! |---|---|---|---|
 //! | `--threads N` | `ADC_THREADS` | `0` (all cores) | campaign worker threads |
 //! | `--cache-dir PATH` | `ADC_CACHE_DIR` | `target/campaign-cache` | point-cache directory (empty disables) |
+//! | `--trace-out PATH` | `ADC_TRACE_OUT` | off | write a Chrome trace-event JSON profile |
 //!
 //! Parsing is a total function over the argument list
 //! ([`CampaignArgs::parse_from`]) so the precedence rules are unit
@@ -21,13 +22,17 @@ use adc_testbench::{CampaignReporter, RunPolicy};
 
 /// Usage text printed for `--help` (binary name substituted in).
 const USAGE: &str = "\
-usage: {bin} [--threads N] [--cache-dir PATH]
+usage: {bin} [--threads N] [--cache-dir PATH] [--trace-out PATH]
 
   --threads N      campaign worker threads (0 = all cores)
                    [env: ADC_THREADS]
   --cache-dir PATH persistent point-cache directory; pass an empty
                    string to disable caching
                    [env: ADC_CACHE_DIR] [default: target/campaign-cache]
+  --trace-out PATH profile the run: write Chrome trace-event JSON to
+                   PATH (open in chrome://tracing or Perfetto) and
+                   print a per-span summary to stderr on exit
+                   [env: ADC_TRACE_OUT] [default: disabled]
   -h, --help       print this help
 ";
 
@@ -38,6 +43,8 @@ pub struct CampaignArgs {
     pub threads: usize,
     /// Point-cache directory; empty disables caching.
     pub cache_dir: String,
+    /// Chrome trace-event JSON output path; empty disables tracing.
+    pub trace_out: String,
 }
 
 impl Default for CampaignArgs {
@@ -45,6 +52,7 @@ impl Default for CampaignArgs {
         Self {
             threads: 0,
             cache_dir: "target/campaign-cache".to_string(),
+            trace_out: String::new(),
         }
     }
 }
@@ -98,6 +106,7 @@ impl CampaignArgs {
                 None => 0,
             },
             cache_dir: env("ADC_CACHE_DIR").unwrap_or_else(|| CampaignArgs::default().cache_dir),
+            trace_out: env("ADC_TRACE_OUT").unwrap_or_default(),
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -121,6 +130,7 @@ impl CampaignArgs {
                         parse_threads(&v).map_err(|e| format!("invalid --threads {v:?}: {e}"))?;
                 }
                 "--cache-dir" => parsed.cache_dir = value(&mut it)?,
+                "--trace-out" => parsed.trace_out = value(&mut it)?,
                 "--help" | "-h" => return Ok(ParseOutcome::Help),
                 other => return Err(format!("unknown argument {other:?}")),
             }
@@ -141,6 +151,74 @@ impl CampaignArgs {
             }
         }
         policy
+    }
+
+    /// Starts the tracing session these knobs describe: a live
+    /// collector writing to `trace_out` on drop, or an inert session
+    /// when no path was given. Keep the returned guard alive for the
+    /// part of the run that should be profiled (typically all of it).
+    pub fn trace_session(&self) -> TraceSession {
+        if self.trace_out.is_empty() {
+            TraceSession::disabled()
+        } else {
+            TraceSession::to_file(&self.trace_out)
+        }
+    }
+}
+
+/// A profiling scope: installs the global trace collector on creation
+/// and, on drop, drains it, writes the Chrome trace-event JSON file,
+/// and prints the per-span summary table to stderr.
+#[derive(Debug)]
+pub struct TraceSession {
+    out: Option<(String, adc_trace::ActiveTrace)>,
+}
+
+impl TraceSession {
+    /// An inert session: no collector, no output, zero recording cost.
+    pub fn disabled() -> Self {
+        Self { out: None }
+    }
+
+    /// Installs the collector and arranges for the trace to land at
+    /// `path` when the session drops. If another collector is already
+    /// active the session degrades to disabled with a warning.
+    pub fn to_file(path: &str) -> Self {
+        match adc_trace::Collector::install() {
+            Some(active) => Self {
+                out: Some((path.to_string(), active)),
+            },
+            None => {
+                eprintln!("trace: a collector is already active; --trace-out ignored");
+                Self::disabled()
+            }
+        }
+    }
+
+    /// `true` when this session is actively recording.
+    pub fn is_recording(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// Ends the session now (drop does the same implicitly).
+    pub fn finish(self) {}
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        let Some((path, active)) = self.out.take() else {
+            return;
+        };
+        let trace = active.finish();
+        let summary = adc_trace::Summary::compute(&trace);
+        match std::fs::write(&path, adc_trace::chrome_json(&trace)) {
+            Ok(()) => eprintln!(
+                "trace: {} events -> {path} (open in chrome://tracing or https://ui.perfetto.dev)",
+                trace.len()
+            ),
+            Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+        }
+        eprint!("{}", summary.render());
     }
 }
 
@@ -243,7 +321,26 @@ mod tests {
         let args = CampaignArgs {
             threads: 5,
             cache_dir: String::new(),
+            trace_out: String::new(),
         };
         assert_eq!(args.policy().threads, 5);
+        assert!(!args.trace_session().is_recording());
+    }
+
+    #[test]
+    fn trace_out_parses_from_flag_and_env() {
+        let env = |name: &str| (name == "ADC_TRACE_OUT").then(|| "/tmp/env.json".to_string());
+        let ParseOutcome::Args(from_env) = CampaignArgs::parse_from(&[], env).unwrap() else {
+            panic!("expected args");
+        };
+        assert_eq!(from_env.trace_out, "/tmp/env.json");
+        let args = strings(&["--trace-out", "/tmp/flag.json"]);
+        let ParseOutcome::Args(from_flag) = CampaignArgs::parse_from(&args, env).unwrap() else {
+            panic!("expected args");
+        };
+        assert_eq!(from_flag.trace_out, "/tmp/flag.json");
+        assert!(CampaignArgs::parse_from(&strings(&["--trace-out"]), no_env)
+            .unwrap_err()
+            .contains("needs a value"));
     }
 }

@@ -11,7 +11,7 @@
 //! |---|---|
 //! | `table1_datasheet` | Table I |
 //! | `fig4_power` | Fig. 4 (power vs conversion rate) |
-//! | `fig5_dynamic_vs_rate` | Fig. 5 (SNR/SNDR/SFDR vs conversion rate) |
+//! | `fig5_rate_sweep` | Fig. 5 (SNR/SNDR/SFDR vs conversion rate) |
 //! | `fig6_dynamic_vs_fin` | Fig. 6 (SNR/SNDR/SFDR vs input frequency) |
 //! | `fig8_fom_survey` | Fig. 8 (Eq. 2 FoM vs 1/area survey) |
 //! | `ablation_bias` | §3 claim: SC bias vs conventional fixed bias |
@@ -30,10 +30,12 @@
 //! default `target/campaign-cache`).
 
 pub mod cli;
+pub mod provenance;
 
 use adc_testbench::RunPolicy;
 
-pub use cli::CampaignArgs;
+pub use cli::{CampaignArgs, TraceSession};
+pub use provenance::Provenance;
 
 /// Prints the standard banner for a regeneration binary.
 pub fn banner(experiment: &str, paper_ref: &str) {
@@ -44,10 +46,14 @@ pub fn banner(experiment: &str, paper_ref: &str) {
     println!("================================================================");
 }
 
-/// The campaign policy the figure binaries run under: parses the shared
-/// command line and environment ([`CampaignArgs::parse`]) and builds
-/// worker threads, progress narration on stderr, and the disk point
-/// cache from it.
-pub fn campaign_policy() -> RunPolicy {
-    CampaignArgs::parse().policy()
+/// The standard setup of a campaign binary: parses the shared command
+/// line and environment ([`CampaignArgs::parse`]) and returns the
+/// execution policy (worker threads, progress narration on stderr,
+/// disk point cache) plus the tracing session (`--trace-out`). Keep
+/// the [`TraceSession`] alive until the campaign finishes — dropping
+/// it writes the trace file and prints the profile summary.
+pub fn campaign_setup() -> (RunPolicy, TraceSession) {
+    let args = CampaignArgs::parse();
+    let trace = args.trace_session();
+    (args.policy(), trace)
 }

@@ -16,6 +16,10 @@ pub const DETERMINISM_ROOTS: &[&str] = &[
     "crates/bias/src",
     "crates/analog/src",
     "crates/digital/src",
+    // The tracing subsystem instruments the crates above, so it binds
+    // the same rules: its one wall-clock site (the collector epoch) is
+    // pragma-annotated, and span ids/lane numbering use no thread ids.
+    "crates/trace/src",
 ];
 
 /// Files whose documented contract is "total, never panics".
@@ -54,6 +58,7 @@ mod tests {
     fn determinism_scope_is_prefix_per_directory() {
         assert!(in_determinism_scope("crates/runtime/src/pool.rs"));
         assert!(in_determinism_scope("crates/spectral/src/fft.rs"));
+        assert!(in_determinism_scope("crates/trace/src/collector.rs"));
         assert!(!in_determinism_scope("crates/server/src/server.rs"));
         assert!(!in_determinism_scope("crates/bench/src/cli.rs"));
         // No false prefix matches on sibling names.

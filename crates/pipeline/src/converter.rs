@@ -38,6 +38,32 @@ const FLASH_INPUT_CAP_F: f64 = 0.2e-12;
 /// memory reach steady state.
 const WARMUP_SAMPLES: usize = 16;
 
+/// Every `TRACE_EVERY`-th conversion records per-stage spans when
+/// tracing is enabled. Deterministic subsampling (by the conversion
+/// counter, not by time) keeps trace volume sane — a 16k-sample record
+/// would otherwise emit ~450k stage events — while still profiling the
+/// MDAC/flash split at statistically meaningful coverage.
+const TRACE_EVERY: u64 = 512;
+
+/// Static span names for the per-stage MDAC spans (`stage_count <= 14`
+/// is enforced by [`PipelineAdc::build`]).
+const STAGE_SPAN_NAMES: [&str; 14] = [
+    "mdac-stage1",
+    "mdac-stage2",
+    "mdac-stage3",
+    "mdac-stage4",
+    "mdac-stage5",
+    "mdac-stage6",
+    "mdac-stage7",
+    "mdac-stage8",
+    "mdac-stage9",
+    "mdac-stage10",
+    "mdac-stage11",
+    "mdac-stage12",
+    "mdac-stage13",
+    "mdac-stage14",
+];
+
 /// A continuous-time input signal the converter can sample.
 ///
 /// Implemented by the source models in `adc-testbench`; any `Fn(f64) ->
@@ -384,6 +410,7 @@ impl PipelineAdc {
         waveform: &W,
         n_samples: usize,
     ) -> Vec<u16> {
+        let _trace_record = adc_trace::span_with("record", n_samples as u64);
         let period = self.timing.period_s;
         let mut out = Vec::with_capacity(n_samples);
         for k in 0..n_samples + WARMUP_SAMPLES {
@@ -421,6 +448,9 @@ impl PipelineAdc {
 
     /// Runs the full conversion of one sampled instant.
     fn convert_one(&mut self, v: f64, dvdt: f64) -> u16 {
+        // Per-stage spans on a deterministic subsample of conversions;
+        // the gate costs one relaxed atomic load when tracing is off.
+        let trace_stages = adc_trace::enabled() && self.sample_count.is_multiple_of(TRACE_EVERY);
         let period = self.timing.period_s;
         let mut x = self.front_end.sample(v, dvdt, period, &mut self.noise);
         x += self.noise.gaussian(0.0, self.aux_noise_rms_v);
@@ -439,6 +469,8 @@ impl PipelineAdc {
         let stage1_adsc_error = self.adsc_skew_s * dvdt;
         self.scratch_decisions.clear();
         for stage in &mut self.stages {
+            let _trace_stage =
+                trace_stages.then(|| adc_trace::span(STAGE_SPAN_NAMES[stage.index.min(13)]));
             let adsc_error = if stage.index == 0 {
                 stage1_adsc_error
             } else {
@@ -455,6 +487,7 @@ impl PipelineAdc {
             self.scratch_decisions.push(decision);
             x = residue;
         }
+        let _trace_flash = trace_stages.then(|| adc_trace::span("flash"));
         let flash_code = self.flash.decide(x, &mut self.noise);
         self.last_flash_code = flash_code;
         correction::assemble_code(&self.scratch_decisions, flash_code) as u16

@@ -186,6 +186,9 @@ impl<I> Campaign<I> {
             .collect();
         let mut values: Vec<Option<T>> = keys.iter().map(|&k| cache.get::<T>(k)).collect();
         let miss_indices: Vec<usize> = (0..values.len()).filter(|&i| values[i].is_none()).collect();
+        let hits = values.len() - miss_indices.len();
+        adc_trace::counter("cache_hits", hits as u64);
+        adc_trace::counter("cache_misses", miss_indices.len() as u64);
 
         let name = self.name.clone();
         let campaign_seed = self.seed;

@@ -132,6 +132,9 @@ impl JobCtx {
     /// Credits `n` simulation samples to this job (throughput metric).
     pub fn record_samples(&self, n: u64) {
         self.samples.fetch_add(n, Ordering::Relaxed);
+        // Mirror into the trace stream so the profile summary can
+        // report samples/sec (no-op when tracing is disabled).
+        adc_trace::counter("samples", n);
     }
 
     pub(crate) fn samples(&self) -> u64 {

@@ -82,6 +82,11 @@ fn run_job<I, T>(
         for obs in cfg.observers {
             obs.on_job_start(id, attempt);
         }
+        // Scope the trace span-id stream to this job's derived seed so
+        // span identity is reproducible run-to-run, then record the
+        // attempt as one span (job id attached as the span argument).
+        let _trace_task = adc_trace::task(ctx.seed);
+        let _trace_span = adc_trace::span_with("job", id.0);
         let start = Instant::now(); // adc-lint: allow(no-wallclock) reason="wall-time metric for observer reports; never feeds job results"
         let (result, samples) = run_attempt(worker, &ctx, input);
         let wall = start.elapsed();
@@ -158,7 +163,12 @@ where
                             let victim = (0..threads)
                                 .filter(|&v| v != w)
                                 .max_by_key(|&v| queues[v].lock().expect("queue lock").len());
-                            victim.and_then(|v| queues[v].lock().expect("queue lock").pop_back())
+                            let stolen = victim
+                                .and_then(|v| queues[v].lock().expect("queue lock").pop_back());
+                            if stolen.is_some() {
+                                adc_trace::instant("steal");
+                            }
+                            stolen
                         }
                     }
                 };

@@ -191,10 +191,20 @@ impl JobPool {
         }
         let ctx = JobCtx::new(self.seed, id, 1, timeout, Arc::clone(&self.cancelled));
         let observers = Arc::clone(&self.observers);
+        // Armed only while tracing so the disabled path stays free of
+        // clock reads; the elapsed value feeds the trace stream only.
+        // adc-lint: allow(no-wallclock) reason="queue-wait trace counter, armed only while tracing; never feeds job results"
+        let queued_at = adc_trace::enabled().then(Instant::now);
         let task: Task = Box::new(move || {
             for obs in observers.iter() {
                 obs.on_job_start(id, 1);
             }
+            let _trace_task = adc_trace::task(ctx.seed);
+            if let Some(queued_at) = queued_at {
+                let waited = u64::try_from(queued_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                adc_trace::counter("queue_wait_us", waited);
+            }
+            let _trace_span = adc_trace::span_with("pool-job", id.0);
             let start = Instant::now(); // adc-lint: allow(no-wallclock) reason="wall-time metric for observer reports; never feeds job results"
             let outcome = catch_unwind(AssertUnwindSafe(|| work(&ctx)));
             let wall = start.elapsed();

@@ -157,17 +157,29 @@ impl MetricsRegistry {
 
 impl RunObserver for MetricsRegistry {
     fn on_job_start(&self, _id: JobId, _attempt: u32) {
-        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        adc_trace::counter("in_flight", now);
     }
 
     fn on_job_finish(&self, _id: JobId, report: &JobReport) {
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let now = self
+            .in_flight
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
         self.latency.record(report.wall);
         self.samples_streamed
             .fetch_add(report.samples, Ordering::Relaxed);
         if report.error.is_none() {
             self.completed.fetch_add(1, Ordering::Relaxed);
         }
+        // Mirror the gauge and the histogram's input into the trace
+        // stream: the same wall time lands in both, so a trace profile
+        // and a Metrics snapshot agree on request latency.
+        adc_trace::counter("in_flight", now);
+        adc_trace::counter(
+            "request_latency_us",
+            u64::try_from(report.wall.as_micros()).unwrap_or(u64::MAX),
+        );
     }
 }
 

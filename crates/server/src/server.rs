@@ -394,6 +394,10 @@ fn digitize_job(
         let _ = send_with_deadline(tx, ctx, frame);
         Err(JobError::Failed(detail))
     };
+    // Scope span ids to the request's fabrication seed — two server
+    // runs serving the same request produce the same span identities.
+    let _trace_task = adc_trace::task(req.seed);
+    let _trace_request = adc_trace::span_with("request", ctx.id.0);
     if ctx.timed_out() {
         let frame = encode_response(&Response::Error {
             code: ErrorCode::TimedOut,
@@ -402,7 +406,11 @@ fn digitize_job(
         let _ = send_with_deadline(tx, ctx, frame);
         return Err(JobError::TimedOut);
     }
-    let (codes, f_in_hz) = match run_digitize(req) {
+    let digitize_result = {
+        let _trace_digitize = adc_trace::span("digitize");
+        run_digitize(req)
+    };
+    let (codes, f_in_hz) = match digitize_result {
         Ok(result) => result,
         Err(build) => return fail(error_code_for_build(&build), build.to_string()),
     };
@@ -419,6 +427,7 @@ fn digitize_job(
     } else {
         req.batch_size as usize
     };
+    let _trace_stream = adc_trace::span("stream");
     let mut batches = 0u32;
     for (seq, chunk) in codes.chunks(batch).enumerate() {
         let frame = encode_response(&Response::Batch {

@@ -93,6 +93,7 @@ fn transform(data: &mut [Complex64], sign: f64) {
 /// ```
 pub fn fft_in_place(data: &mut [Complex64]) -> Result<(), FftError> {
     check_len(data.len())?;
+    let _trace = adc_trace::span_with("fft", data.len() as u64);
     transform(data, -1.0);
     Ok(())
 }
@@ -121,6 +122,7 @@ pub fn ifft_in_place(data: &mut [Complex64]) -> Result<(), FftError> {
 /// nonzero power of two.
 pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex64>, FftError> {
     check_len(signal.len())?;
+    let _trace = adc_trace::span_with("fft", signal.len() as u64);
     let mut data: Vec<Complex64> = signal.iter().map(|&x| Complex64::from(x)).collect();
     transform(&mut data, -1.0);
     Ok(data)

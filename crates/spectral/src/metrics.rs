@@ -147,8 +147,12 @@ pub fn analyze_tone(
     signal: &[f64],
     cfg: &ToneAnalysisConfig,
 ) -> Result<SingleToneAnalysis, FftError> {
+    let _trace = adc_trace::span_with("analyze_tone", signal.len() as u64);
     let n = signal.len();
-    let windowed = cfg.window.apply(signal);
+    let windowed = {
+        let _trace_window = adc_trace::span("window");
+        cfg.window.apply(signal)
+    };
     let ps = power_spectrum_one_sided(&windowed)?;
     let half = cfg.window.tone_half_width_bins();
     let nyquist = n / 2;

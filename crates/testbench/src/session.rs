@@ -98,6 +98,7 @@ impl MeasurementSession {
     /// band-pass filter → ADC. Returns the codes and the exact stimulus
     /// frequency.
     pub fn capture_tone(&mut self, f_target_hz: f64) -> (Vec<u16>, f64) {
+        let _trace = adc_trace::span_with("capture_tone", self.record_len as u64);
         let f_cr = self.adc.config().f_cr_hz;
         let (f_in, _) = coherent_frequency_clear(f_cr, self.record_len, f_target_hz, 8);
         let generator = SineSource::rf_generator(self.amplitude_v, f_in);
@@ -109,6 +110,7 @@ impl MeasurementSession {
 
     /// Runs the full single-tone dynamic measurement at `f_target_hz`.
     pub fn measure_tone(&mut self, f_target_hz: f64) -> ToneMeasurement {
+        let _trace = adc_trace::span("measure_tone");
         let (codes, f_in) = self.capture_tone(f_target_hz);
         let record = self.reconstruct(&codes);
         let cfg = ToneAnalysisConfig::coherent().with_full_scale(self.adc.config().v_ref_v);

@@ -1,0 +1,217 @@
+//! The global collector: per-thread lane buffers, a generation-counted
+//! enable flag, and the drain path.
+//!
+//! This is the **only** module in the workspace's determinism scope
+//! that touches wall-clock time, and it does so exactly once per
+//! install (the epoch) plus once per recorded event (elapsed-ns). Both
+//! sites are pragma-annotated for `adc-lint`: timestamps flow into the
+//! trace output only, never into simulation results, so bit-identity
+//! of campaign results holds with tracing on or off.
+//!
+//! Threads are identified by *lane index* — the order in which each
+//! thread first recorded an event into the active collector — not by
+//! `std::thread::ThreadId`, keeping OS thread identity out of the
+//! deterministic crates entirely.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::event::{Event, EventKind};
+
+/// Generation of the active collector; `0` means tracing is disabled.
+/// This single relaxed load is the entire disabled-path cost.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic generation source (never reuses a generation, so a stale
+/// thread-local lane can never be confused with a newer collector).
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// The active collector's shared state, if any.
+static ACTIVE: Mutex<Option<Arc<Shared>>> = Mutex::new(None);
+
+/// One thread's append-only event buffer. The mutex is uncontended in
+/// steady state (only the owning thread pushes; the drain at
+/// [`ActiveTrace::finish`] is the sole other locker).
+#[derive(Debug, Default)]
+struct Lane {
+    events: Mutex<Vec<Event>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    epoch: Instant,
+    lanes: Mutex<Vec<Arc<Lane>>>,
+}
+
+/// A thread's cached attachment to the active collector.
+#[derive(Debug)]
+struct LaneHandle {
+    generation: u64,
+    shared: Arc<Shared>,
+    lane: Arc<Lane>,
+}
+
+thread_local! {
+    /// Cached attachment so steady-state recording never touches the
+    /// global registry.
+    static LOCAL_LANE: RefCell<Option<LaneHandle>> = const { RefCell::new(None) };
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// `true` when a collector is installed and recording.
+#[inline]
+pub fn enabled() -> bool {
+    GENERATION.load(Ordering::Relaxed) != 0
+}
+
+/// Records one event into the current thread's lane. No-op (one
+/// relaxed atomic load) when tracing is disabled.
+pub(crate) fn record(kind: EventKind, name: &'static str, span_id: u64, value: u64) {
+    let generation = GENERATION.load(Ordering::Relaxed);
+    if generation == 0 {
+        return;
+    }
+    LOCAL_LANE.with(|slot| {
+        // A re-entrant borrow is impossible (no callbacks below), but
+        // stay total rather than risk a panic inside instrumentation.
+        let Ok(mut slot) = slot.try_borrow_mut() else {
+            return;
+        };
+        let stale = match &*slot {
+            Some(handle) => handle.generation != generation,
+            None => true,
+        };
+        if stale {
+            let shared = {
+                let active = lock_ignore_poison(&ACTIVE);
+                match &*active {
+                    Some(shared) => Arc::clone(shared),
+                    // Collector uninstalled between the generation
+                    // load and here; drop the event.
+                    None => return,
+                }
+            };
+            let lane = Arc::new(Lane::default());
+            lock_ignore_poison(&shared.lanes).push(Arc::clone(&lane));
+            *slot = Some(LaneHandle {
+                generation,
+                shared,
+                lane,
+            });
+        }
+        let Some(handle) = slot.as_ref() else {
+            return;
+        };
+        let ts_ns = u64::try_from(handle.shared.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        lock_ignore_poison(&handle.lane.events).push(Event {
+            ts_ns,
+            kind,
+            name,
+            span_id,
+            value,
+        });
+    });
+}
+
+/// Entry point for enabling tracing; see [`Collector::install`].
+#[derive(Debug)]
+pub struct Collector;
+
+impl Collector {
+    /// Installs a process-global collector and starts recording.
+    ///
+    /// Returns `None` if another collector is already active (tracing
+    /// is a process-wide singleton; nested installs would interleave
+    /// two consumers' events).
+    pub fn install() -> Option<ActiveTrace> {
+        let mut active = lock_ignore_poison(&ACTIVE);
+        if active.is_some() {
+            return None;
+        }
+        let shared = Arc::new(Shared {
+            // adc-lint: allow(no-wallclock) reason="trace epoch: timestamps feed the trace output only, never simulation results"
+            epoch: Instant::now(),
+            lanes: Mutex::new(Vec::new()),
+        });
+        *active = Some(Arc::clone(&shared));
+        let generation = NEXT_GENERATION.fetch_add(1, Ordering::Relaxed);
+        GENERATION.store(generation, Ordering::Release);
+        Some(ActiveTrace { armed: true })
+    }
+}
+
+/// Guard for an installed collector. Call [`ActiveTrace::finish`] to
+/// stop recording and take the trace; dropping the guard without
+/// finishing uninstalls the collector and discards the events.
+#[derive(Debug)]
+pub struct ActiveTrace {
+    armed: bool,
+}
+
+impl ActiveTrace {
+    /// Stops recording and returns everything captured so far.
+    pub fn finish(mut self) -> Trace {
+        self.armed = false;
+        uninstall()
+    }
+}
+
+impl Drop for ActiveTrace {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = uninstall();
+        }
+    }
+}
+
+fn uninstall() -> Trace {
+    GENERATION.store(0, Ordering::Release);
+    let shared = lock_ignore_poison(&ACTIVE).take();
+    let Some(shared) = shared else {
+        return Trace::default();
+    };
+    let lanes = std::mem::take(&mut *lock_ignore_poison(&shared.lanes));
+    let lanes = lanes
+        .iter()
+        .map(|lane| std::mem::take(&mut *lock_ignore_poison(&lane.events)))
+        .collect();
+    Trace { lanes }
+}
+
+/// A drained trace: one event buffer per lane (thread), each in
+/// record order. Lane indices are registration order, stable for the
+/// lifetime of one collector install.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    /// Per-lane event buffers.
+    pub lanes: Vec<Vec<Event>>,
+}
+
+impl Trace {
+    /// Total number of events across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(Vec::is_empty)
+    }
+
+    /// All events as `(lane, event)`, sorted by timestamp (ties keep
+    /// lane order, so the sort is total without comparing floats).
+    pub fn merged(&self) -> Vec<(u32, Event)> {
+        let mut out: Vec<(u32, Event)> = Vec::with_capacity(self.len());
+        for (lane, events) in self.lanes.iter().enumerate() {
+            let lane = u32::try_from(lane).unwrap_or(u32::MAX);
+            out.extend(events.iter().map(|e| (lane, *e)));
+        }
+        out.sort_by_key(|(lane, e)| (e.ts_ns, *lane));
+        out
+    }
+}

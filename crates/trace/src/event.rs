@@ -1,0 +1,158 @@
+//! Trace events, deterministic span identity, and the guard types.
+//!
+//! Span IDs must be reproducible run-to-run so that traces from two
+//! executions of the same campaign can be diffed. They are therefore
+//! derived from the *job seed* (already a pure SplitMix64 function of
+//! `(campaign_seed, job_id)`) plus a per-task sequence number — never
+//! from wall-clock time, thread ids, or allocation addresses.
+
+use std::cell::Cell;
+
+/// One step of the SplitMix64 output function (mirrors
+/// `adc_runtime::seed::split_mix64`; duplicated so this crate stays
+/// dependency-free and can sit below the runtime in the crate graph).
+pub(crate) fn split_mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed used for spans opened outside any [`crate::task`] scope
+/// (e.g. the top-level campaign span in a bench binary).
+const ORPHAN_TASK_SEED: u64 = 0x5EED_0F0F_ADC0;
+
+thread_local! {
+    /// Seed of the task (job/request) currently running on this thread.
+    static TASK_SEED: Cell<u64> = const { Cell::new(ORPHAN_TASK_SEED) };
+    /// Per-task span sequence number; reset when a task scope opens.
+    static TASK_SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Derives the next span id for the current thread's task scope.
+pub(crate) fn next_span_id() -> u64 {
+    let seed = TASK_SEED.with(Cell::get);
+    let seq = TASK_SEQ.with(|s| {
+        let v = s.get();
+        s.set(v.wrapping_add(1));
+        v
+    });
+    split_mix64(seed ^ split_mix64(seq))
+}
+
+/// What a single trace [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`ph: "B"` in Chrome trace terms).
+    Begin,
+    /// A span closed (`ph: "E"`).
+    End,
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+    /// A named counter sample (`ph: "C"`).
+    Counter,
+}
+
+/// A single recorded trace event.
+///
+/// Names are `&'static str` by design: recording an event is a few
+/// atomic loads, a timestamp, and a `Vec::push` — no formatting, no
+/// allocation per event beyond buffer growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the collector's epoch.
+    pub ts_ns: u64,
+    /// Begin/End/Instant/Counter.
+    pub kind: EventKind,
+    /// Static event name (span or counter name).
+    pub name: &'static str,
+    /// Deterministic span identity for Begin/End pairs; 0 otherwise.
+    pub span_id: u64,
+    /// Counter value for [`EventKind::Counter`]; caller-supplied
+    /// argument (e.g. a job id) for [`EventKind::Begin`]; 0 otherwise.
+    pub value: u64,
+}
+
+/// RAII guard returned by [`crate::span`]; records the matching
+/// [`EventKind::End`] event when dropped.
+///
+/// When tracing is disabled the guard is inert (no id, no events).
+#[derive(Debug)]
+pub struct SpanGuard {
+    pub(crate) name: &'static str,
+    /// `None` when tracing was disabled at open time.
+    pub(crate) span_id: Option<u64>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.span_id {
+            crate::collector::record(EventKind::End, self.name, id, 0);
+        }
+    }
+}
+
+/// RAII guard returned by [`crate::task`]; scopes the deterministic
+/// span-id stream to a job/request seed and restores the previous
+/// scope on drop (task scopes nest).
+#[derive(Debug)]
+pub struct TaskGuard {
+    prev_seed: u64,
+    prev_seq: u64,
+}
+
+impl TaskGuard {
+    pub(crate) fn enter(seed: u64) -> Self {
+        let prev_seed = TASK_SEED.with(|s| s.replace(seed));
+        let prev_seq = TASK_SEQ.with(|s| s.replace(0));
+        TaskGuard {
+            prev_seed,
+            prev_seq,
+        }
+    }
+}
+
+impl Drop for TaskGuard {
+    fn drop(&mut self) {
+        TASK_SEED.with(|s| s.set(self.prev_seed));
+        TASK_SEQ.with(|s| s.set(self.prev_seq));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ids_are_deterministic_per_task_scope() {
+        let a = {
+            let _t = TaskGuard::enter(42);
+            [next_span_id(), next_span_id(), next_span_id()]
+        };
+        let b = {
+            let _t = TaskGuard::enter(42);
+            [next_span_id(), next_span_id(), next_span_id()]
+        };
+        assert_eq!(a, b);
+        let c = {
+            let _t = TaskGuard::enter(43);
+            next_span_id()
+        };
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn task_scopes_nest_and_restore() {
+        let _outer = TaskGuard::enter(1);
+        let first = next_span_id();
+        {
+            let _inner = TaskGuard::enter(2);
+            let _ = next_span_id();
+        }
+        // After the inner scope closes, the outer sequence resumes.
+        let _outer2 = TaskGuard::enter(1);
+        let again = next_span_id();
+        drop(_outer2);
+        assert_eq!(first, again);
+    }
+}

@@ -1,0 +1,270 @@
+//! Human-readable profile summary.
+//!
+//! Replays each lane's Begin/End stream against a span stack to
+//! compute, per span name: call count, total (inclusive) time, and
+//! self time (total minus time attributed to child spans). Counter
+//! events aggregate to count/sum/last. If a `samples` counter is
+//! present, an overall samples/sec line is derived from the trace's
+//! wall span.
+
+use std::fmt::Write as _;
+
+use crate::collector::Trace;
+use crate::event::{Event, EventKind};
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpanStats {
+    /// Completed Begin/End pairs.
+    pub calls: u64,
+    /// Inclusive time across all calls, nanoseconds.
+    pub total_ns: u64,
+    /// Exclusive (self) time across all calls, nanoseconds.
+    pub self_ns: u64,
+}
+
+/// Aggregated statistics for one counter name.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CounterStats {
+    /// Number of samples recorded.
+    pub samples: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+    /// Most recent sample value.
+    pub last: u64,
+}
+
+/// The aggregate profile computed from a [`Trace`].
+#[derive(Debug, Default)]
+pub struct Summary {
+    /// Per-span-name stats, sorted by descending total time.
+    pub spans: Vec<(&'static str, SpanStats)>,
+    /// Per-counter-name stats, sorted by name.
+    pub counters: Vec<(&'static str, CounterStats)>,
+    /// Per-instant-name occurrence counts, sorted by name.
+    pub instants: Vec<(&'static str, u64)>,
+    /// Wall span of the trace (first to last event timestamp), ns.
+    pub wall_ns: u64,
+}
+
+impl Summary {
+    /// Aggregates a drained trace.
+    pub fn compute(trace: &Trace) -> Summary {
+        let mut spans: Vec<(&'static str, SpanStats)> = Vec::new();
+        let mut counters: Vec<(&'static str, CounterStats)> = Vec::new();
+        let mut instants: Vec<(&'static str, u64)> = Vec::new();
+        let mut min_ts = u64::MAX;
+        let mut max_ts = 0u64;
+
+        for lane in &trace.lanes {
+            // Stack of open spans: (name, span_id, begin_ts, child_ns).
+            let mut stack: Vec<(&'static str, u64, u64, u64)> = Vec::new();
+            for event in lane {
+                min_ts = min_ts.min(event.ts_ns);
+                max_ts = max_ts.max(event.ts_ns);
+                match event.kind {
+                    EventKind::Begin => {
+                        stack.push((event.name, event.span_id, event.ts_ns, 0));
+                    }
+                    EventKind::End => close_span(&mut spans, &mut stack, event),
+                    EventKind::Counter => {
+                        let entry = sorted_entry(&mut counters, event.name);
+                        entry.samples += 1;
+                        entry.sum = entry.sum.saturating_add(event.value);
+                        entry.last = event.value;
+                    }
+                    EventKind::Instant => {
+                        *sorted_entry(&mut instants, event.name) += 1;
+                    }
+                }
+            }
+        }
+
+        spans.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        Summary {
+            spans,
+            counters,
+            instants,
+            wall_ns: max_ts.saturating_sub(if min_ts == u64::MAX { 0 } else { min_ts }),
+        }
+    }
+
+    /// Renders the summary as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>9} {:>12} {:>12} {:>10}",
+            "span", "calls", "total_ms", "self_ms", "mean_us"
+        );
+        for (name, s) in &self.spans {
+            let mean_us = if s.calls == 0 {
+                0.0
+            } else {
+                s.total_ns as f64 / s.calls as f64 / 1000.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>9} {:>12.3} {:>12.3} {:>10.2}",
+                name,
+                s.calls,
+                s.total_ns as f64 / 1e6,
+                s.self_ns as f64 / 1e6,
+                mean_us
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>9} {:>12} {:>12}",
+                "counter", "samples", "sum", "last"
+            );
+            for (name, c) in &self.counters {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>9} {:>12} {:>12}",
+                    name, c.samples, c.sum, c.last
+                );
+            }
+        }
+        if !self.instants.is_empty() {
+            let _ = writeln!(out, "{:<24} {:>9}", "instant", "count");
+            for (name, n) in &self.instants {
+                let _ = writeln!(out, "{name:<24} {n:>9}");
+            }
+        }
+        if let Some(rate) = self.samples_per_sec() {
+            let _ = writeln!(
+                out,
+                "wall {:.3} ms, {:.0} samples/sec",
+                self.wall_ns as f64 / 1e6,
+                rate
+            );
+        } else {
+            let _ = writeln!(out, "wall {:.3} ms", self.wall_ns as f64 / 1e6);
+        }
+        out
+    }
+
+    /// Overall samples/sec from the `samples` counter, if present.
+    pub fn samples_per_sec(&self) -> Option<f64> {
+        let samples = self
+            .counters
+            .iter()
+            .find(|(name, _)| *name == "samples")
+            .map(|(_, c)| c.sum)?;
+        if self.wall_ns == 0 {
+            return None;
+        }
+        Some(samples as f64 / (self.wall_ns as f64 / 1e9))
+    }
+
+    /// Stats for one span name, if it appeared in the trace.
+    pub fn span(&self, name: &str) -> Option<SpanStats> {
+        self.spans.iter().find(|(n, _)| *n == name).map(|(_, s)| *s)
+    }
+
+    /// Stats for one counter name, if it appeared in the trace.
+    pub fn counter(&self, name: &str) -> Option<CounterStats> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| *c)
+    }
+}
+
+/// Pops the matching open span and folds its duration into the
+/// per-name stats and the parent's child-time. Unbalanced End events
+/// (no matching Begin on this lane) are dropped.
+fn close_span(
+    spans: &mut Vec<(&'static str, SpanStats)>,
+    stack: &mut Vec<(&'static str, u64, u64, u64)>,
+    event: &Event,
+) {
+    let Some(open) = stack.iter().rposition(|(_, id, _, _)| *id == event.span_id) else {
+        return;
+    };
+    // Anything opened above the matching Begin never saw its End on
+    // this lane (e.g. the collector drained mid-span); discard those
+    // frames rather than mis-attribute time.
+    stack.truncate(open + 1);
+    let Some((name, _, begin_ts, child_ns)) = stack.pop() else {
+        return;
+    };
+    let dur = event.ts_ns.saturating_sub(begin_ts);
+    if let Some((_, _, _, parent_child)) = stack.last_mut() {
+        *parent_child = parent_child.saturating_add(dur);
+    }
+    let entry = sorted_entry(spans, name);
+    entry.calls += 1;
+    entry.total_ns = entry.total_ns.saturating_add(dur);
+    entry.self_ns = entry.self_ns.saturating_add(dur.saturating_sub(child_ns));
+}
+
+/// Finds or inserts `name` in a name-sorted vec and returns its value.
+fn sorted_entry<'v, T: Default>(
+    entries: &'v mut Vec<(&'static str, T)>,
+    name: &'static str,
+) -> &'v mut T {
+    match entries.binary_search_by(|(n, _)| n.cmp(&name)) {
+        Ok(i) => &mut entries[i].1,
+        Err(i) => {
+            entries.insert(i, (name, T::default()));
+            &mut entries[i].1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts_ns: u64, kind: EventKind, name: &'static str, span_id: u64, value: u64) -> Event {
+        Event {
+            ts_ns,
+            kind,
+            name,
+            span_id,
+            value,
+        }
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let trace = Trace {
+            lanes: vec![vec![
+                ev(0, EventKind::Begin, "outer", 1, 0),
+                ev(10, EventKind::Begin, "inner", 2, 0),
+                ev(40, EventKind::End, "inner", 2, 0),
+                ev(100, EventKind::End, "outer", 1, 0),
+                ev(100, EventKind::Counter, "samples", 0, 500),
+            ]],
+        };
+        let s = Summary::compute(&trace);
+        let outer = s.span("outer").unwrap();
+        let inner = s.span("inner").unwrap();
+        assert_eq!(outer.total_ns, 100);
+        assert_eq!(outer.self_ns, 70);
+        assert_eq!(inner.total_ns, 30);
+        assert_eq!(inner.self_ns, 30);
+        assert_eq!(s.wall_ns, 100);
+        assert!(s.samples_per_sec().unwrap() > 0.0);
+        // Rendering never panics and mentions every span.
+        let text = s.render();
+        assert!(text.contains("outer") && text.contains("inner"));
+    }
+
+    #[test]
+    fn unbalanced_ends_are_dropped() {
+        let trace = Trace {
+            lanes: vec![vec![
+                ev(5, EventKind::End, "ghost", 9, 0),
+                ev(10, EventKind::Begin, "a", 1, 0),
+                ev(20, EventKind::End, "a", 1, 0),
+            ]],
+        };
+        let s = Summary::compute(&trace);
+        assert!(s.span("ghost").is_none());
+        assert_eq!(s.span("a").unwrap().calls, 1);
+    }
+}

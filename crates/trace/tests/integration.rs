@@ -1,0 +1,153 @@
+//! Integration tests of the tracing subsystem: collector lifecycle,
+//! Chrome trace-event export round-trip, and the deterministic span-id
+//! contract.
+//!
+//! The collector is a process-global singleton, so every test takes
+//! `COLLECTOR_LOCK` before installing one — tests in this binary run in
+//! parallel by default and must not share a trace session.
+
+use std::sync::Mutex;
+
+use adc_trace::json;
+use adc_trace::{chrome_json, Collector, EventKind, Summary, Trace};
+
+static COLLECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    COLLECTOR_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A small deterministic workload: two tasks, nested spans, counters.
+fn workload() -> Trace {
+    let session = Collector::install().expect("no collector active");
+    for job in 0..2u64 {
+        let _task = adc_trace::task(0xC0FFEE ^ job);
+        let _job = adc_trace::span_with("job", job);
+        for _ in 0..3 {
+            let _stage = adc_trace::span("stage");
+            adc_trace::counter("samples", 16);
+        }
+        adc_trace::instant("checkpoint");
+    }
+    session.finish()
+}
+
+#[test]
+fn chrome_export_round_trips_through_the_json_parser() {
+    let _guard = lock();
+    let trace = workload();
+    let doc = json::parse(&chrome_json(&trace)).expect("exporter emits valid JSON");
+
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), trace.len(), "one JSON record per event");
+
+    // Every record carries the Chrome required fields, and B/E phases
+    // balance exactly (2 jobs + 6 stages = 8 spans).
+    let mut begins = 0i64;
+    let mut ends = 0i64;
+    for ev in events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(ev.get(key).is_some(), "event missing {key}: {ev}");
+        }
+        match ev.get("ph").and_then(|v| v.as_str()).expect("phase") {
+            "B" => begins += 1,
+            "E" => ends += 1,
+            "i" | "C" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(begins, 8);
+    assert_eq!(ends, 8);
+
+    // Span ids survive the export: each B record names the same span in
+    // `args.span` that the in-memory event carries.
+    let in_memory: Vec<String> = trace
+        .merged()
+        .iter()
+        .filter(|(_, e)| e.kind == EventKind::Begin)
+        .map(|(_, e)| format!("{:016x}", e.span_id))
+        .collect();
+    let exported: Vec<String> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("B"))
+        .map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("span"))
+                .and_then(|s| s.as_str())
+                .expect("B event has args.span")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(in_memory, exported);
+}
+
+#[test]
+fn span_ids_are_identical_across_reruns_of_the_same_workload() {
+    let _guard = lock();
+    let ids = |trace: &Trace| -> Vec<(&'static str, u64)> {
+        trace
+            .merged()
+            .iter()
+            .filter(|(_, e)| e.kind == EventKind::Begin)
+            .map(|(_, e)| (e.name, e.span_id))
+            .collect()
+    };
+    let first = workload();
+    let second = workload();
+    let first_ids = ids(&first);
+    assert_eq!(first_ids, ids(&second), "span identity must be replayable");
+    // And ids are distinct within a run (SplitMix64 mixing, per-task seeds).
+    let mut sorted: Vec<u64> = first_ids.iter().map(|(_, id)| *id).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), first_ids.len());
+}
+
+#[test]
+fn summary_accounts_every_span_call() {
+    let _guard = lock();
+    let summary = Summary::compute(&workload());
+    assert_eq!(summary.span("job").expect("job stats").calls, 2);
+    let stage = summary.span("stage").expect("stage stats");
+    assert_eq!(stage.calls, 6);
+    assert!(stage.total_ns >= stage.self_ns);
+    let samples = summary.counter("samples").expect("samples counter");
+    assert_eq!(samples.sum, 6 * 16);
+}
+
+#[test]
+fn disabled_collector_records_nothing() {
+    let _guard = lock();
+    // No collector installed: the API is inert...
+    assert!(!adc_trace::enabled());
+    {
+        let _task = adc_trace::task(1);
+        let _span = adc_trace::span("ghost");
+        adc_trace::counter("ghost", 1);
+        adc_trace::instant("ghost");
+    }
+    // ...and nothing recorded while disabled leaks into a later session.
+    let session = Collector::install().expect("no collector active");
+    let trace = session.finish();
+    assert!(trace.is_empty(), "found events: {:?}", trace.merged());
+}
+
+#[test]
+fn second_collector_is_refused_while_one_is_active() {
+    let _guard = lock();
+    let session = Collector::install().expect("no collector active");
+    assert!(Collector::install().is_none(), "double install must refuse");
+    drop(session);
+    // Dropping uninstalls: a new session may start.
+    let again = Collector::install().expect("slot freed on drop");
+    drop(again);
+}

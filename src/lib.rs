@@ -18,7 +18,10 @@
 //!   sweeps and Monte-Carlo runs execute on;
 //! * [`server`] — the streaming digitization service: the converter
 //!   behind a length-prefixed TCP protocol, bit-identical to direct
-//!   library calls at the same seed.
+//!   library calls at the same seed;
+//! * [`trace`] — deterministic tracing & profiling: span guards and
+//!   counters threaded through the runtime, server, and pipeline, with
+//!   Chrome trace-event and human-summary exporters.
 //!
 //! ```
 //! use pipeline_adc::pipeline::{AdcConfig, PipelineAdc};
@@ -45,3 +48,4 @@ pub use adc_runtime as runtime;
 pub use adc_server as server;
 pub use adc_spectral as spectral;
 pub use adc_testbench as testbench;
+pub use adc_trace as trace;

@@ -77,6 +77,22 @@ fn derived_seeds_do_not_depend_on_scheduling() {
     assert_eq!(sorted.len(), serial.len());
 }
 
+/// The tracing subsystem's determinism contract (DESIGN.md §11): a
+/// campaign run with a collector installed is bit-identical to the same
+/// campaign with tracing disabled. Instrumentation observes; it never
+/// perturbs.
+#[test]
+fn tracing_on_and_off_are_bit_identical() {
+    let untraced = yield_campaign(2);
+    let session =
+        pipeline_adc::trace::Collector::install().expect("no other collector in this binary");
+    let traced = yield_campaign(2);
+    let trace = session.finish();
+    assert!(!trace.is_empty(), "instrumented campaign records spans");
+    assert_eq!(untraced, traced, "tracing perturbed campaign results");
+    assert_eq!(digest(&untraced), digest(&traced));
+}
+
 /// Cross-profile determinism: hashes the 8-die campaign and compares it
 /// against `ADC_DETERMINISM_HASH_FILE` when that variable is set —
 /// recording the hash on first run, comparing on subsequent runs. The
