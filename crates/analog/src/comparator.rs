@@ -108,12 +108,24 @@ impl Comparator {
             self.spec.hysteresis_v
         };
         let effective_threshold = self.threshold_v + self.offset_v + hysteresis;
-        let overdrive = input_v - effective_threshold + noise.gaussian(0.0, self.spec.noise_rms_v);
-        let decision = if overdrive.abs() < self.spec.metastable_window_v {
-            // Inside the metastable window the latch resolves arbitrarily.
-            noise.uniform(0.0, 1.0) > 0.5
+        let deterministic = input_v - effective_threshold;
+        // Hot-path draw skip: when the deterministic overdrive sits more
+        // than 8σ outside the metastability window, a noise draw cannot
+        // flip the outcome (P < 1e-15, far below the converter's noise
+        // floor), so the noise stream is left untouched. In a 1.5-bit
+        // pipeline the vast majority of decisions are overwhelming, which
+        // removes most per-sample Gaussian draws from `convert_one`.
+        let margin = 8.0 * self.spec.noise_rms_v + self.spec.metastable_window_v;
+        let decision = if deterministic.abs() > margin {
+            deterministic > 0.0
         } else {
-            overdrive > 0.0
+            let overdrive = deterministic + noise.gaussian(0.0, self.spec.noise_rms_v);
+            if overdrive.abs() < self.spec.metastable_window_v {
+                // Inside the metastable window the latch resolves arbitrarily.
+                noise.uniform(0.0, 1.0) > 0.5
+            } else {
+                overdrive > 0.0
+            }
         };
         self.last_decision = decision;
         decision
@@ -184,6 +196,22 @@ mod tests {
         // Drive low firmly; the same small input now reads low.
         assert!(!c.decide(-0.1, &mut n));
         assert!(!c.decide(0.003, &mut n));
+    }
+
+    #[test]
+    fn overwhelming_overdrive_skips_the_noise_draw() {
+        let spec = ComparatorSpec::dynamic_latch();
+        let mut n = NoiseSource::from_seed(9);
+        let mut c = spec.fabricate(0.0, &mut n);
+        let mut untouched = n.clone();
+        // Overdrives far beyond 8σ decide without consuming the stream.
+        assert!(c.decide(0.5, &mut n));
+        assert!(!c.decide(-0.5, &mut n));
+        assert_eq!(
+            n.gaussian(0.0, 1.0).to_bits(),
+            untouched.gaussian(0.0, 1.0).to_bits(),
+            "certain decisions must leave the noise stream untouched"
+        );
     }
 
     #[test]

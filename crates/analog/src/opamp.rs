@@ -210,6 +210,80 @@ impl OpAmp {
     pub fn sample_noise(&self, beta: f64, noise: &mut NoiseSource) -> f64 {
         noise.gaussian(0.0, self.sampled_noise_rms_v(beta))
     }
+
+    /// Precomputes the settling constants for one `(settle_time, beta)`
+    /// operating point, hoisting `τ`, `SR`, the slew/linear boundary and
+    /// — most importantly — the linear-decay exponential out of the
+    /// per-sample loop. [`SettlePlan::settle`] then evaluates exactly the
+    /// same piecewise model as [`OpAmp::settle`].
+    pub fn settle_plan(&self, settle_time_s: f64, beta: f64) -> SettlePlan {
+        let tau = self.tau_s(beta);
+        let sr = self.slew_rate_v_per_s();
+        SettlePlan {
+            settle_time_s,
+            tau_s: tau,
+            slew_rate_v_per_s: sr,
+            v_lin: sr * tau,
+            decay: if settle_time_s > 0.0 {
+                (-settle_time_s / tau).exp()
+            } else {
+                0.0
+            },
+            output_swing_v: self.spec.output_swing_v,
+        }
+    }
+}
+
+/// Precomputed settling constants for one `(settle_time, beta)` operating
+/// point of an [`OpAmp`] — see [`OpAmp::settle_plan`].
+///
+/// The linear-settling branch (the overwhelmingly common one) costs one
+/// multiply-subtract instead of an `exp()` per sample; only slew-limited
+/// steps still evaluate an exponential (their decay depends on the
+/// signal-dependent slew duration).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SettlePlan {
+    /// Phase duration, seconds.
+    pub settle_time_s: f64,
+    /// Closed-loop settling time constant, seconds.
+    pub tau_s: f64,
+    /// Slew rate, volts per second.
+    pub slew_rate_v_per_s: f64,
+    /// Slew/linear boundary `SR·τ`, volts.
+    pub v_lin: f64,
+    /// Linear-settling residual factor `exp(−t_settle/τ)` (0 when the
+    /// phase duration is not positive).
+    pub decay: f64,
+    /// Output clamp, volts.
+    pub output_swing_v: f64,
+}
+
+impl SettlePlan {
+    /// Settles from `initial_v` toward `target_v` over the planned phase:
+    /// the same piecewise slew/linear/clip model as [`OpAmp::settle`],
+    /// with every operating-point constant precomputed.
+    pub fn settle(&self, target_v: f64, initial_v: f64) -> f64 {
+        let swing = self.output_swing_v;
+        let target_v = target_v.clamp(-swing, swing);
+        if self.settle_time_s <= 0.0 {
+            return initial_v.clamp(-swing, swing);
+        }
+        let dv = target_v - initial_v;
+        let dv_abs = dv.abs();
+        let out = if dv_abs <= self.v_lin {
+            target_v - dv * self.decay
+        } else {
+            let sign = dv.signum();
+            let t_slew = (dv_abs - self.v_lin) / self.slew_rate_v_per_s;
+            if t_slew >= self.settle_time_s {
+                initial_v + sign * self.slew_rate_v_per_s * self.settle_time_s
+            } else {
+                let remaining = self.settle_time_s - t_slew;
+                target_v - sign * self.v_lin * (-remaining / self.tau_s).exp()
+            }
+        };
+        out.clamp(-swing, swing)
+    }
 }
 
 #[cfg(test)]
@@ -327,5 +401,33 @@ mod tests {
     #[should_panic(expected = "bias current must be positive")]
     fn rejects_zero_bias() {
         let _ = OpAmp::new(OpAmpSpec::ideal(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn settle_plan_matches_settle_bit_for_bit() {
+        // The planned path must reproduce OpAmp::settle exactly across
+        // the linear, slew-limited, slew-saturated and clamped branches.
+        let a = amp(1e-3);
+        for &t in &[0.0, 0.2e-9, 4.5e-9, 50e-9] {
+            for &beta in &[0.5, 1.0] {
+                let plan = a.settle_plan(t, beta);
+                for i in 0..200 {
+                    let target = -3.0 + 0.03 * i as f64;
+                    let initial = 2.9 - 0.029 * i as f64;
+                    assert_eq!(
+                        plan.settle(target, initial).to_bits(),
+                        a.settle(target, initial, t, beta).to_bits(),
+                        "divergence at t={t} beta={beta} target={target} initial={initial}"
+                    );
+                }
+            }
+        }
+        // The ideal amplifier's plan is exact as well.
+        let ideal = OpAmp::new(OpAmpSpec::ideal(), 1e-3, 1e-12);
+        let plan = ideal.settle_plan(1e-12, 0.5);
+        assert_eq!(
+            plan.settle(0.123, -0.9).to_bits(),
+            ideal.settle(0.123, -0.9, 1e-12, 0.5).to_bits()
+        );
     }
 }

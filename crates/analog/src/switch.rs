@@ -221,6 +221,21 @@ impl SamplingNetwork {
     ///
     /// Returns the held voltage.
     pub fn sample(&mut self, v: f64, dvdt: f64, period_s: f64, noise: &mut NoiseSource) -> f64 {
+        let tracked = self.track(v, dvdt, period_s);
+        // kT/C noise frozen at the sampling instant.
+        let held = tracked + noise.gaussian(0.0, self.ktc_sigma_v());
+        self.last_held_v = held;
+        held
+    }
+
+    /// The deterministic half of [`SamplingNetwork::sample`]: aperture
+    /// delay, charge-injection distortion and incomplete tracking, but
+    /// no kT/C draw and no update of the tracking memory.
+    ///
+    /// Callers that merge noise sources (the converter's planned path)
+    /// use this, add their combined Gaussian, and commit the held value
+    /// via [`SamplingNetwork::commit_held_v`].
+    pub fn track(&self, v: f64, dvdt: f64, period_s: f64) -> f64 {
         // Signal-dependent aperture delay. The *constant* part of
         // τ(v)·dv/dt is a pure group delay (no effect on any single-tone
         // metric) and its first-order expansion would fake an amplitude
@@ -239,17 +254,23 @@ impl SamplingNetwork {
         } else {
             (-t_track / tau_v).exp()
         };
-        let tracked = delayed + (self.last_held_v - delayed) * eps;
+        delayed + (self.last_held_v - delayed) * eps
+    }
 
-        // kT/C noise frozen at the sampling instant.
-        let sigma = if self.ktc_enabled {
+    /// RMS kT/C noise frozen at the sampling instant (0 when disabled).
+    pub fn ktc_sigma_v(&self) -> f64 {
+        if self.ktc_enabled {
             (crate::units::KT_NOMINAL / self.c_hold_f).sqrt()
         } else {
             0.0
-        };
-        let held = tracked + noise.gaussian(0.0, sigma);
-        self.last_held_v = held;
-        held
+        }
+    }
+
+    /// Commits an externally assembled held voltage (tracked value plus
+    /// caller-supplied noise) into the tracking memory, mirroring what
+    /// [`SamplingNetwork::sample`] stores.
+    pub fn commit_held_v(&mut self, held_v: f64) {
+        self.last_held_v = held_v;
     }
 }
 

@@ -1,5 +1,6 @@
-//! Perf-regression gate: diffs freshly generated `BENCH_runtime.json`
-//! and `BENCH_service.json` against committed baselines.
+//! Perf-regression gate: diffs freshly generated `BENCH_runtime.json`,
+//! `BENCH_service.json`, and `BENCH_dsp.json` against committed
+//! baselines.
 //!
 //! ```text
 //! bench_compare [--baseline-dir DIR] [--fresh-dir DIR]
@@ -8,9 +9,13 @@
 //!
 //! For every campaign in the runtime report the parallel `samples_per_sec`
 //! is compared, and for the service report `samples_per_sec` plus the
-//! client p99 latency. A figure regresses when it is worse than the
-//! baseline by more than the tolerance (default 30%): throughput lower,
-//! latency higher. Improvements always pass.
+//! client p99 latency. The DSP report compares single-thread conversion
+//! `samples_per_sec` per configuration row and `fft_real` `us_per_call`
+//! per record length; it is *optional* — when either side lacks the file
+//! (a baseline predating the report) the comparison is skipped rather
+//! than failed. A figure regresses when it is worse than the baseline by
+//! more than the tolerance (default 30%): throughput lower, latency
+//! higher. Improvements always pass.
 //!
 //! Benchmarks are only comparable between like machines, so when the
 //! `provenance.host_cpus` stamps differ the comparison is *exempt*: the
@@ -199,6 +204,64 @@ fn compare_service(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Com
     .collect()
 }
 
+/// Collects the DSP-kernel comparisons: single-thread conversion
+/// samples/sec per configuration row and `fft_real` microseconds per
+/// call per record length.
+fn compare_dsp(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Comparison> {
+    let conversions = |doc: &Json| -> Vec<(String, f64)> {
+        lookup(doc, "conversion")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|c| {
+                        let name = c.get("name")?.as_str()?.to_string();
+                        let sps = lookup_f64(c, "samples_per_sec")?;
+                        Some((name, sps))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let ffts = |doc: &Json| -> Vec<(u64, f64)> {
+        lookup(doc, "fft")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|f| {
+                        let n = lookup_f64(f, "n")? as u64;
+                        let us = lookup_f64(f, "us_per_call")?;
+                        Some((n, us))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let mut rows = Vec::new();
+    let new_conv = conversions(fresh);
+    for (name, b) in conversions(baseline) {
+        let f = new_conv.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+        rows.extend(compare(
+            &format!("dsp conversion {name} samples/sec"),
+            Some(b),
+            f,
+            Direction::HigherIsBetter,
+            tolerance_pct,
+        ));
+    }
+    let new_fft = ffts(fresh);
+    for (n, b) in ffts(baseline) {
+        let f = new_fft.iter().find(|(m, _)| *m == n).map(|(_, v)| *v);
+        rows.extend(compare(
+            &format!("dsp fft_real n={n} us/call"),
+            Some(b),
+            f,
+            Direction::LowerIsBetter,
+            tolerance_pct,
+        ));
+    }
+    rows
+}
+
 fn load(dir: &str, file: &str) -> Result<Json, String> {
     let path = format!("{}/{file}", dir.trim_end_matches('/'));
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -229,19 +292,28 @@ fn main() -> ExitCode {
         }
     };
 
+    // `optional` reports skip the comparison gracefully when the
+    // baseline lacks the file (a report introduced after the committed
+    // baseline was generated); required ones are parse errors.
     let pairs = [
         (
             "BENCH_runtime.json",
             compare_runtime as fn(&Json, &Json, f64) -> Vec<Comparison>,
+            false,
         ),
-        ("BENCH_service.json", compare_service),
+        ("BENCH_service.json", compare_service, false),
+        ("BENCH_dsp.json", compare_dsp, true),
     ];
     let mut rows = Vec::new();
     let mut host_mismatch = false;
-    for (file, diff) in pairs {
+    for (file, diff, optional) in pairs {
         let (baseline, fresh) = match (load(&opts.baseline_dir, file), load(&opts.fresh_dir, file))
         {
             (Ok(b), Ok(f)) => (b, f),
+            (Err(e), _) | (_, Err(e)) if optional => {
+                println!("{file}: {e} -- skipping comparison (report is optional)");
+                continue;
+            }
             (Err(e), _) | (_, Err(e)) => {
                 eprintln!("bench_compare: {e}");
                 return ExitCode::from(2);
@@ -339,6 +411,25 @@ mod tests {
         let rows = compare_runtime(&baseline, &fresh, 30.0);
         assert_eq!(rows.len(), 1, "unmatched campaign is skipped");
         assert!(rows[0].regressed);
+    }
+
+    #[test]
+    fn dsp_rows_match_by_name_and_record_length() {
+        let baseline = doc(r#"{
+            "conversion":[{"name":"nominal","samples_per_sec":1000000},
+                          {"name":"gone","samples_per_sec":1}],
+            "fft":[{"n":4096,"us_per_call":30.0},{"n":8192,"us_per_call":70.0}]}"#);
+        let fresh = doc(r#"{
+            "conversion":[{"name":"nominal","samples_per_sec":500000}],
+            "fft":[{"n":4096,"us_per_call":29.0},{"n":8192,"us_per_call":200.0}]}"#);
+        let rows = compare_dsp(&baseline, &fresh, 30.0);
+        assert_eq!(rows.len(), 3, "unmatched conversion row is skipped");
+        let conv = &rows[0];
+        assert!(conv.label.contains("nominal") && conv.regressed);
+        let fft_ok = &rows[1];
+        assert!(fft_ok.label.contains("4096") && !fft_ok.regressed);
+        let fft_bad = &rows[2];
+        assert!(fft_bad.label.contains("8192") && fft_bad.regressed);
     }
 
     #[test]

@@ -58,6 +58,11 @@ mod tests {
     fn determinism_scope_is_prefix_per_directory() {
         assert!(in_determinism_scope("crates/runtime/src/pool.rs"));
         assert!(in_determinism_scope("crates/spectral/src/fft.rs"));
+        // The planned-FFT machinery (plan cache, scratch buffers) is
+        // hot-path *and* determinism-scoped: its global plan cache must
+        // stay ordered (BTreeMap) and free of wall-clock or thread-id
+        // dependence.
+        assert!(in_determinism_scope("crates/spectral/src/plan.rs"));
         assert!(in_determinism_scope("crates/trace/src/collector.rs"));
         assert!(!in_determinism_scope("crates/server/src/server.rs"));
         assert!(!in_determinism_scope("crates/bench/src/cli.rs"));

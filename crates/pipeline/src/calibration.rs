@@ -167,9 +167,10 @@ pub fn calibrate_foreground(
     let mut ata = vec![vec![0.0_f64; unknowns]; unknowns];
     let mut atb = vec![0.0_f64; unknowns];
     let mut rows: Vec<(Vec<f64>, f64)> = Vec::with_capacity(levels.len() * repeats);
+    let mut raw = crate::converter::RawConversion::default();
     for &v in levels {
         for _ in 0..repeats {
-            let raw = adc.convert_held_raw(v);
+            adc.convert_held_raw_into(v, &mut raw);
             let mut x = Vec::with_capacity(unknowns);
             for &d in &raw.dac_levels {
                 x.push(f64::from(d));

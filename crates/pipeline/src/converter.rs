@@ -85,12 +85,69 @@ pub trait Waveform {
         let dt = 1e-12;
         (self.value(t_s + dt) - self.value(t_s - dt)) / (2.0 * dt)
     }
+
+    /// Value and slope at one instant. Sources whose value and slope
+    /// share work (e.g. a sine's phase argument) should override this to
+    /// compute it once; the results must be bit-identical to separate
+    /// [`Waveform::value`]/[`Waveform::slope`] calls.
+    fn sample_at(&self, t_s: f64) -> (f64, f64) {
+        (self.value(t_s), self.slope(t_s))
+    }
+
+    /// Evaluates the waveform on the uniform grid `t = t0_s + k·dt_s`,
+    /// writing `values[k]` and `slopes[k]` for `k < values.len()`.
+    /// Batch-friendly sources (e.g. a pure sine via a phase recurrence)
+    /// may override with a faster scheme; deviations from
+    /// [`Waveform::sample_at`] at the same instants must stay negligible
+    /// against the simulation's noise floors (≲1e-12 relative). Sources
+    /// relied on for bit-exact replay should not override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` and `slopes` differ in length.
+    fn fill_with_slope(&self, t0_s: f64, dt_s: f64, values: &mut [f64], slopes: &mut [f64]) {
+        assert_eq!(values.len(), slopes.len());
+        for (k, (v, s)) in values.iter_mut().zip(slopes.iter_mut()).enumerate() {
+            let t = t0_s + k as f64 * dt_s;
+            let (value, slope) = self.sample_at(t);
+            *v = value;
+            *s = slope;
+        }
+    }
 }
 
 impl<F: Fn(f64) -> f64> Waveform for F {
     fn value(&self, t_s: f64) -> f64 {
         self(t_s)
     }
+}
+
+/// Per-stage constants hoisted out of the conversion inner loop.
+///
+/// Everything here is a pure function of the fabricated stage, the
+/// timing budget, and the reference buffer — none of it changes between
+/// samples, so [`PipelineAdc::convert_one`] reads it instead of
+/// re-deriving settling exponentials and noise sigmas 110 M times a
+/// second. Rebuilt lazily whenever [`PipelineAdc::stage_mut`] hands out
+/// mutable stage access (fault injection may change any constant).
+#[derive(Debug, Clone, Copy)]
+struct StagePlan {
+    /// Hold-phase droop factor: `leak_cubic · t_hold / C_sample`, so the
+    /// droop is `droop_k · v³`.
+    droop_k: f64,
+    /// Effective reference when the DAC level is 0 (no droop, the
+    /// reference noise cannot reach the output).
+    vref_d0: f64,
+    /// Effective reference when |DAC level| is 1 (code-dependent droop).
+    vref_d1: f64,
+    /// The MDAC's own per-sample constants.
+    mdac: crate::mdac::MdacPlan,
+    /// Merged output-referred noise sigma when the DAC level is 0:
+    /// opamp sampled noise ⊕ next stage's kT/C.
+    sigma_d0: f64,
+    /// Merged output-referred noise sigma when |DAC level| is 1: the
+    /// `d0` terms ⊕ the reference noise scaled by the DAC gain.
+    sigma_d1: f64,
 }
 
 /// One fabricated, operating pipeline ADC.
@@ -116,11 +173,20 @@ pub struct PipelineAdc {
     sample_count: u64,
     scratch_decisions: Vec<StageDecision>,
     last_flash_code: u8,
+    /// Hoisted per-stage conversion constants (see [`StagePlan`]).
+    plans: Vec<StagePlan>,
+    /// Merged front-end noise sigma: front kT/C ⊕ auxiliary/flicker.
+    front_noise_rms_v: f64,
+    /// Set when [`PipelineAdc::stage_mut`] may have invalidated `plans`.
+    plans_dirty: bool,
+    /// Reusable waveform-evaluation buffers for the batched grid path.
+    scratch_values: Vec<f64>,
+    scratch_slopes: Vec<f64>,
 }
 
 /// The raw digital output of one conversion, before error correction —
 /// what an on-chip calibration engine observes.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RawConversion {
     /// Per-stage DAC levels d ∈ {−1, 0, +1}, stage 1 first.
     pub dac_levels: Vec<i8>,
@@ -322,6 +388,11 @@ impl PipelineAdc {
             sample_count: 0,
             scratch_decisions: Vec::new(),
             last_flash_code: 0,
+            plans: Vec::new(),
+            front_noise_rms_v: 0.0,
+            plans_dirty: true,
+            scratch_values: Vec::new(),
+            scratch_slopes: Vec::new(),
         })
     }
 
@@ -384,12 +455,20 @@ impl PipelineAdc {
     /// and flash code alongside the corrected output code — the data a
     /// digital calibration engine taps (see [`crate::calibration`]).
     pub fn convert_held_raw(&mut self, v: f64) -> RawConversion {
-        let code = self.convert_one(v, 0.0);
-        RawConversion {
-            dac_levels: self.scratch_decisions.iter().map(|d| d.dac_level).collect(),
-            flash_code: self.last_flash_code,
-            code,
-        }
+        let mut raw = RawConversion::default();
+        self.convert_held_raw_into(v, &mut raw);
+        raw
+    }
+
+    /// Allocation-free variant of [`Self::convert_held_raw`]: reuses
+    /// `out`'s `dac_levels` buffer across calls, so calibration loops
+    /// observing millions of conversions do not allocate per sample.
+    pub fn convert_held_raw_into(&mut self, v: f64, out: &mut RawConversion) {
+        out.code = self.convert_one(v, 0.0);
+        out.dac_levels.clear();
+        out.dac_levels
+            .extend(self.scratch_decisions.iter().map(|d| d.dac_level));
+        out.flash_code = self.last_flash_code;
     }
 
     /// Converts a pre-sampled record. Tracking distortion and jitter do
@@ -410,20 +489,59 @@ impl PipelineAdc {
         waveform: &W,
         n_samples: usize,
     ) -> Vec<u16> {
+        let mut out = Vec::new();
+        self.convert_waveform_into(waveform, n_samples, &mut out);
+        out
+    }
+
+    /// Like [`Self::convert_waveform`], appending into a caller-owned
+    /// buffer (cleared first) so repeated captures reuse one allocation.
+    ///
+    /// With jitter disabled the sampling instants form an exact uniform
+    /// grid, so the waveform is evaluated in one batched
+    /// [`Waveform::fill_with_slope`] pass. The grid instants and the
+    /// conversion itself are bit-identical to the per-sample path;
+    /// sources that override `fill_with_slope` with a recurrence may
+    /// contribute ulp-scale waveform deviations (see the trait docs).
+    pub fn convert_waveform_into<W: Waveform + ?Sized>(
+        &mut self,
+        waveform: &W,
+        n_samples: usize,
+        out: &mut Vec<u16>,
+    ) {
         let _trace_record = adc_trace::span_with("record", n_samples as u64);
         let period = self.timing.period_s;
-        let mut out = Vec::with_capacity(n_samples);
-        for k in 0..n_samples + WARMUP_SAMPLES {
-            let t_nominal = k as f64 * period;
-            let t = t_nominal + self.config.jitter.sample(&mut self.noise);
-            let v = waveform.value(t);
-            let dvdt = waveform.slope(t);
-            let code = self.convert_one(v, dvdt);
-            if k >= WARMUP_SAMPLES {
-                out.push(code);
+        out.clear();
+        out.reserve(n_samples);
+        let total = n_samples + WARMUP_SAMPLES;
+        // adc-lint: allow(float-eq) reason="feature gate: zero jitter sigma selects the exact-grid batch path"
+        if self.config.jitter.sigma_s == 0.0 {
+            // Jitter off: t = k·period exactly (the jitter source returns
+            // exactly 0.0 without consuming the noise stream), so the
+            // batched grid evaluation is bit-identical to per-sample.
+            let mut values = std::mem::take(&mut self.scratch_values);
+            let mut slopes = std::mem::take(&mut self.scratch_slopes);
+            values.resize(total, 0.0);
+            slopes.resize(total, 0.0);
+            waveform.fill_with_slope(0.0, period, &mut values, &mut slopes);
+            for (k, (&v, &dvdt)) in values.iter().zip(slopes.iter()).enumerate() {
+                let code = self.convert_one(v, dvdt);
+                if k >= WARMUP_SAMPLES {
+                    out.push(code);
+                }
+            }
+            self.scratch_values = values;
+            self.scratch_slopes = slopes;
+        } else {
+            for k in 0..total {
+                let t = k as f64 * period + self.config.jitter.sample(&mut self.noise);
+                let (v, dvdt) = waveform.sample_at(t);
+                let code = self.convert_one(v, dvdt);
+                if k >= WARMUP_SAMPLES {
+                    out.push(code);
+                }
             }
         }
-        out
     }
 
     /// Mutable access to a stage, for fault-injection experiments.
@@ -432,6 +550,9 @@ impl PipelineAdc {
     ///
     /// Panics if `index` is out of range.
     pub fn stage_mut(&mut self, index: usize) -> &mut PipelineStage {
+        // Any stage constant may change behind this borrow; rebuild the
+        // hoisted plans lazily on the next conversion.
+        self.plans_dirty = true;
         &mut self.stages[index]
     }
 
@@ -446,14 +567,67 @@ impl PipelineAdc {
         self.aux_noise_rms_v
     }
 
+    /// Rebuilds the hoisted per-stage conversion constants.
+    ///
+    /// Independent noise sources that enter the same circuit node sum in
+    /// power, so each stage's opamp output noise, the *next* stage's
+    /// kT/C sampling noise, and (when the DSB selects a reference) the
+    /// DAC-gain-scaled reference noise merge into one Gaussian draw with
+    /// sigma `√(σ_amp² + σ_ktc² [+ (G_dac·σ_ref)²])` — a third of the
+    /// per-sample draws of the unmerged path, with the same statistics.
+    fn rebuild_plans(&mut self) {
+        let hold_time = self.timing.period_s / 2.0;
+        let settle = self.timing.settle_time_s;
+        let r = self.reference;
+        let vref_d0 = r.v_ref_v * (1.0 + r.static_error_rel);
+        let vref_d1 = r.v_ref_v * (1.0 + r.static_error_rel - r.droop_rel);
+        let mut plans = Vec::with_capacity(self.stages.len());
+        for (i, stage) in self.stages.iter().enumerate() {
+            let mdac = stage.mdac.plan(settle);
+            let next_ktc = self
+                .stages
+                .get(i + 1)
+                .filter(|next| next.samples_own_input)
+                .map_or(0.0, |next| next.c_sample.ktc_rms_v());
+            let base = mdac.noise_rms_v * mdac.noise_rms_v + next_ktc * next_ktc;
+            let ref_sigma = mdac.dac_gain * r.noise_rms_v;
+            plans.push(StagePlan {
+                droop_k: stage.leak_cubic_a_per_v3 * hold_time / stage.c_sample.value_f,
+                vref_d0,
+                vref_d1,
+                mdac,
+                sigma_d0: base.sqrt(),
+                sigma_d1: (base + ref_sigma * ref_sigma).sqrt(),
+            });
+        }
+        self.plans = plans;
+        let front_ktc = self.front_end.ktc_sigma_v();
+        self.front_noise_rms_v =
+            (front_ktc * front_ktc + self.aux_noise_rms_v * self.aux_noise_rms_v).sqrt();
+        self.plans_dirty = false;
+    }
+
     /// Runs the full conversion of one sampled instant.
+    ///
+    /// This is the planned hot path: settling exponentials, effective
+    /// references, droop factors, and merged noise sigmas all come from
+    /// [`StagePlan`]s, and a stage consumes at most one Gaussian draw
+    /// (plus comparator draws only for marginal decisions). Zero-sigma
+    /// draws never touch the noise stream, so the fully ideal converter
+    /// stays draw-free and bit-exact.
     fn convert_one(&mut self, v: f64, dvdt: f64) -> u16 {
+        if self.plans_dirty {
+            self.rebuild_plans();
+        }
         // Per-stage spans on a deterministic subsample of conversions;
         // the gate costs one relaxed atomic load when tracing is off.
         let trace_stages = adc_trace::enabled() && self.sample_count.is_multiple_of(TRACE_EVERY);
         let period = self.timing.period_s;
-        let mut x = self.front_end.sample(v, dvdt, period, &mut self.noise);
-        x += self.noise.gaussian(0.0, self.aux_noise_rms_v);
+        // Front end: deterministic tracking, then front kT/C and the
+        // auxiliary/flicker noise merged into one draw.
+        let tracked = self.front_end.track(v, dvdt, period);
+        let mut x = tracked + self.noise.gaussian(0.0, self.front_noise_rms_v);
+        self.front_end.commit_held_v(x);
         // Finite PSRR couples supply ripple into the signal path.
         // adc-lint: allow(float-eq) reason="feature gate: ripple injection is configured exactly 0.0 when disabled"
         if self.ripple_referred_v != 0.0 {
@@ -463,12 +637,11 @@ impl PipelineAdc {
         }
         self.sample_count += 1;
 
-        let hold_time = period / 2.0;
         // SHA-less front end: the stage-1 ADSC samples through its own
         // path, skewed from the main sampling instant.
         let stage1_adsc_error = self.adsc_skew_s * dvdt;
         self.scratch_decisions.clear();
-        for stage in &mut self.stages {
+        for (stage, plan) in self.stages.iter_mut().zip(&self.plans) {
             let _trace_stage =
                 trace_stages.then(|| adc_trace::span(STAGE_SPAN_NAMES[stage.index.min(13)]));
             let adsc_error = if stage.index == 0 {
@@ -476,16 +649,22 @@ impl PipelineAdc {
             } else {
                 0.0
             };
-            let (decision, residue) = stage.process_with_adsc_error(
-                x,
-                adsc_error,
-                &self.reference,
-                self.timing.settle_time_s,
-                hold_time,
-                &mut self.noise,
-            );
+            // Hold-phase leakage droop (cubic => distortion at low rates).
+            x -= plan.droop_k * x * x * x;
+            let decision = stage.adsc.decide(x + adsc_error, &mut self.noise);
+            // The DSB selects the reference; droop depends on the DAC
+            // level, and with d = 0 the reference noise cannot reach the
+            // output, so its draw is skipped exactly.
+            let (v_ref_eff, sigma) = if decision.dac_level == 0 {
+                (plan.vref_d0, plan.sigma_d0)
+            } else {
+                (plan.vref_d1, plan.sigma_d1)
+            };
+            let noise_v = self.noise.gaussian(0.0, sigma);
+            x = stage
+                .mdac
+                .amplify_planned(&plan.mdac, x, decision.dac_level, v_ref_eff, noise_v);
             self.scratch_decisions.push(decision);
-            x = residue;
         }
         let _trace_flash = trace_stages.then(|| adc_trace::span("flash"));
         let flash_code = self.flash.decide(x, &mut self.noise);
@@ -706,6 +885,131 @@ mod tests {
         let rec: Vec<f64> = codes.iter().map(|&c| clean.reconstruct_v(c)).collect();
         let ps_clean = adc_spectral::fft::power_spectrum_one_sided(&rec).unwrap();
         assert!(ps_clean[ripple_bin] < expected / 10.0);
+    }
+
+    /// Replicates the pre-plan conversion loop (per-stage
+    /// `process_with_adsc_error`, per-event `effective_v`) so the hoisted
+    /// planned path can be checked against it.
+    fn unplanned_convert_one(adc: &mut PipelineAdc, v: f64, dvdt: f64) -> u16 {
+        let period = adc.timing.period_s;
+        let mut x = adc.front_end.sample(v, dvdt, period, &mut adc.noise);
+        x += adc.noise.gaussian(0.0, adc.aux_noise_rms_v);
+        if adc.ripple_referred_v != 0.0 {
+            let t = adc.sample_count as f64 * period;
+            x += adc.ripple_referred_v
+                * (2.0 * std::f64::consts::PI * adc.config.supply_ripple_hz * t).sin();
+        }
+        adc.sample_count += 1;
+        let hold_time = period / 2.0;
+        let stage1_adsc_error = adc.adsc_skew_s * dvdt;
+        adc.scratch_decisions.clear();
+        for stage in &mut adc.stages {
+            let adsc_error = if stage.index == 0 {
+                stage1_adsc_error
+            } else {
+                0.0
+            };
+            let (decision, residue) = stage.process_with_adsc_error(
+                x,
+                adsc_error,
+                &adc.reference,
+                adc.timing.settle_time_s,
+                hold_time,
+                &mut adc.noise,
+            );
+            adc.scratch_decisions.push(decision);
+            x = residue;
+        }
+        let flash_code = adc.flash.decide(x, &mut adc.noise);
+        correction::assemble_code(&adc.scratch_decisions, flash_code) as u16
+    }
+
+    #[test]
+    fn planned_path_matches_stage_processing_when_noise_is_silent() {
+        // Every runtime noise sigma forced to zero, every *static*
+        // non-ideality kept: capacitor mismatch, comparator offsets,
+        // opamp offsets and finite gain, settling memory, DSB error,
+        // reference static error and droop, leakage droop. With no draws
+        // in either path, the planned conversion must be bit-exact
+        // against the per-stage reference loop.
+        let mut cfg = AdcConfig::nominal_110ms();
+        cfg.thermal_noise = false;
+        cfg.aux_noise_rms_v = 0.0;
+        cfg.flicker_noise_coeff = 0.0;
+        cfg.comparator.noise_rms_v = 0.0;
+        cfg.comparator.metastable_window_v = 0.0;
+        cfg.jitter.sigma_s = 0.0;
+        cfg.leak_cubic_a_per_v3 = 1e-6;
+        let mut planned = PipelineAdc::build(cfg, 21).unwrap();
+        planned.reference.noise_rms_v = 0.0;
+        let mut reference = planned.clone();
+        for i in 0..512 {
+            let v = -0.95 + 1.9 * f64::from(i) / 512.0;
+            assert_eq!(
+                planned.convert_one(v, 0.0),
+                unplanned_convert_one(&mut reference, v, 0.0),
+                "planned path diverged at v = {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn convert_waveform_into_matches_per_sample_evaluation() {
+        // Jitter off => the batched grid path runs; its codes must be
+        // bit-identical to evaluating value/slope one instant at a time.
+        let mut cfg = AdcConfig::nominal_110ms();
+        cfg.jitter.sigma_s = 0.0;
+        let wave = |t: f64| 0.9 * (2.0 * std::f64::consts::PI * 10.3e6 * t).sin();
+        let mut batched = PipelineAdc::build(cfg.clone(), 42).unwrap();
+        let mut out = vec![9999u16; 3]; // stale contents must be cleared
+        batched.convert_waveform_into(&wave, 256, &mut out);
+        let mut manual_adc = PipelineAdc::build(cfg, 42).unwrap();
+        let period = manual_adc.timing().period_s;
+        let mut manual = Vec::new();
+        for k in 0..256 + WARMUP_SAMPLES {
+            let t = k as f64 * period;
+            let code = manual_adc.convert_one(wave.value(t), Waveform::slope(&wave, t));
+            if k >= WARMUP_SAMPLES {
+                manual.push(code);
+            }
+        }
+        assert_eq!(out, manual);
+    }
+
+    #[test]
+    fn convert_waveform_into_is_bit_identical_with_jitter_enabled() {
+        let cfg = AdcConfig::nominal_110ms();
+        let wave = |t: f64| 0.9 * (2.0 * std::f64::consts::PI * 10e6 * t).sin();
+        let mut a = PipelineAdc::build(cfg.clone(), 7).unwrap();
+        let mut b = PipelineAdc::build(cfg, 7).unwrap();
+        let direct = a.convert_waveform(&wave, 256);
+        let mut reused = Vec::new();
+        b.convert_waveform_into(&wave, 256, &mut reused);
+        assert_eq!(direct, reused);
+    }
+
+    #[test]
+    fn convert_held_raw_into_reuses_the_buffer() {
+        let mut adc = PipelineAdc::build(AdcConfig::nominal_110ms(), 11).unwrap();
+        let owned = adc.convert_held_raw(0.25);
+        let mut adc2 = PipelineAdc::build(AdcConfig::nominal_110ms(), 11).unwrap();
+        let mut raw = RawConversion {
+            dac_levels: vec![7; 32], // stale contents must be cleared
+            ..RawConversion::default()
+        };
+        adc2.convert_held_raw_into(0.25, &mut raw);
+        assert_eq!(owned, raw);
+    }
+
+    #[test]
+    fn stage_mut_invalidates_the_hoisted_plans() {
+        let mut adc = PipelineAdc::build(AdcConfig::ideal(110e6), 1).unwrap();
+        let before = adc.convert_held(0.3);
+        // A huge leakage coefficient changes the droop plan; a stale
+        // plan would keep converting perfectly.
+        adc.stage_mut(0).leak_cubic_a_per_v3 = 1e-3;
+        let after = adc.convert_held(0.3);
+        assert_ne!(before, after);
     }
 
     #[test]

@@ -16,7 +16,35 @@
 //! output clipping, and sampled opamp noise.
 
 use adc_analog::noise::NoiseSource;
-use adc_analog::opamp::OpAmp;
+use adc_analog::opamp::{OpAmp, SettlePlan};
+
+/// Precomputed per-sample constants of one MDAC at one timing point.
+///
+/// Built by [`Mdac::plan`] once per timing/configuration change so the
+/// conversion loop's inner pass ([`Mdac::amplify_planned`]) performs no
+/// divisions and — on the dominant linear-settling branch — no `exp()`.
+/// Every field mirrors the quantity [`Mdac::amplify`] derives per call.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MdacPlan {
+    /// Interstage gain `(C1 + C2)/C2`.
+    pub gain: f64,
+    /// DAC step `C1/C2`.
+    pub dac_gain: f64,
+    /// Fabricated input-referred opamp offset, volts.
+    pub input_offset_v: f64,
+    /// Open-loop DC gain `A0` (infinite for an ideal amplifier).
+    pub dc_gain: f64,
+    /// Feedback factor during amplification.
+    pub beta: f64,
+    /// Gain-compression knee, volts.
+    pub gain_knee_v: f64,
+    /// Opamp settling constants at `(settle_time, beta)`.
+    pub settle: SettlePlan,
+    /// DSB residual factor `exp(−t_settle/τ_dsb)` (0 when disabled).
+    pub dsb_decay: f64,
+    /// RMS sampled opamp output noise, volts.
+    pub noise_rms_v: f64,
+}
 
 /// One stage's residue amplifier.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -123,6 +151,65 @@ impl Mdac {
     pub fn reset(&mut self) {
         self.prev_output_v = 0.0;
     }
+
+    /// Precomputes this MDAC's per-sample constants for one settle time.
+    pub fn plan(&self, settle_time_s: f64) -> MdacPlan {
+        MdacPlan {
+            gain: self.gain(),
+            dac_gain: self.dac_gain(),
+            input_offset_v: self.opamp.input_offset_v,
+            dc_gain: self.opamp.spec.dc_gain,
+            beta: self.beta,
+            gain_knee_v: self.opamp.spec.gain_knee_v,
+            settle: self.opamp.settle_plan(settle_time_s, self.beta),
+            dsb_decay: if self.dsb_tau_s > 0.0 {
+                (-settle_time_s / self.dsb_tau_s).exp()
+            } else {
+                0.0
+            },
+            noise_rms_v: self.opamp.sampled_noise_rms_v(self.beta),
+        }
+    }
+
+    /// Planned amplification phase: the same deterministic model as
+    /// [`Mdac::amplify`], but with every operating-point constant taken
+    /// from `plan` and the sampled output noise supplied by the caller
+    /// (`noise_v`) so several independent Gaussian sources can be merged
+    /// into one draw upstream.
+    pub fn amplify_planned(
+        &mut self,
+        plan: &MdacPlan,
+        v_in: f64,
+        dac_level: i8,
+        v_ref_eff: f64,
+        noise_v: f64,
+    ) -> f64 {
+        let ideal = plan.gain * (v_in + plan.input_offset_v)
+            - f64::from(dac_level) * plan.dac_gain * v_ref_eff;
+        // Mirrors OpAmp::gain_error_factor_at with the spec constants
+        // lifted into the plan.
+        let factor = if plan.dc_gain.is_infinite() {
+            1.0
+        } else {
+            let knee = plan.gain_knee_v;
+            let compression = if knee.is_finite() && knee > 0.0 {
+                1.0 + (ideal / knee).powi(2)
+            } else {
+                1.0
+            };
+            1.0 / (1.0 + compression / (plan.dc_gain * plan.beta))
+        };
+        let target = ideal * factor;
+        let settled = plan.settle.settle(target, self.prev_output_v);
+        let dsb_error = if plan.dsb_decay > 0.0 {
+            (target - self.prev_output_v) * plan.dsb_decay
+        } else {
+            0.0
+        };
+        let out = settled - dsb_error + noise_v;
+        self.prev_output_v = out;
+        out
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +289,29 @@ mod tests {
         // 2·0.9 − (−1) = 2.8 V target: clips at 1.3 V.
         let r = m.amplify(0.9, -1, 1.0, 1e-3, &mut n);
         assert_eq!(r, 1.3);
+    }
+
+    #[test]
+    fn planned_amplify_matches_amplify_bit_for_bit() {
+        // Non-ideal spec with mismatch, offset, DSB pole and noise: the
+        // planned path must reproduce the reference path exactly when
+        // fed the same noise draws.
+        let spec = OpAmpSpec::miller_two_stage();
+        let amp = OpAmp::new(spec, 1e-4, 4e-12).with_offset(1.2e-3);
+        let mdac = || Mdac::new(2.01e-12, 2e-12, 0.45, amp).with_dsb_tau(0.2e-9);
+        let (mut reference, mut planned) = (mdac(), mdac());
+        let settle = 4.0e-9;
+        let plan = planned.plan(settle);
+        let mut n_ref = NoiseSource::from_seed(3);
+        let mut n_plan = NoiseSource::from_seed(3);
+        for i in 0..64usize {
+            let v = 0.4 * ((i * 37 % 64) as f64 / 32.0 - 1.0);
+            let d = [-1i8, 0, 1][i % 3];
+            let a = reference.amplify(v, d, 1.0, settle, &mut n_ref);
+            let noise_v = n_plan.gaussian(0.0, plan.noise_rms_v);
+            let b = planned.amplify_planned(&plan, v, d, 1.0, noise_v);
+            assert_eq!(a.to_bits(), b.to_bits(), "divergence at step {i}");
+        }
     }
 
     #[test]

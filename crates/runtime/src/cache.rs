@@ -26,15 +26,36 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Version of the workspace's simulation numerics, folded into every
+/// cache key.
+///
+/// A cached result is bit-identical to the computation it replaced
+/// *only while the computation itself is unchanged*. Configuration
+/// changes are already captured by the config hash, but a kernel
+/// change — a refactor that reorders floating-point operations or
+/// merges RNG draws — changes results under the *same* config, and a
+/// stale cache would silently serve the old numerics. Any PR that
+/// changes conversion or spectral numerics (even within documented
+/// noise floors) must bump this constant so every persisted entry
+/// misses and recomputes.
+///
+/// History: 1 = original per-stage sequential-draw kernels; 2 = planned
+/// kernels (hoisted settling/reference/noise plans with merged
+/// per-stage Gaussian draws, batched waveform sampling, planned
+/// real-input FFT).
+pub const NUMERICS_EPOCH: u32 = 2;
+
 /// Hashes a job configuration's canonical serialization.
 ///
 /// The canonical form is the `Debug` rendering: for the plain-data
 /// configs used in campaigns it is a total, deterministic, field-order
 /// serialization, and any change to any field changes the key. Pair it
 /// with a campaign-name salt so identical configs in different
-/// campaigns do not collide.
+/// campaigns do not collide. The [`NUMERICS_EPOCH`] is folded in so a
+/// kernel-numerics change invalidates every previously persisted
+/// entry.
 pub fn canonical_key<C: Debug>(campaign: &str, config: &C) -> u64 {
-    let canon = format!("{campaign}\u{1f}{config:?}");
+    let canon = format!("epoch{NUMERICS_EPOCH}\u{1f}{campaign}\u{1f}{config:?}");
     fnv1a(canon.as_bytes())
 }
 
@@ -234,6 +255,15 @@ mod tests {
         assert_ne!(base, canonical_key("camp", &Cfg { a: 1.5, b: 2 }));
         assert_ne!(base, canonical_key("camp", &Cfg { a: 1.0, b: 3 }));
         assert_ne!(base, canonical_key("other", &Cfg { a: 1.0, b: 2 }));
+    }
+
+    #[test]
+    fn numerics_epoch_is_folded_into_the_key() {
+        let key = canonical_key("camp", &1u64);
+        let unsalted = fnv1a("camp\u{1f}1".as_bytes());
+        assert_ne!(key, unsalted, "epoch salt must change the key");
+        let salted = fnv1a(format!("epoch{NUMERICS_EPOCH}\u{1f}camp\u{1f}1").as_bytes());
+        assert_eq!(key, salted);
     }
 
     #[test]

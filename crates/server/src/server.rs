@@ -309,16 +309,21 @@ fn run_digitize(req: &DigitizeRequest) -> Result<(Vec<u16>, f64), BuildAdcError>
         session.amplitude_v = a;
     }
     let n = req.n_samples as usize;
+    // One exactly-sized allocation per request; the conversion itself
+    // runs through the allocation-free `_into` paths.
+    let mut codes = Vec::with_capacity(n);
     match req.waveform {
         WaveformSpec::Tone { f_target_hz } => {
             session.record_len = n;
-            let (codes, f_in) = session.capture_tone(f_target_hz);
+            let f_in = session.capture_tone_into(f_target_hz, &mut codes);
             Ok((codes, f_in))
         }
         WaveformSpec::Dc { level_v } => {
             let source = adc_testbench::DcSource { level_v };
             session.adc_mut().reset();
-            let codes = session.adc_mut().convert_waveform(&source, n);
+            session
+                .adc_mut()
+                .convert_waveform_into(&source, n, &mut codes);
             Ok((codes, 0.0))
         }
         WaveformSpec::Ramp { from_v, to_v } => {
@@ -326,7 +331,9 @@ fn run_digitize(req: &DigitizeRequest) -> Result<(Vec<u16>, f64), BuildAdcError>
             let duration_s = n as f64 / f_cr;
             let source = RampSource::new(from_v, to_v, duration_s);
             session.adc_mut().reset();
-            let codes = session.adc_mut().convert_waveform(&source, n);
+            session
+                .adc_mut()
+                .convert_waveform_into(&source, n, &mut codes);
             Ok((codes, 0.0))
         }
     }

@@ -2,18 +2,30 @@
 //!
 //! Written from scratch (no DSP crates in the offline dependency set).
 //! Decimation-in-time with a bit-reversal permutation followed by
-//! `log2(n)` butterfly passes; twiddles are generated per pass from a
-//! single `cis` evaluation and complex multiplication, which keeps the
-//! accuracy comfortably below the −120 dBc floor needed to measure a 12-bit
-//! converter.
+//! `log2(n)` butterfly passes. All transforms execute through the
+//! precomputed plans of [`crate::plan`] (direct-evaluated twiddle
+//! tables, cached per length), which keeps the accuracy comfortably
+//! below the −120 dBc floor needed to measure a 12-bit converter.
+//! Real-input transforms pack `n` reals into an `n/2` complex transform
+//! and untangle, roughly halving the work per record; the `_into`
+//! variants reuse caller buffers so the analysis hot path does not
+//! allocate per capture.
 
 use crate::complex::Complex64;
+use crate::plan::{plan, SpectralScratch};
 
 /// Errors returned by FFT planning/execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FftError {
     /// The transform length is not a power of two (or is zero).
     NonPowerOfTwoLength(usize),
+    /// Data of one length was handed to a plan built for another.
+    PlanLengthMismatch {
+        /// Length the plan was built for.
+        plan: usize,
+        /// Length of the data actually supplied.
+        data: usize,
+    },
 }
 
 impl std::fmt::Display for FftError {
@@ -22,6 +34,9 @@ impl std::fmt::Display for FftError {
             FftError::NonPowerOfTwoLength(n) => {
                 write!(f, "fft length {n} is not a nonzero power of two")
             }
+            FftError::PlanLengthMismatch { plan, data } => {
+                write!(f, "fft plan for length {plan} given {data} samples")
+            }
         }
     }
 }
@@ -29,45 +44,11 @@ impl std::fmt::Display for FftError {
 impl std::error::Error for FftError {}
 
 /// Checks that `n` is a usable FFT length.
-fn check_len(n: usize) -> Result<(), FftError> {
+pub(crate) fn check_len(n: usize) -> Result<(), FftError> {
     if n == 0 || !n.is_power_of_two() {
         Err(FftError::NonPowerOfTwoLength(n))
     } else {
         Ok(())
-    }
-}
-
-/// In-place bit-reversal permutation.
-fn bit_reverse_permute(data: &mut [Complex64]) {
-    let n = data.len();
-    let shift = n.leading_zeros() + 1;
-    for i in 0..n {
-        let j = i.reverse_bits() >> shift;
-        if j > i {
-            data.swap(i, j);
-        }
-    }
-}
-
-/// Core butterfly passes; `sign` is −1 for forward, +1 for inverse.
-fn transform(data: &mut [Complex64], sign: f64) {
-    let n = data.len();
-    bit_reverse_permute(data);
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex64::cis(ang);
-        for start in (0..n).step_by(len) {
-            let mut w = Complex64::ONE;
-            for k in 0..len / 2 {
-                let u = data[start + k];
-                let v = data[start + k + len / 2] * w;
-                data[start + k] = u + v;
-                data[start + k + len / 2] = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
     }
 }
 
@@ -92,10 +73,8 @@ fn transform(data: &mut [Complex64], sign: f64) {
 /// # }
 /// ```
 pub fn fft_in_place(data: &mut [Complex64]) -> Result<(), FftError> {
-    check_len(data.len())?;
     let _trace = adc_trace::span_with("fft", data.len() as u64);
-    transform(data, -1.0);
-    Ok(())
+    plan(data.len())?.forward(data)
 }
 
 /// Inverse FFT, in place, normalised by `1/n`.
@@ -105,50 +84,141 @@ pub fn fft_in_place(data: &mut [Complex64]) -> Result<(), FftError> {
 /// Returns [`FftError::NonPowerOfTwoLength`] if the slice length is not a
 /// nonzero power of two.
 pub fn ifft_in_place(data: &mut [Complex64]) -> Result<(), FftError> {
-    check_len(data.len())?;
-    transform(data, 1.0);
-    let scale = 1.0 / data.len() as f64;
-    for z in data.iter_mut() {
-        *z = z.scale(scale);
+    plan(data.len())?.inverse(data)
+}
+
+/// Runs the packed real-input transform and hands each untangled bin
+/// `X[k]`, `k in 0..=n/2`, to `emit`. `scratch.packed` holds the
+/// half-length transform on return.
+fn real_untangle<F: FnMut(usize, Complex64)>(
+    signal: &[f64],
+    scratch: &mut SpectralScratch,
+    mut emit: F,
+) -> Result<(), FftError> {
+    let n = signal.len();
+    check_len(n)?;
+    if n == 1 {
+        emit(0, Complex64::from(signal[0]));
+        return Ok(());
+    }
+    let full = plan(n)?;
+    let m = n / 2;
+    let packed = &mut scratch.packed;
+    packed.clear();
+    packed.extend((0..m).map(|i| Complex64::new(signal[2 * i], signal[2 * i + 1])));
+    plan(m)?.forward(packed)?;
+    // Untangle: with Z the half-length transform of the packed signal
+    // (Z[m] ≡ Z[0] by periodicity),
+    //   E[k] = (Z[k] + conj(Z[m−k])) / 2        (FFT of even samples)
+    //   O[k] = (Z[k] − conj(Z[m−k])) / (2i)     (FFT of odd samples)
+    //   X[k] = E[k] + W_n^k · O[k].
+    for k in 0..=m {
+        let zk = if k == m { packed[0] } else { packed[k] };
+        let zmk = if k == 0 { packed[0] } else { packed[m - k] };
+        let even = (zk + zmk.conj()).scale(0.5);
+        let odd = (zk - zmk.conj()) * Complex64::new(0.0, -0.5);
+        emit(k, even + full.twiddle(k) * odd);
     }
     Ok(())
 }
 
+/// FFT of a real signal into `out` (cleared and resized to the full
+/// `n`-point complex spectrum), reusing `scratch` across calls.
+///
+/// The upper half of the spectrum is the conjugate mirror of the lower
+/// half, reconstructed without a second transform.
+///
+/// # Errors
+///
+/// Returns [`FftError::NonPowerOfTwoLength`] if the input length is not a
+/// nonzero power of two.
+pub fn fft_real_into(
+    signal: &[f64],
+    scratch: &mut SpectralScratch,
+    out: &mut Vec<Complex64>,
+) -> Result<(), FftError> {
+    let n = signal.len();
+    check_len(n)?;
+    let _trace = adc_trace::span_with("fft", n as u64);
+    out.clear();
+    out.resize(n, Complex64::ZERO);
+    let half = n / 2;
+    real_untangle(signal, scratch, |k, x| {
+        out[k] = x;
+        if k != 0 && k != half {
+            out[n - k] = x.conj();
+        }
+    })
+}
+
 /// FFT of a real signal, returning the full complex spectrum.
+///
+/// Allocation-free alternative: [`fft_real_into`].
 ///
 /// # Errors
 ///
 /// Returns [`FftError::NonPowerOfTwoLength`] if the input length is not a
 /// nonzero power of two.
 pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex64>, FftError> {
-    check_len(signal.len())?;
-    let _trace = adc_trace::span_with("fft", signal.len() as u64);
-    let mut data: Vec<Complex64> = signal.iter().map(|&x| Complex64::from(x)).collect();
-    transform(&mut data, -1.0);
-    Ok(data)
+    let mut scratch = SpectralScratch::new();
+    let mut out = Vec::new();
+    fft_real_into(signal, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// One-sided power spectrum into `out` (cleared and refilled), reusing
+/// `scratch` across calls; see [`power_spectrum_one_sided`] for the
+/// normalisation contract.
+///
+/// Computes the `n/2 + 1` one-sided bins directly from the packed
+/// half-length transform — the full complex spectrum is never
+/// materialised.
+///
+/// # Errors
+///
+/// Returns [`FftError::NonPowerOfTwoLength`] if the input length is not a
+/// nonzero power of two.
+pub fn power_spectrum_one_sided_into(
+    signal: &[f64],
+    scratch: &mut SpectralScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), FftError> {
+    let n = signal.len();
+    check_len(n)?;
+    let _trace = adc_trace::span_with("fft", n as u64);
+    out.clear();
+    out.reserve(n / 2 + 1);
+    let norm = 1.0 / (n as f64 * n as f64);
+    let half = n / 2;
+    real_untangle(signal, scratch, |k, x| {
+        // DC and Nyquist appear once; interior bins fold with their mirror.
+        let fold = if k == 0 || k == half { 1.0 } else { 2.0 };
+        out.push(fold * x.norm_sqr() * norm);
+    })?;
+    if n == 1 {
+        // Degenerate length: DC and "Nyquist" are the same single bin,
+        // reported twice for continuity with the n ≥ 2 layout.
+        let dc = out[0];
+        out.push(dc);
+    }
+    Ok(())
 }
 
 /// One-sided power spectrum of a real signal, normalised so a full-scale
 /// sine of amplitude `A` lands `A²/2` in its bin (coherent sampling,
 /// rectangular window).
 ///
-/// Returns `n/2 + 1` bins (DC through Nyquist).
+/// Returns `n/2 + 1` bins (DC through Nyquist). Allocation-free
+/// alternative: [`power_spectrum_one_sided_into`].
 ///
 /// # Errors
 ///
 /// Returns [`FftError::NonPowerOfTwoLength`] if the input length is not a
 /// nonzero power of two.
 pub fn power_spectrum_one_sided(signal: &[f64]) -> Result<Vec<f64>, FftError> {
-    let n = signal.len();
-    let spec = fft_real(signal)?;
-    let norm = 1.0 / (n as f64 * n as f64);
-    let mut out = Vec::with_capacity(n / 2 + 1);
-    // DC and Nyquist appear once; interior bins fold with their mirror.
-    out.push(spec[0].norm_sqr() * norm);
-    for bin in spec.iter().take(n / 2).skip(1) {
-        out.push(2.0 * bin.norm_sqr() * norm);
-    }
-    out.push(spec[n / 2].norm_sqr() * norm);
+    let mut scratch = SpectralScratch::new();
+    let mut out = Vec::new();
+    power_spectrum_one_sided_into(signal, &mut scratch, &mut out)?;
     Ok(out)
 }
 

@@ -5,6 +5,9 @@
 //! DATE 2004 "97 mW 110 MS/s 12b Pipeline ADC".
 //!
 //! * [`fft`] — iterative radix-2 FFT/IFFT and one-sided power spectra;
+//! * [`plan`] — cached FFT execution plans (precomputed bit-reversal
+//!   and twiddle tables) and the [`SpectralScratch`] buffer set behind
+//!   the allocation-free `_into` APIs;
 //! * [`window`] — rectangular/Hann/Blackman/Blackman–Harris windows and
 //!   coherent-frequency selection;
 //! * [`metrics`] — IEEE-1241-style single-tone SNR/SNDR/SFDR/THD/ENOB;
@@ -35,18 +38,23 @@ pub mod fft;
 pub mod goertzel;
 pub mod linearity;
 pub mod metrics;
+pub mod plan;
 pub mod sinefit;
 pub mod spectrum;
 pub mod twotone;
 pub mod window;
 
 pub use complex::Complex64;
-pub use fft::{fft_in_place, fft_real, ifft_in_place, power_spectrum_one_sided, FftError};
+pub use fft::{
+    fft_in_place, fft_real, fft_real_into, ifft_in_place, power_spectrum_one_sided,
+    power_spectrum_one_sided_into, FftError,
+};
 pub use goertzel::{goertzel_bin, goertzel_power, tone_screen};
 pub use linearity::{
     predict_tone_from_inl, ramp_histogram, sine_histogram, LinearityError, LinearityResult,
 };
 pub use metrics::{analyze_tone, HarmonicReading, SingleToneAnalysis, ToneAnalysisConfig};
+pub use plan::{plan, FftPlan, SpectralScratch};
 pub use sinefit::{fit_known_frequency, fit_refine_frequency, SineFit, SineFitError};
 pub use spectrum::AveragedSpectrum;
 pub use twotone::{analyze_two_tone, ImdProduct, TwoToneAnalysis};

@@ -15,8 +15,16 @@
 //! Because both the tone-lobe sum and the residual noise sum scale with
 //! `Σw²`, the ratios are window-unbiased without explicit ENBW correction.
 
-use crate::fft::{power_spectrum_one_sided, FftError};
+use crate::fft::{power_spectrum_one_sided_into, FftError};
+use crate::plan::SpectralScratch;
 use crate::window::Window;
+
+/// Bin-ownership tags used while classifying the spectrum. Stored as
+/// `u8` so the map lives in a reusable [`SpectralScratch`] buffer.
+const OWNER_FREE: u8 = 0;
+const OWNER_DC: u8 = 1;
+const OWNER_FUNDAMENTAL: u8 = 2;
+const OWNER_HARMONIC: u8 = 3;
 
 /// Configuration for [`analyze_tone`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -147,13 +155,49 @@ pub fn analyze_tone(
     signal: &[f64],
     cfg: &ToneAnalysisConfig,
 ) -> Result<SingleToneAnalysis, FftError> {
+    let mut scratch = SpectralScratch::new();
+    analyze_tone_with(signal, cfg, &mut scratch)
+}
+
+/// [`analyze_tone`] with caller-supplied scratch buffers.
+///
+/// A warm `scratch` makes the whole analysis — windowing, the packed
+/// real-input FFT, the power spectrum, the bin-ownership map and the
+/// SFDR prefix sums — allocation-free (except the per-result
+/// `harmonics` vector in the returned analysis).
+///
+/// # Errors
+///
+/// Returns [`FftError`] if the record length is not a nonzero power of
+/// two.
+///
+/// # Panics
+///
+/// Panics if a forced `fundamental_bin` is DC/out of range.
+pub fn analyze_tone_with(
+    signal: &[f64],
+    cfg: &ToneAnalysisConfig,
+    scratch: &mut SpectralScratch,
+) -> Result<SingleToneAnalysis, FftError> {
     let _trace = adc_trace::span_with("analyze_tone", signal.len() as u64);
     let n = signal.len();
-    let windowed = {
+    // Rectangular records (every coherent capture) skip the windowed
+    // copy entirely; tapered windows reuse the scratch buffer.
+    let mut windowed_buf = std::mem::take(&mut scratch.windowed);
+    let windowed: &[f64] = if cfg.window == Window::Rectangular {
+        signal
+    } else {
         let _trace_window = adc_trace::span("window");
-        cfg.window.apply(signal)
+        cfg.window.apply_into(signal, &mut windowed_buf);
+        &windowed_buf
     };
-    let ps = power_spectrum_one_sided(&windowed)?;
+    let mut ps = std::mem::take(&mut scratch.power);
+    let spectrum_result = power_spectrum_one_sided_into(windowed, scratch, &mut ps);
+    scratch.windowed = windowed_buf;
+    if let Err(e) = spectrum_result {
+        scratch.power = ps;
+        return Err(e);
+    }
     let half = cfg.window.tone_half_width_bins();
     let nyquist = n / 2;
 
@@ -180,21 +224,16 @@ pub fn analyze_tone(
     };
 
     // Ownership map: which bins belong to DC / fundamental / harmonics.
-    #[derive(Clone, Copy, PartialEq)]
-    enum Owner {
-        Free,
-        Dc,
-        Fundamental,
-        Harmonic,
-    }
-    let mut owner = vec![Owner::Free; nyquist + 1];
+    let mut owner = std::mem::take(&mut scratch.owner);
+    owner.clear();
+    owner.resize(nyquist + 1, OWNER_FREE);
     for slot in owner.iter_mut().take(dc_end + 1) {
-        *slot = Owner::Dc;
+        *slot = OWNER_DC;
     }
     let lo = fundamental_bin.saturating_sub(half);
     let hi = (fundamental_bin + half).min(nyquist);
     for slot in owner.iter_mut().take(hi + 1).skip(lo) {
-        *slot = Owner::Fundamental;
+        *slot = OWNER_FUNDAMENTAL;
     }
 
     let mut harmonics = Vec::with_capacity(cfg.harmonic_count.saturating_sub(1));
@@ -205,8 +244,8 @@ pub fn analyze_tone(
         let hi = (bin + half).min(nyquist);
         let mut p = 0.0;
         for i in lo..=hi {
-            if owner[i] == Owner::Free {
-                owner[i] = Owner::Harmonic;
+            if owner[i] == OWNER_FREE {
+                owner[i] = OWNER_HARMONIC;
                 p += ps[i];
             }
         }
@@ -222,7 +261,7 @@ pub fn analyze_tone(
     let noise_power: f64 = owner
         .iter()
         .zip(ps.iter())
-        .filter(|(o, _)| **o == Owner::Free)
+        .filter(|(o, _)| **o == OWNER_FREE)
         .map(|(_, p)| *p)
         .sum();
 
@@ -236,7 +275,7 @@ pub fn analyze_tone(
             .filter(|&i| {
                 // Count only bins credited to harmonics (avoid double
                 // counting fundamental overlap).
-                owner[i] == Owner::Harmonic
+                owner[i] == OWNER_HARMONIC
             })
             .map(|i| ps[i])
             .sum();
@@ -248,7 +287,9 @@ pub fn analyze_tone(
 
     // SFDR: worst tone-width spur anywhere outside DC and fundamental.
     // Prefix sums make each candidate window O(1).
-    let mut prefix = vec![0.0_f64; nyquist + 2];
+    let mut prefix = std::mem::take(&mut scratch.prefix);
+    prefix.clear();
+    prefix.resize(nyquist + 2, 0.0);
     for i in 0..=nyquist {
         prefix[i + 1] = prefix[i] + ps[i];
     }
@@ -257,7 +298,7 @@ pub fn analyze_tone(
         let lo = center.saturating_sub(half);
         let hi = (center + half).min(nyquist);
         // Skip windows that touch the fundamental's main lobe.
-        if (lo..=hi).any(|i| owner[i] == Owner::Fundamental) {
+        if (lo..=hi).any(|i| owner[i] == OWNER_FUNDAMENTAL) {
             continue;
         }
         let window_sum = prefix[hi + 1] - prefix[lo];
@@ -281,6 +322,10 @@ pub fn analyze_tone(
         Some(fs) if fs > 0.0 => ratio_db(signal_power, fs * fs / 2.0),
         _ => 0.0,
     };
+
+    scratch.power = ps;
+    scratch.owner = owner;
+    scratch.prefix = prefix;
 
     Ok(SingleToneAnalysis {
         n,

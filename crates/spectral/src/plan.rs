@@ -1,0 +1,255 @@
+//! FFT execution plans: precomputed bit-reversal and twiddle tables.
+//!
+//! The table-free transform in [`crate::fft`] regenerated every twiddle
+//! by complex recurrence on every call — one extra complex multiply per
+//! butterfly and a long dependency chain. A [`FftPlan`] hoists all of
+//! that out of the hot loop, FFTW-style but radix-2 only:
+//!
+//! * the bit-reversal permutation is precomputed as a swap list;
+//! * one table of `n/2` forward twiddles `W_n^k = e^{-2πik/n}` serves
+//!   every butterfly pass (pass `len` reads it at stride `n/len`) *and*
+//!   the real-input untangle step of a length-`n` real transform;
+//! * plans are cached per power-of-two length behind a deterministic
+//!   [`BTreeMap`] (iteration order and contents depend only on the
+//!   lengths requested, never on hashing or timing), so planning cost
+//!   is paid once per process per length.
+//!
+//! Twiddles are evaluated directly (`cis(-2πk/n)`), not by recurrence,
+//! which *improves* accuracy over the previous implementation; the
+//! kernel-change policy in DESIGN.md §12 covers the resulting
+//! sub-`1e-12` numeric shifts.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::complex::Complex64;
+use crate::fft::FftError;
+
+/// A reusable radix-2 transform plan for one power-of-two length.
+///
+/// Obtain plans through [`plan`]; they are immutable and cheaply
+/// shareable (`Arc`). Executing a plan performs no allocation.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    /// Transform length (a nonzero power of two).
+    n: usize,
+    /// `(i, j)` pairs with `j > i` swapped by the bit-reversal pass.
+    swaps: Vec<(u32, u32)>,
+    /// Forward twiddles `W_n^k = e^{-2πik/n}` for `k in 0..n/2`.
+    twiddles: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Builds a plan for length `n` (caller guarantees a power of two).
+    fn new(n: usize) -> Self {
+        debug_assert!(n.is_power_of_two());
+        assert!(
+            n - 1 <= u32::MAX as usize,
+            "fft length {n} exceeds plan index range"
+        );
+        let mut swaps = Vec::new();
+        if n > 1 {
+            let shift = n.leading_zeros() + 1;
+            for i in 0..n {
+                let j = i.reverse_bits() >> shift;
+                if j > i {
+                    swaps.push((i as u32, j as u32));
+                }
+            }
+        }
+        let ang = -2.0 * std::f64::consts::PI / n as f64;
+        let twiddles = (0..n / 2).map(|k| Complex64::cis(ang * k as f64)).collect();
+        Self { n, swaps, twiddles }
+    }
+
+    /// The transform length this plan executes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: plans exist only for nonzero lengths.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward twiddle `W_n^k = e^{-2πik/n}` for `k in 0..=n/2`.
+    ///
+    /// The table stores the first half; `k = n/2` is exactly −1.
+    pub(crate) fn twiddle(&self, k: usize) -> Complex64 {
+        if k == self.n / 2 {
+            Complex64::new(-1.0, 0.0)
+        } else {
+            self.twiddles[k]
+        }
+    }
+
+    /// Forward FFT of `data`, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::PlanLengthMismatch`] if `data.len()` differs
+    /// from the planned length.
+    pub fn forward(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.check(data.len())?;
+        self.execute(data, false);
+        Ok(())
+    }
+
+    /// Inverse FFT of `data`, in place, normalised by `1/n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::PlanLengthMismatch`] if `data.len()` differs
+    /// from the planned length.
+    pub fn inverse(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.check(data.len())?;
+        self.execute(data, true);
+        let scale = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+        Ok(())
+    }
+
+    fn check(&self, data_len: usize) -> Result<(), FftError> {
+        if data_len == self.n {
+            Ok(())
+        } else {
+            Err(FftError::PlanLengthMismatch {
+                plan: self.n,
+                data: data_len,
+            })
+        }
+    }
+
+    /// Bit-reversal pass followed by the table-driven butterflies.
+    fn execute(&self, data: &mut [Complex64], inverse: bool) {
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let tw = self.twiddles[k * stride];
+                    let w = if inverse { tw.conj() } else { tw };
+                    let u = data[start + k];
+                    let v = data[start + k + half] * w;
+                    data[start + k] = u + v;
+                    data[start + k + half] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// The process-wide plan cache, keyed by transform length.
+///
+/// A `BTreeMap` (not a hash map) keeps contents and iteration order a
+/// pure function of the lengths requested — the same determinism rule
+/// adc-lint enforces across this crate. Poisoning is survivable because
+/// plans are immutable once inserted.
+static PLAN_CACHE: Mutex<BTreeMap<usize, Arc<FftPlan>>> = Mutex::new(BTreeMap::new());
+
+/// Returns the cached plan for length `n`, building it on first use.
+///
+/// # Errors
+///
+/// Returns [`FftError::NonPowerOfTwoLength`] if `n` is zero or not a
+/// power of two.
+pub fn plan(n: usize) -> Result<Arc<FftPlan>, FftError> {
+    if n == 0 || !n.is_power_of_two() {
+        return Err(FftError::NonPowerOfTwoLength(n));
+    }
+    if let Some(cached) = PLAN_CACHE
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&n)
+    {
+        return Ok(Arc::clone(cached));
+    }
+    // Build outside the lock; first insertion wins on a race.
+    let fresh = Arc::new(FftPlan::new(n));
+    let mut cache = PLAN_CACHE.lock().unwrap_or_else(PoisonError::into_inner);
+    Ok(Arc::clone(cache.entry(n).or_insert(fresh)))
+}
+
+/// Reusable scratch buffers for the `_into` spectral APIs.
+///
+/// One instance per analysis thread amortises every intermediate buffer
+/// of [`crate::fft::fft_real_into`], [`crate::fft::power_spectrum_one_sided_into`]
+/// and [`crate::metrics::analyze_tone_with`] — a full tone analysis of a
+/// warm scratch performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct SpectralScratch {
+    /// Packed half-length complex buffer for real-input transforms.
+    pub(crate) packed: Vec<Complex64>,
+    /// Windowed copy of the input record.
+    pub(crate) windowed: Vec<f64>,
+    /// One-sided power spectrum.
+    pub(crate) power: Vec<f64>,
+    /// Per-bin ownership tags used by tone analysis.
+    pub(crate) owner: Vec<u8>,
+    /// Prefix sums over the power spectrum (SFDR window search).
+    pub(crate) prefix: Vec<f64>,
+}
+
+impl SpectralScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_rejects_bad_lengths() {
+        assert_eq!(plan(0).unwrap_err(), FftError::NonPowerOfTwoLength(0));
+        assert_eq!(plan(12).unwrap_err(), FftError::NonPowerOfTwoLength(12));
+        assert!(plan(1).is_ok());
+        assert!(plan(1 << 14).is_ok());
+    }
+
+    #[test]
+    fn plans_are_cached_and_shared() {
+        let a = plan(256).unwrap();
+        let b = plan(256).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second request must hit the cache");
+        assert_eq!(a.len(), 256);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn forward_checks_data_length() {
+        let p = plan(16).unwrap();
+        let mut wrong = vec![Complex64::ZERO; 8];
+        assert_eq!(
+            p.forward(&mut wrong).unwrap_err(),
+            FftError::PlanLengthMismatch { plan: 16, data: 8 }
+        );
+    }
+
+    #[test]
+    fn nyquist_twiddle_is_exactly_minus_one() {
+        let p = plan(8).unwrap();
+        let w = p.twiddle(4);
+        assert_eq!((w.re, w.im), (-1.0, 0.0));
+    }
+
+    #[test]
+    fn length_one_plan_is_identity() {
+        let p = plan(1).unwrap();
+        let mut data = vec![Complex64::new(3.5, -1.25)];
+        p.forward(&mut data).unwrap();
+        assert_eq!(data[0], Complex64::new(3.5, -1.25));
+        p.inverse(&mut data).unwrap();
+        assert_eq!(data[0], Complex64::new(3.5, -1.25));
+    }
+}

@@ -36,19 +36,21 @@ impl Window {
         assert!(n > 0, "window length must be nonzero");
         let step = 2.0 * std::f64::consts::PI / n as f64;
         (0..n)
-            .map(|i| {
-                let x = step * i as f64;
-                match self {
-                    Window::Rectangular => 1.0,
-                    Window::Hann => 0.5 - 0.5 * x.cos(),
-                    Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
-                    Window::BlackmanHarris4 => {
-                        0.358_75 - 0.488_29 * x.cos() + 0.141_28 * (2.0 * x).cos()
-                            - 0.011_68 * (3.0 * x).cos()
-                    }
-                }
-            })
+            .map(|i| self.coefficient_at(step * i as f64))
             .collect()
+    }
+
+    /// One window coefficient at phase `x = 2πi/n`.
+    fn coefficient_at(&self, x: f64) -> f64 {
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * x.cos(),
+            Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+            Window::BlackmanHarris4 => {
+                0.358_75 - 0.488_29 * x.cos() + 0.141_28 * (2.0 * x).cos()
+                    - 0.011_68 * (3.0 * x).cos()
+            }
+        }
     }
 
     /// Coherent (amplitude) gain: the mean of the coefficients.
@@ -84,11 +86,27 @@ impl Window {
 
     /// Applies the window to a signal, returning the tapered copy.
     pub fn apply(&self, signal: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.apply_into(signal, &mut out);
+        out
+    }
+
+    /// Applies the window into `out` (cleared and refilled), computing
+    /// coefficients on the fly — no intermediate coefficient vector.
+    pub fn apply_into(&self, signal: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(signal.len());
         if *self == Window::Rectangular {
-            return signal.to_vec();
+            out.extend_from_slice(signal);
+            return;
         }
-        let coeffs = self.coefficients(signal.len());
-        signal.iter().zip(&coeffs).map(|(x, w)| x * w).collect()
+        let step = 2.0 * std::f64::consts::PI / signal.len() as f64;
+        out.extend(
+            signal
+                .iter()
+                .enumerate()
+                .map(|(i, x)| x * self.coefficient_at(step * i as f64)),
+        );
     }
 }
 

@@ -1,0 +1,139 @@
+//! Kernel-level validation of the planned FFT paths.
+//!
+//! The planned kernels (precomputed bit-reversal swaps, shared twiddle
+//! tables, real-input packing) are the spectral hot path since the
+//! DSP-kernel rework; these tests pin them against slow reference
+//! implementations that share no code with the plan machinery:
+//!
+//! * the naive O(n²) direct DFT,
+//! * the complex FFT applied to a real signal widened to complex,
+//! * Parseval's theorem (energy conservation),
+//! * the Goertzel single-bin recursion.
+
+use adc_spectral::fft::{fft_in_place, fft_real, fft_real_into};
+use adc_spectral::plan::SpectralScratch;
+use adc_spectral::{goertzel_bin, Complex64};
+
+/// Deterministic broadband test signal: tone + quadratic-chirp leakage
+/// + LCG dither, so every bin carries non-trivial energy.
+fn test_signal(n: usize) -> Vec<f64> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let dither = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            let t = i as f64 / n as f64;
+            (std::f64::consts::TAU * 17.0 * t).sin()
+                + 0.25 * (std::f64::consts::TAU * (3.0 * t + 40.0 * t * t)).cos()
+                + 0.01 * dither
+        })
+        .collect()
+}
+
+/// Naive O(n²) direct DFT — the reference the fast kernels answer to.
+fn direct_dft(signal: &[f64]) -> Vec<Complex64> {
+    let n = signal.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::new(0.0, 0.0);
+            for (i, &x) in signal.iter().enumerate() {
+                let angle = -std::f64::consts::TAU * (k as f64) * (i as f64) / n as f64;
+                acc += Complex64::new(x * angle.cos(), x * angle.sin());
+            }
+            acc
+        })
+        .collect()
+}
+
+fn max_abs_error(got: &[Complex64], want: &[Complex64]) -> f64 {
+    got.iter()
+        .zip(want)
+        .map(|(g, w)| ((g.re - w.re).powi(2) + (g.im - w.im).powi(2)).sqrt())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn planned_fft_matches_direct_dft_across_sizes() {
+    for n in [8usize, 32, 128, 512, 2048, 8192] {
+        let signal = test_signal(n);
+        let got = fft_real(&signal).unwrap();
+        let want = direct_dft(&signal);
+        // Direct-DFT recurrence-free angles are themselves only good to
+        // ~n·eps; scale the bound with signal energy and size.
+        let scale: f64 = signal.iter().map(|x| x.abs()).sum();
+        let tol = 1e-13 * scale * (n as f64).log2();
+        assert!(
+            max_abs_error(&got, &want) < tol,
+            "n={n}: err {} tol {tol}",
+            max_abs_error(&got, &want)
+        );
+    }
+}
+
+#[test]
+fn real_packed_fft_agrees_with_widened_complex_fft() {
+    for n in [16usize, 256, 4096] {
+        let signal = test_signal(n);
+        let packed = fft_real(&signal).unwrap();
+        let mut widened: Vec<Complex64> = signal.iter().map(|&x| Complex64::new(x, 0.0)).collect();
+        fft_in_place(&mut widened).unwrap();
+        let scale: f64 = signal.iter().map(|x| x.abs()).sum();
+        let tol = 1e-14 * scale * (n as f64).log2();
+        assert!(
+            max_abs_error(&packed, &widened) < tol,
+            "n={n}: err {}",
+            max_abs_error(&packed, &widened)
+        );
+    }
+}
+
+#[test]
+fn parseval_energy_is_conserved() {
+    for n in [64usize, 1024, 8192] {
+        let signal = test_signal(n);
+        let spectrum = fft_real(&signal).unwrap();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spectrum
+            .iter()
+            .map(|z| (z.re * z.re + z.im * z.im) / n as f64)
+            .sum();
+        assert!(
+            (time_energy - freq_energy).abs() < 1e-9 * time_energy,
+            "n={n}: time {time_energy} freq {freq_energy}"
+        );
+    }
+}
+
+#[test]
+fn goertzel_agrees_with_the_fft_tone_bin() {
+    let n = 4096usize;
+    let k = 479usize;
+    let signal: Vec<f64> = (0..n)
+        .map(|i| (std::f64::consts::TAU * k as f64 * i as f64 / n as f64).sin())
+        .collect();
+    let spectrum = fft_real(&signal).unwrap();
+    for bin in [k, k - 3, 2 * k] {
+        let g = goertzel_bin(&signal, bin);
+        let f = spectrum[bin];
+        let err = ((g.re - f.re).powi(2) + (g.im - f.im).powi(2)).sqrt();
+        assert!(err < 1e-7 * n as f64 / 2.0, "bin {bin}: err {err}");
+    }
+}
+
+#[test]
+fn fft_real_into_reuses_buffers_and_matches_the_allocating_api() {
+    let mut scratch = SpectralScratch::new();
+    let mut spectrum = Vec::new();
+    for n in [1024usize, 4096, 1024] {
+        let signal = test_signal(n);
+        fft_real_into(&signal, &mut scratch, &mut spectrum).unwrap();
+        let want = fft_real(&signal).unwrap();
+        assert_eq!(spectrum.len(), want.len());
+        for (a, b) in spectrum.iter().zip(&want) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n}");
+        }
+    }
+}

@@ -10,7 +10,8 @@ use adc_pipeline::config::AdcConfig;
 use adc_pipeline::converter::PipelineAdc;
 use adc_pipeline::error::BuildAdcError;
 use adc_spectral::linearity::{sine_histogram, LinearityError, LinearityResult};
-use adc_spectral::metrics::{analyze_tone, SingleToneAnalysis, ToneAnalysisConfig};
+use adc_spectral::metrics::{analyze_tone_with, SingleToneAnalysis, ToneAnalysisConfig};
+use adc_spectral::plan::SpectralScratch;
 use adc_spectral::window::coherent_frequency_clear;
 
 use crate::filter::BandpassFilter;
@@ -34,6 +35,21 @@ pub struct ToneMeasurement {
     pub analysis: SingleToneAnalysis,
 }
 
+/// Reusable capture/analysis buffers — measurement plumbing, not part
+/// of the die's identity. A warm session performs a full `measure_tone`
+/// without heap allocation.
+#[derive(Debug, Clone, Default)]
+struct SessionScratch {
+    /// Captured code record.
+    codes: Vec<u16>,
+    /// Reconstructed analog record.
+    record: Vec<f64>,
+    /// Histogram-test code record.
+    codes_u32: Vec<u32>,
+    /// Spectral-analysis intermediates.
+    spectral: SpectralScratch,
+}
+
 /// One die on the measurement bench.
 #[derive(Debug, Clone)]
 pub struct MeasurementSession {
@@ -44,6 +60,7 @@ pub struct MeasurementSession {
     /// 0.995·V_REF (the paper used "signal amplitude near full scale
     /// (2 V_P-P)").
     pub amplitude_v: f64,
+    scratch: SessionScratch,
 }
 
 impl MeasurementSession {
@@ -58,6 +75,7 @@ impl MeasurementSession {
             adc: PipelineAdc::build(config, seed)?,
             record_len: 8192,
             amplitude_v,
+            scratch: SessionScratch::default(),
         })
     }
 
@@ -98,24 +116,41 @@ impl MeasurementSession {
     /// band-pass filter → ADC. Returns the codes and the exact stimulus
     /// frequency.
     pub fn capture_tone(&mut self, f_target_hz: f64) -> (Vec<u16>, f64) {
+        let mut codes = Vec::new();
+        let f_in = self.capture_tone_into(f_target_hz, &mut codes);
+        (codes, f_in)
+    }
+
+    /// Like [`Self::capture_tone`], capturing into a caller-owned buffer
+    /// (cleared first) and returning the exact stimulus frequency.
+    pub fn capture_tone_into(&mut self, f_target_hz: f64, out: &mut Vec<u16>) -> f64 {
         let _trace = adc_trace::span_with("capture_tone", self.record_len as u64);
         let f_cr = self.adc.config().f_cr_hz;
         let (f_in, _) = coherent_frequency_clear(f_cr, self.record_len, f_target_hz, 8);
         let generator = SineSource::rf_generator(self.amplitude_v, f_in);
         let filtered = BandpassFilter::passive_high_order(f_in).clean(&generator);
         self.adc.reset();
-        let codes = self.adc.convert_waveform(&filtered, self.record_len);
-        (codes, f_in)
+        self.adc
+            .convert_waveform_into(&filtered, self.record_len, out);
+        f_in
     }
 
     /// Runs the full single-tone dynamic measurement at `f_target_hz`.
+    ///
+    /// Capture, reconstruction, and spectral analysis all reuse the
+    /// session's scratch buffers; a warm session allocates nothing here.
     pub fn measure_tone(&mut self, f_target_hz: f64) -> ToneMeasurement {
         let _trace = adc_trace::span("measure_tone");
-        let (codes, f_in) = self.capture_tone(f_target_hz);
-        let record = self.reconstruct(&codes);
+        let mut codes = std::mem::take(&mut self.scratch.codes);
+        let mut record = std::mem::take(&mut self.scratch.record);
+        let f_in = self.capture_tone_into(f_target_hz, &mut codes);
+        record.clear();
+        record.extend(codes.iter().map(|&c| self.adc.reconstruct_v(c)));
         let cfg = ToneAnalysisConfig::coherent().with_full_scale(self.adc.config().v_ref_v);
-        let analysis =
-            analyze_tone(&record, &cfg).expect("record length is a power of two by construction");
+        let analysis = analyze_tone_with(&record, &cfg, &mut self.scratch.spectral)
+            .expect("record length is a power of two by construction");
+        self.scratch.codes = codes;
+        self.scratch.record = record;
         ToneMeasurement {
             f_in_hz: f_in,
             amplitude_v: self.amplitude_v,
@@ -137,9 +172,15 @@ impl MeasurementSession {
         // Slight overdrive so the rail codes populate.
         let source = SineSource::clean(self.adc.config().v_ref_v * 1.02, f_in);
         self.adc.reset();
-        let codes = self.adc.convert_waveform(&source, samples);
-        let codes_u32: Vec<u32> = codes.iter().map(|&c| u32::from(c)).collect();
-        sine_histogram(&codes_u32, self.adc.config().code_count())
+        let mut codes = std::mem::take(&mut self.scratch.codes);
+        let mut codes_u32 = std::mem::take(&mut self.scratch.codes_u32);
+        self.adc.convert_waveform_into(&source, samples, &mut codes);
+        codes_u32.clear();
+        codes_u32.extend(codes.iter().map(|&c| u32::from(c)));
+        let result = sine_histogram(&codes_u32, self.adc.config().code_count());
+        self.scratch.codes = codes;
+        self.scratch.codes_u32 = codes_u32;
+        result
     }
 }
 
