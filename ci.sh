@@ -24,13 +24,15 @@
 #                  records) re-runs in release under a hard wall-clock
 #                  guard — a hung drain fails CI instead of wedging it
 #   perf        -- regression gate: regenerates BENCH_runtime.json,
-#                  BENCH_service.json, and BENCH_dsp.json in a scratch
-#                  dir and diffs them against the baselines committed at
-#                  HEAD with `bench_compare` (±30% on samples/sec, p99
-#                  latency, and DSP-kernel us/call; exempt across
-#                  differing host_cpus; the DSP comparison is skipped
-#                  when HEAD predates BENCH_dsp.json).
-#                  Advisory by default; fatal under --deny-perf.
+#                  BENCH_service.json, BENCH_dsp.json, and
+#                  BENCH_interleave.json in a scratch dir and diffs them
+#                  against the baselines committed at HEAD with
+#                  `bench_compare` (±30% on samples/sec, p99 latency,
+#                  DSP-kernel us/call, and ganged-array us/epoch; exempt
+#                  across differing host_cpus; the DSP and interleave
+#                  comparisons are skipped when HEAD predates their
+#                  reports). Advisory by default; fatal under
+#                  --deny-perf.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -122,13 +124,17 @@ stage_perf() {
     echo "no committed BENCH baselines at HEAD; skipping perf gate"
     return 0
   fi
-  # BENCH_dsp.json is newer than the other baselines; bench_compare
-  # skips its comparison gracefully when HEAD predates it.
+  # BENCH_dsp.json and BENCH_interleave.json are newer than the other
+  # baselines; bench_compare skips their comparisons gracefully when
+  # HEAD predates them.
   git show HEAD:BENCH_dsp.json > "$baseline/BENCH_dsp.json" 2>/dev/null ||
     rm -f "$baseline/BENCH_dsp.json"
+  git show HEAD:BENCH_interleave.json > "$baseline/BENCH_interleave.json" 2>/dev/null ||
+    rm -f "$baseline/BENCH_interleave.json"
   cargo build --release -q -p adc-bench --bins
   bin_dir="$PWD/target/release"
-  (cd "$fresh" && "$bin_dir/bench_runtime" && "$bin_dir/bench_service" && "$bin_dir/bench_dsp")
+  (cd "$fresh" && "$bin_dir/bench_runtime" && "$bin_dir/bench_service" &&
+    "$bin_dir/bench_dsp" && "$bin_dir/bench_interleave")
   deny_flag=()
   [ "$DENY_PERF" = 1 ] && deny_flag=(--deny-perf)
   "$bin_dir/bench_compare" --baseline-dir "$baseline" --fresh-dir "$fresh" "${deny_flag[@]}"

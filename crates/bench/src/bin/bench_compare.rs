@@ -1,6 +1,6 @@
 //! Perf-regression gate: diffs freshly generated `BENCH_runtime.json`,
-//! `BENCH_service.json`, and `BENCH_dsp.json` against committed
-//! baselines.
+//! `BENCH_service.json`, `BENCH_dsp.json`, and `BENCH_interleave.json`
+//! against committed baselines.
 //!
 //! ```text
 //! bench_compare [--baseline-dir DIR] [--fresh-dir DIR]
@@ -11,9 +11,11 @@
 //! is compared, and for the service report `samples_per_sec` plus the
 //! client p99 latency. The DSP report compares single-thread conversion
 //! `samples_per_sec` per configuration row and `fft_real` `us_per_call`
-//! per record length; it is *optional* — when either side lacks the file
-//! (a baseline predating the report) the comparison is skipped rather
-//! than failed. A figure regresses when it is worse than the baseline by
+//! per record length; the interleave report compares ganged-array
+//! conversion `samples_per_sec` and background-calibration
+//! `us_per_epoch` per array row. Both are *optional* — when either side
+//! lacks the file (a baseline predating the report) the comparison is
+//! skipped rather than failed. A figure regresses when it is worse than the baseline by
 //! more than the tolerance (default 30%): throughput lower, latency
 //! higher. Improvements always pass.
 //!
@@ -262,6 +264,50 @@ fn compare_dsp(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Compari
     rows
 }
 
+/// Collects the interleave-report comparisons: ganged-array conversion
+/// samples/sec and background-calibration microseconds per epoch, each
+/// matched by row name.
+fn compare_interleave(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Comparison> {
+    let named = |doc: &Json, key: &str, field: &str| -> Vec<(String, f64)> {
+        lookup(doc, key)
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|c| {
+                        let name = c.get("name")?.as_str()?.to_string();
+                        let value = lookup_f64(c, field)?;
+                        Some((name, value))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let mut rows = Vec::new();
+    let new_conv = named(fresh, "convert", "samples_per_sec");
+    for (name, b) in named(baseline, "convert", "samples_per_sec") {
+        let f = new_conv.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+        rows.extend(compare(
+            &format!("interleave convert {name} samples/sec"),
+            Some(b),
+            f,
+            Direction::HigherIsBetter,
+            tolerance_pct,
+        ));
+    }
+    let new_calib = named(fresh, "calib", "us_per_epoch");
+    for (name, b) in named(baseline, "calib", "us_per_epoch") {
+        let f = new_calib.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+        rows.extend(compare(
+            &format!("interleave calib {name} us/epoch"),
+            Some(b),
+            f,
+            Direction::LowerIsBetter,
+            tolerance_pct,
+        ));
+    }
+    rows
+}
+
 fn load(dir: &str, file: &str) -> Result<Json, String> {
     let path = format!("{}/{file}", dir.trim_end_matches('/'));
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -303,6 +349,7 @@ fn main() -> ExitCode {
         ),
         ("BENCH_service.json", compare_service, false),
         ("BENCH_dsp.json", compare_dsp, true),
+        ("BENCH_interleave.json", compare_interleave, true),
     ];
     let mut rows = Vec::new();
     let mut host_mismatch = false;
@@ -430,6 +477,22 @@ mod tests {
         assert!(fft_ok.label.contains("4096") && !fft_ok.regressed);
         let fft_bad = &rows[2];
         assert!(fft_bad.label.contains("8192") && fft_bad.regressed);
+    }
+
+    #[test]
+    fn interleave_rows_match_by_name_in_both_directions() {
+        let baseline = doc(r#"{
+            "convert":[{"name":"m2_matched","samples_per_sec":2000000},
+                       {"name":"gone","samples_per_sec":1}],
+            "calib":[{"name":"m2","us_per_epoch":900.0}]}"#);
+        let fresh = doc(r#"{
+            "convert":[{"name":"m2_matched","samples_per_sec":1000000}],
+            "calib":[{"name":"m2","us_per_epoch":2000.0}]}"#);
+        let rows = compare_interleave(&baseline, &fresh, 30.0);
+        assert_eq!(rows.len(), 2, "unmatched convert row is skipped");
+        assert!(rows[0].label.contains("m2_matched") && rows[0].regressed);
+        // Calibration epoch time is lower-is-better: the rise regresses.
+        assert!(rows[1].label.contains("us/epoch") && rows[1].regressed);
     }
 
     #[test]

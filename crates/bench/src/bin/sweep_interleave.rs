@@ -1,0 +1,139 @@
+//! Extension experiment: time-interleaved array SNDR and spur families
+//! across channel count, timing-skew sigma, and background calibration.
+//!
+//! The paper's converter is a single 110 MS/s core; ganging M of them
+//! (DESIGN.md §13) buys `M x` the rate but exposes the classic
+//! interleave spur families — per-channel offsets at `k·fs/M`, gain and
+//! timing-skew images at `k·fs/M ± fin`. This sweep quantifies both the
+//! damage and the repair: every grid point captures the same coherent
+//! tone through an array with Monte-Carlo mismatch, once raw and once
+//! behind the background calibration loop, and reports SNDR plus the
+//! worst spur of each family from the forensics attributor.
+//!
+//! The grid runs as one campaign under [`adc_bench::campaign_setup`]
+//! (`ADC_THREADS` workers, `ADC_CACHE_DIR` point cache; cache keys fold
+//! in the `NUMERICS_EPOCH`, so numerics changes recompute every point).
+
+use adc_calib::{Alignment, GangedError, GangedScenario};
+use adc_pipeline::config::AdcConfig;
+use adc_pipeline::interleave::InterleaveMismatch;
+use adc_spectral::interleave::attribute_record;
+use adc_spectral::metrics::{analyze_tone, ToneAnalysisConfig};
+use adc_testbench::report::{db_cell, TextTable};
+use adc_testbench::session::GOLDEN_SEED;
+
+/// Capture record length per grid point.
+const RECORD_LEN: u32 = 4096;
+
+/// Target stimulus frequency (snapped to coherent per aggregate rate).
+const F_TARGET: f64 = 20e6;
+
+/// Background-calibration budget per point.
+const CAL_EPOCHS: u32 = 24;
+const CAL_EPOCH_LEN: u32 = 4096;
+
+/// One grid point: channel count, skew sigma (s), background cal on/off.
+type GridPoint = (u64, f64, bool);
+
+fn main() {
+    adc_bench::banner(
+        "Extension -- interleaved array SNDR vs channels, skew, calibration",
+        "ganged paper cores: mismatch spur families and their background repair",
+    );
+
+    let base = AdcConfig::nominal_110ms();
+    let channels = [2u64, 4];
+    let skew_sigmas = [0.0f64, 2e-12, 5e-12];
+    let mut grid: Vec<GridPoint> = Vec::new();
+    for &m in &channels {
+        for &sigma in &skew_sigmas {
+            for cal in [false, true] {
+                grid.push((m, sigma, cal));
+            }
+        }
+    }
+
+    let (policy, _trace) = adc_bench::campaign_setup();
+    let points = policy
+        .measure_campaign(
+            "sweep-interleave",
+            &(GOLDEN_SEED, &base, RECORD_LEN, CAL_EPOCHS, CAL_EPOCH_LEN),
+            GOLDEN_SEED,
+            grid.clone(),
+            |_ctx, &(m, sigma, cal)| {
+                let scenario = GangedScenario {
+                    config: base.clone(),
+                    channels: m as u32,
+                    seed: GOLDEN_SEED,
+                    mismatch: InterleaveMismatch {
+                        skew_sigma_s: sigma,
+                        ..InterleaveMismatch::typical()
+                    },
+                    f_target_hz: F_TARGET,
+                    n_samples: RECORD_LEN,
+                    alignment: if cal {
+                        Alignment::Background {
+                            epochs: CAL_EPOCHS,
+                            epoch_len: CAL_EPOCH_LEN,
+                        }
+                    } else {
+                        Alignment::Raw
+                    },
+                };
+                let capture = match scenario.capture_tone() {
+                    Ok(c) => c,
+                    Err(GangedError::Build(e)) => return Err(e),
+                    Err(other) => panic!("sweep scenario must be well-formed: {other}"),
+                };
+                let analysis = analyze_tone(&capture.values, &ToneAnalysisConfig::coherent())
+                    .expect("power-of-two coherent record analyzes");
+                let spurs = attribute_record(&capture.values, m as usize)
+                    .expect("record length divides the channel count");
+                Ok((
+                    analysis.sndr_db,
+                    spurs.offset_worst_dbc,
+                    spurs.image_worst_dbc,
+                    f64::from(capture.epochs_run),
+                    f64::from(u8::from(capture.converged)),
+                ))
+            },
+        )
+        .expect("all grid points build");
+
+    let mut table = TextTable::new([
+        "M",
+        "skew sigma (ps)",
+        "background cal",
+        "SNDR (dB)",
+        "offset spur (dBc)",
+        "image spur (dBc)",
+        "epochs",
+    ]);
+    for (&(m, sigma, cal), &(sndr, offset_dbc, image_dbc, epochs, converged)) in
+        grid.iter().zip(&points)
+    {
+        let cal_cell = if cal {
+            if converged > 0.5 {
+                "converged".to_string()
+            } else {
+                "epoch budget spent".to_string()
+            }
+        } else {
+            "off".to_string()
+        };
+        table.push_row([
+            format!("{m}"),
+            format!("{:.1}", sigma * 1e12),
+            cal_cell,
+            db_cell(sndr),
+            format!("{offset_dbc:.1}"),
+            format!("{image_dbc:.1}"),
+            format!("{epochs:.0}"),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!("expected: raw SNDR collapses as skew grows (image family at");
+    println!("k*fs/M +/- fin) while offsets set the k*fs/M tones; background");
+    println!("calibration pulls both families down and restores SNDR to");
+    println!("within ~1 dB of the matched array at every grid point.");
+}

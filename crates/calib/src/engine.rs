@@ -1,0 +1,517 @@
+//! The background calibration engine: estimators, corrections, and the
+//! convergence state machine.
+//!
+//! One **epoch** is one call to [`BackgroundCalibrator::observe`] with a
+//! freshly converted (and already-corrected) interleaved record. The
+//! engine measures the per-channel residuals still visible in that
+//! record, nudges its corrections toward cancelling them, and reports
+//! what it saw. [`BackgroundCalibrator::apply_to`] pushes the current
+//! corrections into the array; repeating observe→apply is the background
+//! loop.
+//!
+//! ## Estimators
+//!
+//! With `x[i]` the corrected output and channel `k = i mod M`:
+//!
+//! * **offset** `o_k = mean_k(x) − mean(x)` — any static per-channel
+//!   offset survives averaging while the (zero-mean, channel-agnostic)
+//!   signal does not.
+//! * **gain** `r_k = rms_k(x − mean_k) / avg_rms` — each channel sees
+//!   statistically identical signal power, so AC-power ratios expose
+//!   gain mismatch.
+//! * **skew** — for each interior sample, the deviation from its
+//!   neighbours' average `e[i] = x[i] − (x[i−1]+x[i+1])/2` contains a
+//!   term `δ_k·x′(t_i)` when channel `k` samples late by `δ_k`, plus a
+//!   curvature term common to all channels. Correlating `e` with the
+//!   central-difference slope `s[i] = (x[i+1]−x[i−1])·f_s/2` and
+//!   subtracting the cross-channel mean of the correlations removes the
+//!   common part; normalising by the mean slope power turns the result
+//!   into seconds: `δ̂_k = (c_k − c̄) / mean(s²)`.
+//!
+//! All three are driven as damped (LMS-style) updates, so estimator
+//! noise averages down across epochs instead of being trusted at once.
+//! For an M-way array only *relative* skew is observable from the data —
+//! a common-mode shift of every sampling instant is just a retimed but
+//! perfectly uniform grid — and the mean-subtraction makes the engine
+//! correct exactly the observable part.
+
+use adc_pipeline::interleave::InterleavedAdc;
+
+/// Where the calibration loop currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalState {
+    /// Corrections are being updated every epoch.
+    Adapt,
+    /// Residuals stayed under tolerance; corrections are held and the
+    /// engine only monitors. Re-enters [`CalState::Adapt`] if a residual
+    /// grows past twice its tolerance.
+    Hold,
+    /// Terminal: corrections pinned by [`BackgroundCalibrator::freeze`].
+    Frozen,
+}
+
+/// Loop gains and convergence tolerances for the background engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibConfig {
+    /// LMS gain for the offset corrections (fraction of the measured
+    /// residual cancelled per epoch).
+    pub offset_mu: f64,
+    /// LMS gain for the gain corrections.
+    pub gain_mu: f64,
+    /// LMS gain for the fractional-delay corrections.
+    pub skew_mu: f64,
+    /// Offset residual considered converged, volts.
+    pub offset_tol_v: f64,
+    /// Gain-ratio residual (|r_k − 1|) considered converged.
+    pub gain_tol: f64,
+    /// Skew residual considered converged, seconds.
+    pub skew_tol_s: f64,
+    /// Consecutive quiet epochs before entering [`CalState::Hold`].
+    pub hold_after: u32,
+}
+
+impl Default for CalibConfig {
+    fn default() -> Self {
+        Self {
+            offset_mu: 0.7,
+            gain_mu: 0.7,
+            skew_mu: 0.7,
+            offset_tol_v: 5e-5,
+            gain_tol: 2e-4,
+            skew_tol_s: 0.25e-12,
+            hold_after: 2,
+        }
+    }
+}
+
+/// What one epoch of observation saw and did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochReport {
+    /// Epoch counter (1 after the first observe).
+    pub epoch: u64,
+    /// State *after* this epoch's transition.
+    pub state: CalState,
+    /// Worst per-channel offset residual seen this epoch, volts.
+    pub residual_offset_v: f64,
+    /// Worst per-channel gain-ratio residual `|r_k − 1|` this epoch.
+    pub residual_gain: f64,
+    /// Worst per-channel skew residual estimate this epoch, seconds.
+    pub residual_skew_s: f64,
+    /// Whether corrections were updated this epoch (false in
+    /// [`CalState::Hold`] and [`CalState::Frozen`]).
+    pub adapted: bool,
+}
+
+impl EpochReport {
+    /// True when every residual sat under its configured tolerance.
+    pub fn quiet(&self, config: &CalibConfig) -> bool {
+        self.residual_offset_v <= config.offset_tol_v
+            && self.residual_gain <= config.gain_tol
+            && self.residual_skew_s <= config.skew_tol_s
+    }
+}
+
+/// Typed failure of an observe call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibError {
+    /// The record is too short to estimate per-channel statistics.
+    RecordTooShort {
+        /// Samples supplied.
+        len: usize,
+        /// Minimum samples the engine needs for this channel count.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for CalibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RecordTooShort { len, need } => {
+                write!(f, "record of {len} samples too short: need at least {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibError {}
+
+/// The background calibration engine for one M-way array.
+///
+/// Owns the digital corrections (offset volts, gain factors,
+/// fractional-delay seconds) and the convergence state machine. Pure
+/// arithmetic over observed records — deterministic by construction.
+#[derive(Debug, Clone)]
+pub struct BackgroundCalibrator {
+    m: usize,
+    f_s_hz: f64,
+    config: CalibConfig,
+    offset_corr_v: Vec<f64>,
+    gain_corr: Vec<f64>,
+    delay_corr_s: Vec<f64>,
+    epoch: u64,
+    quiet_epochs: u32,
+    state: CalState,
+}
+
+impl BackgroundCalibrator {
+    /// A fresh engine for an `m`-channel array sampling at
+    /// `aggregate_rate_hz` total, with all corrections neutral.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero or the rate is not positive.
+    pub fn new(m: usize, aggregate_rate_hz: f64, config: CalibConfig) -> Self {
+        assert!(m > 0, "need at least one channel");
+        assert!(aggregate_rate_hz > 0.0, "aggregate rate must be positive");
+        Self {
+            m,
+            f_s_hz: aggregate_rate_hz,
+            config,
+            offset_corr_v: vec![0.0; m],
+            gain_corr: vec![1.0; m],
+            delay_corr_s: vec![0.0; m],
+            epoch: 0,
+            quiet_epochs: 0,
+            state: CalState::Adapt,
+        }
+    }
+
+    /// Current state of the convergence machine.
+    pub fn state(&self) -> CalState {
+        self.state
+    }
+
+    /// Epochs observed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current additive offset corrections, volts.
+    pub fn offsets_v(&self) -> &[f64] {
+        &self.offset_corr_v
+    }
+
+    /// Current multiplicative gain corrections.
+    pub fn gains(&self) -> &[f64] {
+        &self.gain_corr
+    }
+
+    /// Current fractional-delay corrections (digital time advances),
+    /// seconds.
+    pub fn delays_s(&self) -> &[f64] {
+        &self.delay_corr_s
+    }
+
+    /// Pins the corrections: no further epoch will change them.
+    pub fn freeze(&mut self) {
+        self.state = CalState::Frozen;
+    }
+
+    /// Installs the engine's current corrections into the array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array's channel count differs from the engine's.
+    pub fn apply_to(&self, array: &mut InterleavedAdc) {
+        array.set_corrections(&self.offset_corr_v, &self.gain_corr, &self.delay_corr_s);
+    }
+
+    /// Observes one corrected interleaved record, measures the residual
+    /// mismatch still visible in it, and (in [`CalState::Adapt`]) nudges
+    /// the corrections toward cancelling it.
+    ///
+    /// # Errors
+    ///
+    /// [`CalibError::RecordTooShort`] when the record cannot support
+    /// per-channel statistics (fewer than 8 samples per channel).
+    pub fn observe(&mut self, record: &[f64]) -> Result<EpochReport, CalibError> {
+        let m = self.m;
+        let need = 8 * m;
+        if record.len() < need {
+            return Err(CalibError::RecordTooShort {
+                len: record.len(),
+                need,
+            });
+        }
+        let _span = adc_trace::span_with("calib-epoch", self.epoch);
+
+        // Per-channel means and the grand mean → offset residuals.
+        let mut means = vec![0.0_f64; m];
+        let mut counts = vec![0.0_f64; m];
+        for (i, &x) in record.iter().enumerate() {
+            means[i % m] += x;
+            counts[i % m] += 1.0;
+        }
+        for (mean, count) in means.iter_mut().zip(&counts) {
+            *mean /= count;
+        }
+        let grand = means.iter().sum::<f64>() / m as f64;
+        let offsets: Vec<f64> = means.iter().map(|&mk| mk - grand).collect();
+
+        // Per-channel AC power → gain-ratio residuals.
+        let mut power = vec![0.0_f64; m];
+        for (i, &x) in record.iter().enumerate() {
+            let d = x - means[i % m];
+            power[i % m] += d * d;
+        }
+        let mut rms = vec![0.0_f64; m];
+        for k in 0..m {
+            rms[k] = (power[k] / counts[k]).sqrt();
+        }
+        let avg_rms = rms.iter().sum::<f64>() / m as f64;
+        let ratios: Vec<f64> = rms
+            .iter()
+            .map(|&r| if avg_rms > 0.0 { r / avg_rms } else { 1.0 })
+            .collect();
+
+        // Skew correlator over mean-subtracted data.
+        let mut corr = vec![0.0_f64; m];
+        let mut corr_n = vec![0.0_f64; m];
+        let mut slope_pow = 0.0_f64;
+        let mut slope_n = 0.0_f64;
+        let half_fs = 0.5 * self.f_s_hz;
+        for i in 1..record.len() - 1 {
+            let prev = record[i - 1] - means[(i - 1) % m];
+            let here = record[i] - means[i % m];
+            let next = record[i + 1] - means[(i + 1) % m];
+            let e = here - 0.5 * (prev + next);
+            let s = (next - prev) * half_fs;
+            corr[i % m] += e * s;
+            corr_n[i % m] += 1.0;
+            slope_pow += s * s;
+            slope_n += 1.0;
+        }
+        for k in 0..m {
+            if corr_n[k] > 0.0 {
+                corr[k] /= corr_n[k];
+            }
+        }
+        let corr_mean = corr.iter().sum::<f64>() / m as f64;
+        slope_pow /= slope_n;
+        let skews: Vec<f64> = corr
+            .iter()
+            .map(|&c| {
+                if slope_pow > 0.0 {
+                    (c - corr_mean) / slope_pow
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        let worst = |v: &[f64]| v.iter().fold(0.0_f64, |acc, &x| acc.max(x.abs()));
+        let residual_offset_v = worst(&offsets);
+        let residual_gain = ratios
+            .iter()
+            .fold(0.0_f64, |acc, &r| acc.max((r - 1.0).abs()));
+        let residual_skew_s = worst(&skews);
+
+        let adapted = self.state == CalState::Adapt;
+        if adapted {
+            for k in 0..m {
+                // The offset correction is applied before the gain
+                // multiplier, so refer the post-gain residual back.
+                self.offset_corr_v[k] -= self.config.offset_mu * offsets[k] / self.gain_corr[k];
+                if ratios[k] > 0.0 {
+                    self.gain_corr[k] *=
+                        1.0 - self.config.gain_mu + self.config.gain_mu / ratios[k];
+                }
+                // A channel sampling late by δ needs a digital advance of
+                // −δ; the estimate is the *residual* δ, so step against it.
+                self.delay_corr_s[k] -= self.config.skew_mu * skews[k];
+            }
+        }
+
+        self.epoch += 1;
+        let mut report = EpochReport {
+            epoch: self.epoch,
+            state: self.state,
+            residual_offset_v,
+            residual_gain,
+            residual_skew_s,
+            adapted,
+        };
+        match self.state {
+            CalState::Adapt => {
+                if report.quiet(&self.config) {
+                    self.quiet_epochs += 1;
+                    if self.quiet_epochs >= self.config.hold_after {
+                        self.state = CalState::Hold;
+                    }
+                } else {
+                    self.quiet_epochs = 0;
+                }
+            }
+            CalState::Hold => {
+                let blown = residual_offset_v > 2.0 * self.config.offset_tol_v
+                    || residual_gain > 2.0 * self.config.gain_tol
+                    || residual_skew_s > 2.0 * self.config.skew_tol_s;
+                if blown {
+                    self.state = CalState::Adapt;
+                    self.quiet_epochs = 0;
+                }
+            }
+            CalState::Frozen => {}
+        }
+        report.state = self.state;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_pipeline::AdcConfig;
+
+    fn tone(f_in: f64) -> impl Fn(f64) -> f64 + Copy {
+        move |t: f64| 0.9 * (2.0 * std::f64::consts::PI * f_in * t).sin()
+    }
+
+    /// One closed-loop epoch: convert, observe, push corrections back.
+    fn run_epochs(
+        ilv: &mut InterleavedAdc,
+        cal: &mut BackgroundCalibrator,
+        f_in: f64,
+        epoch_len: usize,
+        epochs: usize,
+    ) -> Vec<EpochReport> {
+        let wave = tone(f_in);
+        let mut reports = Vec::new();
+        for _ in 0..epochs {
+            let record = ilv.convert_waveform(&wave, epoch_len);
+            reports.push(cal.observe(&record).expect("record long enough"));
+            cal.apply_to(ilv);
+        }
+        reports
+    }
+
+    #[test]
+    fn record_too_short_is_a_typed_error() {
+        let mut cal = BackgroundCalibrator::new(2, 220e6, CalibConfig::default());
+        let err = cal.observe(&[0.0; 15]).unwrap_err();
+        assert_eq!(err, CalibError::RecordTooShort { len: 15, need: 16 });
+    }
+
+    #[test]
+    fn converges_on_injected_offset_gain_and_skew() {
+        let mut ilv = InterleavedAdc::build(&AdcConfig::ideal(110e6), 2, 220e6, 1).unwrap();
+        ilv.inject_mismatch(1, 4e-3, 1.01);
+        ilv.inject_skew(1, 15e-12);
+        let mut cal = BackgroundCalibrator::new(2, 220e6, CalibConfig::default());
+        let n = 4096;
+        let (f_in, _) = adc_spectral::window::coherent_frequency(220e6, n, 20e6);
+        let reports = run_epochs(&mut ilv, &mut cal, f_in, n, 20);
+        let last = reports.last().unwrap();
+        assert_eq!(last.state, CalState::Hold, "reports: {reports:#?}");
+        // The engine's corrections cancel the injections: channel 1's
+        // delay correction lands near −15 ps.
+        assert!(
+            (cal.delays_s()[1] - cal.delays_s()[0] + 15e-12).abs() < 1e-12,
+            "delays {:?}",
+            cal.delays_s()
+        );
+    }
+
+    #[test]
+    fn converged_array_recovers_matched_sndr() {
+        use adc_spectral::metrics::{analyze_tone, ToneAnalysisConfig};
+        let n = 4096;
+        let (f_in, _) = adc_spectral::window::coherent_frequency(220e6, n, 20e6);
+        // Matched reference.
+        let mut matched = InterleavedAdc::build(&AdcConfig::ideal(110e6), 2, 220e6, 1).unwrap();
+        let reference = analyze_tone(
+            &matched.convert_waveform(&tone(f_in), n),
+            &ToneAnalysisConfig::coherent(),
+        )
+        .unwrap();
+        // Mismatched array, background-calibrated from live data alone.
+        let mut ilv = InterleavedAdc::build(&AdcConfig::ideal(110e6), 2, 220e6, 1).unwrap();
+        ilv.inject_mismatch(1, 4e-3, 1.01);
+        ilv.inject_skew(1, 15e-12);
+        let mut cal = BackgroundCalibrator::new(2, 220e6, CalibConfig::default());
+        run_epochs(&mut ilv, &mut cal, f_in, n, 20);
+        let healed = analyze_tone(
+            &ilv.convert_waveform(&tone(f_in), n),
+            &ToneAnalysisConfig::coherent(),
+        )
+        .unwrap();
+        assert!(
+            healed.sndr_db > reference.sndr_db - 1.0,
+            "healed {} dB vs matched {} dB",
+            healed.sndr_db,
+            reference.sndr_db
+        );
+    }
+
+    #[test]
+    fn hold_reenters_adapt_when_a_die_drifts() {
+        let mut ilv = InterleavedAdc::build(&AdcConfig::ideal(110e6), 2, 220e6, 1).unwrap();
+        ilv.inject_mismatch(1, 2e-3, 1.0);
+        let mut cal = BackgroundCalibrator::new(2, 220e6, CalibConfig::default());
+        let n = 4096;
+        let (f_in, _) = adc_spectral::window::coherent_frequency(220e6, n, 20e6);
+        let reports = run_epochs(&mut ilv, &mut cal, f_in, n, 12);
+        assert_eq!(reports.last().unwrap().state, CalState::Hold);
+        // Drift: a fresh 3 mV offset appears on channel 0. The next
+        // epochs must notice and re-adapt. inject_mismatch overwrites the
+        // digital trim, which is exactly what an analog drift looks like
+        // to the loop.
+        let healed_offset = cal.offsets_v()[0];
+        ilv.inject_mismatch(0, healed_offset + 3e-3, 1.0);
+        let wave = tone(f_in);
+        let record = ilv.convert_waveform(&wave, n);
+        let report = cal.observe(&record).unwrap();
+        assert_eq!(report.state, CalState::Adapt, "drift re-arms the loop");
+        cal.apply_to(&mut ilv);
+        // Note apply_to reinstalls the engine's trims, replacing the
+        // "drifted" ones — so from here the loop would re-converge.
+    }
+
+    #[test]
+    fn frozen_engine_never_changes_corrections() {
+        let mut ilv = InterleavedAdc::build(&AdcConfig::ideal(110e6), 2, 220e6, 1).unwrap();
+        ilv.inject_mismatch(1, 4e-3, 1.0);
+        let mut cal = BackgroundCalibrator::new(2, 220e6, CalibConfig::default());
+        let n = 2048;
+        let (f_in, _) = adc_spectral::window::coherent_frequency(220e6, n, 20e6);
+        run_epochs(&mut ilv, &mut cal, f_in, n, 3);
+        cal.freeze();
+        let before = cal.offsets_v().to_vec();
+        let wave = tone(f_in);
+        let record = ilv.convert_waveform(&wave, n);
+        let report = cal.observe(&record).unwrap();
+        assert!(!report.adapted);
+        assert_eq!(report.state, CalState::Frozen);
+        assert_eq!(cal.offsets_v(), before.as_slice());
+    }
+
+    #[test]
+    fn engine_is_deterministic_across_reruns() {
+        let run = || {
+            let mut ilv = InterleavedAdc::build_with_mismatch(
+                &AdcConfig::nominal_110ms(),
+                2,
+                220e6,
+                7,
+                &adc_pipeline::interleave::InterleaveMismatch::typical(),
+            )
+            .unwrap();
+            let mut cal = BackgroundCalibrator::new(2, 220e6, CalibConfig::default());
+            let n = 2048;
+            let (f_in, _) = adc_spectral::window::coherent_frequency(220e6, n, 20e6);
+            run_epochs(&mut ilv, &mut cal, f_in, n, 6);
+            (
+                cal.offsets_v()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                cal.gains().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                cal.delays_s()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

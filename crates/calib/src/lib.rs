@@ -1,0 +1,68 @@
+//! # adc-calib
+//!
+//! Background calibration for time-interleaved converter arrays.
+//!
+//! The foreground alignment in `adc-pipeline` ([`InterleavedAdc::align_channels`])
+//! needs the array taken off-line and fed known DC levels, and it is blind
+//! to timing skew and bandwidth mismatch — the spur mechanisms that grow
+//! with input frequency. This crate closes the loop from *live conversion
+//! data* instead:
+//!
+//! * **offset** — per-channel running means against the grand mean;
+//! * **gain** — per-channel AC power against the array average;
+//! * **timing skew** — a correlation estimator: each channel's deviation
+//!   from the average of its neighbours, correlated with the local slope,
+//!   is proportional to that channel's residual sampling-time error.
+//!   The estimate drives the interleaver's digital fractional-delay
+//!   corrector (cubic-Lagrange interpolation over the channel stream).
+//!
+//! Convergence is an observable state machine ([`CalState`]):
+//! `Adapt` → `Hold` once every residual stays under its tolerance for a
+//! configured number of consecutive epochs, back to `Adapt` if a residual
+//! blows up (a die drifted), and `Frozen` on explicit request. Every
+//! epoch returns an [`EpochReport`] so tests and campaigns can assert on
+//! residual trajectories rather than eyeballing spectra.
+//!
+//! The engine is pure arithmetic over the records it observes — no RNG,
+//! no clocks — so a seeded array calibrated by it is bit-reproducible
+//! across thread counts and with tracing on or off. Epochs are
+//! instrumented with `adc-trace` spans.
+//!
+//! [`GangedScenario`] packages the whole flow (build mismatched array →
+//! align → capture a coherent tone record) behind one descriptor, so the
+//! in-process tests, the campaign sweeps, and the server's ganged-digitize
+//! mode all run literally the same code path — which is what makes the
+//! served records bit-identical to local ones.
+//!
+//! ```
+//! use adc_calib::{Alignment, GangedScenario};
+//! use adc_pipeline::interleave::InterleaveMismatch;
+//! use adc_pipeline::AdcConfig;
+//!
+//! # fn main() -> Result<(), adc_calib::GangedError> {
+//! let scenario = GangedScenario {
+//!     config: AdcConfig::ideal(110e6),
+//!     channels: 2,
+//!     seed: 7,
+//!     mismatch: InterleaveMismatch::typical(),
+//!     f_target_hz: 20e6,
+//!     n_samples: 1024,
+//!     alignment: Alignment::Background {
+//!         epochs: 16,
+//!         epoch_len: 2048,
+//!     },
+//! };
+//! let capture = scenario.capture_tone()?;
+//! assert_eq!(capture.values.len(), 1024);
+//! assert!(capture.converged, "background cal settles on this mismatch");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`InterleavedAdc::align_channels`]: adc_pipeline::interleave::InterleavedAdc::align_channels
+
+pub mod engine;
+pub mod scenario;
+
+pub use engine::{BackgroundCalibrator, CalState, CalibConfig, CalibError, EpochReport};
+pub use scenario::{Alignment, GangedCapture, GangedError, GangedScenario};

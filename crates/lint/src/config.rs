@@ -16,6 +16,10 @@ pub const DETERMINISM_ROOTS: &[&str] = &[
     "crates/bias/src",
     "crates/analog/src",
     "crates/digital/src",
+    // Background calibration feeds corrections back into conversion:
+    // any nondeterminism here (wall-clock adaptation, hash-order state)
+    // would silently fork served ganged records from in-process runs.
+    "crates/calib/src",
     // The tracing subsystem instruments the crates above, so it binds
     // the same rules: its one wall-clock site (the collector epoch) is
     // pragma-annotated, and span ids/lane numbering use no thread ids.
@@ -64,6 +68,10 @@ mod tests {
         // dependence.
         assert!(in_determinism_scope("crates/spectral/src/plan.rs"));
         assert!(in_determinism_scope("crates/trace/src/collector.rs"));
+        // The calibration engine and the interleaved array it corrects
+        // are both load-bearing for ganged bit-identity.
+        assert!(in_determinism_scope("crates/calib/src/engine.rs"));
+        assert!(in_determinism_scope("crates/pipeline/src/interleave.rs"));
         assert!(!in_determinism_scope("crates/server/src/server.rs"));
         assert!(!in_determinism_scope("crates/bench/src/cli.rs"));
         // No false prefix matches on sibling names.

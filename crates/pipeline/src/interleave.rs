@@ -3,15 +3,85 @@
 //!
 //! The paper sells the ADC as an IP block; the first thing an SoC team
 //! does with a rate-scalable block is instantiate two and interleave them
-//! for 220 MS/s. The catch is textbook: each die's offset, gain, and
-//! timing differ slightly, which creates spurs at `k·f_s/M ± f_in` and
-//! offset tones at `k·f_s/M`. This module implements the interleaver and
-//! a foreground offset/gain alignment, so both the pathology and its cure
-//! are measurable.
+//! for 220 MS/s. The catch is textbook: each die's offset, gain, timing,
+//! and front-end bandwidth differ slightly, which creates image spurs at
+//! `k·f_s/M ± f_in` and offset tones at `k·f_s/M`. This module implements
+//! the interleaver with the full mismatch family:
+//!
+//! * **offset / gain** — per-die fabrication spread, plus
+//!   [`InterleavedAdc::inject_mismatch`] for controlled experiments;
+//! * **timing skew** — each channel's sampling clock arrives early or
+//!   late by a die-specific aperture error ([`InterleaveMismatch`] draws
+//!   it Monte-Carlo style from the array seed, or
+//!   [`InterleavedAdc::inject_skew`] sets it directly);
+//! * **bandwidth** — each channel's sampling front end is a single-pole
+//!   low-pass with its own −3 dB corner, so channels disagree in both
+//!   amplitude and phase in a way that grows with `f_in`.
+//!
+//! The cures are digital and per channel: additive offset and
+//! multiplicative gain trims (set by the foreground
+//! [`InterleavedAdc::align_channels`] or by a background calibration
+//! engine such as `adc-calib`), and a **fractional-delay corrector** — a
+//! cubic-Lagrange interpolator over each channel's sample stream — that
+//! cancels timing skew in the digital domain.
+
+use adc_analog::noise::NoiseSource;
 
 use crate::config::AdcConfig;
 use crate::converter::{PipelineAdc, Waveform};
 use crate::error::BuildAdcError;
+
+/// Seed-derivation salt for the array-level mismatch draws (skew,
+/// bandwidth). Disjoint from the per-die fabrication streams, so adding
+/// array mismatch never re-rolls the dies themselves.
+const MISMATCH_SEED_SALT: u64 = 41;
+
+/// Array-level mismatch magnitudes, drawn Monte-Carlo style per channel
+/// from the array's base seed (the same seed-derivation discipline as
+/// the die fabrication streams).
+///
+/// All-zero ([`InterleaveMismatch::none`], also `Default`) disables both
+/// mechanisms and makes [`InterleavedAdc::build_with_mismatch`]
+/// bit-identical to [`InterleavedAdc::build`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct InterleaveMismatch {
+    /// Standard deviation of each channel's static sampling-clock skew,
+    /// seconds. Zero disables skew.
+    pub skew_sigma_s: f64,
+    /// Nominal −3 dB bandwidth of each channel's sampling front end,
+    /// hertz. Zero (or negative) disables the bandwidth model entirely.
+    pub bandwidth_hz: f64,
+    /// Relative (1-sigma) spread of the per-channel bandwidth around
+    /// [`InterleaveMismatch::bandwidth_hz`].
+    pub bandwidth_rel_sigma: f64,
+}
+
+impl InterleaveMismatch {
+    /// No array-level mismatch: matched clocks, unlimited bandwidth.
+    pub fn none() -> Self {
+        Self {
+            skew_sigma_s: 0.0,
+            bandwidth_hz: 0.0,
+            bandwidth_rel_sigma: 0.0,
+        }
+    }
+
+    /// A plausible 0.18 µm SoC integration: 2 ps (1σ) clock-distribution
+    /// skew and a 350 MHz ± 5 % sampling front end.
+    pub fn typical() -> Self {
+        Self {
+            skew_sigma_s: 2e-12,
+            bandwidth_hz: 350e6,
+            bandwidth_rel_sigma: 0.05,
+        }
+    }
+}
+
+impl Default for InterleaveMismatch {
+    fn default() -> Self {
+        Self::none()
+    }
+}
 
 /// An M-way time-interleaved converter array.
 ///
@@ -35,6 +105,15 @@ pub struct InterleavedAdc {
     /// Per-channel digital gain correction (multiplies the reconstructed
     /// value).
     gain_corr: Vec<f64>,
+    /// Per-channel digital time advance applied to the channel's sample
+    /// stream by the fractional-delay corrector, seconds. To cancel an
+    /// analog skew of `δ` seconds, set this to `−δ`.
+    delay_corr_s: Vec<f64>,
+    /// Per-channel static analog sampling-clock skew, seconds.
+    skew_s: Vec<f64>,
+    /// Per-channel front-end time constant `τ = 1/(2π·f_3dB)`, seconds;
+    /// `0` disables the bandwidth model for that channel.
+    tau_s: Vec<f64>,
     /// Aggregate sample rate, hertz.
     f_s_hz: f64,
 }
@@ -42,7 +121,7 @@ pub struct InterleavedAdc {
 impl InterleavedAdc {
     /// Builds an `m`-way array: each channel is fabricated as its own
     /// die (seeds `base_seed`, `base_seed+1`, …) running at
-    /// `aggregate_rate_hz / m`.
+    /// `aggregate_rate_hz / m`, with matched clocks and front ends.
     ///
     /// # Errors
     ///
@@ -57,22 +136,76 @@ impl InterleavedAdc {
         aggregate_rate_hz: f64,
         base_seed: u64,
     ) -> Result<Self, BuildAdcError> {
+        Self::build_with_mismatch(
+            config,
+            m,
+            aggregate_rate_hz,
+            base_seed,
+            &InterleaveMismatch::none(),
+        )
+    }
+
+    /// Builds an `m`-way array with array-level timing-skew and
+    /// bandwidth mismatch drawn per channel from `base_seed`.
+    ///
+    /// The dies themselves are fabricated exactly as in
+    /// [`InterleavedAdc::build`] (same per-channel seeds); the skew and
+    /// bandwidth draws come from *separate* derived noise streams, so
+    /// enabling array mismatch never re-rolls the dies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates converter build errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn build_with_mismatch(
+        config: &AdcConfig,
+        m: usize,
+        aggregate_rate_hz: f64,
+        base_seed: u64,
+        mismatch: &InterleaveMismatch,
+    ) -> Result<Self, BuildAdcError> {
         assert!(m > 0, "need at least one channel");
         let per_channel = AdcConfig {
             f_cr_hz: aggregate_rate_hz / m as f64,
             ..config.clone()
         };
         let mut channels = Vec::with_capacity(m);
+        let mut skew_s = Vec::with_capacity(m);
+        let mut tau_s = Vec::with_capacity(m);
         for k in 0..m {
             channels.push(PipelineAdc::build(
                 per_channel.clone(),
                 base_seed + k as u64,
             )?);
+            // One derived stream per channel: inserting a draw for one
+            // channel never re-phases another's.
+            let mut draws = NoiseSource::from_seed(
+                base_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(MISMATCH_SEED_SALT + k as u64),
+            );
+            skew_s.push(draws.gaussian(0.0, mismatch.skew_sigma_s));
+            let f3db = if mismatch.bandwidth_hz > 0.0 {
+                mismatch.bandwidth_hz * draws.mismatch_factor(mismatch.bandwidth_rel_sigma)
+            } else {
+                0.0
+            };
+            tau_s.push(if f3db > 0.0 {
+                1.0 / (2.0 * std::f64::consts::PI * f3db)
+            } else {
+                0.0
+            });
         }
         Ok(Self {
             channels,
             offset_corr_v: vec![0.0; m],
             gain_corr: vec![1.0; m],
+            delay_corr_s: vec![0.0; m],
+            skew_s,
+            tau_s,
             f_s_hz: aggregate_rate_hz,
         })
     }
@@ -87,6 +220,11 @@ impl InterleavedAdc {
         self.f_s_hz
     }
 
+    /// Per-channel conversion rate, hertz (`f_s / M`).
+    pub fn channel_rate_hz(&self) -> f64 {
+        self.f_s_hz / self.channels.len() as f64
+    }
+
     /// Total power of the array, watts.
     pub fn power_w(&self) -> f64 {
         self.channels.iter().map(PipelineAdc::power_w).sum()
@@ -97,11 +235,19 @@ impl InterleavedAdc {
         &self.channels
     }
 
+    /// Per-channel analog sampling-clock skews, seconds.
+    pub fn channel_skews_s(&self) -> &[f64] {
+        &self.skew_s
+    }
+
     /// Converts a waveform at the aggregate rate, returning reconstructed
     /// voltages (per-channel corrections applied).
     ///
     /// Channel `k` takes samples `k, k+M, k+2M, …` at instants
-    /// `n/f_s` (+ each channel's own jitter).
+    /// `n/f_s + skew_k` (+ each channel's own jitter), through its own
+    /// single-pole front end when one is configured. Digital corrections
+    /// are then applied per channel: offset and gain per sample, and the
+    /// fractional-delay corrector over the channel's sample stream.
     pub fn convert_waveform<W: Waveform + ?Sized>(
         &mut self,
         waveform: &W,
@@ -109,23 +255,33 @@ impl InterleavedAdc {
     ) -> Vec<f64> {
         let m = self.channels.len();
         let period = 1.0 / self.f_s_hz;
+        let channel_rate = self.f_s_hz / m as f64;
         let mut out = vec![0.0; n_samples];
+        let mut lane: Vec<f64> = Vec::with_capacity(n_samples.div_ceil(m));
         for (k, channel) in self.channels.iter_mut().enumerate() {
             channel.reset();
-            // Each channel sees the waveform resampled at its own phase:
-            // wrap it so the channel's sample index maps to the aggregate
-            // timeline.
-            let shifted = PhaseShifted {
+            // Each channel sees the waveform resampled at its own phase
+            // (plus its clock skew), band-limited by its own front end.
+            let path = ChannelPath {
                 inner: waveform,
-                offset_s: k as f64 * period,
+                offset_s: k as f64 * period + self.skew_s[k],
+                tau_s: self.tau_s[k],
             };
-            let codes = channel.convert_waveform(&shifted, n_samples.div_ceil(m));
+            let codes = channel.convert_waveform(&path, n_samples.div_ceil(m));
+            lane.clear();
             for (j, &code) in codes.iter().enumerate() {
-                let idx = k + j * m;
-                if idx < n_samples {
+                if k + j * m < n_samples {
                     let v = channel.reconstruct_v(code);
-                    out[idx] = (v + self.offset_corr_v[k]) * self.gain_corr[k];
+                    lane.push((v + self.offset_corr_v[k]) * self.gain_corr[k]);
                 }
+            }
+            let mu = self.delay_corr_s[k] * channel_rate;
+            // adc-lint: allow(float-eq) reason="exact zero is the corrector's documented off state; the bit-compat pass-through must not interpolate"
+            if mu != 0.0 {
+                fractional_delay_in_place(&mut lane, mu);
+            }
+            for (j, &v) in lane.iter().enumerate() {
+                out[k + j * m] = v;
             }
         }
         out
@@ -133,7 +289,8 @@ impl InterleavedAdc {
 
     /// Foreground channel alignment: measures each channel's offset (DC
     /// input) and gain (known DC levels) and sets the digital
-    /// corrections.
+    /// corrections. Blind to timing skew and bandwidth — that is the
+    /// background calibration engine's job.
     pub fn align_channels(&mut self, averages: usize) {
         let averages = averages.max(1);
         // Offset: average code at a grounded input.
@@ -165,11 +322,49 @@ impl InterleavedAdc {
         }
     }
 
-    /// Deliberately mis-aligns a channel (for demonstrating the
-    /// interleave spurs).
+    /// Deliberately mis-aligns a channel's digital offset/gain trims
+    /// (for demonstrating the interleave spurs).
     pub fn inject_mismatch(&mut self, channel: usize, offset_v: f64, gain: f64) {
         self.offset_corr_v[channel] = offset_v;
         self.gain_corr[channel] = gain;
+    }
+
+    /// Sets a channel's analog sampling-clock skew directly, seconds
+    /// (for controlled timing-spur experiments).
+    pub fn inject_skew(&mut self, channel: usize, skew_s: f64) {
+        self.skew_s[channel] = skew_s;
+    }
+
+    /// Sets a channel's front-end −3 dB bandwidth directly, hertz;
+    /// zero or negative disables the bandwidth model for that channel.
+    pub fn inject_bandwidth(&mut self, channel: usize, f3db_hz: f64) {
+        self.tau_s[channel] = if f3db_hz > 0.0 {
+            1.0 / (2.0 * std::f64::consts::PI * f3db_hz)
+        } else {
+            0.0
+        };
+    }
+
+    /// Installs a full set of digital per-channel corrections: additive
+    /// offsets (volts), multiplicative gains, and fractional-delay time
+    /// advances (seconds). This is the interface a background
+    /// calibration engine drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice's length differs from the channel count.
+    pub fn set_corrections(&mut self, offsets_v: &[f64], gains: &[f64], delays_s: &[f64]) {
+        let m = self.channels.len();
+        assert_eq!(
+            offsets_v.len(),
+            m,
+            "offset corrections: wrong channel count"
+        );
+        assert_eq!(gains.len(), m, "gain corrections: wrong channel count");
+        assert_eq!(delays_s.len(), m, "delay corrections: wrong channel count");
+        self.offset_corr_v.copy_from_slice(offsets_v);
+        self.gain_corr.copy_from_slice(gains);
+        self.delay_corr_s.copy_from_slice(delays_s);
     }
 
     /// Resets all channels' analog state.
@@ -180,22 +375,74 @@ impl InterleavedAdc {
     }
 }
 
-/// Adapter presenting the aggregate-timeline waveform to one channel.
-/// The channel clocks at `f_s/M`, so its sample `j` already sits at
-/// `j·M/f_s` in its own time base; only the channel's phase offset on
-/// the aggregate timeline needs adding.
-struct PhaseShifted<'a, W: ?Sized> {
-    inner: &'a W,
-    offset_s: f64,
+/// Evaluates `lane` at fractional index `j + mu` for every `j` via
+/// cubic Lagrange interpolation (taps `j−1 ‥ j+2`, edges clamped) —
+/// the digital fractional-delay corrector. `mu` is the time advance in
+/// channel-period units; skews worth correcting are a small fraction of
+/// a period, where the cubic's interpolation error sits far below the
+/// converter's quantization floor.
+fn fractional_delay_in_place(lane: &mut [f64], mu: f64) {
+    // Lagrange basis at nodes {−1, 0, 1, 2} evaluated at mu.
+    let h_m1 = -mu * (mu - 1.0) * (mu - 2.0) / 6.0;
+    let h_0 = (mu + 1.0) * (mu - 1.0) * (mu - 2.0) / 2.0;
+    let h_1 = -mu * (mu + 1.0) * (mu - 2.0) / 2.0;
+    let h_2 = mu * (mu + 1.0) * (mu - 1.0) / 6.0;
+    let n = lane.len();
+    if n == 0 {
+        return;
+    }
+    let at = |src: &[f64], i: isize| -> f64 { src[i.clamp(0, n as isize - 1) as usize] };
+    let src = lane.to_vec();
+    for (j, out) in lane.iter_mut().enumerate() {
+        let j = j as isize;
+        *out = h_m1 * at(&src, j - 1)
+            + h_0 * at(&src, j)
+            + h_1 * at(&src, j + 1)
+            + h_2 * at(&src, j + 2);
+    }
 }
 
-impl<W: Waveform + ?Sized> Waveform for PhaseShifted<'_, W> {
+/// Adapter presenting the aggregate-timeline waveform to one channel.
+/// The channel clocks at `f_s/M`, so its sample `j` already sits at
+/// `j·M/f_s` in its own time base; the channel's phase offset on the
+/// aggregate timeline plus its static clock skew need adding, and its
+/// single-pole front end (time constant `τ`) shapes what it sees.
+///
+/// The front end uses the first-order expansion of `1/(1+sτ)`:
+/// `v_out(t) ≈ v(t) − τ·v′(t)`, valid for `f·τ ≪ 1` — which captures
+/// exactly the per-channel amplitude-and-phase disagreement that makes
+/// bandwidth mismatch an interleaving spur mechanism. The reported
+/// slope keeps the unfiltered value (the `τ·v″` refinement is far below
+/// the jitter-error term the slope feeds).
+struct ChannelPath<'a, W: ?Sized> {
+    inner: &'a W,
+    offset_s: f64,
+    tau_s: f64,
+}
+
+impl<W: Waveform + ?Sized> Waveform for ChannelPath<'_, W> {
     fn value(&self, t_s: f64) -> f64 {
-        self.inner.value(t_s + self.offset_s)
+        // adc-lint: allow(float-eq) reason="exact zero means the front-end filter is disabled; the fast path must stay bit-identical to the unfiltered adapter"
+        if self.tau_s == 0.0 {
+            self.inner.value(t_s + self.offset_s)
+        } else {
+            let (v, s) = self.inner.sample_at(t_s + self.offset_s);
+            v - self.tau_s * s
+        }
     }
 
     fn slope(&self, t_s: f64) -> f64 {
         self.inner.slope(t_s + self.offset_s)
+    }
+
+    fn sample_at(&self, t_s: f64) -> (f64, f64) {
+        let (v, s) = self.inner.sample_at(t_s + self.offset_s);
+        // adc-lint: allow(float-eq) reason="exact zero means the front-end filter is disabled; the fast path must stay bit-identical to the unfiltered adapter"
+        if self.tau_s == 0.0 {
+            (v, s)
+        } else {
+            (v - self.tau_s * s, s)
+        }
     }
 }
 
@@ -210,6 +457,7 @@ mod tests {
         assert_eq!(ilv.sample_rate_hz(), 220e6);
         // Each channel runs at the nominal 110 MS/s.
         assert_eq!(ilv.channels()[0].config().f_cr_hz, 110e6);
+        assert_eq!(ilv.channel_rate_hz(), 110e6);
         // And burns roughly 2x the power of one die.
         assert!(
             ilv.power_w() > 0.15 && ilv.power_w() < 0.25,
@@ -230,6 +478,47 @@ mod tests {
                 assert!(w[1] >= w[0] - 1e-3, "non-monotone: {} -> {}", w[0], w[1]);
             }
         }
+    }
+
+    #[test]
+    fn mismatch_build_with_zero_sigmas_is_bit_identical_to_plain_build() {
+        let n = 256;
+        let (f_in, _) = adc_spectral::window::coherent_frequency(220e6, n, 20e6);
+        let tone = move |t: f64| 0.9 * (2.0 * std::f64::consts::PI * f_in * t).sin();
+        let mut plain = InterleavedAdc::build(&AdcConfig::nominal_110ms(), 2, 220e6, 7).unwrap();
+        let mut zeroed = InterleavedAdc::build_with_mismatch(
+            &AdcConfig::nominal_110ms(),
+            2,
+            220e6,
+            7,
+            &InterleaveMismatch::none(),
+        )
+        .unwrap();
+        let a = plain.convert_waveform(&tone, n);
+        let b = zeroed.convert_waveform(&tone, n);
+        let bits = |r: &[f64]| r.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn mismatch_draws_are_seeded_and_per_channel() {
+        let mismatch = InterleaveMismatch {
+            skew_sigma_s: 2e-12,
+            ..InterleaveMismatch::none()
+        };
+        let a =
+            InterleavedAdc::build_with_mismatch(&AdcConfig::ideal(110e6), 4, 440e6, 9, &mismatch)
+                .unwrap();
+        let b =
+            InterleavedAdc::build_with_mismatch(&AdcConfig::ideal(110e6), 4, 440e6, 9, &mismatch)
+                .unwrap();
+        assert_eq!(a.channel_skews_s(), b.channel_skews_s(), "seeded draws");
+        let skews = a.channel_skews_s();
+        assert!(skews.iter().any(|s| s.abs() > 1e-14), "skew actually drawn");
+        let mut sorted: Vec<u64> = skews.iter().map(|s| s.to_bits()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), skews.len(), "channels draw independently");
     }
 
     #[test]
@@ -269,6 +558,71 @@ mod tests {
     }
 
     #[test]
+    fn injected_skew_creates_image_spur_at_predicted_level() {
+        use adc_spectral::metrics::{analyze_tone, ToneAnalysisConfig};
+        let mut ilv = InterleavedAdc::build(&AdcConfig::ideal(110e6), 2, 220e6, 1).unwrap();
+        // 20 ps of skew on channel 1. For a 2-way array the timing image
+        // at fs/2 − fin has amplitude ω·δ/2 relative to the carrier:
+        // 2π·20.05e6·20e-12/2 ≈ 1.26e-3 → ≈ 58 dB below the carrier.
+        let skew = 20e-12;
+        ilv.inject_skew(1, skew);
+        let n = 4096;
+        let (f_in, bin) = adc_spectral::window::coherent_frequency(220e6, n, 20e6);
+        let tone = move |t: f64| 0.9 * (2.0 * std::f64::consts::PI * f_in * t).sin();
+        let record = ilv.convert_waveform(&tone, n);
+        let a = analyze_tone(&record, &ToneAnalysisConfig::coherent()).unwrap();
+        assert_eq!(a.worst_spur_bin, n / 2 - bin, "timing image bin");
+        let predicted_db = -20.0 * (std::f64::consts::PI * f_in * skew).log10();
+        assert!(
+            (a.sfdr_db - predicted_db).abs() < 2.0,
+            "sfdr {} vs predicted {}",
+            a.sfdr_db,
+            predicted_db
+        );
+    }
+
+    #[test]
+    fn fractional_delay_corrector_cancels_injected_skew() {
+        use adc_spectral::metrics::{analyze_tone, ToneAnalysisConfig};
+        let mut ilv = InterleavedAdc::build(&AdcConfig::ideal(110e6), 2, 220e6, 1).unwrap();
+        let skew = 20e-12;
+        ilv.inject_skew(1, skew);
+        // The digital corrector advances the channel stream by −δ.
+        ilv.set_corrections(&[0.0, 0.0], &[1.0, 1.0], &[0.0, -skew]);
+        let n = 4096;
+        let (f_in, _) = adc_spectral::window::coherent_frequency(220e6, n, 20e6);
+        let tone = move |t: f64| 0.9 * (2.0 * std::f64::consts::PI * f_in * t).sin();
+        let record = ilv.convert_waveform(&tone, n);
+        let a = analyze_tone(&record, &ToneAnalysisConfig::coherent()).unwrap();
+        assert!(
+            a.sfdr_db > 70.0,
+            "corrector should bury the 58 dBc timing image: sfdr {}",
+            a.sfdr_db
+        );
+    }
+
+    #[test]
+    fn bandwidth_mismatch_creates_image_spur() {
+        use adc_spectral::metrics::{analyze_tone, ToneAnalysisConfig};
+        let mut ilv = InterleavedAdc::build(&AdcConfig::ideal(110e6), 2, 220e6, 1).unwrap();
+        // Channel 1 gets a 200 MHz front end while channel 0 stays
+        // unlimited: phase disagreement ωτ ≈ 0.1 rad at 20 MHz → a
+        // strong image (≈ −26 dBc).
+        ilv.inject_bandwidth(1, 200e6);
+        let n = 4096;
+        let (f_in, bin) = adc_spectral::window::coherent_frequency(220e6, n, 20e6);
+        let tone = move |t: f64| 0.9 * (2.0 * std::f64::consts::PI * f_in * t).sin();
+        let record = ilv.convert_waveform(&tone, n);
+        let a = analyze_tone(&record, &ToneAnalysisConfig::coherent()).unwrap();
+        assert_eq!(a.worst_spur_bin, n / 2 - bin, "bandwidth image bin");
+        assert!(
+            a.sfdr_db < 35.0,
+            "expected a strong bandwidth image, sfdr {}",
+            a.sfdr_db
+        );
+    }
+
+    #[test]
     fn alignment_removes_injected_mismatch() {
         use adc_spectral::metrics::{analyze_tone, ToneAnalysisConfig};
         let mut ilv = InterleavedAdc::build(&AdcConfig::ideal(110e6), 2, 220e6, 1).unwrap();
@@ -299,5 +653,31 @@ mod tests {
         let a = analyze_tone(&record, &ToneAnalysisConfig::coherent()).unwrap();
         assert!(a.sndr_db > 55.0, "sndr {}", a.sndr_db);
         assert!(a.enob > 9.0, "enob {}", a.enob);
+    }
+
+    #[test]
+    fn fractional_delay_with_zero_mu_is_identity() {
+        let mut lane = vec![0.5, -0.25, 0.75, 0.125];
+        let orig = lane.clone();
+        fractional_delay_in_place(&mut lane, 0.0);
+        let bits = |r: &[f64]| r.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&lane), bits(&orig));
+    }
+
+    #[test]
+    fn fractional_delay_shifts_a_sine_by_the_expected_phase() {
+        let n = 512;
+        let cycles = 17.0;
+        let w = 2.0 * std::f64::consts::PI * cycles / n as f64;
+        let mut lane: Vec<f64> = (0..n).map(|j| (w * j as f64).sin()).collect();
+        let mu = 0.25;
+        fractional_delay_in_place(&mut lane, mu);
+        for (j, &v) in lane.iter().enumerate().skip(2).take(n - 4) {
+            let want = (w * (j as f64 + mu)).sin();
+            assert!(
+                (v - want).abs() < 2e-4,
+                "sample {j}: {v} vs {want} (cubic interpolation error)"
+            );
+        }
     }
 }

@@ -59,7 +59,7 @@ pub use converter::{PipelineAdc, RawConversion, Waveform};
 pub use correction::{assemble_code, latency_samples, CorrectionPipeline};
 pub use diagnostics::Diagnostics;
 pub use error::BuildAdcError;
-pub use interleave::InterleavedAdc;
+pub use interleave::{InterleaveMismatch, InterleavedAdc};
 pub use mdac::Mdac;
 pub use stage::PipelineStage;
 pub use subconverter::{Adsc, FlashBackend, StageDecision};

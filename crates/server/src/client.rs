@@ -12,10 +12,10 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    self, encode_request, DigitizeDone, DigitizeRequest, ErrorCode, FrameReadError,
-    MetricsSnapshot, Request, Response, WireError,
+    self, encode_request, DigitizeDone, DigitizeRequest, ErrorCode, FrameReadError, GangedDone,
+    GangedRequest, MetricsSnapshot, Request, Response, WireError,
 };
-use crate::server::stream_crc;
+use crate::server::{stream_crc, value_stream_crc};
 
 /// Everything a client call can fail with.
 #[derive(Debug)]
@@ -76,6 +76,17 @@ pub struct DigitizeResult {
     /// The server's end-of-stream summary (exact stimulus frequency,
     /// batch count, stream CRC).
     pub done: DigitizeDone,
+}
+
+/// A completed ganged digitization: the reassembled interleaved record
+/// (reconstructed volts, bit-exact) plus the server's summary.
+#[derive(Debug, Clone)]
+pub struct GangedResult {
+    /// The interleaved record values, in order.
+    pub values: Vec<f64>,
+    /// The server's end-of-stream summary (stimulus frequency,
+    /// calibration epochs, convergence, stream CRC).
+    pub done: GangedDone,
 }
 
 /// One blocking connection to an `adc-server`.
@@ -190,6 +201,70 @@ impl Client {
                     return Err(ClientError::Server { code, detail })
                 }
                 _ => return Err(ClientError::UnexpectedResponse("expected batch or done")),
+            }
+        }
+    }
+
+    /// Runs one ganged digitization through a server-side interleaved
+    /// array, blocking until the full record has streamed back. Verifies
+    /// batch ordering, the value count, and the server's stream CRC
+    /// before returning; values are bit-identical to an in-process
+    /// `adc_calib::GangedScenario` capture of the same request.
+    ///
+    /// # Errors
+    ///
+    /// Transport, wire, or server errors, and
+    /// [`ClientError::StreamCorrupt`] if reassembly fails a consistency
+    /// check.
+    pub fn digitize_ganged(
+        &mut self,
+        request: &GangedRequest,
+    ) -> Result<GangedResult, ClientError> {
+        self.send(&Request::Ganged(request.clone()))?;
+        let mut values: Vec<f64> = Vec::new();
+        let mut next_seq = 0u32;
+        loop {
+            match self.recv()? {
+                Response::GangedBatch { seq, values: chunk } => {
+                    if seq != next_seq {
+                        return Err(ClientError::StreamCorrupt(format!(
+                            "batch {seq} arrived, expected {next_seq}"
+                        )));
+                    }
+                    next_seq += 1;
+                    values.extend_from_slice(&chunk);
+                }
+                Response::GangedDone(done) => {
+                    if done.total_samples as usize != values.len() {
+                        return Err(ClientError::StreamCorrupt(format!(
+                            "done claims {} values, reassembled {}",
+                            done.total_samples,
+                            values.len()
+                        )));
+                    }
+                    if done.batches != next_seq {
+                        return Err(ClientError::StreamCorrupt(format!(
+                            "done claims {} batches, received {}",
+                            done.batches, next_seq
+                        )));
+                    }
+                    let crc = value_stream_crc(&values);
+                    if crc != done.stream_crc32 {
+                        return Err(ClientError::StreamCorrupt(format!(
+                            "stream CRC {:08x} != server's {:08x}",
+                            crc, done.stream_crc32
+                        )));
+                    }
+                    return Ok(GangedResult { values, done });
+                }
+                Response::Error { code, detail } => {
+                    return Err(ClientError::Server { code, detail })
+                }
+                _ => {
+                    return Err(ClientError::UnexpectedResponse(
+                        "expected ganged batch or done",
+                    ))
+                }
             }
         }
     }

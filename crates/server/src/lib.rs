@@ -30,6 +30,14 @@
 //! * [`client`] — a blocking client that reassembles streamed records
 //!   and verifies the stream CRC.
 //!
+//! Besides single-die digitization, the server speaks a **ganged**
+//! mode ([`GangedRequest`]): it fabricates an M-way time-interleaved
+//! array (optionally with the typical skew/bandwidth mismatch draw),
+//! aligns it raw / foreground / background-calibrated, and streams the
+//! interleaved record as bit-exact `f64` values — identical to an
+//! in-process [`adc_calib::GangedScenario`] capture of the same
+//! request (see [`ganged_scenario`] for the exact mapping).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -48,10 +56,13 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, DigitizeResult};
+pub use client::{Client, ClientError, DigitizeResult, GangedResult};
 pub use metrics::{LatencyHistogram, MetricsRegistry};
 pub use protocol::{
-    ConfigOverrides, DigitizeDone, DigitizeRequest, ErrorCode, MetricsSnapshot, Preset, Request,
-    Response, WaveformSpec, WireError,
+    ConfigOverrides, DigitizeDone, DigitizeRequest, ErrorCode, GangedCal, GangedDone,
+    GangedRequest, MetricsSnapshot, Preset, Request, Response, WaveformSpec, WireError,
 };
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{
+    ganged_scenario, Server, ServerConfig, ServerHandle, GANGED_BACKGROUND_EPOCHS,
+    GANGED_BACKGROUND_EPOCH_LEN, GANGED_FOREGROUND_AVERAGES,
+};

@@ -167,6 +167,13 @@ impl PayloadWriter {
             self.u16(c);
         }
     }
+
+    pub fn values(&mut self, values: &[f64]) {
+        self.u32(values.len() as u32);
+        for &v in values {
+            self.f64(v);
+        }
+    }
 }
 
 /// Little-endian payload reader over a received slice.
@@ -226,6 +233,17 @@ impl<'a> PayloadReader<'a> {
             codes.push(u16::from_le_bytes(code));
         }
         Ok(codes)
+    }
+
+    pub fn values(&mut self) -> Result<Vec<f64>, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len.checked_mul(8).ok_or(WireError::Truncated)?)?;
+        let mut values = Vec::with_capacity(len);
+        for chunk in bytes.chunks_exact(8) {
+            let bits = <[u8; 8]>::try_from(chunk).map_err(|_| WireError::Truncated)?;
+            values.push(f64::from_bits(u64::from_le_bytes(bits)));
+        }
+        Ok(values)
     }
 
     pub fn finish(self) -> Result<(), WireError> {
@@ -431,6 +449,93 @@ impl DigitizeRequest {
     }
 }
 
+/// Most channels a ganged request may ask for; counts outside
+/// `1..=MAX_GANGED_CHANNELS` are rejected at decode time as
+/// [`WireError::Malformed`].
+pub const MAX_GANGED_CHANNELS: u8 = 16;
+
+/// Channel alignment mode of a ganged request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GangedCal {
+    /// No alignment: the raw mismatch spurs on display.
+    Raw,
+    /// Foreground DC alignment with the server's fixed averaging.
+    Foreground,
+    /// Background calibration from live data, run to convergence (or
+    /// the server's fixed epoch budget) before the capture.
+    Background,
+}
+
+impl GangedCal {
+    fn to_u8(self) -> u8 {
+        match self {
+            Self::Raw => 0,
+            Self::Foreground => 1,
+            Self::Background => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(Self::Raw),
+            1 => Ok(Self::Foreground),
+            2 => Ok(Self::Background),
+            _ => Err(WireError::Malformed("ganged cal discriminant")),
+        }
+    }
+}
+
+/// One ganged digitization: fabricate an M-way interleaved array at
+/// `seed`, align it as requested, and stream the interleaved record
+/// (reconstructed volts) back in batches.
+///
+/// The served record is **bit-identical** to an in-process
+/// `adc_calib::GangedScenario::capture_tone` built from the same fields
+/// (the server publishes its fixed alignment constants for exactly this
+/// purpose).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GangedRequest {
+    /// Per-channel base configuration preset.
+    pub preset: Preset,
+    /// Array fabrication seed (channel `k` is die `seed + k`).
+    pub seed: u64,
+    /// Channel count, `1..=MAX_GANGED_CHANNELS`.
+    pub channels: u8,
+    /// Draw the typical array-level skew/bandwidth mismatch (`true`) or
+    /// build a perfectly matched array (`false`).
+    pub mismatch: bool,
+    /// Channel alignment before the capture.
+    pub cal: GangedCal,
+    /// Requested stimulus frequency, hertz (coherently snapped; the
+    /// response reports the frequency used).
+    pub f_target_hz: f64,
+    /// Samples to capture (power of two — ganged captures are coherent
+    /// tone records).
+    pub n_samples: u32,
+    /// Values per streamed batch frame; `0` selects the server default.
+    pub batch_size: u32,
+    /// Per-request deadline in milliseconds; `0` means none.
+    pub deadline_ms: u32,
+}
+
+impl GangedRequest {
+    /// A background-calibrated capture of a mismatched array — the
+    /// interesting mode — with server-default batching and no deadline.
+    pub fn tone(seed: u64, channels: u8, f_target_hz: f64, n_samples: u32) -> Self {
+        Self {
+            preset: Preset::Nominal110,
+            seed,
+            channels,
+            mismatch: true,
+            cal: GangedCal::Background,
+            f_target_hz,
+            n_samples,
+            batch_size: 0,
+            deadline_ms: 0,
+        }
+    }
+}
+
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -445,18 +550,24 @@ pub enum Request {
     Metrics,
     /// Begin graceful drain-then-shutdown.
     Shutdown,
+    /// Digitize through a time-interleaved array and stream the
+    /// interleaved record back.
+    Ganged(GangedRequest),
 }
 
 const KIND_PING: u8 = 0x01;
 const KIND_DIGITIZE: u8 = 0x02;
 const KIND_METRICS: u8 = 0x03;
 const KIND_SHUTDOWN: u8 = 0x04;
+const KIND_GANGED: u8 = 0x05;
 const KIND_PONG: u8 = 0x81;
 const KIND_BATCH: u8 = 0x82;
 const KIND_DONE: u8 = 0x83;
 const KIND_METRICS_SNAPSHOT: u8 = 0x84;
 const KIND_ERROR: u8 = 0x85;
 const KIND_SHUTDOWN_ACK: u8 = 0x86;
+const KIND_GANGED_BATCH: u8 = 0x87;
+const KIND_GANGED_DONE: u8 = 0x88;
 
 impl Request {
     fn kind(&self) -> u8 {
@@ -465,6 +576,7 @@ impl Request {
             Self::Digitize(_) => KIND_DIGITIZE,
             Self::Metrics => KIND_METRICS,
             Self::Shutdown => KIND_SHUTDOWN,
+            Self::Ganged(_) => KIND_GANGED,
         }
     }
 
@@ -480,6 +592,17 @@ impl Request {
                 w.u32(d.n_samples);
                 w.u32(d.batch_size);
                 w.u32(d.deadline_ms);
+            }
+            Self::Ganged(g) => {
+                w.u8(g.preset.to_u8());
+                w.u64(g.seed);
+                w.u8(g.channels);
+                w.u8(u8::from(g.mismatch));
+                w.u8(g.cal.to_u8());
+                w.f64(g.f_target_hz);
+                w.u32(g.n_samples);
+                w.u32(g.batch_size);
+                w.u32(g.deadline_ms);
             }
             Self::Metrics | Self::Shutdown => {}
         }
@@ -507,6 +630,31 @@ impl Request {
             }
             KIND_METRICS => Self::Metrics,
             KIND_SHUTDOWN => Self::Shutdown,
+            KIND_GANGED => {
+                let preset = Preset::from_u8(r.u8()?)?;
+                let seed = r.u64()?;
+                let channels = r.u8()?;
+                if channels == 0 || channels > MAX_GANGED_CHANNELS {
+                    return Err(WireError::Malformed("channel count"));
+                }
+                let mismatch = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("mismatch flag")),
+                };
+                let cal = GangedCal::from_u8(r.u8()?)?;
+                Self::Ganged(GangedRequest {
+                    preset,
+                    seed,
+                    channels,
+                    mismatch,
+                    cal,
+                    f_target_hz: r.f64()?,
+                    n_samples: r.u32()?,
+                    batch_size: r.u32()?,
+                    deadline_ms: r.u32()?,
+                })
+            }
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -591,6 +739,26 @@ pub struct DigitizeDone {
     pub f_in_hz: f64,
     /// CRC-32 over the little-endian byte stream of all samples, in
     /// order — lets a client verify reassembly without re-requesting.
+    pub stream_crc32: u32,
+}
+
+/// Completion summary of a ganged stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GangedDone {
+    /// Total values streamed across all batches.
+    pub total_samples: u32,
+    /// Number of ganged-batch frames that preceded this frame.
+    pub batches: u32,
+    /// The exact stimulus frequency used (coherent snap), hertz.
+    pub f_in_hz: f64,
+    /// Background-calibration epochs run before the capture (zero for
+    /// raw/foreground alignment).
+    pub epochs_run: u32,
+    /// Whether the background loop reached its hold state within the
+    /// server's epoch budget (always `true` for raw/foreground).
+    pub converged: bool,
+    /// CRC-32 over the little-endian IEEE-754 byte stream of all
+    /// values, in order.
     pub stream_crc32: u32,
 }
 
@@ -686,6 +854,15 @@ pub enum Response {
     /// Acknowledges a [`Request::Shutdown`]; the server drains and
     /// closes.
     ShutdownAck,
+    /// One streamed batch of a ganged (interleaved, corrected) record.
+    GangedBatch {
+        /// Zero-based batch index within the stream.
+        seq: u32,
+        /// Reconstructed voltages, in conversion order, bit-exact.
+        values: Vec<f64>,
+    },
+    /// End of a ganged stream.
+    GangedDone(GangedDone),
 }
 
 impl Response {
@@ -697,6 +874,8 @@ impl Response {
             Self::Metrics(_) => KIND_METRICS_SNAPSHOT,
             Self::Error { .. } => KIND_ERROR,
             Self::ShutdownAck => KIND_SHUTDOWN_ACK,
+            Self::GangedBatch { .. } => KIND_GANGED_BATCH,
+            Self::GangedDone(_) => KIND_GANGED_DONE,
         }
     }
 
@@ -720,6 +899,18 @@ impl Response {
                 w.str(detail);
             }
             Self::ShutdownAck => {}
+            Self::GangedBatch { seq, values } => {
+                w.u32(*seq);
+                w.values(values);
+            }
+            Self::GangedDone(d) => {
+                w.u32(d.total_samples);
+                w.u32(d.batches);
+                w.f64(d.f_in_hz);
+                w.u32(d.epochs_run);
+                w.u8(u8::from(d.converged));
+                w.u32(d.stream_crc32);
+            }
         }
         w.into_bytes()
     }
@@ -744,6 +935,22 @@ impl Response {
                 detail: r.str()?,
             },
             KIND_SHUTDOWN_ACK => Self::ShutdownAck,
+            KIND_GANGED_BATCH => Self::GangedBatch {
+                seq: r.u32()?,
+                values: r.values()?,
+            },
+            KIND_GANGED_DONE => Self::GangedDone(GangedDone {
+                total_samples: r.u32()?,
+                batches: r.u32()?,
+                f_in_hz: r.f64()?,
+                epochs_run: r.u32()?,
+                converged: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("converged flag")),
+                },
+                stream_crc32: r.u32()?,
+            }),
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -965,6 +1172,18 @@ mod tests {
                 batch_size: 128,
                 deadline_ms: 2500,
             }),
+            Request::Ganged(GangedRequest::tone(7, 2, 20e6, 4096)),
+            Request::Ganged(GangedRequest {
+                preset: Preset::Ideal,
+                seed: 99,
+                channels: MAX_GANGED_CHANNELS,
+                mismatch: false,
+                cal: GangedCal::Foreground,
+                f_target_hz: 31e6,
+                n_samples: 2048,
+                batch_size: 512,
+                deadline_ms: 10_000,
+            }),
         ]
     }
 
@@ -992,6 +1211,18 @@ mod tests {
                 detail: "no settling time left at 600 MS/s".to_string(),
             },
             Response::ShutdownAck,
+            Response::GangedBatch {
+                seq: 5,
+                values: vec![0.0, -0.5, 0.999_755_859_375, -0.0],
+            },
+            Response::GangedDone(GangedDone {
+                total_samples: 4096,
+                batches: 4,
+                f_in_hz: 20_093_750.0,
+                epochs_run: 7,
+                converged: true,
+                stream_crc32: 0x8BAD_F00D,
+            }),
         ]
     }
 
@@ -1072,6 +1303,74 @@ mod tests {
             decode_request(&frame),
             Err(WireError::Oversize { .. })
         ));
+    }
+
+    #[test]
+    fn ganged_channel_counts_outside_bounds_are_malformed() {
+        let good = Request::Ganged(GangedRequest::tone(1, 2, 20e6, 1024));
+        let Request::Ganged(template) = &good else {
+            unreachable!()
+        };
+        for channels in [0u8, MAX_GANGED_CHANNELS + 1, 255] {
+            let bad = Request::Ganged(GangedRequest {
+                channels,
+                ..template.clone()
+            });
+            // Encode bypasses decode validation; the decoder must reject.
+            let frame = encode_request(&bad);
+            assert_eq!(
+                decode_request(&frame),
+                Err(WireError::Malformed("channel count")),
+                "channels = {channels}"
+            );
+        }
+        // The boundary values decode fine.
+        for channels in [1u8, MAX_GANGED_CHANNELS] {
+            let ok = Request::Ganged(GangedRequest {
+                channels,
+                ..template.clone()
+            });
+            assert_eq!(decode_request(&encode_request(&ok)).unwrap(), ok);
+        }
+    }
+
+    #[test]
+    fn ganged_flag_and_discriminant_bytes_are_malformed_not_panics() {
+        // Corrupt the mismatch flag (offset: preset 1 + seed 8 + channels 1).
+        let frame_bytes = |req: &Request| encode_request(req);
+        let base = frame_bytes(&Request::Ganged(GangedRequest::tone(1, 2, 20e6, 1024)));
+        let payload_start = HEADER_LEN;
+        let patch = |offset: usize, value: u8| {
+            let mut f = base.clone();
+            f[payload_start + offset] = value;
+            let body_len = f.len() - 4;
+            let crc = crc32(&f[..body_len]);
+            f[body_len..].copy_from_slice(&crc.to_le_bytes());
+            f
+        };
+        assert_eq!(
+            decode_request(&patch(10, 7)),
+            Err(WireError::Malformed("mismatch flag"))
+        );
+        assert_eq!(
+            decode_request(&patch(11, 9)),
+            Err(WireError::Malformed("ganged cal discriminant"))
+        );
+    }
+
+    #[test]
+    fn ganged_values_survive_the_wire_bit_exactly() {
+        let values = vec![0.0, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0, -0.999];
+        let resp = Response::GangedBatch {
+            seq: 0,
+            values: values.clone(),
+        };
+        let back = decode_response(&encode_response(&resp)).unwrap();
+        let Response::GangedBatch { values: got, .. } = back else {
+            panic!("wrong kind");
+        };
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&values));
     }
 
     #[test]

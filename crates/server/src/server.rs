@@ -47,11 +47,23 @@ use adc_pipeline::error::BuildAdcError;
 use adc_runtime::{JobCtx, JobError, JobPool, RunObserver};
 use adc_testbench::{MeasurementSession, RampSource};
 
+use adc_calib::{Alignment, GangedCapture, GangedError, GangedScenario};
+use adc_pipeline::interleave::InterleaveMismatch;
+
 use crate::metrics::MetricsRegistry;
 use crate::protocol::{
     self, encode_response, error_code_for_build, DigitizeDone, DigitizeRequest, ErrorCode,
-    FrameReadError, Preset, Request, Response, WaveformSpec,
+    FrameReadError, GangedCal, GangedDone, GangedRequest, Preset, Request, Response, WaveformSpec,
 };
+
+/// Foreground alignment averaging the server uses for
+/// [`GangedCal::Foreground`] — fixed so a ganged request fully
+/// determines the served record.
+pub const GANGED_FOREGROUND_AVERAGES: u32 = 64;
+/// Background-calibration epoch budget for [`GangedCal::Background`].
+pub const GANGED_BACKGROUND_EPOCHS: u32 = 12;
+/// Samples converted per background-calibration epoch.
+pub const GANGED_BACKGROUND_EPOCH_LEN: u32 = 2048;
 
 /// Tunables for one server instance.
 #[derive(Debug, Clone)]
@@ -339,6 +351,72 @@ fn run_digitize(req: &DigitizeRequest) -> Result<(Vec<u16>, f64), BuildAdcError>
     }
 }
 
+/// The in-process scenario a ganged request maps onto — public so
+/// clients and tests can rebuild the *exact* served computation and
+/// assert bit-identity.
+pub fn ganged_scenario(req: &GangedRequest) -> GangedScenario {
+    GangedScenario {
+        config: base_config(req.preset),
+        channels: u32::from(req.channels),
+        seed: req.seed,
+        mismatch: if req.mismatch {
+            InterleaveMismatch::typical()
+        } else {
+            InterleaveMismatch::none()
+        },
+        f_target_hz: req.f_target_hz,
+        n_samples: req.n_samples,
+        alignment: match req.cal {
+            GangedCal::Raw => Alignment::Raw,
+            GangedCal::Foreground => Alignment::Foreground {
+                averages: GANGED_FOREGROUND_AVERAGES,
+            },
+            GangedCal::Background => Alignment::Background {
+                epochs: GANGED_BACKGROUND_EPOCHS,
+                epoch_len: GANGED_BACKGROUND_EPOCH_LEN,
+            },
+        },
+    }
+}
+
+fn run_ganged(req: &GangedRequest) -> Result<GangedCapture, GangedError> {
+    ganged_scenario(req).capture_tone()
+}
+
+fn error_code_for_ganged(err: &GangedError) -> ErrorCode {
+    match err {
+        GangedError::Build(build) => error_code_for_build(build),
+        GangedError::InvalidScenario(_) => ErrorCode::InvalidRequest,
+        GangedError::Calib(_) => ErrorCode::Internal,
+    }
+}
+
+/// Request-level validation for ganged requests, mirroring [`validate`].
+fn validate_ganged(req: &GangedRequest, cfg: &ServerConfig) -> Result<(), String> {
+    if req.n_samples == 0 {
+        return Err("n_samples must be positive".to_string());
+    }
+    if req.n_samples > cfg.max_samples {
+        return Err(format!(
+            "n_samples {} exceeds server limit {}",
+            req.n_samples, cfg.max_samples
+        ));
+    }
+    if !req.n_samples.is_power_of_two() {
+        return Err(format!(
+            "ganged captures need a power-of-two record, got {}",
+            req.n_samples
+        ));
+    }
+    if !req.f_target_hz.is_finite() || req.f_target_hz <= 0.0 {
+        return Err(format!(
+            "tone frequency must be positive, got {}",
+            req.f_target_hz
+        ));
+    }
+    Ok(())
+}
+
 /// Request-level validation, before any simulation work is queued.
 fn validate(req: &DigitizeRequest, cfg: &ServerConfig) -> Result<(), String> {
     if req.n_samples == 0 {
@@ -381,6 +459,16 @@ pub(crate) fn stream_crc(codes: &[u16]) -> u32 {
     let mut bytes = Vec::with_capacity(codes.len() * 2);
     for &c in codes {
         bytes.extend_from_slice(&c.to_le_bytes());
+    }
+    protocol::crc32(&bytes)
+}
+
+/// CRC-32 over the little-endian IEEE-754 byte stream of a value
+/// record (ganged streams carry `f64`s).
+pub(crate) fn value_stream_crc(values: &[f64]) -> u32 {
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
     }
     protocol::crc32(&bytes)
 }
@@ -467,6 +555,91 @@ fn digitize_job(
         return Err(JobError::Failed("client went away at done".to_string()));
     }
     Ok(codes.len() as u64)
+}
+
+/// Streams one ganged request's response frames into `tx`. Runs on a
+/// pool worker; structurally the twin of [`digitize_job`] with the
+/// array scenario in place of the single-die session.
+fn ganged_job(
+    req: &GangedRequest,
+    cfg: &ServerConfig,
+    ctx: &JobCtx,
+    tx: &mpsc::SyncSender<Vec<u8>>,
+) -> Result<u64, JobError> {
+    let fail = |code: ErrorCode, detail: String| {
+        let frame = encode_response(&Response::Error {
+            code,
+            detail: detail.clone(),
+        });
+        let _ = send_with_deadline(tx, ctx, frame);
+        Err(JobError::Failed(detail))
+    };
+    let _trace_task = adc_trace::task(req.seed);
+    let _trace_request = adc_trace::span_with("request", ctx.id.0);
+    if ctx.timed_out() {
+        let frame = encode_response(&Response::Error {
+            code: ErrorCode::TimedOut,
+            detail: "deadline expired before simulation started".to_string(),
+        });
+        let _ = send_with_deadline(tx, ctx, frame);
+        return Err(JobError::TimedOut);
+    }
+    let capture = {
+        let _trace_ganged = adc_trace::span("ganged");
+        run_ganged(req)
+    };
+    let capture = match capture {
+        Ok(capture) => capture,
+        Err(err) => return fail(error_code_for_ganged(&err), err.to_string()),
+    };
+    if ctx.timed_out() {
+        let frame = encode_response(&Response::Error {
+            code: ErrorCode::TimedOut,
+            detail: "deadline expired during conversion".to_string(),
+        });
+        let _ = send_with_deadline(tx, ctx, frame);
+        return Err(JobError::TimedOut);
+    }
+    let batch = if req.batch_size == 0 {
+        cfg.default_batch.max(1) as usize
+    } else {
+        req.batch_size as usize
+    };
+    let _trace_stream = adc_trace::span("stream");
+    let mut batches = 0u32;
+    for (seq, chunk) in capture.values.chunks(batch).enumerate() {
+        let frame = encode_response(&Response::GangedBatch {
+            seq: seq as u32,
+            values: chunk.to_vec(),
+        });
+        if !send_with_deadline(tx, ctx, frame) {
+            let timed_out = ctx.timed_out();
+            let frame = encode_response(&Response::Error {
+                code: ErrorCode::TimedOut,
+                detail: format!("deadline expired after {batches} batches"),
+            });
+            let _ = tx.try_send(frame);
+            return if timed_out {
+                Err(JobError::TimedOut)
+            } else {
+                Err(JobError::Failed("client went away mid-stream".to_string()))
+            };
+        }
+        batches += 1;
+        ctx.record_samples(chunk.len() as u64);
+    }
+    let done = encode_response(&Response::GangedDone(GangedDone {
+        total_samples: capture.values.len() as u32,
+        batches,
+        f_in_hz: capture.f_in_hz,
+        epochs_run: capture.epochs_run,
+        converged: capture.converged,
+        stream_crc32: value_stream_crc(&capture.values),
+    }));
+    if !send_with_deadline(tx, ctx, done) {
+        return Err(JobError::Failed("client went away at done".to_string()));
+    }
+    Ok(capture.values.len() as u64)
 }
 
 /// Reads requests off one connection until the peer leaves, framing
@@ -569,6 +742,45 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                     }
                     // Failed/TimedOut jobs already streamed their own
                     // typed error frame.
+                }
+            }
+            Request::Ganged(req) => {
+                shared.metrics.digitize();
+                if let Err(detail) = validate_ganged(&req, cfg) {
+                    shared.metrics.error();
+                    if !send(encode_response(&Response::Error {
+                        code: ErrorCode::InvalidRequest,
+                        detail,
+                    })) {
+                        break;
+                    }
+                    continue;
+                }
+                let deadline = (req.deadline_ms > 0)
+                    .then(|| Duration::from_millis(u64::from(req.deadline_ms)));
+                let job_tx = tx.clone();
+                let job_cfg = cfg.clone();
+                let handle = shared.pool.submit(deadline, move |ctx| {
+                    ganged_job(&req, &job_cfg, ctx, &job_tx)
+                });
+                let (value, report) = handle.wait();
+                if value.is_none() {
+                    shared.metrics.error();
+                    if let Some(JobError::Failed(detail)) = &report.error {
+                        if detail == "pool is draining" {
+                            let _ = send(encode_response(&Response::Error {
+                                code: ErrorCode::Draining,
+                                detail: detail.clone(),
+                            }));
+                            break;
+                        }
+                    }
+                    if let Some(JobError::Panicked(msg)) = &report.error {
+                        let _ = send(encode_response(&Response::Error {
+                            code: ErrorCode::Internal,
+                            detail: format!("worker panicked: {msg}"),
+                        }));
+                    }
                 }
             }
         }

@@ -7,7 +7,8 @@ use proptest::prelude::*;
 
 use adc_server::protocol::{
     decode_request, decode_response, encode_request, encode_response, ConfigOverrides,
-    DigitizeDone, DigitizeRequest, MetricsSnapshot, Preset, Request, Response, WaveformSpec,
+    DigitizeDone, DigitizeRequest, GangedCal, GangedDone, GangedRequest, MetricsSnapshot, Preset,
+    Request, Response, WaveformSpec, WireError, MAX_GANGED_CHANNELS,
 };
 
 fn preset(tag: u8) -> Preset {
@@ -53,13 +54,41 @@ fn digitize(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
+fn ganged(
+    preset_tag: u8,
+    seed: u64,
+    channels: u8,
+    flags: u8,
+    f_a: f64,
+    n_samples: u32,
+    batch_size: u32,
+    deadline_ms: u32,
+) -> GangedRequest {
+    GangedRequest {
+        preset: preset(preset_tag),
+        seed,
+        channels,
+        mismatch: flags & 1 != 0,
+        cal: match (flags >> 1) % 3 {
+            0 => GangedCal::Raw,
+            1 => GangedCal::Foreground,
+            _ => GangedCal::Background,
+        },
+        f_target_hz: f_a * 1e6,
+        n_samples,
+        batch_size,
+        deadline_ms,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// Every request kind round-trips bit-exactly through the codec.
     #[test]
     fn requests_round_trip(
-        kind in 0u8..4,
+        kind in 0u8..5,
         token in 0u64..u64::MAX,
         preset_tag in 0u8..3,
         seed in 0u64..u64::MAX,
@@ -70,6 +99,7 @@ proptest! {
         n_samples in 1u32..100_000,
         batch_size in 0u32..10_000,
         deadline_ms in 0u32..100_000,
+        channels in 1u8..=MAX_GANGED_CHANNELS,
     ) {
         let request = match kind {
             0 => Request::Ping { token },
@@ -77,17 +107,66 @@ proptest! {
                 preset_tag, seed, mask, wf_tag, f_a, f_b, n_samples, batch_size, deadline_ms,
             )),
             2 => Request::Metrics,
+            3 => Request::Ganged(ganged(
+                preset_tag, seed, channels, mask, f_a, n_samples, batch_size, deadline_ms,
+            )),
             _ => Request::Shutdown,
         };
         let decoded = decode_request(&encode_request(&request));
         prop_assert_eq!(decoded.as_ref(), Ok(&request));
     }
 
+    /// Out-of-range channel counts in a ganged frame decode to the typed
+    /// malformed error — for *any* surrounding field values.
+    #[test]
+    fn ganged_channel_counts_out_of_bounds_are_malformed(
+        preset_tag in 0u8..3,
+        seed in 0u64..u64::MAX,
+        raw_channels in 0u8..=255,
+        flags in 0u8..16,
+        f_a in 0.001f64..200.0,
+        n_samples in 1u32..100_000,
+    ) {
+        // Map the raw byte onto the out-of-range set: 0, or anything
+        // strictly above the ceiling.
+        let bad_channels = if raw_channels <= MAX_GANGED_CHANNELS {
+            raw_channels
+                .checked_add(MAX_GANGED_CHANNELS)
+                .map_or(0, |c| if c <= MAX_GANGED_CHANNELS { 0 } else { c })
+        } else {
+            raw_channels
+        };
+        let request = Request::Ganged(ganged(
+            preset_tag, seed, bad_channels, flags, f_a, n_samples, 0, 0,
+        ));
+        // The encoder writes whatever it is given; the decoder must
+        // reject it with the typed error, never a panic.
+        let decoded = decode_request(&encode_request(&request));
+        prop_assert_eq!(decoded, Err(WireError::Malformed("channel count")));
+    }
+
+    /// Truncating a ganged frame anywhere yields a typed error.
+    #[test]
+    fn truncated_ganged_frames_are_rejected(
+        seed in 0u64..u64::MAX,
+        channels in 1u8..=MAX_GANGED_CHANNELS,
+        n_samples in 1u32..100_000,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = encode_request(&Request::Ganged(GangedRequest {
+            channels,
+            n_samples,
+            ..GangedRequest::tone(seed, 2, 20e6, 4096)
+        }));
+        let cut = ((frame.len() as f64 * cut_frac) as usize).min(frame.len() - 1);
+        prop_assert!(decode_request(&frame[..cut]).is_err());
+    }
+
     /// Every response kind round-trips bit-exactly through the codec,
     /// including non-finite floats (f64s travel as IEEE-754 bits).
     #[test]
     fn responses_round_trip(
-        kind in 0u8..6,
+        kind in 0u8..8,
         token in 0u64..u64::MAX,
         seq in 0u32..u32::MAX,
         len in 0usize..512,
@@ -147,6 +226,26 @@ proptest! {
                     detail: "e".repeat(detail_len),
                 }
             }
+            5 => Response::GangedBatch {
+                seq,
+                values: (0..len)
+                    .map(|i| match (i + f_sel as usize) % 5 {
+                        0 => f64::NAN,
+                        1 => f64::NEG_INFINITY,
+                        2 => -0.0,
+                        3 => f_val * (i as f64 + 1.0),
+                        _ => f64::MIN_POSITIVE,
+                    })
+                    .collect(),
+            },
+            6 => Response::GangedDone(GangedDone {
+                total_samples: seq,
+                batches: seq / 3,
+                f_in_hz,
+                epochs_run: fill as u32,
+                converged: fill & 1 != 0,
+                stream_crc32: token as u32,
+            }),
             _ => Response::ShutdownAck,
         };
         let decoded = decode_response(&encode_response(&response)).unwrap();
@@ -156,6 +255,22 @@ proptest! {
                 prop_assert_eq!(a.f_in_hz.to_bits(), b.f_in_hz.to_bits());
                 prop_assert_eq!(a.total_samples, b.total_samples);
                 prop_assert_eq!(a.batches, b.batches);
+                prop_assert_eq!(a.stream_crc32, b.stream_crc32);
+            }
+            (Response::GangedBatch { seq: sa, values: va },
+             Response::GangedBatch { seq: sb, values: vb }) => {
+                prop_assert_eq!(sa, sb);
+                prop_assert_eq!(va.len(), vb.len());
+                for (a, b) in va.iter().zip(vb.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            (Response::GangedDone(a), Response::GangedDone(b)) => {
+                prop_assert_eq!(a.f_in_hz.to_bits(), b.f_in_hz.to_bits());
+                prop_assert_eq!(a.total_samples, b.total_samples);
+                prop_assert_eq!(a.batches, b.batches);
+                prop_assert_eq!(a.epochs_run, b.epochs_run);
+                prop_assert_eq!(a.converged, b.converged);
                 prop_assert_eq!(a.stream_crc32, b.stream_crc32);
             }
             _ => prop_assert_eq!(&decoded, &response),

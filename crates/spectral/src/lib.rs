@@ -11,6 +11,8 @@
 //! * [`window`] — rectangular/Hann/Blackman/Blackman–Harris windows and
 //!   coherent-frequency selection;
 //! * [`metrics`] — IEEE-1241-style single-tone SNR/SNDR/SFDR/THD/ENOB;
+//! * [`interleave`] — time-interleaving spur forensics: predicted
+//!   offset/image bin families and measured attribution;
 //! * [`linearity`] — sine-wave code-density INL/DNL extraction;
 //! * [`sinefit`] — IEEE-1057 three/four-parameter sine fits;
 //! * [`complex`] — the minimal complex type underpinning the FFT.
@@ -36,6 +38,7 @@
 pub mod complex;
 pub mod fft;
 pub mod goertzel;
+pub mod interleave;
 pub mod linearity;
 pub mod metrics;
 pub mod plan;
@@ -50,6 +53,10 @@ pub use fft::{
     power_spectrum_one_sided_into, FftError,
 };
 pub use goertzel::{goertzel_bin, goertzel_power, tone_screen};
+pub use interleave::{
+    attribute_record, attribute_spurs, spur_families, InterleaveForensicsError,
+    InterleaveSpurReport, SpurFamilies,
+};
 pub use linearity::{
     predict_tone_from_inl, ramp_histogram, sine_histogram, LinearityError, LinearityResult,
 };

@@ -1,13 +1,26 @@
 //! SoC scenario: interleave two of the paper's IP blocks for 220 MS/s.
 //!
-//! Shows the textbook interleaving pathology (offset tone at fs/2, gain
-//! image at fs/2 − fin) and the foreground channel alignment that cures
-//! the correctable part of it.
+//! The narrative runs the repair ladder end to end on one mismatched
+//! array — timing skew and bandwidth spread drawn Monte-Carlo style on
+//! top of the per-die offset/gain differences:
+//!
+//! 1. **raw** — the textbook pathology on display: offset tone at
+//!    `fs/2`, gain/skew images at `fs/2 − fin`;
+//! 2. **foreground alignment** — a DC calibration cures offset and gain
+//!    but is blind to timing skew, so the image family stays;
+//! 3. **background calibration** — the LMS loop estimates skew from
+//!    live conversion data and drives the fractional-delay corrector,
+//!    taking the image family down too.
+//!
+//! Spur attribution at each rung comes from the forensics module, which
+//! knows *where* each mismatch family must land.
 //!
 //! Run with: `cargo run --release --example interleaving`
 
-use pipeline_adc::pipeline::interleave::InterleavedAdc;
+use pipeline_adc::calib::{BackgroundCalibrator, CalState, CalibConfig};
+use pipeline_adc::pipeline::interleave::{InterleaveMismatch, InterleavedAdc};
 use pipeline_adc::pipeline::AdcConfig;
+use pipeline_adc::spectral::interleave::attribute_record;
 use pipeline_adc::spectral::metrics::{analyze_tone, ToneAnalysisConfig};
 use pipeline_adc::spectral::window::coherent_frequency;
 
@@ -15,35 +28,71 @@ fn measure(ilv: &mut InterleavedAdc, label: &str) -> Result<(), Box<dyn std::err
     let n = 8192;
     let fs = ilv.sample_rate_hz();
     let (f_in, _) = coherent_frequency(fs, n, 20e6);
-    let tone = move |t: f64| 0.98 * (2.0 * std::f64::consts::PI * f_in * t).sin();
+    let tone = move |t: f64| 0.9 * (2.0 * std::f64::consts::PI * f_in * t).sin();
     let record = ilv.convert_waveform(&tone, n);
     let a = analyze_tone(&record, &ToneAnalysisConfig::coherent())?;
+    let spurs = attribute_record(&record, ilv.channel_count())?;
     println!(
-        "{label:28} SNDR {:5.1} dB   SFDR {:5.1} dB   ENOB {:5.2}   worst spur @ bin {}",
-        a.sndr_db, a.sfdr_db, a.enob, a.worst_spur_bin
+        "{label:28} SNDR {:5.1} dB   ENOB {:5.2}   offset family {:6.1} dBc   image family {:6.1} dBc",
+        a.sndr_db, a.enob, spurs.offset_worst_dbc, spurs.image_worst_dbc
     );
     Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("two nominal dies (seeds 7, 8) interleaved to 220 MS/s, fin = 20 MHz\n");
-    let mut ilv = InterleavedAdc::build(&AdcConfig::nominal_110ms(), 2, 220e6, 7)?;
+    println!("two nominal dies (seeds 7, 8) interleaved to 220 MS/s, fin = 20 MHz");
+    println!("with typical timing-skew and bandwidth mismatch drawn from the seed\n");
+    let mut ilv = InterleavedAdc::build_with_mismatch(
+        &AdcConfig::nominal_110ms(),
+        2,
+        220e6,
+        7,
+        &InterleaveMismatch::typical(),
+    )?;
     println!(
-        "array power: {:.1} mW ({} channels)\n",
+        "array power: {:.1} mW ({} channels), drawn skews: {:?} ps\n",
         ilv.power_w() * 1e3,
-        ilv.channel_count()
+        ilv.channel_count(),
+        ilv.channel_skews_s()
+            .iter()
+            .map(|s| (s * 1e12 * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     measure(&mut ilv, "raw (unaligned channels)")?;
+
+    // Rung 2: foreground DC alignment — cures offset/gain, not timing.
     ilv.align_channels(64);
-    measure(&mut ilv, "after offset/gain alignment")?;
+    measure(&mut ilv, "after foreground alignment")?;
 
-    println!("\nfor reference, the pathology at full strength:");
-    ilv.inject_mismatch(1, 5e-3, 1.02);
-    measure(&mut ilv, "5 mV / 2% injected mismatch")?;
+    // Rung 3: background calibration from live conversion data alone.
+    // The loop watches interleaved records of the working stimulus and
+    // converges to Hold; no calibration signal is injected.
+    let fs = ilv.sample_rate_hz();
+    let m = ilv.channel_count();
+    let mut cal = BackgroundCalibrator::new(m, fs, CalibConfig::default());
+    let epoch_len = 4096;
+    let (f_cal, _) = coherent_frequency(fs, epoch_len, 20e6);
+    let wave = move |t: f64| 0.9 * (2.0 * std::f64::consts::PI * f_cal * t).sin();
+    let mut epochs = 0;
+    for _ in 0..24 {
+        let record = ilv.convert_waveform(&wave, epoch_len);
+        let report = cal.observe(&record)?;
+        cal.apply_to(&mut ilv);
+        epochs += 1;
+        if report.state == CalState::Hold {
+            break;
+        }
+    }
+    println!(
+        "background loop reached {:?} after {epochs} epochs",
+        cal.state()
+    );
+    measure(&mut ilv, "after background calibration")?;
 
-    println!("\nresidual spurs after alignment come from mismatches the");
-    println!("foreground procedure cannot see (timing skew, nonlinearity");
-    println!("differences) — the classic interleaving literature's subject.");
+    println!("\nforeground alignment kills the offset family but the image");
+    println!("family survives (timing skew is invisible at DC); the background");
+    println!("loop estimates skew from the data itself and drives the");
+    println!("fractional-delay corrector, pulling the image family down too.");
     Ok(())
 }

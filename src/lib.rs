@@ -12,6 +12,9 @@
 //! * [`bias`] — the switched-capacitor bias generator (paper Eq. 1),
 //!   current mirrors, and the power model (Fig. 4);
 //! * [`pipeline`] — the 10×1.5-bit + 2-bit-flash converter itself;
+//! * [`calib`] — background calibration for time-interleaved arrays:
+//!   live-data offset/gain/timing estimation, fractional-delay
+//!   correction, and the ganged-capture scenario;
 //! * [`testbench`] — signal sources, band-pass filters, measurement
 //!   sessions, sweeps, the Table I datasheet, and the Fig. 8 FoM survey;
 //! * [`runtime`] — the deterministic parallel campaign engine the
@@ -42,6 +45,7 @@
 
 pub use adc_analog as analog;
 pub use adc_bias as bias;
+pub use adc_calib as calib;
 pub use adc_digital as digital;
 pub use adc_pipeline as pipeline;
 pub use adc_runtime as runtime;

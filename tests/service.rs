@@ -11,8 +11,8 @@ use std::net::TcpStream;
 use pipeline_adc::pipeline::AdcConfig;
 use pipeline_adc::server::protocol::{self, encode_request, Request};
 use pipeline_adc::server::{
-    Client, ClientError, ConfigOverrides, DigitizeRequest, ErrorCode, Server, ServerConfig,
-    WaveformSpec,
+    ganged_scenario, Client, ClientError, ConfigOverrides, DigitizeRequest, ErrorCode,
+    GangedRequest, Server, ServerConfig, WaveformSpec,
 };
 use pipeline_adc::testbench::MeasurementSession;
 
@@ -76,6 +76,59 @@ fn concurrent_clients_get_bit_identical_records() {
         metrics.samples_streamed,
         u64::from(RECORD) * seeds.len() as u64
     );
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("serve returns");
+}
+
+#[test]
+fn ganged_stream_is_bit_identical_to_in_process_capture() {
+    let (handle, join) = Server::spawn("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // A background-calibrated 2-way array served over the wire must
+    // match the published in-process scenario, value for value, bit
+    // for bit — the service boundary adds transport, nothing else.
+    let request = GangedRequest::tone(23, 2, 20e6, RECORD);
+    let served = client.digitize_ganged(&request).expect("ganged digitize");
+
+    let reference = ganged_scenario(&request)
+        .capture_tone()
+        .expect("in-process capture");
+    assert_eq!(served.values.len(), reference.values.len());
+    for (i, (a, b)) in served
+        .values
+        .iter()
+        .zip(reference.values.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "value {i}: served {a} differs from in-process {b}"
+        );
+    }
+    assert_eq!(served.done.f_in_hz.to_bits(), reference.f_in_hz.to_bits());
+    assert_eq!(served.done.epochs_run, reference.epochs_run);
+    assert_eq!(served.done.converged, reference.converged);
+
+    // Invalid ganged requests surface as typed errors on the same
+    // connection, which stays usable afterwards.
+    let cases = [
+        GangedRequest::tone(23, 2, 20e6, 0),
+        GangedRequest::tone(23, 2, 20e6, 1000), // not a power of two
+        GangedRequest::tone(23, 2, f64::NAN, RECORD),
+        GangedRequest::tone(23, 2, -20e6, RECORD),
+    ];
+    for request in &cases {
+        match client.digitize_ganged(request) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::InvalidRequest, "request {request:?}")
+            }
+            other => panic!("expected typed InvalidRequest, got {other:?}"),
+        }
+    }
+    assert_eq!(client.ping(5).expect("ping after errors"), 5);
 
     handle.shutdown();
     join.join().expect("server thread").expect("serve returns");
