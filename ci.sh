@@ -23,20 +23,25 @@
 #                  concurrent clients, bit-identity vs in-process
 #                  records) re-runs in release under a hard wall-clock
 #                  guard — a hung drain fails CI instead of wedging it
+#   cluster     -- distribution gate: the `cluster` suite spins up two
+#                  loopback servers and diffs the distributed campaign
+#                  digest against the in-process one, in release under
+#                  the same hard wall-clock guard as `service`
 #   perf        -- regression gate: regenerates BENCH_runtime.json,
-#                  BENCH_service.json, BENCH_dsp.json, and
-#                  BENCH_interleave.json in a scratch dir and diffs them
-#                  against the baselines committed at HEAD with
-#                  `bench_compare` (±30% on samples/sec, p99 latency,
-#                  DSP-kernel us/call, and ganged-array us/epoch; exempt
-#                  across differing host_cpus; the DSP and interleave
-#                  comparisons are skipped when HEAD predates their
-#                  reports). Advisory by default; fatal under
+#                  BENCH_service.json, BENCH_dsp.json,
+#                  BENCH_interleave.json, and BENCH_cluster.json in a
+#                  scratch dir and diffs them against the baselines
+#                  committed at HEAD with `bench_compare` (±30% on
+#                  samples/sec, p99 latency, DSP-kernel us/call,
+#                  ganged-array us/epoch, and cluster jobs/sec; exempt
+#                  across differing host_cpus; the DSP, interleave, and
+#                  cluster comparisons are skipped when HEAD predates
+#                  their reports). Advisory by default; fatal under
 #                  --deny-perf.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt clippy lint build test determinism service perf)
+ALL_STAGES=(fmt clippy lint build test determinism service cluster perf)
 DENY_PERF=0
 SELECTED=()
 for arg in "$@"; do
@@ -115,6 +120,10 @@ stage_service() {
   timeout 300 cargo test -q --release --test service
 }
 
+stage_cluster() {
+  timeout 300 cargo test -q --release --test cluster
+}
+
 stage_perf() {
   baseline="$SCRATCH/baseline"
   fresh="$SCRATCH/fresh"
@@ -124,17 +133,19 @@ stage_perf() {
     echo "no committed BENCH baselines at HEAD; skipping perf gate"
     return 0
   fi
-  # BENCH_dsp.json and BENCH_interleave.json are newer than the other
-  # baselines; bench_compare skips their comparisons gracefully when
-  # HEAD predates them.
+  # BENCH_dsp.json, BENCH_interleave.json, and BENCH_cluster.json are
+  # newer than the other baselines; bench_compare skips their
+  # comparisons gracefully when HEAD predates them.
   git show HEAD:BENCH_dsp.json > "$baseline/BENCH_dsp.json" 2>/dev/null ||
     rm -f "$baseline/BENCH_dsp.json"
   git show HEAD:BENCH_interleave.json > "$baseline/BENCH_interleave.json" 2>/dev/null ||
     rm -f "$baseline/BENCH_interleave.json"
+  git show HEAD:BENCH_cluster.json > "$baseline/BENCH_cluster.json" 2>/dev/null ||
+    rm -f "$baseline/BENCH_cluster.json"
   cargo build --release -q -p adc-bench --bins
   bin_dir="$PWD/target/release"
   (cd "$fresh" && "$bin_dir/bench_runtime" && "$bin_dir/bench_service" &&
-    "$bin_dir/bench_dsp" && "$bin_dir/bench_interleave")
+    "$bin_dir/bench_dsp" && "$bin_dir/bench_interleave" && "$bin_dir/bench_cluster")
   deny_flag=()
   [ "$DENY_PERF" = 1 ] && deny_flag=(--deny-perf)
   "$bin_dir/bench_compare" --baseline-dir "$baseline" --fresh-dir "$fresh" "${deny_flag[@]}"

@@ -37,7 +37,8 @@ fn main() {
         })
         .collect();
 
-    let (policy, _trace) = adc_bench::campaign_setup();
+    let (args, policy, _trace) = adc_bench::campaign_setup();
+    adc_bench::warn_ignored_peers(&args);
     let points = policy
         .measure_campaign(
             "ablation-clocking",

@@ -1,6 +1,6 @@
 //! Perf-regression gate: diffs freshly generated `BENCH_runtime.json`,
-//! `BENCH_service.json`, `BENCH_dsp.json`, and `BENCH_interleave.json`
-//! against committed baselines.
+//! `BENCH_service.json`, `BENCH_dsp.json`, `BENCH_interleave.json`,
+//! and `BENCH_cluster.json` against committed baselines.
 //!
 //! ```text
 //! bench_compare [--baseline-dir DIR] [--fresh-dir DIR]
@@ -13,7 +13,9 @@
 //! `samples_per_sec` per configuration row and `fft_real` `us_per_call`
 //! per record length; the interleave report compares ganged-array
 //! conversion `samples_per_sec` and background-calibration
-//! `us_per_epoch` per array row. Both are *optional* — when either side
+//! `us_per_epoch` per array row; the cluster report compares
+//! distributed campaign `jobs_per_sec` per host-count row. These
+//! reports are *optional* — when either side
 //! lacks the file (a baseline predating the report) the comparison is
 //! skipped rather than failed. A figure regresses when it is worse than the baseline by
 //! more than the tolerance (default 30%): throughput lower, latency
@@ -308,6 +310,39 @@ fn compare_interleave(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<
     rows
 }
 
+/// Collects the cluster-report comparisons: distributed campaign
+/// jobs/sec per host-count row, matched by row name.
+fn compare_cluster(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Comparison> {
+    let rows_of = |doc: &Json| -> Vec<(String, f64)> {
+        lookup(doc, "cluster")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|c| {
+                        let name = c.get("name")?.as_str()?.to_string();
+                        let jps = lookup_f64(c, "jobs_per_sec")?;
+                        Some((name, jps))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let new = rows_of(fresh);
+    rows_of(baseline)
+        .into_iter()
+        .filter_map(|(name, b)| {
+            let f = new.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+            compare(
+                &format!("cluster {name} jobs/sec"),
+                Some(b),
+                f,
+                Direction::HigherIsBetter,
+                tolerance_pct,
+            )
+        })
+        .collect()
+}
+
 fn load(dir: &str, file: &str) -> Result<Json, String> {
     let path = format!("{}/{file}", dir.trim_end_matches('/'));
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -350,6 +385,7 @@ fn main() -> ExitCode {
         ("BENCH_service.json", compare_service, false),
         ("BENCH_dsp.json", compare_dsp, true),
         ("BENCH_interleave.json", compare_interleave, true),
+        ("BENCH_cluster.json", compare_cluster, true),
     ];
     let mut rows = Vec::new();
     let mut host_mismatch = false;
@@ -493,6 +529,21 @@ mod tests {
         assert!(rows[0].label.contains("m2_matched") && rows[0].regressed);
         // Calibration epoch time is lower-is-better: the rise regresses.
         assert!(rows[1].label.contains("us/epoch") && rows[1].regressed);
+    }
+
+    #[test]
+    fn cluster_rows_match_by_host_count_name() {
+        let baseline = doc(r#"{
+            "cluster":[{"name":"hosts1","jobs_per_sec":1000.0},
+                       {"name":"hosts2","jobs_per_sec":1700.0},
+                       {"name":"gone","jobs_per_sec":1.0}]}"#);
+        let fresh = doc(r#"{
+            "cluster":[{"name":"hosts1","jobs_per_sec":950.0},
+                       {"name":"hosts2","jobs_per_sec":400.0}]}"#);
+        let rows = compare_cluster(&baseline, &fresh, 30.0);
+        assert_eq!(rows.len(), 2, "unmatched cluster row is skipped");
+        assert!(rows[0].label.contains("hosts1") && !rows[0].regressed);
+        assert!(rows[1].label.contains("hosts2") && rows[1].regressed);
     }
 
     #[test]

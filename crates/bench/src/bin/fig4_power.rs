@@ -12,7 +12,8 @@ fn main() {
         "fin = 10 MHz, 2 Vp-p; paper anchors 97 mW @ 110 MS/s, 110 mW @ 130 MS/s",
     );
 
-    let (policy, _trace) = adc_bench::campaign_setup();
+    let (args, policy, _trace) = adc_bench::campaign_setup();
+    adc_bench::warn_ignored_peers(&args);
     let runner = SweepRunner {
         policy,
         ..SweepRunner::nominal()

@@ -15,7 +15,8 @@ fn main() {
         "f_CR = 110 MS/s, 2 Vp-p, 8192-pt coherent FFT",
     );
 
-    let (policy, _trace) = adc_bench::campaign_setup();
+    let (args, policy, _trace) = adc_bench::campaign_setup();
+    adc_bench::warn_ignored_peers(&args);
     let runner = SweepRunner {
         policy,
         ..SweepRunner::nominal()

@@ -23,7 +23,8 @@ fn main() {
 
     // All four budget sweeps share one campaign policy: points fan out
     // across ADC_THREADS workers and persist in the ADC_CACHE_DIR cache.
-    let (policy, _trace) = adc_bench::campaign_setup();
+    let (args, policy, _trace) = adc_bench::campaign_setup();
+    adc_bench::warn_ignored_peers(&args);
     let mut sweeps = Vec::new();
     for &sigma in &sigmas {
         let runner = SweepRunner {

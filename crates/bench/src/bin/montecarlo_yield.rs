@@ -1,9 +1,18 @@
 //! Extension experiment: Monte-Carlo yield of the design across process
 //! spread — the analysis behind shipping the paper's converter as an IP
 //! block.
+//!
+//! This campaign distributes: pass `--peers HOST:PORT,...` (or
+//! `ADC_PEERS`) to farm the per-die jobs to remote `adc-server` hosts
+//! through `adc-cluster`. The assembled result is bit-identical to the
+//! in-process run — same per-die seeds, same cache namespace — and a
+//! distributed run warms the same `--cache-dir` point cache a later
+//! local run reads.
 
+use adc_cluster::{assemble_monte_carlo, monte_carlo_campaign, standard_registry, ClusterExecutor};
 use adc_pipeline::config::AdcConfig;
-use adc_testbench::montecarlo::{run_monte_carlo_with, YieldSpec};
+use adc_server::Preset;
+use adc_testbench::montecarlo::{monte_carlo_plan, run_monte_carlo_with, YieldSpec};
 use adc_testbench::report::TextTable;
 
 fn main() {
@@ -12,9 +21,29 @@ fn main() {
         "process spread of Table I metrics; spec: SNDR>=62dB, SFDR>=65dB, P<=115mW",
     );
 
-    let (policy, _trace) = adc_bench::campaign_setup();
-    let mc = run_monte_carlo_with(&AdcConfig::nominal_110ms(), 32, 10e6, 4096, &policy)
-        .expect("campaign runs");
+    let (args, policy, _trace) = adc_bench::campaign_setup();
+    let config = AdcConfig::nominal_110ms();
+    let mc = if args.peers.is_empty() {
+        run_monte_carlo_with(&config, 32, 10e6, 4096, &policy).expect("campaign runs")
+    } else {
+        eprintln!("distributing 32 dies to peers: {}", args.peers.join(", "));
+        let plan = monte_carlo_plan(&config, 32, 10e6, 4096);
+        let campaign = monte_carlo_campaign(Preset::Nominal110, &plan);
+        let mut executor = ClusterExecutor::new(args.peers.clone(), standard_registry());
+        if let Some(cache) = &policy.cache {
+            executor = executor.cached(std::sync::Arc::clone(cache));
+        }
+        let report = executor.execute(&campaign).expect("distributed campaign");
+        eprintln!(
+            "cluster: {} remote, {} remote-cached, {} prefetched, {} local, {} host(s) lost",
+            report.stats.remote_computed,
+            report.stats.remote_cached,
+            report.stats.prefetch_hits + report.stats.local_cache_hits,
+            report.stats.local_computed,
+            report.stats.hosts_lost,
+        );
+        assemble_monte_carlo(&report.lines).expect("assemble distributed result")
+    };
 
     let mut table = TextTable::new(["metric", "min", "mean", "max", "sigma"]);
     let fmt = |v: f64| format!("{v:.2}");

@@ -53,7 +53,8 @@ fn main() {
         }
     }
 
-    let (policy, _trace) = adc_bench::campaign_setup();
+    let (args, policy, _trace) = adc_bench::campaign_setup();
+    adc_bench::warn_ignored_peers(&args);
     let points = policy
         .measure_campaign(
             "sweep-interleave",

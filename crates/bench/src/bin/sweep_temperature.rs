@@ -24,7 +24,8 @@ fn main() {
     let temps = [-40.0, 0.0, 27.0, 85.0, 125.0];
     let base = AdcConfig::nominal_110ms();
 
-    let (policy, _trace) = adc_bench::campaign_setup();
+    let (args, policy, _trace) = adc_bench::campaign_setup();
+    adc_bench::warn_ignored_peers(&args);
     let points = policy
         .measure_campaign(
             "sweep-temperature",

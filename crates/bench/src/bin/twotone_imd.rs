@@ -30,7 +30,8 @@ fn main() {
 
     let centres_mhz = [10.0, 30.0, 50.0, 80.0];
 
-    let (policy, _trace) = adc_bench::campaign_setup();
+    let (args, policy, _trace) = adc_bench::campaign_setup();
+    adc_bench::warn_ignored_peers(&args);
     let points = policy
         .measure_campaign(
             "twotone-imd",

@@ -8,6 +8,7 @@
 //! | `--threads N` | `ADC_THREADS` | `0` (all cores) | campaign worker threads |
 //! | `--cache-dir PATH` | `ADC_CACHE_DIR` | `target/campaign-cache` | point-cache directory (empty disables) |
 //! | `--trace-out PATH` | `ADC_TRACE_OUT` | off | write a Chrome trace-event JSON profile |
+//! | `--peers H:P,...` | `ADC_PEERS` | none | farm supported campaigns to remote `adc-server` hosts |
 //!
 //! Parsing is a total function over the argument list
 //! ([`CampaignArgs::parse_from`]) so the precedence rules are unit
@@ -33,6 +34,11 @@ usage: {bin} [--threads N] [--cache-dir PATH] [--trace-out PATH]
                    PATH (open in chrome://tracing or Perfetto) and
                    print a per-span summary to stderr on exit
                    [env: ADC_TRACE_OUT] [default: disabled]
+  --peers LIST     comma-separated HOST:PORT adc-server peers; campaigns
+                   that support distribution farm their jobs out and
+                   fall back to local execution when no peer answers
+                   (empty string disables)
+                   [env: ADC_PEERS] [default: none]
   -h, --help       print this help
 ";
 
@@ -45,6 +51,9 @@ pub struct CampaignArgs {
     pub cache_dir: String,
     /// Chrome trace-event JSON output path; empty disables tracing.
     pub trace_out: String,
+    /// `HOST:PORT` adc-server peers to farm supported campaigns to;
+    /// empty runs everything in-process.
+    pub peers: Vec<String>,
 }
 
 impl Default for CampaignArgs {
@@ -53,8 +62,19 @@ impl Default for CampaignArgs {
             threads: 0,
             cache_dir: "target/campaign-cache".to_string(),
             trace_out: String::new(),
+            peers: Vec::new(),
         }
     }
+}
+
+/// Splits a `HOST:PORT,HOST:PORT,...` list; empty items are dropped,
+/// so `""` cleanly disables distribution.
+fn parse_peers(v: &str) -> Vec<String> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
 }
 
 /// What an argument list parsed to.
@@ -107,6 +127,10 @@ impl CampaignArgs {
             },
             cache_dir: env("ADC_CACHE_DIR").unwrap_or_else(|| CampaignArgs::default().cache_dir),
             trace_out: env("ADC_TRACE_OUT").unwrap_or_default(),
+            peers: env("ADC_PEERS")
+                .as_deref()
+                .map(parse_peers)
+                .unwrap_or_default(),
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -131,6 +155,7 @@ impl CampaignArgs {
                 }
                 "--cache-dir" => parsed.cache_dir = value(&mut it)?,
                 "--trace-out" => parsed.trace_out = value(&mut it)?,
+                "--peers" => parsed.peers = parse_peers(&value(&mut it)?),
                 "--help" | "-h" => return Ok(ParseOutcome::Help),
                 other => return Err(format!("unknown argument {other:?}")),
             }
@@ -242,6 +267,14 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// The cache directory a campaign binary resolves when no flag is
+/// given: `ADC_CACHE_DIR` when set, else the built-in default. Lives
+/// here for the same single-environment-read-site reason as
+/// [`env_usize`].
+pub fn default_cache_dir() -> String {
+    std::env::var("ADC_CACHE_DIR").unwrap_or_else(|_| CampaignArgs::default().cache_dir)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,9 +355,35 @@ mod tests {
             threads: 5,
             cache_dir: String::new(),
             trace_out: String::new(),
+            peers: Vec::new(),
         };
         assert_eq!(args.policy().threads, 5);
         assert!(!args.trace_session().is_recording());
+    }
+
+    #[test]
+    fn peers_parse_from_flag_and_env_with_flag_priority() {
+        let env = |name: &str| (name == "ADC_PEERS").then(|| "a:1, b:2,,".to_string());
+        let ParseOutcome::Args(from_env) = CampaignArgs::parse_from(&[], env).unwrap() else {
+            panic!("expected args");
+        };
+        assert_eq!(
+            from_env.peers,
+            vec!["a:1", "b:2"],
+            "trimmed, empties dropped"
+        );
+
+        let args = strings(&["--peers", "c:3"]);
+        let ParseOutcome::Args(from_flag) = CampaignArgs::parse_from(&args, env).unwrap() else {
+            panic!("expected args");
+        };
+        assert_eq!(from_flag.peers, vec!["c:3"]);
+
+        let args = strings(&["--peers", ""]);
+        let ParseOutcome::Args(disabled) = CampaignArgs::parse_from(&args, env).unwrap() else {
+            panic!("expected args");
+        };
+        assert!(disabled.peers.is_empty(), "empty flag disables env peers");
     }
 
     #[test]

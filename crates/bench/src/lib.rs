@@ -48,12 +48,26 @@ pub fn banner(experiment: &str, paper_ref: &str) {
 
 /// The standard setup of a campaign binary: parses the shared command
 /// line and environment ([`CampaignArgs::parse`]) and returns the
-/// execution policy (worker threads, progress narration on stderr,
-/// disk point cache) plus the tracing session (`--trace-out`). Keep
-/// the [`TraceSession`] alive until the campaign finishes — dropping
-/// it writes the trace file and prints the profile summary.
-pub fn campaign_setup() -> (RunPolicy, TraceSession) {
+/// parsed knobs, the execution policy (worker threads, progress
+/// narration on stderr, disk point cache), and the tracing session
+/// (`--trace-out`). Keep the [`TraceSession`] alive until the campaign
+/// finishes — dropping it writes the trace file and prints the profile
+/// summary. Binaries that support distribution read `args.peers`;
+/// the rest call [`warn_ignored_peers`].
+pub fn campaign_setup() -> (CampaignArgs, RunPolicy, TraceSession) {
     let args = CampaignArgs::parse();
     let trace = args.trace_session();
-    (args.policy(), trace)
+    let policy = args.policy();
+    (args, policy, trace)
+}
+
+/// Tells the user their `--peers` will not be used: this binary's
+/// campaign runs in-process only.
+pub fn warn_ignored_peers(args: &CampaignArgs) {
+    if !args.peers.is_empty() {
+        eprintln!(
+            "note: this campaign does not distribute; ignoring --peers {}",
+            args.peers.join(",")
+        );
+    }
 }

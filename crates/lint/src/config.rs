@@ -24,6 +24,13 @@ pub const DETERMINISM_ROOTS: &[&str] = &[
     // the same rules: its one wall-clock site (the collector epoch) is
     // pragma-annotated, and span ids/lane numbering use no thread ids.
     "crates/trace/src",
+    // The cluster executor promises bit-identical results regardless
+    // of schedule, host count, or host loss; wall-clock reads, hash
+    // iteration order, or thread-id dependence in its scheduling
+    // would all be routes for the schedule to leak into results.
+    // Timeouts go through `thread::sleep` / `Condvar::wait_timeout` /
+    // socket read timeouts, which never feed values back into data.
+    "crates/cluster/src",
 ];
 
 /// Files whose documented contract is "total, never panics".
@@ -72,6 +79,10 @@ mod tests {
         // are both load-bearing for ganged bit-identity.
         assert!(in_determinism_scope("crates/calib/src/engine.rs"));
         assert!(in_determinism_scope("crates/pipeline/src/interleave.rs"));
+        // The cluster scheduler's promise is schedule-independence:
+        // its sources sit in determinism scope so no wall-clock or
+        // hash-order dependence can creep into work distribution.
+        assert!(in_determinism_scope("crates/cluster/src/executor.rs"));
         assert!(!in_determinism_scope("crates/server/src/server.rs"));
         assert!(!in_determinism_scope("crates/bench/src/cli.rs"));
         // No false prefix matches on sibling names.

@@ -59,6 +59,38 @@ pub fn canonical_key<C: Debug>(campaign: &str, config: &C) -> u64 {
     fnv1a(canon.as_bytes())
 }
 
+/// [`canonical_key`] over a *pre-rendered* canonical form.
+///
+/// Remote hosts receive job configurations as strings (the wire cannot
+/// carry arbitrary `Debug` types), so they need to key the shared cache
+/// from the rendered form alone. This hashes exactly the bytes
+/// `canonical_key` would hash when `config_debug ==
+/// format!("{config:?}")` — the invariant that lets a cluster peer, a
+/// local on-disk cache, and an in-process run all address one
+/// namespace.
+pub fn canonical_key_str(campaign: &str, config_debug: &str) -> u64 {
+    let canon = format!("epoch{NUMERICS_EPOCH}\u{1f}{campaign}\u{1f}{config_debug}");
+    fnv1a(canon.as_bytes())
+}
+
+/// The header comment stamped at the top of every persisted cache file,
+/// recording which [`NUMERICS_EPOCH`] wrote it. Keys are epoch-salted,
+/// so stale-epoch entries can never *hit* — the header exists so cache
+/// hygiene tooling (`cache_tool`) can identify and garbage-collect
+/// files full of permanently dead entries.
+pub fn epoch_header() -> String {
+    format!("# adc-cache epoch {NUMERICS_EPOCH}")
+}
+
+/// Parses the epoch out of a cache-file header line, if `line` is one.
+///
+/// Returns `None` for data lines and for files predating the header
+/// (whose entries may still be current — their keys carry the salt).
+pub fn parse_epoch_header(line: &str) -> Option<u32> {
+    line.strip_prefix("# adc-cache epoch ")
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
 /// Bit-exact, line-oriented value encoding for cache persistence.
 pub trait CacheCodec: Sized {
     /// Encodes the value on one line (no `\n`).
@@ -190,6 +222,9 @@ impl ResultCache {
         };
         let mut mem = self.lock();
         for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
             if let Some((key, value)) = line.split_once('\t') {
                 if let Ok(key) = key.parse::<u64>() {
                     mem.entry(key).or_insert_with(|| value.to_string());
@@ -208,6 +243,25 @@ impl ResultCache {
     pub fn put<T: CacheCodec>(&self, key: u64, value: &T) {
         let mut mem = self.lock();
         mem.insert(key, value.encode());
+    }
+
+    /// Looks up the raw encoded line under `key`, without decoding.
+    ///
+    /// The cluster layer moves values between hosts in their encoded
+    /// form (the same bytes the codec persists), so cache merges are
+    /// bit-exact by construction — no decode/re-encode round trip.
+    pub fn get_line(&self, key: u64) -> Option<String> {
+        let mem = self.lock();
+        mem.get(&key).cloned()
+    }
+
+    /// Stores an already-encoded line under `key`, keeping any existing
+    /// entry: under the canonical-key contract two writers for one key
+    /// hold bit-identical values, so first-writer-wins is a free
+    /// at-most-once-apply guarantee.
+    pub fn put_line(&self, key: u64, line: &str) {
+        let mut mem = self.lock();
+        mem.entry(key).or_insert_with(|| line.to_string());
     }
 
     /// Number of entries currently held in memory.
@@ -230,7 +284,8 @@ impl ResultCache {
             return Ok(());
         };
         let mem = self.lock();
-        let mut out = String::new();
+        let mut out = epoch_header();
+        out.push('\n');
         for (key, value) in mem.iter() {
             out.push_str(&format!("{key}\t{value}\n"));
         }
@@ -264,6 +319,52 @@ mod tests {
         assert_ne!(key, unsalted, "epoch salt must change the key");
         let salted = fnv1a(format!("epoch{NUMERICS_EPOCH}\u{1f}camp\u{1f}1").as_bytes());
         assert_eq!(key, salted);
+    }
+
+    #[test]
+    fn string_keyed_hash_matches_typed_hash() {
+        // u64 Debug renders as plain digits, so a remote host holding
+        // only the rendered config computes the same key.
+        assert_eq!(canonical_key("mc", &7u64), canonical_key_str("mc", "7"));
+        assert_eq!(
+            canonical_key("mc", &(1u64, 2.5f64)),
+            canonical_key_str("mc", "(1, 2.5)")
+        );
+        assert_ne!(
+            canonical_key_str("mc", "7"),
+            canonical_key_str("other", "7")
+        );
+    }
+
+    #[test]
+    fn raw_line_access_is_bit_exact_and_first_writer_wins() {
+        let cache = ResultCache::in_memory();
+        cache.put(9, &64.25f64);
+        let line = cache.get_line(9).unwrap();
+        assert_eq!(f64::decode(&line), Some(64.25));
+        cache.put_line(9, "ffffffffffffffff");
+        assert_eq!(cache.get::<f64>(9), Some(64.25), "existing entry kept");
+        cache.put_line(10, &1.5f64.encode());
+        assert_eq!(cache.get::<f64>(10), Some(1.5));
+    }
+
+    #[test]
+    fn persisted_files_carry_an_epoch_header() {
+        let dir = std::env::temp_dir().join("adc_runtime_cache_epoch_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        cache.put(1, &2.0f64);
+        cache.persist("hdr_test").unwrap();
+        let text = std::fs::read_to_string(dir.join("hdr_test.cache")).unwrap();
+        let first = text.lines().next().unwrap();
+        assert_eq!(parse_epoch_header(first), Some(NUMERICS_EPOCH));
+        assert_eq!(parse_epoch_header("1\tdeadbeef"), None);
+        // Reload skips the header and sees the entry.
+        let reload = ResultCache::on_disk(&dir).unwrap();
+        reload.preload("hdr_test");
+        assert_eq!(reload.get::<f64>(1), Some(2.0));
+        assert_eq!(reload.len(), 1, "header line is not an entry");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub mod pool;
 pub mod seed;
 pub mod submit;
 
-pub use cache::{canonical_key, CacheCodec, ResultCache};
+pub use cache::{
+    canonical_key, canonical_key_str, epoch_header, parse_epoch_header, CacheCodec, ResultCache,
+    NUMERICS_EPOCH,
+};
 pub use campaign::{Campaign, CampaignRun};
 pub use job::{JobCtx, JobError, JobId, JobReport};
 pub use observer::{CampaignSummary, CollectingObserver, RunObserver};

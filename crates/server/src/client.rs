@@ -12,8 +12,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    self, encode_request, DigitizeDone, DigitizeRequest, ErrorCode, FrameReadError, GangedDone,
-    GangedRequest, MetricsSnapshot, Request, Response, WireError,
+    self, encode_request, CacheFillRequest, CacheQueryRequest, DigitizeDone, DigitizeRequest,
+    ErrorCode, FrameReadError, GangedDone, GangedRequest, JobBatchRequest, JobResultBatch,
+    MetricsSnapshot, Request, Response, WireError,
 };
 use crate::server::{stream_crc, value_stream_crc};
 
@@ -266,6 +267,87 @@ impl Client {
                     ))
                 }
             }
+        }
+    }
+
+    /// Submits a batch of campaign jobs and blocks for the outcomes.
+    ///
+    /// The response carries one [`protocol::JobOutcome`] per submitted
+    /// job, in submission order; the caller (normally the
+    /// `adc-cluster` executor) decides what to resubmit based on each
+    /// outcome's typed status.
+    ///
+    /// # Errors
+    ///
+    /// Transport, wire, or server errors (notably
+    /// [`ErrorCode::Unsupported`] from a host with no job runner), and
+    /// [`ClientError::StreamCorrupt`] if the response does not answer
+    /// the submitted batch.
+    pub fn job_batch(&mut self, request: &JobBatchRequest) -> Result<JobResultBatch, ClientError> {
+        self.send(&Request::JobBatch(request.clone()))?;
+        match self.recv()? {
+            Response::JobResult(result) => {
+                if result.batch_id != request.batch_id {
+                    return Err(ClientError::StreamCorrupt(format!(
+                        "job result for batch {}, expected {}",
+                        result.batch_id, request.batch_id
+                    )));
+                }
+                if result.outcomes.len() != request.jobs.len() {
+                    return Err(ClientError::StreamCorrupt(format!(
+                        "{} outcomes for {} jobs",
+                        result.outcomes.len(),
+                        request.jobs.len()
+                    )));
+                }
+                Ok(result)
+            }
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::UnexpectedResponse("expected job result")),
+        }
+    }
+
+    /// Probes the host's warm cache for `keys` in `campaign`'s
+    /// namespace, returning the `(key, encoded line)` hits.
+    ///
+    /// # Errors
+    ///
+    /// Transport, wire, or server errors; see [`ClientError`].
+    pub fn cache_query(
+        &mut self,
+        campaign: &str,
+        keys: &[u64],
+    ) -> Result<Vec<(u64, String)>, ClientError> {
+        self.send(&Request::CacheQuery(CacheQueryRequest {
+            campaign: campaign.to_string(),
+            keys: keys.to_vec(),
+        }))?;
+        match self.recv()? {
+            Response::CacheHits { entries } => Ok(entries),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::UnexpectedResponse("expected cache hits")),
+        }
+    }
+
+    /// Merges `(key, encoded line)` entries into the host's warm cache
+    /// for `campaign`, returning how many were newly inserted.
+    ///
+    /// # Errors
+    ///
+    /// Transport, wire, or server errors; see [`ClientError`].
+    pub fn cache_fill(
+        &mut self,
+        campaign: &str,
+        entries: &[(u64, String)],
+    ) -> Result<u32, ClientError> {
+        self.send(&Request::CacheFill(CacheFillRequest {
+            campaign: campaign.to_string(),
+            entries: entries.to_vec(),
+        }))?;
+        match self.recv()? {
+            Response::CacheFillAck { accepted } => Ok(accepted),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            _ => Err(ClientError::UnexpectedResponse("expected cache fill ack")),
         }
     }
 

@@ -38,6 +38,17 @@
 //! in-process [`adc_calib::GangedScenario`] capture of the same
 //! request (see [`ganged_scenario`] for the exact mapping).
 //!
+//! A host can additionally opt into **cluster duty** by installing a
+//! [`JobRunner`] (and optionally a cache directory) in its
+//! [`ServerConfig`]: it then executes [`JobBatch`](Request::JobBatch)
+//! campaign work on its job pool, answers
+//! [`CacheQuery`](Request::CacheQuery) probes from per-campaign warm
+//! caches ([`jobs::CampaignCaches`]), and merges
+//! [`CacheFill`](Request::CacheFill) entries from peers. Results travel
+//! as `CacheCodec`-encoded lines under `adc-runtime` canonical keys, so
+//! remote and local results are interchangeable bit-for-bit; the
+//! scheduling side lives in the `adc-cluster` crate.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -52,17 +63,21 @@
 //! ```
 
 pub mod client;
+pub mod jobs;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError, DigitizeResult, GangedResult};
+pub use jobs::{CampaignCaches, JobRunError, JobRunner};
 pub use metrics::{LatencyHistogram, MetricsRegistry};
 pub use protocol::{
-    ConfigOverrides, DigitizeDone, DigitizeRequest, ErrorCode, GangedCal, GangedDone,
-    GangedRequest, MetricsSnapshot, Preset, Request, Response, WaveformSpec, WireError,
+    CacheFillRequest, CacheQueryRequest, ConfigOverrides, DigitizeDone, DigitizeRequest, ErrorCode,
+    GangedCal, GangedDone, GangedRequest, JobBatchRequest, JobOutcome, JobResultBatch, JobSpec,
+    JobStatus, MetricsSnapshot, Preset, Request, Response, WaveformSpec, WireError, MAX_BATCH_JOBS,
+    MAX_CACHE_ENTRIES,
 };
 pub use server::{
-    ganged_scenario, Server, ServerConfig, ServerHandle, GANGED_BACKGROUND_EPOCHS,
+    ganged_scenario, preset_config, Server, ServerConfig, ServerHandle, GANGED_BACKGROUND_EPOCHS,
     GANGED_BACKGROUND_EPOCH_LEN, GANGED_FOREGROUND_AVERAGES,
 };

@@ -98,6 +98,8 @@ pub struct MetricsRegistry {
     in_flight: AtomicU64,
     completed: AtomicU64,
     samples_streamed: AtomicU64,
+    job_batches: AtomicU64,
+    cluster_cache_hits: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -137,6 +139,16 @@ impl MetricsRegistry {
         self.samples_streamed.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Counts an accepted cluster job batch.
+    pub fn job_batch(&self) {
+        self.job_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a cluster job answered from the warm cache.
+    pub fn cluster_cache_hit(&self) {
+        self.cluster_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Freezes the registry into a wire snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -148,6 +160,8 @@ impl MetricsRegistry {
             in_flight: self.in_flight.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             samples_streamed: self.samples_streamed.load(Ordering::Relaxed),
+            job_batches: self.job_batches.load(Ordering::Relaxed),
+            cluster_cache_hits: self.cluster_cache_hits.load(Ordering::Relaxed),
             p50_us: self.latency.quantile_us(0.50),
             p90_us: self.latency.quantile_us(0.90),
             p99_us: self.latency.quantile_us(0.99),

@@ -536,6 +536,136 @@ impl GangedRequest {
     }
 }
 
+/// Most jobs one [`JobBatchRequest`] frame may carry; larger batches
+/// are rejected at decode time as [`WireError::Malformed`]. Bounds the
+/// allocation a declared count can force before the payload is walked.
+pub const MAX_BATCH_JOBS: u32 = 4096;
+
+/// Most keys/entries one cache frame may carry ([`CacheQueryRequest`],
+/// [`CacheFillRequest`], [`Response::CacheHits`]); same decode-time
+/// rejection rationale as [`MAX_BATCH_JOBS`].
+pub const MAX_CACHE_ENTRIES: u32 = 65_536;
+
+/// One campaign job as it travels the wire: the rendered canonical
+/// config (the wire cannot carry arbitrary `Debug` types), the
+/// schedule-independent derived seed, and the content-addressed cache
+/// key the result lands under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Stable campaign job id (submission index) — results assemble
+    /// into id-indexed slots, so completion order and host placement
+    /// are invisible.
+    pub id: u64,
+    /// Content-addressed cache key (`canonical_key` namespace, epoch
+    /// salted) — shared verbatim between hosts.
+    pub key: u64,
+    /// Derived per-job seed, `derive_seed(campaign_seed, id)` —
+    /// identical whichever host runs the job.
+    pub seed: u64,
+    /// Canonically rendered job configuration, interpreted by the
+    /// executing host's registered job runner.
+    pub config: String,
+}
+
+/// A batch of campaign jobs for remote execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobBatchRequest {
+    /// Client-chosen batch id, echoed in the [`Response::JobResult`].
+    pub batch_id: u64,
+    /// Campaign name — salts cache keys and names the server-side
+    /// cache file the results merge into.
+    pub campaign: String,
+    /// Job kind, dispatched through the server's job runner registry.
+    pub kind: String,
+    /// Per-batch deadline in milliseconds; `0` means none.
+    pub deadline_ms: u32,
+    /// The jobs; at most [`MAX_BATCH_JOBS`].
+    pub jobs: Vec<JobSpec>,
+}
+
+/// How one job in a batch concluded on the serving host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The host ran the job; `value` is the encoded result line.
+    Computed,
+    /// The host's warm cache already held the key; `value` is the
+    /// cached line (bit-identical to a fresh computation).
+    Cached,
+    /// The job failed *deterministically* (unknown kind, malformed
+    /// config): retrying elsewhere would fail identically, so the
+    /// client must not resubmit. `value` carries the detail.
+    Failed,
+    /// The job failed *transiently* (draining, deadline, worker loss):
+    /// the client should resubmit it — possibly to another host.
+    /// `value` carries the detail.
+    Rejected,
+}
+
+impl JobStatus {
+    fn to_u8(self) -> u8 {
+        match self {
+            Self::Computed => 0,
+            Self::Cached => 1,
+            Self::Failed => 2,
+            Self::Rejected => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(Self::Computed),
+            1 => Ok(Self::Cached),
+            2 => Ok(Self::Failed),
+            3 => Ok(Self::Rejected),
+            _ => Err(WireError::Malformed("job status discriminant")),
+        }
+    }
+}
+
+/// Outcome of one job from a [`JobBatchRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// The job's id, copied from the spec.
+    pub id: u64,
+    /// The job's cache key, copied from the spec.
+    pub key: u64,
+    /// How the job concluded.
+    pub status: JobStatus,
+    /// Encoded result line (Computed/Cached) or failure detail
+    /// (Failed/Rejected).
+    pub value: String,
+}
+
+/// Completion of a [`JobBatchRequest`]: one outcome per submitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResultBatch {
+    /// Echo of the request's batch id.
+    pub batch_id: u64,
+    /// One outcome per job, in the order submitted.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+/// Bulk lookup against a host's warm cache (query-before-compute half
+/// of the cache-merge protocol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheQueryRequest {
+    /// Campaign whose namespace the keys live in.
+    pub campaign: String,
+    /// Keys to probe; at most [`MAX_CACHE_ENTRIES`].
+    pub keys: Vec<u64>,
+}
+
+/// Bulk insert into a host's warm cache (fill-after-compute half).
+/// Inserts are first-writer-wins: under the canonical-key contract any
+/// two writers for a key hold bit-identical lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheFillRequest {
+    /// Campaign whose namespace the entries live in.
+    pub campaign: String,
+    /// `(key, encoded line)` pairs; at most [`MAX_CACHE_ENTRIES`].
+    pub entries: Vec<(u64, String)>,
+}
+
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -553,6 +683,12 @@ pub enum Request {
     /// Digitize through a time-interleaved array and stream the
     /// interleaved record back.
     Ganged(GangedRequest),
+    /// Execute a batch of campaign jobs through the host's job runner.
+    JobBatch(JobBatchRequest),
+    /// Probe the host's warm cache for a set of canonical keys.
+    CacheQuery(CacheQueryRequest),
+    /// Merge computed entries into the host's warm cache.
+    CacheFill(CacheFillRequest),
 }
 
 const KIND_PING: u8 = 0x01;
@@ -560,6 +696,9 @@ const KIND_DIGITIZE: u8 = 0x02;
 const KIND_METRICS: u8 = 0x03;
 const KIND_SHUTDOWN: u8 = 0x04;
 const KIND_GANGED: u8 = 0x05;
+const KIND_JOB_BATCH: u8 = 0x06;
+const KIND_CACHE_QUERY: u8 = 0x07;
+const KIND_CACHE_FILL: u8 = 0x08;
 const KIND_PONG: u8 = 0x81;
 const KIND_BATCH: u8 = 0x82;
 const KIND_DONE: u8 = 0x83;
@@ -568,6 +707,9 @@ const KIND_ERROR: u8 = 0x85;
 const KIND_SHUTDOWN_ACK: u8 = 0x86;
 const KIND_GANGED_BATCH: u8 = 0x87;
 const KIND_GANGED_DONE: u8 = 0x88;
+const KIND_JOB_RESULT: u8 = 0x89;
+const KIND_CACHE_HITS: u8 = 0x8A;
+const KIND_CACHE_FILL_ACK: u8 = 0x8B;
 
 impl Request {
     fn kind(&self) -> u8 {
@@ -577,6 +719,9 @@ impl Request {
             Self::Metrics => KIND_METRICS,
             Self::Shutdown => KIND_SHUTDOWN,
             Self::Ganged(_) => KIND_GANGED,
+            Self::JobBatch(_) => KIND_JOB_BATCH,
+            Self::CacheQuery(_) => KIND_CACHE_QUERY,
+            Self::CacheFill(_) => KIND_CACHE_FILL,
         }
     }
 
@@ -603,6 +748,34 @@ impl Request {
                 w.u32(g.n_samples);
                 w.u32(g.batch_size);
                 w.u32(g.deadline_ms);
+            }
+            Self::JobBatch(b) => {
+                w.u64(b.batch_id);
+                w.str(&b.campaign);
+                w.str(&b.kind);
+                w.u32(b.deadline_ms);
+                w.u32(b.jobs.len() as u32);
+                for job in &b.jobs {
+                    w.u64(job.id);
+                    w.u64(job.key);
+                    w.u64(job.seed);
+                    w.str(&job.config);
+                }
+            }
+            Self::CacheQuery(q) => {
+                w.str(&q.campaign);
+                w.u32(q.keys.len() as u32);
+                for &key in &q.keys {
+                    w.u64(key);
+                }
+            }
+            Self::CacheFill(c) => {
+                w.str(&c.campaign);
+                w.u32(c.entries.len() as u32);
+                for (key, line) in &c.entries {
+                    w.u64(*key);
+                    w.str(line);
+                }
             }
             Self::Metrics | Self::Shutdown => {}
         }
@@ -655,6 +828,58 @@ impl Request {
                     deadline_ms: r.u32()?,
                 })
             }
+            KIND_JOB_BATCH => {
+                let batch_id = r.u64()?;
+                let campaign = r.str()?;
+                let kind = r.str()?;
+                let deadline_ms = r.u32()?;
+                let count = r.u32()?;
+                if count > MAX_BATCH_JOBS {
+                    return Err(WireError::Malformed("job count"));
+                }
+                let mut jobs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    jobs.push(JobSpec {
+                        id: r.u64()?,
+                        key: r.u64()?,
+                        seed: r.u64()?,
+                        config: r.str()?,
+                    });
+                }
+                Self::JobBatch(JobBatchRequest {
+                    batch_id,
+                    campaign,
+                    kind,
+                    deadline_ms,
+                    jobs,
+                })
+            }
+            KIND_CACHE_QUERY => {
+                let campaign = r.str()?;
+                let count = r.u32()?;
+                if count > MAX_CACHE_ENTRIES {
+                    return Err(WireError::Malformed("cache key count"));
+                }
+                let mut keys = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    keys.push(r.u64()?);
+                }
+                Self::CacheQuery(CacheQueryRequest { campaign, keys })
+            }
+            KIND_CACHE_FILL => {
+                let campaign = r.str()?;
+                let count = r.u32()?;
+                if count > MAX_CACHE_ENTRIES {
+                    return Err(WireError::Malformed("cache entry count"));
+                }
+                let mut entries = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let key = r.u64()?;
+                    let line = r.str()?;
+                    entries.push((key, line));
+                }
+                Self::CacheFill(CacheFillRequest { campaign, entries })
+            }
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -683,6 +908,9 @@ pub enum ErrorCode {
     Draining,
     /// An unexpected server-side failure (worker panic, ...).
     Internal,
+    /// The request names a capability this server does not provide
+    /// (e.g. a job batch on a host with no job runner).
+    Unsupported,
 }
 
 impl ErrorCode {
@@ -697,6 +925,7 @@ impl ErrorCode {
             Self::TimedOut => 6,
             Self::Draining => 7,
             Self::Internal => 8,
+            Self::Unsupported => 9,
         }
     }
 
@@ -711,6 +940,7 @@ impl ErrorCode {
             6 => Self::TimedOut,
             7 => Self::Draining,
             8 => Self::Internal,
+            9 => Self::Unsupported,
             _ => return Err(WireError::Malformed("error code")),
         })
     }
@@ -781,6 +1011,10 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Samples streamed to clients.
     pub samples_streamed: u64,
+    /// Cluster job batches accepted.
+    pub job_batches: u64,
+    /// Cluster jobs answered from the warm cache.
+    pub cluster_cache_hits: u64,
     /// Median digitize latency, microseconds (0 with no completed jobs).
     pub p50_us: u64,
     /// 90th-percentile digitize latency, microseconds.
@@ -800,6 +1034,8 @@ impl MetricsSnapshot {
             self.in_flight,
             self.completed,
             self.samples_streamed,
+            self.job_batches,
+            self.cluster_cache_hits,
             self.p50_us,
             self.p90_us,
             self.p99_us,
@@ -818,6 +1054,8 @@ impl MetricsSnapshot {
             in_flight: r.u64()?,
             completed: r.u64()?,
             samples_streamed: r.u64()?,
+            job_batches: r.u64()?,
+            cluster_cache_hits: r.u64()?,
             p50_us: r.u64()?,
             p90_us: r.u64()?,
             p99_us: r.u64()?,
@@ -863,6 +1101,20 @@ pub enum Response {
     },
     /// End of a ganged stream.
     GangedDone(GangedDone),
+    /// Completion of a [`Request::JobBatch`]: one outcome per job.
+    JobResult(JobResultBatch),
+    /// Answer to a [`Request::CacheQuery`]: the subset of probed keys
+    /// the host held, with their encoded lines.
+    CacheHits {
+        /// `(key, encoded line)` for each hit, in probe order.
+        entries: Vec<(u64, String)>,
+    },
+    /// Acknowledges a [`Request::CacheFill`].
+    CacheFillAck {
+        /// Entries newly inserted (existing keys are kept, not
+        /// overwritten — see [`CacheFillRequest`]).
+        accepted: u32,
+    },
 }
 
 impl Response {
@@ -876,6 +1128,9 @@ impl Response {
             Self::ShutdownAck => KIND_SHUTDOWN_ACK,
             Self::GangedBatch { .. } => KIND_GANGED_BATCH,
             Self::GangedDone(_) => KIND_GANGED_DONE,
+            Self::JobResult(_) => KIND_JOB_RESULT,
+            Self::CacheHits { .. } => KIND_CACHE_HITS,
+            Self::CacheFillAck { .. } => KIND_CACHE_FILL_ACK,
         }
     }
 
@@ -911,6 +1166,24 @@ impl Response {
                 w.u8(u8::from(d.converged));
                 w.u32(d.stream_crc32);
             }
+            Self::JobResult(b) => {
+                w.u64(b.batch_id);
+                w.u32(b.outcomes.len() as u32);
+                for outcome in &b.outcomes {
+                    w.u64(outcome.id);
+                    w.u64(outcome.key);
+                    w.u8(outcome.status.to_u8());
+                    w.str(&outcome.value);
+                }
+            }
+            Self::CacheHits { entries } => {
+                w.u32(entries.len() as u32);
+                for (key, line) in entries {
+                    w.u64(*key);
+                    w.str(line);
+                }
+            }
+            Self::CacheFillAck { accepted } => w.u32(*accepted),
         }
         w.into_bytes()
     }
@@ -951,6 +1224,37 @@ impl Response {
                 },
                 stream_crc32: r.u32()?,
             }),
+            KIND_JOB_RESULT => {
+                let batch_id = r.u64()?;
+                let count = r.u32()?;
+                if count > MAX_BATCH_JOBS {
+                    return Err(WireError::Malformed("outcome count"));
+                }
+                let mut outcomes = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    outcomes.push(JobOutcome {
+                        id: r.u64()?,
+                        key: r.u64()?,
+                        status: JobStatus::from_u8(r.u8()?)?,
+                        value: r.str()?,
+                    });
+                }
+                Self::JobResult(JobResultBatch { batch_id, outcomes })
+            }
+            KIND_CACHE_HITS => {
+                let count = r.u32()?;
+                if count > MAX_CACHE_ENTRIES {
+                    return Err(WireError::Malformed("cache hit count"));
+                }
+                let mut entries = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let key = r.u64()?;
+                    let line = r.str()?;
+                    entries.push((key, line));
+                }
+                Self::CacheHits { entries }
+            }
+            KIND_CACHE_FILL_ACK => Self::CacheFillAck { accepted: r.u32()? },
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -1184,6 +1488,44 @@ mod tests {
                 batch_size: 512,
                 deadline_ms: 10_000,
             }),
+            Request::JobBatch(JobBatchRequest {
+                batch_id: 11,
+                campaign: "monte_carlo-0123456789abcdef".to_string(),
+                kind: "die-tone-metrics".to_string(),
+                deadline_ms: 30_000,
+                jobs: vec![
+                    JobSpec {
+                        id: 0,
+                        key: 0xd124_c4b6_f72f_81c2,
+                        seed: 0x9e37_79b9_7f4a_7c15,
+                        config: "(0, 10000000.0, 4096, 1)".to_string(),
+                    },
+                    JobSpec {
+                        id: 1,
+                        key: 2,
+                        seed: 3,
+                        config: String::new(),
+                    },
+                ],
+            }),
+            Request::JobBatch(JobBatchRequest {
+                batch_id: 0,
+                campaign: String::new(),
+                kind: "probe-mix".to_string(),
+                deadline_ms: 0,
+                jobs: Vec::new(),
+            }),
+            Request::CacheQuery(CacheQueryRequest {
+                campaign: "mc".to_string(),
+                keys: vec![1, u64::MAX, 0],
+            }),
+            Request::CacheFill(CacheFillRequest {
+                campaign: "mc".to_string(),
+                entries: vec![
+                    (7, "404020000000000,4050100000000000".to_string()),
+                    (8, String::new()),
+                ],
+            }),
         ]
     }
 
@@ -1223,6 +1565,42 @@ mod tests {
                 converged: true,
                 stream_crc32: 0x8BAD_F00D,
             }),
+            Response::JobResult(JobResultBatch {
+                batch_id: 11,
+                outcomes: vec![
+                    JobOutcome {
+                        id: 0,
+                        key: 10,
+                        status: JobStatus::Computed,
+                        value: "4050100000000000".to_string(),
+                    },
+                    JobOutcome {
+                        id: 1,
+                        key: 11,
+                        status: JobStatus::Cached,
+                        value: "4050100000000000".to_string(),
+                    },
+                    JobOutcome {
+                        id: 2,
+                        key: 12,
+                        status: JobStatus::Failed,
+                        value: "unknown job kind".to_string(),
+                    },
+                    JobOutcome {
+                        id: 3,
+                        key: 13,
+                        status: JobStatus::Rejected,
+                        value: "pool is draining".to_string(),
+                    },
+                ],
+            }),
+            Response::CacheHits {
+                entries: vec![(1, "abc".to_string()), (2, String::new())],
+            },
+            Response::CacheHits {
+                entries: Vec::new(),
+            },
+            Response::CacheFillAck { accepted: 17 },
         ]
     }
 
@@ -1356,6 +1734,111 @@ mod tests {
             decode_request(&patch(11, 9)),
             Err(WireError::Malformed("ganged cal discriminant"))
         );
+    }
+
+    #[test]
+    fn oversized_job_and_cache_counts_are_malformed() {
+        // Forge a JobBatch frame whose declared job count exceeds the
+        // cap but whose payload is otherwise well-formed framing: the
+        // count check must fire before any per-job reads.
+        let mut w = PayloadWriter::new();
+        w.u64(1); // batch_id
+        w.str("c");
+        w.str("k");
+        w.u32(0); // deadline
+        w.u32(MAX_BATCH_JOBS + 1);
+        let frame = encode_frame(KIND_JOB_BATCH, &w.into_bytes());
+        assert_eq!(
+            decode_request(&frame),
+            Err(WireError::Malformed("job count"))
+        );
+
+        let mut w = PayloadWriter::new();
+        w.str("c");
+        w.u32(MAX_CACHE_ENTRIES + 1);
+        let frame = encode_frame(KIND_CACHE_QUERY, &w.into_bytes());
+        assert_eq!(
+            decode_request(&frame),
+            Err(WireError::Malformed("cache key count"))
+        );
+
+        let mut w = PayloadWriter::new();
+        w.str("c");
+        w.u32(MAX_CACHE_ENTRIES + 1);
+        let frame = encode_frame(KIND_CACHE_FILL, &w.into_bytes());
+        assert_eq!(
+            decode_request(&frame),
+            Err(WireError::Malformed("cache entry count"))
+        );
+
+        let mut w = PayloadWriter::new();
+        w.u64(1);
+        w.u32(MAX_BATCH_JOBS + 1);
+        let frame = encode_frame(KIND_JOB_RESULT, &w.into_bytes());
+        assert_eq!(
+            decode_response(&frame),
+            Err(WireError::Malformed("outcome count"))
+        );
+
+        let mut w = PayloadWriter::new();
+        w.u32(MAX_CACHE_ENTRIES + 1);
+        let frame = encode_frame(KIND_CACHE_HITS, &w.into_bytes());
+        assert_eq!(
+            decode_response(&frame),
+            Err(WireError::Malformed("cache hit count"))
+        );
+    }
+
+    #[test]
+    fn invalid_job_status_byte_is_malformed_not_panic() {
+        let mut w = PayloadWriter::new();
+        w.u64(1); // batch_id
+        w.u32(1); // one outcome
+        w.u64(0); // id
+        w.u64(0); // key
+        w.u8(4); // invalid status discriminant
+        w.str("x");
+        let frame = encode_frame(KIND_JOB_RESULT, &w.into_bytes());
+        assert_eq!(
+            decode_response(&frame),
+            Err(WireError::Malformed("job status discriminant"))
+        );
+    }
+
+    #[test]
+    fn job_frames_truncated_at_every_length_are_rejected() {
+        let frames = [
+            encode_request(&Request::JobBatch(JobBatchRequest {
+                batch_id: 5,
+                campaign: "mc".to_string(),
+                kind: "die-tone-metrics".to_string(),
+                deadline_ms: 1000,
+                jobs: vec![JobSpec {
+                    id: 0,
+                    key: 1,
+                    seed: 2,
+                    config: "(0, 10000000.0, 4096, 1)".to_string(),
+                }],
+            })),
+            encode_response(&Response::JobResult(JobResultBatch {
+                batch_id: 5,
+                outcomes: vec![JobOutcome {
+                    id: 0,
+                    key: 1,
+                    status: JobStatus::Computed,
+                    value: "4050100000000000".to_string(),
+                }],
+            })),
+        ];
+        for frame in &frames {
+            for len in 0..frame.len() {
+                assert!(
+                    decode_request(&frame[..len]).is_err()
+                        && decode_response(&frame[..len]).is_err(),
+                    "truncated to {len} must not decode"
+                );
+            }
+        }
     }
 
     #[test]

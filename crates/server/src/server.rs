@@ -50,10 +50,12 @@ use adc_testbench::{MeasurementSession, RampSource};
 use adc_calib::{Alignment, GangedCapture, GangedError, GangedScenario};
 use adc_pipeline::interleave::InterleaveMismatch;
 
+use crate::jobs::{CampaignCaches, JobRunner};
 use crate::metrics::MetricsRegistry;
 use crate::protocol::{
     self, encode_response, error_code_for_build, DigitizeDone, DigitizeRequest, ErrorCode,
-    FrameReadError, GangedCal, GangedDone, GangedRequest, Preset, Request, Response, WaveformSpec,
+    FrameReadError, GangedCal, GangedDone, GangedRequest, JobBatchRequest, JobOutcome,
+    JobResultBatch, JobStatus, Preset, Request, Response, WaveformSpec,
 };
 
 /// Foreground alignment averaging the server uses for
@@ -66,7 +68,7 @@ pub const GANGED_BACKGROUND_EPOCHS: u32 = 12;
 pub const GANGED_BACKGROUND_EPOCH_LEN: u32 = 2048;
 
 /// Tunables for one server instance.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Digitize worker threads (`0` = all hardware parallelism).
     pub threads: usize,
@@ -85,6 +87,28 @@ pub struct ServerConfig {
     /// Reader poll tick — how often an idle connection re-checks the
     /// draining flag.
     pub read_poll: Duration,
+    /// The host's campaign-job capability; `None` (the default) answers
+    /// `JobBatch` requests with [`ErrorCode::Unsupported`].
+    pub job_runner: Option<Arc<dyn JobRunner>>,
+    /// Directory for per-campaign warm-cache files; `None` keeps the
+    /// warm caches memory-only.
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("threads", &self.threads)
+            .field("seed", &self.seed)
+            .field("write_queue_frames", &self.write_queue_frames)
+            .field("max_payload", &self.max_payload)
+            .field("max_samples", &self.max_samples)
+            .field("default_batch", &self.default_batch)
+            .field("read_poll", &self.read_poll)
+            .field("job_runner", &self.job_runner.as_ref().map(|_| "<runner>"))
+            .field("cache_dir", &self.cache_dir)
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -97,6 +121,8 @@ impl Default for ServerConfig {
             max_samples: 1 << 20,
             default_batch: 1024,
             read_poll: Duration::from_millis(50),
+            job_runner: None,
+            cache_dir: None,
         }
     }
 }
@@ -106,6 +132,7 @@ struct Shared {
     metrics: Arc<MetricsRegistry>,
     draining: AtomicBool,
     cfg: ServerConfig,
+    caches: CampaignCaches,
 }
 
 /// A bound, not-yet-serving server. [`Server::serve`] runs it to
@@ -181,6 +208,7 @@ impl Server {
         let metrics = Arc::new(MetricsRegistry::new());
         let observers: Vec<Arc<dyn RunObserver>> = vec![Arc::clone(&metrics) as _];
         let pool = JobPool::with_observers("adc-server", cfg.seed, cfg.threads, observers);
+        let caches = CampaignCaches::new(cfg.cache_dir.clone());
         Ok(Self {
             listener,
             addr,
@@ -189,6 +217,7 @@ impl Server {
                 metrics,
                 draining: AtomicBool::new(false),
                 cfg,
+                caches,
             }),
         })
     }
@@ -297,7 +326,10 @@ fn send_with_deadline(tx: &mpsc::SyncSender<Vec<u8>>, ctx: &JobCtx, frame: Vec<u
     }
 }
 
-fn base_config(preset: Preset) -> AdcConfig {
+/// The exact `AdcConfig` a preset maps to — public (like
+/// [`ganged_scenario`]) so clients, tests, and cluster job runners can
+/// rebuild the served computation and assert bit-identity.
+pub fn preset_config(preset: Preset) -> AdcConfig {
     match preset {
         Preset::Nominal110 => AdcConfig::nominal_110ms(),
         Preset::Ideal => AdcConfig::ideal(110e6),
@@ -309,7 +341,7 @@ fn base_config(preset: Preset) -> AdcConfig {
 /// code path (and therefore the exact bits) of a direct
 /// `adc-testbench` run with the same config and seed.
 fn run_digitize(req: &DigitizeRequest) -> Result<(Vec<u16>, f64), BuildAdcError> {
-    let mut config = base_config(req.preset);
+    let mut config = preset_config(req.preset);
     if let Some(f_cr) = req.overrides.f_cr_hz {
         config.f_cr_hz = f_cr;
     }
@@ -356,7 +388,7 @@ fn run_digitize(req: &DigitizeRequest) -> Result<(Vec<u16>, f64), BuildAdcError>
 /// assert bit-identity.
 pub fn ganged_scenario(req: &GangedRequest) -> GangedScenario {
     GangedScenario {
-        config: base_config(req.preset),
+        config: preset_config(req.preset),
         channels: u32::from(req.channels),
         seed: req.seed,
         mismatch: if req.mismatch {
@@ -642,6 +674,96 @@ fn ganged_job(
     Ok(capture.values.len() as u64)
 }
 
+/// Executes one job batch: warm-cache check first, then misses onto the
+/// pool, one outcome per job in submission order.
+///
+/// Every job concludes with a typed [`JobStatus`]: `Cached` hits skip
+/// the pool entirely; `Computed` results fill the warm cache before the
+/// response leaves; pool-level losses (draining, deadline, panic) come
+/// back `Rejected` so the client resubmits them — possibly elsewhere —
+/// while runner-level errors come back `Failed` (deterministic: a
+/// resubmission would fail identically).
+fn run_job_batch(
+    req: &JobBatchRequest,
+    runner: &Arc<dyn JobRunner>,
+    shared: &Arc<Shared>,
+) -> JobResultBatch {
+    let cache = shared.caches.for_campaign(&req.campaign);
+    let deadline = (req.deadline_ms > 0).then(|| Duration::from_millis(u64::from(req.deadline_ms)));
+    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(req.jobs.len());
+    let mut pending = Vec::new();
+    for job in &req.jobs {
+        if let Some(line) = cache.get_line(job.key) {
+            shared.metrics.cluster_cache_hit();
+            outcomes.push(JobOutcome {
+                id: job.id,
+                key: job.key,
+                status: JobStatus::Cached,
+                value: line,
+            });
+            continue;
+        }
+        let runner = Arc::clone(runner);
+        let kind = req.kind.clone();
+        let config = job.config.clone();
+        let (id, key, seed) = (job.id, job.key, job.seed);
+        let handle = shared.pool.submit(deadline, move |ctx| {
+            // Scope span ids to the campaign-derived job seed, not the
+            // pool's stream: whichever host runs this job emits the
+            // same span identity, so traces stitch across the fleet.
+            let _trace_task = adc_trace::task(seed);
+            let _trace_span = adc_trace::span_with("cluster-job", id);
+            if ctx.timed_out() {
+                return Err(JobError::TimedOut);
+            }
+            runner
+                .run(&kind, &config, seed)
+                .map_err(|e| JobError::Failed(e.to_string()))
+        });
+        // Record the slot; the outcome is patched in below.
+        outcomes.push(JobOutcome {
+            id,
+            key,
+            status: JobStatus::Rejected,
+            value: String::new(),
+        });
+        pending.push((outcomes.len() - 1, handle));
+    }
+    for (slot, handle) in pending {
+        let (value, report) = handle.wait();
+        let (status, value) = match value {
+            Some(line) => {
+                cache.put_line(outcomes[slot].key, &line);
+                (JobStatus::Computed, line)
+            }
+            None => match report.error {
+                // Runner errors (`JobRunError::Display` strings) are
+                // deterministic → Failed; everything the *pool* can do
+                // to a job (drain, deadline, worker panic) is
+                // scheduling, not computation → Rejected.
+                Some(JobError::Failed(detail)) if detail != "pool is draining" => {
+                    (JobStatus::Failed, detail)
+                }
+                Some(JobError::Failed(detail)) => (JobStatus::Rejected, detail),
+                Some(JobError::TimedOut) => (JobStatus::Rejected, "deadline expired".to_string()),
+                Some(JobError::Panicked(msg)) => {
+                    (JobStatus::Rejected, format!("worker panicked: {msg}"))
+                }
+                None => (JobStatus::Rejected, "job lost".to_string()),
+            },
+        };
+        outcomes[slot].status = status;
+        outcomes[slot].value = value;
+    }
+    // Mirror computed results to the campaign file so a restarted host
+    // comes back warm. Cache I/O failures must not fail the batch.
+    let _ = cache.persist(&req.campaign);
+    JobResultBatch {
+        batch_id: req.batch_id,
+        outcomes,
+    }
+}
+
 /// Reads requests off one connection until the peer leaves, framing
 /// breaks, or the server drains.
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
@@ -693,12 +815,14 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                 }
             }
             Request::Shutdown => {
-                let _ = send(encode_response(&Response::ShutdownAck));
+                // Begin the drain *before* acking: once the client has
+                // the ack in hand, `is_draining()` must already be true.
                 ServerHandle {
                     addr: reader.local_addr()?,
                     shared: Arc::clone(shared),
                 }
                 .shutdown();
+                let _ = send(encode_response(&Response::ShutdownAck));
                 break;
             }
             Request::Digitize(req) => {
@@ -781,6 +905,48 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                             detail: format!("worker panicked: {msg}"),
                         }));
                     }
+                }
+            }
+            Request::JobBatch(req) => {
+                shared.metrics.job_batch();
+                let Some(runner) = shared.cfg.job_runner.clone() else {
+                    shared.metrics.error();
+                    if !send(encode_response(&Response::Error {
+                        code: ErrorCode::Unsupported,
+                        detail: "this host has no job runner registered".to_string(),
+                    })) {
+                        break;
+                    }
+                    continue;
+                };
+                let result = run_job_batch(&req, &runner, shared);
+                if !send(encode_response(&Response::JobResult(result))) {
+                    break;
+                }
+            }
+            Request::CacheQuery(q) => {
+                let cache = shared.caches.for_campaign(&q.campaign);
+                let entries: Vec<(u64, String)> = q
+                    .keys
+                    .iter()
+                    .filter_map(|&key| cache.get_line(key).map(|line| (key, line)))
+                    .collect();
+                if !send(encode_response(&Response::CacheHits { entries })) {
+                    break;
+                }
+            }
+            Request::CacheFill(c) => {
+                let cache = shared.caches.for_campaign(&c.campaign);
+                let mut accepted = 0u32;
+                for (key, line) in &c.entries {
+                    if cache.get_line(*key).is_none() {
+                        cache.put_line(*key, line);
+                        accepted += 1;
+                    }
+                }
+                let _ = cache.persist(&c.campaign);
+                if !send(encode_response(&Response::CacheFillAck { accepted })) {
+                    break;
                 }
             }
         }

@@ -6,9 +6,10 @@
 use proptest::prelude::*;
 
 use adc_server::protocol::{
-    decode_request, decode_response, encode_request, encode_response, ConfigOverrides,
-    DigitizeDone, DigitizeRequest, GangedCal, GangedDone, GangedRequest, MetricsSnapshot, Preset,
-    Request, Response, WaveformSpec, WireError, MAX_GANGED_CHANNELS,
+    decode_request, decode_response, encode_request, encode_response, CacheFillRequest,
+    CacheQueryRequest, ConfigOverrides, DigitizeDone, DigitizeRequest, GangedCal, GangedDone,
+    GangedRequest, JobBatchRequest, JobOutcome, JobResultBatch, JobSpec, JobStatus,
+    MetricsSnapshot, Preset, Request, Response, WaveformSpec, WireError, MAX_GANGED_CHANNELS,
 };
 
 fn preset(tag: u8) -> Preset {
@@ -82,13 +83,48 @@ fn ganged(
     }
 }
 
+/// A deterministic cluster job batch derived from a handful of scalars,
+/// so the round-trip property covers variable-length job lists and
+/// arbitrary config strings without a bespoke strategy type.
+fn job_batch(batch_id: u64, seed: u64, jobs: usize, cfg_len: usize) -> JobBatchRequest {
+    JobBatchRequest {
+        batch_id,
+        campaign: format!("camp-{}", batch_id & 0xFF),
+        kind: "probe-mix".to_string(),
+        deadline_ms: (batch_id % 100_000) as u32,
+        jobs: (0..jobs)
+            .map(|i| JobSpec {
+                id: i as u64,
+                key: seed.wrapping_mul(i as u64 + 1),
+                seed: seed.rotate_left(i as u32),
+                config: "c\u{1f},;\t"
+                    .repeat(cfg_len % 8)
+                    .chars()
+                    .take(cfg_len)
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+fn cache_entries(seed: u64, n: usize, line_len: usize) -> Vec<(u64, String)> {
+    (0..n)
+        .map(|i| {
+            (
+                seed.wrapping_add(i as u64),
+                format!("{:016x};{}", seed ^ i as u64, "x".repeat(line_len % 32)),
+            )
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// Every request kind round-trips bit-exactly through the codec.
     #[test]
     fn requests_round_trip(
-        kind in 0u8..5,
+        kind in 0u8..8,
         token in 0u64..u64::MAX,
         preset_tag in 0u8..3,
         seed in 0u64..u64::MAX,
@@ -110,7 +146,18 @@ proptest! {
             3 => Request::Ganged(ganged(
                 preset_tag, seed, channels, mask, f_a, n_samples, batch_size, deadline_ms,
             )),
-            _ => Request::Shutdown,
+            4 => Request::Shutdown,
+            5 => Request::JobBatch(job_batch(
+                token, seed, n_samples as usize % 20, batch_size as usize % 48,
+            )),
+            6 => Request::CacheQuery(CacheQueryRequest {
+                campaign: "q".repeat(deadline_ms as usize % 16),
+                keys: (0..n_samples as u64 % 32).map(|i| seed ^ i).collect(),
+            }),
+            _ => Request::CacheFill(CacheFillRequest {
+                campaign: format!("fill-{}", token & 0xF),
+                entries: cache_entries(seed, n_samples as usize % 16, batch_size as usize),
+            }),
         };
         let decoded = decode_request(&encode_request(&request));
         prop_assert_eq!(decoded.as_ref(), Ok(&request));
@@ -162,19 +209,84 @@ proptest! {
         prop_assert!(decode_request(&frame[..cut]).is_err());
     }
 
+    /// Truncating a cluster job/cache frame anywhere yields a typed
+    /// error — variable-length job lists never panic the decoder.
+    #[test]
+    fn truncated_job_frames_are_rejected(
+        which in 0u8..3,
+        batch_id in 0u64..u64::MAX,
+        seed in 0u64..u64::MAX,
+        jobs in 0usize..12,
+        cfg_len in 0usize..32,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = encode_request(&match which {
+            0 => Request::JobBatch(job_batch(batch_id, seed, jobs, cfg_len)),
+            1 => Request::CacheQuery(CacheQueryRequest {
+                campaign: "mc".to_string(),
+                keys: (0..jobs as u64).map(|i| seed ^ i).collect(),
+            }),
+            _ => Request::CacheFill(CacheFillRequest {
+                campaign: "mc".to_string(),
+                entries: cache_entries(seed, jobs, cfg_len),
+            }),
+        });
+        let cut = ((frame.len() as f64 * cut_frac) as usize).min(frame.len() - 1);
+        prop_assert!(decode_request(&frame[..cut]).is_err());
+    }
+
+    /// Any out-of-range job status byte in a `JobResult` frame decodes
+    /// to the typed malformed error — never a panic, never a silent
+    /// reinterpretation.
+    #[test]
+    fn invalid_job_status_bytes_are_malformed(
+        batch_id in 0u64..u64::MAX,
+        key in 0u64..u64::MAX,
+        bad_status in 4u8..=255,
+        value_len in 0usize..24,
+    ) {
+        let outcome = |status| Response::JobResult(JobResultBatch {
+            batch_id,
+            outcomes: vec![JobOutcome {
+                id: 3,
+                key,
+                status,
+                value: "v".repeat(value_len),
+            }],
+        });
+        // Locate the status byte by diffing two encodings that differ
+        // only in status, then forge an out-of-range discriminant and
+        // re-seal the CRC trailer.
+        let mut frame = encode_response(&outcome(JobStatus::Computed));
+        let other = encode_response(&outcome(JobStatus::Cached));
+        let pos = frame
+            .iter()
+            .zip(other.iter())
+            .position(|(a, b)| a != b)
+            .expect("encodings differ in the status byte");
+        frame[pos] = bad_status;
+        let body = frame.len() - 4;
+        let crc = adc_server::protocol::crc32(&frame[..body]);
+        frame[body..].copy_from_slice(&crc.to_le_bytes());
+        prop_assert_eq!(
+            decode_response(&frame),
+            Err(WireError::Malformed("job status discriminant"))
+        );
+    }
+
     /// Every response kind round-trips bit-exactly through the codec,
     /// including non-finite floats (f64s travel as IEEE-754 bits).
     #[test]
     fn responses_round_trip(
-        kind in 0u8..8,
+        kind in 0u8..11,
         token in 0u64..u64::MAX,
         seq in 0u32..u32::MAX,
         len in 0usize..512,
         fill in 0u16..4096,
         f_sel in 0u8..4,
         f_val in -250.0f64..250.0,
-        code_tag in 0u8..9,
-        counters in prop::collection::vec(0u64..1_000_000, 11),
+        code_tag in 0u8..10,
+        counters in prop::collection::vec(0u64..1_000_000, 13),
         detail_len in 0usize..64,
     ) {
         let f_in_hz = match f_sel {
@@ -204,9 +316,11 @@ proptest! {
                 in_flight: counters[5],
                 completed: counters[6],
                 samples_streamed: counters[7],
-                p50_us: counters[8],
-                p90_us: counters[9],
-                p99_us: counters[10],
+                job_batches: counters[8],
+                cluster_cache_hits: counters[9],
+                p50_us: counters[10],
+                p90_us: counters[11],
+                p99_us: counters[12],
             }),
             4 => {
                 use adc_server::ErrorCode as C;
@@ -220,6 +334,7 @@ proptest! {
                     C::TimedOut,
                     C::Draining,
                     C::Internal,
+                    C::Unsupported,
                 ];
                 Response::Error {
                     code: codes[code_tag as usize % codes.len()],
@@ -246,7 +361,27 @@ proptest! {
                 converged: fill & 1 != 0,
                 stream_crc32: token as u32,
             }),
-            _ => Response::ShutdownAck,
+            7 => Response::ShutdownAck,
+            8 => Response::JobResult(JobResultBatch {
+                batch_id: token,
+                outcomes: (0..len % 24)
+                    .map(|i| JobOutcome {
+                        id: i as u64,
+                        key: token.wrapping_add(i as u64),
+                        status: match i % 4 {
+                            0 => JobStatus::Computed,
+                            1 => JobStatus::Cached,
+                            2 => JobStatus::Failed,
+                            _ => JobStatus::Rejected,
+                        },
+                        value: format!("{:016x}", token ^ i as u64),
+                    })
+                    .collect(),
+            }),
+            9 => Response::CacheHits {
+                entries: cache_entries(token, len % 24, detail_len),
+            },
+            _ => Response::CacheFillAck { accepted: seq },
         };
         let decoded = decode_response(&encode_response(&response)).unwrap();
         // NaN != NaN under PartialEq; compare f64s by bit pattern.

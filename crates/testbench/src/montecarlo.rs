@@ -7,7 +7,7 @@
 
 use adc_pipeline::config::AdcConfig;
 use adc_pipeline::error::BuildAdcError;
-use adc_runtime::CacheCodec;
+use adc_runtime::{canonical_key, derive_seed, CacheCodec};
 
 use crate::policy::{campaign_id, ErrorFunnel, RunPolicy};
 use crate::session::MeasurementSession;
@@ -147,6 +147,117 @@ impl MonteCarloResult {
     }
 }
 
+/// The declarative form of a Monte-Carlo campaign: everything an
+/// executor needs to run it *anywhere* — in-process, or farmed over an
+/// `adc-cluster` peer set — while landing in the same shared cache
+/// namespace as [`run_monte_carlo_with`].
+///
+/// The campaign name is the same collision-safe fingerprint the
+/// in-process path uses, so a warm cache produced by a distributed run
+/// satisfies a later local run (and vice versa) bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloPlan {
+    /// Collision-safe campaign name (also the cache-file namespace).
+    pub campaign: String,
+    /// Campaign seed ([`crate::session::GOLDEN_SEED`]).
+    pub seed: u64,
+    /// Fabrication seeds, one per die (`1..=die_count`).
+    pub die_seeds: Vec<u64>,
+    /// Test-tone target frequency, Hz.
+    pub f_in_target_hz: f64,
+    /// Record length per die, samples.
+    pub record_len: usize,
+}
+
+impl MonteCarloPlan {
+    /// The canonical cache key of one die's result — identical to the
+    /// key [`adc_runtime::Campaign::run_cached`] derives for the same
+    /// die, so remote fills and local lookups meet in one namespace.
+    pub fn cache_key(&self, die_seed: u64) -> u64 {
+        canonical_key(&self.campaign, &die_seed)
+    }
+
+    /// The runtime-derived per-job seed for the die at `index` (dies
+    /// are jobs `0..n` in seed order). Schedule-independent: it depends
+    /// only on the campaign seed and the stable job id, never on which
+    /// host or thread runs the job.
+    pub fn job_seed(&self, index: usize) -> u64 {
+        derive_seed(self.seed, index as u64)
+    }
+}
+
+/// Lays out the Monte-Carlo campaign over `config`: die seeds
+/// `1..=die_count`, each measured at `f_in_target_hz` with
+/// `record_len`-point records.
+///
+/// # Panics
+///
+/// Panics when `die_count == 0`.
+pub fn monte_carlo_plan(
+    config: &AdcConfig,
+    die_count: usize,
+    f_in_target_hz: f64,
+    record_len: usize,
+) -> MonteCarloPlan {
+    assert!(die_count > 0, "need at least one die");
+    MonteCarloPlan {
+        campaign: campaign_id(
+            "monte_carlo",
+            &(config, record_len, f_in_target_hz.to_bits()),
+        ),
+        seed: crate::session::GOLDEN_SEED,
+        die_seeds: (1..=die_count as u64).collect(),
+        f_in_target_hz,
+        record_len,
+    }
+}
+
+/// Fabricates and measures one die: the single per-die computation
+/// every Monte-Carlo execution path funnels through. The in-process
+/// campaign worker calls this, and so does the cluster job registry on
+/// a remote host — bit-identity across schedules and hosts holds
+/// because there is exactly one implementation to agree with.
+///
+/// # Errors
+///
+/// The die's [`BuildAdcError`] when the config cannot fabricate.
+pub fn measure_die(
+    config: &AdcConfig,
+    die_seed: u64,
+    f_in_target_hz: f64,
+    record_len: usize,
+) -> Result<DieResult, BuildAdcError> {
+    let mut session = MeasurementSession::new(config.clone(), die_seed)?;
+    session.record_len = record_len;
+    let m = session.measure_tone(f_in_target_hz);
+    Ok(DieResult {
+        seed: die_seed,
+        snr_db: m.analysis.snr_db,
+        sndr_db: m.analysis.sndr_db,
+        sfdr_db: m.analysis.sfdr_db,
+        enob: m.analysis.enob,
+        power_w: session.adc().power_w(),
+    })
+}
+
+/// Folds per-die measurements (in seed order) into the campaign
+/// result. Pure assembly — no randomness, no reordering — so any
+/// executor that produces the same dies produces the same result.
+///
+/// # Panics
+///
+/// Panics when `dies` is empty.
+pub fn summarize_dies(dies: Vec<DieResult>) -> MonteCarloResult {
+    MonteCarloResult {
+        snr: MetricStats::over(&dies, |d| d.snr_db),
+        sndr: MetricStats::over(&dies, |d| d.sndr_db),
+        sfdr: MetricStats::over(&dies, |d| d.sfdr_db),
+        enob: MetricStats::over(&dies, |d| d.enob),
+        power: MetricStats::over(&dies, |d| d.power_w),
+        dies,
+    }
+}
+
 /// Runs the campaign with the default [`RunPolicy`] (all hardware
 /// threads): fabricates dies with seeds `1..=die_count`, measures each
 /// at `f_in_target_hz` with `record_len`-point records.
@@ -186,41 +297,14 @@ pub fn run_monte_carlo_with(
     record_len: usize,
     policy: &RunPolicy,
 ) -> Result<MonteCarloResult, BuildAdcError> {
-    assert!(die_count > 0, "need at least one die");
+    let plan = monte_carlo_plan(config, die_count, f_in_target_hz, record_len);
     let funnel = ErrorFunnel::new();
-    let name = campaign_id(
-        "monte_carlo",
-        &(config, record_len, f_in_target_hz.to_bits()),
-    );
-    let run = policy.run_campaign(
-        &name,
-        crate::session::GOLDEN_SEED,
-        (1..=die_count as u64).collect(),
-        |ctx, &seed| {
-            let mut session = MeasurementSession::new(config.clone(), seed)
-                .map_err(|e| funnel.capture(ctx.id, e))?;
-            session.record_len = record_len;
-            ctx.record_samples(record_len as u64);
-            let m = session.measure_tone(f_in_target_hz);
-            Ok(DieResult {
-                seed,
-                snr_db: m.analysis.snr_db,
-                sndr_db: m.analysis.sndr_db,
-                sfdr_db: m.analysis.sfdr_db,
-                enob: m.analysis.enob,
-                power_w: session.adc().power_w(),
-            })
-        },
-    );
+    let run = policy.run_campaign(&plan.campaign, plan.seed, plan.die_seeds, |ctx, &seed| {
+        ctx.record_samples(record_len as u64);
+        measure_die(config, seed, f_in_target_hz, record_len).map_err(|e| funnel.capture(ctx.id, e))
+    });
     let dies = funnel.resolve(run)?;
-    Ok(MonteCarloResult {
-        snr: MetricStats::over(&dies, |d| d.snr_db),
-        sndr: MetricStats::over(&dies, |d| d.sndr_db),
-        sfdr: MetricStats::over(&dies, |d| d.sfdr_db),
-        enob: MetricStats::over(&dies, |d| d.enob),
-        power: MetricStats::over(&dies, |d| d.power_w),
-        dies,
-    })
+    Ok(summarize_dies(dies))
 }
 
 #[cfg(test)]
@@ -272,6 +356,43 @@ mod tests {
         let a = small_campaign();
         let b = small_campaign();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_and_per_die_path_reassemble_the_campaign() {
+        use std::sync::Arc;
+        let config = AdcConfig::nominal_110ms();
+        let cache = Arc::new(adc_runtime::ResultCache::in_memory());
+        let reference = run_monte_carlo_with(
+            &config,
+            4,
+            10e6,
+            1024,
+            &RunPolicy::serial().cached(Arc::clone(&cache)),
+        )
+        .expect("runs");
+
+        // The declarative plan + the shared per-die function reassemble
+        // the exact campaign — this is the distributed path's identity.
+        let plan = monte_carlo_plan(&config, 4, 10e6, 1024);
+        assert_eq!(plan.die_seeds, vec![1, 2, 3, 4]);
+        let dies: Vec<DieResult> = plan
+            .die_seeds
+            .iter()
+            .map(|&s| measure_die(&config, s, plan.f_in_target_hz, plan.record_len).unwrap())
+            .collect();
+        assert_eq!(summarize_dies(dies), reference);
+
+        // And the plan's keys land in run_cached's namespace: every die
+        // the cached run computed is visible under plan.cache_key.
+        for die in &reference.dies {
+            assert_eq!(
+                cache.get::<DieResult>(plan.cache_key(die.seed)).as_ref(),
+                Some(die),
+                "die {} missing from the shared namespace",
+                die.seed
+            );
+        }
     }
 
     #[test]

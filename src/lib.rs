@@ -22,6 +22,10 @@
 //! * [`server`] — the streaming digitization service: the converter
 //!   behind a length-prefixed TCP protocol, bit-identical to direct
 //!   library calls at the same seed;
+//! * [`cluster`] — distributed campaign execution: job batches farmed
+//!   to remote `adc-server` hosts with work stealing and shared
+//!   content-addressed caches, assembled bit-identically to an
+//!   in-process run;
 //! * [`trace`] — deterministic tracing & profiling: span guards and
 //!   counters threaded through the runtime, server, and pipeline, with
 //!   Chrome trace-event and human-summary exporters.
@@ -46,6 +50,7 @@
 pub use adc_analog as analog;
 pub use adc_bias as bias;
 pub use adc_calib as calib;
+pub use adc_cluster as cluster;
 pub use adc_digital as digital;
 pub use adc_pipeline as pipeline;
 pub use adc_runtime as runtime;
