@@ -9,9 +9,13 @@
 #   fmt         -- formatting is enforced, not advisory
 #   clippy      -- workspace-wide, all targets, warnings are errors
 #   lint        -- adc-lint workspace-native static analysis (DESIGN.md
-#                  §10): determinism / panic-freedom / float-discipline
-#                  invariants at source level; any diagnostic, stale
-#                  allow pragma, or malformed pragma fails under --deny
+#                  §10, §15): interprocedural determinism / panic-
+#                  freedom / lock-order invariants over the workspace
+#                  call graph; any diagnostic, stale allow pragma, or
+#                  malformed pragma fails under --deny. Emits the JSON
+#                  report and DOT/JSON call+lock graphs under
+#                  target/lint/ (uploaded as a CI artifact) and is
+#                  bounded by a hard 30s wall-clock guard
 #   build       -- release build of the whole workspace
 #   test        -- full test suite (unit + integration + property)
 #   determinism -- cross-profile anchor: the `determinism` integration
@@ -96,7 +100,14 @@ stage_clippy() {
 }
 
 stage_lint() {
-  cargo run -q -p adc-lint -- --deny
+  # Analysis artifacts (machine-readable report + call/lock graphs)
+  # land under target/lint/ for CI upload. The interprocedural scan
+  # finishes in single-digit seconds; the hard 30s guard turns an
+  # accidental fixpoint blowup into a CI failure instead of a hang.
+  mkdir -p target/lint
+  cargo build -q -p adc-lint
+  timeout 30 target/debug/adc-lint --deny \
+    --json target/lint/report.json --graph-out target/lint/graphs
 }
 
 stage_build() {

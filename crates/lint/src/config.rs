@@ -4,7 +4,13 @@
 //! the claims the repo actually makes: determinism is a property of
 //! the simulation and campaign crates (the server and bench layers may
 //! time things — latency histograms *are* wall-clock), while
-//! panic-freedom binds exactly the files whose docs promise totality.
+//! panic-freedom binds exactly the code whose docs promise totality.
+//!
+//! Every entry here is verified against the scanned workspace by the
+//! `config-drift` meta-diagnostic: a root directory with no scanned
+//! files, a root file that does not exist, or a root symbol that names
+//! no function is a deny-mode error — stale entries must not silently
+//! check nothing.
 
 /// Crates whose results must be a pure function of config and seed —
 /// any `src/` file under these roots is in determinism scope.
@@ -33,32 +39,99 @@ pub const DETERMINISM_ROOTS: &[&str] = &[
     "crates/cluster/src",
 ];
 
-/// Files whose documented contract is "total, never panics".
-pub const PANIC_FREE_FILES: &[&str] = &[
-    "crates/server/src/protocol.rs",
-    "crates/runtime/src/cache.rs",
+/// A panic-freedom root: either a whole file (every function in it is
+/// a root and the textual `no-panic` rule also binds the file), or one
+/// named function given as `path::symbol` (the transitive pass alone
+/// covers it, diagnosing as `panic-reach`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicRoot {
+    /// Workspace-relative file path.
+    pub path: &'static str,
+    /// `None` = every function in `path`; `Some(name)` = that one
+    /// function (free fn or method — matched by name within the file).
+    pub symbol: Option<&'static str>,
+}
+
+/// Functions whose documented contract is "total, never panics" — the
+/// transitive panic-reachability pass denies any path from these to a
+/// panicking construct anywhere in the workspace. This replaces the
+/// old `PANIC_FREE_FILES` textual list: the whole-file entries keep
+/// the exact per-file `no-panic` rule as before, and the call graph
+/// extends the guarantee through every helper they reach.
+pub const PANIC_ROOTS: &[PanicRoot] = &[
+    // Protocol decode runs on untrusted bytes from the wire.
+    PanicRoot {
+        path: "crates/server/src/protocol.rs",
+        symbol: None,
+    },
+    // The result cache parses on-disk state that may be from an older
+    // epoch, truncated, or corrupt.
+    PanicRoot {
+        path: "crates/runtime/src/cache.rs",
+        symbol: None,
+    },
+    // The analyzer meets its own bar: the surfaces documented as total
+    // over arbitrary input (lexing any byte soup, parsing any JSON
+    // report) are panic-free transitively. The pass internals run only
+    // on workspace source that compiles, so they are not rooted — a
+    // panic there is a CI failure, not a prod decode crash.
+    PanicRoot {
+        path: "crates/lint/src/lexer.rs",
+        symbol: Some("lex"),
+    },
+    PanicRoot {
+        path: "crates/lint/src/report.rs",
+        symbol: Some("from_json"),
+    },
+    PanicRoot {
+        path: "crates/lint/src/pragma.rs",
+        symbol: Some("parse_allows"),
+    },
 ];
 
 /// The one place allowed to read process environment variables.
 pub const ENV_EXEMPT_FILES: &[&str] = &["crates/bench/src/cli.rs"];
 
+/// Crates the lock-order pass reports on (the graph itself is built
+/// workspace-wide so cross-crate nesting is seen; diagnostics bind the
+/// crates that actually share locks across threads).
+pub const LOCK_SCOPES: &[&str] = &[
+    "crates/runtime/src",
+    "crates/server/src",
+    "crates/trace/src",
+    "crates/cluster/src",
+];
+
 /// `true` when `rel_path` falls under a determinism-scoped crate.
 pub fn in_determinism_scope(rel_path: &str) -> bool {
-    DETERMINISM_ROOTS.iter().any(|root| {
-        rel_path
-            .strip_prefix(root)
-            .is_some_and(|r| r.starts_with('/'))
-    })
+    under_any(rel_path, DETERMINISM_ROOTS)
 }
 
-/// `true` when `rel_path` must be panic-free.
+/// `true` when the whole of `rel_path` must be panic-free (whole-file
+/// panic roots — the textual `no-panic` rule binds these exactly as
+/// the old `PANIC_FREE_FILES` list did).
 pub fn in_panic_free_scope(rel_path: &str) -> bool {
-    PANIC_FREE_FILES.contains(&rel_path)
+    PANIC_ROOTS
+        .iter()
+        .any(|r| r.symbol.is_none() && r.path == rel_path)
 }
 
 /// `true` when `rel_path` may read environment variables.
 pub fn is_env_exempt(rel_path: &str) -> bool {
     ENV_EXEMPT_FILES.contains(&rel_path)
+}
+
+/// `true` when `rel_path` is in lock-order reporting scope.
+pub fn in_lock_scope(rel_path: &str) -> bool {
+    under_any(rel_path, LOCK_SCOPES)
+}
+
+fn under_any(rel_path: &str, roots: &[&str]) -> bool {
+    roots.iter().any(|root| {
+        rel_path
+            .strip_prefix(root)
+            .is_some_and(|r| r.starts_with('/'))
+    })
 }
 
 #[cfg(test)]
@@ -94,7 +167,19 @@ mod tests {
         assert!(in_panic_free_scope("crates/server/src/protocol.rs"));
         assert!(in_panic_free_scope("crates/runtime/src/cache.rs"));
         assert!(!in_panic_free_scope("crates/server/src/server.rs"));
+        // Symbol-level roots do not put their whole file in textual
+        // panic-free scope — only the named function, transitively.
+        assert!(!in_panic_free_scope("crates/lint/src/lexer.rs"));
         assert!(is_env_exempt("crates/bench/src/cli.rs"));
         assert!(!is_env_exempt("crates/bench/src/lib.rs"));
+    }
+
+    #[test]
+    fn lock_scope_covers_the_threaded_crates() {
+        assert!(in_lock_scope("crates/runtime/src/pool.rs"));
+        assert!(in_lock_scope("crates/server/src/jobs.rs"));
+        assert!(in_lock_scope("crates/trace/src/collector.rs"));
+        assert!(in_lock_scope("crates/cluster/src/executor.rs"));
+        assert!(!in_lock_scope("crates/pipeline/src/converter.rs"));
     }
 }

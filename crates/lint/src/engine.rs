@@ -1,56 +1,162 @@
-//! The scan driver: file discovery, per-file analysis, suppression.
+//! The scan driver: file discovery, the two-layer analysis pipeline,
+//! and suppression.
 //!
 //! [`scan_workspace`] walks the workspace's first-party source roots
 //! (`src/` and `crates/*/src/`, recursively — integration tests,
 //! benches, `vendor/` stand-ins, and `target/` are out of scope),
-//! analyzes each file, and folds the results into one [`Report`].
-//! Discovery sorts paths, so a report is byte-stable across runs and
+//! then runs both layers over the whole file set at once:
+//!
+//! 1. **Per-file token rules** ([`crate::rules`]) — exactly as before.
+//! 2. **Interprocedural passes** — the item parser ([`crate::items`])
+//!    and call graph ([`crate::graph`]) feed panic-reachability
+//!    ([`crate::reach`]), determinism taint ([`crate::taint`]), and
+//!    lock-order analysis ([`crate::locks`]), plus the `config-drift`
+//!    meta-check that every scope entry in [`crate::config`] still
+//!    names something real.
+//!
+//! Suppression is central: every diagnostic — textual or
+//! interprocedural — is matched against the file's allow pragmas by
+//! (rule, target line); facts discharged at their source consume
+//! pragmas the same way, and any pragma that suppressed nothing is an
+//! `unused-allow` error. Discovery sorts paths and every pass iterates
+//! in stable order, so a report is byte-identical across runs and
 //! machines — the engine holds itself to the determinism bar it
 //! enforces.
 //!
-//! [`analyze_source`] is the per-file core, taking a *virtual*
-//! workspace-relative path plus source text. The fixture tests use it
-//! to exercise scoped rules without materializing files at the scoped
-//! locations.
+//! [`analyze_source`] is the single-file core kept for fixture tests;
+//! [`analyze_files`] is the multi-file entry the workspace scan and
+//! the interprocedural fixtures share.
 
 use std::path::{Path, PathBuf};
 
+use crate::config;
+use crate::facts;
+use crate::graph::{self, FileData, ResolutionStats};
+use crate::graphout::{self, GraphExports};
+use crate::items::{parse_file, token_maps};
 use crate::lexer::lex;
+use crate::locks;
 use crate::pragma::parse_allows;
+use crate::reach;
 use crate::report::{Diagnostic, Report};
 use crate::rules::{check_file, test_spans, FileCtx};
+use crate::taint;
+
+/// Everything a full workspace analysis produces.
+#[derive(Debug, Default)]
+pub struct AnalyzedWorkspace {
+    /// The diagnostic report (post-suppression, sorted, deduplicated).
+    pub report: Report,
+    /// Call-graph resolution statistics.
+    pub stats: ResolutionStats,
+    /// Rendered `--graph-out` artifacts.
+    pub exports: GraphExports,
+}
 
 /// Analyzes one file's source text as if it lived at `rel_path`
 /// (workspace-relative, `/`-separated). Returns the surviving
 /// diagnostics: rule hits not covered by an allow pragma, plus
-/// `bad-pragma` and `unused-allow` meta-diagnostics.
+/// `bad-pragma` and `unused-allow` meta-diagnostics. Interprocedural
+/// passes run over the single file's (degenerate) call graph;
+/// `config-drift` is skipped — a one-file view proves nothing about
+/// the workspace.
 pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
-    let lexed = lex(source);
-    let spans = test_spans(&lexed.tokens);
-    let ctx = FileCtx {
-        rel_path,
-        tokens: &lexed.tokens,
-        comments: &lexed.comments,
-        test_spans: &spans,
-    };
-    let raw = check_file(&ctx);
-    let (allows, mut out) = parse_allows(rel_path, &lexed.comments);
+    analyze_files(&[(rel_path, source)], false)
+        .report
+        .diagnostics
+}
 
-    // Lines that carry code tokens, sorted, for standalone-pragma
-    // target resolution.
-    let mut code_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
-    code_lines.dedup();
+/// Analyzes a set of files as one workspace. `check_config` enables
+/// the `config-drift` meta-check (full scans only — fixture subsets
+/// would always look stale).
+pub fn analyze_files(files: &[(&str, &str)], check_config: bool) -> AnalyzedWorkspace {
+    // Layer 0: lex + per-file structures.
+    let lexed: Vec<_> = files.iter().map(|(_, src)| lex(src)).collect();
+    let maps: Vec<_> = lexed.iter().map(|l| token_maps(&l.tokens)).collect();
+    let spans: Vec<Vec<(u32, u32)>> = lexed.iter().map(|l| test_spans(&l.tokens)).collect();
+    let items: Vec<_> = files
+        .iter()
+        .zip(&lexed)
+        .zip(&maps)
+        .zip(&spans)
+        .map(|((((path, _), l), m), sp)| parse_file(path, &l.tokens, m, sp))
+        .collect();
+    let data: Vec<FileData<'_>> = files
+        .iter()
+        .zip(&lexed)
+        .zip(&maps)
+        .zip(&items)
+        .map(|((((path, _), l), m), it)| FileData {
+            rel_path: path,
+            tokens: &l.tokens,
+            maps: m,
+            items: it,
+        })
+        .collect();
 
-    // Resolve each pragma to its target line, then keep the
-    // diagnostics no pragma covers. A pragma is "used" when it
-    // suppressed at least one diagnostic of its rule on its target.
-    let targets: Vec<Option<u32>> = allows.iter().map(|a| a.target_line(&code_lines)).collect();
-    let mut used = vec![false; allows.len()];
+    // Pragmas, resolved to target lines, with shared used-flags.
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut all_allows: Vec<(usize, String, Option<u32>, u32, String)> = Vec::new();
+    let mut fact_allows: Vec<facts::FileAllows> = Vec::with_capacity(files.len());
+    for (fidx, ((path, _), l)) in files.iter().zip(&lexed).enumerate() {
+        let (allows, bad) = parse_allows(path, &l.comments);
+        raw.extend(bad);
+        let mut code_lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        code_lines.dedup();
+        let mut fa: facts::FileAllows = Vec::new();
+        for a in &allows {
+            let target = a.target_line(&code_lines);
+            if let Some(t) = target {
+                fa.push((a.rule.clone(), t));
+            }
+            all_allows.push((fidx, a.rule.clone(), target, a.line, a.reason.clone()));
+        }
+        fact_allows.push(fa);
+    }
+
+    // Layer 1: per-file token rules.
+    for ((path, _), (l, sp)) in files.iter().zip(lexed.iter().zip(&spans)) {
+        let ctx = FileCtx {
+            rel_path: path,
+            tokens: &l.tokens,
+            comments: &l.comments,
+            test_spans: sp,
+        };
+        raw.extend(check_file(&ctx));
+    }
+
+    // Layer 2: call graph + interprocedural passes.
+    let g = graph::build(&data);
+    let (fx, consumed) = facts::collect(&g, &data, &fact_allows);
+    raw.extend(reach::run(&g, &data, &fx));
+    raw.extend(taint::run(&g, &data, &fx));
+    let (lock_diags, lock_graph) = locks::run(&g, &data, &fx);
+    raw.extend(lock_diags);
+    if check_config {
+        raw.extend(config_drift(&data, &g));
+    }
+    let exports = graphout::render(&g, &data, &lock_graph);
+
+    // Central suppression.
+    let mut used = vec![false; all_allows.len()];
+    // Source-discharged facts consumed their pragma even though no
+    // diagnostic was ever emitted.
+    for (fidx, target, rule) in &consumed {
+        for (k, (afidx, arule, atarget, _, _)) in all_allows.iter().enumerate() {
+            if afidx == fidx && arule == rule && *atarget == Some(*target) {
+                used[k] = true;
+            }
+        }
+    }
+    let mut out: Vec<Diagnostic> = Vec::new();
     for diag in raw {
         let mut suppressed = false;
-        for (k, allow) in allows.iter().enumerate() {
-            if allow.rule == diag.rule && targets[k] == Some(diag.line) {
-                used[k] = true;
+        for (k, (afidx, arule, atarget, _, _)) in all_allows.iter().enumerate() {
+            let same_file = files.get(*afidx).is_some_and(|(p, _)| *p == diag.file);
+            if same_file && *arule == diag.rule && *atarget == Some(diag.line) {
+                if let Some(u) = used.get_mut(k) {
+                    *u = true;
+                }
                 suppressed = true;
             }
         }
@@ -58,21 +164,99 @@ pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
             out.push(diag);
         }
     }
-    for (k, allow) in allows.iter().enumerate() {
-        if !used[k] {
+    for (k, (afidx, arule, _, line, reason)) in all_allows.iter().enumerate() {
+        if !used.get(k).copied().unwrap_or(true) {
             out.push(Diagnostic {
                 rule: "unused-allow".to_string(),
-                file: rel_path.to_string(),
-                line: allow.line,
+                file: files
+                    .get(*afidx)
+                    .map(|(p, _)| (*p).to_string())
+                    .unwrap_or_default(),
+                line: *line,
                 message: format!(
-                    "allow({}) suppresses nothing; delete the stale pragma (reason was: \
-                     \"{}\")",
-                    allow.rule, allow.reason
+                    "allow({arule}) suppresses nothing; delete the stale pragma (reason \
+                     was: \"{reason}\")"
                 ),
             });
         }
     }
-    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+
+    out.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+
+    AnalyzedWorkspace {
+        report: Report {
+            files_scanned: files.len(),
+            diagnostics: out,
+        },
+        stats: g.stats.clone(),
+        exports,
+    }
+}
+
+/// The `config-drift` meta-check: every scope entry in
+/// [`crate::config`] must still name a scanned file, directory, or
+/// resolvable symbol. A stale entry silently checks nothing, which in
+/// deny mode must itself be an error.
+fn config_drift(data: &[FileData<'_>], g: &graph::Graph) -> Vec<Diagnostic> {
+    const CONFIG_FILE: &str = "crates/lint/src/config.rs";
+    let rel_paths: Vec<&str> = data.iter().map(|f| f.rel_path).collect();
+    let mut out = Vec::new();
+    let mut drift = |message: String| {
+        out.push(Diagnostic {
+            rule: "config-drift".to_string(),
+            file: CONFIG_FILE.to_string(),
+            line: 1,
+            message,
+        });
+    };
+    for root in config::DETERMINISM_ROOTS {
+        if !rel_paths.iter().any(|p| p.starts_with(&format!("{root}/"))) {
+            drift(format!(
+                "DETERMINISM_ROOTS entry `{root}` matches no scanned file; the scope \
+                 silently checks nothing — fix or remove the entry"
+            ));
+        }
+    }
+    for root in config::LOCK_SCOPES {
+        if !rel_paths.iter().any(|p| p.starts_with(&format!("{root}/"))) {
+            drift(format!(
+                "LOCK_SCOPES entry `{root}` matches no scanned file; the scope \
+                 silently checks nothing — fix or remove the entry"
+            ));
+        }
+    }
+    for root in config::PANIC_ROOTS {
+        if !rel_paths.contains(&root.path) {
+            drift(format!(
+                "PANIC_ROOTS entry `{}` matches no scanned file; the root anchors \
+                 nothing — fix or remove the entry",
+                root.path
+            ));
+            continue;
+        }
+        if g.roots_for(root.path, root.symbol, &rel_paths).is_empty() {
+            drift(format!(
+                "PANIC_ROOTS entry `{}::{}` names no function in that file; the root \
+                 anchors nothing — fix or remove the entry",
+                root.path,
+                root.symbol.unwrap_or("*")
+            ));
+        }
+    }
+    for file in config::ENV_EXEMPT_FILES {
+        if !rel_paths.contains(file) {
+            drift(format!(
+                "ENV_EXEMPT_FILES entry `{file}` matches no scanned file; the \
+                 exemption covers nothing — fix or remove the entry"
+            ));
+        }
+    }
     out
 }
 
@@ -122,24 +306,33 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Scans the whole workspace rooted at `root`.
+/// Scans the whole workspace rooted at `root`, returning the full
+/// analysis: report, resolution stats, and graph exports.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures from discovery or reading; an unreadable
 /// tree is a scan failure, never a silently shorter report.
-pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
-    let files = workspace_files(root)?;
-    let mut report = Report {
-        files_scanned: files.len(),
-        diagnostics: Vec::new(),
-    };
-    for file in &files {
-        let source = std::fs::read_to_string(file)?;
-        let rel = rel_path(root, file);
-        report.diagnostics.extend(analyze_source(&rel, &source));
+pub fn scan_workspace_full(root: &Path) -> std::io::Result<AnalyzedWorkspace> {
+    let paths = workspace_files(root)?;
+    let mut sources = Vec::with_capacity(paths.len());
+    for file in &paths {
+        sources.push((rel_path(root, file), std::fs::read_to_string(file)?));
     }
-    Ok(report)
+    let views: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    Ok(analyze_files(&views, true))
+}
+
+/// Scans the whole workspace rooted at `root` (report only).
+///
+/// # Errors
+///
+/// Propagates I/O failures from discovery or reading.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    scan_workspace_full(root).map(|a| a.report)
 }
 
 #[cfg(test)]
@@ -185,5 +378,64 @@ use std::collections::HashMap;
         let diags = analyze_source("crates/bias/src/x.rs", src);
         assert_eq!(diags.len(), 2);
         assert!(diags[0].line < diags[1].line);
+    }
+
+    #[test]
+    fn interprocedural_panic_reach_crosses_files() {
+        let a = analyze_files(
+            &[
+                (
+                    "crates/server/src/protocol.rs",
+                    "use crate::helpers::tail;\npub fn decode(v: &[u8]) -> u8 { tail(v) }\n",
+                ),
+                (
+                    "crates/server/src/helpers.rs",
+                    "pub fn tail(v: &[u8]) -> u8 { v.last().copied().unwrap() }\n",
+                ),
+            ],
+            false,
+        );
+        let diags = &a.report.diagnostics;
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "panic-reach");
+        assert_eq!(diags[0].file, "crates/server/src/helpers.rs");
+    }
+
+    #[test]
+    fn panic_reach_allow_at_the_fact_site_suppresses_and_is_used() {
+        let a = analyze_files(
+            &[
+                (
+                    "crates/server/src/protocol.rs",
+                    "use crate::helpers::tail;\npub fn decode(v: &[u8]) -> u8 { tail(v) }\n",
+                ),
+                (
+                    "crates/server/src/helpers.rs",
+                    "pub fn tail(v: &[u8]) -> u8 {\n    \
+                     // adc-lint: allow(panic-reach) reason=\"caller checks non-empty\"\n    \
+                     v.last().copied().unwrap()\n}\n",
+                ),
+            ],
+            false,
+        );
+        assert!(
+            a.report.diagnostics.is_empty(),
+            "{:?}",
+            a.report.diagnostics
+        );
+    }
+
+    #[test]
+    fn config_drift_fires_on_missing_scopes_in_full_scans() {
+        // A tiny file set that clearly misses every configured scope.
+        let a = analyze_files(&[("crates/server/src/other.rs", "pub fn f() {}\n")], true);
+        let drift: Vec<_> = a
+            .report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "config-drift")
+            .collect();
+        assert!(!drift.is_empty());
+        assert!(drift.iter().all(|d| d.file == "crates/lint/src/config.rs"));
     }
 }

@@ -141,9 +141,11 @@ impl<'a> Lexer<'a> {
                 b'/' if self.peek(1) == b'*' => self.block_comment(),
                 b'r' if self.peek(1) == b'"' || self.peek(1) == b'#' => self.raw_string(1),
                 b'b' if self.peek(1) == b'"' => self.string_from(1),
+                b'b' if self.peek(1) == b'\'' => self.byte_char(),
                 b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') => {
                     self.raw_string(2)
                 }
+                b'c' if self.peek(1) == b'"' => self.string_from(1),
                 b'"' => self.string_from(0),
                 b'\'' => self.char_or_lifetime(),
                 _ if c.is_ascii_digit() => self.number(),
@@ -260,6 +262,25 @@ impl<'a> Lexer<'a> {
             }
         }
         self.push_token(TokenKind::Str, start, line);
+    }
+
+    /// Byte-char literal `b'x'` / `b'\''` — always a char, never a
+    /// lifetime, so it skips the `char_or_lifetime` disambiguation.
+    fn byte_char(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // the `b` prefix
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokenKind::Char, start, line);
     }
 
     fn char_or_lifetime(&mut self) {
@@ -447,6 +468,52 @@ mod tests {
             .tokens
             .iter()
             .any(|t| t.kind == TokenKind::Ident && t.text == "next"));
+    }
+
+    #[test]
+    fn byte_char_literals_are_single_char_tokens() {
+        // Regression: `b'x'` used to lex as Ident("b") + Char("'x'"),
+        // which let a pragma-bearing rule see a phantom `b` identifier.
+        assert_eq!(kinds("b'x'"), vec![(TokenKind::Char, "b'x'")]);
+        assert_eq!(kinds(r"b'\''"), vec![(TokenKind::Char, r"b'\''")]);
+        assert_eq!(kinds(r"b'\\'"), vec![(TokenKind::Char, r"b'\\'")]);
+        // A following ident must survive intact.
+        let toks = kinds("let q = b'#'; next");
+        assert!(toks.contains(&(TokenKind::Char, "b'#'")));
+        assert!(toks.contains(&(TokenKind::Ident, "next")));
+        // ...and `b` not followed by a quote stays an identifier.
+        assert_eq!(kinds("b * 2")[0], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn c_string_literals_lex_as_strings() {
+        let toks = kinds(r#"let s = c"unwrap()"; next"#);
+        assert!(toks.contains(&(TokenKind::Str, r#"c"unwrap()""#)));
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || !t.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_byte_strings_and_raw_identifiers() {
+        let toks = kinds(r###"let a = br#"x " y"#; let r#fn = 1;"###);
+        assert!(toks.contains(&(TokenKind::Str, r###"br#"x " y"#"###)));
+        assert!(toks.contains(&(TokenKind::Ident, "r#fn")));
+    }
+
+    #[test]
+    fn labels_lex_as_lifetimes_before_loops() {
+        // `'outer: loop` — the label must not swallow the loop keyword.
+        let toks = kinds("'outer: for i in 0..n { break 'outer; }");
+        assert_eq!(toks[0], (TokenKind::Lifetime, "'outer"));
+        assert!(toks.contains(&(TokenKind::Ident, "for")));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'outer")));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        assert_eq!(kinds(r"'\''"), vec![(TokenKind::Char, r"'\''")]);
+        assert_eq!(kinds(r"'\u{7f}'"), vec![(TokenKind::Char, r"'\u{7f}'")]);
     }
 
     #[test]

@@ -15,8 +15,13 @@
 //! zero-external-deps ethos: a hand-written lexer ([`lexer`]) feeds
 //! token-subsequence rules ([`rules`]) scoped by path ([`config`]),
 //! with audited suppressions ([`pragma`]) and a JSON-round-trippable
-//! report ([`report`]). See `DESIGN.md` §10 for the rule catalogue
-//! and how to add a rule.
+//! report ([`report`]). On top of the token layer sits a symbol
+//! layer: a lightweight item parser extracts functions, impls, and
+//! imports; a workspace call graph resolves call sites across crates;
+//! and three interprocedural passes — transitive panic-reachability,
+//! determinism taint, and lock-order deadlock analysis — turn the
+//! per-file rules into whole-program claims. See `DESIGN.md` §10 for
+//! the rule catalogue and §15 for the interprocedural architecture.
 //!
 //! ```no_run
 //! use adc_lint::scan_workspace;
@@ -26,11 +31,23 @@
 
 pub mod config;
 pub mod engine;
+mod facts;
+mod graph;
+mod graphout;
+mod items;
 pub mod lexer;
+mod locks;
 pub mod pragma;
+mod reach;
 pub mod report;
 pub mod rules;
+mod taint;
 
-pub use engine::{analyze_source, scan_workspace, workspace_files};
+pub use engine::{
+    analyze_files, analyze_source, scan_workspace, scan_workspace_full, workspace_files,
+    AnalyzedWorkspace,
+};
+pub use graph::ResolutionStats;
+pub use graphout::GraphExports;
 pub use report::{Diagnostic, Report};
 pub use rules::{RuleInfo, RULES};

@@ -4,6 +4,7 @@
 //! cargo run -p adc-lint --                 # report, exit 0 regardless
 //! cargo run -p adc-lint -- --deny         # exit 1 on any diagnostic (CI mode)
 //! cargo run -p adc-lint -- --json out.json
+//! cargo run -p adc-lint -- --graph-out target/lint/graphs
 //! cargo run -p adc-lint -- --list-rules
 //! ```
 //!
@@ -15,22 +16,25 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use adc_lint::{scan_workspace, RULES};
+use adc_lint::{scan_workspace_full, RULES};
 
 const USAGE: &str = "\
-usage: adc-lint [--root DIR] [--json FILE] [--deny] [--list-rules]
+usage: adc-lint [--root DIR] [--json FILE] [--graph-out DIR] [--deny] [--list-rules]
 
-  --root DIR    workspace root to scan [default: this workspace]
-  --json FILE   also write the machine-readable report to FILE
-  --deny        exit non-zero when any diagnostic (including
-                unused-allow / bad-pragma) is produced
-  --list-rules  print the rule catalogue and exit
-  -h, --help    print this help
+  --root DIR      workspace root to scan [default: this workspace]
+  --json FILE     also write the machine-readable report to FILE
+  --graph-out DIR write callgraph.{dot,json} and lockgraph.{dot,json}
+                  under DIR (created if missing)
+  --deny          exit non-zero when any diagnostic (including
+                  unused-allow / bad-pragma) is produced
+  --list-rules    print the rule catalogue and exit
+  -h, --help      print this help
 ";
 
 struct Cli {
     root: PathBuf,
     json: Option<PathBuf>,
+    graph_out: Option<PathBuf>,
     deny: bool,
     list_rules: bool,
 }
@@ -39,6 +43,7 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
     let mut cli = Cli {
         root: default_root(),
         json: None,
+        graph_out: None,
         deny: false,
         list_rules: false,
     };
@@ -50,6 +55,9 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, String> {
             }
             "--json" => {
                 cli.json = Some(PathBuf::from(it.next().ok_or("--json needs a value")?));
+            }
+            "--graph-out" => {
+                cli.graph_out = Some(PathBuf::from(it.next().ok_or("--graph-out needs a value")?));
             }
             "--deny" => cli.deny = true,
             "--list-rules" => cli.list_rules = true,
@@ -91,13 +99,14 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let report = match scan_workspace(&cli.root) {
-        Ok(report) => report,
+    let ws = match scan_workspace_full(&cli.root) {
+        Ok(ws) => ws,
         Err(err) => {
             eprintln!("adc-lint: scan failed under {}: {err}", cli.root.display());
             return ExitCode::from(2);
         }
     };
+    let report = &ws.report;
 
     print!("{}", report.render_human());
     if let Some(path) = &cli.json {
@@ -105,6 +114,34 @@ fn main() -> ExitCode {
             eprintln!("adc-lint: writing {} failed: {err}", path.display());
             return ExitCode::from(2);
         }
+    }
+    if let Some(dir) = &cli.graph_out {
+        let files = [
+            ("callgraph.dot", &ws.exports.callgraph_dot),
+            ("callgraph.json", &ws.exports.callgraph_json),
+            ("lockgraph.dot", &ws.exports.lockgraph_dot),
+            ("lockgraph.json", &ws.exports.lockgraph_json),
+        ];
+        let write_all = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            for (name, body) in files {
+                std::fs::write(dir.join(name), body)?;
+            }
+            Ok(())
+        };
+        if let Err(err) = write_all() {
+            eprintln!(
+                "adc-lint: writing graphs under {} failed: {err}",
+                dir.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "adc-lint: call graph {:.1}% resolved ({} sites); graphs written to {}",
+            100.0 * ws.stats.resolution_rate(),
+            ws.stats.sites,
+            dir.display()
+        );
     }
     if cli.deny && !report.is_clean() {
         eprintln!("adc-lint: failing under --deny");

@@ -325,7 +325,7 @@ impl JsonParser<'_> {
                 }
                 _ => {
                     // Consume one UTF-8 scalar (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    let rest = std::str::from_utf8(self.bytes.get(self.pos..).unwrap_or(&[]))
                         .map_err(|_| "invalid utf-8".to_string())?;
                     let c = rest.chars().next().ok_or("unterminated string")?;
                     out.push(c);
@@ -340,7 +340,7 @@ impl JsonParser<'_> {
         while self.peek().is_ascii_digit() {
             self.pos += 1;
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
+        std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or(&[]))
             .ok()
             .and_then(|s| s.parse().ok())
             .map(JsonValue::Number)
@@ -348,10 +348,11 @@ impl JsonParser<'_> {
     }
 
     fn parse_bool(&mut self) -> Result<JsonValue, String> {
-        if self.bytes[self.pos..].starts_with(b"true") {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(b"true") {
             self.pos += 4;
             Ok(JsonValue::Bool(true))
-        } else if self.bytes[self.pos..].starts_with(b"false") {
+        } else if rest.starts_with(b"false") {
             self.pos += 5;
             Ok(JsonValue::Bool(false))
         } else {

@@ -11,6 +11,16 @@
 //! | `float-eq` | no `==`/`!=` against float literals / NaN | whole workspace |
 //! | `nan-ord` | no `partial_cmp(..).unwrap()` — use `total_cmp` | whole workspace |
 //! | `safety-comment` | every `unsafe` carries a `// SAFETY:` comment | whole workspace |
+//! | `panic-reach` | no panic reachable from a panic root | call graph from `PANIC_ROOTS` |
+//! | `callgraph-opaque` | no fn-value calls on root paths | call graph from `PANIC_ROOTS` |
+//! | `determinism-taint` | no nondeterminism laundered via helpers | determinism crates' callees |
+//! | `lock-order` | lock-order graph acyclic | `LOCK_SCOPES` crates |
+//! | `lock-across-send` | no guard across blocking channel op | `LOCK_SCOPES` crates |
+//!
+//! The first eight are per-file token rules (this module); the last
+//! five are interprocedural, computed over the workspace call graph
+//! (see [`crate::graph`] and the pass modules). They share the allow
+//! pragma mechanism and this catalogue.
 //!
 //! Rules are lexical: they match token subsequences, not syntax trees.
 //! That makes them conservative in a specific, documented direction —
@@ -69,6 +79,26 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "safety-comment",
         summary: "every `unsafe` must be annotated with a // SAFETY: comment",
+    },
+    RuleInfo {
+        id: "panic-reach",
+        summary: "no panicking construct reachable from a declared panic root (transitive)",
+    },
+    RuleInfo {
+        id: "callgraph-opaque",
+        summary: "no fn-value calls on panic-root paths — the call graph cannot see through them",
+    },
+    RuleInfo {
+        id: "determinism-taint",
+        summary: "determinism crates must not reach nondeterminism sources via helper crates",
+    },
+    RuleInfo {
+        id: "lock-order",
+        summary: "the workspace lock-order graph must be acyclic (deadlock freedom)",
+    },
+    RuleInfo {
+        id: "lock-across-send",
+        summary: "no guard held across a blocking channel send/recv",
     },
 ];
 
@@ -196,7 +226,7 @@ fn matches(tokens: &[Token<'_>], at: usize, texts: &[&str]) -> bool {
 
 /// Keywords that can legally precede a `[` that is *not* an index
 /// expression (`let [a, b] = ...`, `if let [x] = ...`, `in [1, 2]`).
-const NON_INDEX_KEYWORDS: &[&str] = &[
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "let", "mut", "ref", "in", "if", "while", "match", "return", "else", "move", "box", "dyn",
     "as", "const", "static", "type", "where", "use", "impl", "for",
 ];

@@ -1,0 +1,86 @@
+//! Live-workspace call-graph meta-test.
+//!
+//! The interprocedural passes are only as good as the call graph under
+//! them, so the resolution rate over the real `crates/*/src` tree is a
+//! tested contract, not a dashboard number: ≥95% of name-matching call
+//! sites must pin to exactly one callee, and every site that does not
+//! must be listed in `stats.unresolved` — degraded, never dropped.
+
+use std::path::PathBuf;
+
+use adc_lint::scan_workspace_full;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn live_workspace_resolves_at_least_95_percent_of_call_sites() {
+    let ws = scan_workspace_full(&workspace_root()).expect("scan must succeed");
+    let s = &ws.stats;
+    assert!(
+        s.sites >= 1000,
+        "suspiciously few call sites ({}) — did site extraction collapse?",
+        s.sites
+    );
+    assert!(
+        s.resolution_rate() >= 0.95,
+        "call-graph resolution regressed: {:.1}% of {} sites \
+         ({} ambiguous, {} dynamic); first unresolved entries:\n{}",
+        100.0 * s.resolution_rate(),
+        s.sites,
+        s.ambiguous,
+        s.dynamic,
+        s.unresolved
+            .iter()
+            .take(25)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_non_unique_site_is_reported_not_dropped() {
+    let ws = scan_workspace_full(&workspace_root()).expect("scan must succeed");
+    let s = &ws.stats;
+    // The accounting identity: the denominator splits exactly into
+    // unique + ambiguous + dynamic, and the remainder is enumerated
+    // one line per site.
+    assert_eq!(
+        s.sites,
+        s.unique + s.ambiguous + s.dynamic,
+        "site accounting must not leak"
+    );
+    assert_eq!(
+        s.unresolved.len(),
+        s.ambiguous + s.dynamic,
+        "every ambiguous/dynamic site gets an unresolved entry"
+    );
+    for entry in &s.unresolved {
+        assert!(
+            entry.contains(".rs:"),
+            "unresolved entries carry a file:line anchor: {entry}"
+        );
+    }
+}
+
+#[test]
+fn graph_exports_are_well_formed() {
+    let ws = scan_workspace_full(&workspace_root()).expect("scan must succeed");
+    let x = &ws.exports;
+    assert!(x.callgraph_dot.starts_with("digraph"));
+    assert!(x.lockgraph_dot.starts_with("digraph"));
+    // The JSON export embeds the same stats the meta-test asserts, so
+    // CI artifacts and test failures can never disagree.
+    assert!(x.callgraph_json.contains("\"unique\""));
+    assert!(x.callgraph_json.contains("\"unresolved\""));
+    assert!(
+        x.callgraph_json.contains("\"edges\""),
+        "callgraph export must contain the edge list"
+    );
+}

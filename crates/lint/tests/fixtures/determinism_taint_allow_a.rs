@@ -1,0 +1,6 @@
+use adc_server::stamp_fixture::stamp;
+
+pub fn run() -> u64 {
+    // adc-lint: allow(determinism-taint) reason="stamp feeds logs only, never results"
+    stamp()
+}

@@ -1,0 +1,8 @@
+// Virtual path: crates/runtime/src/fixture.rs (determinism scope).
+// The taint is not here — it is in the out-of-scope server helper this
+// file calls, which the textual rules cannot see.
+use adc_server::stamp_fixture::stamp;
+
+pub fn run() -> u64 {
+    stamp()
+}

@@ -1,0 +1,10 @@
+// Virtual path: crates/server/src/stamp_fixture.rs — outside
+// determinism scope, so wall-clock reads are textually legal here.
+use std::time::{SystemTime, UNIX_EPOCH};
+
+pub fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

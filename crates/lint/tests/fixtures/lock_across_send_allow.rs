@@ -1,0 +1,10 @@
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+static STATE: Mutex<u32> = Mutex::new(0);
+
+pub fn publish(tx: &Sender<u32>) {
+    let guard = STATE.lock().unwrap();
+    // adc-lint: allow(lock-across-send) reason="channel is unbounded; send never blocks"
+    let _ = tx.send(*guard);
+}

@@ -1,0 +1,11 @@
+// Virtual path: crates/runtime/src/fixture.rs (lock scope). The send
+// can block on a bounded/disconnected channel while the guard is held.
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+static STATE: Mutex<u32> = Mutex::new(0);
+
+pub fn publish(tx: &Sender<u32>) {
+    let guard = STATE.lock().unwrap();
+    let _ = tx.send(*guard);
+}

@@ -1,0 +1,17 @@
+use std::sync::Mutex;
+
+static ALPHA: Mutex<u32> = Mutex::new(0);
+static BETA: Mutex<u32> = Mutex::new(0);
+
+pub fn alpha_then_beta() -> u32 {
+    let a = ALPHA.lock().unwrap();
+    // adc-lint: allow(lock-order) reason="beta_then_alpha runs only at shutdown, single-threaded"
+    let b = BETA.lock().unwrap();
+    *a + *b
+}
+
+pub fn beta_then_alpha() -> u32 {
+    let b = BETA.lock().unwrap();
+    let a = ALPHA.lock().unwrap();
+    *a + *b
+}

