@@ -20,9 +20,11 @@
 #   test        -- full test suite (unit + integration + property)
 #   determinism -- cross-profile anchor: the `determinism` integration
 #                  test runs in debug AND release against one shared
-#                  ADC_DETERMINISM_HASH_FILE, so "debug and release
-#                  produce bit-identical campaign results" is asserted,
-#                  not assumed
+#                  ADC_DETERMINISM_HASH_FILE (campaign digest) and
+#                  ADC_DETERMINISM_LANES_HASH_FILE (lane-parallel SoA
+#                  kernel digest), so "debug and release produce
+#                  bit-identical campaign AND laned-conversion results"
+#                  is asserted, not assumed
 #   service     -- loopback gate: the `service` suite (real TCP server,
 #                  concurrent clients, bit-identity vs in-process
 #                  records) re-runs in release under a hard wall-clock
@@ -37,11 +39,18 @@
 #                  scratch dir and diffs them against the baselines
 #                  committed at HEAD with `bench_compare` (±30% on
 #                  samples/sec, p99 latency, DSP-kernel us/call,
-#                  ganged-array us/epoch, and cluster jobs/sec; exempt
-#                  across differing host_cpus; the DSP, interleave, and
+#                  ganged-array us/epoch, cluster jobs/sec, and — via
+#                  --lanes — the DSP lane-axis rows: laned samples/sec
+#                  and speedup vs scalar per lane count; exempt across
+#                  differing host_cpus; the DSP, interleave, and
 #                  cluster comparisons are skipped when HEAD predates
-#                  their reports). Advisory by default; fatal under
-#                  --deny-perf.
+#                  their reports, and the lane axis is advisory while
+#                  the baseline predates the lanes field). Advisory by
+#                  default; fatal under --deny-perf.
+#
+# Every run writes target/ci_summary.json (stage wall-clock + status +
+# exit status) for artifact upload, and appends the same table — with
+# the failing stage named — to $GITHUB_STEP_SUMMARY when set.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -85,6 +94,40 @@ summary() {
       # shellcheck disable=SC2086
       printf '%-14s %8s  %s\n' $row
     done
+    # Machine-readable run record for CI artifact upload: one row per
+    # executed stage plus the run's overall exit status.
+    mkdir -p target
+    {
+      printf '{\n  "exit_status": %s,\n  "deny_perf": %s,\n  "stages": [\n' \
+        "$status" "$DENY_PERF"
+      first=1
+      for row in "${TIMINGS[@]}"; do
+        read -r name wall result <<< "$row"
+        [ $first = 1 ] || printf ',\n'
+        first=0
+        printf '    { "stage": "%s", "wall_s": %s, "status": "%s" }' \
+          "$name" "$wall" "$result"
+      done
+      printf '\n  ]\n}\n'
+    } > target/ci_summary.json
+  fi
+  # On GitHub runners, name the failing stage (or the green run) where
+  # reviewers look first — the job's step summary.
+  if [ -n "${GITHUB_STEP_SUMMARY:-}" ] && [ ${#TIMINGS[@]} -gt 0 ]; then
+    {
+      if [ "$status" = 0 ]; then
+        echo "### CI green (\`${SELECTED[*]}\`)"
+      else
+        echo "### CI FAILED in stage \`$CURRENT_STAGE\`"
+      fi
+      echo
+      echo "| stage | wall (s) | status |"
+      echo "| --- | ---: | --- |"
+      for row in "${TIMINGS[@]}"; do
+        read -r name wall result <<< "$row"
+        echo "| $name | $wall | $result |"
+      done
+    } >> "$GITHUB_STEP_SUMMARY"
   fi
   rm -rf "$SCRATCH"
   exit $status
@@ -121,10 +164,16 @@ stage_test() {
 
 stage_determinism() {
   hash_file="$SCRATCH/determinism.hash"
-  rm -f "$hash_file"
-  ADC_DETERMINISM_HASH_FILE=$hash_file cargo test -q --test determinism
-  ADC_DETERMINISM_HASH_FILE=$hash_file cargo test -q --release --test determinism
+  lanes_hash_file="$SCRATCH/determinism_lanes.hash"
+  rm -f "$hash_file" "$lanes_hash_file"
+  ADC_DETERMINISM_HASH_FILE=$hash_file \
+    ADC_DETERMINISM_LANES_HASH_FILE=$lanes_hash_file \
+    cargo test -q --test determinism
+  ADC_DETERMINISM_HASH_FILE=$hash_file \
+    ADC_DETERMINISM_LANES_HASH_FILE=$lanes_hash_file \
+    cargo test -q --release --test determinism
   echo "determinism digest: $(cat "$hash_file")"
+  echo "laned-kernel digest: $(cat "$lanes_hash_file")"
 }
 
 stage_service() {
@@ -159,7 +208,11 @@ stage_perf() {
     "$bin_dir/bench_dsp" && "$bin_dir/bench_interleave" && "$bin_dir/bench_cluster")
   deny_flag=()
   [ "$DENY_PERF" = 1 ] && deny_flag=(--deny-perf)
-  "$bin_dir/bench_compare" --baseline-dir "$baseline" --fresh-dir "$fresh" "${deny_flag[@]}"
+  # --lanes adds the DSP lane-axis rows (laned samples/sec and speedup
+  # vs scalar per lane count); advisory automatically while the HEAD
+  # baseline predates the lanes field.
+  "$bin_dir/bench_compare" --baseline-dir "$baseline" --fresh-dir "$fresh" \
+    --lanes "${deny_flag[@]}"
 }
 
 for stage in "${SELECTED[@]}"; do

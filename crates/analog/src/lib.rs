@@ -19,6 +19,9 @@
 //! * [`bandgap`] — the band-gap reference and the buffered reference
 //!   distribution;
 //! * [`noise`] — deterministic seeded Gaussian noise and aperture jitter;
+//! * [`stripe`] — the SplitMix64 + polynomial Box–Muller per-sample
+//!   noise engine the conversion hot path draws from, laid out for
+//!   lane-striped (vectorizable) generation;
 //! * [`process`] — corners and operating conditions;
 //! * [`units`] — constants and dB helpers shared by the whole workspace.
 //!
@@ -50,6 +53,7 @@ pub mod noise;
 pub mod opamp;
 pub mod process;
 pub mod sc;
+pub mod stripe;
 pub mod switch;
 pub mod twopole;
 pub mod units;
@@ -63,5 +67,6 @@ pub use noise::{ApertureJitter, NoiseSource};
 pub use opamp::{OpAmp, OpAmpSpec};
 pub use process::{OperatingConditions, ProcessCorner};
 pub use sc::{equivalent_resistance, ScBiasLoop, SwitchedCapBranch};
+pub use stripe::{NormalBlock, SampleNoise};
 pub use switch::{SamplingNetwork, SwitchModel, SwitchTopology};
 pub use twopole::TwoPoleAmp;

@@ -47,7 +47,7 @@ impl NoiseSource {
     /// The child stream is a deterministic function of the parent state, but
     /// statistically independent of subsequent draws from the parent.
     pub fn fork(&mut self) -> Self {
-        Self::from_seed(self.rng.next_u64())
+        Self::from_seed(self.fork_seed())
     }
 
     /// Draws a standard-normal deviate via the Box–Muller transform.
@@ -67,6 +67,16 @@ impl NoiseSource {
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare = Some(r * theta.sin());
         r * theta.cos()
+    }
+
+    /// Derives a seed for an independent child stream: the u64 a
+    /// [`NoiseSource::fork`] would build its child from. Used to hand an
+    /// independent stream to a *different* generator type (the
+    /// [`crate::stripe::SampleNoise`] per-sample engine) without
+    /// perturbing this source's own draw sequence any differently than a
+    /// `fork` would.
+    pub fn fork_seed(&mut self) -> u64 {
+        self.rng.next_u64()
     }
 
     /// Draws a normal deviate with the given mean and standard deviation.
@@ -237,6 +247,18 @@ mod tests {
     #[test]
     fn zero_jitter_is_infinite_snr() {
         assert_eq!(ApertureJitter::none().snr_limit_db(1e9), f64::INFINITY);
+    }
+
+    #[test]
+    fn fork_seed_matches_fork() {
+        let mut a = NoiseSource::from_seed(31);
+        let mut b = NoiseSource::from_seed(31);
+        let mut forked = a.fork();
+        let mut seeded = NoiseSource::from_seed(b.fork_seed());
+        assert_eq!(
+            forked.gaussian(0.0, 1.0).to_bits(),
+            seeded.gaussian(0.0, 1.0).to_bits()
+        );
     }
 
     #[test]

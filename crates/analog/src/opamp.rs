@@ -185,6 +185,9 @@ impl OpAmp {
         // Boundary between slewing and linear settling: the exponential's
         // initial rate dv/τ must not exceed SR.
         let v_lin = sr * tau;
+        // The slew-tail decay uses the polynomial kernel — the duration
+        // is data-dependent, and SettlePlan::settle (this model's hot
+        // twin) must stay bit-identical while remaining vectorizable.
         let out = if dv_abs <= v_lin {
             target_v - dv * (-settle_time_s / tau).exp()
         } else {
@@ -193,7 +196,7 @@ impl OpAmp {
                 initial_v + sign * sr * settle_time_s
             } else {
                 let remaining = settle_time_s - t_slew;
-                target_v - sign * v_lin * (-remaining / tau).exp()
+                target_v - sign * v_lin * crate::stripe::exp_nonpos(-remaining / tau)
             }
         };
         out.clamp(-self.spec.output_swing_v, self.spec.output_swing_v)
@@ -270,17 +273,29 @@ impl SettlePlan {
         }
         let dv = target_v - initial_v;
         let dv_abs = dv.abs();
+        // Branch-free piecewise model: whether a step slews is a
+        // signal-dependent coin flip (~40 % of nominal conversion
+        // steps), so a branch here mispredicts constantly and the libm
+        // exp() behind it serializes the lane kernel's amplify loop.
+        // Instead all three segment results are computed — the
+        // slew-tail decay through the polynomial exp kernel, with the
+        // duration clamped into [0, t_settle] so out-of-segment lanes
+        // feed it a harmless argument — and the comparisons select.
+        // Selected values are bit-identical to OpAmp::settle's, which
+        // takes the classic branchy form of the same model.
+        let sign = dv.signum();
+        let t_slew = (dv_abs - self.v_lin) / self.slew_rate_v_per_s;
+        let remaining = (self.settle_time_s - t_slew).clamp(0.0, self.settle_time_s);
+        let tail = crate::stripe::exp_nonpos(-remaining / self.tau_s);
+        let lin = target_v - dv * self.decay;
+        let rail = initial_v + sign * self.slew_rate_v_per_s * self.settle_time_s;
+        let slew = target_v - sign * self.v_lin * tail;
         let out = if dv_abs <= self.v_lin {
-            target_v - dv * self.decay
+            lin
+        } else if t_slew >= self.settle_time_s {
+            rail
         } else {
-            let sign = dv.signum();
-            let t_slew = (dv_abs - self.v_lin) / self.slew_rate_v_per_s;
-            if t_slew >= self.settle_time_s {
-                initial_v + sign * self.slew_rate_v_per_s * self.settle_time_s
-            } else {
-                let remaining = self.settle_time_s - t_slew;
-                target_v - sign * self.v_lin * (-remaining / self.tau_s).exp()
-            }
+            slew
         };
         out.clamp(-swing, swing)
     }

@@ -1,0 +1,600 @@
+//! The per-sample noise engine: one SplitMix64 stream per die with a
+//! polynomial Box–Muller transform, built to be drawn in lane stripes.
+//!
+//! [`NoiseSource`](crate::noise::NoiseSource) (StdRng + libm Box–Muller)
+//! is the right tool for *fabrication*: it runs once per die, and its
+//! statistical pedigree is what makes Monte-Carlo process spread
+//! trustworthy. It is the wrong tool for the conversion hot path, where
+//! the nominal converter consumes ~12 Gaussian draws per sample and each
+//! libm `ln`/`sin`/`cos` call is a long serial dependency chain that
+//! out-of-order hardware cannot overlap across independent lanes — the
+//! draws alone were ~a third of scalar conversion time and pinned the
+//! lane-parallel kernel's speedup at ~1×.
+//!
+//! [`SampleNoise`] replaces the hot-path draws with:
+//!
+//! * a **SplitMix64** state per die — one add + two xor-multiply mixes
+//!   per u64, trivially inlined, with the whole generator state a single
+//!   `u64` that a lane batch can gather into a flat array and advance in
+//!   a vectorizable stripe;
+//! * a **single-sided Box–Muller** transform, `z = √(−2 ln u₁) ·
+//!   cos(2π u₂)`, evaluated with branch-free polynomial `ln`/`cos`
+//!   kernels (no libm calls, nothing opaque to the autovectorizer). The
+//!   sine half of the classical pair is simply not formed: each draw
+//!   consumes a fresh uniform pair, which keeps the stream's
+//!   draws-per-sample count data-independent and the lane stripe
+//!   uniform.
+//!
+//! The polynomial kernels are accurate to ≲1e-9 relative (`ln`) and
+//! ≲1e-13 absolute (`cos`) — error some 60 dB below the −110 dBFS
+//! simulation noise floors they feed — and the moments of the resulting
+//! deviates match a standard normal to Monte-Carlo precision (see the
+//! tests). Realizations differ from the old libm path, which is a
+//! [`NUMERICS_EPOCH`](../../adc_runtime/cache/constant.NUMERICS_EPOCH.html)
+//! bump, not a behavioural change; dies themselves are fabricated from
+//! the untouched [`NoiseSource`](crate::noise::NoiseSource) stream and
+//! are bit-identical across the switch.
+
+/// Golden-ratio increment of the SplitMix64 sequence.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// 2⁻⁵³, the spacing of the 53-bit uniform grid.
+const U53: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// Advances a SplitMix64 state and returns the next output word.
+///
+/// This is the reference SplitMix64 finalizer (Steele, Lea & Flood,
+/// "Fast splittable pseudorandom number generators"): an odd-gamma
+/// Weyl sequence pushed through two xor-multiply avalanche rounds.
+/// Exposed as a free function over a bare `&mut u64` so lane kernels can
+/// advance a gathered *array* of states in a vectorizable loop;
+/// [`SampleNoise`] is the owning-struct view of the same sequence.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Natural log of `x` for `x ∈ (0, 1]`, branch-free polynomial kernel.
+///
+/// Splits `x = m·2ᵉ` by bit manipulation, normalizes the mantissa into
+/// `[√2/2, √2)` so the atanh argument `r = (m−1)/(m+1)` stays below
+/// 0.1716, and sums the odd atanh series through r¹³. Relative error is
+/// below 1e-9 across the full range (dominated by the truncated r¹⁵
+/// term), which is ~180 dB down on the deviates it produces.
+#[inline]
+fn ln_unit(x: f64) -> f64 {
+    const LN2: f64 = std::f64::consts::LN_2;
+    const SQRT2: f64 = std::f64::consts::SQRT_2;
+    let bits = x.to_bits();
+    // The exponent stays in i32: packed i32→f64 conversion exists on
+    // every x86-64, i64→f64 does not, and a stray widening here is
+    // enough to scare the autovectorizer off the whole stripe.
+    let e = ((bits >> 52) as i32) - 1023;
+    let m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | 0x3FF0_0000_0000_0000);
+    // Renormalize so m ∈ [√2/2, √2): halve m, carry the octave into e.
+    // Branchless — the predicate is a coin flip on random uniforms, so a
+    // branch would mispredict half the time and serialize the stripe.
+    let hi = i32::from(m >= SQRT2);
+    let e = e + hi;
+    let m = m * (1.0 - 0.5 * f64::from(hi)); // exact: scales by 1.0 or 0.5
+    let r = (m - 1.0) / (m + 1.0);
+    // atanh series ln m = 2r·Σ r²ᵏ/(2k+1), summed Estrin-style so the
+    // chain depth is ~half of Horner's.
+    let r2 = r * r;
+    let r4 = r2 * r2;
+    let s01 = 1.0 + r2 * (1.0 / 3.0);
+    let s23 = 1.0 / 5.0 + r2 * (1.0 / 7.0);
+    let s45 = 1.0 / 9.0 + r2 * (1.0 / 11.0);
+    let s67 = 1.0 / 13.0;
+    let series = (s01 + r4 * s23) + (r4 * r4) * (s45 + r4 * s67);
+    f64::from(e) * LN2 + 2.0 * r * series
+}
+
+/// `cos(2π·u)` for `u ∈ [0, 1)`, branch-free polynomial kernel.
+///
+/// Quadrant-reduces in *turns* (no 2π range-reduction rounding): with
+/// `k = round(4u)` the residual angle `φ = 2π(u − k/4)` lies in
+/// `[−π/4, π/4]`, where the cosine and sine Taylor polynomials through
+/// φ¹⁴/φ¹³ are accurate to ≲1e-13 absolute; the quadrant then selects
+/// and signs the right half-pair via arithmetic masks rather than
+/// branches.
+#[inline]
+fn cos_turns(u: f64) -> f64 {
+    const TWO_PI: f64 = std::f64::consts::TAU;
+    // k ∈ {0,1,2,3,4}; k=4 aliases quadrant 0 with a negative φ. The
+    // argument is positive, so the truncating cast *is* floor — and
+    // unlike `f64::floor` (a libm call below SSE4.1) the f64↔i32 casts
+    // have packed forms on every x86-64, keeping the stripe vectorizable.
+    let k = (4.0 * u + 0.5) as i32;
+    let phi = TWO_PI * (u - 0.25 * f64::from(k));
+    // cos φ and sin φ on |φ| ≤ π/4: Taylor in φ², Estrin-summed so the
+    // two chains are short and run concurrently.
+    let p2 = phi * phi;
+    let p4 = p2 * p2;
+    let p8 = p4 * p4;
+    let c01 = 1.0 + p2 * (-1.0 / 2.0);
+    let c23 = 1.0 / 24.0 + p2 * (-1.0 / 720.0);
+    let c45 = 1.0 / 40_320.0 + p2 * (-1.0 / 3_628_800.0);
+    let c67 = 1.0 / 479_001_600.0 + p2 * (-1.0 / 87_178_291_200.0);
+    let cos_p = (c01 + p4 * c23) + p8 * (c45 + p4 * c67);
+    let s01 = 1.0 + p2 * (-1.0 / 6.0);
+    let s23 = 1.0 / 120.0 + p2 * (-1.0 / 5_040.0);
+    let s45 = 1.0 / 362_880.0 + p2 * (-1.0 / 39_916_800.0);
+    let s67 = 1.0 / 6_227_020_800.0;
+    let sin_p = phi * ((s01 + p4 * s23) + p8 * (s45 + p4 * s67));
+    // Quadrant combine, branchless (the quadrant is a random 2-bit
+    // value — branches here mispredict half the time): odd quadrants
+    // take ±sin φ, even take ±cos φ, and quadrants 1,2 negate.
+    let ki = k as u32;
+    let swap = u64::from(ki & 1).wrapping_neg();
+    let base = (sin_p.to_bits() & swap) | (cos_p.to_bits() & !swap);
+    let sign = u64::from((ki.wrapping_add(1) >> 1) & 1) << 63;
+    f64::from_bits(base ^ sign)
+}
+
+/// `exp(x)` for `x ≤ 0`, branch-free polynomial kernel.
+///
+/// Splits `x = (k + r)·ln 2` with `k` an integer and `|r·ln 2| ≤
+/// (ln 2)/2 + 1 ulp, evaluates `eʳˡⁿ²` by a Taylor polynomial through
+/// degree 13 (Estrin-summed), and applies `2ᵏ` by exponent-bit
+/// arithmetic. Relative error is ≲1e-13 across the domain; inputs
+/// below −708 are clamped (the true value there, <1e-307, is zero for
+/// every model purpose).
+///
+/// This exists for the settling hot path: the slew-limited branch of
+/// the opamp model needs `exp(−t/τ)` of a *data-dependent* duration,
+/// and a libm call there is both a serial dependency chain and an
+/// autovectorization barrier in the lane kernel's amplify loop. Like
+/// the `ln`/`cos` kernels, this one is pure arithmetic and packs.
+#[inline]
+pub fn exp_nonpos(x: f64) -> f64 {
+    const LOG2_E: f64 = std::f64::consts::LOG2_E;
+    const LN_2: f64 = std::f64::consts::LN_2;
+    let x = x.max(-708.0);
+    let y = x * LOG2_E;
+    // Round to nearest integer below: y ≤ 0, so truncating y − ½ rounds
+    // half away from zero — any consistent rounding with |r| ≤ 0.5 + ulp
+    // works, and the f64↔i32 casts have packed forms (unlike `round`).
+    let k = (y - 0.5) as i32;
+    let r = (y - f64::from(k)) * LN_2;
+    // exp(r) on |r| ≲ 0.35: Taylor through r¹³, Estrin-summed.
+    let r2 = r * r;
+    let r4 = r2 * r2;
+    let r8 = r4 * r4;
+    let e01 = 1.0 + r;
+    let e23 = 1.0 / 2.0 + r * (1.0 / 6.0);
+    let e45 = 1.0 / 24.0 + r * (1.0 / 120.0);
+    let e67 = 1.0 / 720.0 + r * (1.0 / 5_040.0);
+    let e89 = 1.0 / 40_320.0 + r * (1.0 / 362_880.0);
+    let e1011 = 1.0 / 3_628_800.0 + r * (1.0 / 39_916_800.0);
+    let e1213 = 1.0 / 479_001_600.0 + r * (1.0 / 6_227_020_800.0);
+    let lo = (e01 + r2 * e23) + r4 * (e45 + r2 * e67);
+    let hi = (e89 + r2 * e1011) + r4 * e1213;
+    let p = lo + r8 * hi;
+    // 2ᵏ: k ≥ −1022 after the clamp, so the biased exponent stays
+    // positive and the bit pattern is a normal number.
+    let scale = f64::from_bits(((1023 + k) as u64) << 52);
+    p * scale
+}
+
+/// The single-sided Box–Muller transform shared by every draw shape
+/// (scalar step, lane stripe, sample block), so their deviates are
+/// bit-identical by construction.
+#[inline]
+fn box_muller(u1: f64, u2: f64) -> f64 {
+    (-2.0 * ln_unit(u1)).sqrt() * cos_turns(u2)
+}
+
+/// Advances `state` by one standard-normal draw (two SplitMix64 words).
+///
+/// The single-sided Box–Muller transform: `u₁ ∈ (0, 1]` (offset by one
+/// grid step so the log argument is never zero), `u₂ ∈ [0, 1)`, deviate
+/// `√(−2 ln u₁)·cos(2π u₂)`. A free function over a bare state word for
+/// the same reason as [`splitmix64`]: lane kernels stripe it over a
+/// gathered state array, and [`SampleNoise::standard_normal`] delegates
+/// to it, which is what makes laned and scalar draws bit-identical by
+/// construction.
+#[inline]
+pub fn standard_normal_step(state: &mut u64) -> f64 {
+    let u1 = ((splitmix64(state) >> 11) + 1) as f64 * U53;
+    let u2 = (splitmix64(state) >> 11) as f64 * U53;
+    box_muller(u1, u2)
+}
+
+/// Width of one fully-unrolled stripe pass: full chunks of this many
+/// lanes go through the fixed-trip-count kernel the autovectorizer
+/// turns into packed code; the remainder falls back to scalar steps.
+const STRIPE: usize = 8;
+
+/// Draws one standard-normal deviate per lane, advancing each state by
+/// exactly two SplitMix64 words.
+///
+/// Per lane this computes *precisely* [`standard_normal_step`] — same
+/// uniforms, same kernels, same operation order, so every lane's output
+/// is bit-identical to a scalar draw from the same state. The
+/// difference is scheduling: full [`STRIPE`]-wide chunks run as two
+/// fixed-trip-count array passes (generate uniforms, then transform),
+/// which LLVM autovectorizes — the transform's f64 polynomial/mask math
+/// packs 2–4 lanes per instruction, where calling the scalar step in a
+/// loop leaves each draw a serial ~100-cycle dependency chain.
+///
+/// # Panics
+///
+/// Panics if `states` and `out` have different lengths.
+pub fn standard_normal_stripe(states: &mut [u64], out: &mut [f64]) {
+    assert_eq!(
+        states.len(),
+        out.len(),
+        "stripe buffers disagree: {} states, {} outputs",
+        states.len(),
+        out.len()
+    );
+    let mut st = states.chunks_exact_mut(STRIPE);
+    let mut ot = out.chunks_exact_mut(STRIPE);
+    for (s, o) in st.by_ref().zip(ot.by_ref()) {
+        let s: &mut [u64; STRIPE] = s.try_into().expect("exact chunk");
+        let o: &mut [f64; STRIPE] = o.try_into().expect("exact chunk");
+        // Pass 1 — advance the generators. The u64 multiplies inside
+        // SplitMix64 have no packed form on baseline x86-64, so this
+        // loop stays scalar; isolating it here keeps it from poisoning
+        // the vectorizable transform pass below.
+        let mut u1 = [0.0f64; STRIPE];
+        let mut u2 = [0.0f64; STRIPE];
+        for i in 0..STRIPE {
+            u1[i] = ((splitmix64(&mut s[i]) >> 11) + 1) as f64 * U53;
+            u2[i] = (splitmix64(&mut s[i]) >> 11) as f64 * U53;
+        }
+        // Pass 2 — the Box–Muller transform, branch-free and all-f64:
+        // this is the loop that actually packs.
+        for i in 0..STRIPE {
+            o[i] = box_muller(u1[i], u2[i]);
+        }
+    }
+    for (s, o) in st.into_remainder().iter_mut().zip(ot.into_remainder()) {
+        *o = standard_normal_step(s);
+    }
+}
+
+/// Reusable buffers for drawing a whole sample's worth of deviates for
+/// every lane in one call — the widest (and fastest) draw shape.
+///
+/// A lane kernel that knows, up front, that each of a sample's D draw
+/// slots consumes on *every* lane (sigma positive lane-uniformly) may
+/// generate all D×N deviates at the top of the sample instead of D
+/// separate stripes interleaved with stage math. Per lane the D draws
+/// are generated in slot order, so each lane's stream consumption is
+/// exactly the scalar sequence and the deviates are bit-identical to
+/// [`standard_normal_step`] — the only thing that changes is
+/// scheduling: the transform runs as one flat D×N-element pass with no
+/// intervening code to spill its polynomial constants, which is worth
+/// ~2× over per-slot stripes at D ≈ 12.
+///
+/// The buffers are plain `Vec`s sized on first use and reused across
+/// samples (call [`NormalBlock::fill`] per sample; no per-sample
+/// allocation after the first).
+#[derive(Debug, Clone, Default)]
+pub struct NormalBlock {
+    u1: Vec<f64>,
+    u2: Vec<f64>,
+    z: Vec<f64>,
+}
+
+impl NormalBlock {
+    /// Creates an empty block (buffers grow on first [`Self::fill`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws `draws` standard normals from every state, draw-major:
+    /// after the call, [`Self::z`]`[d·N + l]` is lane `l`'s `d`-th
+    /// deviate, and each state has advanced by `2·draws` words.
+    ///
+    /// Draw-major layout makes both ends of the block contiguous over
+    /// lanes: generation iterates slot-outer/lane-inner — lane `l`
+    /// still consumes its own words in exactly the scalar order (draw
+    /// `d` eats words `2d` and `2d+1`), but the N independent SplitMix64
+    /// chains now interleave, so the out-of-order core overlaps their
+    /// multiply latencies instead of walking one lane's serial chain at
+    /// a time — and consumers read one slot as a flat `[d·N..][..N]`
+    /// stripe.
+    pub fn fill(&mut self, states: &mut [u64], draws: usize) {
+        // Same multiversioning discipline as the amplify kernel: the
+        // AVX2 clone widens the identical IEEE-exact arithmetic from
+        // SSE2's 2-wide to 4-wide (no FMA contraction — Rust never
+        // enables it), so deviates stay bit-identical.
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by runtime feature detection.
+            unsafe { self.fill_avx2(states, draws) };
+            return;
+        }
+        self.fill_impl(states, draws);
+    }
+
+    /// AVX2 re-instantiation of [`Self::fill_impl`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn fill_avx2(&mut self, states: &mut [u64], draws: usize) {
+        self.fill_impl(states, draws);
+    }
+
+    /// Portable body of [`Self::fill`]; `inline(always)` so the
+    /// feature-gated wrappers re-instantiate it under their own target
+    /// features.
+    #[inline(always)]
+    fn fill_impl(&mut self, states: &mut [u64], draws: usize) {
+        let n = states.len();
+        let len = draws * n;
+        self.u1.resize(len, 0.0);
+        self.u2.resize(len, 0.0);
+        self.z.resize(len, 0.0);
+        // Pass 1 — lane-inner generation (see above): contiguous
+        // writes, interleaved independent integer chains.
+        for d in 0..draws {
+            let row = &mut self.u1[d * n..(d + 1) * n];
+            let row2 = &mut self.u2[d * n..(d + 1) * n];
+            for (l, st) in states.iter_mut().enumerate() {
+                row[l] = ((splitmix64(st) >> 11) + 1) as f64 * U53;
+                row2[l] = (splitmix64(st) >> 11) as f64 * U53;
+            }
+        }
+        // Pass 2 — one flat branch-free transform over all D×N
+        // elements: the vector body amortizes its constant loads over
+        // the whole block.
+        for ((z, &u1), &u2) in self.z.iter_mut().zip(&self.u1).zip(&self.u2) {
+            *z = box_muller(u1, u2);
+        }
+    }
+
+    /// The deviates of the last [`Self::fill`], draw-major
+    /// (`z[d·N + l]`).
+    pub fn z(&self) -> &[f64] {
+        &self.z
+    }
+}
+
+/// A die's per-sample noise stream: jitter, front-end, and merged
+/// per-stage draws all come from here during conversion (fabrication
+/// and the rare marginal-comparator draws stay on the die's
+/// [`NoiseSource`](crate::noise::NoiseSource)).
+///
+/// The entire generator state is one `u64`, exposed via
+/// [`SampleNoise::state`]/[`SampleNoise::set_state`] so a lane batch can
+/// gather N streams into a flat array, advance them in vectorizable
+/// stripes, and scatter them back — with every lane's draw sequence
+/// bit-identical to the scalar calls it replaces.
+///
+/// ```
+/// use adc_analog::stripe::SampleNoise;
+/// let mut a = SampleNoise::from_seed(7);
+/// let mut b = SampleNoise::from_seed(7);
+/// assert_eq!(a.gaussian(0.0, 1e-3).to_bits(), b.gaussian(0.0, 1e-3).to_bits());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleNoise {
+    state: u64,
+}
+
+impl SampleNoise {
+    /// Creates a stream from a 64-bit seed (typically
+    /// [`NoiseSource::fork_seed`](crate::noise::NoiseSource::fork_seed)
+    /// of the die's root source, so dies stay bit-identical while their
+    /// sample streams stay die-independent).
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The raw SplitMix64 state, for lane gather.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restores a state captured by [`SampleNoise::state`], for lane
+    /// scatter. The stream continues exactly where the captured one
+    /// left off.
+    pub fn set_state(&mut self, state: u64) {
+        self.state = state;
+    }
+
+    /// Draws one standard-normal deviate (consumes two stream words).
+    #[inline]
+    pub fn standard_normal(&mut self) -> f64 {
+        standard_normal_step(&mut self.state)
+    }
+
+    /// Draws a normal deviate with the given mean and standard
+    /// deviation. A zero or negative `sigma` returns `mean` exactly
+    /// *without consuming the stream*, matching
+    /// [`NoiseSource::gaussian`](crate::noise::NoiseSource::gaussian)'s
+    /// off-switch contract.
+    #[inline]
+    pub fn gaussian(&mut self, mean: f64, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            mean
+        } else {
+            mean + sigma * self.standard_normal()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        // Reference outputs for seed 0 from the Steele–Lea–Flood
+        // finalizer (cross-checked against the Vigna C implementation).
+        let mut s = 0u64;
+        let first: Vec<u64> = (0..3).map(|_| splitmix64(&mut s)).collect();
+        assert_eq!(
+            first,
+            vec![
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F
+            ]
+        );
+    }
+
+    #[test]
+    fn ln_kernel_tracks_libm_to_1e9_relative() {
+        let mut s = 12345u64;
+        for _ in 0..200_000 {
+            let u = ((splitmix64(&mut s) >> 11) + 1) as f64 * U53;
+            let got = ln_unit(u);
+            let want = u.ln();
+            let tol = 1e-9 * want.abs().max(1e-12);
+            assert!(
+                (got - want).abs() <= tol,
+                "ln({u:e}): got {got:e}, want {want:e}"
+            );
+        }
+        // Exact anchors.
+        assert_eq!(ln_unit(1.0), 0.0);
+        assert!((ln_unit(0.5) + std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cos_kernel_tracks_libm_to_1e13_absolute() {
+        let mut s = 777u64;
+        for _ in 0..200_000 {
+            let u = (splitmix64(&mut s) >> 11) as f64 * U53;
+            let got = cos_turns(u);
+            let want = (std::f64::consts::TAU * u).cos();
+            assert!((got - want).abs() < 1e-12, "cos(2π·{u}): {got} vs {want}");
+        }
+        // Quadrant boundaries.
+        for (u, want) in [(0.0, 1.0), (0.25, 0.0), (0.5, -1.0), (0.75, 0.0)] {
+            assert!((cos_turns(u) - want).abs() < 1e-12, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn exp_kernel_tracks_libm_to_1e13_relative() {
+        let mut s = 4242u64;
+        for _ in 0..200_000 {
+            // Exercise the magnitudes the settle path produces (t/τ up
+            // to ~60) plus a deep tail.
+            let u = (splitmix64(&mut s) >> 11) as f64 * U53;
+            for x in [-60.0 * u, -700.0 * u * u * u] {
+                let got = exp_nonpos(x);
+                let want = x.exp();
+                assert!(
+                    (got - want).abs() <= 1e-13 * want,
+                    "exp({x:e}): got {got:e}, want {want:e}"
+                );
+            }
+        }
+        // Anchors.
+        assert_eq!(exp_nonpos(0.0), 1.0);
+        assert!((exp_nonpos(-1.0) - (-1.0f64).exp()).abs() < 1e-14);
+        // Deeply clamped inputs still return a positive normal number.
+        assert!(exp_nonpos(-1e9) > 0.0);
+    }
+
+    #[test]
+    fn deviates_have_standard_normal_moments() {
+        let mut n = SampleNoise::from_seed(42);
+        let count = 1_000_000;
+        let (mut m1, mut m2, mut m3, mut m4) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..count {
+            let z = n.standard_normal();
+            m1 += z;
+            m2 += z * z;
+            m3 += z * z * z;
+            m4 += z * z * z * z;
+        }
+        let k = count as f64;
+        assert!((m1 / k).abs() < 5e-3, "mean {}", m1 / k);
+        assert!((m2 / k - 1.0).abs() < 5e-3, "variance {}", m2 / k);
+        assert!((m3 / k).abs() < 2e-2, "skew {}", m3 / k);
+        assert!((m4 / k - 3.0).abs() < 5e-2, "kurtosis {}", m4 / k);
+    }
+
+    #[test]
+    fn gaussian_gates_on_sigma_without_consuming() {
+        let mut gated = SampleNoise::from_seed(9);
+        let mut free = SampleNoise::from_seed(9);
+        assert_eq!(gated.gaussian(0.25, 0.0), 0.25);
+        assert_eq!(gated.gaussian(-1.0, -3.0), -1.0);
+        // The gated draws consumed nothing: both streams still align.
+        assert_eq!(
+            gated.gaussian(0.0, 1.0).to_bits(),
+            free.gaussian(0.0, 1.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = SampleNoise::from_seed(1234);
+        let _ = a.standard_normal();
+        let mut b = SampleNoise::from_seed(0);
+        b.set_state(a.state());
+        assert_eq!(a.standard_normal().to_bits(), b.standard_normal().to_bits());
+    }
+
+    #[test]
+    fn striped_draws_match_scalar_steps_bit_for_bit() {
+        // Every lane count — full chunks, remainders, and the
+        // degenerate single lane — must reproduce the scalar sequence.
+        for lanes in [1, 3, 7, 8, 9, 16, 21] {
+            let mut striped: Vec<u64> = (0..lanes as u64).map(|l| l * 31 + 5).collect();
+            let mut scalar = striped.clone();
+            let mut out = vec![0.0f64; lanes];
+            for round in 0..16 {
+                standard_normal_stripe(&mut striped, &mut out);
+                for (l, (st, &z)) in scalar.iter_mut().zip(&out).enumerate() {
+                    let want = standard_normal_step(st);
+                    assert_eq!(
+                        z.to_bits(),
+                        want.to_bits(),
+                        "lane {l}/{lanes} round {round}"
+                    );
+                }
+                assert_eq!(striped, scalar, "states diverged at round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_draws_match_scalar_steps_bit_for_bit() {
+        for (lanes, draws) in [(1, 12), (4, 1), (8, 12), (16, 7), (5, 3)] {
+            let mut blocked: Vec<u64> = (0..lanes as u64).map(|l| l * 977 + 13).collect();
+            let mut scalar = blocked.clone();
+            let mut block = NormalBlock::new();
+            for round in 0..4 {
+                block.fill(&mut blocked, draws);
+                for (l, st) in scalar.iter_mut().enumerate() {
+                    for d in 0..draws {
+                        let want = standard_normal_step(st);
+                        assert_eq!(
+                            block.z()[d * lanes + l].to_bits(),
+                            want.to_bits(),
+                            "lane {l} draw {d} round {round} ({lanes}x{draws})"
+                        );
+                    }
+                }
+                assert_eq!(blocked, scalar, "states diverged ({lanes}x{draws})");
+            }
+        }
+    }
+
+    #[test]
+    fn struct_and_free_function_draws_are_identical() {
+        // The lane kernel stripes `standard_normal_step` over gathered
+        // states; the scalar path calls the struct. Same bits.
+        let mut owned = SampleNoise::from_seed(55);
+        let mut state = 55u64;
+        for _ in 0..64 {
+            assert_eq!(
+                owned.standard_normal().to_bits(),
+                standard_normal_step(&mut state).to_bits()
+            );
+        }
+    }
+}

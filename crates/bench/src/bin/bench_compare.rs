@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! bench_compare [--baseline-dir DIR] [--fresh-dir DIR]
-//!               [--tolerance PCT] [--deny-perf]
+//!               [--tolerance PCT] [--deny-perf] [--lanes]
 //! ```
 //!
 //! For every campaign in the runtime report the parallel `samples_per_sec`
@@ -17,7 +17,10 @@
 //! distributed campaign `jobs_per_sec` per host-count row. These
 //! reports are *optional* — when either side
 //! lacks the file (a baseline predating the report) the comparison is
-//! skipped rather than failed. A figure regresses when it is worse than the baseline by
+//! skipped rather than failed. `--lanes` adds the DSP report's
+//! lane-parallel axis: laned conversion samples/sec *and* the
+//! scalar-relative speedup per lane count, advisory (printed, not
+//! diffed) when the baseline predates the `lanes` field. A figure regresses when it is worse than the baseline by
 //! more than the tolerance (default 30%): throughput lower, latency
 //! higher. Improvements always pass.
 //!
@@ -45,11 +48,12 @@ struct Options {
     fresh_dir: String,
     tolerance_pct: f64,
     deny_perf: bool,
+    lanes: bool,
 }
 
 fn usage() -> String {
     "usage: bench_compare [--baseline-dir DIR] [--fresh-dir DIR] \
-     [--tolerance PCT] [--deny-perf]"
+     [--tolerance PCT] [--deny-perf] [--lanes]"
         .to_string()
 }
 
@@ -59,6 +63,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         fresh_dir: ".".to_string(),
         tolerance_pct: DEFAULT_TOLERANCE_PCT,
         deny_perf: false,
+        lanes: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -81,6 +86,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     })?;
             }
             "--deny-perf" => opts.deny_perf = true,
+            "--lanes" => opts.lanes = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
@@ -266,6 +272,53 @@ fn compare_dsp(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Compari
     rows
 }
 
+/// The DSP report's lane-axis rows: `(lane count, samples/sec,
+/// speedup vs the scalar nominal row of the same run)`.
+fn lanes_rows(doc: &Json) -> Vec<(u64, f64, f64)> {
+    lookup(doc, "lanes")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|l| {
+                    let lanes = lookup_f64(l, "lanes")? as u64;
+                    let sps = lookup_f64(l, "samples_per_sec")?;
+                    let speedup = lookup_f64(l, "speedup_vs_scalar")?;
+                    Some((lanes, sps, speedup))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Collects the `--lanes` axis comparisons over the DSP report: laned
+/// conversion samples/sec *and* the scalar-relative speedup, per lane
+/// count. Diffing the speedup as well as the raw throughput catches the
+/// failure mode a throughput-only diff misses — the laned kernel
+/// quietly degrading toward the scalar path while both rows drift
+/// within tolerance on an otherwise-slower run.
+fn compare_dsp_lanes(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Comparison> {
+    let new = lanes_rows(fresh);
+    let mut rows = Vec::new();
+    for (lanes, b_sps, b_speedup) in lanes_rows(baseline) {
+        let fresh_row = new.iter().find(|(l, _, _)| *l == lanes);
+        rows.extend(compare(
+            &format!("dsp lanes={lanes} samples/sec"),
+            Some(b_sps),
+            fresh_row.map(|&(_, sps, _)| sps),
+            Direction::HigherIsBetter,
+            tolerance_pct,
+        ));
+        rows.extend(compare(
+            &format!("dsp lanes={lanes} speedup vs scalar"),
+            Some(b_speedup),
+            fresh_row.map(|&(_, _, s)| s),
+            Direction::HigherIsBetter,
+            tolerance_pct,
+        ));
+    }
+    rows
+}
+
 /// Collects the interleave-report comparisons: ganged-array conversion
 /// samples/sec and background-calibration microseconds per epoch, each
 /// matched by row name.
@@ -412,6 +465,20 @@ fn main() -> ExitCode {
             host_mismatch = true;
         }
         rows.extend(diff(&baseline, &fresh, opts.tolerance_pct));
+        if opts.lanes && file == "BENCH_dsp.json" {
+            if lanes_rows(&baseline).is_empty() {
+                // Baseline predates the lanes axis: nothing to diff, so
+                // print the fresh figures and move on without a gate.
+                println!(
+                    "{file}: baseline predates the lanes axis -- advisory only; fresh figures:"
+                );
+                for (lanes, sps, speedup) in lanes_rows(&fresh) {
+                    println!("  dsp lanes={lanes}  {sps:.0} samples/sec  {speedup:.2}x vs scalar");
+                }
+            } else {
+                rows.extend(compare_dsp_lanes(&baseline, &fresh, opts.tolerance_pct));
+            }
+        }
     }
 
     println!(
@@ -544,6 +611,30 @@ mod tests {
         assert_eq!(rows.len(), 2, "unmatched cluster row is skipped");
         assert!(rows[0].label.contains("hosts1") && !rows[0].regressed);
         assert!(rows[1].label.contains("hosts2") && rows[1].regressed);
+    }
+
+    #[test]
+    fn lanes_axis_diffs_throughput_and_speedup_per_lane_count() {
+        let baseline = doc(r#"{
+            "lanes":[{"lanes":1,"samples_per_sec":900000,"speedup_vs_scalar":1.1},
+                     {"lanes":8,"samples_per_sec":14000000,"speedup_vs_scalar":2.3},
+                     {"lanes":16,"samples_per_sec":1,"speedup_vs_scalar":1.0}]}"#);
+        let fresh = doc(r#"{
+            "lanes":[{"lanes":1,"samples_per_sec":880000,"speedup_vs_scalar":1.05},
+                     {"lanes":8,"samples_per_sec":13500000,"speedup_vs_scalar":1.2}]}"#);
+        let rows = compare_dsp_lanes(&baseline, &fresh, 30.0);
+        assert_eq!(rows.len(), 4, "unmatched lane count is skipped");
+        assert!(rows.iter().all(|r| r.label.starts_with("dsp lanes=")));
+        // Raw throughput held on both matched lane counts...
+        assert!(!rows[0].regressed && !rows[2].regressed);
+        // ...but the 8-lane speedup collapsed toward scalar: that is
+        // exactly what the speedup row exists to catch.
+        assert!(rows[3].label.contains("speedup") && rows[3].regressed);
+    }
+
+    #[test]
+    fn lanes_axis_is_empty_when_baseline_predates_the_field() {
+        assert!(lanes_rows(&doc(r#"{"conversion":[]}"#)).is_empty());
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //!   on the capture path (RF generator → band-pass filter → ADC) with
 //!   each non-ideality toggled, so a regression in any specialized path
 //!   (jitter-off, thermal-off, ripple-on) is visible on its own row;
+//! * **lanes** — the lane-parallel SoA kernel (`LaneBatch`) at 1, 4,
+//!   and 8 lanes on the same capture path, total samples/sec across all
+//!   lanes plus the speedup over the scalar `nominal` row measured in
+//!   the same run (the figure the CI lanes gate holds);
 //! * **fft** — `fft_real_into` microseconds per call and per point at
 //!   the record lengths the testbench actually uses (1k..16k), the
 //!   figure the planned real-input FFT is accountable to.
@@ -24,6 +28,7 @@ use std::time::Instant;
 
 use adc_pipeline::config::AdcConfig;
 use adc_pipeline::converter::PipelineAdc;
+use adc_pipeline::lanes::LaneBatch;
 use adc_spectral::fft::fft_real_into;
 use adc_spectral::plan::SpectralScratch;
 use adc_spectral::window::coherent_frequency_clear;
@@ -44,6 +49,18 @@ const FFT_WINDOW_CALLS: usize = 16;
 struct ConversionFigure {
     name: &'static str,
     samples_per_sec: f64,
+    records: usize,
+}
+
+/// One lane-batch measurement: N nominal dies (seeds `1..=N`)
+/// converting the shared capture waveform in lock-step through the SoA
+/// lane kernel. `samples_per_sec` counts every lane's samples;
+/// `speedup_vs_scalar` divides by the scalar `nominal` row measured in
+/// the same run, so the figure is host-relative by construction.
+struct LaneFigure {
+    lanes: usize,
+    samples_per_sec: f64,
+    speedup_vs_scalar: f64,
     records: usize,
 }
 
@@ -120,6 +137,48 @@ fn bench_conversion(name: &'static str, config: AdcConfig) -> ConversionFigure {
     }
 }
 
+/// Times the lane-batched capture path at one lane count: the same RF
+/// generator → band-pass filter stimulus as [`bench_conversion`]'s
+/// nominal row, converted by `n_lanes` Monte-Carlo dies in lock-step.
+/// One batch record (all lanes) is one timing window; the fastest
+/// window is the figure.
+fn bench_lanes(n_lanes: usize, scalar_samples_per_sec: f64) -> LaneFigure {
+    let config = AdcConfig::nominal_110ms();
+    let f_cr = config.f_cr_hz;
+    let seeds: Vec<u64> = (1..=n_lanes as u64).collect();
+    let mut batch = LaneBatch::build(&config, &seeds).expect("benchmark config builds");
+    let (f_in, _) = coherent_frequency_clear(f_cr, RECORD_LEN, 10e6, 8);
+    let generator = SineSource::rf_generator(0.995 * batch.lanes()[0].config().v_ref_v, f_in);
+    let filtered = BandpassFilter::passive_high_order(f_in).clean(&generator);
+
+    // Warm up settling/tracking memory, code paths, and buffers.
+    let mut outs = vec![Vec::new(); n_lanes];
+    batch.reset();
+    batch.convert_waveform_into(&filtered, 1024, &mut outs);
+    assert!(outs.iter().all(|o| o.len() == 1024));
+
+    let mut records = 0usize;
+    let mut best_record_s = f64::INFINITY;
+    let start = Instant::now();
+    loop {
+        batch.reset();
+        let window = Instant::now();
+        batch.convert_waveform_into(&filtered, RECORD_LEN, &mut outs);
+        best_record_s = best_record_s.min(window.elapsed().as_secs_f64());
+        records += 1;
+        if start.elapsed().as_secs_f64() >= MIN_WALL_S && records >= 4 {
+            break;
+        }
+    }
+    let samples_per_sec = (n_lanes * RECORD_LEN) as f64 / best_record_s.max(1e-12);
+    LaneFigure {
+        lanes: n_lanes,
+        samples_per_sec,
+        speedup_vs_scalar: samples_per_sec / scalar_samples_per_sec.max(1e-12),
+        records,
+    }
+}
+
 /// Times `fft_real_into` at one record length on a deterministic
 /// signal, warm scratch. Windows of [`FFT_WINDOW_CALLS`] calls are
 /// timed as a unit; the fastest window is the figure.
@@ -185,6 +244,22 @@ fn main() {
         );
     }
 
+    let scalar_nominal = conversions
+        .iter()
+        .find(|c| c.name == "nominal")
+        .map(|c| c.samples_per_sec)
+        .expect("nominal row is always measured");
+    let lane_figures: Vec<LaneFigure> = [1usize, 4, 8]
+        .iter()
+        .map(|&n| bench_lanes(n, scalar_nominal))
+        .collect();
+    for l in &lane_figures {
+        println!(
+            "lanes      {:<14} {:>10.0} samples/sec  {:>5.2}x vs scalar  (best of {} batch records)",
+            l.lanes, l.samples_per_sec, l.speedup_vs_scalar, l.records
+        );
+    }
+
     let ffts: Vec<FftFigure> = [1024usize, 4096, 8192, 16384]
         .iter()
         .map(|&n| bench_fft(n))
@@ -205,6 +280,15 @@ fn main() {
             )
         })
         .collect();
+    let lanes_json: Vec<String> = lane_figures
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{ \"lanes\": {}, \"samples_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.3}, \"records\": {} }}",
+                l.lanes, l.samples_per_sec, l.speedup_vs_scalar, l.records
+            )
+        })
+        .collect();
     let fft_json: Vec<String> = ffts
         .iter()
         .map(|f| {
@@ -215,10 +299,11 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"dsp hot-path kernels\",\n  {},\n  \"record_len\": {},\n  \"conversion\": [\n{}\n  ],\n  \"fft\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"dsp hot-path kernels\",\n  {},\n  \"record_len\": {},\n  \"conversion\": [\n{}\n  ],\n  \"lanes\": [\n{}\n  ],\n  \"fft\": [\n{}\n  ]\n}}\n",
         adc_bench::Provenance::capture().json_entry(),
         RECORD_LEN,
         conv_json.join(",\n"),
+        lanes_json.join(",\n"),
         fft_json.join(",\n"),
     );
     std::fs::write("BENCH_dsp.json", &json).expect("write BENCH_dsp.json");

@@ -17,6 +17,7 @@ use adc_analog::bandgap::{Bandgap, ReferenceBuffer};
 use adc_analog::capacitor::{Capacitor, CapacitorSpec};
 use adc_analog::noise::NoiseSource;
 use adc_analog::opamp::{OpAmp, OpAmpSpec};
+use adc_analog::stripe::SampleNoise;
 use adc_analog::switch::{SamplingNetwork, SwitchModel};
 use adc_bias::generator::{BiasScheme, FixedBiasGenerator, ScBiasGenerator};
 use adc_bias::mirror::{BiasNetwork, MirrorBankSpec};
@@ -36,7 +37,7 @@ const FLASH_INPUT_CAP_F: f64 = 0.2e-12;
 
 /// Conversions run before a record starts, so settling and tracking
 /// memory reach steady state.
-const WARMUP_SAMPLES: usize = 16;
+pub(crate) const WARMUP_SAMPLES: usize = 16;
 
 /// Every `TRACE_EVERY`-th conversion records per-stage spans when
 /// tracing is enabled. Deterministic subsampling (by the conversion
@@ -131,52 +132,56 @@ impl<F: Fn(f64) -> f64> Waveform for F {
 /// second. Rebuilt lazily whenever [`PipelineAdc::stage_mut`] hands out
 /// mutable stage access (fault injection may change any constant).
 #[derive(Debug, Clone, Copy)]
-struct StagePlan {
+pub(crate) struct StagePlan {
     /// Hold-phase droop factor: `leak_cubic · t_hold / C_sample`, so the
     /// droop is `droop_k · v³`.
-    droop_k: f64,
+    pub(crate) droop_k: f64,
     /// Effective reference when the DAC level is 0 (no droop, the
     /// reference noise cannot reach the output).
-    vref_d0: f64,
+    pub(crate) vref_d0: f64,
     /// Effective reference when |DAC level| is 1 (code-dependent droop).
-    vref_d1: f64,
+    pub(crate) vref_d1: f64,
     /// The MDAC's own per-sample constants.
-    mdac: crate::mdac::MdacPlan,
+    pub(crate) mdac: crate::mdac::MdacPlan,
     /// Merged output-referred noise sigma when the DAC level is 0:
     /// opamp sampled noise ⊕ next stage's kT/C.
-    sigma_d0: f64,
+    pub(crate) sigma_d0: f64,
     /// Merged output-referred noise sigma when |DAC level| is 1: the
     /// `d0` terms ⊕ the reference noise scaled by the DAC gain.
-    sigma_d1: f64,
+    pub(crate) sigma_d1: f64,
 }
 
 /// One fabricated, operating pipeline ADC.
 #[derive(Debug, Clone)]
 pub struct PipelineAdc {
-    config: AdcConfig,
-    timing: TimingBudget,
-    front_end: SamplingNetwork,
-    stages: Vec<PipelineStage>,
-    flash: FlashBackend,
+    pub(crate) config: AdcConfig,
+    pub(crate) timing: TimingBudget,
+    pub(crate) front_end: SamplingNetwork,
+    pub(crate) stages: Vec<PipelineStage>,
+    pub(crate) flash: FlashBackend,
     reference: ReferenceBuffer,
     power: PowerModel,
     correction: CorrectionPipeline,
-    noise: NoiseSource,
+    pub(crate) noise: NoiseSource,
+    /// The hot-path noise stream: jitter, front-end, and merged
+    /// per-stage draws during conversion (see [`adc_analog::stripe`]).
+    /// Marginal-comparator draws stay on `noise`.
+    pub(crate) sample_noise: SampleNoise,
     /// Combined auxiliary + flicker input-referred noise at this rate
     /// (includes a dedicated SHA's noise when configured).
     aux_noise_rms_v: f64,
     /// ADSC-path aperture skew of the SHA-less front end, seconds.
-    adsc_skew_s: f64,
+    pub(crate) adsc_skew_s: f64,
     /// Input-referred supply-ripple amplitude (ripple/PSRR), volts.
-    ripple_referred_v: f64,
+    pub(crate) ripple_referred_v: f64,
     /// Conversion counter (phases the supply ripple).
-    sample_count: u64,
+    pub(crate) sample_count: u64,
     scratch_decisions: Vec<StageDecision>,
-    last_flash_code: u8,
+    pub(crate) last_flash_code: u8,
     /// Hoisted per-stage conversion constants (see [`StagePlan`]).
-    plans: Vec<StagePlan>,
+    pub(crate) plans: Vec<StagePlan>,
     /// Merged front-end noise sigma: front kT/C ⊕ auxiliary/flicker.
-    front_noise_rms_v: f64,
+    pub(crate) front_noise_rms_v: f64,
     /// Set when [`PipelineAdc::stage_mut`] may have invalidated `plans`.
     plans_dirty: bool,
     /// Reusable waveform-evaluation buffers for the batched grid path.
@@ -228,6 +233,9 @@ impl PipelineAdc {
         let mut root = NoiseSource::from_seed(seed);
         let mut fab = root.fork();
         let runtime = root.fork();
+        // The per-sample hot-path stream; derived *after* the fab and
+        // runtime forks so existing dies fabricate bit-identically.
+        let sample_noise = SampleNoise::from_seed(root.fork_seed());
         // Opamp offsets draw from their own derived stream so extending
         // the model does not re-roll every other Monte-Carlo quantity of
         // an existing die.
@@ -382,6 +390,7 @@ impl PipelineAdc {
             power,
             correction,
             noise: runtime,
+            sample_noise,
             aux_noise_rms_v,
             adsc_skew_s,
             ripple_referred_v,
@@ -534,7 +543,8 @@ impl PipelineAdc {
             self.scratch_slopes = slopes;
         } else {
             for k in 0..total {
-                let t = k as f64 * period + self.config.jitter.sample(&mut self.noise);
+                let t =
+                    k as f64 * period + self.sample_noise.gaussian(0.0, self.config.jitter.sigma_s);
                 let (v, dvdt) = waveform.sample_at(t);
                 let code = self.convert_one(v, dvdt);
                 if k >= WARMUP_SAMPLES {
@@ -565,6 +575,16 @@ impl PipelineAdc {
     /// point (config aux + flicker + any dedicated-SHA noise), volts RMS.
     pub fn aux_noise_rms_v(&self) -> f64 {
         self.aux_noise_rms_v
+    }
+
+    /// Rebuilds the hoisted plans if fault injection may have changed a
+    /// stage constant — the lane kernel calls this once per batch before
+    /// gathering plan copies into its stage-major arrays, mirroring the
+    /// per-sample check [`PipelineAdc::convert_one`] performs.
+    pub(crate) fn ensure_plans(&mut self) {
+        if self.plans_dirty {
+            self.rebuild_plans();
+        }
     }
 
     /// Rebuilds the hoisted per-stage conversion constants.
@@ -626,7 +646,7 @@ impl PipelineAdc {
         // Front end: deterministic tracking, then front kT/C and the
         // auxiliary/flicker noise merged into one draw.
         let tracked = self.front_end.track(v, dvdt, period);
-        let mut x = tracked + self.noise.gaussian(0.0, self.front_noise_rms_v);
+        let mut x = tracked + self.sample_noise.gaussian(0.0, self.front_noise_rms_v);
         self.front_end.commit_held_v(x);
         // Finite PSRR couples supply ripple into the signal path.
         // adc-lint: allow(float-eq) reason="feature gate: ripple injection is configured exactly 0.0 when disabled"
@@ -660,7 +680,7 @@ impl PipelineAdc {
             } else {
                 (plan.vref_d1, plan.sigma_d1)
             };
-            let noise_v = self.noise.gaussian(0.0, sigma);
+            let noise_v = self.sample_noise.gaussian(0.0, sigma);
             x = stage
                 .mdac
                 .amplify_planned(&plan.mdac, x, decision.dac_level, v_ref_eff, noise_v);
@@ -939,6 +959,11 @@ mod tests {
         cfg.comparator.noise_rms_v = 0.0;
         cfg.comparator.metastable_window_v = 0.0;
         cfg.jitter.sigma_s = 0.0;
+        // The opamp's sampled kT/C-like noise is independent of the
+        // `thermal_noise` switch; with hot-path draws on their own
+        // SplitMix64 stream it must be silenced explicitly or the two
+        // loops draw different (non-zero) values.
+        cfg.opamp.noise_excess_factor = 0.0;
         cfg.leak_cubic_a_per_v3 = 1e-6;
         let mut planned = PipelineAdc::build(cfg, 21).unwrap();
         planned.reference.noise_rms_v = 0.0;

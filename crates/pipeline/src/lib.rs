@@ -48,6 +48,7 @@ pub mod diagnostics;
 pub mod electrical;
 pub mod error;
 pub mod interleave;
+pub mod lanes;
 pub mod mdac;
 pub mod stage;
 pub mod subconverter;
@@ -60,6 +61,7 @@ pub use correction::{assemble_code, latency_samples, CorrectionPipeline};
 pub use diagnostics::Diagnostics;
 pub use error::BuildAdcError;
 pub use interleave::{InterleaveMismatch, InterleavedAdc};
+pub use lanes::{LaneBatch, LaneError};
 pub use mdac::Mdac;
 pub use stage::PipelineStage;
 pub use subconverter::{Adsc, FlashBackend, StageDecision};

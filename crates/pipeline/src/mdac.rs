@@ -46,6 +46,264 @@ pub struct MdacPlan {
     pub noise_rms_v: f64,
 }
 
+impl MdacPlan {
+    /// The planned amplification as a pure function of the plan plus the
+    /// settling memory handed in by reference — the form the SoA lane
+    /// kernel ([`crate::lanes`]) iterates over flat per-lane state
+    /// arrays. [`Mdac::amplify_planned`] delegates here with the MDAC's
+    /// own `prev_output_v`, so both entry points share one body and stay
+    /// bit-identical by construction.
+    pub fn amplify(
+        &self,
+        v_in: f64,
+        dac_level: i8,
+        v_ref_eff: f64,
+        noise_v: f64,
+        prev_output_v: &mut f64,
+    ) -> f64 {
+        let ideal = self.gain * (v_in + self.input_offset_v)
+            - f64::from(dac_level) * self.dac_gain * v_ref_eff;
+        // Mirrors OpAmp::gain_error_factor_at with the spec constants
+        // lifted into the plan.
+        let factor = if self.dc_gain.is_infinite() {
+            1.0
+        } else {
+            let knee = self.gain_knee_v;
+            let compression = if knee.is_finite() && knee > 0.0 {
+                1.0 + (ideal / knee).powi(2)
+            } else {
+                1.0
+            };
+            1.0 / (1.0 + compression / (self.dc_gain * self.beta))
+        };
+        let target = ideal * factor;
+        let settled = self.settle.settle(target, *prev_output_v);
+        let dsb_error = if self.dsb_decay > 0.0 {
+            (target - *prev_output_v) * self.dsb_decay
+        } else {
+            0.0
+        };
+        let out = settled - dsb_error + noise_v;
+        *prev_output_v = out;
+        out
+    }
+}
+
+/// Stage-major structure-of-arrays gather of the [`MdacPlan`] (and
+/// embedded [`SettlePlan`]) scalar fields, one flat array per field,
+/// plus the branch-free lane kernel that consumes them.
+///
+/// [`MdacPlan::amplify`] reads ~20 plan constants behind one `&self`;
+/// in a lane batch that makes the amplify loop stride 160-byte
+/// array-of-structs records and branch per lane on plan-dependent
+/// conditions, and the autovectorizer gives up. Gathered field-major,
+/// the identical arithmetic becomes independent flat streams the
+/// compiler packs. Two conditions are *pre-resolved* into the gathered
+/// values so the scalar path's branches vanish without changing a bit
+/// (see [`AmpConstants::push`]); the remaining per-lane `if`s select
+/// between already-computed values, which is exactly the shape LLVM
+/// if-converts.
+#[derive(Debug, Clone, Default)]
+pub struct AmpConstants {
+    /// Interstage gain.
+    gain: Vec<f64>,
+    /// Input-referred opamp offset, volts.
+    off: Vec<f64>,
+    /// DAC step.
+    dacg: Vec<f64>,
+    /// Compression knee, volts — `+∞` when compression is disabled.
+    knee: Vec<f64>,
+    /// Loop-gain product `A0·β` — `+∞` for an ideal (infinite-gain) amp.
+    dcb: Vec<f64>,
+    /// DSB residual factor (0 disables).
+    dsb: Vec<f64>,
+    /// Settling phase duration, seconds.
+    ts: Vec<f64>,
+    /// Settling time constant, seconds.
+    tau: Vec<f64>,
+    /// Slew rate, volts/second.
+    slew: Vec<f64>,
+    /// Slew/linear boundary, volts.
+    vlin: Vec<f64>,
+    /// Linear-settling residual factor.
+    decay: Vec<f64>,
+    /// Output clamp, volts.
+    swing: Vec<f64>,
+}
+
+impl AmpConstants {
+    /// Empties the gather for a fresh batch.
+    pub fn clear(&mut self) {
+        self.gain.clear();
+        self.off.clear();
+        self.dacg.clear();
+        self.knee.clear();
+        self.dcb.clear();
+        self.dsb.clear();
+        self.ts.clear();
+        self.tau.clear();
+        self.slew.clear();
+        self.vlin.clear();
+        self.decay.clear();
+        self.swing.clear();
+    }
+
+    /// Appends one plan's constants.
+    ///
+    /// The two plan-dependent branches of the scalar path are resolved
+    /// here into values that make the branch-free expressions exact:
+    ///
+    /// * no compression (`gain_knee_v` non-finite or ≤ 0) gathers
+    ///   `knee = +∞`, and `1 + (ideal/∞)² = 1.0` exactly;
+    /// * an ideal amp (`dc_gain = +∞`) gathers `dcb = +∞`, and
+    ///   `1/(1 + compression/∞) = 1.0` exactly.
+    pub fn push(&mut self, p: &MdacPlan) {
+        self.gain.push(p.gain);
+        self.off.push(p.input_offset_v);
+        self.dacg.push(p.dac_gain);
+        let knee = p.gain_knee_v;
+        self.knee.push(if knee.is_finite() && knee > 0.0 {
+            knee
+        } else {
+            f64::INFINITY
+        });
+        self.dcb.push(p.dc_gain * p.beta);
+        self.dsb.push(p.dsb_decay);
+        self.ts.push(p.settle.settle_time_s);
+        self.tau.push(p.settle.tau_s);
+        self.slew.push(p.settle.slew_rate_v_per_s);
+        self.vlin.push(p.settle.v_lin);
+        self.decay.push(p.settle.decay);
+        self.swing.push(p.settle.output_swing_v);
+    }
+
+    /// Amplifies one lane stripe in place: for each lane `l`,
+    /// `x[l] ← amplify(x[l])` using the constants gathered at
+    /// `base + l`, with `prev[l]` the settling memory (updated like
+    /// `Mdac::prev_output_v`). `dac` carries the decisions as exact
+    /// small-integer floats (`f64::from(dac_level)`).
+    ///
+    /// Bit-identical per lane to [`MdacPlan::amplify`] on the plan the
+    /// constants were gathered from — asserted over randomized plans,
+    /// including the branch corners, by this module's tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths disagree or `base + x.len()`
+    /// overruns the gathered constants.
+    pub fn amplify_lanes(
+        &self,
+        base: usize,
+        x: &mut [f64],
+        dac: &[f64],
+        vref: &[f64],
+        noise_v: &[f64],
+        prev: &mut [f64],
+    ) {
+        // The default x86-64 target caps the autovectorizer at SSE2
+        // (2-wide f64). Re-instantiating the same loop under AVX2
+        // widens it to 4 without changing a bit: every operation in
+        // the kernel (add/mul/div/abs/max/min and the exp polynomial)
+        // is IEEE-exact, and Rust never enables FMA contraction, so
+        // wider registers produce identical results faster.
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by runtime feature detection.
+            unsafe { self.amplify_lanes_avx2(base, x, dac, vref, noise_v, prev) };
+            return;
+        }
+        self.amplify_lanes_impl(base, x, dac, vref, noise_v, prev);
+    }
+
+    /// AVX2 re-instantiation of [`Self::amplify_lanes_impl`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn amplify_lanes_avx2(
+        &self,
+        base: usize,
+        x: &mut [f64],
+        dac: &[f64],
+        vref: &[f64],
+        noise_v: &[f64],
+        prev: &mut [f64],
+    ) {
+        self.amplify_lanes_impl(base, x, dac, vref, noise_v, prev);
+    }
+
+    /// Portable body of [`Self::amplify_lanes`]; `inline(always)` so
+    /// the feature-gated wrappers re-instantiate it under their own
+    /// target features.
+    #[inline(always)]
+    fn amplify_lanes_impl(
+        &self,
+        base: usize,
+        x: &mut [f64],
+        dac: &[f64],
+        vref: &[f64],
+        noise_v: &[f64],
+        prev: &mut [f64],
+    ) {
+        let n = x.len();
+        let dac = &dac[..n];
+        let vref = &vref[..n];
+        let noise_v = &noise_v[..n];
+        let prev = &mut prev[..n];
+        let gain = &self.gain[base..][..n];
+        let off = &self.off[base..][..n];
+        let dacg = &self.dacg[base..][..n];
+        let knee = &self.knee[base..][..n];
+        let dcb = &self.dcb[base..][..n];
+        let dsb = &self.dsb[base..][..n];
+        let ts = &self.ts[base..][..n];
+        let tau = &self.tau[base..][..n];
+        let slew = &self.slew[base..][..n];
+        let vlin = &self.vlin[base..][..n];
+        let decay = &self.decay[base..][..n];
+        let swing = &self.swing[base..][..n];
+        for l in 0..n {
+            let ideal = gain[l] * (x[l] + off[l]) - dac[l] * dacg[l] * vref[l];
+            let compression = 1.0 + (ideal / knee[l]).powi(2);
+            let factor = 1.0 / (1.0 + compression / dcb[l]);
+            let target = ideal * factor;
+            let initial = prev[l];
+            // SettlePlan::settle, inlined over the flat fields. The
+            // clamps are spelled max/min because `f64::clamp` carries a
+            // `min <= max` assertion whose per-element panic edge
+            // blocks if-conversion (and so vectorization) of the whole
+            // loop; for the non-NaN values this kernel sees the two
+            // forms are bit-identical.
+            let sw = swing[l];
+            let tc = target.max(-sw).min(sw);
+            let dv = tc - initial;
+            let dv_abs = dv.abs();
+            let sign = dv.signum();
+            let t_slew = (dv_abs - vlin[l]) / slew[l];
+            let remaining = (ts[l] - t_slew).max(0.0).min(ts[l]);
+            let tail = adc_analog::stripe::exp_nonpos(-remaining / tau[l]);
+            let lin = tc - dv * decay[l];
+            let rail = initial + sign * slew[l] * ts[l];
+            let slew_v = tc - sign * vlin[l] * tail;
+            let seg = if dv_abs <= vlin[l] {
+                lin
+            } else if t_slew >= ts[l] {
+                rail
+            } else {
+                slew_v
+            };
+            let settled = if ts[l] > 0.0 { seg } else { initial };
+            let settled = settled.max(-sw).min(sw);
+            let dsb_error = if dsb[l] > 0.0 {
+                (target - initial) * dsb[l]
+            } else {
+                0.0
+            };
+            let out = settled - dsb_error + noise_v[l];
+            prev[l] = out;
+            x[l] = out;
+        }
+    }
+}
+
 /// One stage's residue amplifier.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Mdac {
@@ -184,31 +442,18 @@ impl Mdac {
         v_ref_eff: f64,
         noise_v: f64,
     ) -> f64 {
-        let ideal = plan.gain * (v_in + plan.input_offset_v)
-            - f64::from(dac_level) * plan.dac_gain * v_ref_eff;
-        // Mirrors OpAmp::gain_error_factor_at with the spec constants
-        // lifted into the plan.
-        let factor = if plan.dc_gain.is_infinite() {
-            1.0
-        } else {
-            let knee = plan.gain_knee_v;
-            let compression = if knee.is_finite() && knee > 0.0 {
-                1.0 + (ideal / knee).powi(2)
-            } else {
-                1.0
-            };
-            1.0 / (1.0 + compression / (plan.dc_gain * plan.beta))
-        };
-        let target = ideal * factor;
-        let settled = plan.settle.settle(target, self.prev_output_v);
-        let dsb_error = if plan.dsb_decay > 0.0 {
-            (target - self.prev_output_v) * plan.dsb_decay
-        } else {
-            0.0
-        };
-        let out = settled - dsb_error + noise_v;
-        self.prev_output_v = out;
-        out
+        plan.amplify(v_in, dac_level, v_ref_eff, noise_v, &mut self.prev_output_v)
+    }
+
+    /// The MDAC's settling memory (the held previous output), for the
+    /// lane kernel's gather/scatter of per-stage state into flat arrays.
+    pub fn prev_output_v(&self) -> f64 {
+        self.prev_output_v
+    }
+
+    /// Restores the settling memory scattered back by the lane kernel.
+    pub fn set_prev_output_v(&mut self, v: f64) {
+        self.prev_output_v = v;
     }
 }
 
@@ -328,5 +573,85 @@ mod tests {
         m.reset();
         let b = m.amplify(0.3, 0, 0.9, 1e-6, &mut n);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn soa_kernel_matches_planned_amplify_bit_for_bit() {
+        // Randomized plans spanning every branch of the scalar path:
+        // finite/infinite dc gain, finite/non-finite/non-positive knee,
+        // DSB on/off, zero-duration settling, and inputs landing in the
+        // linear, slewing, railed, and clipped segments.
+        use adc_analog::opamp::SettlePlan;
+        let mut rng = NoiseSource::from_seed(9);
+        let mut uni = |lo: f64, hi: f64| rng.uniform(lo, hi);
+        let mut plans = Vec::new();
+        let mut soa = AmpConstants::default();
+        for i in 0..256usize {
+            let tau = uni(0.2e-9, 1.5e-9);
+            let slew = uni(2e8, 4e9);
+            let ts = if i % 7 == 3 { 0.0 } else { uni(1e-9, 6e-9) };
+            let plan = MdacPlan {
+                gain: uni(1.8, 2.2),
+                dac_gain: uni(0.9, 1.1),
+                input_offset_v: uni(-5e-3, 5e-3),
+                dc_gain: match i % 3 {
+                    0 => f64::INFINITY,
+                    _ => uni(200.0, 5e4),
+                },
+                beta: uni(0.4, 0.6),
+                gain_knee_v: match i % 5 {
+                    0 => f64::INFINITY,
+                    1 => -1.0,
+                    2 => 0.0,
+                    _ => uni(0.4, 1.5),
+                },
+                settle: SettlePlan {
+                    settle_time_s: ts,
+                    tau_s: tau,
+                    slew_rate_v_per_s: slew,
+                    v_lin: slew * tau,
+                    decay: if ts > 0.0 { (-ts / tau).exp() } else { 0.0 },
+                    output_swing_v: uni(0.9, 1.3),
+                },
+                dsb_decay: if i % 2 == 0 { 0.0 } else { uni(1e-4, 0.2) },
+                noise_rms_v: 0.0,
+            };
+            soa.push(&plan);
+            plans.push(plan);
+        }
+        let n = plans.len();
+        let mut prev_scalar = vec![0.0f64; n];
+        let mut prev_soa = vec![0.0f64; n];
+        let mut x = vec![0.0f64; n];
+        let mut dac = vec![0.0f64; n];
+        let mut dac_i = vec![0i8; n];
+        let mut vref = vec![0.0f64; n];
+        let mut noise_v = vec![0.0f64; n];
+        for round in 0..64usize {
+            for l in 0..n {
+                x[l] = uni(-2.5, 2.5);
+                let d = [-1i8, 0, 1][(l + round) % 3];
+                dac_i[l] = d;
+                dac[l] = f64::from(d);
+                vref[l] = uni(0.95, 1.0);
+                noise_v[l] = uni(-2e-4, 2e-4);
+            }
+            let mut want = x.clone();
+            for l in 0..n {
+                want[l] =
+                    plans[l].amplify(x[l], dac_i[l], vref[l], noise_v[l], &mut prev_scalar[l]);
+            }
+            soa.amplify_lanes(0, &mut x, &dac, &vref, &noise_v, &mut prev_soa);
+            for l in 0..n {
+                assert_eq!(
+                    x[l].to_bits(),
+                    want[l].to_bits(),
+                    "lane {l} round {round} diverged: soa {} vs scalar {}",
+                    x[l],
+                    want[l]
+                );
+                assert_eq!(prev_soa[l].to_bits(), prev_scalar[l].to_bits());
+            }
+        }
     }
 }

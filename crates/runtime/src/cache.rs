@@ -42,8 +42,11 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// History: 1 = original per-stage sequential-draw kernels; 2 = planned
 /// kernels (hoisted settling/reference/noise plans with merged
 /// per-stage Gaussian draws, batched waveform sampling, planned
-/// real-input FFT).
-pub const NUMERICS_EPOCH: u32 = 2;
+/// real-input FFT); 3 = lane-parallel SoA kernels (per-sample hot
+/// draws split onto a dedicated SplitMix64 `SampleNoise` stream forked
+/// from the die seed, select-form settling tail) — same documented
+/// noise model, different realizations.
+pub const NUMERICS_EPOCH: u32 = 3;
 
 /// Hashes a job configuration's canonical serialization.
 ///

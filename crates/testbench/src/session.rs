@@ -9,6 +9,7 @@
 use adc_pipeline::config::AdcConfig;
 use adc_pipeline::converter::PipelineAdc;
 use adc_pipeline::error::BuildAdcError;
+use adc_pipeline::lanes::LaneBatch;
 use adc_spectral::linearity::{sine_histogram, LinearityError, LinearityResult};
 use adc_spectral::metrics::{analyze_tone_with, SingleToneAnalysis, ToneAnalysisConfig};
 use adc_spectral::plan::SpectralScratch;
@@ -184,6 +185,118 @@ impl MeasurementSession {
     }
 }
 
+/// N dies on the bench at once, captured through the lane-parallel SoA
+/// kernel ([`LaneBatch`]) instead of one [`MeasurementSession`] each.
+///
+/// The bench semantics are [`MeasurementSession`]'s exactly — same
+/// coherent-frequency selection, same RF generator and band-pass
+/// filter, same default record length and near-full-scale amplitude —
+/// so each lane's captured record and tone analysis are bit-identical
+/// to a scalar session on that die at the same seed. The lanes just
+/// advance through the stage math together, which is what makes
+/// Monte-Carlo die campaigns and interleaved-array captures fast.
+#[derive(Debug, Clone)]
+pub struct LaneBench {
+    batch: LaneBatch,
+    /// FFT record length (power of two), shared by every lane.
+    pub record_len: usize,
+    /// Stimulus amplitude for dynamic tests, volts peak — defaults to
+    /// 0.995·V_REF like [`MeasurementSession`].
+    pub amplitude_v: f64,
+    /// Spectral-analysis intermediates, reused across lanes and tones.
+    spectral: SpectralScratch,
+    /// Reconstructed analog record, reused across lanes.
+    record: Vec<f64>,
+}
+
+impl LaneBench {
+    /// Puts one die per seed on the bench (the Monte-Carlo shape: a
+    /// shared design, different process draws).
+    ///
+    /// # Errors
+    ///
+    /// Propagates converter build errors (lowest seed first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seeds` is empty.
+    pub fn new(config: AdcConfig, seeds: &[u64]) -> Result<Self, BuildAdcError> {
+        let amplitude_v = 0.995 * config.v_ref_v;
+        Ok(Self {
+            batch: LaneBatch::build(&config, seeds)?,
+            record_len: 8192,
+            amplitude_v,
+            spectral: SpectralScratch::default(),
+            record: Vec::new(),
+        })
+    }
+
+    /// The dies under test, in lane order.
+    pub fn lanes(&self) -> &[PipelineAdc] {
+        self.batch.lanes()
+    }
+
+    /// Captures one coherent record near `f_target_hz` on every lane —
+    /// one shared stimulus (RF generator → band-pass filter), N
+    /// independent converters — into caller-owned buffers (cleared
+    /// first, one per lane). Returns the exact stimulus frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outs.len()` differs from the lane count, or when
+    /// the lanes disagree on conversion rate (one coherent grid must
+    /// serve every lane).
+    pub fn capture_tone_into(&mut self, f_target_hz: f64, outs: &mut [Vec<u16>]) -> f64 {
+        let _trace = adc_trace::span_with(
+            "capture_tone_lanes",
+            (self.record_len * self.batch.len()) as u64,
+        );
+        let f_cr = self.batch.lanes()[0].config().f_cr_hz;
+        assert!(
+            self.batch
+                .lanes()
+                .iter()
+                .all(|l| l.config().f_cr_hz.to_bits() == f_cr.to_bits()),
+            "lanes must share a conversion rate for one coherent capture grid"
+        );
+        let (f_in, _) = coherent_frequency_clear(f_cr, self.record_len, f_target_hz, 8);
+        let generator = SineSource::rf_generator(self.amplitude_v, f_in);
+        let filtered = BandpassFilter::passive_high_order(f_in).clean(&generator);
+        self.batch.reset();
+        self.batch
+            .convert_waveform_into(&filtered, self.record_len, outs);
+        f_in
+    }
+
+    /// Runs the full single-tone dynamic measurement at `f_target_hz`
+    /// on every lane, returning one [`ToneMeasurement`] per lane — each
+    /// bit-identical to [`MeasurementSession::measure_tone`] on that
+    /// die alone.
+    pub fn measure_tone(&mut self, f_target_hz: f64) -> Vec<ToneMeasurement> {
+        let _trace = adc_trace::span("measure_tone_lanes");
+        let mut codes = vec![Vec::new(); self.batch.len()];
+        let f_in = self.capture_tone_into(f_target_hz, &mut codes);
+        codes
+            .iter()
+            .zip(self.batch.lanes())
+            .map(|(lane_codes, adc)| {
+                self.record.clear();
+                self.record
+                    .extend(lane_codes.iter().map(|&c| adc.reconstruct_v(c)));
+                let cfg = ToneAnalysisConfig::coherent().with_full_scale(adc.config().v_ref_v);
+                let analysis = analyze_tone_with(&self.record, &cfg, &mut self.spectral)
+                    .expect("record length is a power of two by construction");
+                ToneMeasurement {
+                    f_in_hz: f_in,
+                    amplitude_v: self.amplitude_v,
+                    f_cr_hz: adc.config().f_cr_hz,
+                    analysis,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +354,24 @@ mod tests {
         // noise; an ideal converter still reads well under 0.3 LSB.
         assert!(lin.dnl_max.abs() < 0.3, "dnl {}", lin.dnl_max);
         assert!(lin.dnl_min.abs() < 0.3, "dnl {}", lin.dnl_min);
+    }
+
+    #[test]
+    fn lane_bench_matches_scalar_sessions_bit_for_bit() {
+        let config = AdcConfig::nominal_110ms();
+        let seeds = [1u64, 2, 3, 4];
+        let mut bench = LaneBench::new(config.clone(), &seeds).unwrap();
+        bench.record_len = 2048;
+        let measurements = bench.measure_tone(10e6);
+        for (&seed, m) in seeds.iter().zip(&measurements) {
+            let mut session = MeasurementSession::new(config.clone(), seed).unwrap();
+            session.record_len = 2048;
+            assert_eq!(
+                *m,
+                session.measure_tone(10e6),
+                "lane for seed {seed} diverged from its scalar session"
+            );
+        }
     }
 
     #[test]

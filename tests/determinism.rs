@@ -5,7 +5,8 @@
 //! runs this test in both profiles against one
 //! `ADC_DETERMINISM_HASH_FILE`).
 
-use pipeline_adc::pipeline::AdcConfig;
+use pipeline_adc::pipeline::lanes::LaneBatch;
+use pipeline_adc::pipeline::{AdcConfig, PipelineAdc};
 use pipeline_adc::runtime::{canonical_key, CacheCodec, Campaign, JobError};
 use pipeline_adc::testbench::montecarlo::{run_monte_carlo_with, MonteCarloResult};
 use pipeline_adc::testbench::sweep::SweepRunner;
@@ -91,6 +92,59 @@ fn tracing_on_and_off_are_bit_identical() {
     assert!(!trace.is_empty(), "instrumented campaign records spans");
     assert_eq!(untraced, traced, "tracing perturbed campaign results");
     assert_eq!(digest(&untraced), digest(&traced));
+}
+
+/// The lane-parallel SoA kernel's determinism contract: at 1, 4, and
+/// 8 lanes, with aperture jitter on and off, every lane's record is
+/// **bit-identical** to converting that lane's waveform alone through
+/// the scalar planned path at the same seed — and the whole laned
+/// corpus hashes to the same digest across compilation profiles via
+/// `ADC_DETERMINISM_LANES_HASH_FILE` (recorded on first run, compared
+/// on later runs; `ci.sh determinism` runs this test in debug and
+/// release against one file).
+#[test]
+fn laned_and_scalar_paths_are_bit_identical() {
+    let jitter_off = AdcConfig {
+        jitter: pipeline_adc::analog::noise::ApertureJitter::none(),
+        ..AdcConfig::nominal_110ms()
+    };
+    let tone = |t: f64| 0.95 * (2.0 * std::f64::consts::PI * 9.7e6 * t).sin();
+    let mut corpus: Vec<String> = Vec::new();
+    for (name, config) in [
+        ("jitter_on", AdcConfig::nominal_110ms()),
+        ("jitter_off", jitter_off),
+    ] {
+        for lanes in [1usize, 4, 8] {
+            let seeds: Vec<u64> = (1..=lanes as u64).map(|s| 100 * s + 7).collect();
+            let mut batch = LaneBatch::build(&config, &seeds).expect("batch builds");
+            let records = batch.convert_waveform(&tone, 512);
+            for (lane, seed) in seeds.iter().enumerate() {
+                let mut scalar = PipelineAdc::build(config.clone(), *seed).expect("die builds");
+                let alone = scalar.convert_waveform(&tone, 512);
+                assert_eq!(
+                    records[lane], alone,
+                    "{name}: lane {lane}/{lanes} diverged from the scalar path at seed {seed}"
+                );
+                let codes: Vec<u64> = alone.iter().map(|&c| u64::from(c)).collect();
+                corpus.push(format!(
+                    "{name}/{lanes}/{lane}:{}",
+                    CacheCodec::encode(&codes)
+                ));
+            }
+        }
+    }
+    let digest = format!("{:016x}", canonical_key("lanes-digest", &corpus));
+    let Ok(path) = std::env::var("ADC_DETERMINISM_LANES_HASH_FILE") else {
+        return; // no cross-profile anchor requested
+    };
+    match std::fs::read_to_string(&path) {
+        Ok(recorded) if !recorded.trim().is_empty() => assert_eq!(
+            recorded.trim(),
+            digest,
+            "laned digest diverged from the one recorded at {path}"
+        ),
+        _ => std::fs::write(&path, format!("{digest}\n")).expect("hash file writable"),
+    }
 }
 
 /// Cross-profile determinism: hashes the 8-die campaign and compares it
