@@ -26,9 +26,11 @@
 #                  bit-identical campaign AND laned-conversion results"
 #                  is asserted, not assumed
 #   service     -- loopback gate: the `service` suite (real TCP server,
-#                  concurrent clients, bit-identity vs in-process
-#                  records) re-runs in release under a hard wall-clock
-#                  guard — a hung drain fails CI instead of wedging it
+#                  concurrent clients, pipelined out-of-order
+#                  completions, admission-control shedding under
+#                  overload, bit-identity vs in-process records)
+#                  re-runs in release under a hard wall-clock guard —
+#                  a hung drain fails CI instead of wedging it
 #   cluster     -- distribution gate: the `cluster` suite spins up two
 #                  loopback servers and diffs the distributed campaign
 #                  digest against the in-process one, in release under

@@ -186,29 +186,56 @@ fn compare_runtime(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Com
         .collect()
 }
 
-/// Collects the service-report comparisons: end-to-end samples/sec and
-/// client p99 latency.
+/// Collects the service-report comparisons: end-to-end throughput and
+/// latency figures. The saturation / default-load rows only exist in
+/// open-loop-generator reports; [`compare`] skips any row the baseline
+/// predates, so the two schemas compare cleanly across the cutover.
 fn compare_service(baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Comparison> {
     [
         (
             "service samples/sec",
             "samples_per_sec",
             Direction::HigherIsBetter,
+            1.0,
         ),
+        (
+            "service requests/sec",
+            "requests_per_sec",
+            Direction::HigherIsBetter,
+            1.0,
+        ),
+        (
+            "service saturation req/s",
+            "saturation_rps",
+            Direction::HigherIsBetter,
+            1.0,
+        ),
+        // Client-observed open-loop tail latency counts generator-side
+        // scheduling noise on a shared 1-CPU host (multi-ms ambient
+        // stalls land right at the p99 rank), so it swings ~2x between
+        // otherwise identical runs — gate it at double tolerance. The
+        // server-side default-load p99 below is the stable tail gate.
         (
             "service client p99 latency (us)",
             "client_latency_us.p99",
             Direction::LowerIsBetter,
+            2.0,
+        ),
+        (
+            "service default-load server p99 (us)",
+            "default_load.server_latency_us.p99",
+            Direction::LowerIsBetter,
+            1.0,
         ),
     ]
     .iter()
-    .filter_map(|(label, path, dir)| {
+    .filter_map(|(label, path, dir, tol_mult)| {
         compare(
             label,
             lookup_f64(baseline, path),
             lookup_f64(fresh, path),
             *dir,
-            tolerance_pct,
+            tolerance_pct * tol_mult,
         )
     })
     .collect()

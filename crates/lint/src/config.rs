@@ -39,6 +39,15 @@ pub const DETERMINISM_ROOTS: &[&str] = &[
     "crates/cluster/src",
 ];
 
+/// Individual files in determinism scope inside crates that are
+/// otherwise exempt. The server crate as a whole may time things —
+/// latency histograms *are* wall-clock — but the reactor decides
+/// dispatch order, request coalescing, and admission shedding, and
+/// every one of those decisions must be a function of arrival order
+/// and config, never of wall-clock reads, thread identity, or hash
+/// iteration order.
+pub const DETERMINISM_FILES: &[&str] = &["crates/server/src/reactor.rs"];
+
 /// A panic-freedom root: either a whole file (every function in it is
 /// a root and the textual `no-panic` rule also binds the file), or one
 /// named function given as `path::symbol` (the transitive pass alone
@@ -87,6 +96,13 @@ pub const PANIC_ROOTS: &[PanicRoot] = &[
         path: "crates/lint/src/pragma.rs",
         symbol: Some("parse_allows"),
     },
+    // The reactor's frame-ingest path runs on untrusted wire bytes
+    // before any request is admitted; a panic here takes down every
+    // pipelined connection on the reactor thread, not just the sender.
+    PanicRoot {
+        path: "crates/server/src/reactor.rs",
+        symbol: Some("ingest"),
+    },
 ];
 
 /// The one place allowed to read process environment variables.
@@ -102,9 +118,10 @@ pub const LOCK_SCOPES: &[&str] = &[
     "crates/cluster/src",
 ];
 
-/// `true` when `rel_path` falls under a determinism-scoped crate.
+/// `true` when `rel_path` falls under a determinism-scoped crate or
+/// is one of the individually scoped [`DETERMINISM_FILES`].
 pub fn in_determinism_scope(rel_path: &str) -> bool {
-    under_any(rel_path, DETERMINISM_ROOTS)
+    under_any(rel_path, DETERMINISM_ROOTS) || DETERMINISM_FILES.contains(&rel_path)
 }
 
 /// `true` when the whole of `rel_path` must be panic-free (whole-file
@@ -156,6 +173,11 @@ mod tests {
         // its sources sit in determinism scope so no wall-clock or
         // hash-order dependence can creep into work distribution.
         assert!(in_determinism_scope("crates/cluster/src/executor.rs"));
+        // The reactor is file-scoped: its dispatch, coalescing, and
+        // shedding decisions must not depend on clocks or hash order,
+        // while the rest of the server crate stays exempt (latency
+        // metrics are wall-clock by design).
+        assert!(in_determinism_scope("crates/server/src/reactor.rs"));
         assert!(!in_determinism_scope("crates/server/src/server.rs"));
         assert!(!in_determinism_scope("crates/bench/src/cli.rs"));
         // No false prefix matches on sibling names.
@@ -170,6 +192,7 @@ mod tests {
         // Symbol-level roots do not put their whole file in textual
         // panic-free scope — only the named function, transitively.
         assert!(!in_panic_free_scope("crates/lint/src/lexer.rs"));
+        assert!(!in_panic_free_scope("crates/server/src/reactor.rs"));
         assert!(is_env_exempt("crates/bench/src/cli.rs"));
         assert!(!is_env_exempt("crates/bench/src/lib.rs"));
     }

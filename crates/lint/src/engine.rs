@@ -223,6 +223,14 @@ fn config_drift(data: &[FileData<'_>], g: &graph::Graph) -> Vec<Diagnostic> {
             ));
         }
     }
+    for file in config::DETERMINISM_FILES {
+        if !rel_paths.contains(file) {
+            drift(format!(
+                "DETERMINISM_FILES entry `{file}` matches no scanned file; the scope \
+                 silently checks nothing — fix or remove the entry"
+            ));
+        }
+    }
     for root in config::LOCK_SCOPES {
         if !rel_paths.iter().any(|p| p.starts_with(&format!("{root}/"))) {
             drift(format!(

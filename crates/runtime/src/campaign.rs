@@ -343,6 +343,7 @@ impl<I> Campaign<I> {
                 attempts: 0,
                 wall: Duration::ZERO,
                 samples: 0,
+                requests: 0,
                 error: None,
             })
             .collect();
@@ -444,6 +445,7 @@ where
             attempts: 0,
             wall: Duration::ZERO,
             samples: 0,
+            requests: 0,
             error: None,
         })
         .collect();
@@ -454,6 +456,7 @@ where
             attempts: report.attempts,
             wall: report.wall / share as u32,
             samples: report.samples / share as u64,
+            requests: u64::from(error.is_none()),
             error,
         };
         match value {

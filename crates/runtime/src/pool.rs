@@ -98,6 +98,7 @@ fn run_job<I, T>(
                     attempts: attempt,
                     wall,
                     samples: total_samples,
+                    requests: ctx.requests().max(1),
                     error: None,
                 };
                 return (Some(value), report);
@@ -111,6 +112,7 @@ fn run_job<I, T>(
                         attempts: attempt,
                         wall,
                         samples: total_samples,
+                        requests: ctx.requests(),
                         error: Some(err),
                     };
                     return (None, report);

@@ -82,6 +82,13 @@ impl JobPool {
         Self::with_observers(name, seed, threads, Vec::new())
     }
 
+    /// The number of worker threads serving this pool (the resolved
+    /// count — a `threads == 0` request reports the hardware width it
+    /// expanded to).
+    pub fn threads(&self) -> usize {
+        self.workers.lock().expect("pool workers lock").len()
+    }
+
     /// [`JobPool::new`] with [`RunObserver`]s attached: each submission
     /// reports `on_job_start` / `on_job_finish` exactly as campaign jobs
     /// do (there is no campaign summary — the pool never "finishes"
@@ -181,6 +188,7 @@ impl JobPool {
                 attempts: 0,
                 wall: Duration::ZERO,
                 samples: 0,
+                requests: 0,
                 error: Some(err),
             };
             let _ = reject_tx.send((None, report));
@@ -227,6 +235,7 @@ impl JobPool {
                 attempts: 1,
                 wall,
                 samples: ctx.samples(),
+                requests: ctx.requests(),
                 error,
             };
             for obs in observers.iter() {

@@ -1,20 +1,26 @@
-//! A blocking client for the digitization service.
+//! Clients for the digitization service.
 //!
 //! [`Client`] owns one connection and exposes the protocol as plain
-//! calls: [`Client::ping`], [`Client::digitize`] (reassembles the
-//! streamed batches and verifies the stream CRC), [`Client::metrics`],
-//! and [`Client::shutdown`]. Requests on one client are sequential —
-//! for concurrent load, open one client per thread, which is also how
-//! the server parallelizes work across its pool.
+//! blocking calls: [`Client::ping`], [`Client::digitize`] (reassembles
+//! the streamed batches and verifies the stream CRC),
+//! [`Client::metrics`], and [`Client::shutdown`]. Requests on one
+//! `Client` are sequential.
+//!
+//! [`PipelinedClient`] keeps many requests in flight on one connection:
+//! each [`PipelinedClient::submit`] assigns a correlation id and
+//! returns immediately; [`PipelinedClient::next_completion`] yields
+//! finished requests in whatever order the server completes them, with
+//! the same reassembly and CRC verification as the blocking path.
 
-use std::io::Write;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
     self, encode_request, CacheFillRequest, CacheQueryRequest, DigitizeDone, DigitizeRequest,
-    ErrorCode, FrameReadError, GangedDone, GangedRequest, JobBatchRequest, JobResultBatch,
-    MetricsSnapshot, Request, Response, WireError,
+    ErrorCode, FrameAssembler, FrameReadError, GangedDone, GangedRequest, JobBatchRequest,
+    JobResultBatch, MetricsSnapshot, Request, Response, SubmitBody, SubmitRequest, WireError,
 };
 use crate::server::{stream_crc, value_stream_crc};
 
@@ -377,6 +383,374 @@ impl Client {
             Response::ShutdownAck => Ok(()),
             Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
             _ => Err(ClientError::UnexpectedResponse("expected shutdown ack")),
+        }
+    }
+}
+
+/// How one pipelined request ended.
+#[derive(Debug, Clone)]
+pub enum PipelinedOutcome {
+    /// The digitization completed and passed reassembly checks.
+    Digitize(DigitizeResult),
+    /// The ganged digitization completed and passed reassembly checks.
+    Ganged(GangedResult),
+    /// The server answered this request with a typed error frame
+    /// (validation, overload shed, deadline, ...). Per-request — the
+    /// connection and the other in-flight requests are unaffected.
+    ServerError {
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// In-progress reassembly of one pipelined request.
+#[derive(Debug)]
+enum Accum {
+    Digitize { samples: Vec<u16>, next_seq: u32 },
+    Ganged { values: Vec<f64>, next_seq: u32 },
+}
+
+/// A pipelined connection: many requests in flight at once, completed
+/// out of order.
+///
+/// Every submission gets a nonzero correlation id (assigned here,
+/// counting up from 1); the server tags each response frame with it,
+/// so interleaved streams demultiplex unambiguously. Completions are
+/// yielded in **server finish order**, each verified exactly like the
+/// blocking [`Client`] path: batch ordering, sample count, and stream
+/// CRC.
+///
+/// ```
+/// use adc_server::{DigitizeRequest, PipelinedClient, PipelinedOutcome, Server, ServerConfig};
+///
+/// let (handle, join) = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+/// let mut client = PipelinedClient::connect(handle.addr()).unwrap();
+/// let a = client.submit(&DigitizeRequest::tone(7, 10e6, 1024)).unwrap();
+/// let b = client.submit(&DigitizeRequest::tone(8, 10e6, 1024)).unwrap();
+/// let mut seen = Vec::new();
+/// while client.in_flight() > 0 {
+///     let (corr, outcome) = client.next_completion().unwrap();
+///     assert!(matches!(outcome, PipelinedOutcome::Digitize(_)));
+///     seen.push(corr);
+/// }
+/// seen.sort_unstable();
+/// assert_eq!(seen, vec![a, b]);
+/// handle.shutdown();
+/// join.join().unwrap().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct PipelinedClient {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    max_payload: u32,
+    next_corr: u64,
+    pending: BTreeMap<u64, Accum>,
+    ready: VecDeque<(u64, PipelinedOutcome)>,
+}
+
+impl PipelinedClient {
+    /// Connects with the protocol's default payload ceiling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            assembler: FrameAssembler::new(),
+            max_payload: protocol::MAX_PAYLOAD,
+            next_corr: 1,
+            pending: BTreeMap::new(),
+            ready: VecDeque::new(),
+        })
+    }
+
+    /// Sets a read timeout on the underlying socket (`None` blocks
+    /// forever). With a timeout set, [`Self::try_next_completion`]
+    /// returns `Ok(None)` when it expires with nothing decoded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Switches the underlying socket between blocking and non-blocking
+    /// mode. Non-blocking makes [`Self::try_next_completion`] return
+    /// immediately instead of waiting out the read timeout — kernels
+    /// round `SO_RCVTIMEO` up to scheduler-tick granularity, so a
+    /// "1 ms" timeout can block for several milliseconds, which matters
+    /// to open-loop load generators pacing precise arrival schedules.
+    /// Partial frames are preserved across calls either way. Callers
+    /// must restore blocking mode before using the blocking APIs
+    /// ([`Self::next_completion`], [`Self::submit`] under a full send
+    /// buffer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option failures.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        self.stream.set_nonblocking(nonblocking)
+    }
+
+    /// Requests submitted but not yet yielded by a completion call.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len() + self.ready.len()
+    }
+
+    /// Submits a digitization without waiting, returning its
+    /// correlation id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures writing the request frame.
+    pub fn submit(&mut self, request: &DigitizeRequest) -> Result<u64, ClientError> {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        let frame = encode_request(&Request::Submit(SubmitRequest {
+            corr_id: corr,
+            body: SubmitBody::Digitize(request.clone()),
+        }));
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        self.pending.insert(
+            corr,
+            Accum::Digitize {
+                samples: Vec::new(),
+                next_seq: 0,
+            },
+        );
+        Ok(corr)
+    }
+
+    /// Submits a ganged digitization without waiting, returning its
+    /// correlation id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures writing the request frame.
+    pub fn submit_ganged(&mut self, request: &GangedRequest) -> Result<u64, ClientError> {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        let frame = encode_request(&Request::Submit(SubmitRequest {
+            corr_id: corr,
+            body: SubmitBody::Ganged(request.clone()),
+        }));
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        self.pending.insert(
+            corr,
+            Accum::Ganged {
+                values: Vec::new(),
+                next_seq: 0,
+            },
+        );
+        Ok(corr)
+    }
+
+    /// Blocks for the next finished request, in server completion
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Transport or wire errors, connection-level server errors (e.g. a
+    /// protocol fault, which poisons the whole stream), and
+    /// [`ClientError::StreamCorrupt`] if any in-flight reassembly fails
+    /// a consistency check. Per-request server errors are **not**
+    /// errors here — they arrive as [`PipelinedOutcome::ServerError`].
+    pub fn next_completion(&mut self) -> Result<(u64, PipelinedOutcome), ClientError> {
+        loop {
+            if let Some(done) = self.ready.pop_front() {
+                return Ok(done);
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Like [`Self::next_completion`] but yields `Ok(None)` instead of
+    /// blocking past the socket's read timeout (see
+    /// [`Self::set_read_timeout`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::next_completion`].
+    pub fn try_next_completion(&mut self) -> Result<Option<(u64, PipelinedOutcome)>, ClientError> {
+        if let Some(done) = self.ready.pop_front() {
+            return Ok(Some(done));
+        }
+        match self.pump() {
+            Ok(()) => Ok(self.ready.pop_front()),
+            Err(ClientError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads once from the socket and decodes every completed frame
+    /// into `ready`.
+    fn pump(&mut self) -> Result<(), ClientError> {
+        let mut buf = [0u8; 64 * 1024];
+        let n = self.stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        self.assembler.extend(&buf[..n]);
+        loop {
+            let frame = self
+                .assembler
+                .next_frame(self.max_payload)
+                .map_err(ClientError::Wire)?;
+            let Some((kind, payload)) = frame else {
+                return Ok(());
+            };
+            let response = Response::decode(kind, &payload).map_err(ClientError::Wire)?;
+            self.accept_frame(response)?;
+        }
+    }
+
+    /// Routes one decoded frame to its request's reassembly state.
+    fn accept_frame(&mut self, response: Response) -> Result<(), ClientError> {
+        let (corr, inner) = match response {
+            Response::Tagged { corr_id, inner } => (corr_id, *inner),
+            // An untagged error is connection-level (protocol fault):
+            // the stream is poisoned, surface it as a hard error.
+            Response::Error { code, detail } => return Err(ClientError::Server { code, detail }),
+            _ => {
+                return Err(ClientError::UnexpectedResponse(
+                    "untagged frame on a pipelined connection",
+                ))
+            }
+        };
+        let corrupt = |detail: String| Err(ClientError::StreamCorrupt(detail));
+        match inner {
+            Response::Batch {
+                seq,
+                samples: chunk,
+            } => match self.pending.get_mut(&corr) {
+                Some(Accum::Digitize { samples, next_seq }) => {
+                    if seq != *next_seq {
+                        return corrupt(format!(
+                            "request {corr}: batch {seq} arrived, expected {next_seq}"
+                        ));
+                    }
+                    *next_seq += 1;
+                    samples.extend_from_slice(&chunk);
+                    Ok(())
+                }
+                Some(Accum::Ganged { .. }) => {
+                    corrupt(format!("request {corr}: code batch on a ganged request"))
+                }
+                None => corrupt(format!("batch for unknown request {corr}")),
+            },
+            Response::Done(done) => match self.pending.remove(&corr) {
+                Some(Accum::Digitize { samples, next_seq }) => {
+                    if done.total_samples as usize != samples.len() {
+                        return corrupt(format!(
+                            "request {corr}: done claims {} samples, reassembled {}",
+                            done.total_samples,
+                            samples.len()
+                        ));
+                    }
+                    if done.batches != next_seq {
+                        return corrupt(format!(
+                            "request {corr}: done claims {} batches, received {next_seq}",
+                            done.batches
+                        ));
+                    }
+                    let crc = stream_crc(&samples);
+                    if crc != done.stream_crc32 {
+                        return corrupt(format!(
+                            "request {corr}: stream CRC {:08x} != server's {:08x}",
+                            crc, done.stream_crc32
+                        ));
+                    }
+                    self.ready.push_back((
+                        corr,
+                        PipelinedOutcome::Digitize(DigitizeResult { samples, done }),
+                    ));
+                    Ok(())
+                }
+                Some(other) => {
+                    self.pending.insert(corr, other);
+                    corrupt(format!("request {corr}: done on a ganged request"))
+                }
+                None => corrupt(format!("done for unknown request {corr}")),
+            },
+            Response::GangedBatch { seq, values: chunk } => match self.pending.get_mut(&corr) {
+                Some(Accum::Ganged { values, next_seq }) => {
+                    if seq != *next_seq {
+                        return corrupt(format!(
+                            "request {corr}: batch {seq} arrived, expected {next_seq}"
+                        ));
+                    }
+                    *next_seq += 1;
+                    values.extend_from_slice(&chunk);
+                    Ok(())
+                }
+                Some(Accum::Digitize { .. }) => corrupt(format!(
+                    "request {corr}: ganged batch on a digitize request"
+                )),
+                None => corrupt(format!("ganged batch for unknown request {corr}")),
+            },
+            Response::GangedDone(done) => match self.pending.remove(&corr) {
+                Some(Accum::Ganged { values, next_seq }) => {
+                    if done.total_samples as usize != values.len() {
+                        return corrupt(format!(
+                            "request {corr}: done claims {} values, reassembled {}",
+                            done.total_samples,
+                            values.len()
+                        ));
+                    }
+                    if done.batches != next_seq {
+                        return corrupt(format!(
+                            "request {corr}: done claims {} batches, received {next_seq}",
+                            done.batches
+                        ));
+                    }
+                    let crc = value_stream_crc(&values);
+                    if crc != done.stream_crc32 {
+                        return corrupt(format!(
+                            "request {corr}: stream CRC {:08x} != server's {:08x}",
+                            crc, done.stream_crc32
+                        ));
+                    }
+                    self.ready.push_back((
+                        corr,
+                        PipelinedOutcome::Ganged(GangedResult { values, done }),
+                    ));
+                    Ok(())
+                }
+                Some(other) => {
+                    self.pending.insert(corr, other);
+                    corrupt(format!("request {corr}: ganged done on a digitize request"))
+                }
+                None => corrupt(format!("ganged done for unknown request {corr}")),
+            },
+            Response::Error { code, detail } => {
+                // Typed per-request failure (validation, overload shed,
+                // deadline): the request is over, the connection fine.
+                self.pending.remove(&corr);
+                self.ready
+                    .push_back((corr, PipelinedOutcome::ServerError { code, detail }));
+                Ok(())
+            }
+            _ => Err(ClientError::UnexpectedResponse(
+                "unexpected tagged frame kind",
+            )),
         }
     }
 }

@@ -1,15 +1,16 @@
 //! The server's metrics registry: lock-free counters, an in-flight
-//! gauge, and a log-bucketed latency histogram.
+//! gauge, and a log-linear latency histogram.
 //!
 //! The registry is fed from two directions:
 //!
-//! * the connection loop counts requests, connections, and error
-//!   frames directly;
+//! * the reactor counts requests, connections, sheds, and error frames
+//!   directly;
 //! * the digitize job pool reports through the registry's
 //!   [`RunObserver`] implementation — `on_job_start` raises the
 //!   in-flight gauge, `on_job_finish` lowers it, records the job's wall
-//!   time into the histogram, and accumulates its streamed-sample
-//!   credit.
+//!   time into the histogram once per logical request the job served
+//!   (`JobReport::requests` — a coalesced lane batch counts each
+//!   member), and accumulates its streamed-sample credit.
 //!
 //! [`MetricsRegistry::snapshot`] freezes everything into the wire-level
 //! [`MetricsSnapshot`] answered to a `Metrics` request, including
@@ -23,13 +24,26 @@ use adc_runtime::{JobId, JobReport, RunObserver};
 
 use crate::protocol::MetricsSnapshot;
 
-/// Histogram bucket count: bucket `i` covers latencies in
-/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended.
-const BUCKETS: usize = 40;
+/// Sub-buckets per octave (and the linear range's width): 16 gives a
+/// worst-case relative quantile error of 1/16 = 6.25%.
+const SUBS: usize = 16;
+/// First octave exponent covered by log-linear buckets; values below
+/// `2^LINEAR_BITS` µs get one exact bucket each.
+const LINEAR_BITS: usize = 4;
+/// Highest octave exponent covered (latencies to ~2^40 µs ≈ 12.7 days;
+/// anything larger clamps into the final bucket).
+const MAX_BITS: usize = 40;
+/// Histogram bucket count: 16 exact sub-16 µs buckets plus 16 per
+/// octave from 2^4 to 2^40 µs.
+const BUCKETS: usize = SUBS + (MAX_BITS - LINEAR_BITS) * SUBS;
 
-/// A fixed-layout latency histogram with power-of-two microsecond
-/// buckets (sub-microsecond lands in bucket 0, ~18-minute-plus tails in
-/// the final open bucket).
+/// A fixed-layout log-linear latency histogram.
+///
+/// Latencies under 16 µs land in exact 1 µs buckets; above that each
+/// power-of-two octave splits into 16 equal sub-buckets, so the upper
+/// bound reported for any observation overshoots it by at most 6.25% —
+/// fine-grained enough that a 2–4 ms serving distribution no longer
+/// collapses into one "4095 µs" bucket.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     counts: [AtomicU64; BUCKETS],
@@ -47,18 +61,43 @@ impl Default for LatencyHistogram {
 
 impl LatencyHistogram {
     fn bucket_for(us: u64) -> usize {
-        if us == 0 {
-            0
-        } else {
-            (63 - u64::leading_zeros(us) as usize).min(BUCKETS - 1)
+        if us < SUBS as u64 {
+            return us as usize;
         }
+        let octave = 63 - u64::leading_zeros(us) as usize;
+        let shift = octave - LINEAR_BITS;
+        // 2^octave <= us < 2^(octave+1), so (us >> shift) is in
+        // [16, 31] and the subtraction below cannot underflow.
+        let sub = ((us >> shift) as usize).saturating_sub(SUBS);
+        (SUBS + (octave - LINEAR_BITS) * SUBS + sub).min(BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound (µs) of bucket `i` — what quantile queries
+    /// report, hence the ≤6.25% conservative overshoot.
+    fn upper_bound_us(i: usize) -> u64 {
+        if i < SUBS {
+            return i as u64;
+        }
+        let octave = LINEAR_BITS + (i - SUBS) / SUBS;
+        let sub = ((i - SUBS) % SUBS) as u64;
+        let width = 1u64 << (octave - LINEAR_BITS);
+        (SUBS as u64 + sub) * width + width - 1
     }
 
     /// Records one latency observation.
     pub fn record(&self, latency: Duration) {
+        self.record_n(latency, 1);
+    }
+
+    /// Records `n` observations of the same latency — how a coalesced
+    /// batch accounts each member request it served.
+    pub fn record_n(&self, latency: Duration, n: u64) {
+        if n == 0 {
+            return;
+        }
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.counts[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
+        self.counts[Self::bucket_for(us)].fetch_add(n, Ordering::Relaxed);
+        self.total.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Observations recorded so far.
@@ -78,11 +117,10 @@ impl LatencyHistogram {
         for (i, bucket) in self.counts.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                // Upper bound of bucket i: 2^(i+1) - 1 µs.
-                return (1u64 << (i + 1)) - 1;
+                return Self::upper_bound_us(i);
             }
         }
-        (1u64 << BUCKETS) - 1
+        Self::upper_bound_us(BUCKETS - 1)
     }
 }
 
@@ -100,6 +138,8 @@ pub struct MetricsRegistry {
     samples_streamed: AtomicU64,
     job_batches: AtomicU64,
     cluster_cache_hits: AtomicU64,
+    overloaded: AtomicU64,
+    coalesced: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -134,6 +174,18 @@ impl MetricsRegistry {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a request shed by admission control (an `Overloaded`
+    /// frame sent).
+    pub fn overloaded(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Credits `n` requests served inside a coalesced lane batch of two
+    /// or more.
+    pub fn coalesced(&self, n: u64) {
+        self.coalesced.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Credits samples streamed to a client.
     pub fn samples(&self, n: u64) {
         self.samples_streamed.fetch_add(n, Ordering::Relaxed);
@@ -165,6 +217,8 @@ impl MetricsRegistry {
             p50_us: self.latency.quantile_us(0.50),
             p90_us: self.latency.quantile_us(0.90),
             p99_us: self.latency.quantile_us(0.99),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 }
@@ -180,12 +234,16 @@ impl RunObserver for MetricsRegistry {
             .in_flight
             .fetch_sub(1, Ordering::Relaxed)
             .saturating_sub(1);
-        self.latency.record(report.wall);
+        // One histogram entry per logical request the job served (a
+        // coalesced batch ran its members together, so each member
+        // experienced the batch's wall time); failed jobs that served
+        // nothing still record one entry, as before.
+        self.latency.record_n(report.wall, report.requests.max(1));
         self.samples_streamed
             .fetch_add(report.samples, Ordering::Relaxed);
-        if report.error.is_none() {
-            self.completed.fetch_add(1, Ordering::Relaxed);
-        }
+        // Server jobs credit requests only for members they actually
+        // completed, so the counter is exact under partial failure.
+        self.completed.fetch_add(report.requests, Ordering::Relaxed);
         // Mirror the gauge and the histogram's input into the trace
         // stream: the same wall time lands in both, so a trace profile
         // and a Metrics snapshot agree on request latency.
@@ -202,26 +260,57 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_by_power_of_two() {
-        assert_eq!(LatencyHistogram::bucket_for(0), 0);
-        assert_eq!(LatencyHistogram::bucket_for(1), 0);
-        assert_eq!(LatencyHistogram::bucket_for(2), 1);
-        assert_eq!(LatencyHistogram::bucket_for(3), 1);
-        assert_eq!(LatencyHistogram::bucket_for(1024), 10);
+    fn histogram_buckets_are_exact_below_16us_and_log_linear_above() {
+        for us in 0..16u64 {
+            assert_eq!(LatencyHistogram::bucket_for(us), us as usize);
+            assert_eq!(LatencyHistogram::upper_bound_us(us as usize), us);
+        }
+        // 2^4..2^5 is the first split octave: 16 one-µs sub-buckets.
+        assert_eq!(LatencyHistogram::bucket_for(16), 16);
+        assert_eq!(LatencyHistogram::bucket_for(31), 31);
         assert_eq!(LatencyHistogram::bucket_for(u64::MAX), BUCKETS - 1);
     }
 
     #[test]
-    fn quantiles_are_conservative_upper_bounds() {
+    fn histogram_relative_error_is_within_a_sixteenth() {
+        // The reported upper bound never undershoots and overshoots by
+        // at most us/16 — the ~10%-relative-error requirement.
+        for us in (0..4096u64)
+            .chain((1..200).map(|k| k * 4093))
+            .chain((1..50).map(|k| k * 1_048_573))
+        {
+            let ub = LatencyHistogram::upper_bound_us(LatencyHistogram::bucket_for(us));
+            assert!(ub >= us, "upper bound {ub} undershoots {us}");
+            assert!(
+                ub - us <= us / 16,
+                "upper bound {ub} overshoots {us} by more than 6.25%"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_monotonic() {
+        let mut prev = 0;
+        for i in 1..BUCKETS {
+            let ub = LatencyHistogram::upper_bound_us(i);
+            assert!(ub > prev, "bucket {i}: {ub} <= {prev}");
+            prev = ub;
+        }
+    }
+
+    #[test]
+    fn quantiles_are_tight_conservative_upper_bounds() {
         let h = LatencyHistogram::default();
         assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
         for us in [100u64, 200, 400, 800, 100_000] {
             h.record(Duration::from_micros(us));
         }
+        // p50 = 400 µs; its bucket spans 400..=415 µs.
         let p50 = h.quantile_us(0.5);
-        assert!((200..=511).contains(&p50), "p50 {p50}");
+        assert!((400..=415).contains(&p50), "p50 {p50}");
+        // p99 = 100000 µs; its bucket spans 98304..=102399 µs.
         let p99 = h.quantile_us(0.99);
-        assert!(p99 >= 100_000, "p99 {p99}");
+        assert!((100_000..=102_399).contains(&p99), "p99 {p99}");
         assert!(h.quantile_us(1.0) >= h.quantile_us(0.5));
     }
 
@@ -238,6 +327,7 @@ mod tests {
                 attempts: 1,
                 wall: Duration::from_micros(300),
                 samples: 4096,
+                requests: 1,
                 error: None,
             },
         );
@@ -255,10 +345,32 @@ mod tests {
                 attempts: 1,
                 wall: Duration::from_micros(10),
                 samples: 0,
+                requests: 0,
                 error: Some(JobError::TimedOut),
             },
         );
         assert_eq!(reg.snapshot().completed, 1, "failed job not completed");
+    }
+
+    #[test]
+    fn coalesced_jobs_complete_once_per_member_request() {
+        let reg = MetricsRegistry::new();
+        reg.on_job_start(JobId(0), 1);
+        reg.on_job_finish(
+            JobId(0),
+            &JobReport {
+                id: JobId(0),
+                attempts: 1,
+                wall: Duration::from_micros(5_000),
+                samples: 8 * 2048,
+                requests: 8,
+                error: None,
+            },
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.completed, 8, "one completion per coalesced member");
+        assert_eq!(reg.latency.count(), 8, "one histogram entry per member");
+        assert_eq!(snap.in_flight, 0);
     }
 
     #[test]
@@ -270,11 +382,15 @@ mod tests {
         reg.digitize();
         reg.metrics_request();
         reg.error();
+        reg.overloaded();
+        reg.coalesced(3);
         let snap = reg.snapshot();
         assert_eq!(snap.connections, 1);
         assert_eq!(snap.pings, 2);
         assert_eq!(snap.digitizes, 1);
         assert_eq!(snap.metrics_requests, 1);
         assert_eq!(snap.errors, 1);
+        assert_eq!(snap.overloaded, 1);
+        assert_eq!(snap.coalesced, 3);
     }
 }

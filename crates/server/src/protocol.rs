@@ -161,6 +161,10 @@ impl PayloadWriter {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
     pub fn samples(&mut self, codes: &[u16]) {
         self.u32(codes.len() as u32);
         for &c in codes {
@@ -246,6 +250,15 @@ impl<'a> PayloadReader<'a> {
         Ok(values)
     }
 
+    /// Consumes and returns every remaining payload byte (used to hand
+    /// a nested frame body to an inner decoder, which enforces its own
+    /// trailing-bytes check).
+    pub fn rest(&mut self) -> &'a [u8] {
+        let out = self.buf.get(self.pos..).unwrap_or(&[]);
+        self.pos = self.buf.len();
+        out
+    }
+
     pub fn finish(self) -> Result<(), WireError> {
         let left = self.buf.len().saturating_sub(self.pos);
         if left == 0 {
@@ -272,7 +285,7 @@ pub enum Preset {
 }
 
 impl Preset {
-    fn to_u8(self) -> u8 {
+    pub(crate) fn to_u8(self) -> u8 {
         match self {
             Self::Nominal110 => 0,
             Self::Ideal => 1,
@@ -666,6 +679,35 @@ pub struct CacheFillRequest {
     pub entries: Vec<(u64, String)>,
 }
 
+/// The work a [`Request::Submit`] frame carries — the digitizing
+/// request kinds that may be pipelined under a correlation id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitBody {
+    /// A single-die digitization.
+    Digitize(DigitizeRequest),
+    /// A ganged (interleaved-array) digitization.
+    Ganged(GangedRequest),
+}
+
+/// A pipelined digitization request: the client picks `corr_id` and may
+/// send further `Submit` frames without waiting; every response frame
+/// belonging to this request comes back wrapped in
+/// [`Response::Tagged`] with the same id, and requests complete in
+/// whatever order the server finishes them.
+///
+/// `corr_id == 0` selects **legacy ordered mode**: responses travel
+/// untagged and at most one id-0 request runs per connection at a time,
+/// exactly like the bare [`Request::Digitize`] / [`Request::Ganged`]
+/// frames (which are equivalent to a `Submit` with id 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen correlation id; echoed on every response frame of
+    /// this request. `0` = legacy ordered mode.
+    pub corr_id: u64,
+    /// The digitization to run.
+    pub body: SubmitBody,
+}
+
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -689,6 +731,8 @@ pub enum Request {
     CacheQuery(CacheQueryRequest),
     /// Merge computed entries into the host's warm cache.
     CacheFill(CacheFillRequest),
+    /// A pipelined digitization under a client-chosen correlation id.
+    Submit(SubmitRequest),
 }
 
 const KIND_PING: u8 = 0x01;
@@ -699,6 +743,7 @@ const KIND_GANGED: u8 = 0x05;
 const KIND_JOB_BATCH: u8 = 0x06;
 const KIND_CACHE_QUERY: u8 = 0x07;
 const KIND_CACHE_FILL: u8 = 0x08;
+const KIND_SUBMIT: u8 = 0x09;
 const KIND_PONG: u8 = 0x81;
 const KIND_BATCH: u8 = 0x82;
 const KIND_DONE: u8 = 0x83;
@@ -710,6 +755,71 @@ const KIND_GANGED_DONE: u8 = 0x88;
 const KIND_JOB_RESULT: u8 = 0x89;
 const KIND_CACHE_HITS: u8 = 0x8A;
 const KIND_CACHE_FILL_ACK: u8 = 0x8B;
+const KIND_TAGGED: u8 = 0x8C;
+
+fn encode_digitize_fields(d: &DigitizeRequest, w: &mut PayloadWriter) {
+    w.u8(d.preset.to_u8());
+    w.u64(d.seed);
+    d.overrides.encode(w);
+    d.waveform.encode(w);
+    w.u32(d.n_samples);
+    w.u32(d.batch_size);
+    w.u32(d.deadline_ms);
+}
+
+fn decode_digitize_fields(r: &mut PayloadReader<'_>) -> Result<DigitizeRequest, WireError> {
+    let preset = Preset::from_u8(r.u8()?)?;
+    let seed = r.u64()?;
+    let overrides = ConfigOverrides::decode(r)?;
+    let waveform = WaveformSpec::decode(r)?;
+    Ok(DigitizeRequest {
+        preset,
+        seed,
+        overrides,
+        waveform,
+        n_samples: r.u32()?,
+        batch_size: r.u32()?,
+        deadline_ms: r.u32()?,
+    })
+}
+
+fn encode_ganged_fields(g: &GangedRequest, w: &mut PayloadWriter) {
+    w.u8(g.preset.to_u8());
+    w.u64(g.seed);
+    w.u8(g.channels);
+    w.u8(u8::from(g.mismatch));
+    w.u8(g.cal.to_u8());
+    w.f64(g.f_target_hz);
+    w.u32(g.n_samples);
+    w.u32(g.batch_size);
+    w.u32(g.deadline_ms);
+}
+
+fn decode_ganged_fields(r: &mut PayloadReader<'_>) -> Result<GangedRequest, WireError> {
+    let preset = Preset::from_u8(r.u8()?)?;
+    let seed = r.u64()?;
+    let channels = r.u8()?;
+    if channels == 0 || channels > MAX_GANGED_CHANNELS {
+        return Err(WireError::Malformed("channel count"));
+    }
+    let mismatch = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Malformed("mismatch flag")),
+    };
+    let cal = GangedCal::from_u8(r.u8()?)?;
+    Ok(GangedRequest {
+        preset,
+        seed,
+        channels,
+        mismatch,
+        cal,
+        f_target_hz: r.f64()?,
+        n_samples: r.u32()?,
+        batch_size: r.u32()?,
+        deadline_ms: r.u32()?,
+    })
+}
 
 impl Request {
     fn kind(&self) -> u8 {
@@ -722,6 +832,7 @@ impl Request {
             Self::JobBatch(_) => KIND_JOB_BATCH,
             Self::CacheQuery(_) => KIND_CACHE_QUERY,
             Self::CacheFill(_) => KIND_CACHE_FILL,
+            Self::Submit(_) => KIND_SUBMIT,
         }
     }
 
@@ -729,25 +840,20 @@ impl Request {
         let mut w = PayloadWriter::new();
         match self {
             Self::Ping { token } => w.u64(*token),
-            Self::Digitize(d) => {
-                w.u8(d.preset.to_u8());
-                w.u64(d.seed);
-                d.overrides.encode(&mut w);
-                d.waveform.encode(&mut w);
-                w.u32(d.n_samples);
-                w.u32(d.batch_size);
-                w.u32(d.deadline_ms);
-            }
-            Self::Ganged(g) => {
-                w.u8(g.preset.to_u8());
-                w.u64(g.seed);
-                w.u8(g.channels);
-                w.u8(u8::from(g.mismatch));
-                w.u8(g.cal.to_u8());
-                w.f64(g.f_target_hz);
-                w.u32(g.n_samples);
-                w.u32(g.batch_size);
-                w.u32(g.deadline_ms);
+            Self::Digitize(d) => encode_digitize_fields(d, &mut w),
+            Self::Ganged(g) => encode_ganged_fields(g, &mut w),
+            Self::Submit(s) => {
+                w.u64(s.corr_id);
+                match &s.body {
+                    SubmitBody::Digitize(d) => {
+                        w.u8(0);
+                        encode_digitize_fields(d, &mut w);
+                    }
+                    SubmitBody::Ganged(g) => {
+                        w.u8(1);
+                        encode_ganged_fields(g, &mut w);
+                    }
+                }
             }
             Self::JobBatch(b) => {
                 w.u64(b.batch_id);
@@ -782,51 +888,22 @@ impl Request {
         w.into_bytes()
     }
 
-    fn decode(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+    pub(crate) fn decode(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
         let mut r = PayloadReader::new(payload);
         let request = match kind {
             KIND_PING => Self::Ping { token: r.u64()? },
-            KIND_DIGITIZE => {
-                let preset = Preset::from_u8(r.u8()?)?;
-                let seed = r.u64()?;
-                let overrides = ConfigOverrides::decode(&mut r)?;
-                let waveform = WaveformSpec::decode(&mut r)?;
-                Self::Digitize(DigitizeRequest {
-                    preset,
-                    seed,
-                    overrides,
-                    waveform,
-                    n_samples: r.u32()?,
-                    batch_size: r.u32()?,
-                    deadline_ms: r.u32()?,
-                })
-            }
+            KIND_DIGITIZE => Self::Digitize(decode_digitize_fields(&mut r)?),
             KIND_METRICS => Self::Metrics,
             KIND_SHUTDOWN => Self::Shutdown,
-            KIND_GANGED => {
-                let preset = Preset::from_u8(r.u8()?)?;
-                let seed = r.u64()?;
-                let channels = r.u8()?;
-                if channels == 0 || channels > MAX_GANGED_CHANNELS {
-                    return Err(WireError::Malformed("channel count"));
-                }
-                let mismatch = match r.u8()? {
-                    0 => false,
-                    1 => true,
-                    _ => return Err(WireError::Malformed("mismatch flag")),
+            KIND_GANGED => Self::Ganged(decode_ganged_fields(&mut r)?),
+            KIND_SUBMIT => {
+                let corr_id = r.u64()?;
+                let body = match r.u8()? {
+                    0 => SubmitBody::Digitize(decode_digitize_fields(&mut r)?),
+                    1 => SubmitBody::Ganged(decode_ganged_fields(&mut r)?),
+                    _ => return Err(WireError::Malformed("submit body discriminant")),
                 };
-                let cal = GangedCal::from_u8(r.u8()?)?;
-                Self::Ganged(GangedRequest {
-                    preset,
-                    seed,
-                    channels,
-                    mismatch,
-                    cal,
-                    f_target_hz: r.f64()?,
-                    n_samples: r.u32()?,
-                    batch_size: r.u32()?,
-                    deadline_ms: r.u32()?,
-                })
+                Self::Submit(SubmitRequest { corr_id, body })
             }
             KIND_JOB_BATCH => {
                 let batch_id = r.u64()?;
@@ -911,6 +988,10 @@ pub enum ErrorCode {
     /// The request names a capability this server does not provide
     /// (e.g. a job batch on a host with no job runner).
     Unsupported,
+    /// Admission control shed this request: the server's bounded queues
+    /// were full. The request was *not* run; retry later (in-flight
+    /// requests on the same connection are unaffected).
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -926,6 +1007,7 @@ impl ErrorCode {
             Self::Draining => 7,
             Self::Internal => 8,
             Self::Unsupported => 9,
+            Self::Overloaded => 10,
         }
     }
 
@@ -941,6 +1023,7 @@ impl ErrorCode {
             7 => Self::Draining,
             8 => Self::Internal,
             9 => Self::Unsupported,
+            10 => Self::Overloaded,
             _ => return Err(WireError::Malformed("error code")),
         })
     }
@@ -1021,6 +1104,11 @@ pub struct MetricsSnapshot {
     pub p90_us: u64,
     /// 99th-percentile digitize latency, microseconds.
     pub p99_us: u64,
+    /// Requests shed by admission control (`Overloaded` frames sent).
+    pub overloaded: u64,
+    /// Digitize requests served as members of a coalesced lane batch of
+    /// two or more (a subset of `completed`).
+    pub coalesced: u64,
 }
 
 impl MetricsSnapshot {
@@ -1039,6 +1127,8 @@ impl MetricsSnapshot {
             self.p50_us,
             self.p90_us,
             self.p99_us,
+            self.overloaded,
+            self.coalesced,
         ] {
             w.u64(v);
         }
@@ -1059,6 +1149,8 @@ impl MetricsSnapshot {
             p50_us: r.u64()?,
             p90_us: r.u64()?,
             p99_us: r.u64()?,
+            overloaded: r.u64()?,
+            coalesced: r.u64()?,
         })
     }
 }
@@ -1115,6 +1207,17 @@ pub enum Response {
         /// overwritten — see [`CacheFillRequest`]).
         accepted: u32,
     },
+    /// A response frame belonging to a pipelined [`Request::Submit`]
+    /// stream: the correlation id names which in-flight request the
+    /// inner frame continues or completes. The inner response is one of
+    /// `Batch`, `Done`, `GangedBatch`, `GangedDone`, or `Error` — never
+    /// another `Tagged`.
+    Tagged {
+        /// The correlation id the client chose at submit time.
+        corr_id: u64,
+        /// The wrapped stream frame.
+        inner: Box<Response>,
+    },
 }
 
 impl Response {
@@ -1131,6 +1234,7 @@ impl Response {
             Self::JobResult(_) => KIND_JOB_RESULT,
             Self::CacheHits { .. } => KIND_CACHE_HITS,
             Self::CacheFillAck { .. } => KIND_CACHE_FILL_ACK,
+            Self::Tagged { .. } => KIND_TAGGED,
         }
     }
 
@@ -1184,11 +1288,16 @@ impl Response {
                 }
             }
             Self::CacheFillAck { accepted } => w.u32(*accepted),
+            Self::Tagged { corr_id, inner } => {
+                w.u64(*corr_id);
+                w.u8(inner.kind());
+                w.bytes(&inner.payload());
+            }
         }
         w.into_bytes()
     }
 
-    fn decode(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+    pub(crate) fn decode(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
         let mut r = PayloadReader::new(payload);
         let response = match kind {
             KIND_PONG => Self::Pong { token: r.u64()? },
@@ -1255,6 +1364,21 @@ impl Response {
                 Self::CacheHits { entries }
             }
             KIND_CACHE_FILL_ACK => Self::CacheFillAck { accepted: r.u32()? },
+            KIND_TAGGED => {
+                let corr_id = r.u64()?;
+                let inner_kind = r.u8()?;
+                match inner_kind {
+                    KIND_BATCH | KIND_DONE | KIND_ERROR | KIND_GANGED_BATCH | KIND_GANGED_DONE => {}
+                    _ => return Err(WireError::Malformed("tagged inner kind")),
+                }
+                // The inner decoder enforces its own trailing-bytes
+                // check over the rest of the payload.
+                let inner = Self::decode(inner_kind, r.rest())?;
+                return Ok(Self::Tagged {
+                    corr_id,
+                    inner: Box::new(inner),
+                });
+            }
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -1327,6 +1451,26 @@ fn check_frame(bytes: &[u8], max_payload: u32) -> Result<(u8, &[u8]), WireError>
     Ok((kind, payload))
 }
 
+/// Decodes the `(kind, payload)` pair a [`FrameAssembler`] yields into
+/// a [`Request`].
+///
+/// # Errors
+///
+/// [`WireError`] when the kind is unknown or the payload malformed.
+pub fn decode_request_frame(kind: u8, payload: &[u8]) -> Result<Request, WireError> {
+    Request::decode(kind, payload)
+}
+
+/// Decodes the `(kind, payload)` pair a [`FrameAssembler`] yields into
+/// a [`Response`].
+///
+/// # Errors
+///
+/// [`WireError`] when the kind is unknown or the payload malformed.
+pub fn decode_response_frame(kind: u8, payload: &[u8]) -> Result<Response, WireError> {
+    Response::decode(kind, payload)
+}
+
 /// Decodes one complete request frame from a byte slice.
 pub fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
     let (kind, payload) = check_frame(bytes, MAX_PAYLOAD)?;
@@ -1337,6 +1481,99 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
 pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
     let (kind, payload) = check_frame(bytes, MAX_PAYLOAD)?;
     Response::decode(kind, payload)
+}
+
+/// Incremental frame assembler for nonblocking transports.
+///
+/// Bytes arrive in arbitrary chunks ([`FrameAssembler::extend`]);
+/// [`FrameAssembler::next_frame`] yields one complete, CRC-verified
+/// frame at a time or `Ok(None)` while a frame is still partial. Header
+/// fields (magic, version, declared size) are validated as soon as the
+/// header is buffered, so garbage input fails fast instead of stalling
+/// a length-prefixed read.
+///
+/// Decoding is total — any input either yields frames or a typed
+/// [`WireError`], never a panic. After an error the stream offset is
+/// unrecoverable; the caller must drop the connection (exactly what the
+/// server does).
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Compact the assembler's buffer once the consumed prefix passes this
+/// size, amortizing the copy against at least as many parsed bytes.
+const ASSEMBLER_COMPACT_AT: usize = 64 * 1024;
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly received bytes to the stream buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len().saturating_sub(self.start)
+    }
+
+    /// Extracts the next complete frame, if one is fully buffered.
+    ///
+    /// Returns `Ok(Some((kind, payload)))` for a verified frame,
+    /// `Ok(None)` while the stream is mid-frame.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WireError`] on bad magic, version, an oversize
+    /// declaration (checked against `max_payload`), or a CRC mismatch.
+    pub fn next_frame(&mut self, max_payload: u32) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+        let bytes = self.buf.get(self.start..).unwrap_or(&[]);
+        if bytes.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(field(bytes, 0)?);
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(field(bytes, 4)?);
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let [kind] = field(bytes, 6)?;
+        let declared = u32::from_le_bytes(field(bytes, 7)?);
+        if declared > max_payload {
+            return Err(WireError::Oversize {
+                declared,
+                max: max_payload,
+            });
+        }
+        let body_len = HEADER_LEN + declared as usize;
+        let total = body_len + 4;
+        if bytes.len() < total {
+            return Ok(None);
+        }
+        let body = bytes.get(..body_len).ok_or(WireError::Truncated)?;
+        let received = u32::from_le_bytes(field(bytes, body_len)?);
+        let computed = crc32(body);
+        if computed != received {
+            return Err(WireError::BadCrc { computed, received });
+        }
+        let payload = body.get(HEADER_LEN..).ok_or(WireError::Truncated)?.to_vec();
+        self.start = self.start.saturating_add(total);
+        if self.start >= self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= ASSEMBLER_COMPACT_AT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some((kind, payload)))
+    }
 }
 
 /// What [`read_frame`] can fail with: transport I/O or protocol.
@@ -1526,6 +1763,14 @@ mod tests {
                     (8, String::new()),
                 ],
             }),
+            Request::Submit(SubmitRequest {
+                corr_id: 0x0123_4567_89AB_CDEF,
+                body: SubmitBody::Digitize(DigitizeRequest::tone(7, 10e6, 4096)),
+            }),
+            Request::Submit(SubmitRequest {
+                corr_id: 0,
+                body: SubmitBody::Ganged(GangedRequest::tone(7, 2, 20e6, 2048)),
+            }),
         ]
     }
 
@@ -1601,6 +1846,44 @@ mod tests {
                 entries: Vec::new(),
             },
             Response::CacheFillAck { accepted: 17 },
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                detail: "admission queue full".to_string(),
+            },
+            Response::Tagged {
+                corr_id: 42,
+                inner: Box::new(Response::Batch {
+                    seq: 0,
+                    samples: vec![7, 4095, 0],
+                }),
+            },
+            Response::Tagged {
+                corr_id: u64::MAX,
+                inner: Box::new(Response::Done(DigitizeDone {
+                    total_samples: 2048,
+                    batches: 2,
+                    f_in_hz: 10_009_765.625,
+                    stream_crc32: 0xFEED_FACE,
+                })),
+            },
+            Response::Tagged {
+                corr_id: 9,
+                inner: Box::new(Response::Error {
+                    code: ErrorCode::Overloaded,
+                    detail: "shed".to_string(),
+                }),
+            },
+            Response::Tagged {
+                corr_id: 3,
+                inner: Box::new(Response::GangedDone(GangedDone {
+                    total_samples: 1024,
+                    batches: 1,
+                    f_in_hz: 20_093_750.0,
+                    epochs_run: 3,
+                    converged: true,
+                    stream_crc32: 0x0BAD_CAFE,
+                })),
+            },
         ]
     }
 
@@ -1854,6 +2137,142 @@ mod tests {
         };
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&got), bits(&values));
+    }
+
+    #[test]
+    fn tagged_inner_kind_is_whitelisted() {
+        // Forge a Tagged frame wrapping a Pong — a kind the stream
+        // demultiplexer must never see inside a correlation stream.
+        let mut w = PayloadWriter::new();
+        w.u64(5);
+        w.u8(KIND_PONG);
+        w.u64(1); // pong token
+        let frame = encode_frame(KIND_TAGGED, &w.into_bytes());
+        assert_eq!(
+            decode_response(&frame),
+            Err(WireError::Malformed("tagged inner kind"))
+        );
+        // Nesting Tagged inside Tagged is likewise rejected.
+        let mut w = PayloadWriter::new();
+        w.u64(5);
+        w.u8(KIND_TAGGED);
+        let frame = encode_frame(KIND_TAGGED, &w.into_bytes());
+        assert_eq!(
+            decode_response(&frame),
+            Err(WireError::Malformed("tagged inner kind"))
+        );
+    }
+
+    #[test]
+    fn submit_body_discriminant_is_validated() {
+        let mut w = PayloadWriter::new();
+        w.u64(1); // corr_id
+        w.u8(2); // invalid body tag
+        let frame = encode_frame(KIND_SUBMIT, &w.into_bytes());
+        assert_eq!(
+            decode_request(&frame),
+            Err(WireError::Malformed("submit body discriminant"))
+        );
+    }
+
+    #[test]
+    fn submit_and_tagged_truncation_sweeps_are_rejected_not_panicking() {
+        let frames = [
+            encode_request(&Request::Submit(SubmitRequest {
+                corr_id: 77,
+                body: SubmitBody::Digitize(DigitizeRequest::tone(1, 10e6, 512)),
+            })),
+            encode_response(&Response::Tagged {
+                corr_id: 77,
+                inner: Box::new(Response::Batch {
+                    seq: 1,
+                    samples: vec![1, 2, 3],
+                }),
+            }),
+        ];
+        for frame in &frames {
+            for len in 0..frame.len() {
+                assert!(
+                    decode_request(&frame[..len]).is_err()
+                        && decode_response(&frame[..len]).is_err(),
+                    "truncated to {len} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assembler_reassembles_frames_from_arbitrary_chunkings() {
+        let mut stream = Vec::new();
+        for req in sample_requests() {
+            stream.extend_from_slice(&encode_request(&req));
+        }
+        for chunk in [1usize, 2, 3, 7, 11, 64, 1024] {
+            let mut asm = FrameAssembler::new();
+            let mut decoded = Vec::new();
+            for piece in stream.chunks(chunk) {
+                asm.extend(piece);
+                while let Some((kind, payload)) = asm.next_frame(MAX_PAYLOAD).unwrap() {
+                    decoded.push(Request::decode(kind, &payload).unwrap());
+                }
+            }
+            assert_eq!(decoded, sample_requests(), "chunk size {chunk}");
+            assert_eq!(asm.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_garbage_as_soon_as_the_header_lands() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(&[0xFF; HEADER_LEN]);
+        assert!(matches!(
+            asm.next_frame(MAX_PAYLOAD),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut asm = FrameAssembler::new();
+        let mut frame = encode_request(&Request::Metrics);
+        frame[7..11].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        asm.extend(&frame[..HEADER_LEN]);
+        assert!(matches!(
+            asm.next_frame(MAX_PAYLOAD),
+            Err(WireError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn assembler_catches_crc_corruption_mid_stream() {
+        let good = encode_request(&Request::Ping { token: 3 });
+        let mut bad = encode_request(&Request::Ping { token: 4 });
+        let n = bad.len();
+        bad[n - 6] ^= 0x40; // flip a payload bit; CRC must catch it
+        let mut asm = FrameAssembler::new();
+        asm.extend(&good);
+        asm.extend(&bad);
+        assert!(asm.next_frame(MAX_PAYLOAD).unwrap().is_some());
+        assert!(matches!(
+            asm.next_frame(MAX_PAYLOAD),
+            Err(WireError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn assembler_waits_while_a_frame_is_partial() {
+        let frame = encode_request(&Request::Digitize(DigitizeRequest::tone(1, 10e6, 256)));
+        let mut asm = FrameAssembler::new();
+        for (i, &byte) in frame.iter().enumerate() {
+            asm.extend(&[byte]);
+            let got = asm.next_frame(MAX_PAYLOAD).unwrap();
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "byte {i}: frame incomplete");
+            } else {
+                let (kind, payload) = got.expect("final byte completes the frame");
+                assert_eq!(
+                    Request::decode(kind, &payload).unwrap(),
+                    Request::Digitize(DigitizeRequest::tone(1, 10e6, 256))
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1631 @@
+//! The readiness-driven serving core: one reactor thread multiplexes
+//! every connection over `poll(2)` while simulation runs on the shared
+//! [`JobPool`](adc_runtime::JobPool).
+//!
+//! ## Shape
+//!
+//! * The reactor owns the listener and every [`Conn`]: nonblocking
+//!   sockets, an incremental [`FrameAssembler`] per connection, and a
+//!   bounded outbound frame queue ([`ConnOut`]) flushed opportunistically
+//!   whenever the socket is writable.
+//! * Decoded requests either complete inline (`Ping`, `Metrics`, cache
+//!   traffic) or park in a bounded per-connection **admission queue**.
+//!   A full queue sheds the newest request with a typed
+//!   [`ErrorCode::Overloaded`] frame instead of buffering unboundedly.
+//! * [`Reactor::dispatch`] drains admission queues round-robin (one
+//!   request per connection per round, resuming after the last admitted
+//!   connection) into pool jobs, bounded by global and per-connection
+//!   in-flight caps. Identical tone requests that are admitted in the
+//!   same round **coalesce** into one lane-parallel
+//!   [`LaneBench`] job that fabricates and converts every seed in a
+//!   single pass and streams each client its own record.
+//! * Workers never touch sockets: they push encoded frames into the
+//!   connection's [`ConnOut`] (blocking on the bound, polling their
+//!   deadline) and signal completion through an event list plus a
+//!   [`Waker`] byte that interrupts `poll`.
+//!
+//! ## Ordering and correlation
+//!
+//! A [`SubmitRequest`] with `corr_id != 0` may complete out of order;
+//! every one of its frames comes back wrapped in
+//! [`Response::Tagged`]. `corr_id == 0` (and the bare
+//! `Digitize`/`Ganged` frames, which are equivalent) is **legacy
+//! ordered mode**: at most one id-0 request is in flight per
+//! connection, so untagged responses never interleave.
+//!
+//! ## Determinism
+//!
+//! Scheduling here decides *when* a record is computed, never *what* it
+//! contains: jobs derive entirely from the request (preset, overrides,
+//! seed, waveform), and a coalesced lane run is bit-identical to the
+//! scalar path per the lane-equivalence tests in `adc-testbench`. The
+//! module is in `adc-lint`'s determinism scope to keep it that way.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use adc_runtime::{JobCtx, JobError};
+use adc_testbench::LaneBench;
+
+use crate::protocol::{
+    encode_response, error_code_for_build, DigitizeDone, DigitizeRequest, ErrorCode,
+    FrameAssembler, GangedDone, GangedRequest, Request, Response, SubmitBody, WaveformSpec,
+    WireError,
+};
+use crate::server::{
+    digitize_config, error_code_for_ganged, run_digitize, run_ganged, run_job_batch, stream_crc,
+    validate, validate_ganged, value_stream_crc, ServerConfig, Shared,
+};
+
+/// Bytes read from a socket per `read(2)` call.
+const READ_CHUNK: usize = 64 * 1024;
+/// Outbound bytes staged per `write(2)` call.
+const WRITE_CHUNK: usize = 64 * 1024;
+
+/// Minimal `poll(2)` binding — the only system interface the reactor
+/// needs beyond std. Kept to one symbol so the surface is auditable.
+#[cfg(unix)]
+mod sys {
+    use std::io;
+
+    /// Mirror of the C `struct pollfd` (identical layout on every
+    /// platform std supports).
+    #[repr(C)]
+    #[derive(Clone, Copy, Debug)]
+    pub struct PollFd {
+        /// File descriptor to watch.
+        pub fd: i32,
+        /// Requested readiness events.
+        pub events: i16,
+        /// Kernel-reported readiness events.
+        pub revents: i16,
+    }
+
+    /// Readable (or peer-closed) readiness.
+    pub const POLLIN: i16 = 0x001;
+    /// Writable readiness.
+    pub const POLLOUT: i16 = 0x004;
+
+    extern "C" {
+        fn poll(
+            fds: *mut PollFd,
+            nfds: std::ffi::c_ulong,
+            timeout: std::ffi::c_int,
+        ) -> std::ffi::c_int;
+    }
+
+    /// Blocks until a descriptor is ready or `timeout_ms` passes,
+    /// retrying on `EINTR`. Returns the ready count.
+    pub fn poll_wait(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `fds` is a valid exclusive slice of #[repr(C)]
+            // pollfd-layout structs for the whole call, and `nfds`
+            // matches its length — exactly the poll(2) contract.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Wakes the reactor out of `poll` by writing one byte into a
+/// socketpair the reactor watches. Cloneable; shared with every worker
+/// through [`JobGuard`] and every [`ConnOut`].
+#[derive(Clone, Debug)]
+pub(crate) struct Waker {
+    #[cfg(unix)]
+    tx: Arc<std::os::unix::net::UnixStream>,
+}
+
+impl Waker {
+    /// Nudges the reactor. Best-effort: a full pipe already guarantees
+    /// a pending wakeup, and a closed one means the reactor is gone.
+    pub(crate) fn wake(&self) {
+        #[cfg(unix)]
+        {
+            let _ = (&*self.tx).write_all(&[1u8]);
+        }
+    }
+}
+
+/// The reactor-side read end of the waker channel.
+#[cfg(unix)]
+pub(crate) type WakerRx = std::os::unix::net::UnixStream;
+/// Fallback waker read end on non-unix hosts (the reactor falls back to
+/// timeout-tick polling there).
+#[cfg(not(unix))]
+pub(crate) type WakerRx = ();
+
+/// Builds a connected waker pair, both ends nonblocking.
+pub(crate) fn waker_pair() -> io::Result<(Waker, WakerRx)> {
+    #[cfg(unix)]
+    {
+        let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((Waker { tx: Arc::new(tx) }, rx))
+    }
+    #[cfg(not(unix))]
+    {
+        Ok((Waker {}, ()))
+    }
+}
+
+/// A completion notice a worker posts into [`Shared::events`] before
+/// waking the reactor.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// One logical request finished (success or failure).
+    JobDone {
+        /// Connection the request belonged to.
+        conn: u64,
+        /// `true` for legacy ordered (corr id 0) requests — releases the
+        /// connection's ordered-mode slot.
+        legacy: bool,
+        /// `true` when the request held a global in-flight slot (batch
+        /// jobs run on their own thread and don't).
+        global: bool,
+        /// `true` when the request failed (for the error counter).
+        failed: bool,
+    },
+    /// One pool job (which may have carried several coalesced requests)
+    /// finished, releasing its pool-depth slot. The reactor keeps at
+    /// most workers + 1 jobs at the pool so pending work coalesces at
+    /// the last moment: deep batches under backlog, shallow ones —
+    /// low latency — when the pool is keeping up.
+    PoolSlotFreed,
+}
+
+/// Outbound frame state for one connection.
+struct OutState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+/// The bounded outbound frame queue of one connection — the
+/// backpressure mechanism. Workers push (blocking on the bound while
+/// polling their deadline); the reactor pops while flushing.
+pub(crate) struct ConnOut {
+    state: Mutex<OutState>,
+    space: Condvar,
+    capacity: usize,
+    waker: Waker,
+}
+
+impl std::fmt::Debug for ConnOut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnOut")
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl ConnOut {
+    fn new(capacity: usize, waker: Waker) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(OutState {
+                frames: VecDeque::new(),
+                closed: false,
+            }),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+            waker,
+        })
+    }
+
+    /// Queues a frame, blocking while the queue is at capacity. Returns
+    /// `false` once the connection closed or the job's deadline fired —
+    /// the streaming worker must stop.
+    fn push_wait(&self, ctx: &JobCtx, frame: Vec<u8>) -> bool {
+        let mut state = self.state.lock().expect("conn out lock");
+        loop {
+            if state.closed {
+                return false;
+            }
+            if state.frames.len() < self.capacity {
+                state.frames.push_back(frame);
+                drop(state);
+                self.waker.wake();
+                return true;
+            }
+            if ctx.timed_out() || ctx.cancelled() {
+                return false;
+            }
+            let (next, _) = self
+                .space
+                .wait_timeout(state, Duration::from_millis(1))
+                .expect("conn out lock");
+            state = next;
+        }
+    }
+
+    /// Queues a frame without blocking or respecting the bound — for
+    /// reactor-inline responses and terminal error frames, which must
+    /// never stall the reactor thread.
+    fn push_now(&self, frame: Vec<u8>) -> bool {
+        let mut state = self.state.lock().expect("conn out lock");
+        if state.closed {
+            return false;
+        }
+        state.frames.push_back(frame);
+        drop(state);
+        self.waker.wake();
+        true
+    }
+
+    /// Takes the oldest queued frame, releasing one unit of
+    /// backpressure.
+    fn pop(&self) -> Option<Vec<u8>> {
+        let mut state = self.state.lock().expect("conn out lock");
+        let frame = state.frames.pop_front();
+        if frame.is_some() {
+            drop(state);
+            self.space.notify_all();
+        }
+        frame
+    }
+
+    fn is_empty(&self) -> bool {
+        self.state.lock().expect("conn out lock").frames.is_empty()
+    }
+
+    /// Marks the connection gone: queued frames are dropped and every
+    /// blocked pusher unblocks with `false`.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("conn out lock");
+        state.closed = true;
+        state.frames.clear();
+        drop(state);
+        self.space.notify_all();
+    }
+}
+
+/// Wraps a response in [`Response::Tagged`] when the request carried a
+/// nonzero correlation id.
+fn wrap(corr: u64, response: Response) -> Vec<u8> {
+    if corr == 0 {
+        encode_response(&response)
+    } else {
+        encode_response(&Response::Tagged {
+            corr_id: corr,
+            inner: Box::new(response),
+        })
+    }
+}
+
+/// A worker's handle for streaming responses to one request: the
+/// connection's queue plus the request's correlation id (applied to
+/// every frame).
+#[derive(Clone)]
+pub(crate) struct ConnSink {
+    out: Arc<ConnOut>,
+    corr: u64,
+}
+
+impl std::fmt::Debug for ConnSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnSink")
+            .field("corr", &self.corr)
+            .finish()
+    }
+}
+
+impl ConnSink {
+    /// Queues a response, blocking on backpressure until the deadline
+    /// fires or the peer leaves.
+    fn send(&self, ctx: &JobCtx, response: Response) -> bool {
+        self.out.push_wait(ctx, wrap(self.corr, response))
+    }
+
+    /// Queues a response unconditionally (terminal frames).
+    fn send_now(&self, response: Response) -> bool {
+        self.out.push_now(wrap(self.corr, response))
+    }
+}
+
+/// One admitted-but-not-yet-dispatched digitization.
+#[derive(Debug)]
+enum Work {
+    Digitize { corr: u64, req: DigitizeRequest },
+    Ganged { corr: u64, req: GangedRequest },
+}
+
+impl Work {
+    fn corr(&self) -> u64 {
+        match self {
+            Self::Digitize { corr, .. } | Self::Ganged { corr, .. } => *corr,
+        }
+    }
+}
+
+/// The coalescing identity of a tone digitization: two requests with
+/// equal keys (everything but the seed) can fabricate and convert as
+/// lanes of one [`LaneBench`] pass. Floats key by bit pattern — the
+/// served computation is keyed on exact values, so coalescing must be
+/// too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct LaneKey {
+    preset: u8,
+    f_cr: Option<u64>,
+    amp: Option<u64>,
+    noise: Option<bool>,
+    f_target: u64,
+    n_samples: u32,
+    batch_size: u32,
+}
+
+/// `Some` when the work is coalescible: a tone digitize with no
+/// deadline (a deadline is per-request; lane members must share fate).
+fn lane_key(work: &Work) -> Option<LaneKey> {
+    let Work::Digitize { req, .. } = work else {
+        return None;
+    };
+    if req.deadline_ms != 0 {
+        return None;
+    }
+    let WaveformSpec::Tone { f_target_hz } = req.waveform else {
+        return None;
+    };
+    Some(LaneKey {
+        preset: req.preset.to_u8(),
+        f_cr: req.overrides.f_cr_hz.map(f64::to_bits),
+        amp: req.overrides.amplitude_v.map(f64::to_bits),
+        noise: req.overrides.thermal_noise,
+        f_target: f_target_hz.to_bits(),
+        n_samples: req.n_samples,
+        batch_size: req.batch_size,
+    })
+}
+
+/// One request's membership in a dispatched job.
+struct Member {
+    conn: u64,
+    legacy: bool,
+    sink: ConnSink,
+}
+
+/// Guarantees every dispatched request posts exactly one
+/// [`Event::JobDone`] — even when the job closure panics or is dropped
+/// unrun — so in-flight accounting can never leak and drain can never
+/// hang.
+struct JobGuard {
+    shared: Arc<Shared>,
+    members: Vec<Member>,
+    global: bool,
+    settled: bool,
+    failed: bool,
+}
+
+impl JobGuard {
+    fn new(shared: Arc<Shared>, global: bool, members: Vec<Member>) -> Self {
+        Self {
+            shared,
+            members,
+            global,
+            settled: false,
+            failed: false,
+        }
+    }
+
+    /// Records the job's outcome; called exactly once on the normal
+    /// path.
+    fn finish(&mut self, failed: bool) {
+        self.settled = true;
+        self.failed = failed;
+    }
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        if !self.settled {
+            // The closure unwound or was dropped unrun: tell every
+            // member so no client waits forever on a lost request.
+            self.failed = true;
+            for member in &self.members {
+                let _ = member.sink.send_now(Response::Error {
+                    code: ErrorCode::Internal,
+                    detail: "request lost: the serving job unwound".to_string(),
+                });
+            }
+        }
+        {
+            let mut events = self.shared.events.lock().expect("reactor event lock");
+            for member in &self.members {
+                events.push(Event::JobDone {
+                    conn: member.conn,
+                    legacy: member.legacy,
+                    global: self.global,
+                    failed: self.failed,
+                });
+            }
+            if self.global {
+                events.push(Event::PoolSlotFreed);
+            }
+        }
+        self.shared.waker.wake();
+    }
+}
+
+/// Per-connection reactor state.
+struct Conn {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    out: Arc<ConnOut>,
+    /// Partially-written outbound bytes (staged from `out`).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Admitted requests waiting for an in-flight slot.
+    pending: VecDeque<Work>,
+    /// Requests currently running on the pool (or a batch thread).
+    inflight: u32,
+    /// `true` while a legacy ordered (corr id 0) request is in flight.
+    legacy_busy: bool,
+    read_closed: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn has_write_intent(&self) -> bool {
+        self.wpos < self.wbuf.len() || !self.out.is_empty()
+    }
+}
+
+/// The event loop state. Single-threaded: only [`run`] touches it.
+struct Reactor {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    #[cfg_attr(not(unix), allow(dead_code))]
+    waker_rx: WakerRx,
+    conns: BTreeMap<u64, Conn>,
+    next_conn: u64,
+    /// Requests holding global in-flight slots.
+    inflight: usize,
+    /// Jobs currently at the pool (queued or running).
+    pool_jobs: usize,
+    /// Pool-depth ceiling: workers + 1 (one job running per worker,
+    /// one composed ahead so workers never idle waiting on the
+    /// reactor). Holding the rest back in `pending` lets dispatch
+    /// coalesce whatever has accumulated by the time a slot frees.
+    pool_cap: usize,
+    /// Fairness cursor: dispatch resumes after this connection id.
+    cursor: u64,
+    batch_threads: Vec<std::thread::JoinHandle<()>>,
+    scratch: Vec<u8>,
+}
+
+/// Runs the reactor until drained: the listener has stopped accepting,
+/// every connection has flushed and closed, and every dispatched job
+/// has completed.
+pub(crate) fn run(listener: TcpListener, waker_rx: WakerRx, shared: Arc<Shared>) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let pool_cap = shared.pool.threads() + 1;
+    let mut reactor = Reactor {
+        shared,
+        listener,
+        waker_rx,
+        conns: BTreeMap::new(),
+        next_conn: 1,
+        inflight: 0,
+        pool_jobs: 0,
+        pool_cap,
+        cursor: 0,
+        batch_threads: Vec::new(),
+        scratch: vec![0u8; READ_CHUNK],
+    };
+    let result = reactor.event_loop();
+    for join in reactor.batch_threads.drain(..) {
+        let _ = join.join();
+    }
+    for conn in reactor.conns.values() {
+        conn.out.close();
+    }
+    result
+}
+
+impl Reactor {
+    fn event_loop(&mut self) -> io::Result<()> {
+        loop {
+            self.wait()?;
+            self.process_events();
+            self.accept()?;
+            self.read_phase();
+            self.dispatch();
+            self.write_phase();
+            self.reap();
+            if self.shared.draining.load(Ordering::SeqCst)
+                && self.conns.is_empty()
+                && self.inflight == 0
+            {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Blocks in `poll` until a socket is ready, a worker wakes us, or
+    /// the poll tick elapses (the tick bounds drain latency and is the
+    /// whole loop on non-unix hosts).
+    fn wait(&mut self) -> io::Result<()> {
+        let timeout = self.shared.cfg.read_poll;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let draining = self.shared.draining.load(Ordering::SeqCst);
+            let mut fds = Vec::with_capacity(self.conns.len() + 2);
+            fds.push(sys::PollFd {
+                fd: self.waker_rx.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            if !draining {
+                fds.push(sys::PollFd {
+                    fd: self.listener.as_raw_fd(),
+                    events: sys::POLLIN,
+                    revents: 0,
+                });
+            }
+            for conn in self.conns.values() {
+                if conn.dead {
+                    continue;
+                }
+                let mut events = 0i16;
+                if !draining && !conn.read_closed {
+                    events |= sys::POLLIN;
+                }
+                if conn.has_write_intent() {
+                    events |= sys::POLLOUT;
+                }
+                if events == 0 {
+                    continue;
+                }
+                fds.push(sys::PollFd {
+                    fd: conn.stream.as_raw_fd(),
+                    events,
+                    revents: 0,
+                });
+            }
+            let timeout_ms = i32::try_from(timeout.as_millis())
+                .unwrap_or(i32::MAX)
+                .max(1);
+            sys::poll_wait(&mut fds, timeout_ms)?;
+            // Drain the waker channel: wakeups are level cleared here,
+            // and workers always post state *before* waking, so a
+            // drained byte's work is always visible to this iteration.
+            let mut sink = [0u8; 64];
+            loop {
+                match (&self.waker_rx).read(&mut sink) {
+                    Ok(0) => break,
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            std::thread::sleep(
+                timeout
+                    .min(Duration::from_millis(1))
+                    .max(Duration::from_micros(100)),
+            );
+        }
+        Ok(())
+    }
+
+    /// Applies completion events posted by workers since the last
+    /// iteration.
+    fn process_events(&mut self) {
+        let events = std::mem::take(&mut *self.shared.events.lock().expect("reactor event lock"));
+        for event in events {
+            match event {
+                Event::JobDone {
+                    conn,
+                    legacy,
+                    global,
+                    failed,
+                } => {
+                    if global {
+                        self.inflight = self.inflight.saturating_sub(1);
+                    }
+                    if failed {
+                        self.shared.metrics.error();
+                    }
+                    if let Some(c) = self.conns.get_mut(&conn) {
+                        c.inflight = c.inflight.saturating_sub(1);
+                        if legacy {
+                            c.legacy_busy = false;
+                        }
+                    }
+                }
+                Event::PoolSlotFreed => {
+                    self.pool_jobs = self.pool_jobs.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    fn accept(&mut self) -> io::Result<()> {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.shared.metrics.connection_opened();
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    let out = ConnOut::new(
+                        self.shared.cfg.write_queue_frames,
+                        self.shared.waker.clone(),
+                    );
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            assembler: FrameAssembler::new(),
+                            out,
+                            wbuf: Vec::new(),
+                            wpos: 0,
+                            pending: VecDeque::new(),
+                            inflight: 0,
+                            legacy_busy: false,
+                            read_closed: false,
+                            dead: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads every readable socket to exhaustion, feeding the per-
+    /// connection assembler and handling decoded requests.
+    fn read_phase(&mut self) {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let mut decoded = Vec::new();
+            {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                if conn.dead || conn.read_closed {
+                    continue;
+                }
+                loop {
+                    match conn.stream.read(&mut self.scratch) {
+                        Ok(0) => {
+                            conn.read_closed = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            match ingest(
+                                &mut conn.assembler,
+                                &self.scratch[..n],
+                                self.shared.cfg.max_payload,
+                            ) {
+                                Ok(requests) => decoded.extend(requests),
+                                Err(w) => {
+                                    // Framing is lost: report and stop
+                                    // reading (resync is impossible on a
+                                    // corrupt length-prefixed stream).
+                                    self.shared.metrics.error();
+                                    let _ = conn.out.push_now(wrap(
+                                        0,
+                                        Response::Error {
+                                            code: ErrorCode::Protocol,
+                                            detail: w.to_string(),
+                                        },
+                                    ));
+                                    conn.read_closed = true;
+                                    break;
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            conn.dead = true;
+                            conn.out.close();
+                            break;
+                        }
+                    }
+                }
+            }
+            for request in decoded {
+                self.handle_request(id, request);
+            }
+        }
+    }
+
+    /// Serves one decoded request: inline for control traffic, admission
+    /// queue for digitization.
+    fn handle_request(&mut self, id: u64, request: Request) {
+        let shared = Arc::clone(&self.shared);
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        match request {
+            Request::Ping { token } => {
+                shared.metrics.ping();
+                let _ = conn.out.push_now(wrap(0, Response::Pong { token }));
+            }
+            Request::Metrics => {
+                shared.metrics.metrics_request();
+                let snapshot = shared.metrics.snapshot();
+                let _ = conn.out.push_now(wrap(0, Response::Metrics(snapshot)));
+            }
+            Request::Shutdown => {
+                // Begin the drain *before* acking: once the client has
+                // the ack in hand, `is_draining()` must already be true.
+                shared.draining.store(true, Ordering::SeqCst);
+                let _ = conn.out.push_now(wrap(0, Response::ShutdownAck));
+                conn.read_closed = true;
+            }
+            Request::Digitize(req) => {
+                shared.metrics.digitize();
+                if let Err(detail) = validate(&req, &shared.cfg) {
+                    shared.metrics.error();
+                    let _ = conn.out.push_now(wrap(
+                        0,
+                        Response::Error {
+                            code: ErrorCode::InvalidRequest,
+                            detail,
+                        },
+                    ));
+                    return;
+                }
+                enqueue(conn, &shared, Work::Digitize { corr: 0, req });
+            }
+            Request::Ganged(req) => {
+                shared.metrics.digitize();
+                if let Err(detail) = validate_ganged(&req, &shared.cfg) {
+                    shared.metrics.error();
+                    let _ = conn.out.push_now(wrap(
+                        0,
+                        Response::Error {
+                            code: ErrorCode::InvalidRequest,
+                            detail,
+                        },
+                    ));
+                    return;
+                }
+                enqueue(conn, &shared, Work::Ganged { corr: 0, req });
+            }
+            Request::Submit(sub) => {
+                shared.metrics.digitize();
+                let corr = sub.corr_id;
+                let work = match sub.body {
+                    SubmitBody::Digitize(req) => {
+                        if let Err(detail) = validate(&req, &shared.cfg) {
+                            shared.metrics.error();
+                            let _ = conn.out.push_now(wrap(
+                                corr,
+                                Response::Error {
+                                    code: ErrorCode::InvalidRequest,
+                                    detail,
+                                },
+                            ));
+                            return;
+                        }
+                        Work::Digitize { corr, req }
+                    }
+                    SubmitBody::Ganged(req) => {
+                        if let Err(detail) = validate_ganged(&req, &shared.cfg) {
+                            shared.metrics.error();
+                            let _ = conn.out.push_now(wrap(
+                                corr,
+                                Response::Error {
+                                    code: ErrorCode::InvalidRequest,
+                                    detail,
+                                },
+                            ));
+                            return;
+                        }
+                        Work::Ganged { corr, req }
+                    }
+                };
+                enqueue(conn, &shared, work);
+            }
+            Request::JobBatch(req) => {
+                shared.metrics.job_batch();
+                let Some(runner) = shared.cfg.job_runner.clone() else {
+                    shared.metrics.error();
+                    let _ = conn.out.push_now(wrap(
+                        0,
+                        Response::Error {
+                            code: ErrorCode::Unsupported,
+                            detail: "this host has no job runner registered".to_string(),
+                        },
+                    ));
+                    return;
+                };
+                conn.inflight += 1;
+                let sink = ConnSink {
+                    out: Arc::clone(&conn.out),
+                    corr: 0,
+                };
+                let mut guard = JobGuard::new(
+                    Arc::clone(&shared),
+                    false,
+                    vec![Member {
+                        conn: id,
+                        legacy: false,
+                        sink: sink.clone(),
+                    }],
+                );
+                // Batch jobs orchestrate their own pool fan-out and
+                // block on cache I/O, so they get a plain thread instead
+                // of occupying a pool worker.
+                self.batch_threads.push(std::thread::spawn(move || {
+                    let result = run_job_batch(&req, &runner, &shared);
+                    let delivered = sink.send_now(Response::JobResult(result));
+                    guard.finish(!delivered);
+                }));
+            }
+            Request::CacheQuery(q) => {
+                let cache = shared.caches.for_campaign(&q.campaign);
+                let entries: Vec<(u64, String)> = q
+                    .keys
+                    .iter()
+                    .filter_map(|&key| cache.get_line(key).map(|line| (key, line)))
+                    .collect();
+                let _ = conn.out.push_now(wrap(0, Response::CacheHits { entries }));
+            }
+            Request::CacheFill(c) => {
+                let cache = shared.caches.for_campaign(&c.campaign);
+                let mut accepted = 0u32;
+                for (key, line) in &c.entries {
+                    if cache.get_line(*key).is_none() {
+                        cache.put_line(*key, line);
+                        accepted += 1;
+                    }
+                }
+                let _ = cache.persist(&c.campaign);
+                let _ = conn
+                    .out
+                    .push_now(wrap(0, Response::CacheFillAck { accepted }));
+            }
+        }
+    }
+
+    /// Moves admitted work onto the pool: fair round-robin across
+    /// connections, bounded by the global and per-connection in-flight
+    /// caps, coalescing identical tone requests admitted in the same
+    /// round.
+    fn dispatch(&mut self) {
+        let max_inflight = self.shared.cfg.max_inflight.max(1);
+        let per_conn = self.shared.cfg.max_inflight_per_conn.max(1);
+        let max_lanes = self.shared.cfg.max_coalesce_lanes.max(1);
+
+        // Keep at most `pool_cap` jobs at the pool and park the rest
+        // in per-connection pending queues: work grouped here the
+        // moment a slot frees coalesces everything that accumulated
+        // while the workers were busy, so batch depth tracks backlog
+        // instead of freezing at whatever the arrival pattern was.
+        if self.pool_jobs >= self.pool_cap {
+            return;
+        }
+        let max_admit = (self.pool_cap - self.pool_jobs).saturating_mul(max_lanes);
+
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        if ids.is_empty() {
+            return;
+        }
+        // Resume after the last connection that got a slot so one
+        // chatty connection cannot starve the rest.
+        let pivot = ids.partition_point(|&id| id <= self.cursor);
+        let order: Vec<u64> = ids[pivot..]
+            .iter()
+            .chain(ids[..pivot].iter())
+            .copied()
+            .collect();
+
+        let mut admitted: Vec<(u64, Work)> = Vec::new();
+        'admit: loop {
+            let mut progressed = false;
+            for &id in &order {
+                if self.inflight >= max_inflight || admitted.len() >= max_admit {
+                    break 'admit;
+                }
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                if conn.dead || conn.inflight as usize >= per_conn {
+                    continue;
+                }
+                // Legacy ordered mode serializes corr-id-0 requests per
+                // connection without blocking later pipelined ones.
+                let pos = conn
+                    .pending
+                    .iter()
+                    .position(|w| w.corr() != 0 || !conn.legacy_busy);
+                let Some(pos) = pos else { continue };
+                let Some(work) = conn.pending.remove(pos) else {
+                    continue;
+                };
+                if work.corr() == 0 {
+                    conn.legacy_busy = true;
+                }
+                conn.inflight += 1;
+                self.inflight += 1;
+                self.cursor = id;
+                admitted.push((id, work));
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // Partition the admitted round into coalescible tone groups and
+        // singles, preserving admission order within each.
+        let mut groups: BTreeMap<LaneKey, Vec<(u64, Work)>> = BTreeMap::new();
+        let mut singles: Vec<(u64, Work)> = Vec::new();
+        for (id, work) in admitted {
+            match lane_key(&work) {
+                Some(key) => groups.entry(key).or_default().push((id, work)),
+                None => singles.push((id, work)),
+            }
+        }
+        for (id, work) in singles {
+            self.submit_single(id, work);
+        }
+        for (_, mut members) in groups {
+            while !members.is_empty() {
+                let take = members.len().min(max_lanes);
+                let chunk: Vec<(u64, Work)> = members.drain(..take).collect();
+                if chunk.len() == 1 {
+                    let (id, work) = chunk.into_iter().next().expect("chunk of one");
+                    self.submit_single(id, work);
+                } else {
+                    self.submit_lanes(chunk);
+                }
+            }
+        }
+    }
+
+    /// Dispatches one request as its own pool job.
+    fn submit_single(&mut self, id: u64, work: Work) {
+        let Some(conn) = self.conns.get(&id) else {
+            // The connection vanished between admission and dispatch;
+            // settle the slot immediately.
+            self.inflight = self.inflight.saturating_sub(1);
+            return;
+        };
+        let corr = work.corr();
+        let sink = ConnSink {
+            out: Arc::clone(&conn.out),
+            corr,
+        };
+        let cfg = self.shared.cfg.clone();
+        let mut guard = JobGuard::new(
+            Arc::clone(&self.shared),
+            true,
+            vec![Member {
+                conn: id,
+                legacy: corr == 0,
+                sink: sink.clone(),
+            }],
+        );
+        self.pool_jobs += 1;
+        match work {
+            Work::Digitize { req, .. } => {
+                let deadline = (req.deadline_ms > 0)
+                    .then(|| Duration::from_millis(u64::from(req.deadline_ms)));
+                let _handle = self.shared.pool.submit(deadline, move |ctx| {
+                    let result = digitize_job(&req, &cfg, ctx, &sink);
+                    guard.finish(result.is_err());
+                    result
+                });
+            }
+            Work::Ganged { req, .. } => {
+                let deadline = (req.deadline_ms > 0)
+                    .then(|| Duration::from_millis(u64::from(req.deadline_ms)));
+                let _handle = self.shared.pool.submit(deadline, move |ctx| {
+                    let result = ganged_job(&req, &cfg, ctx, &sink);
+                    guard.finish(result.is_err());
+                    result
+                });
+            }
+        }
+    }
+
+    /// Dispatches a group of identical tone requests as one
+    /// lane-parallel job.
+    fn submit_lanes(&mut self, chunk: Vec<(u64, Work)>) {
+        let mut guard_members = Vec::with_capacity(chunk.len());
+        let mut lane_inputs: Vec<(ConnSink, DigitizeRequest)> = Vec::with_capacity(chunk.len());
+        for (id, work) in chunk {
+            let Work::Digitize { corr, req } = work else {
+                continue;
+            };
+            let Some(conn) = self.conns.get(&id) else {
+                self.inflight = self.inflight.saturating_sub(1);
+                continue;
+            };
+            let sink = ConnSink {
+                out: Arc::clone(&conn.out),
+                corr,
+            };
+            guard_members.push(Member {
+                conn: id,
+                legacy: corr == 0,
+                sink: sink.clone(),
+            });
+            lane_inputs.push((sink, req));
+        }
+        if lane_inputs.is_empty() {
+            return;
+        }
+        self.shared.metrics.coalesced(lane_inputs.len() as u64);
+        let cfg = self.shared.cfg.clone();
+        let mut guard = JobGuard::new(Arc::clone(&self.shared), true, guard_members);
+        self.pool_jobs += 1;
+        let _handle = self.shared.pool.submit(None, move |ctx| {
+            let result = lane_job(&cfg, ctx, &lane_inputs);
+            guard.finish(result.is_err());
+            result
+        });
+    }
+
+    /// Flushes every connection with queued or partially-written
+    /// outbound bytes.
+    fn write_phase(&mut self) {
+        for conn in self.conns.values_mut() {
+            if conn.dead {
+                continue;
+            }
+            flush_conn(conn);
+            if conn.dead {
+                conn.out.close();
+            }
+        }
+    }
+
+    /// Removes finished connections and reaps finished batch threads.
+    fn reap(&mut self) {
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        let done: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                if c.inflight > 0 {
+                    return false;
+                }
+                if c.dead {
+                    return true;
+                }
+                c.pending.is_empty()
+                    && c.wpos >= c.wbuf.len()
+                    && c.out.is_empty()
+                    && (c.read_closed || draining)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in done {
+            if let Some(conn) = self.conns.remove(&id) {
+                conn.out.close();
+            }
+        }
+        self.batch_threads.retain(|h| !h.is_finished());
+    }
+}
+
+/// Parks a request in the connection's admission queue, shedding the
+/// newest request with a typed [`ErrorCode::Overloaded`] frame when the
+/// queue is full.
+fn enqueue(conn: &mut Conn, shared: &Arc<Shared>, work: Work) {
+    let cap = shared.cfg.max_pending_per_conn.max(1);
+    if conn.pending.len() >= cap {
+        shared.metrics.overloaded();
+        shared.metrics.error();
+        let _ = conn.out.push_now(wrap(
+            work.corr(),
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                detail: format!(
+                    "admission queue full: {} requests parked on this connection",
+                    conn.pending.len()
+                ),
+            },
+        ));
+        return;
+    }
+    conn.pending.push_back(work);
+}
+
+/// Feeds raw socket bytes through the connection's assembler and
+/// decodes every complete frame. Pure buffer work — no locks, no I/O,
+/// no pool — and panic-free by construction (it is a symbol-level
+/// panic root in `adc-lint`).
+pub(crate) fn ingest(
+    assembler: &mut FrameAssembler,
+    bytes: &[u8],
+    max_payload: u32,
+) -> Result<Vec<Request>, WireError> {
+    assembler.extend(bytes);
+    let mut requests = Vec::new();
+    while let Some((kind, payload)) = assembler.next_frame(max_payload)? {
+        requests.push(Request::decode(kind, &payload)?);
+    }
+    Ok(requests)
+}
+
+/// Writes staged bytes to the socket until it would block, refilling
+/// the stage from the frame queue in [`WRITE_CHUNK`] pieces.
+fn flush_conn(conn: &mut Conn) {
+    loop {
+        if conn.wpos >= conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            while conn.wbuf.len() < WRITE_CHUNK {
+                match conn.out.pop() {
+                    Some(frame) => conn.wbuf.extend_from_slice(&frame),
+                    None => break,
+                }
+            }
+            if conn.wbuf.is_empty() {
+                return;
+            }
+        }
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Streams one digitize request's response frames into its sink. Runs
+/// on a pool worker.
+fn digitize_job(
+    req: &DigitizeRequest,
+    cfg: &ServerConfig,
+    ctx: &JobCtx,
+    sink: &ConnSink,
+) -> Result<u64, JobError> {
+    let fail = |code: ErrorCode, detail: String| {
+        let _ = sink.send_now(Response::Error {
+            code,
+            detail: detail.clone(),
+        });
+        Err(JobError::Failed(detail))
+    };
+    // Scope span ids to the request's fabrication seed — two server
+    // runs serving the same request produce the same span identities.
+    let _trace_task = adc_trace::task(req.seed);
+    let _trace_request = adc_trace::span_with("request", ctx.id.0);
+    if ctx.timed_out() {
+        let _ = sink.send_now(Response::Error {
+            code: ErrorCode::TimedOut,
+            detail: "deadline expired before simulation started".to_string(),
+        });
+        return Err(JobError::TimedOut);
+    }
+    let digitize_result = {
+        let _trace_digitize = adc_trace::span("digitize");
+        run_digitize(req)
+    };
+    let (codes, f_in_hz) = match digitize_result {
+        Ok(result) => result,
+        Err(build) => return fail(error_code_for_build(&build), build.to_string()),
+    };
+    if ctx.timed_out() {
+        let _ = sink.send_now(Response::Error {
+            code: ErrorCode::TimedOut,
+            detail: "deadline expired during conversion".to_string(),
+        });
+        return Err(JobError::TimedOut);
+    }
+    let batch = if req.batch_size == 0 {
+        cfg.default_batch.max(1) as usize
+    } else {
+        req.batch_size as usize
+    };
+    let _trace_stream = adc_trace::span("stream");
+    let mut batches = 0u32;
+    for (seq, chunk) in codes.chunks(batch).enumerate() {
+        let sent = sink.send(
+            ctx,
+            Response::Batch {
+                seq: seq as u32,
+                samples: chunk.to_vec(),
+            },
+        );
+        if !sent {
+            let timed_out = ctx.timed_out();
+            let _ = sink.send_now(Response::Error {
+                code: ErrorCode::TimedOut,
+                detail: format!("deadline expired after {batches} batches"),
+            });
+            return if timed_out {
+                Err(JobError::TimedOut)
+            } else {
+                Err(JobError::Failed("client went away mid-stream".to_string()))
+            };
+        }
+        batches += 1;
+        ctx.record_samples(chunk.len() as u64);
+    }
+    let done = Response::Done(DigitizeDone {
+        total_samples: codes.len() as u32,
+        batches,
+        f_in_hz,
+        stream_crc32: stream_crc(&codes),
+    });
+    if !sink.send(ctx, done) {
+        return Err(JobError::Failed("client went away at done".to_string()));
+    }
+    ctx.record_requests(1);
+    Ok(codes.len() as u64)
+}
+
+/// Streams one ganged request's response frames into its sink —
+/// structurally the twin of [`digitize_job`] with the array scenario in
+/// place of the single-die session.
+fn ganged_job(
+    req: &GangedRequest,
+    cfg: &ServerConfig,
+    ctx: &JobCtx,
+    sink: &ConnSink,
+) -> Result<u64, JobError> {
+    let fail = |code: ErrorCode, detail: String| {
+        let _ = sink.send_now(Response::Error {
+            code,
+            detail: detail.clone(),
+        });
+        Err(JobError::Failed(detail))
+    };
+    let _trace_task = adc_trace::task(req.seed);
+    let _trace_request = adc_trace::span_with("request", ctx.id.0);
+    if ctx.timed_out() {
+        let _ = sink.send_now(Response::Error {
+            code: ErrorCode::TimedOut,
+            detail: "deadline expired before simulation started".to_string(),
+        });
+        return Err(JobError::TimedOut);
+    }
+    let capture = {
+        let _trace_ganged = adc_trace::span("ganged");
+        run_ganged(req)
+    };
+    let capture = match capture {
+        Ok(capture) => capture,
+        Err(err) => return fail(error_code_for_ganged(&err), err.to_string()),
+    };
+    if ctx.timed_out() {
+        let _ = sink.send_now(Response::Error {
+            code: ErrorCode::TimedOut,
+            detail: "deadline expired during conversion".to_string(),
+        });
+        return Err(JobError::TimedOut);
+    }
+    let batch = if req.batch_size == 0 {
+        cfg.default_batch.max(1) as usize
+    } else {
+        req.batch_size as usize
+    };
+    let _trace_stream = adc_trace::span("stream");
+    let mut batches = 0u32;
+    for (seq, chunk) in capture.values.chunks(batch).enumerate() {
+        let sent = sink.send(
+            ctx,
+            Response::GangedBatch {
+                seq: seq as u32,
+                values: chunk.to_vec(),
+            },
+        );
+        if !sent {
+            let timed_out = ctx.timed_out();
+            let _ = sink.send_now(Response::Error {
+                code: ErrorCode::TimedOut,
+                detail: format!("deadline expired after {batches} batches"),
+            });
+            return if timed_out {
+                Err(JobError::TimedOut)
+            } else {
+                Err(JobError::Failed("client went away mid-stream".to_string()))
+            };
+        }
+        batches += 1;
+        ctx.record_samples(chunk.len() as u64);
+    }
+    let done = Response::GangedDone(GangedDone {
+        total_samples: capture.values.len() as u32,
+        batches,
+        f_in_hz: capture.f_in_hz,
+        epochs_run: capture.epochs_run,
+        converged: capture.converged,
+        stream_crc32: value_stream_crc(&capture.values),
+    });
+    if !sink.send(ctx, done) {
+        return Err(JobError::Failed("client went away at done".to_string()));
+    }
+    ctx.record_requests(1);
+    Ok(capture.values.len() as u64)
+}
+
+/// Runs a coalesced group of identical tone requests as lanes of one
+/// [`LaneBench`] pass and streams each client its own record. Per-lane
+/// output is bit-identical to the scalar [`run_digitize`] path at the
+/// same seed (the lane-equivalence property `adc-testbench` tests), so
+/// coalescing is invisible to clients.
+fn lane_job(
+    cfg: &ServerConfig,
+    ctx: &JobCtx,
+    lanes: &[(ConnSink, DigitizeRequest)],
+) -> Result<u64, JobError> {
+    let Some((_, first)) = lanes.first() else {
+        return Err(JobError::Failed("empty coalesced batch".to_string()));
+    };
+    let WaveformSpec::Tone { f_target_hz } = first.waveform else {
+        return Err(JobError::Failed(
+            "coalesced batch must be tone requests".to_string(),
+        ));
+    };
+    let _trace_task = adc_trace::task(first.seed);
+    let _trace_request = adc_trace::span_with("coalesced", lanes.len() as u64);
+    let fail_all = |code: ErrorCode, detail: &str| {
+        for (sink, _) in lanes {
+            let _ = sink.send_now(Response::Error {
+                code,
+                detail: detail.to_string(),
+            });
+        }
+    };
+    if ctx.timed_out() || ctx.cancelled() {
+        fail_all(
+            ErrorCode::TimedOut,
+            "deadline expired before simulation started",
+        );
+        return Err(JobError::TimedOut);
+    }
+    let seeds: Vec<u64> = lanes.iter().map(|(_, req)| req.seed).collect();
+    let config = digitize_config(first);
+    let mut bench = match LaneBench::new(config, &seeds) {
+        Ok(bench) => bench,
+        Err(build) => {
+            let detail = build.to_string();
+            fail_all(error_code_for_build(&build), &detail);
+            return Err(JobError::Failed(detail));
+        }
+    };
+    bench.record_len = first.n_samples as usize;
+    if let Some(a) = first.overrides.amplitude_v {
+        bench.amplitude_v = a;
+    }
+    let mut outs: Vec<Vec<u16>> = vec![Vec::new(); lanes.len()];
+    let f_in_hz = {
+        let _trace_lanes = adc_trace::span("digitize_lanes");
+        bench.capture_tone_into(f_target_hz, &mut outs)
+    };
+    let batch = if first.batch_size == 0 {
+        cfg.default_batch.max(1) as usize
+    } else {
+        first.batch_size as usize
+    };
+    let _trace_stream = adc_trace::span("stream");
+    let mut served = 0u64;
+    let mut streamed = 0u64;
+    for ((sink, _), codes) in lanes.iter().zip(&outs) {
+        let mut delivered = true;
+        let mut batches = 0u32;
+        for (seq, chunk) in codes.chunks(batch).enumerate() {
+            let sent = sink.send(
+                ctx,
+                Response::Batch {
+                    seq: seq as u32,
+                    samples: chunk.to_vec(),
+                },
+            );
+            if !sent {
+                let _ = sink.send_now(Response::Error {
+                    code: ErrorCode::TimedOut,
+                    detail: format!("deadline expired after {batches} batches"),
+                });
+                delivered = false;
+                break;
+            }
+            batches += 1;
+            ctx.record_samples(chunk.len() as u64);
+        }
+        if !delivered {
+            continue;
+        }
+        let done = Response::Done(DigitizeDone {
+            total_samples: codes.len() as u32,
+            batches,
+            f_in_hz,
+            stream_crc32: stream_crc(codes),
+        });
+        if sink.send(ctx, done) {
+            served += 1;
+            streamed += codes.len() as u64;
+        }
+    }
+    ctx.record_requests(served);
+    if served == 0 {
+        return Err(JobError::Failed(
+            "every coalesced client went away mid-stream".to_string(),
+        ));
+    }
+    Ok(streamed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_request, ConfigOverrides, Preset};
+    use adc_runtime::{JobCtx, JobId};
+
+    fn tone(seed: u64) -> Work {
+        Work::Digitize {
+            corr: 1,
+            req: DigitizeRequest::tone(seed, 10e6, 2048),
+        }
+    }
+
+    #[test]
+    fn lane_key_groups_identical_tones_and_splits_everything_else() {
+        let a = lane_key(&tone(1)).unwrap();
+        let b = lane_key(&tone(2)).unwrap();
+        assert_eq!(a, b, "seed must not split a group");
+
+        let mut other = DigitizeRequest::tone(3, 10e6, 2048);
+        other.preset = Preset::Ideal;
+        let c = lane_key(&Work::Digitize {
+            corr: 1,
+            req: other,
+        })
+        .unwrap();
+        assert_ne!(a, c, "preset splits the group");
+
+        let mut amp = DigitizeRequest::tone(4, 10e6, 2048);
+        amp.overrides = ConfigOverrides {
+            amplitude_v: Some(0.5),
+            ..ConfigOverrides::default()
+        };
+        let d = lane_key(&Work::Digitize { corr: 1, req: amp }).unwrap();
+        assert_ne!(a, d, "amplitude override splits the group");
+
+        let mut deadlined = DigitizeRequest::tone(5, 10e6, 2048);
+        deadlined.deadline_ms = 100;
+        assert!(
+            lane_key(&Work::Digitize {
+                corr: 1,
+                req: deadlined
+            })
+            .is_none(),
+            "deadlines opt out of coalescing"
+        );
+
+        let dc = DigitizeRequest {
+            waveform: WaveformSpec::Dc { level_v: 0.1 },
+            ..DigitizeRequest::tone(6, 10e6, 2048)
+        };
+        assert!(
+            lane_key(&Work::Digitize { corr: 1, req: dc }).is_none(),
+            "only tones coalesce"
+        );
+
+        let ganged = Work::Ganged {
+            corr: 1,
+            req: GangedRequest::tone(7, 2, 10e6, 2048),
+        };
+        assert!(lane_key(&ganged).is_none(), "ganged never coalesces");
+    }
+
+    #[test]
+    fn conn_out_delivers_in_order_and_closes_cleanly() {
+        let (waker, _rx) = waker_pair().unwrap();
+        let out = ConnOut::new(4, waker);
+        assert!(out.push_now(vec![1]));
+        assert!(out.push_now(vec![2]));
+        assert_eq!(out.pop(), Some(vec![1]));
+        assert_eq!(out.pop(), Some(vec![2]));
+        assert_eq!(out.pop(), None);
+        out.close();
+        assert!(!out.push_now(vec![3]), "closed queues reject frames");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn push_wait_applies_backpressure_until_a_pop_frees_space() {
+        let (waker, _rx) = waker_pair().unwrap();
+        let out = ConnOut::new(1, waker);
+        assert!(out.push_now(vec![0])); // fill the single slot
+        let ctx = JobCtx::standalone(7, JobId(0));
+        let pusher = {
+            let out = Arc::clone(&out);
+            std::thread::spawn(move || out.push_wait(&ctx, vec![9]))
+        };
+        // The pusher is blocked on the bound; free a slot and it lands.
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(out.pop(), Some(vec![0]));
+        assert!(pusher.join().unwrap());
+        assert_eq!(out.pop(), Some(vec![9]));
+    }
+
+    #[test]
+    fn push_wait_gives_up_when_the_deadline_fires() {
+        let (waker, _rx) = waker_pair().unwrap();
+        let out = ConnOut::new(1, waker);
+        assert!(out.push_now(vec![0])); // fill the single slot, never pop
+        let pool = adc_runtime::JobPool::new("reactor-test", 7, 1);
+        let blocked = Arc::clone(&out);
+        let handle = pool.submit(Some(Duration::ZERO), move |ctx| {
+            std::thread::sleep(Duration::from_millis(2));
+            if blocked.push_wait(ctx, vec![1]) {
+                Ok(1u64)
+            } else {
+                Err(JobError::TimedOut)
+            }
+        });
+        let (value, report) = handle.wait();
+        assert!(value.is_none());
+        assert_eq!(report.error, Some(JobError::TimedOut));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn ingest_decodes_pipelined_frames_across_arbitrary_chunk_cuts() {
+        let frames: Vec<u8> = [
+            encode_request(&Request::Ping { token: 7 }),
+            encode_request(&Request::Metrics),
+            encode_request(&Request::Ping { token: 9 }),
+        ]
+        .concat();
+        for cut in 1..frames.len() {
+            let mut assembler = FrameAssembler::new();
+            let mut decoded = Vec::new();
+            for chunk in frames.chunks(cut) {
+                decoded.extend(ingest(&mut assembler, chunk, 1 << 20).unwrap());
+            }
+            assert_eq!(decoded.len(), 3, "chunk size {cut}");
+            assert_eq!(decoded[0], Request::Ping { token: 7 });
+            assert_eq!(decoded[2], Request::Ping { token: 9 });
+        }
+    }
+
+    #[test]
+    fn waker_pair_wakes_and_drains() {
+        let (waker, rx) = waker_pair().unwrap();
+        waker.wake();
+        waker.wake();
+        #[cfg(unix)]
+        {
+            let mut buf = [0u8; 8];
+            let n = (&rx).read(&mut buf).unwrap();
+            assert!(n >= 1);
+        }
+        #[cfg(not(unix))]
+        let _ = rx;
+    }
+}

@@ -1,50 +1,54 @@
-//! The TCP service: accept loop, per-connection framing, job dispatch,
-//! backpressure, deadlines, and graceful drain.
+//! The TCP service: configuration, lifecycle, and the served
+//! computations (the reactor in [`crate::reactor`] owns the sockets).
 //!
 //! ## Threading model
 //!
-//! * One **accept loop** ([`Server::serve`]) owns the listener.
-//! * Each connection gets a **reader thread** (decodes frames, serves
-//!   `Ping`/`Metrics` inline, dispatches `Digitize` onto the shared
-//!   [`JobPool`]) and a **writer thread** draining a *bounded* frame
-//!   queue to the socket. The queue bound is the backpressure
-//!   mechanism: a digitize worker streaming batches to a slow client
-//!   blocks on the full queue (while still polling its deadline)
-//!   instead of buffering unboundedly.
-//! * `Digitize` simulation runs on the [`JobPool`] — the runtime's
-//!   long-lived work pool — so server-side conversions use exactly the
-//!   same session code path as an in-process `adc-testbench` run, and
-//!   results are bit-identical for the same config and seed.
+//! * One **reactor thread** ([`Server::serve`]) owns the listener and
+//!   every connection socket, multiplexed over `poll(2)`: it decodes
+//!   frames incrementally, serves `Ping`/`Metrics`/cache traffic
+//!   inline, and admits digitization into bounded per-connection
+//!   queues.
+//! * Simulation runs on the [`JobPool`] — the runtime's long-lived
+//!   work pool — so server-side conversions use exactly the same
+//!   session code path as an in-process `adc-testbench` run, and
+//!   results are bit-identical for the same config and seed. Workers
+//!   stream response frames into a *bounded* per-connection queue the
+//!   reactor flushes; the bound is the backpressure mechanism.
+//! * Requests pipelined under nonzero correlation ids run concurrently
+//!   (up to the admission caps) and complete out of order; identical
+//!   tone requests arriving together coalesce into one lane-parallel
+//!   pass.
 //!
 //! ## Deadlines
 //!
 //! A request's `deadline_ms` becomes the job's cooperative timeout
-//! ([`JobCtx::timed_out`]). The worker polls it before fabricating the
-//! die, before converting, and between streamed batches — including
-//! while blocked on a full write queue — and reports
-//! [`ErrorCode::TimedOut`] when it fires. The conversion of one record
-//! is the indivisible unit (the converter's warmup semantics make a
-//! record a single pure computation), so deadlines resolve to batch
-//! granularity, exactly like the campaign engine's per-die polling.
+//! ([`adc_runtime::JobCtx::timed_out`]), counted from dispatch onto
+//! the pool. The
+//! worker polls it before fabricating the die, before converting, and
+//! between streamed batches — including while blocked on a full write
+//! queue — and reports [`ErrorCode::TimedOut`] when it fires. The
+//! conversion of one record is the indivisible unit (the converter's
+//! warmup semantics make a record a single pure computation), so
+//! deadlines resolve to batch granularity, exactly like the campaign
+//! engine's per-die polling.
 //!
 //! ## Shutdown
 //!
 //! A `Shutdown` frame (or [`ServerHandle::shutdown`]) begins a drain:
-//! the acceptor stops taking connections, connection readers finish
-//! their in-flight request and close, the pool runs queued jobs to
-//! completion, and [`Server::serve`] returns. A deadlocked drain is
-//! impossible through the protocol: readers poll the draining flag on
-//! a read-timeout tick.
+//! the reactor stops accepting and reading, runs admitted work to
+//! completion, flushes every connection, and [`Server::serve`]
+//! returns. A deadlocked drain is impossible: the reactor re-checks
+//! the draining flag every poll tick and every dispatched request is
+//! guaranteed a completion event.
 
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use adc_pipeline::config::AdcConfig;
 use adc_pipeline::error::BuildAdcError;
-use adc_runtime::{JobCtx, JobError, JobPool, RunObserver};
+use adc_runtime::{JobError, JobPool, RunObserver};
 use adc_testbench::{MeasurementSession, RampSource};
 
 use adc_calib::{Alignment, GangedCapture, GangedError, GangedScenario};
@@ -53,10 +57,10 @@ use adc_pipeline::interleave::InterleaveMismatch;
 use crate::jobs::{CampaignCaches, JobRunner};
 use crate::metrics::MetricsRegistry;
 use crate::protocol::{
-    self, encode_response, error_code_for_build, DigitizeDone, DigitizeRequest, ErrorCode,
-    FrameReadError, GangedCal, GangedDone, GangedRequest, JobBatchRequest, JobOutcome,
-    JobResultBatch, JobStatus, Preset, Request, Response, WaveformSpec,
+    self, error_code_for_build, DigitizeRequest, ErrorCode, GangedCal, GangedRequest,
+    JobBatchRequest, JobOutcome, JobResultBatch, JobStatus, Preset, WaveformSpec,
 };
+use crate::reactor::{self, Event, Waker};
 
 /// Foreground alignment averaging the server uses for
 /// [`GangedCal::Foreground`] — fixed so a ganged request fully
@@ -84,9 +88,19 @@ pub struct ServerConfig {
     pub max_samples: u32,
     /// Batch size used when a request passes `batch_size == 0`.
     pub default_batch: u32,
-    /// Reader poll tick — how often an idle connection re-checks the
-    /// draining flag.
+    /// Reactor poll tick — the latency bound on drain checks when no
+    /// socket or completion event wakes the loop sooner.
     pub read_poll: Duration,
+    /// Global cap on digitizations in flight on the pool at once.
+    pub max_inflight: usize,
+    /// Per-connection cap on digitizations in flight at once.
+    pub max_inflight_per_conn: usize,
+    /// Per-connection admission-queue depth; requests beyond it are
+    /// shed with [`ErrorCode::Overloaded`].
+    pub max_pending_per_conn: usize,
+    /// Most identical tone requests coalesced into one lane-parallel
+    /// job.
+    pub max_coalesce_lanes: usize,
     /// The host's campaign-job capability; `None` (the default) answers
     /// `JobBatch` requests with [`ErrorCode::Unsupported`].
     pub job_runner: Option<Arc<dyn JobRunner>>,
@@ -105,6 +119,10 @@ impl std::fmt::Debug for ServerConfig {
             .field("max_samples", &self.max_samples)
             .field("default_batch", &self.default_batch)
             .field("read_poll", &self.read_poll)
+            .field("max_inflight", &self.max_inflight)
+            .field("max_inflight_per_conn", &self.max_inflight_per_conn)
+            .field("max_pending_per_conn", &self.max_pending_per_conn)
+            .field("max_coalesce_lanes", &self.max_coalesce_lanes)
             .field("job_runner", &self.job_runner.as_ref().map(|_| "<runner>"))
             .field("cache_dir", &self.cache_dir)
             .finish()
@@ -116,23 +134,33 @@ impl Default for ServerConfig {
         Self {
             threads: 0,
             seed: 0x5EC7_0A0D,
-            write_queue_frames: 8,
+            write_queue_frames: 32,
             max_payload: 1 << 20,
             max_samples: 1 << 20,
             default_batch: 1024,
             read_poll: Duration::from_millis(50),
+            max_inflight: 64,
+            max_inflight_per_conn: 16,
+            max_pending_per_conn: 256,
+            max_coalesce_lanes: 8,
             job_runner: None,
             cache_dir: None,
         }
     }
 }
 
-struct Shared {
-    pool: JobPool,
-    metrics: Arc<MetricsRegistry>,
-    draining: AtomicBool,
-    cfg: ServerConfig,
-    caches: CampaignCaches,
+/// State shared between the reactor thread, pool workers, and handles.
+pub(crate) struct Shared {
+    pub(crate) pool: JobPool,
+    pub(crate) metrics: Arc<MetricsRegistry>,
+    pub(crate) draining: AtomicBool,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) caches: CampaignCaches,
+    /// Interrupts the reactor's `poll` when a worker finishes or a
+    /// handle requests shutdown.
+    pub(crate) waker: Waker,
+    /// Completion notices workers post before waking the reactor.
+    pub(crate) events: Mutex<Vec<Event>>,
 }
 
 /// A bound, not-yet-serving server. [`Server::serve`] runs it to
@@ -141,6 +169,7 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     shared: Arc<Shared>,
+    waker_rx: reactor::WakerRx,
 }
 
 impl std::fmt::Debug for Server {
@@ -190,8 +219,8 @@ impl ServerHandle {
         if self.shared.draining.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the acceptor so it observes the flag.
-        let _ = TcpStream::connect(self.addr);
+        // Kick the reactor out of `poll` so it observes the flag.
+        self.shared.waker.wake();
     }
 }
 
@@ -209,6 +238,7 @@ impl Server {
         let observers: Vec<Arc<dyn RunObserver>> = vec![Arc::clone(&metrics) as _];
         let pool = JobPool::with_observers("adc-server", cfg.seed, cfg.threads, observers);
         let caches = CampaignCaches::new(cfg.cache_dir.clone());
+        let (waker, waker_rx) = reactor::waker_pair()?;
         Ok(Self {
             listener,
             addr,
@@ -218,7 +248,10 @@ impl Server {
                 draining: AtomicBool::new(false),
                 cfg,
                 caches,
+                waker,
+                events: Mutex::new(Vec::new()),
             }),
+            waker_rx,
         })
     }
 
@@ -235,38 +268,17 @@ impl Server {
         }
     }
 
-    /// Runs the accept loop until drained. Returns after every
-    /// connection has closed and every accepted job has completed.
+    /// Runs the reactor until drained. Returns after every connection
+    /// has closed and every admitted job has completed.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop I/O failures (per-connection errors are
-    /// contained in their connection threads).
+    /// Propagates reactor-loop I/O failures (per-connection errors are
+    /// contained per connection).
     pub fn serve(self) -> std::io::Result<()> {
-        let mut connections = Vec::new();
-        loop {
-            if self.shared.draining.load(Ordering::SeqCst) {
-                break;
-            }
-            let (stream, _) = match self.listener.accept() {
-                Ok(pair) => pair,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            };
-            if self.shared.draining.load(Ordering::SeqCst) {
-                break; // the shutdown wake-up connection
-            }
-            self.shared.metrics.connection_opened();
-            let shared = Arc::clone(&self.shared);
-            connections.push(std::thread::spawn(move || {
-                let _ = serve_connection(stream, &shared);
-            }));
-        }
-        for conn in connections {
-            let _ = conn.join();
-        }
+        let result = reactor::run(self.listener, self.waker_rx, Arc::clone(&self.shared));
         self.shared.pool.shutdown();
-        Ok(())
+        result
     }
 
     /// Convenience for tests and embedding: binds, then serves on a
@@ -287,45 +299,6 @@ impl Server {
     }
 }
 
-/// The writer side of one connection: a bounded queue of encoded frames
-/// drained by a dedicated thread. Dropping all senders closes the
-/// socket writer.
-fn spawn_writer(
-    mut stream: TcpStream,
-    queue_frames: usize,
-) -> (mpsc::SyncSender<Vec<u8>>, std::thread::JoinHandle<()>) {
-    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(queue_frames.max(1));
-    let join = std::thread::spawn(move || {
-        while let Ok(frame) = rx.recv() {
-            if stream.write_all(&frame).is_err() {
-                break;
-            }
-        }
-        let _ = stream.flush();
-    });
-    (tx, join)
-}
-
-/// Sends a frame through the bounded queue, polling the job deadline
-/// while the queue is full so backpressure cannot outlive a deadline.
-/// Returns `false` if the deadline fired or the writer is gone.
-fn send_with_deadline(tx: &mpsc::SyncSender<Vec<u8>>, ctx: &JobCtx, frame: Vec<u8>) -> bool {
-    let mut frame = frame;
-    loop {
-        match tx.try_send(frame) {
-            Ok(()) => return true,
-            Err(mpsc::TrySendError::Full(f)) => {
-                if ctx.timed_out() || ctx.cancelled() {
-                    return false;
-                }
-                frame = f;
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(mpsc::TrySendError::Disconnected(_)) => return false,
-        }
-    }
-}
-
 /// The exact `AdcConfig` a preset maps to — public (like
 /// [`ganged_scenario`]) so clients, tests, and cluster job runners can
 /// rebuild the served computation and assert bit-identity.
@@ -337,10 +310,10 @@ pub fn preset_config(preset: Preset) -> AdcConfig {
     }
 }
 
-/// Builds the requested session and converts the record — the exact
-/// code path (and therefore the exact bits) of a direct
-/// `adc-testbench` run with the same config and seed.
-fn run_digitize(req: &DigitizeRequest) -> Result<(Vec<u16>, f64), BuildAdcError> {
+/// The `AdcConfig` a digitize request resolves to: its preset with the
+/// clock-rate and noise overrides applied (amplitude applies at the
+/// session, not the config).
+pub(crate) fn digitize_config(req: &DigitizeRequest) -> AdcConfig {
     let mut config = preset_config(req.preset);
     if let Some(f_cr) = req.overrides.f_cr_hz {
         config.f_cr_hz = f_cr;
@@ -348,7 +321,14 @@ fn run_digitize(req: &DigitizeRequest) -> Result<(Vec<u16>, f64), BuildAdcError>
     if let Some(noise) = req.overrides.thermal_noise {
         config.thermal_noise = noise;
     }
-    let mut session = MeasurementSession::new(config, req.seed)?;
+    config
+}
+
+/// Builds the requested session and converts the record — the exact
+/// code path (and therefore the exact bits) of a direct
+/// `adc-testbench` run with the same config and seed.
+pub(crate) fn run_digitize(req: &DigitizeRequest) -> Result<(Vec<u16>, f64), BuildAdcError> {
+    let mut session = MeasurementSession::new(digitize_config(req), req.seed)?;
     if let Some(a) = req.overrides.amplitude_v {
         session.amplitude_v = a;
     }
@@ -411,11 +391,11 @@ pub fn ganged_scenario(req: &GangedRequest) -> GangedScenario {
     }
 }
 
-fn run_ganged(req: &GangedRequest) -> Result<GangedCapture, GangedError> {
+pub(crate) fn run_ganged(req: &GangedRequest) -> Result<GangedCapture, GangedError> {
     ganged_scenario(req).capture_tone()
 }
 
-fn error_code_for_ganged(err: &GangedError) -> ErrorCode {
+pub(crate) fn error_code_for_ganged(err: &GangedError) -> ErrorCode {
     match err {
         GangedError::Build(build) => error_code_for_build(build),
         GangedError::InvalidScenario(_) => ErrorCode::InvalidRequest,
@@ -424,7 +404,7 @@ fn error_code_for_ganged(err: &GangedError) -> ErrorCode {
 }
 
 /// Request-level validation for ganged requests, mirroring [`validate`].
-fn validate_ganged(req: &GangedRequest, cfg: &ServerConfig) -> Result<(), String> {
+pub(crate) fn validate_ganged(req: &GangedRequest, cfg: &ServerConfig) -> Result<(), String> {
     if req.n_samples == 0 {
         return Err("n_samples must be positive".to_string());
     }
@@ -450,7 +430,7 @@ fn validate_ganged(req: &GangedRequest, cfg: &ServerConfig) -> Result<(), String
 }
 
 /// Request-level validation, before any simulation work is queued.
-fn validate(req: &DigitizeRequest, cfg: &ServerConfig) -> Result<(), String> {
+pub(crate) fn validate(req: &DigitizeRequest, cfg: &ServerConfig) -> Result<(), String> {
     if req.n_samples == 0 {
         return Err("n_samples must be positive".to_string());
     }
@@ -505,175 +485,6 @@ pub(crate) fn value_stream_crc(values: &[f64]) -> u32 {
     protocol::crc32(&bytes)
 }
 
-/// Streams one digitize request's response frames into `tx`. Runs on a
-/// pool worker.
-fn digitize_job(
-    req: &DigitizeRequest,
-    cfg: &ServerConfig,
-    ctx: &JobCtx,
-    tx: &mpsc::SyncSender<Vec<u8>>,
-) -> Result<u64, JobError> {
-    let fail = |code: ErrorCode, detail: String| {
-        let frame = encode_response(&Response::Error {
-            code,
-            detail: detail.clone(),
-        });
-        let _ = send_with_deadline(tx, ctx, frame);
-        Err(JobError::Failed(detail))
-    };
-    // Scope span ids to the request's fabrication seed — two server
-    // runs serving the same request produce the same span identities.
-    let _trace_task = adc_trace::task(req.seed);
-    let _trace_request = adc_trace::span_with("request", ctx.id.0);
-    if ctx.timed_out() {
-        let frame = encode_response(&Response::Error {
-            code: ErrorCode::TimedOut,
-            detail: "deadline expired before simulation started".to_string(),
-        });
-        let _ = send_with_deadline(tx, ctx, frame);
-        return Err(JobError::TimedOut);
-    }
-    let digitize_result = {
-        let _trace_digitize = adc_trace::span("digitize");
-        run_digitize(req)
-    };
-    let (codes, f_in_hz) = match digitize_result {
-        Ok(result) => result,
-        Err(build) => return fail(error_code_for_build(&build), build.to_string()),
-    };
-    if ctx.timed_out() {
-        let frame = encode_response(&Response::Error {
-            code: ErrorCode::TimedOut,
-            detail: "deadline expired during conversion".to_string(),
-        });
-        let _ = send_with_deadline(tx, ctx, frame);
-        return Err(JobError::TimedOut);
-    }
-    let batch = if req.batch_size == 0 {
-        cfg.default_batch.max(1) as usize
-    } else {
-        req.batch_size as usize
-    };
-    let _trace_stream = adc_trace::span("stream");
-    let mut batches = 0u32;
-    for (seq, chunk) in codes.chunks(batch).enumerate() {
-        let frame = encode_response(&Response::Batch {
-            seq: seq as u32,
-            samples: chunk.to_vec(),
-        });
-        if !send_with_deadline(tx, ctx, frame) {
-            let timed_out = ctx.timed_out();
-            let frame = encode_response(&Response::Error {
-                code: ErrorCode::TimedOut,
-                detail: format!("deadline expired after {batches} batches"),
-            });
-            let _ = tx.try_send(frame);
-            return if timed_out {
-                Err(JobError::TimedOut)
-            } else {
-                Err(JobError::Failed("client went away mid-stream".to_string()))
-            };
-        }
-        batches += 1;
-        ctx.record_samples(chunk.len() as u64);
-    }
-    let done = encode_response(&Response::Done(DigitizeDone {
-        total_samples: codes.len() as u32,
-        batches,
-        f_in_hz,
-        stream_crc32: stream_crc(&codes),
-    }));
-    if !send_with_deadline(tx, ctx, done) {
-        return Err(JobError::Failed("client went away at done".to_string()));
-    }
-    Ok(codes.len() as u64)
-}
-
-/// Streams one ganged request's response frames into `tx`. Runs on a
-/// pool worker; structurally the twin of [`digitize_job`] with the
-/// array scenario in place of the single-die session.
-fn ganged_job(
-    req: &GangedRequest,
-    cfg: &ServerConfig,
-    ctx: &JobCtx,
-    tx: &mpsc::SyncSender<Vec<u8>>,
-) -> Result<u64, JobError> {
-    let fail = |code: ErrorCode, detail: String| {
-        let frame = encode_response(&Response::Error {
-            code,
-            detail: detail.clone(),
-        });
-        let _ = send_with_deadline(tx, ctx, frame);
-        Err(JobError::Failed(detail))
-    };
-    let _trace_task = adc_trace::task(req.seed);
-    let _trace_request = adc_trace::span_with("request", ctx.id.0);
-    if ctx.timed_out() {
-        let frame = encode_response(&Response::Error {
-            code: ErrorCode::TimedOut,
-            detail: "deadline expired before simulation started".to_string(),
-        });
-        let _ = send_with_deadline(tx, ctx, frame);
-        return Err(JobError::TimedOut);
-    }
-    let capture = {
-        let _trace_ganged = adc_trace::span("ganged");
-        run_ganged(req)
-    };
-    let capture = match capture {
-        Ok(capture) => capture,
-        Err(err) => return fail(error_code_for_ganged(&err), err.to_string()),
-    };
-    if ctx.timed_out() {
-        let frame = encode_response(&Response::Error {
-            code: ErrorCode::TimedOut,
-            detail: "deadline expired during conversion".to_string(),
-        });
-        let _ = send_with_deadline(tx, ctx, frame);
-        return Err(JobError::TimedOut);
-    }
-    let batch = if req.batch_size == 0 {
-        cfg.default_batch.max(1) as usize
-    } else {
-        req.batch_size as usize
-    };
-    let _trace_stream = adc_trace::span("stream");
-    let mut batches = 0u32;
-    for (seq, chunk) in capture.values.chunks(batch).enumerate() {
-        let frame = encode_response(&Response::GangedBatch {
-            seq: seq as u32,
-            values: chunk.to_vec(),
-        });
-        if !send_with_deadline(tx, ctx, frame) {
-            let timed_out = ctx.timed_out();
-            let frame = encode_response(&Response::Error {
-                code: ErrorCode::TimedOut,
-                detail: format!("deadline expired after {batches} batches"),
-            });
-            let _ = tx.try_send(frame);
-            return if timed_out {
-                Err(JobError::TimedOut)
-            } else {
-                Err(JobError::Failed("client went away mid-stream".to_string()))
-            };
-        }
-        batches += 1;
-        ctx.record_samples(chunk.len() as u64);
-    }
-    let done = encode_response(&Response::GangedDone(GangedDone {
-        total_samples: capture.values.len() as u32,
-        batches,
-        f_in_hz: capture.f_in_hz,
-        epochs_run: capture.epochs_run,
-        converged: capture.converged,
-        stream_crc32: value_stream_crc(&capture.values),
-    }));
-    if !send_with_deadline(tx, ctx, done) {
-        return Err(JobError::Failed("client went away at done".to_string()));
-    }
-    Ok(capture.values.len() as u64)
-}
-
 /// Executes one job batch: warm-cache check first, then misses onto the
 /// pool, one outcome per job in submission order.
 ///
@@ -683,7 +494,7 @@ fn ganged_job(
 /// back `Rejected` so the client resubmits them — possibly elsewhere —
 /// while runner-level errors come back `Failed` (deterministic: a
 /// resubmission would fail identically).
-fn run_job_batch(
+pub(crate) fn run_job_batch(
     req: &JobBatchRequest,
     runner: &Arc<dyn JobRunner>,
     shared: &Arc<Shared>,
@@ -762,198 +573,6 @@ fn run_job_batch(
         batch_id: req.batch_id,
         outcomes,
     }
-}
-
-/// Reads requests off one connection until the peer leaves, framing
-/// breaks, or the server drains.
-fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
-    let cfg = &shared.cfg;
-    stream.set_read_timeout(Some(cfg.read_poll))?;
-    let writer_stream = stream.try_clone()?;
-    let (tx, writer) = spawn_writer(writer_stream, cfg.write_queue_frames);
-    let mut reader = stream;
-    let send = |frame: Vec<u8>| tx.send(frame).is_ok();
-
-    loop {
-        if shared.draining.load(Ordering::SeqCst) {
-            break;
-        }
-        let request = match protocol::read_request(&mut reader, cfg.max_payload) {
-            Ok(req) => req,
-            Err(FrameReadError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue; // poll tick: re-check the draining flag
-            }
-            Err(FrameReadError::Io(_)) => break, // peer closed / transport died
-            Err(FrameReadError::Wire(w)) => {
-                // Framing is lost: report and close (resync is impossible
-                // on a corrupt length-prefixed stream).
-                shared.metrics.error();
-                let _ = send(encode_response(&Response::Error {
-                    code: ErrorCode::Protocol,
-                    detail: w.to_string(),
-                }));
-                break;
-            }
-        };
-        match request {
-            Request::Ping { token } => {
-                shared.metrics.ping();
-                if !send(encode_response(&Response::Pong { token })) {
-                    break;
-                }
-            }
-            Request::Metrics => {
-                shared.metrics.metrics_request();
-                let snapshot = shared.metrics.snapshot();
-                if !send(encode_response(&Response::Metrics(snapshot))) {
-                    break;
-                }
-            }
-            Request::Shutdown => {
-                // Begin the drain *before* acking: once the client has
-                // the ack in hand, `is_draining()` must already be true.
-                ServerHandle {
-                    addr: reader.local_addr()?,
-                    shared: Arc::clone(shared),
-                }
-                .shutdown();
-                let _ = send(encode_response(&Response::ShutdownAck));
-                break;
-            }
-            Request::Digitize(req) => {
-                shared.metrics.digitize();
-                if let Err(detail) = validate(&req, cfg) {
-                    shared.metrics.error();
-                    if !send(encode_response(&Response::Error {
-                        code: ErrorCode::InvalidRequest,
-                        detail,
-                    })) {
-                        break;
-                    }
-                    continue;
-                }
-                let deadline = (req.deadline_ms > 0)
-                    .then(|| Duration::from_millis(u64::from(req.deadline_ms)));
-                let job_tx = tx.clone();
-                let job_cfg = cfg.clone();
-                let handle = shared.pool.submit(deadline, move |ctx| {
-                    digitize_job(&req, &job_cfg, ctx, &job_tx)
-                });
-                // One request at a time per connection: responses stay
-                // ordered, concurrency comes from concurrent clients.
-                let (value, report) = handle.wait();
-                if value.is_none() {
-                    shared.metrics.error();
-                    if let Some(JobError::Failed(detail)) = &report.error {
-                        if detail == "pool is draining" {
-                            let _ = send(encode_response(&Response::Error {
-                                code: ErrorCode::Draining,
-                                detail: detail.clone(),
-                            }));
-                            break;
-                        }
-                    }
-                    if let Some(JobError::Panicked(msg)) = &report.error {
-                        let _ = send(encode_response(&Response::Error {
-                            code: ErrorCode::Internal,
-                            detail: format!("worker panicked: {msg}"),
-                        }));
-                    }
-                    // Failed/TimedOut jobs already streamed their own
-                    // typed error frame.
-                }
-            }
-            Request::Ganged(req) => {
-                shared.metrics.digitize();
-                if let Err(detail) = validate_ganged(&req, cfg) {
-                    shared.metrics.error();
-                    if !send(encode_response(&Response::Error {
-                        code: ErrorCode::InvalidRequest,
-                        detail,
-                    })) {
-                        break;
-                    }
-                    continue;
-                }
-                let deadline = (req.deadline_ms > 0)
-                    .then(|| Duration::from_millis(u64::from(req.deadline_ms)));
-                let job_tx = tx.clone();
-                let job_cfg = cfg.clone();
-                let handle = shared.pool.submit(deadline, move |ctx| {
-                    ganged_job(&req, &job_cfg, ctx, &job_tx)
-                });
-                let (value, report) = handle.wait();
-                if value.is_none() {
-                    shared.metrics.error();
-                    if let Some(JobError::Failed(detail)) = &report.error {
-                        if detail == "pool is draining" {
-                            let _ = send(encode_response(&Response::Error {
-                                code: ErrorCode::Draining,
-                                detail: detail.clone(),
-                            }));
-                            break;
-                        }
-                    }
-                    if let Some(JobError::Panicked(msg)) = &report.error {
-                        let _ = send(encode_response(&Response::Error {
-                            code: ErrorCode::Internal,
-                            detail: format!("worker panicked: {msg}"),
-                        }));
-                    }
-                }
-            }
-            Request::JobBatch(req) => {
-                shared.metrics.job_batch();
-                let Some(runner) = shared.cfg.job_runner.clone() else {
-                    shared.metrics.error();
-                    if !send(encode_response(&Response::Error {
-                        code: ErrorCode::Unsupported,
-                        detail: "this host has no job runner registered".to_string(),
-                    })) {
-                        break;
-                    }
-                    continue;
-                };
-                let result = run_job_batch(&req, &runner, shared);
-                if !send(encode_response(&Response::JobResult(result))) {
-                    break;
-                }
-            }
-            Request::CacheQuery(q) => {
-                let cache = shared.caches.for_campaign(&q.campaign);
-                let entries: Vec<(u64, String)> = q
-                    .keys
-                    .iter()
-                    .filter_map(|&key| cache.get_line(key).map(|line| (key, line)))
-                    .collect();
-                if !send(encode_response(&Response::CacheHits { entries })) {
-                    break;
-                }
-            }
-            Request::CacheFill(c) => {
-                let cache = shared.caches.for_campaign(&c.campaign);
-                let mut accepted = 0u32;
-                for (key, line) in &c.entries {
-                    if cache.get_line(*key).is_none() {
-                        cache.put_line(*key, line);
-                        accepted += 1;
-                    }
-                }
-                let _ = cache.persist(&c.campaign);
-                if !send(encode_response(&Response::CacheFillAck { accepted })) {
-                    break;
-                }
-            }
-        }
-    }
-    drop(tx);
-    let _ = writer.join();
-    Ok(())
 }
 
 #[cfg(test)]

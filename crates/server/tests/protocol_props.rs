@@ -7,9 +7,10 @@ use proptest::prelude::*;
 
 use adc_server::protocol::{
     decode_request, decode_response, encode_request, encode_response, CacheFillRequest,
-    CacheQueryRequest, ConfigOverrides, DigitizeDone, DigitizeRequest, GangedCal, GangedDone,
-    GangedRequest, JobBatchRequest, JobOutcome, JobResultBatch, JobSpec, JobStatus,
-    MetricsSnapshot, Preset, Request, Response, WaveformSpec, WireError, MAX_GANGED_CHANNELS,
+    CacheQueryRequest, ConfigOverrides, DigitizeDone, DigitizeRequest, ErrorCode, FrameAssembler,
+    GangedCal, GangedDone, GangedRequest, JobBatchRequest, JobOutcome, JobResultBatch, JobSpec,
+    JobStatus, MetricsSnapshot, Preset, Request, Response, SubmitBody, SubmitRequest, WaveformSpec,
+    WireError, MAX_GANGED_CHANNELS,
 };
 
 fn preset(tag: u8) -> Preset {
@@ -124,7 +125,7 @@ proptest! {
     /// Every request kind round-trips bit-exactly through the codec.
     #[test]
     fn requests_round_trip(
-        kind in 0u8..8,
+        kind in 0u8..9,
         token in 0u64..u64::MAX,
         preset_tag in 0u8..3,
         seed in 0u64..u64::MAX,
@@ -154,9 +155,24 @@ proptest! {
                 campaign: "q".repeat(deadline_ms as usize % 16),
                 keys: (0..n_samples as u64 % 32).map(|i| seed ^ i).collect(),
             }),
-            _ => Request::CacheFill(CacheFillRequest {
+            7 => Request::CacheFill(CacheFillRequest {
                 campaign: format!("fill-{}", token & 0xF),
                 entries: cache_entries(seed, n_samples as usize % 16, batch_size as usize),
+            }),
+            // Pipelined submissions: the correlation id (any u64,
+            // including 0 = legacy ordered mode) must survive exactly.
+            _ => Request::Submit(SubmitRequest {
+                corr_id: token,
+                body: if wf_tag % 2 == 0 {
+                    SubmitBody::Digitize(digitize(
+                        preset_tag, seed, mask, wf_tag, f_a, f_b, n_samples, batch_size,
+                        deadline_ms,
+                    ))
+                } else {
+                    SubmitBody::Ganged(ganged(
+                        preset_tag, seed, channels, mask, f_a, n_samples, batch_size, deadline_ms,
+                    ))
+                },
             }),
         };
         let decoded = decode_request(&encode_request(&request));
@@ -278,15 +294,15 @@ proptest! {
     /// including non-finite floats (f64s travel as IEEE-754 bits).
     #[test]
     fn responses_round_trip(
-        kind in 0u8..11,
+        kind in 0u8..12,
         token in 0u64..u64::MAX,
         seq in 0u32..u32::MAX,
         len in 0usize..512,
         fill in 0u16..4096,
         f_sel in 0u8..4,
         f_val in -250.0f64..250.0,
-        code_tag in 0u8..10,
-        counters in prop::collection::vec(0u64..1_000_000, 13),
+        code_tag in 0u8..12,
+        counters in prop::collection::vec(0u64..1_000_000, 15),
         detail_len in 0usize..64,
     ) {
         let f_in_hz = match f_sel {
@@ -321,6 +337,8 @@ proptest! {
                 p50_us: counters[10],
                 p90_us: counters[11],
                 p99_us: counters[12],
+                overloaded: counters[13],
+                coalesced: counters[14],
             }),
             4 => {
                 use adc_server::ErrorCode as C;
@@ -335,6 +353,7 @@ proptest! {
                     C::Draining,
                     C::Internal,
                     C::Unsupported,
+                    C::Overloaded,
                 ];
                 Response::Error {
                     code: codes[code_tag as usize % codes.len()],
@@ -381,7 +400,36 @@ proptest! {
             9 => Response::CacheHits {
                 entries: cache_entries(token, len % 24, detail_len),
             },
-            _ => Response::CacheFillAck { accepted: seq },
+            10 => Response::CacheFillAck { accepted: seq },
+            // Tagged (pipelined) responses: any streamable inner frame
+            // under any correlation id.
+            _ => Response::Tagged {
+                corr_id: token,
+                inner: Box::new(match f_sel {
+                    0 => Response::Batch {
+                        seq,
+                        samples: (0..len).map(|i| fill.wrapping_add(i as u16) & 0x0FFF).collect(),
+                    },
+                    1 => Response::Done(DigitizeDone {
+                        total_samples: seq,
+                        batches: seq / 7,
+                        f_in_hz: f_val * 1e6,
+                        stream_crc32: token as u32,
+                    }),
+                    2 => Response::Error {
+                        code: ErrorCode::Overloaded,
+                        detail: "o".repeat(detail_len),
+                    },
+                    _ => Response::GangedDone(GangedDone {
+                        total_samples: seq,
+                        batches: seq / 3,
+                        f_in_hz: f_val * 1e6,
+                        epochs_run: fill as u32,
+                        converged: fill & 1 != 0,
+                        stream_crc32: token as u32,
+                    }),
+                }),
+            },
         };
         let decoded = decode_response(&encode_response(&response)).unwrap();
         // NaN != NaN under PartialEq; compare f64s by bit pattern.
@@ -459,5 +507,132 @@ proptest! {
         // outcome but exercise the decoder.
         let _ = decode_request(&bytes);
         let _ = decode_response(&bytes);
+    }
+
+    /// Truncating a pipelined `Submit` frame anywhere yields a typed
+    /// error — the correlation-id prefix never lets a partial body
+    /// decode.
+    #[test]
+    fn truncated_submit_frames_are_rejected(
+        corr_id in 0u64..u64::MAX,
+        seed in 0u64..u64::MAX,
+        n_samples in 1u32..100_000,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = encode_request(&Request::Submit(SubmitRequest {
+            corr_id,
+            body: SubmitBody::Digitize(DigitizeRequest::tone(seed, 10e6, n_samples)),
+        }));
+        let cut = ((frame.len() as f64 * cut_frac) as usize).min(frame.len() - 1);
+        prop_assert!(decode_request(&frame[..cut]).is_err());
+    }
+
+    /// A pipelined response stream — tagged frames from many requests
+    /// interleaved out of order — reassembles exactly through the
+    /// incremental [`FrameAssembler`] no matter how the transport
+    /// fragments it, and truncating the stream anywhere never panics
+    /// and never yields a frame beyond the cut.
+    #[test]
+    fn interleaved_tagged_streams_survive_fragmentation_and_truncation(
+        corr_pool in prop::collection::vec(1u64..u64::MAX, 5),
+        n_requests in 1usize..6,
+        order_seed in 0u64..u64::MAX,
+        chunk in 1usize..97,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let corr_ids = &corr_pool[..n_requests];
+        // Each request contributes a batch frame and a done frame; a
+        // seed-driven shuffle interleaves completions out of order.
+        let mut frames: Vec<(u64, Response)> = Vec::new();
+        for (i, &corr) in corr_ids.iter().enumerate() {
+            frames.push((corr, Response::Batch {
+                seq: 0,
+                samples: vec![i as u16; 3],
+            }));
+            frames.push((corr, Response::Done(DigitizeDone {
+                total_samples: 3,
+                batches: 1,
+                f_in_hz: 10e6,
+                stream_crc32: corr as u32,
+            })));
+        }
+        let mut rng = order_seed | 1;
+        for i in (1..frames.len()).rev() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (rng >> 33) as usize % (i + 1);
+            // Keep each request's batch before its done; swapping is
+            // fine when the pair order within a corr id is preserved.
+            let (ci, cj) = (frames[i].0, frames[j].0);
+            if ci != cj {
+                frames.swap(i, j);
+            }
+        }
+        let expected: Vec<Response> = frames
+            .iter()
+            .map(|(corr, inner)| Response::Tagged {
+                corr_id: *corr,
+                inner: Box::new(inner.clone()),
+            })
+            .collect();
+        let stream: Vec<u8> = expected.iter().flat_map(encode_response).collect();
+
+        // Fragmented feed: every frame comes back, in stream order.
+        let mut assembler = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            assembler.extend(piece);
+            while let Some((kind, payload)) = assembler.next_frame(1 << 20).unwrap() {
+                decoded.push(
+                    adc_server::protocol::decode_response_frame(kind, &payload).unwrap()
+                );
+            }
+        }
+        prop_assert_eq!(&decoded, &expected);
+
+        // Truncated feed: never panics, never invents a frame past the
+        // cut.
+        let cut = ((stream.len() as f64 * cut_frac) as usize).min(stream.len());
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(&stream[..cut]);
+        let mut complete = 0usize;
+        while let Ok(Some(_)) = assembler.next_frame(1 << 20) {
+            complete += 1;
+        }
+        prop_assert!(complete <= expected.len());
+    }
+
+    /// `Overloaded` error frames decode to the typed code — tagged or
+    /// untagged — so clients can tell admission shed from hard failure.
+    #[test]
+    fn overloaded_frames_decode_typed(
+        corr_id in 1u64..u64::MAX,
+        detail_len in 0usize..64,
+    ) {
+        let detail = "q".repeat(detail_len);
+        let untagged = decode_response(&encode_response(&Response::Error {
+            code: ErrorCode::Overloaded,
+            detail: detail.clone(),
+        })).unwrap();
+        prop_assert_eq!(untagged, Response::Error {
+            code: ErrorCode::Overloaded,
+            detail: detail.clone(),
+        });
+        let tagged = decode_response(&encode_response(&Response::Tagged {
+            corr_id,
+            inner: Box::new(Response::Error {
+                code: ErrorCode::Overloaded,
+                detail: detail.clone(),
+            }),
+        })).unwrap();
+        match tagged {
+            Response::Tagged { corr_id: c, inner } => {
+                prop_assert_eq!(c, corr_id);
+                prop_assert_eq!(*inner, Response::Error {
+                    code: ErrorCode::Overloaded,
+                    detail,
+                });
+            }
+            other => prop_assert!(false, "expected tagged error, got {:?}", other),
+        }
     }
 }

@@ -12,7 +12,7 @@ use pipeline_adc::pipeline::AdcConfig;
 use pipeline_adc::server::protocol::{self, encode_request, Request};
 use pipeline_adc::server::{
     ganged_scenario, Client, ClientError, ConfigOverrides, DigitizeRequest, ErrorCode,
-    GangedRequest, Server, ServerConfig, WaveformSpec,
+    GangedRequest, PipelinedClient, PipelinedOutcome, Server, ServerConfig, WaveformSpec,
 };
 use pipeline_adc::testbench::MeasurementSession;
 
@@ -22,9 +22,14 @@ const F_TARGET: f64 = 10e6;
 /// The in-process reference: what a direct library user gets for this
 /// seed, bit for bit.
 fn direct_record(seed: u64) -> (Vec<u16>, f64) {
+    direct_record_n(seed, RECORD)
+}
+
+/// Same reference at an explicit record length.
+fn direct_record_n(seed: u64, n_samples: u32) -> (Vec<u16>, f64) {
     let mut session =
         MeasurementSession::new(AdcConfig::nominal_110ms(), seed).expect("nominal builds");
-    session.record_len = RECORD as usize;
+    session.record_len = n_samples as usize;
     session.capture_tone(F_TARGET)
 }
 
@@ -76,6 +81,225 @@ fn concurrent_clients_get_bit_identical_records() {
         metrics.samples_streamed,
         u64::from(RECORD) * seeds.len() as u64
     );
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("serve returns");
+}
+
+#[test]
+fn pipelined_clients_stream_bit_identical_records() {
+    // Eight clients, each keeping three correlated requests in flight
+    // on one connection. Identical tone shapes with distinct seeds are
+    // exactly what the reactor coalesces into lane-parallel batches,
+    // so this drives the pipelined *and* the coalesced path — and
+    // every record must still match the in-process reference bit for
+    // bit, whatever order the server finished them in.
+    let (handle, join) = Server::spawn("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    const CLIENTS: u64 = 8;
+    const PER_CLIENT: u64 = 3;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = PipelinedClient::connect(addr).expect("connect");
+                let mut by_corr = std::collections::BTreeMap::new();
+                for k in 0..PER_CLIENT {
+                    let seed = 100 + c * PER_CLIENT + k;
+                    let corr = client
+                        .submit(&DigitizeRequest::tone(seed, F_TARGET, RECORD))
+                        .expect("submit");
+                    by_corr.insert(corr, seed);
+                }
+                let mut results = Vec::new();
+                while client.in_flight() > 0 {
+                    let (corr, outcome) = client.next_completion().expect("completion");
+                    let seed = by_corr.remove(&corr).expect("known corr id");
+                    match outcome {
+                        PipelinedOutcome::Digitize(result) => results.push((seed, result)),
+                        other => panic!("seed {seed}: unexpected outcome {other:?}"),
+                    }
+                }
+                results
+            })
+        })
+        .collect();
+
+    let mut total = 0u64;
+    for worker in workers {
+        for (seed, served) in worker.join().expect("client thread") {
+            let (expected, f_in) = direct_record(seed);
+            assert_eq!(
+                served.samples, expected,
+                "seed {seed}: pipelined record differs from in-process record"
+            );
+            assert_eq!(
+                served.done.f_in_hz.to_bits(),
+                f_in.to_bits(),
+                "seed {seed}: snapped stimulus frequency differs"
+            );
+            total += 1;
+        }
+    }
+    assert_eq!(total, CLIENTS * PER_CLIENT);
+
+    let metrics = handle.metrics().snapshot();
+    assert_eq!(metrics.digitizes, CLIENTS * PER_CLIENT);
+    assert_eq!(metrics.completed, CLIENTS * PER_CLIENT);
+    assert_eq!(metrics.errors, 0);
+    assert_eq!(metrics.in_flight, 0);
+    assert_eq!(
+        metrics.samples_streamed,
+        u64::from(RECORD) * CLIENTS * PER_CLIENT
+    );
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("serve returns");
+}
+
+#[test]
+fn overload_sheds_typed_errors_while_admitted_requests_complete() {
+    // One worker, one admission slot, one parked request: a burst of
+    // twelve pipelined submissions must shed most of the queue with
+    // typed Overloaded frames *immediately* — before the admitted
+    // request's record has streamed — while everything that was
+    // admitted still completes bit-identically.
+    let cfg = ServerConfig {
+        threads: 1,
+        max_inflight: 1,
+        max_inflight_per_conn: 1,
+        max_pending_per_conn: 1,
+        max_coalesce_lanes: 1,
+        ..ServerConfig::default()
+    };
+    let (handle, join) = Server::spawn("127.0.0.1:0", cfg).expect("bind");
+    let mut client = PipelinedClient::connect(handle.addr()).expect("connect");
+
+    const BURST: u64 = 12;
+    const BIG: u32 = 8192; // ~8 ms of conversion keeps corr 1 in flight
+    let mut seeds = std::collections::BTreeMap::new();
+    for k in 0..BURST {
+        let seed = 300 + k;
+        let corr = client
+            .submit(&DigitizeRequest::tone(seed, F_TARGET, BIG))
+            .expect("submit");
+        seeds.insert(corr, seed);
+    }
+
+    let mut order = Vec::new();
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    while client.in_flight() > 0 {
+        let (corr, outcome) = client.next_completion().expect("completion");
+        let seed = seeds[&corr];
+        match outcome {
+            PipelinedOutcome::Digitize(result) => {
+                let (expected, _) = direct_record_n(seed, BIG);
+                assert_eq!(
+                    result.samples, expected,
+                    "seed {seed}: record served under overload differs"
+                );
+                served += 1;
+            }
+            PipelinedOutcome::ServerError { code, .. } => {
+                assert_eq!(code, ErrorCode::Overloaded, "corr {corr}: wrong error code");
+                shed += 1;
+            }
+            other => panic!("corr {corr}: unexpected outcome {other:?}"),
+        }
+        order.push(corr);
+    }
+
+    assert_eq!(served + shed, BURST);
+    assert!(served >= 1, "the admitted head of the burst must complete");
+    assert!(shed >= 1, "a 12-deep burst into a 1-slot queue must shed");
+    // Out-of-order completion, observed: the shed frames come back
+    // while corr 1 is still converting, so corr 1 cannot be first.
+    assert_eq!(
+        seeds[&order[0]],
+        300 + order[0] - 1,
+        "corr ids were issued in submit order"
+    );
+    assert_ne!(
+        order[0], 1,
+        "a shed response must overtake the in-flight head"
+    );
+    assert!(
+        order.contains(&1),
+        "the first-admitted request still completes"
+    );
+
+    let metrics = handle.metrics().snapshot();
+    assert_eq!(metrics.overloaded, shed);
+    assert_eq!(metrics.in_flight, 0);
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("serve returns");
+}
+
+#[test]
+fn mixed_pipelined_requests_complete_in_any_order_and_all_verify() {
+    // One connection, one burst mixing a long digitize, a ganged
+    // capture, and short digitizes. Completions may arrive in any
+    // order the server finished them; each must verify against its
+    // own in-process reference.
+    let (handle, join) = Server::spawn("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = PipelinedClient::connect(handle.addr()).expect("connect");
+
+    let long_corr = client
+        .submit(&DigitizeRequest::tone(77, F_TARGET, 1 << 14))
+        .expect("submit long");
+    let ganged_req = GangedRequest::tone(23, 2, 20e6, RECORD);
+    let ganged_corr = client.submit_ganged(&ganged_req).expect("submit ganged");
+    let short_corrs: Vec<u64> = (0..4)
+        .map(|k| {
+            client
+                .submit(&DigitizeRequest::tone(400 + k, F_TARGET, 512))
+                .expect("submit short")
+        })
+        .collect();
+
+    let mut outcomes = std::collections::BTreeMap::new();
+    while client.in_flight() > 0 {
+        let (corr, outcome) = client.next_completion().expect("completion");
+        assert!(
+            outcomes.insert(corr, outcome).is_none(),
+            "corr {corr} completed twice"
+        );
+    }
+    assert_eq!(outcomes.len(), 6);
+
+    match &outcomes[&long_corr] {
+        PipelinedOutcome::Digitize(result) => {
+            assert_eq!(result.samples, direct_record_n(77, 1 << 14).0);
+        }
+        other => panic!("long request: unexpected outcome {other:?}"),
+    }
+    match &outcomes[&ganged_corr] {
+        PipelinedOutcome::Ganged(result) => {
+            let reference = ganged_scenario(&ganged_req)
+                .capture_tone()
+                .expect("in-process capture");
+            assert_eq!(result.values.len(), reference.values.len());
+            for (i, (a, b)) in result
+                .values
+                .iter()
+                .zip(reference.values.iter())
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "ganged value {i} differs");
+            }
+        }
+        other => panic!("ganged request: unexpected outcome {other:?}"),
+    }
+    for (k, corr) in short_corrs.iter().enumerate() {
+        match &outcomes[corr] {
+            PipelinedOutcome::Digitize(result) => {
+                assert_eq!(result.samples, direct_record_n(400 + k as u64, 512).0);
+            }
+            other => panic!("short request {k}: unexpected outcome {other:?}"),
+        }
+    }
 
     handle.shutdown();
     join.join().expect("server thread").expect("serve returns");
